@@ -1,0 +1,655 @@
+//! Architecture model for the Ruby mapper reproduction.
+//!
+//! An [`Architecture`] is a hierarchy of storage [`MemLevel`]s listed from
+//! *outermost* (DRAM) to *innermost* (per-PE scratchpads), where each level
+//! carries:
+//!
+//! * a [`Capacity`] (unbounded, shared, or per-operand — Eyeriss PEs have
+//!   separate ifmap/weight/psum scratchpads of different depths);
+//! * a *bypass mask*: which operands the level stores. Operands that skip
+//!   a level stream directly between the surrounding storing levels (e.g.
+//!   Eyeriss weights bypass the global buffer);
+//! * a per-word access energy (from [`ruby_energy::TechnologyModel`]);
+//! * a spatial [`Fanout`] *below* the level — the parallel distribution
+//!   from this level to instances of the next-inner level (or to MAC lanes
+//!   if the level is innermost).
+//!
+//! [`presets`] builds the architectures evaluated in the paper: the
+//! Eyeriss-like baseline (14×12 PE array, 128 KiB GLB), the Simba-like
+//! design (vector-MAC PEs), and the two-level linear toys of Figs. 7–8 and
+//! Table I.
+
+pub mod presets;
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ruby_energy::TechnologyModel;
+use ruby_workload::Operand;
+
+/// Spatial fanout below a memory level: the grid of child instances one
+/// parent instance feeds. A plain linear array is `x × 1`.
+///
+/// # Examples
+///
+/// ```
+/// use ruby_arch::Fanout;
+///
+/// let array = Fanout::grid(14, 12);
+/// assert_eq!(array.total(), 168);
+/// assert!(!array.is_unit());
+/// assert!(Fanout::unit().is_unit());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fanout {
+    x: u64,
+    y: u64,
+}
+
+impl Fanout {
+    /// No fanout: one child per parent.
+    pub const fn unit() -> Self {
+        Fanout { x: 1, y: 1 }
+    }
+
+    /// A linear array of `n` children.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn linear(n: u64) -> Self {
+        Fanout::grid(n, 1)
+    }
+
+    /// A 2-D grid of `x × y` children.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is zero.
+    pub fn grid(x: u64, y: u64) -> Self {
+        assert!(x > 0 && y > 0, "fanout extents must be positive");
+        Fanout { x, y }
+    }
+
+    /// Children along the X axis.
+    pub fn x(&self) -> u64 {
+        self.x
+    }
+
+    /// Children along the Y axis.
+    pub fn y(&self) -> u64 {
+        self.y
+    }
+
+    /// Total children (`x · y`).
+    pub fn total(&self) -> u64 {
+        self.x * self.y
+    }
+
+    /// Whether the fanout is trivial (one child).
+    pub fn is_unit(&self) -> bool {
+        self.total() == 1
+    }
+}
+
+impl Default for Fanout {
+    fn default() -> Self {
+        Fanout::unit()
+    }
+}
+
+impl fmt::Display for Fanout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.x, self.y)
+    }
+}
+
+/// Storage capacity of a memory level, in data words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Capacity {
+    /// No limit (DRAM).
+    Unbounded,
+    /// One buffer shared by all stored operands.
+    Shared(u64),
+    /// Separate per-operand buffers indexed by [`Operand::index`]; `None`
+    /// entries mean the operand is not stored here (implied bypass).
+    PerOperand([Option<u64>; 3]),
+}
+
+impl Capacity {
+    /// Total words across operands, if bounded.
+    pub fn total_words(&self) -> Option<u64> {
+        match self {
+            Capacity::Unbounded => None,
+            Capacity::Shared(w) => Some(*w),
+            Capacity::PerOperand(per) => Some(per.iter().flatten().sum()),
+        }
+    }
+}
+
+/// One storage level of the hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemLevel {
+    name: String,
+    capacity: Capacity,
+    stores: [bool; 3],
+    access_energy: f64,
+    fanout: Fanout,
+    bandwidth_words_per_cycle: Option<f64>,
+    noc_hop_energy: Option<f64>,
+}
+
+impl MemLevel {
+    /// Creates a level that stores the given operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `access_energy` is negative, if no operand is stored
+    /// while the capacity is bounded and nonzero, or if a per-operand
+    /// capacity contradicts the `stores` mask.
+    pub fn new(
+        name: impl Into<String>,
+        capacity: Capacity,
+        stores: [bool; 3],
+        access_energy: f64,
+        fanout: Fanout,
+    ) -> Self {
+        assert!(access_energy >= 0.0, "access energy must be non-negative");
+        if let Capacity::PerOperand(per) = &capacity {
+            for op in Operand::ALL {
+                assert_eq!(
+                    per[op.index()].is_some(),
+                    stores[op.index()],
+                    "per-operand capacity for {op} contradicts the stores mask"
+                );
+            }
+        }
+        MemLevel {
+            name: name.into(),
+            capacity,
+            stores,
+            access_energy,
+            fanout,
+            bandwidth_words_per_cycle: None,
+            noc_hop_energy: None,
+        }
+    }
+
+    /// The level name ("DRAM", "GLB", "PE").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The level capacity.
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// Capacity available to `operand`: `None` if unbounded, `Some(words)`
+    /// for the operand's own buffer (per-operand) or the shared buffer.
+    /// Returns `Some(0)` if the operand is not stored here.
+    pub fn capacity_for(&self, operand: Operand) -> Option<u64> {
+        if !self.stores(operand) {
+            return Some(0);
+        }
+        match self.capacity {
+            Capacity::Unbounded => None,
+            Capacity::Shared(w) => Some(w),
+            Capacity::PerOperand(per) => Some(per[operand.index()].unwrap_or(0)),
+        }
+    }
+
+    /// Whether this level stores `operand` (false = bypass).
+    #[inline]
+    pub fn stores(&self, operand: Operand) -> bool {
+        self.stores[operand.index()]
+    }
+
+    /// Per-word access energy.
+    pub fn access_energy(&self) -> f64 {
+        self.access_energy
+    }
+
+    /// Spatial fanout below this level.
+    pub fn fanout(&self) -> Fanout {
+        self.fanout
+    }
+
+    /// Optional per-instance bandwidth cap in words per cycle.
+    pub fn bandwidth_words_per_cycle(&self) -> Option<f64> {
+        self.bandwidth_words_per_cycle
+    }
+
+    /// Returns a copy with a bandwidth cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_cycle` is not positive.
+    pub fn with_bandwidth(mut self, words_per_cycle: f64) -> Self {
+        assert!(words_per_cycle > 0.0, "bandwidth must be positive");
+        self.bandwidth_words_per_cycle = Some(words_per_cycle);
+        self
+    }
+
+    /// Per-word energy of the distribution network below this level
+    /// (delivery to children and partial-sum return). `None` (default)
+    /// folds network cost into access energies.
+    pub fn noc_hop_energy(&self) -> Option<f64> {
+        self.noc_hop_energy
+    }
+
+    /// Returns a copy that charges `energy` per word crossing the fanout
+    /// below this level (e.g. the Eyeriss inter-PE network at ≈2× a MAC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy` is negative.
+    pub fn with_noc_energy(mut self, energy: f64) -> Self {
+        assert!(energy >= 0.0, "NoC energy must be non-negative");
+        self.noc_hop_energy = Some(energy);
+        self
+    }
+
+    /// Returns a copy storing exactly the operands in `stores` (the
+    /// bypass mask). Per-operand capacities are kept for operands that
+    /// remain stored; newly stored operands under a per-operand capacity
+    /// receive `fallback_words` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fallback_words` is zero while a newly stored operand
+    /// needs it.
+    pub fn with_stores(mut self, stores: [bool; 3], fallback_words: u64) -> Self {
+        if let Capacity::PerOperand(per) = &mut self.capacity {
+            for op in Operand::ALL {
+                let i = op.index();
+                per[i] = if stores[i] {
+                    Some(per[i].unwrap_or_else(|| {
+                        assert!(
+                            fallback_words > 0,
+                            "newly stored {op} needs a positive fallback capacity"
+                        );
+                        fallback_words
+                    }))
+                } else {
+                    None
+                };
+            }
+        }
+        self.stores = stores;
+        self
+    }
+}
+
+/// Enumerates bypass variants of `arch` at storage level `level`: one
+/// architecture per subset of operands the level could store (including
+/// storing nothing — a pure passthrough). This is the ZigZag-style
+/// joint storage/mapping exploration axis; the paper cites bypassing as
+/// one of the optimizations SoTA mapspaces cover.
+///
+/// Newly stored operands under per-operand capacities get an equal share
+/// of the level's current total words.
+///
+/// # Panics
+///
+/// Panics if `level` is 0 (the outermost level must store everything) or
+/// out of range.
+pub fn bypass_variants(arch: &Architecture, level: usize) -> Vec<Architecture> {
+    assert!(level > 0, "the outermost level must store all operands");
+    assert!(level < arch.num_levels(), "level {level} out of range");
+    let base = arch.level(level);
+    let fallback = base.capacity().total_words().unwrap_or(0).max(3) / 3;
+    let mut out = Vec::with_capacity(8);
+    for mask_bits in 0u8..8 {
+        let stores = [mask_bits & 1 != 0, mask_bits & 2 != 0, mask_bits & 4 != 0];
+        let mut levels = arch.levels().to_vec();
+        levels[level] = base.clone().with_stores(stores, fallback);
+        out.push(Architecture::new(
+            format!(
+                "{}_byp{}{}{}",
+                arch.name(),
+                u8::from(stores[0]),
+                u8::from(stores[1]),
+                u8::from(stores[2])
+            ),
+            levels,
+            arch.technology().clone(),
+        ));
+    }
+    out
+}
+
+/// A complete accelerator description: the level hierarchy plus MAC
+/// energy and the technology model used for area estimates.
+///
+/// Levels are ordered outermost-first; index 0 must be the (unbounded)
+/// DRAM level storing all operands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Architecture {
+    name: String,
+    levels: Vec<MemLevel>,
+    mac_energy: f64,
+    tech: TechnologyModel,
+}
+
+impl Architecture {
+    /// Builds and validates an architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer than two levels, if the outermost level
+    /// is bounded or bypasses an operand, or if some operand is stored
+    /// nowhere.
+    pub fn new(
+        name: impl Into<String>,
+        levels: Vec<MemLevel>,
+        tech: TechnologyModel,
+    ) -> Self {
+        assert!(levels.len() >= 2, "need at least DRAM plus one on-chip level");
+        let outer = &levels[0];
+        assert!(
+            matches!(outer.capacity(), Capacity::Unbounded),
+            "the outermost level must be unbounded (DRAM)"
+        );
+        for op in Operand::ALL {
+            assert!(outer.stores(op), "the outermost level must store {op}");
+        }
+        let mac_energy = tech.mac_energy();
+        Architecture { name: name.into(), levels, mac_energy, tech }
+    }
+
+    /// The architecture name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The levels, outermost first.
+    pub fn levels(&self) -> &[MemLevel] {
+        &self.levels
+    }
+
+    /// Number of storage levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// A single level by index (0 = outermost).
+    pub fn level(&self, index: usize) -> &MemLevel {
+        &self.levels[index]
+    }
+
+    /// Energy per MAC operation.
+    pub fn mac_energy(&self) -> f64 {
+        self.mac_energy
+    }
+
+    /// The technology model used for energy/area derivation.
+    pub fn technology(&self) -> &TechnologyModel {
+        &self.tech
+    }
+
+    /// Total MAC units: the product of all fanouts. This is the
+    /// denominator of compute utilization.
+    pub fn total_mac_units(&self) -> u64 {
+        self.levels.iter().map(|l| l.fanout().total()).product()
+    }
+
+    /// Number of instances of level `index` (product of fanouts above it).
+    pub fn instances(&self, index: usize) -> u64 {
+        self.levels[..index].iter().map(|l| l.fanout().total()).product()
+    }
+
+    /// The index of the nearest level at or outside `from` (inclusive)
+    /// that stores `operand`. Falls back to 0 (DRAM), which always stores
+    /// everything.
+    pub fn storing_level_at_or_above(&self, operand: Operand, from: usize) -> usize {
+        (0..=from)
+            .rev()
+            .find(|&i| self.levels[i].stores(operand))
+            .expect("DRAM stores all operands")
+    }
+
+    /// Indices of the levels storing `operand`, outermost first.
+    pub fn storage_chain(&self, operand: Operand) -> Vec<usize> {
+        (0..self.levels.len())
+            .filter(|&i| self.levels[i].stores(operand))
+            .collect()
+    }
+
+    /// Estimated silicon area in mm²: MAC datapaths, every on-chip SRAM
+    /// instance, and a fixed overhead. DRAM (level 0) is off-chip and
+    /// excluded. Used for the Pareto studies of Figs. 13–14.
+    pub fn area_mm2(&self) -> f64 {
+        let mut area = self.tech.fixed_area_mm2()
+            + self.total_mac_units() as f64 * self.tech.pe_area_mm2();
+        for (i, level) in self.levels.iter().enumerate().skip(1) {
+            if let Some(words) = level.capacity().total_words() {
+                if words > 0 {
+                    let bytes = self.tech.words_to_bytes(words);
+                    area += self.instances(i) as f64 * self.tech.sram_area_mm2(bytes);
+                }
+            }
+        }
+        area
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} MACs):", self.name, self.total_mac_units())?;
+        for (i, l) in self.levels.iter().enumerate() {
+            let cap = match l.capacity() {
+                Capacity::Unbounded => "inf".to_string(),
+                Capacity::Shared(w) => format!("{w}w shared"),
+                Capacity::PerOperand(per) => {
+                    let parts: Vec<String> = Operand::ALL
+                        .iter()
+                        .filter_map(|op| per[op.index()].map(|w| format!("{op}:{w}w")))
+                        .collect();
+                    parts.join("/")
+                }
+            };
+            let stored: String = Operand::ALL
+                .iter()
+                .filter(|op| l.stores(**op))
+                .map(|op| op.short_name())
+                .collect::<Vec<_>>()
+                .join(",");
+            writeln!(
+                f,
+                "  [{i}] {:<8} cap={cap:<24} stores={stored:<12} fanout={} E={:.2}",
+                l.name(),
+                l.fanout(),
+                l.access_energy()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Architecture {
+        let tech = TechnologyModel::default();
+        let dram = MemLevel::new(
+            "DRAM",
+            Capacity::Unbounded,
+            [true; 3],
+            tech.dram_access_energy(),
+            Fanout::linear(4),
+        );
+        let spad = MemLevel::new(
+            "SPAD",
+            Capacity::Shared(512),
+            [true; 3],
+            tech.sram_access_energy(1024),
+            Fanout::unit(),
+        );
+        Architecture::new("tiny", vec![dram, spad], tech)
+    }
+
+    #[test]
+    fn fanout_basics() {
+        assert_eq!(Fanout::grid(14, 12).total(), 168);
+        assert_eq!(Fanout::linear(9).y(), 1);
+        assert_eq!(Fanout::default(), Fanout::unit());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_fanout_rejected() {
+        let _ = Fanout::grid(0, 3);
+    }
+
+    #[test]
+    fn tiny_arch_counts() {
+        let a = tiny();
+        assert_eq!(a.num_levels(), 2);
+        assert_eq!(a.total_mac_units(), 4);
+        assert_eq!(a.instances(0), 1);
+        assert_eq!(a.instances(1), 4);
+    }
+
+    #[test]
+    fn storage_chain_with_bypass() {
+        let tech = TechnologyModel::default();
+        let dram = MemLevel::new(
+            "DRAM",
+            Capacity::Unbounded,
+            [true; 3],
+            tech.dram_access_energy(),
+            Fanout::unit(),
+        );
+        // GLB stores inputs and outputs only (weights bypass).
+        let glb = MemLevel::new(
+            "GLB",
+            Capacity::Shared(65536),
+            [true, false, true],
+            tech.sram_access_energy(128 * 1024),
+            Fanout::grid(14, 12),
+        );
+        let pe = MemLevel::new(
+            "PE",
+            Capacity::PerOperand([Some(12), Some(224), Some(16)]),
+            [true; 3],
+            tech.sram_access_energy(448),
+            Fanout::unit(),
+        );
+        let a = Architecture::new("eyerissish", vec![dram, glb, pe], tech);
+        assert_eq!(a.storage_chain(Operand::Weight), vec![0, 2]);
+        assert_eq!(a.storage_chain(Operand::Input), vec![0, 1, 2]);
+        assert_eq!(a.storing_level_at_or_above(Operand::Weight, 1), 0);
+        assert_eq!(a.storing_level_at_or_above(Operand::Input, 1), 1);
+    }
+
+    #[test]
+    fn capacity_for_respects_bypass_and_kind() {
+        let a = tiny();
+        assert_eq!(a.level(0).capacity_for(Operand::Input), None);
+        assert_eq!(a.level(1).capacity_for(Operand::Input), Some(512));
+        let per = MemLevel::new(
+            "PE",
+            Capacity::PerOperand([Some(12), Some(224), Some(16)]),
+            [true; 3],
+            1.0,
+            Fanout::unit(),
+        );
+        assert_eq!(per.capacity_for(Operand::Weight), Some(224));
+        assert_eq!(per.capacity_for(Operand::Output), Some(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "contradicts")]
+    fn per_operand_capacity_must_match_stores() {
+        let _ = MemLevel::new(
+            "bad",
+            Capacity::PerOperand([Some(12), None, Some(16)]),
+            [true; 3],
+            1.0,
+            Fanout::unit(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded")]
+    fn bounded_dram_rejected() {
+        let tech = TechnologyModel::default();
+        let bad = MemLevel::new("DRAM", Capacity::Shared(10), [true; 3], 1.0, Fanout::unit());
+        let spad = MemLevel::new("S", Capacity::Shared(10), [true; 3], 1.0, Fanout::unit());
+        let _ = Architecture::new("bad", vec![bad, spad], tech);
+    }
+
+    #[test]
+    fn area_grows_with_fanout() {
+        let tech = TechnologyModel::default();
+        let mk = |n: u64| {
+            let dram = MemLevel::new(
+                "DRAM",
+                Capacity::Unbounded,
+                [true; 3],
+                tech.dram_access_energy(),
+                Fanout::linear(n),
+            );
+            let spad =
+                MemLevel::new("S", Capacity::Shared(512), [true; 3], 1.0, Fanout::unit());
+            Architecture::new("a", vec![dram, spad], tech.clone())
+        };
+        assert!(mk(16).area_mm2() > mk(4).area_mm2());
+    }
+
+    #[test]
+    fn with_stores_adjusts_per_operand_capacity() {
+        let pe = MemLevel::new(
+            "PE",
+            Capacity::PerOperand([Some(12), Some(224), Some(16)]),
+            [true; 3],
+            1.0,
+            Fanout::unit(),
+        );
+        let weights_only = pe.clone().with_stores([false, true, false], 10);
+        assert!(!weights_only.stores(Operand::Input));
+        assert!(weights_only.stores(Operand::Weight));
+        assert_eq!(weights_only.capacity_for(Operand::Weight), Some(224));
+        assert_eq!(weights_only.capacity_for(Operand::Input), Some(0));
+        // Re-enable input storage: it gets the fallback capacity.
+        let back = weights_only.with_stores([true, true, false], 10);
+        assert_eq!(back.capacity_for(Operand::Input), Some(10));
+    }
+
+    #[test]
+    fn bypass_variants_cover_all_masks() {
+        let a = tiny();
+        let variants = bypass_variants(&a, 1);
+        assert_eq!(variants.len(), 8);
+        // One variant stores nothing at the spad; one stores everything.
+        assert!(variants
+            .iter()
+            .any(|v| Operand::ALL.iter().all(|op| !v.level(1).stores(*op))));
+        assert!(variants
+            .iter()
+            .any(|v| Operand::ALL.iter().all(|op| v.level(1).stores(*op))));
+        // All keep DRAM storing everything.
+        for v in &variants {
+            for op in Operand::ALL {
+                assert!(v.level(0).stores(op));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outermost level")]
+    fn bypass_variants_reject_dram() {
+        let _ = bypass_variants(&tiny(), 0);
+    }
+
+    #[test]
+    fn display_lists_all_levels() {
+        let s = tiny().to_string();
+        assert!(s.contains("DRAM"));
+        assert!(s.contains("SPAD"));
+        assert!(s.contains("fanout=4x1"));
+    }
+}

@@ -1,0 +1,298 @@
+//! The accelerator configurations evaluated in the paper.
+
+use ruby_energy::TechnologyModel;
+
+use crate::{Architecture, Capacity, Fanout, MemLevel};
+
+/// The paper's baseline: an Eyeriss-like accelerator with a `cols × rows`
+/// PE array (default 14×12), a 128 KiB shared global buffer holding
+/// inputs and outputs (weights bypass it, moving directly from DRAM into
+/// the PE weight scratchpads), and per-PE scratchpads of depth 12 (ifmap),
+/// 224 (weights) and 16 (psum) words.
+///
+/// # Examples
+///
+/// ```
+/// use ruby_arch::presets;
+///
+/// let arch = presets::eyeriss_like(14, 12);
+/// assert_eq!(arch.total_mac_units(), 168);
+/// ```
+///
+/// # Panics
+///
+/// Panics if either array extent is zero.
+pub fn eyeriss_like(cols: u64, rows: u64) -> Architecture {
+    let tech = TechnologyModel::default();
+    let glb_words = 128 * 1024 / 2; // 128 KiB of 16-bit words.
+    let dram = MemLevel::new(
+        "DRAM",
+        Capacity::Unbounded,
+        [true; 3],
+        tech.dram_access_energy(),
+        Fanout::unit(),
+    );
+    let glb = MemLevel::new(
+        "GLB",
+        Capacity::Shared(glb_words),
+        [true, false, true], // weights bypass the GLB
+        tech.sram_access_energy(tech.words_to_bytes(glb_words)),
+        Fanout::grid(cols, rows),
+    );
+    // Separate spads; per-access energy from the largest (weight) spad.
+    let pe = MemLevel::new(
+        "PE",
+        Capacity::PerOperand([Some(12), Some(224), Some(16)]),
+        [true; 3],
+        tech.sram_access_energy(tech.words_to_bytes(224)),
+        Fanout::unit(),
+    );
+    Architecture::new(
+        format!("eyeriss_like_{cols}x{rows}"),
+        vec![dram, glb, pe],
+        tech,
+    )
+}
+
+/// A Simba-like accelerator: `num_pes` PEs hanging off a 64 KiB global
+/// buffer, each PE holding a shared weight buffer (32 KiB), input buffer
+/// (8 KiB) and accumulation buffer (3 KiB) feeding `vmacs` vector MACs of
+/// `lanes` lanes each. The paper evaluates 15 PEs × four 4-wide vector
+/// MACs (Fig. 12) and 9 PEs × three 3-wide vector MACs.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn simba_like(num_pes: u64, vmacs: u64, lanes: u64) -> Architecture {
+    assert!(num_pes > 0 && vmacs > 0 && lanes > 0, "simba parameters must be positive");
+    let tech = TechnologyModel::default();
+    let glb_words = 64 * 1024 / 2;
+    let dram = MemLevel::new(
+        "DRAM",
+        Capacity::Unbounded,
+        [true; 3],
+        tech.dram_access_energy(),
+        Fanout::unit(),
+    );
+    let glb = MemLevel::new(
+        "GLB",
+        Capacity::Shared(glb_words),
+        [true, false, true],
+        tech.sram_access_energy(tech.words_to_bytes(glb_words)),
+        Fanout::linear(num_pes),
+    );
+    let pe = MemLevel::new(
+        "PE",
+        Capacity::PerOperand([
+            Some(8 * 1024 / 2),  // input buffer: 8 KiB
+            Some(32 * 1024 / 2), // weight buffer: 32 KiB
+            Some(3 * 1024 / 2),  // accumulation buffer: 3 KiB
+        ]),
+        [true; 3],
+        tech.sram_access_energy(32 * 1024),
+        Fanout::linear(vmacs * lanes),
+    );
+    Architecture::new(
+        format!("simba_like_{num_pes}pe_{vmacs}x{lanes}"),
+        vec![dram, glb, pe],
+        tech,
+    )
+}
+
+/// The two-level toy of Figs. 7–8 and Table I: DRAM fanning out to
+/// `num_pes` linear PEs, each with a private scratchpad of
+/// `scratch_bytes` (the paper uses 1 KiB).
+///
+/// # Panics
+///
+/// Panics if `num_pes` is zero or `scratch_bytes` is smaller than one
+/// word.
+pub fn toy_linear(num_pes: u64, scratch_bytes: u64) -> Architecture {
+    assert!(num_pes > 0, "need at least one PE");
+    let tech = TechnologyModel::default();
+    let words = scratch_bytes / u64::from(tech.word_bits() / 8);
+    assert!(words > 0, "scratchpad must hold at least one word");
+    let dram = MemLevel::new(
+        "DRAM",
+        Capacity::Unbounded,
+        [true; 3],
+        tech.dram_access_energy(),
+        Fanout::linear(num_pes),
+    );
+    let spad = MemLevel::new(
+        "SPAD",
+        Capacity::Shared(words),
+        [true; 3],
+        tech.sram_access_energy(scratch_bytes),
+        Fanout::unit(),
+    );
+    Architecture::new(format!("toy_linear_{num_pes}pe"), vec![dram, spad], tech)
+}
+
+/// The three-level toy of the paper's Figs. 4–5: DRAM, a small shared
+/// global buffer, and a grid of PEs without local storage (all operands
+/// bypass the PE level and stream from the GLB).
+///
+/// # Panics
+///
+/// Panics if the PE grid is empty or the buffer holds no words.
+pub fn toy_glb(glb_bytes: u64, pe_cols: u64, pe_rows: u64) -> Architecture {
+    let tech = TechnologyModel::default();
+    let words = glb_bytes / u64::from(tech.word_bits() / 8);
+    assert!(words > 0, "GLB must hold at least one word");
+    let dram = MemLevel::new(
+        "DRAM",
+        Capacity::Unbounded,
+        [true; 3],
+        tech.dram_access_energy(),
+        Fanout::unit(),
+    );
+    let glb = MemLevel::new(
+        "GLB",
+        Capacity::Shared(words),
+        [true; 3],
+        tech.sram_access_energy(glb_bytes),
+        Fanout::grid(pe_cols, pe_rows),
+    );
+    // PEs have no storage: everything streams from the GLB.
+    let pe = MemLevel::new("PE", Capacity::Shared(0), [false; 3], 0.0, Fanout::unit());
+    Architecture::new(
+        format!("toy_glb_{pe_cols}x{pe_rows}"),
+        vec![dram, glb, pe],
+        tech,
+    )
+}
+
+/// A four-level clustered hierarchy: DRAM → global buffer → `clusters`
+/// cluster scratchpads → `pes_per_cluster` PEs each. Exercises deeper
+/// hierarchies than the paper's three-level baselines; imperfect factors
+/// can appear independently at both fanout boundaries.
+///
+/// # Panics
+///
+/// Panics if any count is zero.
+pub fn clustered(clusters: u64, pes_per_cluster: u64) -> Architecture {
+    assert!(clusters > 0 && pes_per_cluster > 0, "cluster parameters must be positive");
+    let tech = TechnologyModel::default();
+    let glb_words = 256 * 1024 / 2;
+    let cluster_words = 16 * 1024 / 2;
+    let dram = MemLevel::new(
+        "DRAM",
+        Capacity::Unbounded,
+        [true; 3],
+        tech.dram_access_energy(),
+        Fanout::unit(),
+    );
+    let glb = MemLevel::new(
+        "GLB",
+        Capacity::Shared(glb_words),
+        [true; 3],
+        tech.sram_access_energy(tech.words_to_bytes(glb_words)),
+        Fanout::linear(clusters),
+    );
+    let cluster = MemLevel::new(
+        "CLUSTER",
+        Capacity::Shared(cluster_words),
+        [true; 3],
+        tech.sram_access_energy(tech.words_to_bytes(cluster_words)),
+        Fanout::linear(pes_per_cluster),
+    );
+    let pe = MemLevel::new(
+        "PE",
+        Capacity::Shared(256),
+        [true; 3],
+        tech.sram_access_energy(512),
+        Fanout::unit(),
+    );
+    Architecture::new(
+        format!("clustered_{clusters}x{pes_per_cluster}"),
+        vec![dram, glb, cluster, pe],
+        tech,
+    )
+}
+
+/// The PE-array sweep of Figs. 13–14: Eyeriss-like designs from 2×7 up to
+/// 16×16.
+pub fn eyeriss_sweep() -> Vec<Architecture> {
+    let configs: [(u64, u64); 10] = [
+        (2, 7),
+        (7, 4),
+        (7, 7),
+        (10, 8),
+        (14, 8),
+        (14, 12),
+        (16, 12),
+        (12, 16),
+        (14, 16),
+        (16, 16),
+    ];
+    configs.iter().map(|&(c, r)| eyeriss_like(c, r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruby_workload::Operand;
+
+    #[test]
+    fn eyeriss_baseline_matches_paper() {
+        let a = eyeriss_like(14, 12);
+        assert_eq!(a.num_levels(), 3);
+        assert_eq!(a.total_mac_units(), 168);
+        assert!(!a.level(1).stores(Operand::Weight), "weights bypass GLB");
+        assert_eq!(a.level(1).capacity_for(Operand::Input), Some(65536));
+        assert_eq!(a.level(2).capacity_for(Operand::Weight), Some(224));
+        assert_eq!(a.level(2).capacity_for(Operand::Input), Some(12));
+        assert_eq!(a.level(2).capacity_for(Operand::Output), Some(16));
+    }
+
+    #[test]
+    fn simba_lane_structure() {
+        let a = simba_like(15, 4, 4);
+        assert_eq!(a.total_mac_units(), 15 * 16);
+        assert_eq!(a.instances(2), 15);
+        assert_eq!(a.level(2).fanout().total(), 16);
+    }
+
+    #[test]
+    fn toy_linear_capacity() {
+        let a = toy_linear(9, 1024);
+        assert_eq!(a.total_mac_units(), 9);
+        assert_eq!(a.level(1).capacity_for(Operand::Input), Some(512));
+    }
+
+    #[test]
+    fn toy_glb_pe_has_no_storage() {
+        let a = toy_glb(1024, 3, 2);
+        assert_eq!(a.total_mac_units(), 6);
+        for op in Operand::ALL {
+            assert!(!a.level(2).stores(op));
+        }
+        assert_eq!(a.storing_level_at_or_above(Operand::Input, 2), 1);
+    }
+
+    #[test]
+    fn clustered_hierarchy_geometry() {
+        let a = clustered(4, 8);
+        assert_eq!(a.num_levels(), 4);
+        assert_eq!(a.total_mac_units(), 32);
+        assert_eq!(a.instances(2), 4); // clusters
+        assert_eq!(a.instances(3), 32); // PEs
+        assert_eq!(a.storage_chain(Operand::Input), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sweep_is_ordered_and_distinct() {
+        let sweep = eyeriss_sweep();
+        assert_eq!(sweep.len(), 10);
+        let mut areas: Vec<f64> = sweep.iter().map(|a| a.area_mm2()).collect();
+        let sorted = {
+            let mut v = areas.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v
+        };
+        areas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(areas, sorted);
+        assert!(sweep[0].total_mac_units() < sweep[9].total_mac_units());
+    }
+}

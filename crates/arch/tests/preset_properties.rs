@@ -1,0 +1,75 @@
+//! Property tests over architecture presets and the bypass machinery.
+
+use proptest::prelude::*;
+
+use ruby_arch::{bypass_variants, presets, Capacity};
+use ruby_workload::Operand;
+
+proptest! {
+    /// Eyeriss-like presets are valid and scale as expected over the
+    /// whole Fig. 13 sweep range.
+    #[test]
+    fn eyeriss_preset_scales(cols in 1u64..20, rows in 1u64..20) {
+        let a = presets::eyeriss_like(cols, rows);
+        prop_assert_eq!(a.total_mac_units(), cols * rows);
+        prop_assert_eq!(a.instances(2), cols * rows);
+        prop_assert!(a.area_mm2() > 0.0);
+        // Weights bypass the GLB in every configuration.
+        prop_assert!(!a.level(1).stores(Operand::Weight));
+        prop_assert_eq!(a.storage_chain(Operand::Weight), vec![0, 2]);
+    }
+
+    /// Simba-like presets: lanes multiply below the PE level.
+    #[test]
+    fn simba_preset_scales(pes in 1u64..20, vmacs in 1u64..6, lanes in 1u64..6) {
+        let a = presets::simba_like(pes, vmacs, lanes);
+        prop_assert_eq!(a.total_mac_units(), pes * vmacs * lanes);
+        prop_assert_eq!(a.instances(2), pes);
+        prop_assert_eq!(a.level(2).fanout().total(), vmacs * lanes);
+    }
+
+    /// Area is monotone in PE count for a fixed hierarchy.
+    #[test]
+    fn area_monotone_in_pes(a in 1u64..15, b in 1u64..15) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let small = presets::eyeriss_like(lo, 8);
+        let big = presets::eyeriss_like(hi, 8);
+        prop_assert!(big.area_mm2() >= small.area_mm2());
+    }
+
+    /// Bypass variants preserve validity invariants: DRAM stores all,
+    /// per-operand capacities are coherent with the stores mask, total
+    /// words never grow.
+    #[test]
+    fn bypass_variants_are_coherent(cols in 1u64..16, rows in 1u64..16, level in 1usize..3) {
+        let base = presets::eyeriss_like(cols, rows);
+        for v in bypass_variants(&base, level) {
+            for op in Operand::ALL {
+                prop_assert!(v.level(0).stores(op));
+                if let Capacity::PerOperand(per) = v.level(level).capacity() {
+                    prop_assert_eq!(
+                        per[op.index()].is_some(),
+                        v.level(level).stores(op)
+                    );
+                }
+            }
+            prop_assert_eq!(v.total_mac_units(), base.total_mac_units());
+        }
+    }
+}
+
+#[test]
+fn toy_presets_match_paper_text() {
+    // "two-level memory hierarchy toy architecture with each linear-PE
+    // allocated a 1 KiB scratchpad buffer"
+    let toy = presets::toy_linear(9, 1024);
+    assert_eq!(toy.num_levels(), 2);
+    assert_eq!(toy.level(0).fanout().total(), 9);
+    assert_eq!(toy.level(1).capacity_for(Operand::Input), Some(512));
+    // Fig. 4/5's toy: 1 KiB GLB over a 3×2 grid of storage-less PEs.
+    let glb = presets::toy_glb(1024, 3, 2);
+    assert_eq!(glb.total_mac_units(), 6);
+    for op in Operand::ALL {
+        assert!(!glb.level(2).stores(op));
+    }
+}

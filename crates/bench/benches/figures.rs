@@ -1,0 +1,53 @@
+//! Criterion benches regenerating a scaled-down version of every paper
+//! table/figure, so regressions in any experiment pipeline show up as a
+//! timing or panic here. Full-fidelity runs live in the `fig*`/`table1`
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ruby_core::prelude::Objective;
+use ruby_experiments::{fig10, fig11, fig12, fig13, fig14, fig7, fig8, fig9, table1, ExperimentBudget};
+
+fn tiny_budget() -> ExperimentBudget {
+    ExperimentBudget {
+        max_evaluations: 600,
+        termination: 150,
+        threads: 2,
+        repeats: 1,
+        seed: 1,
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    let b = tiny_budget();
+
+    group.bench_function("fig7_traces", |bench| bench.iter(|| fig7::run(&b)));
+    group.bench_function("table1_counts", |bench| {
+        bench.iter(|| table1::run_for(9, 1024, &[3, 24, 99, 625]))
+    });
+    group.bench_function("fig8_sweep", |bench| {
+        bench.iter(|| fig8::run_for(&b, 16, &[100, 113, 128]))
+    });
+    group.bench_function("fig9_case_study", |bench| bench.iter(|| fig9::run(&b)));
+    group.bench_function("fig10_resnet_eyeriss", |bench| bench.iter(|| fig10::run(&b)));
+    group.bench_function("fig11_deepbench", |bench| bench.iter(|| fig11::run(&b)));
+    group.bench_function("fig11_latency_objective", |bench| {
+        bench.iter(|| fig11::run_with_objective(&b, Objective::Delay))
+    });
+    group.bench_function("fig12_resnet_simba", |bench| bench.iter(|| fig12::run(&b)));
+    group.bench_function("fig13_pareto_resnet", |bench| {
+        bench.iter(|| fig13::run(&b, fig13::SuiteChoice::Resnet))
+    });
+    group.bench_function("fig14_sweep_improvement", |bench| {
+        bench.iter(|| {
+            let points = fig13::run(&b, fig13::SuiteChoice::DeepBench);
+            fig14::from_points(&points, fig13::SuiteChoice::DeepBench)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

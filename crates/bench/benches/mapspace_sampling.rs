@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of mapspace sampling and counting: the
+//! generation half of the mapper, per mapspace kind. Ruby's expansion
+//! must not make *drawing* a mapping slower — only the space bigger.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ruby_core::prelude::*;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample");
+    let arch = presets::eyeriss_like(14, 12);
+    let shape = ProblemShape::conv("c", 1, 256, 64, 56, 56, 1, 1, (1, 1));
+    for kind in MapspaceKind::ALL {
+        let space = Mapspace::new(arch.clone(), shape.clone(), kind)
+            .with_constraints(Constraints::eyeriss_row_stationary(3, 1));
+        let mut rng = SmallRng::seed_from_u64(9);
+        group.bench_function(kind.name(), |b| b.iter(|| space.sample(&mut rng)));
+    }
+    group.finish();
+}
+
+fn bench_counting(c: &mut Criterion) {
+    // Table I's counting machinery at its largest size.
+    let mut group = c.benchmark_group("count_tilings_d4096");
+    for kind in MapspaceKind::ALL {
+        let space = Mapspace::new(
+            presets::toy_linear(9, 1024),
+            ProblemShape::rank1("d", 4096),
+            kind,
+        );
+        group.bench_function(kind.name(), |b| b.iter(|| space.count_tilings()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_counting);
+criterion_main!(benches);

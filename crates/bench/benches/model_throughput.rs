@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the analytical cost model: how fast one
+//! mapping evaluates on the paper's architectures. Mapper throughput is
+//! the practical limit on mapspace exploration, so this is the substrate
+//! number behind every figure.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ruby_core::prelude::*;
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate");
+    let cases = [
+        (
+            "eyeriss_resnet_conv3x3",
+            presets::eyeriss_like(14, 12),
+            ProblemShape::conv("c", 1, 128, 128, 28, 28, 3, 3, (1, 1)),
+        ),
+        (
+            "simba_resnet_pointwise",
+            presets::simba_like(15, 4, 4),
+            ProblemShape::conv("c", 1, 1024, 256, 14, 14, 1, 1, (1, 1)),
+        ),
+        ("toy_rank1", presets::toy_linear(16, 1024), ProblemShape::rank1("d", 113)),
+    ];
+    for (name, arch, shape) in cases {
+        let space = Mapspace::new(arch.clone(), shape.clone(), MapspaceKind::RubyS);
+        let mut rng = SmallRng::seed_from_u64(5);
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || space.sample(&mut rng),
+                |mapping| evaluate(&arch, &shape, &mapping, &ModelOptions::default()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_validity_rejection(c: &mut Criterion) {
+    // How quickly invalid mappings are rejected (the filter half of
+    // generate-then-filter).
+    let arch = presets::eyeriss_like(14, 12);
+    let shape = ProblemShape::conv("c", 1, 512, 512, 7, 7, 3, 3, (1, 1));
+    let mut b = Mapping::builder(3);
+    b.set_tile(Dim::C, 2, SlotKind::Temporal, 512); // overflows every spad
+    let mapping = b.build_for_bounds(shape.bounds()).expect("chain builds");
+    c.bench_function("reject_invalid", |bench| {
+        bench.iter(|| {
+            evaluate(&arch, &shape, &mapping, &ModelOptions::default()).is_err()
+        })
+    });
+}
+
+criterion_group!(benches, bench_evaluate, bench_validity_rejection);
+criterion_main!(benches);

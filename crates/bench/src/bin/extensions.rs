@@ -1,0 +1,14 @@
+//! Runs the three extension studies that go beyond the paper: GLB
+//! bypass exploration, search-strategy comparison, and Ruby-S on a
+//! four-level clustered hierarchy.
+
+use ruby_experiments::{ext_bypass, ext_hierarchy, ext_search};
+
+fn main() {
+    let budget = ruby_bench::budget_from_args();
+    print!("{}", ext_bypass::render(&ext_bypass::run(&budget)));
+    println!();
+    print!("{}", ext_search::render(&ext_search::run(&budget)));
+    println!();
+    print!("{}", ext_hierarchy::render(&ext_hierarchy::run(&budget)));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 10: ResNet-50 per layer on the Eyeriss-like baseline.
+
+use ruby_experiments::fig10;
+
+fn main() {
+    let budget = ruby_bench::budget_from_args();
+    print!("{}", fig10::render(&fig10::run(&budget)));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 11: DeepBench on the Eyeriss-like baseline, plus the
+//! latency-objective variant quoted in §IV-D.
+
+use ruby_core::prelude::Objective;
+use ruby_experiments::fig11;
+
+fn main() {
+    let budget = ruby_bench::budget_from_args();
+    print!("{}", fig11::render(&fig11::run(&budget)));
+    let latency = fig11::run_with_objective(&budget, Objective::Delay);
+    println!(
+        "latency objective: mean cycle ratio {:.3} (paper: -14%)",
+        latency.mean_edp_ratio
+    );
+}

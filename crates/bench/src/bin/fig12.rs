@@ -1,0 +1,14 @@
+//! Regenerates Fig. 12: ResNet-50 on the Simba-like architecture
+//! (15 PEs × 4×4-wide vMACs), plus the 9-PE × 3×3 configuration.
+
+use ruby_experiments::fig12;
+
+fn main() {
+    let budget = ruby_bench::budget_from_args();
+    print!("{}", fig12::render(&fig12::run(&budget)));
+    let small = fig12::run_small(&budget);
+    println!(
+        "secondary config ({}): network EDP ratio {:.3} (paper: -45%)",
+        small.config, small.network_edp_ratio
+    );
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 13: the PE-array sweep's EDP-vs-area Pareto study
+//! for ResNet-50 (a) and the DeepBench subselection (b).
+
+use ruby_experiments::fig13::{self, SuiteChoice};
+
+fn main() {
+    let budget = ruby_bench::budget_from_args();
+    for choice in [SuiteChoice::Resnet, SuiteChoice::DeepBench] {
+        let points = fig13::run(&budget, choice);
+        print!("{}", fig13::render(&points, choice));
+        println!();
+    }
+}

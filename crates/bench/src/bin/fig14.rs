@@ -1,0 +1,13 @@
+//! Regenerates Fig. 14: per-configuration EDP improvement across the
+//! PE-array sweep.
+
+use ruby_experiments::fig14;
+use ruby_experiments::fig13::SuiteChoice;
+
+fn main() {
+    let budget = ruby_bench::budget_from_args();
+    for choice in [SuiteChoice::Resnet, SuiteChoice::DeepBench] {
+        print!("{}", fig14::render(&fig14::run(&budget, choice)));
+        println!();
+    }
+}

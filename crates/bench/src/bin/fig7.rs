@@ -1,0 +1,10 @@
+//! Regenerates Fig. 7: best-EDP-so-far vs mappings evaluated on the four
+//! toy scenarios.
+
+use ruby_experiments::fig7;
+
+fn main() {
+    let budget = ruby_bench::budget_from_args();
+    let results = fig7::run(&budget);
+    print!("{}", fig7::render(&results));
+}

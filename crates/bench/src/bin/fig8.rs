@@ -1,0 +1,9 @@
+//! Regenerates Fig. 8: dimension-size sweep — Ruby-S vs PFM vs
+//! PFM+padding on a 16-PE linear array.
+
+use ruby_experiments::fig8;
+
+fn main() {
+    let budget = ruby_bench::budget_from_args();
+    print!("{}", fig8::render(&fig8::run(&budget)));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 9: the AlexNet layer-2 case study (handcrafted vs
+//! PFM vs Ruby-S on the Eyeriss-like baseline).
+
+use ruby_experiments::fig9;
+
+fn main() {
+    let budget = ruby_bench::budget_from_args();
+    print!("{}", fig9::render(&fig9::run(&budget)));
+}

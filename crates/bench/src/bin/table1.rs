@@ -1,0 +1,8 @@
+//! Regenerates Table I: mapspace sizes for a rank-1 tensor over a
+//! two-level hierarchy with a fanout of 9.
+
+use ruby_experiments::table1;
+
+fn main() {
+    print!("{}", table1::render(&table1::run()));
+}

@@ -1,0 +1,49 @@
+//! Shared plumbing for the per-figure benchmark binaries.
+//!
+//! Every binary accepts an optional budget flag:
+//!
+//! * `--quick` — the CI smoke budget;
+//! * `--medium` (default) — minutes-scale, enough for stable trends;
+//! * `--full` — paper-scale search budgets.
+
+use ruby_experiments::ExperimentBudget;
+
+/// Parses the budget flag from `std::env::args`.
+pub fn budget_from_args() -> ExperimentBudget {
+    let mut budget = medium();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => budget = ExperimentBudget::quick(),
+            "--medium" => budget = medium(),
+            "--full" => budget = ExperimentBudget::full(),
+            other => {
+                eprintln!("unknown argument {other}; expected --quick | --medium | --full");
+                std::process::exit(2);
+            }
+        }
+    }
+    budget
+}
+
+/// The default binary budget: stable trends in about a minute per figure.
+pub fn medium() -> ExperimentBudget {
+    ExperimentBudget {
+        max_evaluations: 15_000,
+        termination: 1_500,
+        threads: 8,
+        repeats: 10,
+        seed: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medium_sits_between_quick_and_full() {
+        let m = medium();
+        assert!(m.max_evaluations > ExperimentBudget::quick().max_evaluations);
+        assert!(m.max_evaluations < ExperimentBudget::full().max_evaluations);
+    }
+}

@@ -1,0 +1,12 @@
+//! The `ruby` command-line tool. Run `ruby help` for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ruby_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("ruby: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Subcommand implementations for the `ruby` binary.
+
+use std::fmt::Write as _;
+
+use ruby_core::prelude::*;
+use ruby_simulator::{simulate as run_sim, SimLimits};
+
+use crate::parse::{parse_arch, parse_kind, parse_suite, parse_workload};
+use crate::{CliError, Flags};
+
+fn budget_config(flags: &Flags) -> Result<SearchConfig, CliError> {
+    let (max_evals, termination, threads) = match flags.get("budget").unwrap_or("medium") {
+        "quick" => (3_000, 400, 2),
+        "medium" => (15_000, 1_500, 8),
+        "full" => (60_000, 3_000, 8),
+        other => return Err(CliError::Usage(format!("unknown budget '{other}'"))),
+    };
+    let objective = match flags.get("objective").unwrap_or("edp") {
+        "edp" => Objective::Edp,
+        "energy" => Objective::Energy,
+        "delay" => Objective::Delay,
+        other => return Err(CliError::Usage(format!("unknown objective '{other}'"))),
+    };
+    Ok(SearchConfig {
+        seed: flags.get("seed").map(str::parse).transpose().map_err(|_| {
+            CliError::Usage("--seed must be a number".into())
+        })?.unwrap_or(1),
+        max_evaluations: Some(max_evals),
+        termination: Some(termination),
+        threads,
+        objective,
+        ..SearchConfig::default()
+    })
+}
+
+fn explorer(flags: &Flags, arch: Architecture) -> Result<Explorer, CliError> {
+    let mut e = Explorer::new(arch);
+    if flags.has("eyeriss-constraints") {
+        if e.arch().num_levels() != 3 {
+            return Err(CliError::Usage(
+                "--eyeriss-constraints expects a 3-level hierarchy".into(),
+            ));
+        }
+        e = e.with_constraints(Constraints::eyeriss_row_stationary(3, 1));
+    }
+    Ok(e.with_search(budget_config(flags)?))
+}
+
+fn report_block(report: &CostReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "  macs:        {}", report.macs());
+    let _ = writeln!(out, "  cycles:      {}", report.cycles());
+    let _ = writeln!(out, "  energy:      {:.4e}", report.energy());
+    let _ = writeln!(out, "  EDP:         {:.4e}", report.edp());
+    let _ = writeln!(out, "  utilization: {:.1}%", report.utilization() * 100.0);
+    for level in report.level_stats() {
+        let _ = writeln!(
+            out,
+            "  {:<8} accesses {:>14.0}  energy {:>12.4e}",
+            level.name(),
+            level.total_accesses(),
+            level.energy()
+        );
+    }
+    out
+}
+
+/// `ruby search`: find the best mapping in one mapspace.
+pub fn search(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["eyeriss-constraints"])?;
+    let arch = parse_arch(flags.require("arch")?)?;
+    let shape = parse_workload(flags.require("workload")?)?;
+    let kind = parse_kind(flags.get("space").unwrap_or("ruby-s"))?;
+    let explorer = explorer(&flags, arch)?;
+    let outcome = explorer.explore_with_outcome(&shape, kind);
+    let best = outcome.best.ok_or_else(|| {
+        CliError::Empty(format!(
+            "no valid {kind} mapping found in {} evaluations",
+            outcome.evaluations
+        ))
+    })?;
+    if let Some(path) = flags.get("out") {
+        let json = serde_json::to_string_pretty(&best.mapping)
+            .expect("mappings always serialize");
+        std::fs::write(path, json)?;
+    }
+    let mut out = format!(
+        "best {kind} mapping for {} ({} evaluations, {} valid):\n",
+        shape.name(),
+        outcome.evaluations,
+        outcome.valid
+    );
+    out.push_str(&report_block(&best.report));
+    out.push_str("\nloop nest:\n");
+    let names: Vec<&str> =
+        explorer.arch().levels().iter().map(|l| l.name()).collect();
+    out.push_str(&render_loopnest(&best.mapping, &names));
+    Ok(out)
+}
+
+/// `ruby evaluate`: cost a serialized mapping with the analytical model.
+pub fn evaluate(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let arch = parse_arch(flags.require("arch")?)?;
+    let shape = parse_workload(flags.require("workload")?)?;
+    let text = std::fs::read_to_string(flags.require("mapping")?)?;
+    let mapping: Mapping =
+        serde_json::from_str(&text).map_err(|e| CliError::Spec(format!("mapping: {e}")))?;
+    match ruby_core::model::evaluate(&arch, &shape, &mapping, &ModelOptions::default()) {
+        Ok(report) => Ok(format!("{}:\n{}", shape.name(), report_block(&report))),
+        Err(e) => Err(CliError::Empty(format!("invalid mapping: {e}"))),
+    }
+}
+
+/// `ruby simulate`: execute a serialized mapping in the functional
+/// simulator and report exact counts.
+pub fn simulate(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let arch = parse_arch(flags.require("arch")?)?;
+    let shape = parse_workload(flags.require("workload")?)?;
+    let text = std::fs::read_to_string(flags.require("mapping")?)?;
+    let mapping: Mapping =
+        serde_json::from_str(&text).map_err(|e| CliError::Spec(format!("mapping: {e}")))?;
+    let sim = run_sim(&arch, &shape, &mapping, &SimLimits::default())
+        .map_err(|e| CliError::Empty(e.to_string()))?;
+    let mut out = format!(
+        "simulated {}: {} MACs in {} cycles\n",
+        shape.name(),
+        sim.macs,
+        sim.cycles
+    );
+    for (i, level) in arch.levels().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:<8} fills {:?}  drains {:?}  peak {:?}",
+            level.name(),
+            sim.fills[i],
+            sim.drains[i],
+            sim.peak_footprint[i]
+        );
+    }
+    Ok(out)
+}
+
+/// `ruby compare`: all four mapspaces side by side.
+pub fn compare(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["eyeriss-constraints"])?;
+    let arch = parse_arch(flags.require("arch")?)?;
+    let shape = parse_workload(flags.require("workload")?)?;
+    let explorer = explorer(&flags, arch)?;
+    let comparison = explorer.compare(&shape);
+    let mut out = format!(
+        "{:<8} {:>13} {:>10} {:>8} {:>8}\n",
+        "space", "EDP", "cycles", "util", "vs PFM"
+    );
+    for kind in MapspaceKind::ALL {
+        match comparison.best(kind) {
+            Some(best) => {
+                let vs = comparison
+                    .edp_vs_pfm(kind)
+                    .map(|x| format!("{x:.3}"))
+                    .unwrap_or_else(|| "-".into());
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:>13.4e} {:>10} {:>7.1}% {:>8}",
+                    kind.name(),
+                    best.report.edp(),
+                    best.report.cycles(),
+                    best.report.utilization() * 100.0,
+                    vs
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{:<8} no valid mapping", kind.name());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `ruby show`: print an architecture (optionally writing its JSON).
+pub fn show(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let arch = parse_arch(flags.require("arch")?)?;
+    if let Some(path) = flags.get("out") {
+        let json =
+            serde_json::to_string_pretty(&arch).expect("architectures always serialize");
+        std::fs::write(path, json)?;
+    }
+    Ok(format!("{arch}area: {:.1} mm²\n", arch.area_mm2()))
+}
+
+/// `ruby suite`: list a workload suite.
+pub fn suite(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let suite = parse_suite(flags.require("name")?)?;
+    let mut out = format!(
+        "{} — {} unique layers, {:.2} GMACs total\n",
+        suite.name(),
+        suite.len(),
+        suite.total_macs() as f64 / 1e9
+    );
+    for (layer, n) in suite.layers() {
+        let _ = writeln!(out, "  {:<2}x {layer}", n);
+    }
+    Ok(out)
+}
+
+/// `ruby sweep`: PFM vs Ruby-S across Eyeriss-like array configurations
+/// for a whole suite (a CLI-sized Fig. 13/14).
+pub fn sweep(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let suite = parse_suite(flags.require("suite")?)?;
+    let configs = flags.get("configs").unwrap_or("2x7,14x12,16x16");
+    let quick = flags.get("budget").unwrap_or("medium") == "quick";
+    let layers: Vec<ProblemShape> = if quick {
+        suite.iter().step_by(4).take(4).cloned().collect()
+    } else {
+        suite.iter().cloned().collect()
+    };
+    let mut out = format!(
+        "{:<10} {:>9} {:>13} {:>13} {:>9}\n",
+        "config", "area mm²", "PFM EDP", "Ruby-S EDP", "Δ"
+    );
+    for config in configs.split(',') {
+        let arch = parse_arch(&format!("eyeriss:{config}"))?;
+        let area = arch.area_mm2();
+        let explorer = Explorer::new(arch)
+            .with_constraints(Constraints::eyeriss_row_stationary(3, 1))
+            .with_search(budget_config(&flags)?);
+        let mut pfm_energy = 0.0;
+        let mut pfm_cycles = 0.0;
+        let mut ruby_energy = 0.0;
+        let mut ruby_cycles = 0.0;
+        let mut complete = true;
+        for layer in &layers {
+            match (
+                explorer.explore(layer, MapspaceKind::Pfm),
+                explorer.explore(layer, MapspaceKind::RubyS),
+            ) {
+                (Some(p), Some(r)) => {
+                    pfm_energy += p.report.energy();
+                    pfm_cycles += p.report.cycles() as f64;
+                    ruby_energy += r.report.energy();
+                    ruby_cycles += r.report.cycles() as f64;
+                }
+                _ => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if !complete {
+            let _ = writeln!(out, "{config:<10} some layer has no valid mapping");
+            continue;
+        }
+        let pfm_edp = pfm_energy * pfm_cycles;
+        let ruby_edp = ruby_energy * ruby_cycles;
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9.1} {:>13.4e} {:>13.4e} {:>+8.1}%",
+            config,
+            area,
+            pfm_edp,
+            ruby_edp,
+            (ruby_edp / pfm_edp - 1.0) * 100.0
+        );
+    }
+    Ok(out)
+}
+
+/// `ruby count`: mapspace-size comparison (the Table I machinery).
+pub fn count(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let arch = parse_arch(flags.require("arch")?)?;
+    let shape = parse_workload(flags.require("workload")?)?;
+    let mut out = format!("tiling counts for {} on {}:\n", shape.name(), arch.name());
+    for kind in MapspaceKind::ALL {
+        let n = Mapspace::new(arch.clone(), shape.clone(), kind).count_tilings();
+        let _ = writeln!(out, "  {:<8} {n}", kind.name());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn search_writes_mapping_and_evaluate_reads_it() {
+        let dir = std::env::temp_dir().join("ruby_cli_cmd_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mapping.json");
+        let out = search(&argv(&format!(
+            "--arch toy:16,1024 --workload rank1:113 --budget quick --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("cycles:      8"), "{out}");
+        let eval = evaluate(&argv(&format!(
+            "--arch toy:16,1024 --workload rank1:113 --mapping {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(eval.contains("cycles:      8"), "{eval}");
+        let sim = simulate(&argv(&format!(
+            "--arch toy:16,1024 --workload rank1:113 --mapping {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(sim.contains("113 MACs in 8 cycles"), "{sim}");
+    }
+
+    #[test]
+    fn compare_lists_all_spaces() {
+        let out =
+            compare(&argv("--arch toy:9,1024 --workload rank1:100 --budget quick")).unwrap();
+        for name in ["PFM", "Ruby", "Ruby-S", "Ruby-T"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn bad_budget_and_objective_rejected() {
+        assert!(search(&argv(
+            "--arch toy:4,1024 --workload rank1:8 --budget enormous"
+        ))
+        .is_err());
+        assert!(search(&argv(
+            "--arch toy:4,1024 --workload rank1:8 --objective happiness"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_runs_quickly_on_subset() {
+        let out = sweep(&argv(
+            "--suite mobilenet --configs 14x12 --budget quick",
+        ))
+        .unwrap();
+        assert!(out.contains("14x12"), "{out}");
+        assert!(out.contains('%'), "{out}");
+    }
+
+    #[test]
+    fn count_orders_match_table1() {
+        let out = count(&argv("--arch toy:9,1024 --workload rank1:99")).unwrap();
+        assert!(out.contains("PFM"), "{out}");
+        assert!(out.contains("Ruby-T"), "{out}");
+    }
+}

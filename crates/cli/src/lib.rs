@@ -1,0 +1,212 @@
+//! Library backing the `ruby` command-line tool: spec parsing (presets
+//! and JSON files), subcommand implementations, and report rendering.
+//!
+//! Spec syntax accepted everywhere a resource is named:
+//!
+//! * architectures — `eyeriss:14x12`, `simba:15,4,4`, `toy:16,1024`, or
+//!   `@path/to/arch.json` (a serialized architecture);
+//! * workloads — `rank1:113`, `gemm:M,N,K`,
+//!   `conv:N,M,C,P,Q,R,S[,SH,SW]`, a suite layer `resnet50/conv1`, or
+//!   `@layer.json`;
+//! * mapspaces — `pfm`, `ruby`, `ruby-s`, `ruby-t`.
+//!
+//! See [`run`] for the subcommands.
+
+pub mod parse;
+pub mod commands;
+
+use std::fmt;
+
+pub use parse::{parse_arch, parse_kind, parse_workload};
+
+/// CLI errors, rendered to stderr by the binary.
+#[derive(Debug)]
+pub enum CliError {
+    /// Unknown subcommand or malformed arguments.
+    Usage(String),
+    /// A spec string or file could not be parsed.
+    Spec(String),
+    /// A file could not be read or written.
+    Io(std::io::Error),
+    /// The requested operation found nothing (e.g. no valid mapping).
+    Empty(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Spec(msg) => write!(f, "spec error: {msg}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Empty(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// The usage text printed by `ruby help`.
+pub const USAGE: &str = "\
+ruby — imperfect-factorization mapping exploration
+
+USAGE:
+  ruby search   --arch <spec> --workload <spec> [--space <kind>] \\
+                [--budget quick|medium|full] [--objective edp|energy|delay] \\
+                [--eyeriss-constraints] [--out mapping.json]
+  ruby evaluate --arch <spec> --workload <spec> --mapping <file.json>
+  ruby simulate --arch <spec> --workload <spec> --mapping <file.json>
+  ruby compare  --arch <spec> --workload <spec> [--budget ...] [--eyeriss-constraints]
+  ruby show     --arch <spec>
+  ruby suite    --name resnet50|deepbench|alexnet|vgg16|mobilenet
+  ruby sweep    --suite <name> [--configs 2x7,14x12,16x16] [--budget ...]
+  ruby count    --arch <spec> --workload <spec>
+  ruby help
+
+SPECS:
+  arch:      eyeriss:14x12 | simba:15,4,4 | toy:16,1024 | @file.json
+  workload:  rank1:113 | gemm:M,N,K | conv:N,M,C,P,Q,R,S[,SH,SW]
+             | <suite>/<layer> | @file.json
+  space:     pfm | ruby | ruby-s | ruby-t        (default ruby-s)
+";
+
+/// Parses argv (without the program name) and runs the subcommand,
+/// returning the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing what went wrong; the binary prints
+/// it and exits nonzero.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Ok(USAGE.to_string());
+    };
+    match command.as_str() {
+        "search" => commands::search(rest),
+        "evaluate" => commands::evaluate(rest),
+        "simulate" => commands::simulate(rest),
+        "compare" => commands::compare(rest),
+        "show" => commands::show(rest),
+        "suite" => commands::suite(rest),
+        "sweep" => commands::sweep(rest),
+        "count" => commands::count(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'; run `ruby help`"
+        ))),
+    }
+}
+
+/// A tiny flag parser: `--key value` pairs plus boolean `--flag`s.
+#[derive(Debug, Default)]
+pub struct Flags {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `args`, treating `bools` as valueless switches.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-flag tokens and flags missing their value.
+    pub fn parse(args: &[String], bools: &[&str]) -> Result<Flags, CliError> {
+        let mut flags = Flags::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(CliError::Usage(format!("unexpected token '{arg}'")));
+            };
+            if bools.contains(&name) {
+                flags.switches.push(name.to_string());
+            } else {
+                let value = it.next().ok_or_else(|| {
+                    CliError::Usage(format!("flag --{name} needs a value"))
+                })?;
+                flags.pairs.push((name.to_string(), value.clone()));
+            }
+        }
+        Ok(flags)
+    }
+
+    /// The value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of `--name`, or a usage error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] if absent.
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
+    }
+
+    /// Whether the boolean `--name` switch was present.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs_and_switches() {
+        let f = Flags::parse(&argv("--arch toy:4,1024 --verbose --n 3"), &["verbose"]).unwrap();
+        assert_eq!(f.get("arch"), Some("toy:4,1024"));
+        assert_eq!(f.get("n"), Some("3"));
+        assert!(f.has("verbose"));
+        assert!(!f.has("quiet"));
+        assert!(f.require("missing").is_err());
+    }
+
+    #[test]
+    fn flags_reject_stray_tokens() {
+        assert!(Flags::parse(&argv("stray"), &[]).is_err());
+        assert!(Flags::parse(&argv("--flag"), &[]).is_err());
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&argv("help")).unwrap().contains("USAGE"));
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(matches!(run(&argv("frobnicate")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn end_to_end_search_and_count() {
+        let out = run(&argv(
+            "search --arch toy:16,1024 --workload rank1:113 --space ruby-s --budget quick",
+        ))
+        .unwrap();
+        assert!(out.contains("cycles"), "{out}");
+        assert!(out.contains('8'), "{out}");
+        let count = run(&argv("count --arch toy:9,1024 --workload rank1:99")).unwrap();
+        assert!(count.contains("PFM"), "{count}");
+    }
+
+    #[test]
+    fn end_to_end_show_and_suite() {
+        let show = run(&argv("show --arch eyeriss:14x12")).unwrap();
+        assert!(show.contains("GLB"));
+        let suite = run(&argv("suite --name resnet50")).unwrap();
+        assert!(suite.contains("conv1"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Spec-string parsing: architectures, workloads and mapspace kinds from
+//! compact CLI syntax or JSON files.
+
+use ruby_core::prelude::*;
+
+use crate::CliError;
+
+/// Parses an architecture spec: `eyeriss:COLSxROWS`, `simba:PES,VMACS,LANES`,
+/// `toy:PES,BYTES`, or `@file.json` (a serialized
+/// [`ruby_core::prelude::Architecture`]).
+///
+/// # Errors
+///
+/// Returns [`CliError::Spec`] on malformed specs and [`CliError::Io`] /
+/// [`CliError::Spec`] on unreadable or invalid JSON files.
+pub fn parse_arch(spec: &str) -> Result<Architecture, CliError> {
+    if let Some(path) = spec.strip_prefix('@') {
+        let text = std::fs::read_to_string(path)?;
+        return serde_json::from_str(&text)
+            .map_err(|e| CliError::Spec(format!("{path}: {e}")));
+    }
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| CliError::Spec(format!("architecture '{spec}' has no ':'")))?;
+    match kind {
+        "eyeriss" => {
+            let (c, r) = rest
+                .split_once('x')
+                .ok_or_else(|| CliError::Spec(format!("expected COLSxROWS, got '{rest}'")))?;
+            Ok(presets::eyeriss_like(parse_u64(c)?, parse_u64(r)?))
+        }
+        "simba" => {
+            let v = parse_u64_list(rest, 3)?;
+            Ok(presets::simba_like(v[0], v[1], v[2]))
+        }
+        "toy" => {
+            let v = parse_u64_list(rest, 2)?;
+            Ok(presets::toy_linear(v[0], v[1]))
+        }
+        other => Err(CliError::Spec(format!("unknown architecture family '{other}'"))),
+    }
+}
+
+/// Parses a workload spec: `rank1:D`, `gemm:M,N,K`,
+/// `conv:N,M,C,P,Q,R,S[,SH,SW]`, `<suite>/<layer>`, or `@file.json`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Spec`] for malformed specs or unknown layers.
+pub fn parse_workload(spec: &str) -> Result<ProblemShape, CliError> {
+    if let Some(path) = spec.strip_prefix('@') {
+        let text = std::fs::read_to_string(path)?;
+        return serde_json::from_str(&text)
+            .map_err(|e| CliError::Spec(format!("{path}: {e}")));
+    }
+    if let Some((suite_name, layer)) = spec.split_once('/') {
+        let suite = parse_suite(suite_name)?;
+        return suite
+            .iter()
+            .find(|l| l.name() == layer)
+            .cloned()
+            .ok_or_else(|| {
+                CliError::Spec(format!("suite '{suite_name}' has no layer '{layer}'"))
+            });
+    }
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| CliError::Spec(format!("workload '{spec}' has no ':'")))?;
+    match kind {
+        "rank1" => Ok(ProblemShape::rank1(format!("rank1_{rest}"), parse_u64(rest)?)),
+        "gemm" => {
+            let v = parse_u64_list(rest, 3)?;
+            Ok(ProblemShape::gemm(format!("gemm_{rest}"), v[0], v[1], v[2]))
+        }
+        "conv" => {
+            let v: Vec<u64> = rest
+                .split(',')
+                .map(parse_u64)
+                .collect::<Result<_, _>>()?;
+            match v.len() {
+                7 => Ok(ProblemShape::conv(
+                    format!("conv_{rest}"),
+                    v[0], v[1], v[2], v[3], v[4], v[5], v[6], (1, 1),
+                )),
+                9 => Ok(ProblemShape::conv(
+                    format!("conv_{rest}"),
+                    v[0], v[1], v[2], v[3], v[4], v[5], v[6], (v[7], v[8]),
+                )),
+                n => Err(CliError::Spec(format!("conv takes 7 or 9 numbers, got {n}"))),
+            }
+        }
+        other => Err(CliError::Spec(format!("unknown workload kind '{other}'"))),
+    }
+}
+
+/// Parses a suite name.
+///
+/// # Errors
+///
+/// Returns [`CliError::Spec`] for unknown names.
+pub fn parse_suite(name: &str) -> Result<suites::Suite, CliError> {
+    match name {
+        "resnet50" => Ok(suites::resnet50()),
+        "deepbench" => Ok(suites::deepbench()),
+        "alexnet" => Ok(suites::alexnet()),
+        "vgg16" => Ok(suites::vgg16()),
+        "mobilenet" => Ok(suites::mobilenet_v1_pointwise()),
+        other => Err(CliError::Spec(format!(
+            "unknown suite '{other}' (try resnet50, deepbench, alexnet, vgg16, mobilenet)"
+        ))),
+    }
+}
+
+/// Parses a mapspace kind: `pfm`, `ruby`, `ruby-s`, `ruby-t`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Spec`] for unknown names.
+pub fn parse_kind(name: &str) -> Result<MapspaceKind, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "pfm" => Ok(MapspaceKind::Pfm),
+        "ruby" => Ok(MapspaceKind::Ruby),
+        "ruby-s" | "rubys" => Ok(MapspaceKind::RubyS),
+        "ruby-t" | "rubyt" => Ok(MapspaceKind::RubyT),
+        other => Err(CliError::Spec(format!("unknown mapspace '{other}'"))),
+    }
+}
+
+fn parse_u64(s: &str) -> Result<u64, CliError> {
+    s.trim()
+        .parse()
+        .map_err(|_| CliError::Spec(format!("expected a number, got '{s}'")))
+}
+
+fn parse_u64_list(s: &str, n: usize) -> Result<Vec<u64>, CliError> {
+    let v: Vec<u64> = s.split(',').map(parse_u64).collect::<Result<_, _>>()?;
+    if v.len() != n {
+        return Err(CliError::Spec(format!("expected {n} numbers, got {}", v.len())));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_specs() {
+        assert_eq!(parse_arch("eyeriss:14x12").unwrap().total_mac_units(), 168);
+        assert_eq!(parse_arch("simba:15,4,4").unwrap().total_mac_units(), 240);
+        assert_eq!(parse_arch("toy:9,1024").unwrap().total_mac_units(), 9);
+        assert!(parse_arch("eyeriss").is_err());
+        assert!(parse_arch("warp:3").is_err());
+        assert!(parse_arch("toy:9").is_err());
+    }
+
+    #[test]
+    fn workload_specs() {
+        assert_eq!(parse_workload("rank1:113").unwrap().macs(), 113);
+        assert_eq!(parse_workload("gemm:4,5,6").unwrap().macs(), 120);
+        let c = parse_workload("conv:1,8,4,10,10,3,3").unwrap();
+        assert_eq!(c.bound(Dim::R), 3);
+        let strided = parse_workload("conv:1,8,4,10,10,3,3,2,2").unwrap();
+        assert_eq!(strided.stride(), (2, 2));
+        assert!(parse_workload("conv:1,2,3").is_err());
+        assert!(parse_workload("nonsense").is_err());
+    }
+
+    #[test]
+    fn suite_layer_lookup() {
+        let l = parse_workload("resnet50/conv1").unwrap();
+        assert_eq!(l.bound(Dim::M), 64);
+        assert!(parse_workload("resnet50/nope").is_err());
+        assert!(parse_workload("nosuite/x").is_err());
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(parse_kind("ruby-s").unwrap(), MapspaceKind::RubyS);
+        assert_eq!(parse_kind("PFM").unwrap(), MapspaceKind::Pfm);
+        assert!(parse_kind("perfect").is_err());
+    }
+
+    #[test]
+    fn json_round_trip_via_tempfile() {
+        let arch = presets::toy_linear(4, 1024);
+        let dir = std::env::temp_dir().join("ruby_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("arch.json");
+        std::fs::write(&path, serde_json::to_string(&arch).unwrap()).unwrap();
+        let loaded = parse_arch(&format!("@{}", path.display())).unwrap();
+        assert_eq!(loaded.total_mac_units(), 4);
+    }
+}

@@ -1,0 +1,195 @@
+//! Shared experiment plumbing: budgets and per-layer comparison runs.
+
+use ruby_core::prelude::*;
+use ruby_core::search::BestMapping;
+
+/// How much search effort an experiment spends. All experiments accept a
+/// budget so the same code runs as a CI smoke test or at paper scale.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentBudget {
+    /// Cap on sampled mappings per (layer, mapspace) search.
+    pub max_evaluations: u64,
+    /// Timeloop-style termination: consecutive valid non-improving
+    /// mappings (the paper uses 3000).
+    pub termination: u64,
+    /// Search threads (the paper uses 24).
+    pub threads: usize,
+    /// Averaging runs for the stochastic-trace study of Fig. 7
+    /// (the paper uses 100).
+    pub repeats: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentBudget {
+    /// Small budget for tests (seconds per experiment).
+    pub fn quick() -> Self {
+        ExperimentBudget {
+            max_evaluations: 3_000,
+            termination: 400,
+            threads: 2,
+            repeats: 3,
+            seed: 1,
+        }
+    }
+
+    /// Paper-scale budget for the bench binaries.
+    pub fn full() -> Self {
+        ExperimentBudget {
+            max_evaluations: 60_000,
+            termination: 3_000,
+            threads: 8,
+            repeats: 20,
+            seed: 1,
+        }
+    }
+
+    /// The corresponding search configuration.
+    pub fn search_config(&self) -> SearchConfig {
+        SearchConfig {
+            seed: self.seed,
+            max_evaluations: Some(self.max_evaluations),
+            termination: Some(self.termination),
+            threads: self.threads,
+            ..SearchConfig::default()
+        }
+    }
+}
+
+/// One layer's best mappings under the PFM baseline and a Ruby variant,
+/// with the ratios the paper plots (normalized to PFM).
+#[derive(Debug, Clone)]
+pub struct LayerComparison {
+    /// Layer name.
+    pub layer: String,
+    /// Best PFM result.
+    pub pfm: BestMapping,
+    /// Best result in the compared mapspace.
+    pub ruby: BestMapping,
+}
+
+impl LayerComparison {
+    /// EDP normalized to PFM (< 1.0 = Ruby wins).
+    pub fn edp_ratio(&self) -> f64 {
+        self.ruby.report.edp() / self.pfm.report.edp()
+    }
+
+    /// Energy normalized to PFM.
+    pub fn energy_ratio(&self) -> f64 {
+        self.ruby.report.energy() / self.pfm.report.energy()
+    }
+
+    /// Cycles normalized to PFM.
+    pub fn cycle_ratio(&self) -> f64 {
+        self.ruby.report.cycles() as f64 / self.pfm.report.cycles() as f64
+    }
+}
+
+/// Runs PFM and `kind` searches for every layer, returning per-layer
+/// comparisons. Layers with no valid mapping in either space are skipped
+/// (reported by name in the second tuple element).
+pub fn compare_layers(
+    explorer: &Explorer,
+    layers: &[ProblemShape],
+    kind: MapspaceKind,
+) -> (Vec<LayerComparison>, Vec<String>) {
+    let mut out = Vec::with_capacity(layers.len());
+    let mut skipped = Vec::new();
+    for layer in layers {
+        let pfm = explorer.explore(layer, MapspaceKind::Pfm);
+        let ruby = explorer.explore(layer, kind);
+        match (pfm, ruby) {
+            (Some(pfm), Some(ruby)) => {
+                out.push(LayerComparison { layer: layer.name().to_string(), pfm, ruby })
+            }
+            _ => skipped.push(layer.name().to_string()),
+        }
+    }
+    (out, skipped)
+}
+
+/// Whole-network totals: energy sums and cycle sums weighted by layer
+/// repeat counts, combined into a network EDP.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetworkTotals {
+    /// Total energy (weighted by repeats).
+    pub energy: f64,
+    /// Total cycles (weighted by repeats).
+    pub cycles: f64,
+}
+
+impl NetworkTotals {
+    /// Accumulates one layer's report `n` times.
+    pub fn add(&mut self, report: &CostReport, n: u64) {
+        self.energy += report.energy() * n as f64;
+        self.cycles += report.cycles() as f64 * n as f64;
+    }
+
+    /// The network-level EDP.
+    pub fn edp(&self) -> f64 {
+        self.energy * self.cycles
+    }
+}
+
+/// Geometric mean of an iterator of ratios (1.0 if empty).
+pub fn geomean(ratios: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for r in ratios {
+        log_sum += r.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_translate_to_configs() {
+        let q = ExperimentBudget::quick();
+        let cfg = q.search_config();
+        assert_eq!(cfg.max_evaluations, Some(q.max_evaluations));
+        assert_eq!(cfg.termination, Some(q.termination));
+        assert!(ExperimentBudget::full().max_evaluations > q.max_evaluations);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean([]), 1.0);
+        assert!((geomean([0.5, 2.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean([0.8, 0.8]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_totals_weighting() {
+        let mut t = NetworkTotals::default();
+        // Two synthetic reports via actual evaluations would be heavy;
+        // emulate with the public API instead.
+        let arch = presets::toy_linear(4, 1024);
+        let shape = ProblemShape::rank1("d", 16);
+        let m = Mapping::builder(2).build_for_bounds(shape.bounds()).unwrap();
+        let r = evaluate(&arch, &shape, &m, &ModelOptions::default()).unwrap();
+        t.add(&r, 2);
+        assert!((t.energy - 2.0 * r.energy()).abs() < 1e-9);
+        assert!((t.cycles - 2.0 * r.cycles() as f64).abs() < 1e-9);
+        assert!(t.edp() > 0.0);
+    }
+
+    #[test]
+    fn compare_layers_on_toy() {
+        let explorer = Explorer::new(presets::toy_linear(16, 1024))
+            .with_search(ExperimentBudget::quick().search_config());
+        let layers = suites::rank1_sweep(&[113]);
+        let (cmp, skipped) = compare_layers(&explorer, &layers, MapspaceKind::RubyS);
+        assert!(skipped.is_empty());
+        assert_eq!(cmp.len(), 1);
+        assert!(cmp[0].edp_ratio() < 1.0);
+        assert!(cmp[0].cycle_ratio() < 1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Extension experiment: joint bypass/mapping exploration.
+//!
+//! The paper situates Ruby among SoTA mapspace optimizations and cites
+//! *bypassing* (letting tensors skip levels of the hierarchy, as in
+//! ZigZag) as a complementary axis. This experiment explores that axis
+//! with Ruby-S mappings: for every subset of operands the Eyeriss-like
+//! global buffer could store, search the Ruby-S mapspace and compare the
+//! best EDP. The paper's baseline (inputs + outputs in the GLB, weights
+//! bypassing) should sit at or near the front.
+
+use ruby_core::arch::bypass_variants;
+use ruby_core::prelude::*;
+
+use crate::common::ExperimentBudget;
+use crate::table::TextTable;
+
+/// One bypass variant's result.
+#[derive(Debug, Clone)]
+pub struct VariantResult {
+    /// Which operands the GLB stores, as "IFM,W,OFM" flags.
+    pub stores: [bool; 3],
+    /// Best Ruby-S EDP, if any valid mapping exists.
+    pub edp: Option<f64>,
+}
+
+impl VariantResult {
+    /// Human-readable stores mask, e.g. `IFM+OFM`.
+    pub fn label(&self) -> String {
+        let names: Vec<&str> = Operand::ALL
+            .iter()
+            .filter(|op| self.stores[op.index()])
+            .map(|op| op.short_name())
+            .collect();
+        if names.is_empty() {
+            "none".to_string()
+        } else {
+            names.join("+")
+        }
+    }
+}
+
+/// The study: all eight GLB bypass masks on one representative layer.
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// The layer explored.
+    pub layer: String,
+    /// Per-variant results, in mask order.
+    pub variants: Vec<VariantResult>,
+}
+
+impl Study {
+    /// The best variant (smallest EDP).
+    pub fn best(&self) -> Option<&VariantResult> {
+        self.variants
+            .iter()
+            .filter(|v| v.edp.is_some())
+            .min_by(|a, b| a.edp.unwrap().total_cmp(&b.edp.unwrap()))
+    }
+
+    /// The paper-baseline variant (inputs + outputs stored, weights
+    /// bypassing).
+    pub fn baseline(&self) -> &VariantResult {
+        self.variants
+            .iter()
+            .find(|v| v.stores == [true, false, true])
+            .expect("all masks present")
+    }
+}
+
+/// Runs the bypass exploration on the Eyeriss-like baseline with a
+/// ResNet-50 conv layer.
+pub fn run(budget: &ExperimentBudget) -> Study {
+    run_layer(
+        budget,
+        &ProblemShape::conv("res3_3x3", 1, 128, 128, 28, 28, 3, 3, (1, 1)),
+    )
+}
+
+/// Runs the exploration for any layer.
+pub fn run_layer(budget: &ExperimentBudget, layer: &ProblemShape) -> Study {
+    let base = presets::eyeriss_like(14, 12);
+    let variants = bypass_variants(&base, 1)
+        .into_iter()
+        .map(|arch| {
+            let stores = [
+                arch.level(1).stores(Operand::Input),
+                arch.level(1).stores(Operand::Weight),
+                arch.level(1).stores(Operand::Output),
+            ];
+            let explorer = Explorer::new(arch)
+                .with_constraints(Constraints::eyeriss_row_stationary(3, 1))
+                .with_search(budget.search_config());
+            let edp = explorer
+                .explore(layer, MapspaceKind::RubyS)
+                .map(|b| b.report.edp());
+            VariantResult { stores, edp }
+        })
+        .collect();
+    Study { layer: layer.name().to_string(), variants }
+}
+
+/// Renders the study.
+pub fn render(study: &Study) -> String {
+    let mut t = TextTable::new(vec!["GLB stores".into(), "best Ruby-S EDP".into()]);
+    for v in &study.variants {
+        t.row(vec![
+            v.label(),
+            v.edp.map(|e| format!("{e:.3e}")).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    let best = study.best().map(|v| v.label()).unwrap_or_else(|| "-".into());
+    format!(
+        "Extension: GLB bypass exploration on {} (Eyeriss-like 14x12)\n{}best storage mask: {best} (paper baseline: IFM+OFM)\n",
+        study.layer,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_masks_explored_and_baseline_competitive() {
+        let study = run(&ExperimentBudget::quick());
+        assert_eq!(study.variants.len(), 8);
+        let baseline = study.baseline().edp.expect("baseline maps");
+        let best = study.best().and_then(|v| v.edp).expect("some variant maps");
+        // The paper's baseline must be within 2x of the best mask found
+        // at quick budget (it is usually the best or tied).
+        assert!(baseline <= best * 2.0, "baseline {baseline} vs best {best}");
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let v = VariantResult { stores: [true, false, true], edp: None };
+        assert_eq!(v.label(), "IFM+OFM");
+        let none = VariantResult { stores: [false; 3], edp: None };
+        assert_eq!(none.label(), "none");
+    }
+}

@@ -1,0 +1,105 @@
+//! Extension experiment: imperfect factorization on deeper hierarchies.
+//!
+//! The paper evaluates three-level designs (DRAM/GLB/PE). Nothing in the
+//! Ruby formulation is specific to three levels, so this experiment runs
+//! the PFM-vs-Ruby-S comparison on a four-level clustered hierarchy
+//! (DRAM → GLB → clusters → PEs) where misalignment can occur at *two*
+//! fanout boundaries simultaneously — prime cluster or PE counts compound
+//! the PFM utilization loss multiplicatively.
+
+use ruby_core::prelude::*;
+
+use crate::common::{compare_layers, geomean, ExperimentBudget, LayerComparison};
+use crate::table::{pct_delta, TextTable};
+
+/// The study's outcome for one clustered configuration.
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// Configuration description.
+    pub config: String,
+    /// Per-layer comparisons.
+    pub layers: Vec<LayerComparison>,
+    /// Layers without valid mappings.
+    pub skipped: Vec<String>,
+    /// Geometric-mean EDP ratio.
+    pub mean_edp_ratio: f64,
+}
+
+/// Runs the study on a deliberately misaligned 5-cluster × 7-PE design
+/// over a slice of ResNet-50.
+pub fn run(budget: &ExperimentBudget) -> Study {
+    run_config(budget, 5, 7)
+}
+
+/// Runs any clustered configuration.
+pub fn run_config(budget: &ExperimentBudget, clusters: u64, pes: u64) -> Study {
+    let arch = presets::clustered(clusters, pes);
+    let explorer = Explorer::new(arch).with_search(budget.search_config());
+    let layers: Vec<ProblemShape> = suites::resnet50()
+        .iter()
+        .filter(|l| l.name().contains("1x1") || l.name() == "fc1000")
+        .cloned()
+        .collect();
+    let (comparisons, skipped) = compare_layers(&explorer, &layers, MapspaceKind::RubyS);
+    let mean = geomean(comparisons.iter().map(LayerComparison::edp_ratio));
+    Study {
+        config: format!("{clusters} clusters x {pes} PEs"),
+        layers: comparisons,
+        skipped,
+        mean_edp_ratio: mean,
+    }
+}
+
+/// Renders the study.
+pub fn render(study: &Study) -> String {
+    let mut t = TextTable::new(vec![
+        "layer".into(),
+        "EDP vs PFM".into(),
+        "Ruby-S util".into(),
+    ]);
+    for cmp in &study.layers {
+        t.row(vec![
+            cmp.layer.clone(),
+            pct_delta(cmp.edp_ratio()),
+            format!("{:.1}%", cmp.ruby.report.utilization() * 100.0),
+        ]);
+    }
+    format!(
+        "Extension: four-level hierarchy ({})\n{}mean EDP {}\n",
+        study.config,
+        t.render(),
+        pct_delta(study.mean_edp_ratio)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deep_hierarchy_improves_with_ruby_s() {
+        let study = run(&ExperimentBudget::quick());
+        assert!(study.skipped.is_empty(), "skipped: {:?}", study.skipped);
+        assert!(!study.layers.is_empty());
+        assert!(
+            study.mean_edp_ratio < 1.0,
+            "mean EDP ratio {}",
+            study.mean_edp_ratio
+        );
+    }
+
+    #[test]
+    fn aligned_cluster_counts_shrink_the_gap() {
+        // Power-of-two fanouts align with channel counts: Ruby-S's edge
+        // over PFM must be smaller than on the prime 5x7 design.
+        let budget = ExperimentBudget::quick();
+        let aligned = run_config(&budget, 4, 8);
+        let misaligned = run_config(&budget, 5, 7);
+        assert!(
+            aligned.mean_edp_ratio >= misaligned.mean_edp_ratio - 0.05,
+            "aligned {} vs misaligned {}",
+            aligned.mean_edp_ratio,
+            misaligned.mean_edp_ratio
+        );
+    }
+}

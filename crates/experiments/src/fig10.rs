@@ -1,0 +1,121 @@
+//! Fig. 10: Ruby-S vs PFM over the ResNet-50 layers on the Eyeriss-like
+//! baseline — per-layer EDP / energy / cycle ratios plus whole-network
+//! totals. The paper reports a 14% network EDP improvement from a 17%
+//! cycle reduction at a 2% energy increase.
+
+use ruby_core::prelude::*;
+
+use crate::common::{compare_layers, ExperimentBudget, LayerComparison, NetworkTotals};
+use crate::table::{pct_delta, TextTable};
+
+/// The study's outcome.
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// Per-layer comparisons (PFM vs Ruby-S).
+    pub layers: Vec<LayerComparison>,
+    /// Layers skipped for lack of a valid mapping (should be empty).
+    pub skipped: Vec<String>,
+    /// Network EDP ratio (Ruby-S / PFM), weighting repeated layers.
+    pub network_edp_ratio: f64,
+    /// Network energy ratio.
+    pub network_energy_ratio: f64,
+    /// Network cycle ratio.
+    pub network_cycle_ratio: f64,
+}
+
+/// Runs Fig. 10 on the 14×12 baseline with row-stationary constraints.
+pub fn run(budget: &ExperimentBudget) -> Study {
+    run_on(budget, &presets::eyeriss_like(14, 12), &Constraints::eyeriss_row_stationary(3, 1))
+}
+
+/// Runs the same study on any architecture/constraints (used by the
+/// Fig. 12 and sweep experiments).
+pub fn run_on(budget: &ExperimentBudget, arch: &Architecture, constraints: &Constraints) -> Study {
+    let suite = suites::resnet50();
+    let explorer = Explorer::new(arch.clone())
+        .with_constraints(constraints.clone())
+        .with_search(budget.search_config());
+    let shapes: Vec<ProblemShape> = suite.iter().cloned().collect();
+    let (layers, skipped) = compare_layers(&explorer, &shapes, MapspaceKind::RubyS);
+
+    let mut pfm = NetworkTotals::default();
+    let mut ruby = NetworkTotals::default();
+    for cmp in &layers {
+        let repeats = suite
+            .layers()
+            .iter()
+            .find(|(l, _)| l.name() == cmp.layer)
+            .map(|(_, n)| *n)
+            .unwrap_or(1);
+        pfm.add(&cmp.pfm.report, repeats);
+        ruby.add(&cmp.ruby.report, repeats);
+    }
+    Study {
+        layers,
+        skipped,
+        network_edp_ratio: ruby.edp() / pfm.edp(),
+        network_energy_ratio: ruby.energy / pfm.energy,
+        network_cycle_ratio: ruby.cycles / pfm.cycles,
+    }
+}
+
+/// Renders the per-layer table plus the network summary.
+pub fn render(study: &Study) -> String {
+    let mut t = TextTable::new(vec![
+        "layer".into(),
+        "EDP vs PFM".into(),
+        "energy vs PFM".into(),
+        "cycles vs PFM".into(),
+        "Ruby-S util".into(),
+    ]);
+    for cmp in &study.layers {
+        t.row(vec![
+            cmp.layer.clone(),
+            pct_delta(cmp.edp_ratio()),
+            pct_delta(cmp.energy_ratio()),
+            pct_delta(cmp.cycle_ratio()),
+            format!("{:.1}%", cmp.ruby.report.utilization() * 100.0),
+        ]);
+    }
+    let mut out = format!(
+        "Fig. 10: ResNet-50 on the Eyeriss-like baseline (Ruby-S normalized to PFM)\n{}",
+        t.render()
+    );
+    out.push_str(&format!(
+        "network: EDP {}, energy {}, cycles {}\n",
+        pct_delta(study.network_edp_ratio),
+        pct_delta(study.network_energy_ratio),
+        pct_delta(study.network_cycle_ratio),
+    ));
+    if !study.skipped.is_empty() {
+        out.push_str(&format!("skipped (no valid mapping): {:?}\n", study.skipped));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ruby_s_never_loses_to_pfm_and_wins_overall() {
+        let study = run(&ExperimentBudget::quick());
+        assert!(study.skipped.is_empty(), "skipped: {:?}", study.skipped);
+        assert_eq!(study.layers.len(), suites::resnet50().len());
+        // Network-level: Ruby-S must improve EDP (the headline result).
+        assert!(
+            study.network_edp_ratio < 1.0,
+            "network EDP ratio {}",
+            study.network_edp_ratio
+        );
+        assert!(study.network_cycle_ratio < 1.0);
+    }
+
+    #[test]
+    fn render_has_network_summary() {
+        let study = run(&ExperimentBudget::quick());
+        let s = render(&study);
+        assert!(s.contains("network:"));
+        assert!(s.contains("conv1"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 11: Ruby-S vs PFM over the DeepBench suite on the Eyeriss-like
+//! baseline. The paper reports a 10% average EDP improvement (up to
+//! 33–45% on layers whose shapes misalign with the 14×12 array), near
+//! parity on ImageNet-geometry vision layers, and a 14% latency win when
+//! optimizing for delay instead.
+
+use ruby_core::prelude::*;
+
+use crate::common::{compare_layers, geomean, ExperimentBudget, LayerComparison};
+use crate::table::{pct_delta, TextTable};
+
+/// The study's outcome.
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// Per-layer comparisons, in suite order.
+    pub layers: Vec<LayerComparison>,
+    /// Layers with no valid mapping (should be empty).
+    pub skipped: Vec<String>,
+    /// Geometric-mean EDP ratio across the suite.
+    pub mean_edp_ratio: f64,
+    /// Best (smallest) EDP ratio across the suite.
+    pub best_edp_ratio: f64,
+}
+
+/// Runs Fig. 11 with the EDP objective.
+pub fn run(budget: &ExperimentBudget) -> Study {
+    run_with_objective(budget, Objective::Edp)
+}
+
+/// Runs the suite under any objective (the paper also reports a latency
+/// run: "When targeting latency instead of EDP, Ruby-S generates
+/// mappings that reduce the latency 14%").
+pub fn run_with_objective(budget: &ExperimentBudget, objective: Objective) -> Study {
+    let suite = suites::deepbench();
+    let config = SearchConfig { objective, ..budget.search_config() };
+    let explorer = Explorer::new(presets::eyeriss_like(14, 12))
+        .with_constraints(Constraints::eyeriss_row_stationary(3, 1))
+        .with_search(config);
+    let shapes: Vec<ProblemShape> = suite.iter().cloned().collect();
+    let (layers, skipped) = compare_layers(&explorer, &shapes, MapspaceKind::RubyS);
+    let ratio = |cmp: &LayerComparison| match objective {
+        Objective::Edp => cmp.edp_ratio(),
+        Objective::Energy => cmp.energy_ratio(),
+        Objective::Delay => cmp.cycle_ratio(),
+    };
+    let mean = geomean(layers.iter().map(ratio));
+    let best = layers.iter().map(ratio).fold(f64::INFINITY, f64::min);
+    Study { layers, skipped, mean_edp_ratio: mean, best_edp_ratio: best }
+}
+
+/// Renders the per-layer table plus the summary line.
+pub fn render(study: &Study) -> String {
+    let mut t = TextTable::new(vec![
+        "layer".into(),
+        "EDP vs PFM".into(),
+        "cycles vs PFM".into(),
+        "Ruby-S util".into(),
+    ]);
+    for cmp in &study.layers {
+        t.row(vec![
+            cmp.layer.clone(),
+            pct_delta(cmp.edp_ratio()),
+            pct_delta(cmp.cycle_ratio()),
+            format!("{:.1}%", cmp.ruby.report.utilization() * 100.0),
+        ]);
+    }
+    format!(
+        "Fig. 11: DeepBench on the Eyeriss-like baseline (Ruby-S normalized to PFM)\n{}mean {}, best {}\n",
+        t.render(),
+        pct_delta(study.mean_edp_ratio),
+        pct_delta(study.best_edp_ratio),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_improves_on_average_and_has_big_wins() {
+        let study = run(&ExperimentBudget::quick());
+        assert!(study.skipped.is_empty(), "skipped: {:?}", study.skipped);
+        assert!(
+            study.mean_edp_ratio < 1.0,
+            "mean EDP ratio {}",
+            study.mean_edp_ratio
+        );
+        assert!(
+            study.best_edp_ratio < 0.8,
+            "expected a ≥20% win somewhere, best {}",
+            study.best_edp_ratio
+        );
+    }
+
+    #[test]
+    fn latency_objective_reduces_cycles() {
+        let study = run_with_objective(&ExperimentBudget::quick(), Objective::Delay);
+        assert!(study.mean_edp_ratio <= 1.0, "mean cycle ratio {}", study.mean_edp_ratio);
+    }
+
+    #[test]
+    fn render_covers_categories() {
+        let study = run(&ExperimentBudget::quick());
+        let s = render(&study);
+        for prefix in ["speech", "vision", "face"] {
+            assert!(s.contains(prefix), "missing {prefix}");
+        }
+    }
+}

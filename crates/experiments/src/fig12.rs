@@ -1,0 +1,116 @@
+//! Fig. 12: Ruby-S vs PFM over ResNet-50 on the Simba-like architecture
+//! (15 PEs × four 4-wide vector MACs, C/M parallelism only). The paper
+//! reports a 10% net EDP improvement with up to 25% on individual layers,
+//! and a 45% improvement on the 9-PE, three 3-wide configuration.
+
+use ruby_core::prelude::*;
+
+use crate::common::{compare_layers, ExperimentBudget, LayerComparison, NetworkTotals};
+use crate::table::{pct_delta, TextTable};
+
+/// The study's outcome for one Simba configuration.
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// Configuration description.
+    pub config: String,
+    /// Per-layer comparisons.
+    pub layers: Vec<LayerComparison>,
+    /// Layers with no valid mapping in one of the spaces.
+    pub skipped: Vec<String>,
+    /// Network EDP ratio (Ruby-S / PFM).
+    pub network_edp_ratio: f64,
+}
+
+/// Runs Fig. 12's main configuration (15 PEs, 4×4-wide vMACs).
+pub fn run(budget: &ExperimentBudget) -> Study {
+    run_config(budget, 15, 4, 4)
+}
+
+/// Runs the secondary configuration the paper quotes (9 PEs, 3×3-wide).
+pub fn run_small(budget: &ExperimentBudget) -> Study {
+    run_config(budget, 9, 3, 3)
+}
+
+/// Runs any Simba configuration.
+pub fn run_config(budget: &ExperimentBudget, pes: u64, vmacs: u64, lanes: u64) -> Study {
+    let suite = suites::resnet50();
+    let explorer = Explorer::new(presets::simba_like(pes, vmacs, lanes))
+        .with_constraints(Constraints::simba_cm(3, 1, 2))
+        .with_search(budget.search_config());
+    let shapes: Vec<ProblemShape> = suite.iter().cloned().collect();
+    let (layers, skipped) = compare_layers(&explorer, &shapes, MapspaceKind::RubyS);
+    let mut pfm = NetworkTotals::default();
+    let mut ruby = NetworkTotals::default();
+    for cmp in &layers {
+        let repeats = suite
+            .layers()
+            .iter()
+            .find(|(l, _)| l.name() == cmp.layer)
+            .map(|(_, n)| *n)
+            .unwrap_or(1);
+        pfm.add(&cmp.pfm.report, repeats);
+        ruby.add(&cmp.ruby.report, repeats);
+    }
+    Study {
+        config: format!("{pes} PEs x {vmacs}x{lanes}-wide vMACs"),
+        layers,
+        skipped,
+        network_edp_ratio: ruby.edp() / pfm.edp(),
+    }
+}
+
+/// Renders the study.
+pub fn render(study: &Study) -> String {
+    let mut t = TextTable::new(vec![
+        "layer".into(),
+        "EDP vs PFM".into(),
+        "cycles vs PFM".into(),
+    ]);
+    for cmp in &study.layers {
+        t.row(vec![
+            cmp.layer.clone(),
+            pct_delta(cmp.edp_ratio()),
+            pct_delta(cmp.cycle_ratio()),
+        ]);
+    }
+    format!(
+        "Fig. 12: ResNet-50 on the Simba-like architecture ({})\n{}network EDP {}\n",
+        study.config,
+        t.render(),
+        pct_delta(study.network_edp_ratio),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_config_improves_network_edp() {
+        let study = run(&ExperimentBudget::quick());
+        assert!(study.skipped.is_empty(), "skipped: {:?}", study.skipped);
+        assert!(
+            study.network_edp_ratio <= 1.02,
+            "network EDP ratio {}",
+            study.network_edp_ratio
+        );
+    }
+
+    #[test]
+    fn small_config_shows_larger_wins() {
+        // 9 PEs misalign with power-of-two channel counts even harder.
+        let small = run_small(&ExperimentBudget::quick());
+        assert!(small.skipped.is_empty());
+        assert!(
+            small.network_edp_ratio < 1.0,
+            "9-PE network EDP ratio {}",
+            small.network_edp_ratio
+        );
+    }
+
+    #[test]
+    fn render_names_the_configuration() {
+        let study = run(&ExperimentBudget::quick());
+        assert!(render(&study).contains("15 PEs"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Fig. 13: architectural design-space exploration — sweeping Eyeriss-like
+//! PE arrays from 2×7 to 16×16 and plotting EDP against accelerator area
+//! for PFM, PFM+padding and Ruby-S. The paper finds Ruby-S mappings form
+//! the Pareto frontier for both ResNet-50 (a) and DeepBench (b).
+
+use ruby_core::prelude::*;
+
+use crate::common::{ExperimentBudget, NetworkTotals};
+use crate::table::TextTable;
+
+/// Mapping strategies compared across the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Perfect factorization.
+    Pfm,
+    /// Perfect factorization on the padded problem.
+    PfmPadded,
+    /// Ruby-S.
+    RubyS,
+}
+
+impl Strategy {
+    /// All strategies in presentation order.
+    pub const ALL: [Strategy; 3] = [Strategy::Pfm, Strategy::PfmPadded, Strategy::RubyS];
+
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Strategy::Pfm => "PFM",
+            Strategy::PfmPadded => "PFM+pad",
+            Strategy::RubyS => "Ruby-S",
+        }
+    }
+}
+
+/// One `(configuration, strategy)` point of the sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Architecture name (encodes the array size).
+    pub config: String,
+    /// Silicon area in mm².
+    pub area_mm2: f64,
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// Suite EDP (energy and cycle totals multiplied).
+    pub edp: f64,
+}
+
+/// Which workload suite the sweep runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteChoice {
+    /// ResNet-50 (Fig. 13a); `quick` budgets use a representative layer
+    /// subset.
+    Resnet,
+    /// DeepBench subselection (Fig. 13b).
+    DeepBench,
+}
+
+/// The layers the sweep maps. Full budgets use whole suites; quick
+/// budgets use a misalignment-spanning subset so tests stay fast.
+pub fn sweep_layers(choice: SuiteChoice, quick: bool) -> Vec<ProblemShape> {
+    let suite = match choice {
+        SuiteChoice::Resnet => suites::resnet50(),
+        SuiteChoice::DeepBench => suites::deepbench(),
+    };
+    let all: Vec<ProblemShape> = suite.iter().cloned().collect();
+    if quick {
+        all.into_iter().step_by(4).take(5).collect()
+    } else {
+        all
+    }
+}
+
+/// Runs the sweep over the paper's array configurations.
+pub fn run(budget: &ExperimentBudget, choice: SuiteChoice) -> Vec<SweepPoint> {
+    let quick = budget.max_evaluations < 10_000;
+    let layers = sweep_layers(choice, quick);
+    let archs = if quick {
+        let all = presets::eyeriss_sweep();
+        vec![all[0].clone(), all[5].clone(), all[9].clone()]
+    } else {
+        presets::eyeriss_sweep()
+    };
+    let mut points = Vec::new();
+    for arch in archs {
+        let constraints = Constraints::eyeriss_row_stationary(3, 1);
+        let explorer = Explorer::new(arch.clone())
+            .with_constraints(constraints.clone())
+            .with_search(budget.search_config());
+        for strategy in Strategy::ALL {
+            let mut totals = NetworkTotals::default();
+            let mut complete = true;
+            for layer in &layers {
+                let best = match strategy {
+                    Strategy::Pfm => explorer.explore(layer, MapspaceKind::Pfm),
+                    Strategy::RubyS => explorer.explore(layer, MapspaceKind::RubyS),
+                    Strategy::PfmPadded => {
+                        let padded = padding::pad_to_array(layer, &arch, &constraints);
+                        explorer.explore(&padded, MapspaceKind::Pfm)
+                    }
+                };
+                match best {
+                    Some(b) => totals.add(&b.report, 1),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                points.push(SweepPoint {
+                    config: arch.name().to_string(),
+                    area_mm2: arch.area_mm2(),
+                    strategy,
+                    edp: totals.edp(),
+                });
+            }
+        }
+    }
+    points
+}
+
+/// The Pareto-optimal subset of points (minimal EDP for their area).
+pub fn pareto_frontier(points: &[SweepPoint]) -> Vec<&SweepPoint> {
+    let mut sorted: Vec<&SweepPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| a.area_mm2.total_cmp(&b.area_mm2).then(a.edp.total_cmp(&b.edp)));
+    let mut frontier: Vec<&SweepPoint> = Vec::new();
+    let mut best_edp = f64::INFINITY;
+    for p in sorted {
+        if p.edp < best_edp {
+            best_edp = p.edp;
+            frontier.push(p);
+        }
+    }
+    frontier
+}
+
+/// Renders the sweep and its Pareto frontier.
+pub fn render(points: &[SweepPoint], choice: SuiteChoice) -> String {
+    let label = match choice {
+        SuiteChoice::Resnet => "a: ResNet-50",
+        SuiteChoice::DeepBench => "b: DeepBench subselection",
+    };
+    let mut t = TextTable::new(vec![
+        "config".into(),
+        "area mm²".into(),
+        "strategy".into(),
+        "EDP".into(),
+    ]);
+    for p in points {
+        t.row(vec![
+            p.config.clone(),
+            format!("{:.1}", p.area_mm2),
+            p.strategy.name().to_string(),
+            format!("{:.3e}", p.edp),
+        ]);
+    }
+    let frontier = pareto_frontier(points);
+    let frontier_desc: Vec<String> = frontier
+        .iter()
+        .map(|p| format!("{} [{}]", p.config, p.strategy.name()))
+        .collect();
+    format!(
+        "Fig. 13{label}: EDP vs area over the array sweep\n{}Pareto frontier: {}\n",
+        t.render(),
+        frontier_desc.join(" -> ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ruby_s_traces_the_pareto_frontier() {
+        let points = run(&ExperimentBudget::quick(), SuiteChoice::Resnet);
+        assert!(!points.is_empty());
+        let frontier = pareto_frontier(&points);
+        assert!(
+            frontier.iter().all(|p| p.strategy == Strategy::RubyS),
+            "non-Ruby-S point on the frontier: {frontier:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_covers_all_strategies_per_config() {
+        let points = run(&ExperimentBudget::quick(), SuiteChoice::DeepBench);
+        let configs: std::collections::BTreeSet<&str> =
+            points.iter().map(|p| p.config.as_str()).collect();
+        for c in configs {
+            let n = points.iter().filter(|p| p.config == c).count();
+            assert_eq!(n, 3, "config {c} missing strategies");
+        }
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone() {
+        let points = run(&ExperimentBudget::quick(), SuiteChoice::Resnet);
+        let frontier = pareto_frontier(&points);
+        for w in frontier.windows(2) {
+            assert!(w[1].area_mm2 >= w[0].area_mm2);
+            assert!(w[1].edp < w[0].edp);
+        }
+    }
+
+    #[test]
+    fn render_labels_subfigure() {
+        let points = run(&ExperimentBudget::quick(), SuiteChoice::Resnet);
+        assert!(render(&points, SuiteChoice::Resnet).contains("Fig. 13a"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Fig. 14: per-configuration EDP improvement of Ruby-S over PFM across
+//! the PE-array sweep (2×7 … 16×16). The paper reports an average
+//! improvement around 24% for ResNet-50 (up to 55% on some
+//! configurations) and about 20% for the DeepBench subselection.
+
+use crate::common::{geomean, ExperimentBudget};
+use crate::fig13::{self, Strategy, SuiteChoice, SweepPoint};
+use crate::table::{pct_delta, TextTable};
+
+/// EDP ratios per configuration.
+#[derive(Debug, Clone)]
+pub struct ConfigImprovement {
+    /// Architecture name.
+    pub config: String,
+    /// Ruby-S EDP / PFM EDP (< 1.0 = improvement).
+    pub ruby_s_ratio: f64,
+    /// Padded-PFM EDP / PFM EDP.
+    pub padded_ratio: f64,
+}
+
+/// The study's outcome.
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// Which suite was swept.
+    pub choice: SuiteChoice,
+    /// Per-configuration improvements.
+    pub configs: Vec<ConfigImprovement>,
+    /// Geometric-mean Ruby-S ratio.
+    pub mean_ruby_s_ratio: f64,
+    /// Best (smallest) Ruby-S ratio.
+    pub best_ruby_s_ratio: f64,
+}
+
+/// Derives Fig. 14 from a Fig. 13 sweep (re-running the underlying
+/// searches).
+pub fn run(budget: &ExperimentBudget, choice: SuiteChoice) -> Study {
+    from_points(&fig13::run(budget, choice), choice)
+}
+
+/// Computes the improvement table from existing sweep points.
+pub fn from_points(points: &[SweepPoint], choice: SuiteChoice) -> Study {
+    let mut configs = Vec::new();
+    let mut names: Vec<&str> = points.iter().map(|p| p.config.as_str()).collect();
+    names.dedup();
+    for name in names {
+        let edp_of = |s: Strategy| {
+            points
+                .iter()
+                .find(|p| p.config == name && p.strategy == s)
+                .map(|p| p.edp)
+        };
+        if let (Some(pfm), Some(ruby), Some(padded)) = (
+            edp_of(Strategy::Pfm),
+            edp_of(Strategy::RubyS),
+            edp_of(Strategy::PfmPadded),
+        ) {
+            configs.push(ConfigImprovement {
+                config: name.to_string(),
+                ruby_s_ratio: ruby / pfm,
+                padded_ratio: padded / pfm,
+            });
+        }
+    }
+    let mean = geomean(configs.iter().map(|c| c.ruby_s_ratio));
+    let best = configs.iter().map(|c| c.ruby_s_ratio).fold(f64::INFINITY, f64::min);
+    Study { choice, configs, mean_ruby_s_ratio: mean, best_ruby_s_ratio: best }
+}
+
+/// Renders the study.
+pub fn render(study: &Study) -> String {
+    let label = match study.choice {
+        SuiteChoice::Resnet => "a: ResNet-50",
+        SuiteChoice::DeepBench => "b: DeepBench subselection",
+    };
+    let mut t = TextTable::new(vec![
+        "config".into(),
+        "Ruby-S EDP vs PFM".into(),
+        "PFM+pad EDP vs PFM".into(),
+    ]);
+    for c in &study.configs {
+        t.row(vec![
+            c.config.clone(),
+            pct_delta(c.ruby_s_ratio),
+            pct_delta(c.padded_ratio),
+        ]);
+    }
+    format!(
+        "Fig. 14{label}: per-configuration EDP improvement\n{}mean {}, best {}\n",
+        t.render(),
+        pct_delta(study.mean_ruby_s_ratio),
+        pct_delta(study.best_ruby_s_ratio),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_config_improves_or_ties() {
+        let study = run(&ExperimentBudget::quick(), SuiteChoice::Resnet);
+        assert!(!study.configs.is_empty());
+        for c in &study.configs {
+            assert!(
+                c.ruby_s_ratio <= 1.05,
+                "{}: Ruby-S should not lose, ratio {}",
+                c.config,
+                c.ruby_s_ratio
+            );
+        }
+        assert!(study.mean_ruby_s_ratio < 1.0, "mean {}", study.mean_ruby_s_ratio);
+    }
+
+    #[test]
+    fn from_points_reuses_sweep() {
+        let points = fig13::run(&ExperimentBudget::quick(), SuiteChoice::DeepBench);
+        let study = from_points(&points, SuiteChoice::DeepBench);
+        assert_eq!(study.configs.len(), points.len() / 3);
+        assert!(render(&study).contains("Fig. 14b"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Fig. 7: quality of the best mapping found vs number of evaluated
+//! mappings, for PFM / Ruby / Ruby-S / Ruby-T on four toy scenarios:
+//!
+//! * (a) GEMM over two 100×100 tensors, 5 linear PEs (aligned),
+//! * (b) the same GEMM on 16 PEs (misaligned),
+//! * (c) a 3×3×64 filter over a 28×28×64 image, 8 PEs, C/M spatial only
+//!   (aligned),
+//! * (d) the same convolution on 15 PEs (misaligned).
+//!
+//! Each PE carries a 1 KiB scratchpad, as in the paper. The search is
+//! plain random sampling; traces are averaged over `budget.repeats` runs
+//! ("we only evaluate the first 10,000 generated mappings over 100 runs
+//! to average out the effect of the stochastic search algorithm").
+
+use ruby_core::prelude::*;
+
+use crate::common::ExperimentBudget;
+use crate::table::TextTable;
+
+/// Checkpoints (mappings evaluated) at which the best EDP is recorded.
+pub const CHECKPOINTS: [u64; 7] = [10, 30, 100, 300, 1_000, 3_000, 10_000];
+
+/// One toy scenario of Fig. 7.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Sub-figure label ("a" through "d").
+    pub label: &'static str,
+    /// Human-readable description.
+    pub description: &'static str,
+    /// The mapspaces under comparison, keyed by kind.
+    pub spaces: Vec<Mapspace>,
+}
+
+/// Averaged best-EDP-so-far for one scenario: `traces[kind][checkpoint]`
+/// (`f64::INFINITY` until the first valid mapping appears).
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario's label.
+    pub label: &'static str,
+    /// The scenario's description.
+    pub description: &'static str,
+    /// Per-kind averaged traces, in [`MapspaceKind::ALL`] order.
+    pub traces: [Vec<f64>; 4],
+}
+
+/// Builds the four scenarios.
+pub fn scenarios() -> Vec<Scenario> {
+    let gemm = suites::toy_gemm_100();
+    let conv = suites::toy_conv_28();
+    let mk = |shape: &ProblemShape, pes: u64, constrained: bool| -> Vec<Mapspace> {
+        MapspaceKind::ALL
+            .iter()
+            .map(|&kind| {
+                let arch = presets::toy_linear(pes, 1024);
+                let space = Mapspace::new(arch, shape.clone(), kind);
+                if constrained {
+                    space.with_constraints(Constraints::toy_cm(2))
+                } else {
+                    space
+                }
+            })
+            .collect()
+    };
+    vec![
+        Scenario {
+            label: "a",
+            description: "GEMM 100x100x100, 5 PEs (aligned)",
+            spaces: mk(&gemm, 5, false),
+        },
+        Scenario {
+            label: "b",
+            description: "GEMM 100x100x100, 16 PEs (misaligned)",
+            spaces: mk(&gemm, 16, false),
+        },
+        Scenario {
+            label: "c",
+            description: "conv 3x3x64 on 28x28x64, 8 PEs, C/M spatial (aligned)",
+            spaces: mk(&conv, 8, true),
+        },
+        Scenario {
+            label: "d",
+            description: "conv 3x3x64 on 28x28x64, 15 PEs, C/M spatial (misaligned)",
+            spaces: mk(&conv, 15, true),
+        },
+    ]
+}
+
+/// Runs the full Fig. 7 study.
+pub fn run(budget: &ExperimentBudget) -> Vec<ScenarioResult> {
+    scenarios()
+        .into_iter()
+        .map(|scenario| {
+            let traces = std::array::from_fn(|k| {
+                averaged_trace(&scenario.spaces[k], budget)
+            });
+            ScenarioResult {
+                label: scenario.label,
+                description: scenario.description,
+                traces,
+            }
+        })
+        .collect()
+}
+
+/// Average best-EDP at each checkpoint over `budget.repeats` independent
+/// random-search runs of one mapspace.
+pub fn averaged_trace(space: &Mapspace, budget: &ExperimentBudget) -> Vec<f64> {
+    let max_evals = budget.max_evaluations.min(*CHECKPOINTS.last().expect("non-empty"));
+    let checkpoints: Vec<u64> =
+        CHECKPOINTS.iter().copied().filter(|&c| c <= max_evals).collect();
+    let mut sums = vec![0.0f64; checkpoints.len()];
+    let mut counts = vec![0u64; checkpoints.len()];
+    for rep in 0..budget.repeats {
+        let config = SearchConfig {
+            seed: budget.seed + 1000 * rep as u64,
+            max_evaluations: Some(max_evals),
+            termination: None,
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let outcome = ruby_core::search::search(space, &config);
+        for (i, &cp) in checkpoints.iter().enumerate() {
+            // Best cost achieved at or before this checkpoint.
+            let best = outcome
+                .trace
+                .iter()
+                .take_while(|&&(e, _)| e <= cp)
+                .map(|&(_, c)| c)
+                .last();
+            if let Some(best) = best {
+                sums[i] += best;
+                counts[i] += 1;
+            }
+        }
+    }
+    checkpoints
+        .iter()
+        .enumerate()
+        .map(|(i, _)| if counts[i] > 0 { sums[i] / counts[i] as f64 } else { f64::INFINITY })
+        .collect()
+}
+
+/// Renders the study as one table per scenario.
+pub fn render(results: &[ScenarioResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&format!("Fig. 7({}): {}\n", r.label, r.description));
+        let mut header = vec!["evaluated".to_string()];
+        header.extend(MapspaceKind::ALL.iter().map(|k| k.name().to_string()));
+        let mut table = TextTable::new(header);
+        let rows = r.traces.iter().map(Vec::len).max().unwrap_or(0);
+        for (i, &cp) in CHECKPOINTS.iter().take(rows).enumerate() {
+            let mut row = vec![cp.to_string()];
+            for trace in &r.traces {
+                row.push(match trace.get(i) {
+                    Some(v) if v.is_finite() => format!("{v:.3e}"),
+                    _ => "-".to_string(),
+                });
+            }
+            table.row(row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_match_paper_setup() {
+        let s = scenarios();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].spaces.len(), 4);
+        assert_eq!(s[1].spaces[0].arch().total_mac_units(), 16);
+        assert_eq!(s[3].spaces[0].arch().total_mac_units(), 15);
+        // The conv scenarios restrict spatial dims to C and M.
+        assert!(s[2].spaces[0].constraints().spatial_x(0).contains(Dim::C));
+        assert!(!s[2].spaces[0].constraints().spatial_x(0).contains(Dim::Q));
+    }
+
+    #[test]
+    fn traces_improve_monotonically() {
+        let budget = ExperimentBudget { repeats: 2, max_evaluations: 300, ..ExperimentBudget::quick() };
+        let space = &scenarios()[1].spaces[2]; // Ruby-S on 16 PEs
+        let trace = averaged_trace(space, &budget);
+        let finite: Vec<f64> = trace.into_iter().filter(|v| v.is_finite()).collect();
+        assert!(!finite.is_empty());
+        assert!(finite.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+    }
+
+    #[test]
+    fn misaligned_gemm_favors_imperfect_spaces() {
+        // Fig. 7b: on 16 PEs the best Ruby-S mapping must beat the best
+        // PFM mapping (100 shares no factor ≥ 10 with 16).
+        let budget = ExperimentBudget { repeats: 2, max_evaluations: 2_000, ..ExperimentBudget::quick() };
+        let r = run(&budget);
+        let b = &r[1];
+        let last_pfm = *b.traces[0].last().unwrap();
+        let last_ruby_s = *b.traces[2].last().unwrap();
+        assert!(
+            last_ruby_s < last_pfm,
+            "Ruby-S {last_ruby_s} should beat PFM {last_pfm} on 16 PEs"
+        );
+    }
+
+    #[test]
+    fn render_contains_all_scenarios() {
+        let budget =
+            ExperimentBudget { repeats: 1, max_evaluations: 100, ..ExperimentBudget::quick() };
+        let results = run(&budget);
+        let s = render(&results);
+        for label in ["7(a)", "7(b)", "7(c)", "7(d)"] {
+            assert!(s.contains(label), "missing {label}:\n{s}");
+        }
+        assert!(s.contains("Ruby-S"));
+    }
+}

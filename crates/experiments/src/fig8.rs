@@ -1,0 +1,131 @@
+//! Fig. 8: sweeping the dimension size of a rank-1 allocation over a
+//! 16-PE linear array, comparing the best PFM mapping, the best PFM
+//! mapping after padding to a multiple of 16, and the best Ruby-S
+//! mapping. EDP is reported normalized to Ruby-S (the paper's "lower is
+//! better" normalization).
+
+use ruby_core::prelude::*;
+
+use crate::common::ExperimentBudget;
+use crate::table::TextTable;
+
+/// The swept dimension sizes. 113 and 127 are the paper's callouts: both
+/// prime, so PFM cannot parallelize them at all; 127 pads cheaply to 128
+/// while 113 pads to 128 with ≈12% ineffectual work.
+pub const SIZES: [u64; 10] = [96, 100, 104, 108, 112, 113, 120, 124, 127, 128];
+
+/// One swept point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// The dimension size.
+    pub size: u64,
+    /// Best-EDP of PFM, normalized to Ruby-S.
+    pub pfm_vs_ruby_s: f64,
+    /// Best-EDP of PFM on the padded problem, normalized to Ruby-S.
+    pub padded_vs_ruby_s: f64,
+    /// Absolute Ruby-S EDP (the normalization base).
+    pub ruby_s_edp: f64,
+}
+
+/// Runs the sweep with the paper's 16-PE toy array.
+pub fn run(budget: &ExperimentBudget) -> Vec<Point> {
+    run_for(budget, 16, &SIZES)
+}
+
+/// Runs the sweep for an arbitrary array width and size set.
+pub fn run_for(budget: &ExperimentBudget, pes: u64, sizes: &[u64]) -> Vec<Point> {
+    let arch = presets::toy_linear(pes, 1024);
+    let constraints = Constraints::unconstrained(2);
+    let explorer = Explorer::new(arch.clone()).with_search(budget.search_config());
+    sizes
+        .iter()
+        .map(|&size| {
+            let shape = ProblemShape::rank1(format!("d{size}"), size);
+            let pfm = explorer
+                .explore(&shape, MapspaceKind::Pfm)
+                .expect("rank-1 problems always admit the serial mapping");
+            let ruby_s = explorer
+                .explore(&shape, MapspaceKind::RubyS)
+                .expect("Ruby-S is a superset of PFM");
+            let padded_shape = padding::pad_to_array(&shape, &arch, &constraints);
+            let padded = explorer
+                .explore(&padded_shape, MapspaceKind::Pfm)
+                .expect("padded problems admit the serial mapping");
+            Point {
+                size,
+                pfm_vs_ruby_s: pfm.report.edp() / ruby_s.report.edp(),
+                padded_vs_ruby_s: padded.report.edp() / ruby_s.report.edp(),
+                ruby_s_edp: ruby_s.report.edp(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+pub fn render(points: &[Point]) -> String {
+    let mut t = TextTable::new(vec![
+        "D".into(),
+        "PFM / Ruby-S".into(),
+        "PFM+pad / Ruby-S".into(),
+        "Ruby-S EDP".into(),
+    ]);
+    for p in points {
+        t.row(vec![
+            p.size.to_string(),
+            format!("{:.3}", p.pfm_vs_ruby_s),
+            format!("{:.3}", p.padded_vs_ruby_s),
+            format!("{:.3e}", p.ruby_s_edp),
+        ]);
+    }
+    format!("Fig. 8: rank-1 sweep over a 16-PE array (normalized to Ruby-S; 1.0 = parity)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget() -> ExperimentBudget {
+        ExperimentBudget { max_evaluations: 2_000, ..ExperimentBudget::quick() }
+    }
+
+    #[test]
+    fn prime_sizes_punish_pfm() {
+        let pts = run_for(&budget(), 16, &[113, 127]);
+        for p in &pts {
+            assert!(
+                p.pfm_vs_ruby_s > 2.0,
+                "D={}: PFM should be far worse than Ruby-S, got {:.2}",
+                p.size,
+                p.pfm_vs_ruby_s
+            );
+        }
+    }
+
+    #[test]
+    fn aligned_sizes_reach_parity() {
+        let pts = run_for(&budget(), 16, &[128]);
+        assert!(
+            (0.9..1.1).contains(&pts[0].pfm_vs_ruby_s),
+            "D=128 should be near parity, got {:.3}",
+            pts[0].pfm_vs_ruby_s
+        );
+    }
+
+    #[test]
+    fn padding_costs_more_at_113_than_127() {
+        // The paper: at D=127 padding adds one ineffectual MAC (cheap);
+        // at D=113 it adds 15 (≈12% overhead).
+        let pts = run_for(&budget(), 16, &[113, 127]);
+        assert!(pts[0].padded_vs_ruby_s > pts[1].padded_vs_ruby_s);
+        assert!(pts[1].padded_vs_ruby_s < 1.1, "127→128 padding is nearly free");
+        assert!(pts[0].padded_vs_ruby_s > 1.05, "113→128 padding is not free");
+    }
+
+    #[test]
+    fn render_has_every_size() {
+        let pts = run_for(&budget(), 16, &[96, 113]);
+        let s = render(&pts);
+        assert!(s.contains("96"));
+        assert!(s.contains("113"));
+    }
+}

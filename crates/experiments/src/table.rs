@@ -1,0 +1,163 @@
+//! Minimal text-table rendering for experiment reports.
+
+/// A simple left-padded text table.
+///
+/// # Examples
+///
+/// ```
+/// use ruby_experiments::table::TextTable;
+///
+/// let mut t = TextTable::new(vec!["layer".into(), "EDP".into()]);
+/// t.row(vec!["conv1".into(), "0.86".into()]);
+/// let s = t.render();
+/// assert!(s.contains("conv1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "a table needs at least one column");
+        TextTable { header, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, row: Vec<String>) -> &mut Self {
+        assert_eq!(row.len(), self.header.len(), "row width must match the header");
+        self.rows.push(row);
+        self
+    }
+
+    /// The number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                // Right-align numeric-looking cells, left-align labels.
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TextTable {
+    /// Renders the table as CSV (RFC 4180-style quoting for cells
+    /// containing commas, quotes or newlines).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let quote = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let emit = |row: &[String], out: &mut String| {
+            let cells: Vec<String> = row.iter().map(|c| quote(c)).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a ratio as a percentage delta vs 1.0 (e.g. 0.86 → "-14.0%").
+pub fn pct_delta(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+/// Formats a float in compact scientific notation.
+pub fn sci(x: f64) -> String {
+    format!("{x:.3e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_rendering_quotes_when_needed() {
+        let mut t = TextTable::new(vec!["name".into(), "note".into()]);
+        t.row(vec!["plain".into(), "a,b".into()]);
+        t.row(vec!["quoted\"x".into(), "fine".into()]);
+        let csv = t.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,note");
+        assert_eq!(lines[1], "plain,\"a,b\"");
+        assert_eq!(lines[2], "\"quoted\"\"x\",fine");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct_delta(0.86), "-14.0%");
+        assert_eq!(pct_delta(1.10), "+10.0%");
+        assert!(sci(1234.5).contains('e'));
+    }
+}

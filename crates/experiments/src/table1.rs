@@ -1,0 +1,124 @@
+//! Table I: mapspace size (number of tilings) for a rank-1 tensor on a
+//! two-level hierarchy with a spatial fanout of 9, across tensor sizes
+//! 3…4096. PFM is additionally validity-filtered by exhaustive
+//! enumeration, as in the paper ("we generate the possible PFM
+//! combinations using eq (1) and further select only those mappings which
+//! are valid").
+
+use ruby_core::prelude::*;
+
+use crate::table::TextTable;
+
+/// The tensor sizes of Table I.
+pub const SIZES: [u64; 8] = [3, 9, 24, 99, 625, 1000, 2048, 4096];
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Tensor size `D`.
+    pub size: u64,
+    /// Total PFM tilings.
+    pub pfm: u128,
+    /// PFM tilings surviving the validity filter (capacity + fanout).
+    pub pfm_valid: u128,
+    /// Ruby (unconstrained) tilings.
+    pub ruby: u128,
+    /// Ruby-S tilings.
+    pub ruby_s: u128,
+    /// Ruby-T tilings.
+    pub ruby_t: u128,
+}
+
+/// Computes Table I for the paper's setup (9 PEs, 1 KiB scratchpads).
+pub fn run() -> Vec<Row> {
+    run_for(9, 1024, &SIZES)
+}
+
+/// Computes the table for an arbitrary fanout/scratchpad/size set.
+pub fn run_for(pes: u64, scratch_bytes: u64, sizes: &[u64]) -> Vec<Row> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let shape = ProblemShape::rank1(format!("d{size}"), size);
+            let arch = presets::toy_linear(pes, scratch_bytes);
+            let count = |kind| {
+                Mapspace::new(arch.clone(), shape.clone(), kind).count_tilings()
+            };
+            let pfm_space = Mapspace::new(arch.clone(), shape.clone(), MapspaceKind::Pfm);
+            let pfm_valid = pfm_space
+                .enumerate_perfect(usize::MAX)
+                .iter()
+                .filter(|m| evaluate(&arch, &shape, m, &ModelOptions::default()).is_ok())
+                .count() as u128;
+            Row {
+                size,
+                pfm: count(MapspaceKind::Pfm),
+                pfm_valid,
+                ruby: count(MapspaceKind::Ruby),
+                ruby_s: count(MapspaceKind::RubyS),
+                ruby_t: count(MapspaceKind::RubyT),
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = TextTable::new(vec![
+        "size".into(),
+        "PFM".into(),
+        "PFM(valid)".into(),
+        "Ruby-S".into(),
+        "Ruby-T".into(),
+        "Ruby".into(),
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.size.to_string(),
+            r.pfm.to_string(),
+            r.pfm_valid.to_string(),
+            r.ruby_s.to_string(),
+            r.ruby_t.to_string(),
+            r.ruby.to_string(),
+        ]);
+    }
+    format!("Table I: mapspace sizes (rank-1 tensor, 2 levels, fanout 9)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderings_match_paper() {
+        for row in run_for(9, 1024, &[24, 99, 625]) {
+            assert!(row.pfm_valid <= row.pfm, "size {}", row.size);
+            assert!(row.pfm <= row.ruby_s, "size {}", row.size);
+            assert!(row.ruby_s <= row.ruby_t, "size {}", row.size);
+            assert!(row.ruby_t <= row.ruby, "size {}", row.size);
+        }
+    }
+
+    #[test]
+    fn ruby_explodes_with_size() {
+        let rows = run_for(9, 1024, &[99, 4096]);
+        assert!(rows[1].ruby > rows[0].ruby * 100);
+        // Ruby-S stays manageable: within a small factor of PFM·fanout·D.
+        assert!(rows[1].ruby_s < rows[1].ruby / 100);
+    }
+
+    #[test]
+    fn tiny_prime_has_trivial_pfm_space() {
+        let rows = run_for(9, 1024, &[3]);
+        // 3 across (spad T, DRAM spatial, DRAM T) = 3 placements.
+        assert_eq!(rows[0].pfm, 3);
+        assert!(rows[0].pfm_valid >= 1);
+    }
+
+    #[test]
+    fn render_lists_all_sizes() {
+        let s = render(&run_for(9, 1024, &[3, 24]));
+        assert!(s.contains("Table I"));
+        assert!(s.contains("24"));
+    }
+}

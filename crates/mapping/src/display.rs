@@ -1,0 +1,137 @@
+//! Human-readable loop-nest rendering of mappings, in the style of the
+//! paper's Fig. 3.
+
+use std::fmt::Write as _;
+
+use ruby_workload::Dim;
+
+use crate::slots::{SlotId, SlotKind};
+use crate::Mapping;
+
+/// Renders `mapping` as an indented loop nest. Level names come from
+/// `level_names` (outermost first); trivial loops (count 1) are omitted.
+/// Imperfect loops are annotated with their residual trip count.
+///
+/// # Examples
+///
+/// ```
+/// use ruby_mapping::{display, Mapping, SlotKind};
+/// use ruby_workload::{Dim, DimMap};
+///
+/// let mut b = Mapping::builder(2);
+/// b.set_tile(Dim::M, 0, SlotKind::SpatialX, 6);
+/// let mut bounds = DimMap::splat(1u64);
+/// bounds[Dim::M] = 100;
+/// let m = b.build_for_bounds(&bounds).unwrap();
+/// let nest = display::render_loopnest(&m, &["DRAM", "PE"]);
+/// assert!(nest.contains("parFor"));
+/// ```
+pub fn render_loopnest(mapping: &Mapping, level_names: &[&str]) -> String {
+    let layout = *mapping.layout();
+    assert_eq!(
+        level_names.len(),
+        layout.num_levels(),
+        "need one name per storage level"
+    );
+    let mut out = String::new();
+    let mut indent = 0usize;
+    for level in 0..layout.num_levels() {
+        let _ = writeln!(out, "{:indent$}// {}", "", level_names[level], indent = indent);
+        // Temporal block, outermost dim first (permutation is stored
+        // innermost-first).
+        let t = layout.temporal_slot(level);
+        for &d in mapping.permutation(level).iter().rev() {
+            indent = write_loop(&mut out, mapping, d, t, "for", indent);
+        }
+        for kind in [SlotKind::SpatialX, SlotKind::SpatialY] {
+            let s = layout.slot(level, kind);
+            for d in Dim::ALL {
+                indent = write_loop(&mut out, mapping, d, s, "parFor", indent);
+            }
+        }
+    }
+    let _ = writeln!(out, "{:indent$}compute(MAC)", "", indent = indent);
+    out
+}
+
+fn write_loop(
+    out: &mut String,
+    mapping: &Mapping,
+    d: Dim,
+    slot: SlotId,
+    keyword: &str,
+    indent: usize,
+) -> usize {
+    let count = mapping.loop_count(d, slot);
+    if count <= 1 {
+        return indent;
+    }
+    let lower = d.letter().to_ascii_lowercase();
+    if mapping.has_remainder(d, slot) {
+        let chain = mapping.tile_chain(d);
+        let inner = chain[slot.index()];
+        let outer = chain[slot.index() + 1];
+        let residual = outer - (count - 1) * inner;
+        let _ = writeln!(
+            out,
+            "{:indent$}{keyword} {lower} in 0..{count}  // tile {inner}, last {residual}",
+            "",
+            indent = indent
+        );
+    } else {
+        let _ = writeln!(out, "{:indent$}{keyword} {lower} in 0..{count}", "", indent = indent);
+    }
+    indent + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruby_workload::DimMap;
+
+    fn bounds(m: u64, c: u64) -> DimMap<u64> {
+        let mut b = DimMap::splat(1u64);
+        b[Dim::M] = m;
+        b[Dim::C] = c;
+        b
+    }
+
+    #[test]
+    fn renders_spatial_and_temporal_loops() {
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, 5);
+        b.set_tile(Dim::C, 1, SlotKind::Temporal, 8);
+        let m = b.build_for_bounds(&bounds(100, 8)).unwrap();
+        let nest = render_loopnest(&m, &["DRAM", "PE"]);
+        assert!(nest.contains("// DRAM"));
+        assert!(nest.contains("// PE"));
+        assert!(nest.contains("parFor m in 0..5"));
+        assert!(nest.contains("for c in 0..8"));
+        assert!(nest.contains("compute(MAC)"));
+    }
+
+    #[test]
+    fn annotates_residuals() {
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, 6);
+        let m = b.build_for_bounds(&bounds(100, 1)).unwrap();
+        let nest = render_loopnest(&m, &["DRAM", "PE"]);
+        assert!(nest.contains("for m in 0..17"), "nest:\n{nest}");
+        assert!(nest.contains("last 4"), "nest:\n{nest}");
+    }
+
+    #[test]
+    fn omits_trivial_loops() {
+        let m = Mapping::builder(2).build_for_bounds(&bounds(1, 1)).unwrap();
+        let nest = render_loopnest(&m, &["DRAM", "PE"]);
+        assert!(!nest.contains("for "));
+        assert!(nest.contains("compute(MAC)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one name per storage level")]
+    fn wrong_name_count_panics() {
+        let m = Mapping::builder(2).build_for_bounds(&bounds(1, 1)).unwrap();
+        let _ = render_loopnest(&m, &["DRAM"]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Loop-slot layout: how storage levels map onto loop positions.
+//!
+//! Every storage level contributes three slots, outermost-to-innermost
+//! within the level: a **temporal** block, then **spatial-X**, then
+//! **spatial-Y** (the fanout below the level). Slots are numbered
+//! *innermost-first* globally, matching tile-chain indexing: slot `s`
+//! sits between chain boundaries `s` (inner) and `s + 1` (outer).
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a loop slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlotKind {
+    /// A temporal loop block at a storage level.
+    Temporal,
+    /// Spatial distribution along the X axis of the fanout below a level.
+    SpatialX,
+    /// Spatial distribution along the Y axis of the fanout below a level.
+    SpatialY,
+}
+
+impl SlotKind {
+    /// Whether the slot is spatial (X or Y).
+    pub const fn is_spatial(self) -> bool {
+        matches!(self, SlotKind::SpatialX | SlotKind::SpatialY)
+    }
+}
+
+/// An index into the global innermost-first slot ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SlotId(usize);
+
+impl SlotId {
+    /// Wraps a raw innermost-first slot index.
+    pub const fn new(index: usize) -> Self {
+        SlotId(index)
+    }
+
+    /// The raw innermost-first index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The slot layout for an architecture with a given number of storage
+/// levels.
+///
+/// # Examples
+///
+/// ```
+/// use ruby_mapping::{SlotKind, SlotLayout};
+///
+/// let layout = SlotLayout::new(3); // DRAM, GLB, PE
+/// assert_eq!(layout.num_slots(), 9);
+/// // The innermost slot is the innermost level's spatial-Y.
+/// let s0 = layout.kind_of(ruby_mapping::SlotId::new(0));
+/// assert_eq!(s0, SlotKind::SpatialY);
+/// assert_eq!(layout.level_of(ruby_mapping::SlotId::new(0)), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SlotLayout {
+    num_levels: usize,
+}
+
+impl SlotLayout {
+    /// Creates the layout for `num_levels` storage levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_levels` is zero.
+    pub fn new(num_levels: usize) -> Self {
+        assert!(num_levels > 0, "need at least one storage level");
+        SlotLayout { num_levels }
+    }
+
+    /// The number of storage levels.
+    pub fn num_levels(&self) -> usize {
+        self.num_levels
+    }
+
+    /// Total slots: three per level.
+    pub fn num_slots(&self) -> usize {
+        3 * self.num_levels
+    }
+
+    /// The slot of `kind` at storage `level` (0 = outermost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn slot(&self, level: usize, kind: SlotKind) -> SlotId {
+        assert!(level < self.num_levels, "level {level} out of range");
+        let base = 3 * (self.num_levels - 1 - level);
+        let offset = match kind {
+            SlotKind::SpatialY => 0,
+            SlotKind::SpatialX => 1,
+            SlotKind::Temporal => 2,
+        };
+        SlotId(base + offset)
+    }
+
+    /// Convenience: the temporal slot of `level`.
+    pub fn temporal_slot(&self, level: usize) -> SlotId {
+        self.slot(level, SlotKind::Temporal)
+    }
+
+    /// Convenience: the spatial-X slot of `level`.
+    pub fn spatial_x_slot(&self, level: usize) -> SlotId {
+        self.slot(level, SlotKind::SpatialX)
+    }
+
+    /// Convenience: the spatial-Y slot of `level`.
+    pub fn spatial_y_slot(&self, level: usize) -> SlotId {
+        self.slot(level, SlotKind::SpatialY)
+    }
+
+    /// The storage level a slot belongs to.
+    pub fn level_of(&self, slot: SlotId) -> usize {
+        self.num_levels - 1 - slot.index() / 3
+    }
+
+    /// The kind of a slot.
+    pub fn kind_of(&self, slot: SlotId) -> SlotKind {
+        match slot.index() % 3 {
+            0 => SlotKind::SpatialY,
+            1 => SlotKind::SpatialX,
+            _ => SlotKind::Temporal,
+        }
+    }
+
+    /// The chain-boundary index of the tile *stored at* `level`: the tile
+    /// covering the level's temporal block and everything inside.
+    pub fn storage_boundary(&self, level: usize) -> usize {
+        assert!(level < self.num_levels, "level {level} out of range");
+        3 * (self.num_levels - level)
+    }
+
+    /// Iterates all slots innermost-first.
+    pub fn iter(&self) -> impl Iterator<Item = SlotId> {
+        (0..self.num_slots()).map(SlotId)
+    }
+
+    /// Iterates the slots strictly *outside* chain boundary `b`,
+    /// innermost-first (i.e. slots `b, b+1, …`).
+    pub fn slots_outside(&self, b: usize) -> impl Iterator<Item = SlotId> {
+        (b..self.num_slots()).map(SlotId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_level_layout_geometry() {
+        let l = SlotLayout::new(3);
+        assert_eq!(l.num_slots(), 9);
+        // Innermost level (2): SY=0, SX=1, T=2.
+        assert_eq!(l.slot(2, SlotKind::SpatialY).index(), 0);
+        assert_eq!(l.slot(2, SlotKind::SpatialX).index(), 1);
+        assert_eq!(l.slot(2, SlotKind::Temporal).index(), 2);
+        // Outermost level (0): SY=6, SX=7, T=8.
+        assert_eq!(l.slot(0, SlotKind::Temporal).index(), 8);
+        // Round trips.
+        for s in l.iter() {
+            let lev = l.level_of(s);
+            let kind = l.kind_of(s);
+            assert_eq!(l.slot(lev, kind), s);
+        }
+    }
+
+    #[test]
+    fn storage_boundaries() {
+        let l = SlotLayout::new(3);
+        // Innermost level's tile includes its own three slots.
+        assert_eq!(l.storage_boundary(2), 3);
+        assert_eq!(l.storage_boundary(1), 6);
+        assert_eq!(l.storage_boundary(0), 9);
+    }
+
+    #[test]
+    fn slots_outside_boundary() {
+        let l = SlotLayout::new(2);
+        let outside: Vec<usize> = l.slots_outside(3).map(SlotId::index).collect();
+        assert_eq!(outside, vec![3, 4, 5]);
+        // Outside the outermost boundary: nothing.
+        assert_eq!(l.slots_outside(6).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_level_panics() {
+        let l = SlotLayout::new(2);
+        let _ = l.slot(2, SlotKind::Temporal);
+    }
+}

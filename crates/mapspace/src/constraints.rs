@@ -1,0 +1,225 @@
+//! Mapping constraints: which dimensions each spatial axis may
+//! parallelize. These play the role of Timeloop's mapspace constraint
+//! files (the paper constrains its Eyeriss baseline "to generate mappings
+//! that conform to the data access patterns amenable to row-stationary
+//! dataflows", and its Simba PEs to C/M parallelism).
+
+use serde::{Deserialize, Serialize};
+
+use ruby_workload::Dim;
+
+/// A small set of problem dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use ruby_mapspace::DimSet;
+/// use ruby_workload::Dim;
+///
+/// let set = DimSet::from_dims(&[Dim::C, Dim::M]);
+/// assert!(set.contains(Dim::C));
+/// assert!(!set.contains(Dim::Q));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DimSet(u8);
+
+impl DimSet {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        DimSet(0)
+    }
+
+    /// The set of all seven dimensions.
+    pub const fn all() -> Self {
+        DimSet(0x7f)
+    }
+
+    /// Builds a set from a dimension slice.
+    pub fn from_dims(dims: &[Dim]) -> Self {
+        let mut s = DimSet::empty();
+        for &d in dims {
+            s.insert(d);
+        }
+        s
+    }
+
+    /// Adds a dimension.
+    pub fn insert(&mut self, dim: Dim) {
+        self.0 |= 1 << dim.index();
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(&self, dim: Dim) -> bool {
+        self.0 & (1 << dim.index()) != 0
+    }
+
+    /// Iterates the members in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = Dim> + '_ {
+        Dim::ALL.into_iter().filter(|d| self.contains(*d))
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for DimSet {
+    fn default() -> Self {
+        DimSet::all()
+    }
+}
+
+/// Per-level spatial-axis dimension filters. A dimension not in the
+/// allowed set of an axis cannot receive a spatial factor greater than 1
+/// there.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Constraints {
+    spatial_x: Vec<DimSet>,
+    spatial_y: Vec<DimSet>,
+    exclusive_spatial: bool,
+}
+
+impl Constraints {
+    /// No restrictions: every dimension may use every spatial axis.
+    pub fn unconstrained(num_levels: usize) -> Self {
+        Constraints {
+            spatial_x: vec![DimSet::all(); num_levels],
+            spatial_y: vec![DimSet::all(); num_levels],
+            exclusive_spatial: false,
+        }
+    }
+
+    /// Requires each spatial axis to parallelize a *single* dimension —
+    /// the shape physical accelerator arrays (and Timeloop constraint
+    /// files for them) typically impose: one logical dim per physical
+    /// axis.
+    pub fn with_exclusive_spatial(mut self) -> Self {
+        self.exclusive_spatial = true;
+        self
+    }
+
+    /// Whether each spatial axis is restricted to one dimension.
+    pub fn exclusive_spatial(&self) -> bool {
+        self.exclusive_spatial
+    }
+
+    /// Restricts the spatial-X axis below `level` to `dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn with_spatial_x(mut self, level: usize, dims: &[Dim]) -> Self {
+        self.spatial_x[level] = DimSet::from_dims(dims);
+        self
+    }
+
+    /// Restricts the spatial-Y axis below `level` to `dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn with_spatial_y(mut self, level: usize, dims: &[Dim]) -> Self {
+        self.spatial_y[level] = DimSet::from_dims(dims);
+        self
+    }
+
+    /// Allowed dims on the spatial-X axis below `level`.
+    pub fn spatial_x(&self, level: usize) -> DimSet {
+        self.spatial_x[level]
+    }
+
+    /// Allowed dims on the spatial-Y axis below `level`.
+    pub fn spatial_y(&self, level: usize) -> DimSet {
+        self.spatial_y[level]
+    }
+
+    /// Number of levels covered.
+    pub fn num_levels(&self) -> usize {
+        self.spatial_x.len()
+    }
+
+    /// The paper's Eyeriss baseline constraints: array columns
+    /// parallelize output positions (`Q`, with `M` replication allowed),
+    /// array rows parallelize output channels / filter rows / output rows
+    /// (`M`, `P`, `R`) — the shapes a row-stationary dataflow supports.
+    /// `level` is the index of the level whose fanout is the PE array
+    /// (1 for the presets' DRAM/GLB/PE hierarchy).
+    pub fn eyeriss_row_stationary(num_levels: usize, level: usize) -> Self {
+        Constraints::unconstrained(num_levels)
+            .with_spatial_x(level, &[Dim::Q, Dim::M])
+            .with_spatial_y(level, &[Dim::M, Dim::P, Dim::R])
+            .with_exclusive_spatial()
+    }
+
+    /// The paper's Simba constraints: PE-level parallelism across the
+    /// input-channel (`C`) and output-channel (`M`) dimensions, both at
+    /// the GLB→PE fanout (`glb_level`) and across the vector-MAC lanes
+    /// (`pe_level`).
+    pub fn simba_cm(num_levels: usize, glb_level: usize, pe_level: usize) -> Self {
+        Constraints::unconstrained(num_levels)
+            .with_spatial_x(glb_level, &[Dim::C, Dim::M])
+            .with_spatial_y(glb_level, &[])
+            .with_spatial_x(pe_level, &[Dim::C, Dim::M])
+            .with_spatial_y(pe_level, &[])
+    }
+
+    /// The Fig. 7c/d toy constraint: only `C` and `M` may map onto the
+    /// PEs (the toy has its PE fanout below DRAM, level 0).
+    pub fn toy_cm(num_levels: usize) -> Self {
+        Constraints::unconstrained(num_levels)
+            .with_spatial_x(0, &[Dim::C, Dim::M])
+            .with_spatial_y(0, &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimset_membership() {
+        let mut s = DimSet::empty();
+        assert!(s.is_empty());
+        s.insert(Dim::P);
+        assert!(s.contains(Dim::P));
+        assert!(!s.contains(Dim::Q));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Dim::P]);
+        assert_eq!(DimSet::all().iter().count(), 7);
+    }
+
+    #[test]
+    fn unconstrained_allows_everything() {
+        let c = Constraints::unconstrained(3);
+        for l in 0..3 {
+            for d in Dim::ALL {
+                assert!(c.spatial_x(l).contains(d));
+                assert!(c.spatial_y(l).contains(d));
+            }
+        }
+    }
+
+    #[test]
+    fn eyeriss_constraints_shape() {
+        let c = Constraints::eyeriss_row_stationary(3, 1);
+        assert!(c.spatial_x(1).contains(Dim::Q));
+        assert!(c.spatial_x(1).contains(Dim::M));
+        assert!(!c.spatial_x(1).contains(Dim::C));
+        assert!(c.spatial_y(1).contains(Dim::R));
+        assert!(!c.spatial_y(1).contains(Dim::S));
+        // Other levels stay unconstrained.
+        assert!(c.spatial_x(0).contains(Dim::C));
+    }
+
+    #[test]
+    fn simba_constraints_shape() {
+        let c = Constraints::simba_cm(3, 1, 2);
+        for l in [1, 2] {
+            assert!(c.spatial_x(l).contains(Dim::C));
+            assert!(c.spatial_x(l).contains(Dim::M));
+            assert!(!c.spatial_x(l).contains(Dim::Q));
+            assert!(c.spatial_y(l).is_empty());
+        }
+    }
+}

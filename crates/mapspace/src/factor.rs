@@ -1,0 +1,313 @@
+//! Index-factorization arithmetic: primes, divisors, ordered
+//! factorizations (enumeration, counting, uniform-ish sampling).
+//!
+//! Perfect-factorization mapspaces assign every prime factor of a
+//! dimension bound to one loop slot; the helpers here implement that
+//! machinery plus the counting used by the Table I mapspace-size study.
+
+use rand::Rng;
+
+/// The prime factorization of `n` as `(prime, multiplicity)` pairs in
+/// increasing prime order. `factorize(1)` is empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ruby_mapspace::factor::factorize(360), vec![(2, 3), (3, 2), (5, 1)]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    assert!(n > 0, "cannot factorize zero");
+    let mut out = Vec::new();
+    let mut p = 2u64;
+    while p * p <= n {
+        if n % p == 0 {
+            let mut m = 0;
+            while n % p == 0 {
+                n /= p;
+                m += 1;
+            }
+            out.push((p, m));
+        }
+        p += if p == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        out.push((n, 1));
+    }
+    out
+}
+
+/// The flattened prime list of `n` (each prime repeated by multiplicity).
+pub fn prime_list(n: u64) -> Vec<u64> {
+    factorize(n)
+        .into_iter()
+        .flat_map(|(p, m)| std::iter::repeat(p).take(m as usize))
+        .collect()
+}
+
+/// All divisors of `n` in increasing order.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ruby_mapspace::factor::divisors(12), vec![1, 2, 3, 4, 6, 12]);
+/// ```
+pub fn divisors(n: u64) -> Vec<u64> {
+    let mut out = vec![1u64];
+    for (p, m) in factorize(n) {
+        let base = out.clone();
+        let mut pk = 1u64;
+        for _ in 0..m {
+            pk *= p;
+            out.extend(base.iter().map(|d| d * pk));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Number of ordered factorizations of `n` into exactly `k` factors
+/// (order matters, factors ≥ 1). This is the size of a `k`-slot
+/// perfect-factorization space for one dimension with no caps:
+/// multiplicative over prime powers, `C(m + k − 1, k − 1)` per prime of
+/// multiplicity `m`.
+///
+/// # Examples
+///
+/// ```
+/// // 12 = 2²·3 into 2 slots: 3 ways for the 2s × 2 ways for the 3.
+/// assert_eq!(ruby_mapspace::factor::count_ordered_factorizations(12, 2), 6);
+/// ```
+pub fn count_ordered_factorizations(n: u64, k: usize) -> u128 {
+    if k == 0 {
+        return u128::from(n == 1);
+    }
+    factorize(n)
+        .into_iter()
+        .map(|(_, m)| binomial(m as u128 + k as u128 - 1, k as u128 - 1))
+        .product()
+}
+
+fn binomial(n: u128, k: u128) -> u128 {
+    let k = k.min(n - k.min(n));
+    let mut acc = 1u128;
+    for i in 0..k {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+    }
+    acc
+}
+
+/// Number of ordered factorizations of `n` over slots with per-slot caps
+/// (`None` = uncapped). Exact DP over the divisors of `n`.
+pub fn count_capped_factorizations(n: u64, caps: &[Option<u64>]) -> u128 {
+    let divs = divisors(n);
+    let index_of = |d: u64| divs.binary_search(&d).expect("divisor");
+    // ways[i] = number of ways for the remaining quotient divs[i] using
+    // the slots processed so far.
+    let mut ways = vec![0u128; divs.len()];
+    ways[index_of(n)] = 1;
+    for cap in caps {
+        let mut next = vec![0u128; divs.len()];
+        for (i, &q) in divs.iter().enumerate() {
+            if ways[i] == 0 {
+                continue;
+            }
+            for &f in &divs {
+                if f > q || q % f != 0 {
+                    continue;
+                }
+                if let Some(c) = cap {
+                    if f > *c {
+                        continue;
+                    }
+                }
+                next[index_of(q / f)] = next[index_of(q / f)].saturating_add(ways[i]);
+            }
+        }
+        ways = next;
+    }
+    ways[index_of(1)]
+}
+
+/// Number of non-decreasing chains `1 = c_0 ≤ c_1 ≤ … ≤ c_k = n` where
+/// step `i` (from `c_i` to `c_{i+1}`) obeys `ceil(c_{i+1}/c_i) ≤ cap_i`
+/// (`None` = uncapped). This is the per-dimension size of the fully
+/// imperfect (Ruby) tiling space.
+pub fn count_free_chains(n: u64, caps: &[Option<u64>]) -> u128 {
+    // ways[v] = chains reaching value v (1-indexed).
+    let n_us = n as usize;
+    let mut ways = vec![0u128; n_us + 1];
+    ways[1] = 1;
+    for cap in caps {
+        // prefix[v] = Σ_{u ≤ v} ways[u]
+        let mut prefix = vec![0u128; n_us + 1];
+        for v in 1..=n_us {
+            prefix[v] = prefix[v - 1].saturating_add(ways[v]);
+        }
+        let mut next = vec![0u128; n_us + 1];
+        for (v, slot) in next.iter_mut().enumerate().skip(1) {
+            // Reachable from u where u ≤ v and ceil(v/u) ≤ cap, i.e.
+            // u ≥ ceil(v / cap).
+            let lo = match cap {
+                Some(c) => (v as u64).div_ceil(*c) as usize,
+                None => 1,
+            };
+            if lo <= v {
+                *slot = prefix[v].saturating_sub(prefix[lo.saturating_sub(1)]);
+            }
+        }
+        ways = next;
+    }
+    ways[n_us]
+}
+
+/// Assigns the prime factors of `n` to `k` slots uniformly at random,
+/// honouring per-slot caps (`None` = uncapped). Returns the per-slot
+/// factors (product = `n`), or `None` if the caps cannot absorb a prime.
+pub fn sample_factor_assignment<R: Rng + ?Sized>(
+    n: u64,
+    caps: &[Option<u64>],
+    rng: &mut R,
+) -> Option<Vec<u64>> {
+    let mut slots = vec![1u64; caps.len()];
+    let mut primes = prime_list(n);
+    // Place large primes first so caps fail fast and fairly.
+    primes.sort_unstable_by(|a, b| b.cmp(a));
+    for p in primes {
+        let feasible: Vec<usize> = (0..slots.len())
+            .filter(|&i| match caps[i] {
+                Some(c) => slots[i].saturating_mul(p) <= c,
+                None => true,
+            })
+            .collect();
+        if feasible.is_empty() {
+            return None;
+        }
+        let pick = feasible[rng.gen_range(0..feasible.len())];
+        slots[pick] *= p;
+    }
+    Some(slots)
+}
+
+/// Samples a value log-uniformly from `[1, max]` (inclusive): each
+/// binary order of magnitude is roughly equally likely. Used by the
+/// imperfect-factorization samplers so tile sizes spread across scales.
+pub fn sample_log_uniform<R: Rng + ?Sized>(max: u64, rng: &mut R) -> u64 {
+    if max <= 1 {
+        return 1;
+    }
+    let exp = rng.gen_range(0.0..(max as f64).log2() + 1.0);
+    (2f64.powf(exp) as u64).clamp(1, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn factorize_small_numbers() {
+        assert_eq!(factorize(1), vec![]);
+        assert_eq!(factorize(2), vec![(2, 1)]);
+        assert_eq!(factorize(100), vec![(2, 2), (5, 2)]);
+        assert_eq!(factorize(113), vec![(113, 1)]);
+        assert_eq!(factorize(4096), vec![(2, 12)]);
+    }
+
+    #[test]
+    fn prime_list_expands_multiplicity() {
+        assert_eq!(prime_list(12), vec![2, 2, 3]);
+        assert!(prime_list(1).is_empty());
+    }
+
+    #[test]
+    fn divisors_complete_and_sorted() {
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(28), vec![1, 2, 4, 7, 14, 28]);
+        assert_eq!(divisors(113), vec![1, 113]);
+    }
+
+    #[test]
+    fn ordered_factorization_counts() {
+        // 100 = 2²·5² into 3 slots: C(4,2)² = 36.
+        assert_eq!(count_ordered_factorizations(100, 3), 36);
+        assert_eq!(count_ordered_factorizations(1, 3), 1);
+        assert_eq!(count_ordered_factorizations(7, 1), 1);
+        assert_eq!(count_ordered_factorizations(7, 0), 0);
+        assert_eq!(count_ordered_factorizations(1, 0), 1);
+    }
+
+    #[test]
+    fn capped_counts_match_uncapped_when_loose() {
+        for n in [12u64, 100, 36] {
+            let caps = vec![None, None, None];
+            assert_eq!(
+                count_capped_factorizations(n, &caps),
+                count_ordered_factorizations(n, 3),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn capped_counts_respect_caps() {
+        // 100 into [spatial ≤ 9, free]: spatial ∈ {1,2,4,5} -> 4 ways.
+        let caps = vec![Some(9), None];
+        assert_eq!(count_capped_factorizations(100, &caps), 4);
+        // Prime 113 with a tight cap in every slot: impossible beyond 1.
+        assert_eq!(count_capped_factorizations(113, &[Some(9), Some(9)]), 0);
+    }
+
+    #[test]
+    fn free_chain_counts() {
+        // One free step from 1 to n: exactly one chain (1, n).
+        assert_eq!(count_free_chains(10, &[None]), 1);
+        // Two free steps: c1 ∈ [1, 10] -> 10 chains.
+        assert_eq!(count_free_chains(10, &[None, None]), 10);
+        // Cap 3 on the last step: c1 ≥ ceil(10/3) = 4 -> 7 chains.
+        assert_eq!(count_free_chains(10, &[None, Some(3)]), 7);
+        // Cap 1 everywhere: only possible if n == 1.
+        assert_eq!(count_free_chains(10, &[Some(1), Some(1)]), 0);
+        assert_eq!(count_free_chains(1, &[Some(1)]), 1);
+    }
+
+    #[test]
+    fn free_chains_grow_quadratically_with_n() {
+        let small = count_free_chains(64, &[None, None, None]);
+        let large = count_free_chains(256, &[None, None, None]);
+        assert!(large > small * 10, "{large} vs {small}");
+    }
+
+    #[test]
+    fn sampled_assignments_multiply_back() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in [1u64, 12, 100, 113, 360] {
+            for _ in 0..50 {
+                let factors =
+                    sample_factor_assignment(n, &[None, Some(16), None], &mut rng).unwrap();
+                assert_eq!(factors.iter().product::<u64>(), n);
+                assert!(factors[1] <= 16);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_assignment_returns_none() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(sample_factor_assignment(113, &[Some(9), Some(9)], &mut rng), None);
+    }
+
+    #[test]
+    fn log_uniform_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = sample_log_uniform(100, &mut rng);
+            assert!((1..=100).contains(&v));
+        }
+        assert_eq!(sample_log_uniform(1, &mut rng), 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! A deterministic, search-free Ruby-S mapper.
+//!
+//! Ruby-S's wins come from one move: fill every spatial axis completely,
+//! accepting a residual final iteration. This module turns that intuition
+//! into a constructive algorithm — useful as a fast starting point for
+//! search, as a sanity baseline in tests, and as an existence proof that
+//! the imperfect mapspace contains near-full-utilization mappings without
+//! any exploration.
+//!
+//! [`utilization_first`] emits a small family of candidates (one per
+//! assignment of allowed dimensions to spatial axes); callers evaluate
+//! them and keep the best.
+//!
+//! # Examples
+//!
+//! ```
+//! use ruby_arch::presets;
+//! use ruby_mapspace::{heuristic, Constraints};
+//! use ruby_workload::ProblemShape;
+//!
+//! let arch = presets::toy_linear(16, 1024);
+//! let shape = ProblemShape::rank1("d", 113);
+//! let candidates =
+//!     heuristic::utilization_first(&arch, &shape, &Constraints::unconstrained(2));
+//! assert!(!candidates.is_empty());
+//! assert_eq!(candidates[0].compute_cycles(), 8); // ceil(113/16)
+//! ```
+
+use ruby_arch::Architecture;
+use ruby_mapping::{Mapping, SlotKind};
+use ruby_workload::{Dim, ProblemShape};
+
+use crate::constraints::Constraints;
+
+/// One spatial axis of the architecture, with its constraint set.
+#[derive(Debug, Clone)]
+struct Axis {
+    level: usize,
+    kind: SlotKind,
+    extent: u64,
+    candidates: Vec<Dim>,
+}
+
+/// Builds utilization-first Ruby-S candidates: every assignment of one
+/// allowed dimension per non-unit spatial axis, each axis loaded to its
+/// full extent (imperfectly if needed), with reduction dimensions kept
+/// innermost temporally so partial sums stay put.
+///
+/// Candidates are deduplicated and returned in a deterministic order;
+/// the list is empty only if some axis has no usable dimension and no
+/// all-temporal fallback is requested (the fallback default mapping is
+/// always appended).
+pub fn utilization_first(
+    arch: &Architecture,
+    shape: &ProblemShape,
+    constraints: &Constraints,
+) -> Vec<Mapping> {
+    let axes: Vec<Axis> = arch
+        .levels()
+        .iter()
+        .enumerate()
+        .flat_map(|(level, mem)| {
+            let fan = mem.fanout();
+            [
+                (SlotKind::SpatialX, fan.x(), constraints.spatial_x(level)),
+                (SlotKind::SpatialY, fan.y(), constraints.spatial_y(level)),
+            ]
+            .into_iter()
+            .filter(|&(_, extent, _)| extent > 1)
+            .map(move |(kind, extent, allowed)| Axis {
+                level,
+                kind,
+                extent,
+                candidates: allowed.iter().filter(|&d| shape.bound(d) > 1).collect(),
+            })
+            .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    let mut assignment: Vec<Option<Dim>> = vec![None; axes.len()];
+    build(arch, shape, &axes, 0, &mut assignment, &mut out);
+    // Always include the all-temporal fallback (valid on any hierarchy
+    // whose innermost buffers hold one element).
+    if let Ok(serial) = Mapping::builder(arch.num_levels()).build_for_bounds(shape.bounds()) {
+        out.push(serial);
+    }
+    out.dedup();
+    out
+}
+
+fn build(
+    arch: &Architecture,
+    shape: &ProblemShape,
+    axes: &[Axis],
+    idx: usize,
+    assignment: &mut Vec<Option<Dim>>,
+    out: &mut Vec<Mapping>,
+) {
+    if idx == axes.len() {
+        if let Some(m) = realize(arch, shape, axes, assignment) {
+            out.push(m);
+        }
+        return;
+    }
+    if axes[idx].candidates.is_empty() {
+        assignment[idx] = None;
+        build(arch, shape, axes, idx + 1, assignment, out);
+        return;
+    }
+    for &d in &axes[idx].candidates {
+        assignment[idx] = Some(d);
+        build(arch, shape, axes, idx + 1, assignment, out);
+    }
+    assignment[idx] = None;
+}
+
+/// Materializes one assignment into a mapping: each axis takes the full
+/// extent along its dimension (capped by what remains of the bound after
+/// inner axes along the same dimension), reduction dims are ordered
+/// innermost at every temporal block, and mid-level buffers are then
+/// greedily filled with temporal tiles (doubling each dimension while
+/// the stored tensors still fit) so intermediate levels actually capture
+/// reuse instead of streaming everything from DRAM.
+fn realize(
+    arch: &Architecture,
+    shape: &ProblemShape,
+    axes: &[Axis],
+    assignment: &[Option<Dim>],
+) -> Option<Mapping> {
+    let num_levels = arch.num_levels();
+    let mut builder = Mapping::builder(num_levels);
+    // Track the spatial product already assigned per dim so stacked axes
+    // along one dim never overshoot the bound.
+    let mut used = [1u64; 7];
+    let mut spatial: Vec<(Dim, usize, SlotKind, u64)> = Vec::new();
+    // Axes are built innermost-level-last in `axes`; walk from the
+    // innermost (highest level index) outward so inner fanouts grab the
+    // dimension first.
+    let mut order: Vec<usize> = (0..axes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(axes[i].level));
+    for &i in &order {
+        let Some(d) = assignment[i] else { continue };
+        let remaining = shape.bound(d).div_ceil(used[d.index()]);
+        let factor = axes[i].extent.min(remaining);
+        if factor <= 1 {
+            continue;
+        }
+        builder.set_tile(d, axes[i].level, axes[i].kind, factor);
+        spatial.push((d, axes[i].level, axes[i].kind, factor));
+        used[d.index()] = used[d.index()].saturating_mul(factor);
+    }
+    // Reduction-innermost permutation keeps partial sums resident.
+    let perm = [Dim::S, Dim::R, Dim::C, Dim::Q, Dim::P, Dim::M, Dim::N];
+    for level in 0..num_levels {
+        builder.set_permutation(level, perm);
+    }
+
+    // Greedy capacity filling: for every level below DRAM, innermost
+    // first, double each dimension's temporal tile while everything the
+    // level stores still fits. Growth is capped by the extent left after
+    // the spatial factors (and other levels' tiles) so parallelism is
+    // never traded away for buffering. Reduction dims first (psum
+    // locality).
+    let mut temporal = vec![[1u64; 7]; num_levels];
+    let priority = [Dim::C, Dim::S, Dim::R, Dim::Q, Dim::P, Dim::M, Dim::N];
+    for level in (1..num_levels).rev() {
+        for d in priority {
+            loop {
+                let current = temporal[level][d.index()];
+                let others: u64 = used[d.index()].saturating_mul(
+                    temporal
+                        .iter()
+                        .enumerate()
+                        .filter(|&(l, _)| l != level)
+                        .map(|(_, t)| t[d.index()])
+                        .product(),
+                );
+                let remaining = shape.bound(d).div_ceil(others.max(1));
+                let grown = (current * 2).min(remaining);
+                if grown == current {
+                    break;
+                }
+                temporal[level][d.index()] = grown;
+                if !fits(arch, shape, &spatial, &temporal, level) {
+                    temporal[level][d.index()] = current;
+                    break;
+                }
+            }
+            if temporal[level][d.index()] > 1 {
+                builder.set_tile(d, level, SlotKind::Temporal, temporal[level][d.index()]);
+            }
+        }
+    }
+    builder.build_for_bounds(shape.bounds()).ok()
+}
+
+/// Whether every tensor stored at `level` (and at every level inside it)
+/// still fits with the candidate spatial + temporal factors.
+fn fits(
+    arch: &Architecture,
+    shape: &ProblemShape,
+    spatial: &[(Dim, usize, SlotKind, u64)],
+    temporal: &[[u64; 7]],
+    _level: usize,
+) -> bool {
+    let num_levels = arch.num_levels();
+    let mut builder = Mapping::builder(num_levels);
+    for &(d, lvl, kind, f) in spatial {
+        builder.set_tile(d, lvl, kind, f);
+    }
+    for (lvl, factors) in temporal.iter().enumerate() {
+        for d in Dim::ALL {
+            if factors[d.index()] > 1 {
+                builder.set_tile(d, lvl, SlotKind::Temporal, factors[d.index()]);
+            }
+        }
+    }
+    let Ok(mapping) = builder.build_for_bounds(shape.bounds()) else {
+        return false;
+    };
+    for lvl in 1..num_levels {
+        let tile = mapping.tile_at_level(lvl);
+        let mut shared = 0u64;
+        for op in ruby_workload::Operand::ALL {
+            let mem = arch.level(lvl);
+            if !mem.stores(op) {
+                continue;
+            }
+            let fp = shape.tensor(op).footprint(&tile);
+            match mem.capacity() {
+                ruby_arch::Capacity::Unbounded => {}
+                ruby_arch::Capacity::Shared(limit) => {
+                    shared = shared.saturating_add(fp);
+                    if shared > limit {
+                        return false;
+                    }
+                }
+                ruby_arch::Capacity::PerOperand(_) => {
+                    if fp > mem.capacity_for(op).unwrap_or(u64::MAX) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruby_arch::presets;
+    use ruby_model::{evaluate, ModelOptions};
+
+    #[test]
+    fn rank1_candidate_fills_the_array() {
+        let arch = presets::toy_linear(16, 1024);
+        let shape = ProblemShape::rank1("d", 113);
+        let c = utilization_first(&arch, &shape, &Constraints::unconstrained(2));
+        let best = c
+            .iter()
+            .filter_map(|m| evaluate(&arch, &shape, m, &ModelOptions::default()).ok())
+            .min_by(|a, b| a.edp().total_cmp(&b.edp()))
+            .expect("some candidate is valid");
+        assert_eq!(best.cycles(), 8);
+        assert!(best.utilization() > 0.85);
+    }
+
+    #[test]
+    fn eyeriss_alexnet_candidates_reach_high_utilization() {
+        let arch = presets::eyeriss_like(14, 12);
+        let shape = ProblemShape::conv("alex2", 1, 96, 48, 27, 27, 5, 5, (1, 1));
+        let constraints = Constraints::eyeriss_row_stationary(3, 1);
+        let candidates = utilization_first(&arch, &shape, &constraints);
+        assert!(candidates.len() > 2, "expected several assignments");
+        let best_util = candidates
+            .iter()
+            .filter_map(|m| evaluate(&arch, &shape, m, &ModelOptions::default()).ok())
+            .map(|r| r.utilization())
+            .fold(0.0f64, f64::max);
+        assert!(best_util > 0.9, "best heuristic utilization {best_util}");
+    }
+
+    #[test]
+    fn serial_fallback_always_present() {
+        let arch = presets::toy_linear(4, 1024);
+        let shape = ProblemShape::rank1("d", 7);
+        let c = utilization_first(
+            &arch,
+            &shape,
+            // Disallow everything spatially: only the fallback survives.
+            &Constraints::unconstrained(2).with_spatial_x(0, &[]),
+        );
+        assert!(c.iter().any(|m| m.compute_cycles() == 7));
+    }
+
+    #[test]
+    fn stacked_axes_share_one_dimension() {
+        // Both axes allowed only M: inner axis takes 12, outer the rest.
+        let arch = presets::eyeriss_like(14, 12);
+        let shape = ProblemShape::gemm("g", 100, 1, 1);
+        let constraints = Constraints::unconstrained(3)
+            .with_spatial_x(1, &[Dim::M])
+            .with_spatial_y(1, &[Dim::M]);
+        let candidates = utilization_first(&arch, &shape, &constraints);
+        let ok = candidates.iter().any(|m| {
+            let (x, y) = m.spatial_extent(1);
+            x <= 14 && y <= 12 && x * y >= 100
+        });
+        assert!(ok, "expected a candidate covering the bound across both axes");
+    }
+}

@@ -1,0 +1,164 @@
+//! The padding baseline of Fig. 8 and Figs. 13–14: pad tensor dimensions
+//! up to a multiple of the PE-array extents so perfect factorization can
+//! fill the array, at the cost of ineffectual (zero) work.
+
+use ruby_arch::Architecture;
+use ruby_workload::{Dim, ProblemShape};
+
+use crate::constraints::Constraints;
+
+/// Pads `shape` for perfect-factorization mapping on `arch`: every
+/// non-unit spatial axis is assigned one of its allowed dimensions, and
+/// each assigned dimension is padded up to the next multiple of its
+/// axis extent (the LCM, if one dimension serves several axes). The
+/// assignment minimizing total padded work is chosen exhaustively —
+/// e.g. on a 14×12 Eyeriss array with `Q = 27`, `M = 96`, padding
+/// `Q → 28` and leaving `M` (already a multiple of 12) beats padding `M`.
+///
+/// Padded work is counted as real work (no datapath gating or zero
+/// skipping), matching the paper's padding strategy.
+///
+/// # Examples
+///
+/// ```
+/// use ruby_arch::presets;
+/// use ruby_mapspace::{padding, Constraints};
+/// use ruby_workload::{Dim, ProblemShape};
+///
+/// let arch = presets::toy_linear(16, 1024);
+/// let shape = ProblemShape::rank1("d", 113);
+/// let padded = padding::pad_to_array(&shape, &arch, &Constraints::unconstrained(2));
+/// assert_eq!(padded.bound(Dim::M), 128);
+/// ```
+pub fn pad_to_array(
+    shape: &ProblemShape,
+    arch: &Architecture,
+    constraints: &Constraints,
+) -> ProblemShape {
+    // Collect non-unit axes with their candidate dims (bound > 1).
+    let mut axes: Vec<(u64, Vec<Dim>)> = Vec::new();
+    for (level, mem) in arch.levels().iter().enumerate() {
+        let fan = mem.fanout();
+        for (extent, allowed) in [
+            (fan.x(), constraints.spatial_x(level)),
+            (fan.y(), constraints.spatial_y(level)),
+        ] {
+            if extent <= 1 {
+                continue;
+            }
+            let candidates: Vec<Dim> =
+                allowed.iter().filter(|&d| shape.bound(d) > 1).collect();
+            if !candidates.is_empty() {
+                axes.push((extent, candidates));
+            }
+        }
+    }
+    if axes.is_empty() {
+        return shape.clone();
+    }
+
+    // Exhaustively assign a dim to every axis, merging repeated dims via
+    // LCM, and keep the assignment with the least padded work.
+    let mut best: Option<(f64, [u64; 7])> = None;
+    let mut assignment = vec![0usize; axes.len()];
+    loop {
+        let mut required = [1u64; 7]; // per-dim LCM of assigned extents
+        for (axis, &pick) in axes.iter().zip(&assignment) {
+            let d = axis.1[pick];
+            required[d.index()] = lcm(required[d.index()], axis.0);
+        }
+        let mut cost = 1.0f64;
+        for d in Dim::ALL {
+            let b = shape.bound(d);
+            let r = required[d.index()];
+            let padded = b.div_ceil(r) * r;
+            cost *= padded as f64 / b as f64;
+        }
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            best = Some((cost, required));
+        }
+        // Odometer over assignments.
+        let mut i = 0;
+        loop {
+            if i == axes.len() {
+                let (_, required) = best.expect("at least one assignment evaluated");
+                let mut padded = shape.clone();
+                for d in Dim::ALL {
+                    if required[d.index()] > 1 {
+                        padded = padded.padded_to_multiple(d, required[d.index()]);
+                    }
+                }
+                return padded;
+            }
+            assignment[i] += 1;
+            if assignment[i] < axes[i].1.len() {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Ratio of padded to original MACs: 1.0 means no padding was needed.
+pub fn padding_overhead(original: &ProblemShape, padded: &ProblemShape) -> f64 {
+    padded.macs() as f64 / original.macs() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruby_arch::presets;
+
+    #[test]
+    fn rank1_pads_to_array_multiple() {
+        let arch = presets::toy_linear(16, 1024);
+        let c = Constraints::unconstrained(2);
+        let padded = pad_to_array(&ProblemShape::rank1("d", 127), &arch, &c);
+        assert_eq!(padded.bound(Dim::M), 128);
+        let aligned = pad_to_array(&ProblemShape::rank1("d", 128), &arch, &c);
+        assert_eq!(aligned.bound(Dim::M), 128);
+        assert_eq!(aligned.name(), "d");
+    }
+
+    #[test]
+    fn eyeriss_picks_the_cheap_joint_assignment() {
+        let arch = presets::eyeriss_like(14, 12);
+        let c = Constraints::eyeriss_row_stationary(3, 1);
+        let shape = ProblemShape::conv("l", 1, 96, 48, 27, 27, 5, 5, (1, 1));
+        let padded = pad_to_array(&shape, &arch, &c);
+        // Best assignment: Q -> 28 on the 14-wide axis; M (96, already a
+        // multiple of 12) covers the 12-wide axis for free.
+        assert_eq!(padded.bound(Dim::Q), 28);
+        assert_eq!(padded.bound(Dim::M), 96);
+        assert_eq!(padded.bound(Dim::P), 27);
+        let overhead = padding_overhead(&shape, &padded);
+        assert!((1.0..1.05).contains(&overhead), "overhead {overhead}");
+    }
+
+    #[test]
+    fn overhead_of_unpadded_is_one() {
+        let s = ProblemShape::rank1("d", 64);
+        assert_eq!(padding_overhead(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn no_spatial_axes_returns_clone() {
+        let arch = presets::toy_linear(1, 1024);
+        let c = Constraints::unconstrained(2);
+        let s = ProblemShape::rank1("d", 113);
+        assert_eq!(pad_to_array(&s, &arch, &c), s);
+    }
+}

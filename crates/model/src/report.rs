@@ -1,0 +1,146 @@
+//! Cost-report types.
+
+use serde::{Deserialize, Serialize};
+
+/// Access counts of one tensor at one storage level, in data words.
+/// Counts are totals across all spatial instances of the level.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AccessCounts {
+    /// Words read out of the level (serving children, draining partial
+    /// sums upward, and read-modify-write reads).
+    pub reads: f64,
+    /// Words written into the level from its parent.
+    pub fills: f64,
+    /// Words written into the level from below (partial-sum updates).
+    pub updates: f64,
+    /// Words crossing the distribution network *below* this level
+    /// (per-receiver delivery plus partial-sum return). Costed only when
+    /// the level declares a NoC hop energy.
+    pub network: f64,
+}
+
+impl AccessCounts {
+    /// Total buffer accesses (`reads + fills + updates`; network words
+    /// are wires, not ports, and excluded).
+    pub fn total(&self) -> f64 {
+        self.reads + self.fills + self.updates
+    }
+}
+
+/// Per-level slice of a [`CostReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelStats {
+    name: String,
+    energy: f64,
+    per_tensor: [AccessCounts; 3],
+}
+
+impl LevelStats {
+    pub(crate) fn new(name: String, energy: f64, per_tensor: [AccessCounts; 3]) -> Self {
+        LevelStats { name, energy, per_tensor }
+    }
+
+    /// The level name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Energy spent at this level.
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Access counts per operand, indexed by
+    /// [`ruby_workload::Operand::index`].
+    pub fn per_tensor(&self) -> &[AccessCounts; 3] {
+        &self.per_tensor
+    }
+
+    /// Total word accesses at this level across operands.
+    pub fn total_accesses(&self) -> f64 {
+        self.per_tensor.iter().map(AccessCounts::total).sum()
+    }
+}
+
+/// The result of evaluating one mapping: the quantities the paper reports
+/// (EDP, energy, cycles, utilization) plus a per-level breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    macs: u64,
+    cycles: u64,
+    energy: f64,
+    utilization: f64,
+    level_stats: Vec<LevelStats>,
+}
+
+impl CostReport {
+    pub(crate) fn new(
+        macs: u64,
+        cycles: u64,
+        energy: f64,
+        utilization: f64,
+        level_stats: Vec<LevelStats>,
+    ) -> Self {
+        CostReport { macs, cycles, energy, utilization, level_stats }
+    }
+
+    /// Total multiply-accumulates performed.
+    pub fn macs(&self) -> u64 {
+        self.macs
+    }
+
+    /// Execution latency in MAC-normalized cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total energy in MAC-normalized units.
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Energy-delay product — the paper's primary optimization target.
+    pub fn edp(&self) -> f64 {
+        self.energy * self.cycles as f64
+    }
+
+    /// Compute utilization: MACs / (cycles × total MAC units) over the
+    /// *whole* array, matching the paper's utilization figures.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Per-level statistics, outermost level first.
+    pub fn level_stats(&self) -> &[LevelStats] {
+        &self.level_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_counts_total() {
+        let a = AccessCounts { reads: 2.0, fills: 3.0, updates: 5.0, network: 9.0 };
+        assert_eq!(a.total(), 10.0);
+        assert_eq!(AccessCounts::default().total(), 0.0);
+    }
+
+    #[test]
+    fn report_edp_is_energy_times_cycles() {
+        let r = CostReport::new(100, 7, 3.0, 0.5, vec![]);
+        assert_eq!(r.edp(), 21.0);
+        assert_eq!(r.macs(), 100);
+        assert_eq!(r.utilization(), 0.5);
+    }
+
+    #[test]
+    fn level_stats_totals() {
+        let a = AccessCounts { reads: 1.0, fills: 1.0, updates: 0.0, network: 0.0 };
+        let s = LevelStats::new("GLB".into(), 12.0, [a, a, a]);
+        assert_eq!(s.total_accesses(), 6.0);
+        assert_eq!(s.name(), "GLB");
+        assert_eq!(s.energy(), 12.0);
+    }
+}

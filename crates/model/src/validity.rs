@@ -1,0 +1,203 @@
+//! Mapping validity: buffer capacities and spatial fanout limits.
+
+use ruby_arch::{Architecture, Capacity};
+use ruby_mapping::Mapping;
+use ruby_workload::{Operand, ProblemShape};
+
+/// Why a mapping cannot run on an architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidMapping {
+    /// A tensor tile (or the sum of stored tiles, for shared buffers)
+    /// exceeds a level's capacity.
+    CapacityExceeded {
+        /// Architecture level index (0 = outermost).
+        level: usize,
+        /// Operand whose buffer overflowed, or `None` for a shared buffer.
+        operand: Option<Operand>,
+        /// Words required.
+        needed: u64,
+        /// Words available.
+        available: u64,
+    },
+    /// The spatial extent mapped below a level exceeds its fanout.
+    FanoutExceeded {
+        /// Architecture level index.
+        level: usize,
+        /// `(x, y)` extents requested.
+        requested: (u64, u64),
+        /// `(x, y)` extents available.
+        available: (u64, u64),
+    },
+}
+
+impl std::fmt::Display for InvalidMapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidMapping::CapacityExceeded { level, operand, needed, available } => {
+                match operand {
+                    Some(op) => write!(
+                        f,
+                        "level {level}: {op} tile needs {needed} words, buffer holds {available}"
+                    ),
+                    None => write!(
+                        f,
+                        "level {level}: stored tiles need {needed} words, shared buffer holds {available}"
+                    ),
+                }
+            }
+            InvalidMapping::FanoutExceeded { level, requested, available } => write!(
+                f,
+                "level {level}: spatial extent {}x{} exceeds fanout {}x{}",
+                requested.0, requested.1, available.0, available.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvalidMapping {}
+
+/// Checks capacities and fanouts.
+pub(crate) fn check(
+    arch: &Architecture,
+    shape: &ProblemShape,
+    mapping: &Mapping,
+) -> Result<(), InvalidMapping> {
+    for (i, level) in arch.levels().iter().enumerate() {
+        // Fanout: nominal spatial loop counts below this level.
+        let (x, y) = mapping.spatial_extent(i);
+        let fan = level.fanout();
+        if x > fan.x() || y > fan.y() {
+            return Err(InvalidMapping::FanoutExceeded {
+                level: i,
+                requested: (x, y),
+                available: (fan.x(), fan.y()),
+            });
+        }
+        // Capacity: per-instance footprint of stored tensors (maximum
+        // tile sizes — residual tiles are smaller).
+        if i == 0 {
+            continue; // DRAM is unbounded by construction.
+        }
+        let tile = mapping.tile_at_level(i);
+        let mut shared_needed = 0u64;
+        for op in Operand::ALL {
+            if !level.stores(op) {
+                continue;
+            }
+            let footprint = shape.tensor(op).footprint(&tile);
+            match level.capacity() {
+                Capacity::Unbounded => {}
+                Capacity::Shared(_) => shared_needed = shared_needed.saturating_add(footprint),
+                Capacity::PerOperand(_) => {
+                    let available = level
+                        .capacity_for(op)
+                        .expect("per-operand capacity is bounded");
+                    if footprint > available {
+                        return Err(InvalidMapping::CapacityExceeded {
+                            level: i,
+                            operand: Some(op),
+                            needed: footprint,
+                            available,
+                        });
+                    }
+                }
+            }
+        }
+        if let Capacity::Shared(available) = level.capacity() {
+            if shared_needed > available {
+                return Err(InvalidMapping::CapacityExceeded {
+                    level: i,
+                    operand: None,
+                    needed: shared_needed,
+                    available,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruby_arch::presets;
+    use ruby_mapping::SlotKind;
+    use ruby_workload::Dim;
+
+    #[test]
+    fn fanout_violation_detected() {
+        let arch = presets::toy_linear(4, 1024);
+        let shape = ProblemShape::rank1("d", 100);
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, 8);
+        let m = b.build_for_bounds(shape.bounds()).unwrap();
+        let err = check(&arch, &shape, &m).unwrap_err();
+        assert!(matches!(err, InvalidMapping::FanoutExceeded { level: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn shared_capacity_violation_detected() {
+        let arch = presets::toy_linear(4, 64); // 32-word scratchpads
+        let shape = ProblemShape::rank1("d", 100);
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 1, SlotKind::Temporal, 100); // whole tensor per PE
+        let m = b.build_for_bounds(shape.bounds()).unwrap();
+        let err = check(&arch, &shape, &m).unwrap_err();
+        match err {
+            InvalidMapping::CapacityExceeded { level: 1, operand: None, needed, available } => {
+                // Weight tile (100) + output tile (100) + input tile (1).
+                assert_eq!(needed, 201);
+                assert_eq!(available, 32);
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn per_operand_capacity_violation_detected() {
+        let arch = presets::eyeriss_like(14, 12);
+        let shape = ProblemShape::conv("l", 1, 32, 1, 8, 8, 3, 3, (1, 1));
+        let mut b = Mapping::builder(3);
+        // Weight tile of 32*1*3*3 = 288 words exceeds the 224-word spad
+        // while the ifmap tile (3*3 = 9) still fits its 12-word spad.
+        b.set_tile(Dim::M, 2, SlotKind::Temporal, 32);
+        b.set_tile(Dim::R, 2, SlotKind::Temporal, 3);
+        b.set_tile(Dim::S, 2, SlotKind::Temporal, 3);
+        let m = b.build_for_bounds(shape.bounds()).unwrap();
+        let err = check(&arch, &shape, &m).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                InvalidMapping::CapacityExceeded { level: 2, operand: Some(Operand::Weight), .. }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn valid_mapping_passes() {
+        let arch = presets::toy_linear(9, 1024);
+        let shape = ProblemShape::rank1("d", 100);
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, 9);
+        let m = b.build_for_bounds(shape.bounds()).unwrap();
+        assert_eq!(check(&arch, &shape, &m), Ok(()));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = InvalidMapping::FanoutExceeded {
+            level: 1,
+            requested: (15, 1),
+            available: (14, 12),
+        };
+        assert!(e.to_string().contains("15x1"));
+        let c = InvalidMapping::CapacityExceeded {
+            level: 2,
+            operand: Some(Operand::Weight),
+            needed: 500,
+            available: 224,
+        };
+        assert!(c.to_string().contains("500"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Hardware-style loop pattern generators for imperfect factorization.
+//!
+//! The paper's §III-C argues that supporting Ruby mappings in hardware is
+//! essentially free: accelerator loop bounds and strides "are typically
+//! implemented through pattern generators implemented as finite state
+//! machines", and "a minor augmentation to such a state machine can
+//! accommodate the requirement for a different final loop. This static
+//! configuration adds no extra penalty in terms of complexity, energy, or
+//! cycles."
+//!
+//! This crate makes that claim executable. A [`TileFsm`] is a
+//! register-level model of such a pattern generator: per loop level it
+//! holds one iteration counter plus one *remaining-extent* register (the
+//! augmentation — a subtract-and-clamp per level). Stepping the FSM emits
+//! the innermost tile sequence of an imperfect tile chain:
+//!
+//! * configuration is **static** ([`DimProgram::config_words`] words,
+//!   independent of the data);
+//! * the FSM produces exactly one tile per step — **no dead cycles** —
+//!   and the emitted tiles partition the dimension exactly, matching
+//!   [`ruby_mapping::profile::boundary_profiles`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ruby_patterngen::{DimProgram, TileFsm};
+//!
+//! // 100 elements, spatial chunks of 6 (the paper's Fig. 5 toy):
+//! let program = DimProgram::new(&[1, 6, 100]);
+//! let tiles: Vec<(u64, u64)> = TileFsm::new(&program).collect();
+//! assert_eq!(tiles.len(), 100); // unit tiles at the innermost level
+//! let chunks: Vec<(u64, u64)> = program.tiles_at(1).collect();
+//! assert_eq!(chunks.len(), 17); // 16 full chunks of 6 plus one of 4
+//! assert_eq!(chunks[16], (96, 4));
+//! ```
+
+use ruby_mapping::profile;
+use ruby_mapping::Mapping;
+use ruby_workload::{Dim, DimMap};
+
+/// The static configuration of one dimension's pattern generator: the
+/// tile-size chain (`chain[0] = innermost granularity … chain.last() =
+/// dimension bound`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimProgram {
+    chain: Vec<u64>,
+}
+
+impl DimProgram {
+    /// Builds the program from a tile chain (use
+    /// [`ruby_mapping::Mapping::tile_chain`] for real mappings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is shorter than two entries, does not start
+    /// at a positive granularity, or is not non-decreasing.
+    pub fn new(chain: &[u64]) -> Self {
+        assert!(chain.len() >= 2, "a chain needs at least one slot");
+        assert!(chain[0] > 0, "granularities must be positive");
+        assert!(
+            chain.windows(2).all(|w| w[0] <= w[1]),
+            "tile chains must be non-decreasing"
+        );
+        DimProgram { chain: chain.to_vec() }
+    }
+
+    /// The dimension bound the program covers.
+    pub fn bound(&self) -> u64 {
+        *self.chain.last().expect("validated non-empty")
+    }
+
+    /// Number of loop levels (slots).
+    pub fn num_levels(&self) -> usize {
+        self.chain.len() - 1
+    }
+
+    /// Static configuration size in words: one granularity per slot plus
+    /// the bound. This is the entirety of what must be programmed —
+    /// remainders need no extra configuration state.
+    pub fn config_words(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Iterates the `(base, size)` tiles at chain boundary `b`
+    /// (0 = innermost granularity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` exceeds the number of levels.
+    pub fn tiles_at(&self, b: usize) -> TileFsm {
+        assert!(b < self.chain.len(), "boundary {b} out of range");
+        TileFsm::with_granularity(self, self.chain[b])
+    }
+}
+
+/// A register-level pattern-generator FSM emitting the tile sequence of a
+/// [`DimProgram`] at a chosen granularity. Implements [`Iterator`]; each
+/// `next()` is one FSM step (one emitted tile, no dead cycles).
+#[derive(Debug, Clone)]
+pub struct TileFsm {
+    /// Granularities outer→inner down to the emission granularity.
+    grans: Vec<u64>,
+    /// Per-level iteration counter (register).
+    counter: Vec<u64>,
+    /// Per-level remaining extent at entry (register — the paper's
+    /// "minor augmentation": a subtract-and-clamp per level).
+    remaining: Vec<u64>,
+    base: u64,
+    done: bool,
+    /// FSM steps taken so far.
+    steps: u64,
+}
+
+impl TileFsm {
+    /// An FSM emitting the innermost-granularity tiles.
+    pub fn new(program: &DimProgram) -> Self {
+        program.tiles_at(0)
+    }
+
+    fn with_granularity(program: &DimProgram, gran: u64) -> Self {
+        // Levels with granularity > `gran`, outer first, ending at `gran`.
+        let mut grans: Vec<u64> =
+            program.chain.iter().copied().filter(|&g| g > gran).rev().collect();
+        grans.push(gran);
+        let levels = grans.len();
+        let mut fsm = TileFsm {
+            grans,
+            counter: vec![0; levels],
+            remaining: vec![0; levels],
+            base: 0,
+            done: program.bound() == 0,
+            steps: 0,
+        };
+        // Reset: the outer "level" holds the whole bound.
+        fsm.remaining[0] = program.bound();
+        for l in 1..levels {
+            fsm.remaining[l] = fsm.grans[l - 1].min(fsm.remaining[l - 1]);
+        }
+        fsm
+    }
+
+    /// FSM steps taken so far (equals tiles emitted — the no-dead-cycles
+    /// property).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The current tile without advancing.
+    fn current(&self) -> (u64, u64) {
+        let l = self.grans.len() - 1;
+        let size = self.grans[l].min(self.remaining[l] - self.counter[l] * self.grans[l]);
+        (self.base, size)
+    }
+
+    /// Advances the counters with carry propagation, updating the
+    /// remaining-extent registers on each re-entry (the final-loop
+    /// clamp).
+    fn advance(&mut self, emitted: u64) {
+        self.base += emitted;
+        let mut l = self.grans.len() - 1;
+        loop {
+            self.counter[l] += 1;
+            let consumed = self.counter[l] * self.grans[l];
+            if consumed < self.remaining[l] {
+                break;
+            }
+            self.counter[l] = 0;
+            if l == 0 {
+                self.done = true;
+                return;
+            }
+            l -= 1;
+        }
+        // Recompute remaining extents inward of the level that advanced.
+        for inner in l + 1..self.grans.len() {
+            let outer_left =
+                self.remaining[inner - 1] - self.counter[inner - 1] * self.grans[inner - 1];
+            self.remaining[inner] = self.grans[inner - 1].min(outer_left);
+        }
+    }
+}
+
+impl Iterator for TileFsm {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        if self.done {
+            return None;
+        }
+        let tile = self.current();
+        self.steps += 1;
+        self.advance(tile.1);
+        Some(tile)
+    }
+}
+
+/// The per-dimension pattern-generator programs of a full mapping — one
+/// address-stream generator per problem dimension, exactly what a DMA
+/// front-end would be configured with.
+///
+/// # Examples
+///
+/// ```
+/// use ruby_mapping::{Mapping, SlotKind};
+/// use ruby_patterngen::programs_for_mapping;
+/// use ruby_workload::{Dim, DimMap};
+///
+/// let mut b = Mapping::builder(2);
+/// b.set_tile(Dim::M, 0, SlotKind::SpatialX, 6);
+/// let mut bounds = DimMap::splat(1u64);
+/// bounds[Dim::M] = 100;
+/// let m = b.build_for_bounds(&bounds).unwrap();
+/// let programs = programs_for_mapping(&m);
+/// assert_eq!(programs[Dim::M].bound(), 100);
+/// // Total static configuration across all seven dims:
+/// let words: usize = ruby_workload::Dim::ALL
+///     .iter().map(|&d| programs[d].config_words()).sum();
+/// assert_eq!(words, 7 * programs[Dim::M].config_words());
+/// ```
+pub fn programs_for_mapping(mapping: &Mapping) -> DimMap<DimProgram> {
+    DimMap::from_fn(|d: Dim| DimProgram::new(mapping.tile_chain(d)))
+}
+
+/// Convenience: checks that a program's emitted tiles at boundary `b`
+/// match the analytical tile profile of the same chain — the bridge
+/// between the hardware model and the cost model.
+pub fn matches_profile(program: &DimProgram, b: usize) -> bool {
+    let tiles: Vec<(u64, u64)> = program.tiles_at(b).collect();
+    let mut sizes: Vec<u64> = tiles.iter().map(|&(_, s)| s).collect();
+    sizes.sort_unstable();
+    let profile = profile::boundary_profiles(&program.chain)[b].clone();
+    let mut expected: Vec<u64> = profile
+        .entries()
+        .iter()
+        .flat_map(|&(s, c)| std::iter::repeat(s).take(c as usize))
+        .collect();
+    expected.sort_unstable();
+    sizes == expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn programs_for_mapping_cover_all_dims() {
+        use ruby_mapping::{Mapping, SlotKind};
+        use ruby_workload::DimMap as WDimMap;
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, 6);
+        b.set_tile(Dim::C, 1, SlotKind::Temporal, 3);
+        let mut bounds = WDimMap::splat(1u64);
+        bounds[Dim::M] = 100;
+        bounds[Dim::C] = 7;
+        let m = b.build_for_bounds(&bounds).unwrap();
+        let programs = programs_for_mapping(&m);
+        assert_eq!(programs[Dim::M].bound(), 100);
+        assert_eq!(programs[Dim::C].bound(), 7);
+        // The C stream: 3 tiles of 3,3,1 (residual) at the spad boundary.
+        let c_boundary = m.tile_chain(Dim::C).iter().position(|&g| g == 3).unwrap();
+        let tiles: Vec<(u64, u64)> = programs[Dim::C].tiles_at(c_boundary).collect();
+        assert_eq!(tiles, vec![(0, 3), (3, 3), (6, 1)]);
+    }
+
+    #[test]
+    fn fig5_sequence() {
+        let p = DimProgram::new(&[1, 6, 100]);
+        let chunks: Vec<(u64, u64)> = p.tiles_at(1).collect();
+        assert_eq!(chunks.len(), 17);
+        assert_eq!(chunks[0], (0, 6));
+        assert_eq!(chunks[15], (90, 6));
+        assert_eq!(chunks[16], (96, 4));
+    }
+
+    #[test]
+    fn tiles_are_contiguous_and_cover_bound() {
+        let p = DimProgram::new(&[1, 3, 10, 100]);
+        for b in 0..3 {
+            let tiles: Vec<(u64, u64)> = p.tiles_at(b).collect();
+            let mut expected_base = 0;
+            for &(base, size) in &tiles {
+                assert_eq!(base, expected_base, "boundary {b}");
+                assert!(size > 0);
+                expected_base = base + size;
+            }
+            assert_eq!(expected_base, 100, "boundary {b}");
+        }
+    }
+
+    #[test]
+    fn no_dead_cycles() {
+        let p = DimProgram::new(&[1, 7, 100]);
+        let mut fsm = TileFsm::new(&p);
+        let mut emitted = 0u64;
+        while fsm.next().is_some() {
+            emitted += 1;
+        }
+        assert_eq!(fsm.steps(), emitted);
+        assert_eq!(emitted, 100);
+    }
+
+    #[test]
+    fn static_configuration_is_small() {
+        let p = DimProgram::new(&[1, 1, 1, 2, 12, 100]);
+        assert_eq!(p.config_words(), 6);
+        assert_eq!(p.num_levels(), 5);
+    }
+
+    #[test]
+    fn perfect_chain_emits_uniform_tiles() {
+        let p = DimProgram::new(&[1, 5, 20, 100]);
+        let tiles: Vec<(u64, u64)> = p.tiles_at(1).collect();
+        assert_eq!(tiles.len(), 20);
+        assert!(tiles.iter().all(|&(_, s)| s == 5));
+    }
+
+    #[test]
+    fn matches_profiles_on_nested_residuals() {
+        // 100 -> tiles of 10 -> tiles of 3: residuals of residuals.
+        let p = DimProgram::new(&[1, 3, 10, 100]);
+        for b in 0..3 {
+            assert!(matches_profile(&p, b), "boundary {b}");
+        }
+    }
+
+    proptest! {
+        /// For arbitrary non-decreasing chains, the FSM partitions the
+        /// bound exactly and agrees with the analytical profiles at
+        /// every boundary.
+        #[test]
+        fn fsm_agrees_with_profiles(
+            bound in 1u64..3000,
+            a in 1u64..64,
+            b in 1u64..64,
+        ) {
+            let mut chain = vec![1u64, a.min(bound), (a * b).min(bound), bound];
+            chain.sort_unstable();
+            let p = DimProgram::new(&chain);
+            for boundary in 0..p.num_levels() {
+                prop_assert!(matches_profile(&p, boundary), "boundary {boundary}");
+                let total: u64 = p.tiles_at(boundary).map(|(_, s)| s).sum();
+                prop_assert_eq!(total, bound);
+            }
+        }
+
+        /// The innermost FSM step count equals the number of unit tiles:
+        /// the no-extra-cycles claim, property-tested.
+        #[test]
+        fn step_count_is_tile_count(bound in 1u64..2000, g in 1u64..50) {
+            let p = DimProgram::new(&[1, g.min(bound), bound]);
+            let mut fsm = p.tiles_at(1);
+            let n = fsm.by_ref().count() as u64;
+            prop_assert_eq!(n, bound.div_ceil(g.min(bound)));
+            prop_assert_eq!(fsm.steps(), n);
+        }
+    }
+}

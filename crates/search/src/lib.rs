@@ -1,0 +1,294 @@
+//! Mapping search for the Ruby reproduction.
+//!
+//! The paper deliberately uses *only* Timeloop's random-sampling search so
+//! that mapspace quality — not search cleverness — drives the results
+//! ("To disentangle mapspace generation from the search heuristics we
+//! only employ Timeloop's random sampling based search"). This crate
+//! reimplements that: threads draw mappings from a
+//! [`ruby_mapspace::Mapspace`], evaluate them with
+//! [`ruby_model::evaluate`], keep the best under an [`Objective`], and
+//! stop after a configurable number of *consecutive valid mappings that
+//! fail to improve* (the paper uses 3000 across 24 threads).
+//!
+//! # Examples
+//!
+//! ```
+//! use ruby_arch::presets;
+//! use ruby_mapspace::{Mapspace, MapspaceKind};
+//! use ruby_search::{search, SearchConfig};
+//! use ruby_workload::ProblemShape;
+//!
+//! let space = Mapspace::new(
+//!     presets::toy_linear(16, 1024),
+//!     ProblemShape::rank1("d", 113),
+//!     MapspaceKind::RubyS,
+//! );
+//! let outcome = search(&space, &SearchConfig::default());
+//! let best = outcome.best.expect("the toy space has valid mappings");
+//! assert_eq!(best.report.cycles(), 8); // ceil(113/16): full-array Ruby-S
+//! ```
+
+pub mod anneal;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ruby_mapping::Mapping;
+use ruby_mapspace::Mapspace;
+use ruby_model::{evaluate, CostReport, ModelOptions};
+
+/// The quantity the search minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Objective {
+    /// Energy–delay product (the paper's primary target).
+    #[default]
+    Edp,
+    /// Total energy.
+    Energy,
+    /// Cycle count (the latency experiments of §IV-D).
+    Delay,
+}
+
+impl Objective {
+    /// The scalar cost of a report under this objective (lower is
+    /// better).
+    pub fn cost(self, report: &CostReport) -> f64 {
+        match self {
+            Objective::Edp => report.edp(),
+            Objective::Energy => report.energy(),
+            Objective::Delay => report.cycles() as f64,
+        }
+    }
+}
+
+/// Search configuration. The defaults suit unit-test-scale problems;
+/// experiments raise `termination` and `threads`.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Base RNG seed; thread `i` uses `seed + i`.
+    pub seed: u64,
+    /// Hard cap on total sampled mappings (valid or not); `None` =
+    /// unlimited.
+    pub max_evaluations: Option<u64>,
+    /// Stop after this many consecutive valid mappings without
+    /// improvement (Timeloop's victory condition). `None` disables it —
+    /// then `max_evaluations` must be set.
+    pub termination: Option<u64>,
+    /// Worker threads.
+    pub threads: usize,
+    /// What to minimize.
+    pub objective: Objective,
+    /// Cost-model options.
+    pub model: ModelOptions,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            seed: 0,
+            max_evaluations: Some(200_000),
+            termination: Some(1_000),
+            threads: 1,
+            objective: Objective::Edp,
+            model: ModelOptions::default(),
+        }
+    }
+}
+
+/// The best mapping found and its evaluation.
+#[derive(Debug, Clone)]
+pub struct BestMapping {
+    /// The winning mapping.
+    pub mapping: Mapping,
+    /// Its cost report.
+    pub report: CostReport,
+    /// Its scalar cost under the search objective.
+    pub cost: f64,
+}
+
+/// The result of a search run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best valid mapping, if any was found.
+    pub best: Option<BestMapping>,
+    /// Total mappings sampled (valid + invalid).
+    pub evaluations: u64,
+    /// Valid mappings among them.
+    pub valid: u64,
+    /// `(evaluations-so-far, best-cost)` at every improvement — the
+    /// best-so-far staircase of Fig. 7.
+    pub trace: Vec<(u64, f64)>,
+}
+
+struct Shared {
+    evals: AtomicU64,
+    valid: AtomicU64,
+    stop: AtomicBool,
+    best: Mutex<BestState>,
+}
+
+struct BestState {
+    best: Option<BestMapping>,
+    consecutive_fails: u64,
+    trace: Vec<(u64, f64)>,
+}
+
+/// Runs random search over `mapspace` under `config`.
+///
+/// # Panics
+///
+/// Panics if both `max_evaluations` and `termination` are `None` (the
+/// search would never stop), or if `threads` is zero.
+pub fn search(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
+    assert!(config.threads > 0, "need at least one search thread");
+    assert!(
+        config.max_evaluations.is_some() || config.termination.is_some(),
+        "unbounded search: set max_evaluations or termination"
+    );
+    let shared = Shared {
+        evals: AtomicU64::new(0),
+        valid: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        best: Mutex::new(BestState { best: None, consecutive_fails: 0, trace: Vec::new() }),
+    };
+
+    if config.threads == 1 {
+        worker(mapspace, config, &shared, 0);
+    } else {
+        crossbeam::scope(|scope| {
+            for t in 0..config.threads {
+                let shared = &shared;
+                scope.spawn(move |_| worker(mapspace, config, shared, t as u64));
+            }
+        })
+        .expect("search workers never panic");
+    }
+
+    let state = shared.best.into_inner().expect("no worker panicked");
+    SearchOutcome {
+        best: state.best,
+        evaluations: shared.evals.into_inner(),
+        valid: shared.valid.into_inner(),
+        trace: state.trace,
+    }
+}
+
+fn worker(mapspace: &Mapspace, config: &SearchConfig, shared: &Shared, thread_index: u64) {
+    let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(thread_index));
+    let arch = mapspace.arch();
+    let shape = mapspace.shape();
+    while !shared.stop.load(Ordering::Relaxed) {
+        let evals = shared.evals.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(max) = config.max_evaluations {
+            if evals > max {
+                shared.stop.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+        let mapping = mapspace.sample(&mut rng);
+        let Ok(report) = evaluate(arch, shape, &mapping, &config.model) else {
+            continue; // invalid mappings do not count toward termination
+        };
+        shared.valid.fetch_add(1, Ordering::Relaxed);
+        let cost = config.objective.cost(&report);
+        let mut state = shared.best.lock().expect("no worker panicked");
+        let improved = state.best.as_ref().is_none_or(|b| cost < b.cost);
+        if improved {
+            state.best = Some(BestMapping { mapping, report, cost });
+            state.consecutive_fails = 0;
+            state.trace.push((evals, cost));
+        } else {
+            state.consecutive_fails += 1;
+            if let Some(limit) = config.termination {
+                if state.consecutive_fails >= limit {
+                    shared.stop.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruby_arch::presets;
+    use ruby_mapspace::MapspaceKind;
+    use ruby_workload::ProblemShape;
+
+    fn toy_space(kind: MapspaceKind, pes: u64, d: u64) -> Mapspace {
+        Mapspace::new(presets::toy_linear(pes, 1024), ProblemShape::rank1("d", d), kind)
+    }
+
+    #[test]
+    fn finds_the_full_array_mapping_on_prime_bound() {
+        let outcome = search(&toy_space(MapspaceKind::RubyS, 16, 113), &SearchConfig::default());
+        let best = outcome.best.expect("valid mappings exist");
+        assert_eq!(best.report.cycles(), 8);
+        assert!(best.mapping.is_imperfect());
+        assert!(outcome.valid > 0);
+    }
+
+    #[test]
+    fn pfm_on_prime_bound_cannot_parallelize() {
+        let outcome = search(&toy_space(MapspaceKind::Pfm, 16, 113), &SearchConfig::default());
+        let best = outcome.best.expect("valid mappings exist");
+        // 113 is prime and > 16, so the only PFM spatial factor is 1.
+        assert_eq!(best.report.cycles(), 113);
+    }
+
+    #[test]
+    fn trace_is_monotonically_improving() {
+        let outcome = search(&toy_space(MapspaceKind::Ruby, 9, 100), &SearchConfig::default());
+        let costs: Vec<f64> = outcome.trace.iter().map(|&(_, c)| c).collect();
+        assert!(!costs.is_empty());
+        assert!(costs.windows(2).all(|w| w[1] < w[0]));
+        let evals: Vec<u64> = outcome.trace.iter().map(|&(e, _)| e).collect();
+        assert!(evals.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn max_evaluations_bounds_work() {
+        let config = SearchConfig {
+            max_evaluations: Some(50),
+            termination: None,
+            ..SearchConfig::default()
+        };
+        let outcome = search(&toy_space(MapspaceKind::Ruby, 9, 100), &config);
+        assert!(outcome.evaluations <= 51);
+    }
+
+    #[test]
+    fn multithreaded_matches_singlethreaded_quality() {
+        let space = toy_space(MapspaceKind::RubyS, 16, 113);
+        let single = search(&space, &SearchConfig::default());
+        let multi = search(&space, &SearchConfig { threads: 4, ..SearchConfig::default() });
+        // Both must find the 8-cycle optimum on this tiny space.
+        assert_eq!(
+            single.best.unwrap().report.cycles(),
+            multi.best.unwrap().report.cycles()
+        );
+    }
+
+    #[test]
+    fn objective_selects_metric() {
+        let space = toy_space(MapspaceKind::RubyS, 16, 113);
+        let config =
+            SearchConfig { objective: Objective::Delay, ..SearchConfig::default() };
+        let outcome = search(&space, &config);
+        assert_eq!(outcome.best.unwrap().report.cycles(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded search")]
+    fn unbounded_config_rejected() {
+        let config = SearchConfig {
+            max_evaluations: None,
+            termination: None,
+            ..SearchConfig::default()
+        };
+        let _ = search(&toy_space(MapspaceKind::Pfm, 4, 10), &config);
+    }
+}

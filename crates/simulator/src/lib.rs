@@ -1,0 +1,447 @@
+//! Functional loop-nest simulator for the Ruby reproduction.
+//!
+//! [`simulate`] *executes* a mapping: it walks the full loop nest —
+//! including the residual iterations of imperfect factors — and counts
+//! what actually happens:
+//!
+//! * **MACs** — one per leaf iteration (must equal the problem size);
+//! * **cycles** — temporal loops run sequentially, spatial loops in
+//!   lockstep (a spatial group costs the *longest* child);
+//! * **fills / drains** — per level, per tensor, per spatial instance:
+//!   whenever the data region a buffer must hold changes, the new region
+//!   is filled (and, for outputs, the old one drained);
+//! * **peak footprints** — the largest region each buffer actually held.
+//!
+//! The analytical model in `ruby-model` makes closed-form approximations
+//! (nominal loop counts for refetch multipliers, idealized reuse rules);
+//! this simulator is the executable reference those approximations are
+//! validated against. It is exact but walks every MAC, so it is limited
+//! to small problems ([`SimLimits::max_macs`], default 2²²).
+//!
+//! # Examples
+//!
+//! ```
+//! use ruby_arch::presets;
+//! use ruby_mapping::{Mapping, SlotKind};
+//! use ruby_simulator::{simulate, SimLimits};
+//! use ruby_workload::{Dim, ProblemShape};
+//!
+//! let arch = presets::toy_linear(6, 1024);
+//! let shape = ProblemShape::rank1("d", 100);
+//! let mut b = Mapping::builder(2);
+//! b.set_tile(Dim::M, 0, SlotKind::SpatialX, 6);
+//! let mapping = b.build_for_bounds(shape.bounds()).unwrap();
+//! let sim = simulate(&arch, &shape, &mapping, &SimLimits::default()).unwrap();
+//! assert_eq!(sim.macs, 100);
+//! assert_eq!(sim.cycles, 17); // the paper's Fig. 5 walkthrough
+//! ```
+
+use std::collections::HashMap;
+
+use ruby_arch::Architecture;
+use ruby_mapping::{Mapping, SlotId, SlotKind};
+use ruby_workload::{Dim, DimMap, Operand, ProblemShape, Rank, TensorDef};
+
+/// Resource limits for a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimLimits {
+    /// Refuse problems with more MACs than this (the walk is O(MACs)).
+    pub max_macs: u64,
+}
+
+impl Default for SimLimits {
+    fn default() -> Self {
+        SimLimits { max_macs: 1 << 22 }
+    }
+}
+
+/// Why a simulation could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The problem exceeds [`SimLimits::max_macs`].
+    TooLarge {
+        /// MACs the problem requires.
+        macs: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::TooLarge { macs, limit } => {
+                write!(f, "problem has {macs} MACs, simulator limit is {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// What actually happened when the mapping executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulationReport {
+    /// Leaf iterations executed (must equal the problem's MAC count).
+    pub macs: u64,
+    /// Lockstep cycle count.
+    pub cycles: u64,
+    /// Words filled into each level (outermost first) per operand,
+    /// summed across spatial instances. The outermost level (DRAM) is
+    /// the source and reports 0.
+    pub fills: Vec<[u64; 3]>,
+    /// Words drained (written back) out of each level per operand —
+    /// nonzero only for outputs.
+    pub drains: Vec<[u64; 3]>,
+    /// Peak words resident per level per operand, over any single
+    /// spatial instance.
+    pub peak_footprint: Vec<[u64; 3]>,
+}
+
+/// A half-open interval over one tensor rank.
+type Region = Vec<(u64, u64)>; // (base, extent) per rank
+
+/// One loop of the flattened nest, outermost first.
+#[derive(Debug, Clone, Copy)]
+struct LoopItem {
+    dim: Dim,
+    /// Child granularity (inner tile size along `dim`).
+    granularity: u64,
+    spatial: bool,
+    /// The slot this loop came from (for instance bookkeeping).
+    slot: SlotId,
+}
+
+/// Runs the mapping and returns the execution counts.
+///
+/// # Errors
+///
+/// Returns [`SimError::TooLarge`] when the problem exceeds the limits.
+///
+/// # Panics
+///
+/// Panics if the mapping was built for a different hierarchy depth than
+/// `arch`.
+pub fn simulate(
+    arch: &Architecture,
+    shape: &ProblemShape,
+    mapping: &Mapping,
+    limits: &SimLimits,
+) -> Result<SimulationReport, SimError> {
+    assert_eq!(
+        arch.num_levels(),
+        mapping.layout().num_levels(),
+        "mapping was built for a different hierarchy depth"
+    );
+    if shape.macs() > limits.max_macs {
+        return Err(SimError::TooLarge { macs: shape.macs(), limit: limits.max_macs });
+    }
+    let mut sim = Simulator::new(arch, shape, mapping);
+    let regions = DimMap::from_fn(|d| (0u64, shape.bound(d)));
+    let stats = sim.walk(0, regions);
+    sim.flush_outputs();
+    Ok(SimulationReport {
+        macs: stats.macs,
+        cycles: stats.cycles,
+        fills: sim.fills,
+        drains: sim.drains,
+        peak_footprint: sim.peak,
+    })
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct WalkStats {
+    macs: u64,
+    cycles: u64,
+}
+
+struct Simulator {
+    items: Vec<LoopItem>,
+    /// For each item index: the levels whose tile scope begins there.
+    markers: Vec<Vec<usize>>,
+    /// Tensors stored per level (operand defs resolved once).
+    stored: Vec<Vec<TensorDef>>,
+    /// Live spatial indices per item index (0 for temporal items).
+    spatial_index: Vec<u64>,
+    /// Last region held per (level, operand, instance-coordinates).
+    resident: HashMap<(usize, usize, Vec<u64>), Region>,
+    fills: Vec<[u64; 3]>,
+    drains: Vec<[u64; 3]>,
+    peak: Vec<[u64; 3]>,
+}
+
+impl Simulator {
+    fn new(arch: &Architecture, shape: &ProblemShape, mapping: &Mapping) -> Self {
+        let layout = *mapping.layout();
+        let num_levels = layout.num_levels();
+        // Flatten the nest, outermost slot first. Within a temporal block
+        // the permutation runs innermost-first, so reverse it; spatial
+        // slots have no meaningful order.
+        let mut items = Vec::new();
+        for raw in (0..layout.num_slots()).rev() {
+            let slot = SlotId::new(raw);
+
+            let level = layout.level_of(slot);
+            let kind = layout.kind_of(slot);
+            let dims: Vec<Dim> = if kind == SlotKind::Temporal {
+                mapping.permutation(level).iter().rev().copied().collect()
+            } else {
+                Dim::ALL.to_vec()
+            };
+            for d in dims {
+                let chain = mapping.tile_chain(d);
+                if chain[raw] == chain[raw + 1] {
+                    continue; // always a single iteration
+                }
+                items.push(LoopItem {
+                    dim: d,
+                    granularity: chain[raw],
+                    spatial: kind.is_spatial(),
+                    slot,
+                });
+            }
+        }
+        // Marker position for level l: after all items of slots ≥ b(l),
+        // i.e. at the item index where slot b(l) − 1 begins.
+        let mut markers = vec![Vec::new(); items.len() + 1];
+        for level in 0..num_levels {
+            let b = layout.storage_boundary(level);
+            let pos = if b >= layout.num_slots() {
+                0
+            } else {
+                // Items of slots ≥ b all precede this position.
+                items
+                    .iter()
+                    .position(|it| it.slot.index() < b)
+                    .unwrap_or(items.len())
+            };
+            markers[pos].push(level);
+        }
+        let stored: Vec<Vec<TensorDef>> = arch
+            .levels()
+            .iter()
+            .map(|lvl| {
+                Operand::ALL
+                    .iter()
+                    .filter(|op| lvl.stores(**op))
+                    .map(|op| shape.tensor(*op))
+                    .collect()
+            })
+            .collect();
+        let spatial_index = vec![0u64; items.len()];
+        Simulator {
+            items,
+            markers,
+            stored,
+            spatial_index,
+            resident: HashMap::new(),
+            fills: vec![[0; 3]; num_levels],
+            drains: vec![[0; 3]; num_levels],
+            peak: vec![[0; 3]; num_levels],
+        }
+    }
+
+    /// The data region of `tensor` for the current iteration-space
+    /// regions.
+    fn project(&self, tensor: &TensorDef, regions: &DimMap<(u64, u64)>) -> Region {
+        tensor
+            .ranks()
+            .iter()
+            .map(|rank| match *rank {
+                Rank::Simple(d) => regions[d],
+                Rank::Strided { pos, win, stride, dilation } => {
+                    let (pb, pe) = regions[pos];
+                    let (wb, we) = regions[win];
+                    (
+                        pb * stride + wb * dilation,
+                        (pe - 1) * stride + (we - 1) * dilation + 1,
+                    )
+                }
+            })
+            .collect()
+    }
+
+    /// Handles the tile-scope entries at item position `idx`.
+    fn enter_markers(&mut self, idx: usize, regions: &DimMap<(u64, u64)>) {
+        for li in 0..self.markers[idx].len() {
+            let level = self.markers[idx][li];
+            if level == 0 {
+                continue; // DRAM is the source; no fills.
+            }
+            for ti in 0..self.stored[level].len() {
+                let tensor = self.stored[level][ti].clone();
+                let op = tensor.operand();
+                let region = self.project(&tensor, regions);
+                let key = (level, op.index(), self.instance_key(level));
+                let footprint: u64 = region.iter().map(|&(_, e)| e).product();
+                let changed = self.resident.get(&key) != Some(&region);
+                if changed {
+                    if op.is_written() {
+                        if let Some(old) = self.resident.get(&key) {
+                            let old_fp: u64 = old.iter().map(|&(_, e)| e).product();
+                            self.drains[level][op.index()] += old_fp;
+                        }
+                    }
+                    self.fills[level][op.index()] += footprint;
+                    self.resident.insert(key, region);
+                }
+                let peak = &mut self.peak[level][op.index()];
+                *peak = (*peak).max(footprint);
+            }
+        }
+    }
+
+    /// Drains every still-resident output tile at the end of execution.
+    fn flush_outputs(&mut self) {
+        let drained: Vec<(usize, usize, u64)> = self
+            .resident
+            .iter()
+            .filter(|((_, op, _), _)| *op == Operand::Output.index())
+            .map(|((level, op, _), region)| {
+                (*level, *op, region.iter().map(|&(_, e)| e).product())
+            })
+            .collect();
+        for (level, op, fp) in drained {
+            self.drains[level][op] += fp;
+        }
+    }
+
+    /// Spatial coordinates identifying the current instance of `level`:
+    /// the indices of spatial loops at slots outside the level's
+    /// boundary.
+    fn instance_key(&self, level: usize) -> Vec<u64> {
+        let b = 3 * (self.stored.len() - level);
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| it.spatial && it.slot.index() >= b)
+            .map(|(i, _)| self.spatial_index[i])
+            .collect()
+    }
+
+    fn walk(&mut self, idx: usize, regions: DimMap<(u64, u64)>) -> WalkStats {
+        self.enter_markers(idx, &regions);
+        if idx == self.items.len() {
+            debug_assert!(regions.iter().all(|(_, &(_, e))| e == 1));
+            return WalkStats { macs: 1, cycles: 1 };
+        }
+        let item = self.items[idx];
+        let (base, extent) = regions[item.dim];
+        let g = item.granularity;
+        let mut stats = WalkStats::default();
+        let iterations = extent.div_ceil(g);
+        for i in 0..iterations {
+            let child_base = base + i * g;
+            let child_extent = g.min(base + extent - child_base);
+            let mut child_regions = regions;
+            child_regions[item.dim] = (child_base, child_extent);
+            if item.spatial {
+                self.spatial_index[idx] = i;
+            }
+            let child = self.walk(idx + 1, child_regions);
+            stats.macs += child.macs;
+            if item.spatial {
+                stats.cycles = stats.cycles.max(child.cycles);
+            } else {
+                stats.cycles += child.cycles;
+            }
+        }
+        if item.spatial {
+            self.spatial_index[idx] = 0;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruby_arch::presets;
+    use ruby_mapping::SlotKind;
+
+    fn rank1(d: u64) -> ProblemShape {
+        ProblemShape::rank1("d", d)
+    }
+
+    #[test]
+    fn serial_mapping_counts() {
+        let arch = presets::toy_linear(4, 1024);
+        let shape = rank1(10);
+        let m = Mapping::builder(2).build_for_bounds(shape.bounds()).unwrap();
+        let sim = simulate(&arch, &shape, &m, &SimLimits::default()).unwrap();
+        assert_eq!(sim.macs, 10);
+        assert_eq!(sim.cycles, 10);
+        // Each weight element enters a spad once: 10 unit fills.
+        assert_eq!(sim.fills[1][Operand::Weight.index()], 10);
+        // Input is a single element, reused in the spad.
+        assert_eq!(sim.fills[1][Operand::Input.index()], 1);
+        // Each output element is drained once.
+        assert_eq!(sim.drains[1][Operand::Output.index()], 10);
+    }
+
+    #[test]
+    fn fig5_imperfect_spatial_cycles() {
+        let arch = presets::toy_linear(6, 1024);
+        let shape = rank1(100);
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, 6);
+        let m = b.build_for_bounds(shape.bounds()).unwrap();
+        let sim = simulate(&arch, &shape, &m, &SimLimits::default()).unwrap();
+        assert_eq!(sim.macs, 100);
+        assert_eq!(sim.cycles, 17);
+        assert_eq!(sim.fills[1][Operand::Weight.index()], 100);
+    }
+
+    #[test]
+    fn nested_imperfect_temporal_runs_exact_residuals() {
+        let arch = presets::toy_linear(1, 1024);
+        let shape = rank1(100);
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 1, SlotKind::Temporal, 7);
+        let m = b.build_for_bounds(shape.bounds()).unwrap();
+        let sim = simulate(&arch, &shape, &m, &SimLimits::default()).unwrap();
+        // 14 full tiles of 7 plus a residual of 2: exactly 100 steps.
+        assert_eq!(sim.cycles, 100);
+        // The residual spad tile holds 2 words, the full ones 7.
+        assert_eq!(sim.peak_footprint[1][Operand::Weight.index()], 7);
+    }
+
+    #[test]
+    fn halo_refetch_counted() {
+        // Conv P=4, R=3, tiled into two P-tiles of 2: each tile spans 4
+        // input rows, total fills 8 (2 rows of halo refetched).
+        let shape = ProblemShape::conv("c", 1, 1, 1, 4, 1, 3, 1, (1, 1));
+        let arch = presets::toy_linear(1, 1024);
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::P, 1, SlotKind::Temporal, 2);
+        b.set_tile(Dim::R, 1, SlotKind::Temporal, 3);
+        let m = b.build_for_bounds(shape.bounds()).unwrap();
+        let sim = simulate(&arch, &shape, &m, &SimLimits::default()).unwrap();
+        assert_eq!(sim.fills[1][Operand::Input.index()], 8);
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let arch = presets::toy_linear(1, 1024);
+        let shape = ProblemShape::gemm("g", 4096, 4096, 4096);
+        let m = Mapping::builder(2).build_for_bounds(shape.bounds()).unwrap();
+        let err = simulate(&arch, &shape, &m, &SimLimits::default()).unwrap_err();
+        assert!(matches!(err, SimError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn spatial_instances_fill_independently() {
+        // 4 PEs each receive their own quarter of the weights.
+        let arch = presets::toy_linear(4, 1024);
+        let shape = rank1(16);
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, 4);
+        b.set_tile(Dim::M, 1, SlotKind::Temporal, 4);
+        let m = b.build_for_bounds(shape.bounds()).unwrap();
+        let sim = simulate(&arch, &shape, &m, &SimLimits::default()).unwrap();
+        assert_eq!(sim.macs, 16);
+        assert_eq!(sim.cycles, 4);
+        assert_eq!(sim.fills[1][Operand::Weight.index()], 16);
+        assert_eq!(sim.peak_footprint[1][Operand::Weight.index()], 4);
+    }
+}

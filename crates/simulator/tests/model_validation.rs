@@ -1,0 +1,166 @@
+//! Cross-validation of the analytical cost model against the functional
+//! simulator: for any mapping the samplers can produce on small
+//! problems, the model's exact quantities (MACs, cycles) must match the
+//! simulator bit-for-bit, and its approximate quantities (fills) must be
+//! conservative but not wildly so.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ruby_arch::presets;
+use ruby_mapping::{Mapping, SlotKind};
+use ruby_mapspace::{Mapspace, MapspaceKind};
+use ruby_model::{evaluate, ModelOptions};
+use ruby_simulator::{simulate, SimLimits};
+use ruby_workload::{Dim, Operand, ProblemShape};
+
+prop_compose! {
+    fn small_shape()(m in 1u64..20, c in 1u64..12, p in 1u64..10, q in 1u64..10,
+                     r in 1u64..4, s in 1u64..4) -> ProblemShape {
+        ProblemShape::conv("v", 1, m, c, p, q, r, s, (1, 1))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// MAC and cycle counts are exact in both implementations and must
+    /// agree for every sampled mapping of every mapspace kind.
+    #[test]
+    fn cycles_and_macs_agree(
+        shape in small_shape(),
+        pes in 1u64..10,
+        kind_idx in 0usize..4,
+        seed in 0u64..16,
+    ) {
+        let arch = presets::toy_linear(pes, 65536);
+        let kind = MapspaceKind::ALL[kind_idx];
+        let space = Mapspace::new(arch.clone(), shape.clone(), kind);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = space.sample(&mut rng);
+        let sim = simulate(&arch, &shape, &mapping, &SimLimits::default()).unwrap();
+        prop_assert_eq!(sim.macs, shape.macs());
+        prop_assert_eq!(sim.cycles, mapping.compute_cycles(),
+            "profile-based cycles disagree with execution for {:?}", mapping);
+        if let Ok(report) = evaluate(&arch, &shape, &mapping, &ModelOptions::default()) {
+            prop_assert_eq!(report.cycles(), sim.cycles);
+            prop_assert_eq!(report.macs(), sim.macs);
+        }
+    }
+
+    /// The model's fill counts are conservative: at least the simulator's
+    /// exact counts (which assume ideal single-tile reuse), and within a
+    /// bounded factor of them for weights (no halos, so only the
+    /// nominal-count approximation separates the two).
+    #[test]
+    fn model_fills_bound_simulated_fills(
+        shape in small_shape(),
+        pes in 1u64..10,
+        kind_idx in 0usize..4,
+        seed in 0u64..8,
+    ) {
+        let arch = presets::toy_linear(pes, 65536);
+        let kind = MapspaceKind::ALL[kind_idx];
+        let space = Mapspace::new(arch.clone(), shape.clone(), kind);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = space.sample(&mut rng);
+        let Ok(report) = evaluate(&arch, &shape, &mapping, &ModelOptions::default()) else {
+            return Ok(());
+        };
+        let sim = simulate(&arch, &shape, &mapping, &SimLimits::default()).unwrap();
+        for op in [Operand::Input, Operand::Weight] {
+            let model = report.level_stats()[1].per_tensor()[op.index()].fills;
+            let simulated = sim.fills[1][op.index()] as f64;
+            prop_assert!(
+                model >= simulated - 1e-6,
+                "{op}: model fills {model} below simulated {simulated}"
+            );
+        }
+    }
+
+    /// Peak simulated footprints never exceed the nominal tile sizes the
+    /// validity checker uses — capacity checking is sound.
+    #[test]
+    fn capacity_checking_is_sound(
+        shape in small_shape(),
+        pes in 1u64..10,
+        seed in 0u64..8,
+    ) {
+        let arch = presets::toy_linear(pes, 65536);
+        let space = Mapspace::new(arch.clone(), shape.clone(), MapspaceKind::Ruby);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = space.sample(&mut rng);
+        let sim = simulate(&arch, &shape, &mapping, &SimLimits::default()).unwrap();
+        let tile = mapping.tile_at_level(1);
+        for op in Operand::ALL {
+            let nominal = shape.tensor(op).footprint(&tile);
+            prop_assert!(
+                sim.peak_footprint[1][op.index()] <= nominal,
+                "{op}: simulated peak {} exceeds nominal {}",
+                sim.peak_footprint[1][op.index()],
+                nominal
+            );
+        }
+    }
+}
+
+/// For perfect mappings of a pointwise problem (no halos, no remainders)
+/// the model's weight and input fills must match the simulator exactly.
+#[test]
+fn perfect_pointwise_fills_match_exactly() {
+    let shape = ProblemShape::conv("pw", 1, 8, 4, 6, 6, 1, 1, (1, 1));
+    let arch = presets::toy_linear(4, 65536);
+    let mut b = Mapping::builder(2);
+    b.set_tile(Dim::M, 0, SlotKind::SpatialX, 4);
+    b.set_tile(Dim::C, 1, SlotKind::Temporal, 4);
+    b.set_tile(Dim::P, 1, SlotKind::Temporal, 3);
+    let mapping = b.build_for_bounds(shape.bounds()).unwrap();
+    let report = evaluate(&arch, &shape, &mapping, &ModelOptions::default()).unwrap();
+    let sim = simulate(&arch, &shape, &mapping, &SimLimits::default()).unwrap();
+    for op in [Operand::Input, Operand::Weight] {
+        let model = report.level_stats()[1].per_tensor()[op.index()].fills;
+        let simulated = sim.fills[1][op.index()] as f64;
+        assert_eq!(model, simulated, "{op} fills differ");
+    }
+}
+
+/// Dilated convolutions: the model's halo formula and the simulator's
+/// region projection must agree on input fills for perfect tilings.
+#[test]
+fn dilated_conv_fills_match() {
+    let shape =
+        ProblemShape::conv("dil", 1, 2, 2, 8, 8, 3, 3, (1, 1)).with_dilation((2, 2));
+    let arch = presets::toy_linear(2, 65536);
+    let mut b = Mapping::builder(2);
+    b.set_tile(Dim::P, 1, SlotKind::Temporal, 4);
+    b.set_tile(Dim::R, 1, SlotKind::Temporal, 3);
+    b.set_tile(Dim::S, 1, SlotKind::Temporal, 3);
+    b.set_tile(Dim::Q, 1, SlotKind::Temporal, 8);
+    b.set_tile(Dim::C, 1, SlotKind::Temporal, 2);
+    let mapping = b.build_for_bounds(shape.bounds()).unwrap();
+    let report = evaluate(&arch, &shape, &mapping, &ModelOptions::default()).unwrap();
+    let sim = simulate(&arch, &shape, &mapping, &SimLimits::default()).unwrap();
+    let model = report.level_stats()[1].per_tensor()[Operand::Input.index()].fills;
+    let simulated = sim.fills[1][Operand::Input.index()] as f64;
+    assert_eq!(model, simulated, "dilated halo fills differ");
+    assert_eq!(report.cycles(), sim.cycles);
+}
+
+/// The Fig. 9 handcrafted fold, scaled down to a simulable size, runs
+/// with the cycle count the model predicts.
+#[test]
+fn imperfect_fold_execution_matches_model() {
+    let shape = ProblemShape::conv("mini_alex", 1, 6, 4, 9, 9, 3, 3, (1, 1));
+    let arch = presets::eyeriss_like(4, 3);
+    let mut b = Mapping::builder(3);
+    b.set_tile(Dim::Q, 1, SlotKind::SpatialX, 4); // fold 9 over 4 columns
+    b.set_tile(Dim::M, 1, SlotKind::SpatialY, 3);
+    b.set_tile(Dim::S, 2, SlotKind::Temporal, 3);
+    b.set_tile(Dim::C, 2, SlotKind::Temporal, 2);
+    let mapping = b.build_for_bounds(shape.bounds()).unwrap();
+    let report = evaluate(&arch, &shape, &mapping, &ModelOptions::default()).unwrap();
+    let sim = simulate(&arch, &shape, &mapping, &SimLimits::default()).unwrap();
+    assert_eq!(report.cycles(), sim.cycles);
+    assert!(mapping.is_imperfect());
+}

@@ -1,0 +1,239 @@
+//! The seven canonical iteration dimensions and a dense map keyed by them.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// One of the seven iteration dimensions of the canonical CNN loop nest.
+///
+/// GEMM and rank-1 problems reuse the same dimension set with the unused
+/// dimensions pinned to 1 (see [`crate::ProblemShape::gemm`]).
+///
+/// # Examples
+///
+/// ```
+/// use ruby_workload::Dim;
+///
+/// assert!(Dim::C.is_reduction());
+/// assert!(!Dim::M.is_reduction());
+/// assert_eq!(Dim::ALL.len(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dim {
+    /// Batch.
+    N,
+    /// Output channels.
+    M,
+    /// Input channels (reduction).
+    C,
+    /// Output feature-map rows.
+    P,
+    /// Output feature-map columns.
+    Q,
+    /// Filter rows (reduction).
+    R,
+    /// Filter columns (reduction).
+    S,
+}
+
+impl Dim {
+    /// All seven dimensions in canonical order.
+    pub const ALL: [Dim; 7] = [Dim::N, Dim::M, Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S];
+
+    /// The dense index of this dimension within [`Dim::ALL`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Dim::N => 0,
+            Dim::M => 1,
+            Dim::C => 2,
+            Dim::P => 3,
+            Dim::Q => 4,
+            Dim::R => 5,
+            Dim::S => 6,
+        }
+    }
+
+    /// Returns the dimension with the given dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 7`.
+    #[inline]
+    pub const fn from_index(index: usize) -> Dim {
+        Dim::ALL[index]
+    }
+
+    /// Whether the dimension is a reduction dimension, i.e. one that does
+    /// *not* index the output tensor (`C`, `R`, `S`). Iterating a reduction
+    /// dimension accumulates into the same output elements.
+    #[inline]
+    pub const fn is_reduction(self) -> bool {
+        matches!(self, Dim::C | Dim::R | Dim::S)
+    }
+
+    /// Single-letter name, as used in loop-nest listings.
+    pub const fn letter(self) -> char {
+        match self {
+            Dim::N => 'N',
+            Dim::M => 'M',
+            Dim::C => 'C',
+            Dim::P => 'P',
+            Dim::Q => 'Q',
+            Dim::R => 'R',
+            Dim::S => 'S',
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// A dense map from [`Dim`] to `T`, stored inline.
+///
+/// This is the workhorse container for per-dimension data: loop bounds,
+/// tile sizes, factor assignments. It implements `Index<Dim>` so lookups
+/// read naturally:
+///
+/// ```
+/// use ruby_workload::{Dim, DimMap};
+///
+/// let mut bounds = DimMap::splat(1u64);
+/// bounds[Dim::M] = 64;
+/// assert_eq!(bounds[Dim::M], 64);
+/// assert_eq!(bounds[Dim::C], 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DimMap<T>([T; 7]);
+
+impl<T> DimMap<T> {
+    /// Builds a map by evaluating `f` for every dimension.
+    pub fn from_fn(mut f: impl FnMut(Dim) -> T) -> Self {
+        DimMap(Dim::ALL.map(&mut f))
+    }
+
+    /// Iterates `(Dim, &T)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Dim, &T)> {
+        Dim::ALL.iter().copied().zip(self.0.iter())
+    }
+
+    /// Iterates `(Dim, &mut T)` pairs in canonical order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Dim, &mut T)> {
+        Dim::ALL.iter().copied().zip(self.0.iter_mut())
+    }
+
+    /// Returns a map holding references to this map's values.
+    pub fn as_ref(&self) -> DimMap<&T> {
+        DimMap::from_fn(|d| &self[d])
+    }
+
+    /// Maps every value through `f`, producing a new map.
+    pub fn map<U>(&self, mut f: impl FnMut(Dim, &T) -> U) -> DimMap<U> {
+        DimMap::from_fn(|d| f(d, &self[d]))
+    }
+
+    /// The raw values in canonical dimension order.
+    pub fn values(&self) -> &[T; 7] {
+        &self.0
+    }
+}
+
+impl<T: Clone> DimMap<T> {
+    /// Builds a map with every entry set to `value`.
+    pub fn splat(value: T) -> Self {
+        DimMap(std::array::from_fn(|_| value.clone()))
+    }
+}
+
+impl<T: Default> Default for DimMap<T> {
+    fn default() -> Self {
+        DimMap(std::array::from_fn(|_| T::default()))
+    }
+}
+
+impl<T> Index<Dim> for DimMap<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, dim: Dim) -> &T {
+        &self.0[dim.index()]
+    }
+}
+
+impl<T> IndexMut<Dim> for DimMap<T> {
+    #[inline]
+    fn index_mut(&mut self, dim: Dim) -> &mut T {
+        &mut self.0[dim.index()]
+    }
+}
+
+impl<T> From<[T; 7]> for DimMap<T> {
+    /// Interprets the array in canonical `[N, M, C, P, Q, R, S]` order.
+    fn from(values: [T; 7]) -> Self {
+        DimMap(values)
+    }
+}
+
+impl DimMap<u64> {
+    /// Product of all entries. Saturates at `u64::MAX`.
+    pub fn product(&self) -> u64 {
+        self.0
+            .iter()
+            .fold(1u64, |acc, &v| acc.saturating_mul(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_dims_round_trip_through_index() {
+        for (i, d) in Dim::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+            assert_eq!(Dim::from_index(i), *d);
+        }
+    }
+
+    #[test]
+    fn reduction_dims_are_exactly_c_r_s() {
+        let reductions: Vec<Dim> = Dim::ALL.iter().copied().filter(|d| d.is_reduction()).collect();
+        assert_eq!(reductions, vec![Dim::C, Dim::R, Dim::S]);
+    }
+
+    #[test]
+    fn dim_map_index_and_mutation() {
+        let mut m = DimMap::splat(0u64);
+        m[Dim::P] = 28;
+        m[Dim::Q] = 28;
+        assert_eq!(m[Dim::P], 28);
+        assert_eq!(m[Dim::N], 0);
+        assert_eq!(m.iter().filter(|(_, &v)| v == 28).count(), 2);
+    }
+
+    #[test]
+    fn dim_map_from_fn_and_map() {
+        let m = DimMap::from_fn(|d| d.index() as u64 + 1);
+        assert_eq!(m[Dim::N], 1);
+        assert_eq!(m[Dim::S], 7);
+        assert_eq!(m.product(), 5040);
+        let doubled = m.map(|_, &v| v * 2);
+        assert_eq!(doubled[Dim::S], 14);
+    }
+
+    #[test]
+    fn dim_map_product_saturates() {
+        let m = DimMap::splat(u64::MAX);
+        assert_eq!(m.product(), u64::MAX);
+    }
+
+    #[test]
+    fn display_letters() {
+        let s: String = Dim::ALL.iter().map(|d| d.letter()).collect();
+        assert_eq!(s, "NMCPQRS");
+    }
+}

@@ -1,0 +1,48 @@
+//! Tensor-algebra workload model for the Ruby mapper reproduction.
+//!
+//! A *workload* is a single tensor operation — a convolution, a GEMM, or a
+//! degenerate rank-1 allocation problem — expressed as the canonical 7-dim
+//! CNN loop nest used by Timeloop-style mappers:
+//!
+//! ```text
+//! for n in 0..N      // batch
+//!  for m in 0..M     // output channels
+//!   for c in 0..C    // input channels   (reduction)
+//!    for p in 0..P   // output rows
+//!     for q in 0..Q  // output cols
+//!      for r in 0..R // filter rows      (reduction)
+//!       for s in 0..S// filter cols      (reduction)
+//!        O[n,m,p,q] += W[m,c,r,s] * I[n,c,p*sh+r,q*sw+s]
+//! ```
+//!
+//! The crate provides:
+//!
+//! * [`Dim`] / [`DimMap`] — the seven iteration dimensions and a dense map
+//!   keyed by them;
+//! * [`ProblemShape`] — the bounds of one operation plus convolution
+//!   strides;
+//! * [`tensor`] — the three operand tensors and their projections from the
+//!   iteration space to data coordinates (including sliding-window input
+//!   halos);
+//! * [`suites`] — the workload suites evaluated in the paper (ResNet-50,
+//!   AlexNet layer 2, a DeepBench subset, and the toy problems of Figs. 7–8
+//!   and Table I).
+//!
+//! # Examples
+//!
+//! ```
+//! use ruby_workload::{Dim, ProblemShape};
+//!
+//! let gemm = ProblemShape::gemm("toy", 100, 100, 100);
+//! assert_eq!(gemm.bound(Dim::M), 100);
+//! assert_eq!(gemm.macs(), 1_000_000);
+//! ```
+
+pub mod dims;
+pub mod shape;
+pub mod suites;
+pub mod tensor;
+
+pub use dims::{Dim, DimMap};
+pub use shape::ProblemShape;
+pub use tensor::{Operand, Rank, TensorDef};

@@ -1,0 +1,289 @@
+//! Problem shapes: the bounds of one tensor operation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dims::{Dim, DimMap};
+use crate::tensor::{Operand, TensorDef};
+
+/// The shape of a single tensor operation expressed as the canonical 7-dim
+/// loop nest (see the crate docs), plus convolution strides.
+///
+/// Construct with [`ProblemShape::conv`], [`ProblemShape::gemm`], or
+/// [`ProblemShape::rank1`]; all three validate their inputs.
+///
+/// # Examples
+///
+/// ```
+/// use ruby_workload::{Dim, ProblemShape};
+///
+/// let layer = ProblemShape::conv("conv3x3", 1, 64, 64, 56, 56, 3, 3, (1, 1));
+/// assert_eq!(layer.bound(Dim::R), 3);
+/// assert_eq!(layer.input_height(), 58);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProblemShape {
+    name: String,
+    bounds: DimMap<u64>,
+    /// (vertical, horizontal) convolution stride.
+    stride: (u64, u64),
+    /// (vertical, horizontal) filter dilation.
+    dilation: (u64, u64),
+}
+
+impl ProblemShape {
+    /// A convolution layer. Arguments follow the canonical dimension order:
+    /// batch `n`, output channels `m`, input channels `c`, output rows `p`,
+    /// output cols `q`, filter rows `r`, filter cols `s`, and `(vertical,
+    /// horizontal)` stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound or stride is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        name: impl Into<String>,
+        n: u64,
+        m: u64,
+        c: u64,
+        p: u64,
+        q: u64,
+        r: u64,
+        s: u64,
+        stride: (u64, u64),
+    ) -> Self {
+        let bounds = DimMap::from([n, m, c, p, q, r, s]);
+        assert!(
+            bounds.iter().all(|(_, &b)| b > 0) && stride.0 > 0 && stride.1 > 0,
+            "problem bounds and strides must be positive"
+        );
+        ProblemShape { name: name.into(), bounds, stride, dilation: (1, 1) }
+    }
+
+    /// Returns a copy with the given `(vertical, horizontal)` filter
+    /// dilation (atrous convolution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dilation is zero.
+    pub fn with_dilation(mut self, dilation: (u64, u64)) -> Self {
+        assert!(dilation.0 > 0 && dilation.1 > 0, "dilations must be positive");
+        self.dilation = dilation;
+        self
+    }
+
+    /// A GEMM `Z[m, n] = Σ_k A[m, k] · B[k, n]` encoded in the CNN loop
+    /// nest: `M = m`, `C = k` (reduction), `P = n`, everything else 1.
+    /// Under this encoding the weight tensor plays the role of `A`, the
+    /// input tensor the role of `B` and the output the role of `Z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `m`, `n`, `k` is zero.
+    pub fn gemm(name: impl Into<String>, m: u64, n: u64, k: u64) -> Self {
+        ProblemShape::conv(name, 1, m, k, n, 1, 1, 1, (1, 1))
+    }
+
+    /// A rank-1 allocation problem of extent `d` along the `M` dimension —
+    /// the single-dimensional tensor used by the paper's Table I and
+    /// Fig. 8 toy studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn rank1(name: impl Into<String>, d: u64) -> Self {
+        ProblemShape::gemm(name, d, 1, 1)
+    }
+
+    /// The layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The loop bound of dimension `dim`.
+    #[inline]
+    pub fn bound(&self, dim: Dim) -> u64 {
+        self.bounds[dim]
+    }
+
+    /// All seven loop bounds.
+    pub fn bounds(&self) -> &DimMap<u64> {
+        &self.bounds
+    }
+
+    /// `(vertical, horizontal)` convolution stride.
+    pub fn stride(&self) -> (u64, u64) {
+        self.stride
+    }
+
+    /// `(vertical, horizontal)` filter dilation.
+    pub fn dilation(&self) -> (u64, u64) {
+        self.dilation
+    }
+
+    /// Total multiply-accumulate operations: the product of all bounds.
+    pub fn macs(&self) -> u64 {
+        self.bounds.product()
+    }
+
+    /// Input feature-map height implied by `P`, `R` and the vertical
+    /// stride: `(P − 1)·stride + R`.
+    pub fn input_height(&self) -> u64 {
+        (self.bound(Dim::P) - 1) * self.stride.0
+            + (self.bound(Dim::R) - 1) * self.dilation.0
+            + 1
+    }
+
+    /// Input feature-map width implied by `Q`, `S` and the horizontal
+    /// stride: `(Q − 1)·stride + S`.
+    pub fn input_width(&self) -> u64 {
+        (self.bound(Dim::Q) - 1) * self.stride.1
+            + (self.bound(Dim::S) - 1) * self.dilation.1
+            + 1
+    }
+
+    /// The three operand tensor definitions (input, weight, output) with
+    /// their projections for this shape.
+    pub fn tensors(&self) -> [TensorDef; 3] {
+        [
+            TensorDef::input_dilated(self.stride, self.dilation),
+            TensorDef::weight(),
+            TensorDef::output(),
+        ]
+    }
+
+    /// The definition of one operand.
+    pub fn tensor(&self, operand: Operand) -> TensorDef {
+        match operand {
+            Operand::Input => TensorDef::input_dilated(self.stride, self.dilation),
+            Operand::Weight => TensorDef::weight(),
+            Operand::Output => TensorDef::output(),
+        }
+    }
+
+    /// Number of elements of `operand` touched by the whole problem.
+    ///
+    /// ```
+    /// use ruby_workload::{Operand, ProblemShape};
+    ///
+    /// let g = ProblemShape::gemm("g", 4, 5, 6);
+    /// assert_eq!(g.tensor_size(Operand::Weight), 24);  // 4×6
+    /// assert_eq!(g.tensor_size(Operand::Input), 30);   // 6×5
+    /// assert_eq!(g.tensor_size(Operand::Output), 20);  // 4×5
+    /// ```
+    pub fn tensor_size(&self, operand: Operand) -> u64 {
+        self.tensor(operand).footprint(&self.bounds)
+    }
+
+    /// Returns a copy with dimension `dim` padded up to the next multiple
+    /// of `multiple`. Used by the padding baseline of Fig. 8: padded
+    /// elements perform ineffectual work but restore perfect divisibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiple` is zero.
+    pub fn padded_to_multiple(&self, dim: Dim, multiple: u64) -> ProblemShape {
+        assert!(multiple > 0, "padding multiple must be positive");
+        let mut padded = self.clone();
+        let b = padded.bounds[dim];
+        padded.bounds[dim] = b.div_ceil(multiple) * multiple;
+        if padded.bounds[dim] != b {
+            padded.name = format!("{}+pad{}{}", self.name, dim, padded.bounds[dim]);
+        }
+        padded
+    }
+}
+
+impl fmt::Display for ProblemShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [", self.name)?;
+        for (i, (d, b)) in self.bounds.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{d}={b}")?;
+        }
+        write!(f, " stride={}x{}]", self.stride.0, self.stride.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_bounds_and_macs() {
+        let l = ProblemShape::conv("l", 1, 64, 3, 112, 112, 7, 7, (2, 2));
+        assert_eq!(l.bound(Dim::M), 64);
+        assert_eq!(l.macs(), 64 * 3 * 112 * 112 * 7 * 7);
+        assert_eq!(l.input_height(), 111 * 2 + 7);
+    }
+
+    #[test]
+    fn gemm_encoding() {
+        let g = ProblemShape::gemm("g", 100, 100, 100);
+        assert_eq!(g.bound(Dim::M), 100);
+        assert_eq!(g.bound(Dim::C), 100);
+        assert_eq!(g.bound(Dim::P), 100);
+        assert_eq!(g.bound(Dim::Q), 1);
+        assert_eq!(g.macs(), 1_000_000);
+    }
+
+    #[test]
+    fn rank1_encoding() {
+        let r = ProblemShape::rank1("d", 113);
+        assert_eq!(r.bound(Dim::M), 113);
+        assert_eq!(r.macs(), 113);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_rejected() {
+        let _ = ProblemShape::conv("bad", 0, 1, 1, 1, 1, 1, 1, (1, 1));
+    }
+
+    #[test]
+    fn padding_rounds_up() {
+        let r = ProblemShape::rank1("d", 113);
+        let padded = r.padded_to_multiple(Dim::M, 16);
+        assert_eq!(padded.bound(Dim::M), 128);
+        // Already aligned: unchanged, including name.
+        let aligned = padded.padded_to_multiple(Dim::M, 16);
+        assert_eq!(aligned.bound(Dim::M), 128);
+        assert_eq!(aligned.name(), padded.name());
+    }
+
+    #[test]
+    fn tensor_sizes_for_conv() {
+        let l = ProblemShape::conv("l", 1, 8, 4, 10, 10, 3, 3, (1, 1));
+        assert_eq!(l.tensor_size(Operand::Weight), 8 * 4 * 3 * 3);
+        assert_eq!(l.tensor_size(Operand::Output), 8 * 10 * 10);
+        assert_eq!(l.tensor_size(Operand::Input), 4 * 12 * 12);
+    }
+
+    #[test]
+    fn dilation_grows_input_extents() {
+        let l = ProblemShape::conv("d", 1, 8, 4, 10, 10, 3, 3, (1, 1)).with_dilation((2, 2));
+        assert_eq!(l.dilation(), (2, 2));
+        // (10-1)*1 + (3-1)*2 + 1 = 14 input rows.
+        assert_eq!(l.input_height(), 14);
+        assert_eq!(l.tensor_size(Operand::Input), 4 * 14 * 14);
+        // Weights and outputs are unaffected by dilation.
+        assert_eq!(l.tensor_size(Operand::Weight), 8 * 4 * 3 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dilations must be positive")]
+    fn zero_dilation_rejected() {
+        let _ = ProblemShape::conv("d", 1, 1, 1, 4, 4, 3, 3, (1, 1)).with_dilation((0, 1));
+    }
+
+    #[test]
+    fn display_is_nonempty_and_named() {
+        let l = ProblemShape::gemm("disp", 2, 3, 4);
+        let s = l.to_string();
+        assert!(s.contains("disp"));
+        assert!(s.contains("M=2"));
+    }
+}

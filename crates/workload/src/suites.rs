@@ -1,0 +1,341 @@
+//! Workload suites evaluated in the paper.
+//!
+//! * [`resnet50`] — the unique convolution/GEMM layers of ResNet-50
+//!   (batch 1), the workload of Figs. 10, 12, 13a and 14a;
+//! * [`alexnet_layer2`] — the AlexNet layer-2 case study of Fig. 9;
+//! * [`deepbench`] — a representative subset of Baidu DeepBench inference
+//!   layers spanning vision, speech, face and text tasks (Figs. 11, 13b,
+//!   14b);
+//! * toy problems for Figs. 7–8 and Table I ([`toy_gemm_100`],
+//!   [`toy_conv_28`], [`rank1_sweep`]).
+
+use crate::shape::ProblemShape;
+
+/// A named group of layers evaluated together, with per-layer occurrence
+/// counts so whole-network totals weight repeated layers correctly.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    name: String,
+    layers: Vec<(ProblemShape, u64)>,
+}
+
+impl Suite {
+    /// Creates a suite from `(layer, repeat-count)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or any repeat count is zero.
+    pub fn new(name: impl Into<String>, layers: Vec<(ProblemShape, u64)>) -> Self {
+        assert!(!layers.is_empty(), "a suite must contain at least one layer");
+        assert!(layers.iter().all(|(_, n)| *n > 0), "repeat counts must be positive");
+        Suite { name: name.into(), layers }
+    }
+
+    /// The suite name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The unique layers with their repeat counts.
+    pub fn layers(&self) -> &[(ProblemShape, u64)] {
+        &self.layers
+    }
+
+    /// Iterates the unique layer shapes (ignoring repeat counts).
+    pub fn iter(&self) -> impl Iterator<Item = &ProblemShape> {
+        self.layers.iter().map(|(l, _)| l)
+    }
+
+    /// Number of unique layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the suite is empty (never true for constructed suites).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total MACs across the network, weighting repeated layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers
+            .iter()
+            .fold(0u64, |acc, (l, n)| acc.saturating_add(l.macs().saturating_mul(*n)))
+    }
+}
+
+/// The unique convolution and fully-connected layers of ResNet-50
+/// (ImageNet, batch 1), with repeat counts covering the full network.
+/// Downsampling follows the v1.5 convention (stride 2 in the 3×3
+/// convolution of the first block of each stage).
+pub fn resnet50() -> Suite {
+    let c = ProblemShape::conv;
+    let layers = vec![
+        // conv1: 7x7/2, 3 -> 64, 224 -> 112.
+        (c("conv1", 1, 64, 3, 112, 112, 7, 7, (2, 2)), 1),
+        // Stage 2 (56x56).
+        (c("res2_br1", 1, 256, 64, 56, 56, 1, 1, (1, 1)), 1),
+        (c("res2a_1x1a", 1, 64, 64, 56, 56, 1, 1, (1, 1)), 1),
+        (c("res2_3x3", 1, 64, 64, 56, 56, 3, 3, (1, 1)), 3),
+        (c("res2_1x1c", 1, 256, 64, 56, 56, 1, 1, (1, 1)), 3),
+        (c("res2_1x1a", 1, 64, 256, 56, 56, 1, 1, (1, 1)), 2),
+        // Stage 3 (28x28).
+        (c("res3_br1", 1, 512, 256, 28, 28, 1, 1, (2, 2)), 1),
+        (c("res3a_1x1a", 1, 128, 256, 56, 56, 1, 1, (1, 1)), 1),
+        (c("res3a_3x3s2", 1, 128, 128, 28, 28, 3, 3, (2, 2)), 1),
+        (c("res3_3x3", 1, 128, 128, 28, 28, 3, 3, (1, 1)), 3),
+        (c("res3_1x1c", 1, 512, 128, 28, 28, 1, 1, (1, 1)), 4),
+        (c("res3_1x1a", 1, 128, 512, 28, 28, 1, 1, (1, 1)), 3),
+        // Stage 4 (14x14).
+        (c("res4_br1", 1, 1024, 512, 14, 14, 1, 1, (2, 2)), 1),
+        (c("res4a_1x1a", 1, 256, 512, 28, 28, 1, 1, (1, 1)), 1),
+        (c("res4a_3x3s2", 1, 256, 256, 14, 14, 3, 3, (2, 2)), 1),
+        (c("res4_3x3", 1, 256, 256, 14, 14, 3, 3, (1, 1)), 5),
+        (c("res4_1x1c", 1, 1024, 256, 14, 14, 1, 1, (1, 1)), 6),
+        (c("res4_1x1a", 1, 256, 1024, 14, 14, 1, 1, (1, 1)), 5),
+        // Stage 5 (7x7).
+        (c("res5_br1", 1, 2048, 1024, 7, 7, 1, 1, (2, 2)), 1),
+        (c("res5a_1x1a", 1, 512, 1024, 14, 14, 1, 1, (1, 1)), 1),
+        (c("res5a_3x3s2", 1, 512, 512, 7, 7, 3, 3, (2, 2)), 1),
+        (c("res5_3x3", 1, 512, 512, 7, 7, 3, 3, (1, 1)), 2),
+        (c("res5_1x1c", 1, 2048, 512, 7, 7, 1, 1, (1, 1)), 3),
+        (c("res5_1x1a", 1, 512, 2048, 7, 7, 1, 1, (1, 1)), 2),
+        // Classifier.
+        (ProblemShape::gemm("fc1000", 1000, 1, 2048), 1),
+    ];
+    Suite::new("resnet50", layers)
+}
+
+/// AlexNet layer 2 as described in the paper's Fig. 9 case study:
+/// IFM 27×27×48, 5×5 filters, 96 output channels, stride 1
+/// (per-group shapes of the original grouped convolution).
+pub fn alexnet_layer2() -> ProblemShape {
+    // Output stays 27x27 thanks to padding; the loop nest sees P = Q = 27.
+    ProblemShape::conv("alexnet_conv2", 1, 96, 48, 27, 27, 5, 5, (1, 1))
+}
+
+/// A representative subset of Baidu DeepBench inference layers, spanning
+/// the task categories of Fig. 11. Names are prefixed by category so
+/// reports group naturally. Output extents are derived from the published
+/// input extents with "same"-style padding where the original used it.
+pub fn deepbench() -> Suite {
+    let c = ProblemShape::conv;
+    let layers = vec![
+        // --- Speech (DeepSpeech 2): tall skinny spectrogram convs.
+        (c("speech_ds_l1", 1, 32, 1, 79, 341, 5, 20, (2, 2)), 1),
+        (c("speech_ds_l2", 1, 32, 32, 38, 166, 5, 10, (2, 1)), 1),
+        // --- Vision (ResNet / VGG style, ImageNet geometry).
+        (c("vision_conv7x7", 1, 64, 3, 112, 112, 7, 7, (2, 2)), 1),
+        (c("vision_conv3x3_56", 1, 64, 64, 56, 56, 3, 3, (1, 1)), 1),
+        (c("vision_conv3x3_28", 1, 128, 128, 28, 28, 3, 3, (1, 1)), 1),
+        (c("vision_conv3x3_14", 1, 256, 256, 14, 14, 3, 3, (1, 1)), 1),
+        (c("vision_conv3x3_7", 1, 512, 512, 7, 7, 3, 3, (1, 1)), 1),
+        (c("vision_pw_28", 1, 512, 128, 28, 28, 1, 1, (1, 1)), 1),
+        // --- Face recognition (DeepFace-style local geometry).
+        (c("face_conv_108", 1, 64, 3, 108, 108, 3, 3, (2, 2)), 1),
+        (c("face_conv_27", 1, 192, 64, 27, 27, 3, 3, (1, 1)), 1),
+        (c("face_conv_13", 1, 384, 192, 13, 13, 3, 3, (1, 1)), 1),
+        // --- Speaker identification / text: dense (GEMM) layers.
+        (ProblemShape::gemm("speaker_gemm_1760", 1760, 16, 1760), 1),
+        (ProblemShape::gemm("speaker_gemm_2560", 2560, 32, 2560), 1),
+        (ProblemShape::gemm("text_gemm_2048", 2048, 16, 2048), 1),
+        (ProblemShape::gemm("text_gemm_4096", 4096, 8, 4096), 1),
+        (ProblemShape::gemm("speech_gemm_1024", 1024, 128, 512), 1),
+    ];
+    Suite::new("deepbench", layers)
+}
+
+/// The full AlexNet convolution stack (per-group shapes for the grouped
+/// layers, as in the paper's layer-2 case study) plus the three dense
+/// layers. Useful for handcrafted-vs-mapper studies beyond Fig. 9.
+pub fn alexnet() -> Suite {
+    let c = ProblemShape::conv;
+    let layers = vec![
+        (c("alexnet_conv1", 1, 96, 3, 55, 55, 11, 11, (4, 4)), 1),
+        (alexnet_layer2(), 1),
+        (c("alexnet_conv3", 1, 384, 256, 13, 13, 3, 3, (1, 1)), 1),
+        (c("alexnet_conv4", 1, 384, 192, 13, 13, 3, 3, (1, 1)), 1),
+        (c("alexnet_conv5", 1, 256, 192, 13, 13, 3, 3, (1, 1)), 1),
+        (ProblemShape::gemm("alexnet_fc6", 4096, 1, 9216), 1),
+        (ProblemShape::gemm("alexnet_fc7", 4096, 1, 4096), 1),
+        (ProblemShape::gemm("alexnet_fc8", 1000, 1, 4096), 1),
+    ];
+    Suite::new("alexnet", layers)
+}
+
+/// The unique convolution layers of VGG-16 (batch 1) plus its dense
+/// head. VGG's power-of-two channel counts and 224-derived feature maps
+/// align unusually well with factor-7 arrays — a useful contrast to
+/// DeepBench's hostile shapes.
+pub fn vgg16() -> Suite {
+    let c = ProblemShape::conv;
+    let layers = vec![
+        (c("vgg_conv1_1", 1, 64, 3, 224, 224, 3, 3, (1, 1)), 1),
+        (c("vgg_conv1_2", 1, 64, 64, 224, 224, 3, 3, (1, 1)), 1),
+        (c("vgg_conv2_1", 1, 128, 64, 112, 112, 3, 3, (1, 1)), 1),
+        (c("vgg_conv2_2", 1, 128, 128, 112, 112, 3, 3, (1, 1)), 1),
+        (c("vgg_conv3_1", 1, 256, 128, 56, 56, 3, 3, (1, 1)), 1),
+        (c("vgg_conv3_x", 1, 256, 256, 56, 56, 3, 3, (1, 1)), 2),
+        (c("vgg_conv4_1", 1, 512, 256, 28, 28, 3, 3, (1, 1)), 1),
+        (c("vgg_conv4_x", 1, 512, 512, 28, 28, 3, 3, (1, 1)), 2),
+        (c("vgg_conv5_x", 1, 512, 512, 14, 14, 3, 3, (1, 1)), 3),
+        (ProblemShape::gemm("vgg_fc6", 4096, 1, 25088), 1),
+        (ProblemShape::gemm("vgg_fc7", 4096, 1, 4096), 1),
+        (ProblemShape::gemm("vgg_fc8", 1000, 1, 4096), 1),
+    ];
+    Suite::new("vgg16", layers)
+}
+
+/// The standard (non-depthwise) convolutions of MobileNet-v1: the 3×3
+/// stem plus the pointwise (1×1) stack. Depthwise layers are omitted —
+/// the canonical 7-dim nest has no group dimension, and pointwise layers
+/// dominate MobileNet's MACs anyway. Channel counts that are multiples
+/// of 32 misalign with 12-row arrays, making this a Ruby-friendly suite.
+pub fn mobilenet_v1_pointwise() -> Suite {
+    let c = ProblemShape::conv;
+    let layers = vec![
+        (c("mbn_conv1", 1, 32, 3, 112, 112, 3, 3, (2, 2)), 1),
+        (c("mbn_pw_64", 1, 64, 32, 112, 112, 1, 1, (1, 1)), 1),
+        (c("mbn_pw_128a", 1, 128, 64, 56, 56, 1, 1, (1, 1)), 1),
+        (c("mbn_pw_128b", 1, 128, 128, 56, 56, 1, 1, (1, 1)), 1),
+        (c("mbn_pw_256a", 1, 256, 128, 28, 28, 1, 1, (1, 1)), 1),
+        (c("mbn_pw_256b", 1, 256, 256, 28, 28, 1, 1, (1, 1)), 1),
+        (c("mbn_pw_512a", 1, 512, 256, 14, 14, 1, 1, (1, 1)), 1),
+        (c("mbn_pw_512b", 1, 512, 512, 14, 14, 1, 1, (1, 1)), 5),
+        (c("mbn_pw_1024a", 1, 1024, 512, 7, 7, 1, 1, (1, 1)), 1),
+        (c("mbn_pw_1024b", 1, 1024, 1024, 7, 7, 1, 1, (1, 1)), 1),
+        (ProblemShape::gemm("mbn_fc", 1000, 1, 1024), 1),
+    ];
+    Suite::new("mobilenet_v1_pw", layers)
+}
+
+/// The Fig. 7a/b toy: a GEMM over two 100×100 tensors.
+pub fn toy_gemm_100() -> ProblemShape {
+    ProblemShape::gemm("toy_gemm_100", 100, 100, 100)
+}
+
+/// The Fig. 7c/d toy: a 3×3×64 filter convolved with a 28×28×64 image
+/// (valid convolution, 64 output channels).
+pub fn toy_conv_28() -> ProblemShape {
+    ProblemShape::conv("toy_conv_28", 1, 64, 64, 26, 26, 3, 3, (1, 1))
+}
+
+/// Rank-1 problems of the given extents — Table I uses 3…4096, Fig. 8
+/// sweeps around a 16-PE linear array (e.g. 113, 127, 128).
+pub fn rank1_sweep(extents: &[u64]) -> Vec<ProblemShape> {
+    extents
+        .iter()
+        .map(|&d| ProblemShape::rank1(format!("rank1_{d}"), d))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::Dim;
+
+    #[test]
+    fn resnet50_has_expected_structure() {
+        let suite = resnet50();
+        assert_eq!(suite.name(), "resnet50");
+        assert!(suite.len() >= 20, "expected ≥20 unique layers, got {}", suite.len());
+        // Total conv layer instances: ResNet-50 has 53 convs + 1 fc.
+        let instances: u64 = suite.layers().iter().map(|(_, n)| n).sum();
+        assert_eq!(instances, 54);
+        // MAC total for batch-1 ResNet-50 is ~4.1 GMACs; allow a band since
+        // projection-shortcut conventions vary slightly.
+        let gmacs = suite.total_macs() as f64 / 1e9;
+        assert!((3.5..4.5).contains(&gmacs), "got {gmacs} GMACs");
+    }
+
+    #[test]
+    fn resnet50_layer_names_unique() {
+        let suite = resnet50();
+        let mut names: Vec<&str> = suite.iter().map(|l| l.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn alexnet_layer2_matches_paper() {
+        let l = alexnet_layer2();
+        assert_eq!(l.bound(Dim::P), 27);
+        assert_eq!(l.bound(Dim::Q), 27);
+        assert_eq!(l.bound(Dim::C), 48);
+        assert_eq!(l.bound(Dim::M), 96);
+        assert_eq!(l.bound(Dim::R), 5);
+    }
+
+    #[test]
+    fn deepbench_spans_categories() {
+        let suite = deepbench();
+        for prefix in ["speech", "vision", "face", "speaker", "text"] {
+            assert!(
+                suite.iter().any(|l| l.name().starts_with(prefix)),
+                "missing {prefix} category"
+            );
+        }
+        assert!(suite.len() >= 12);
+    }
+
+    #[test]
+    fn toys_match_paper_dims() {
+        let g = toy_gemm_100();
+        assert_eq!(g.macs(), 1_000_000);
+        let conv = toy_conv_28();
+        assert_eq!(conv.bound(Dim::C), 64);
+        assert_eq!(conv.bound(Dim::R), 3);
+        assert_eq!(conv.input_height(), 28);
+    }
+
+    #[test]
+    fn alexnet_full_stack() {
+        let suite = alexnet();
+        assert_eq!(suite.len(), 8);
+        // AlexNet per-group conv stack + dense head: ~0.8-1.2 GMACs.
+        let gmacs = suite.total_macs() as f64 / 1e9;
+        assert!((0.4..1.5).contains(&gmacs), "got {gmacs}");
+        assert!(suite.iter().any(|l| l.name() == "alexnet_conv2"));
+    }
+
+    #[test]
+    fn vgg16_is_heavy() {
+        let suite = vgg16();
+        // VGG-16 batch 1 is ~15.5 GMACs.
+        let gmacs = suite.total_macs() as f64 / 1e9;
+        assert!((14.0..17.0).contains(&gmacs), "got {gmacs}");
+        let instances: u64 = suite.layers().iter().map(|(_, n)| n).sum();
+        assert_eq!(instances, 16);
+    }
+
+    #[test]
+    fn mobilenet_pointwise_dominated() {
+        let suite = mobilenet_v1_pointwise();
+        let pw_macs: u64 = suite
+            .layers()
+            .iter()
+            .filter(|(l, _)| l.name().contains("pw"))
+            .map(|(l, n)| l.macs() * n)
+            .sum();
+        assert!(pw_macs * 2 > suite.total_macs(), "pointwise layers must dominate");
+        // All pointwise layers really are 1x1.
+        for l in suite.iter().filter(|l| l.name().contains("pw")) {
+            assert_eq!(l.bound(Dim::R), 1);
+            assert_eq!(l.bound(Dim::S), 1);
+        }
+    }
+
+    #[test]
+    fn rank1_sweep_builds_all() {
+        let ws = rank1_sweep(&[3, 113, 4096]);
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[1].bound(Dim::M), 113);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_suite_rejected() {
+        let _ = Suite::new("empty", vec![]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Operand tensors and their projections from iteration space to data
+//! coordinates.
+//!
+//! Each of the three operands of the canonical loop nest is a tensor whose
+//! coordinates are a *projection* of the seven iteration dimensions:
+//!
+//! * weights `W[m, c, r, s]` — four simple ranks;
+//! * outputs `O[n, m, p, q]` — four simple ranks;
+//! * inputs `I[n, c, p·sh + r, q·sw + s]` — two simple ranks plus two
+//!   *strided* (sliding-window) ranks coupling `(P, R)` and `(Q, S)`.
+//!
+//! The projection determines which iteration dimensions are *relevant* to a
+//! tensor (moving along them touches new data) and how big a data tile is
+//! for a given iteration-space tile (the *footprint*, including input
+//! halos).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dims::{Dim, DimMap};
+
+/// One of the three operand tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Input feature maps (IFM). Read-only.
+    Input,
+    /// Filter weights. Read-only.
+    Weight,
+    /// Output feature maps (OFM). Read-modify-write (partial sums).
+    Output,
+}
+
+impl Operand {
+    /// All operands, in `[Input, Weight, Output]` order.
+    pub const ALL: [Operand; 3] = [Operand::Input, Operand::Weight, Operand::Output];
+
+    /// Dense index within [`Operand::ALL`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Operand::Input => 0,
+            Operand::Weight => 1,
+            Operand::Output => 2,
+        }
+    }
+
+    /// Whether this operand is written by the computation (only outputs).
+    #[inline]
+    pub const fn is_written(self) -> bool {
+        matches!(self, Operand::Output)
+    }
+
+    /// Short display name ("IFM", "W", "OFM").
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            Operand::Input => "IFM",
+            Operand::Weight => "W",
+            Operand::Output => "OFM",
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// One rank (axis) of an operand tensor, as a projection of iteration
+/// dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rank {
+    /// The rank coordinate equals a single iteration dimension.
+    Simple(Dim),
+    /// A sliding-window rank: coordinate = `pos·stride + win·dilation`,
+    /// e.g. the input height `h = p·stride_h + r·dilation_h`. A tile
+    /// spanning `t_pos` positions and `t_win` window offsets covers
+    /// `(t_pos − 1)·stride + (t_win − 1)·dilation + 1` coordinates.
+    Strided {
+        /// The position dimension (`P` or `Q`).
+        pos: Dim,
+        /// The window dimension (`R` or `S`).
+        win: Dim,
+        /// The convolution stride along this rank.
+        stride: u64,
+        /// The filter dilation along this rank.
+        dilation: u64,
+    },
+}
+
+impl Rank {
+    /// The extent of this rank for an iteration-space tile with per-dim
+    /// sizes `tile`.
+    #[inline]
+    pub fn extent(&self, tile: &DimMap<u64>) -> u64 {
+        match *self {
+            Rank::Simple(d) => tile[d],
+            Rank::Strided { pos, win, stride, dilation } => {
+                (tile[pos] - 1) * stride + (tile[win] - 1) * dilation + 1
+            }
+        }
+    }
+
+    /// The iteration dimensions participating in this rank.
+    pub fn dims(&self) -> Vec<Dim> {
+        match *self {
+            Rank::Simple(d) => vec![d],
+            Rank::Strided { pos, win, .. } => vec![pos, win],
+        }
+    }
+}
+
+/// An operand tensor definition: its identity plus the list of ranks
+/// projecting iteration space onto its data space.
+///
+/// # Examples
+///
+/// ```
+/// use ruby_workload::{Dim, DimMap, Operand, TensorDef};
+///
+/// let w = TensorDef::weight();
+/// assert!(w.is_relevant(Dim::M));
+/// assert!(!w.is_relevant(Dim::P));
+///
+/// let tile = DimMap::from([1, 4, 2, 1, 1, 3, 3]);
+/// assert_eq!(w.footprint(&tile), 4 * 2 * 3 * 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorDef {
+    operand: Operand,
+    ranks: Vec<Rank>,
+    relevant: DimMap<bool>,
+}
+
+impl TensorDef {
+    fn new(operand: Operand, ranks: Vec<Rank>) -> Self {
+        let mut relevant = DimMap::splat(false);
+        for rank in &ranks {
+            for d in rank.dims() {
+                relevant[d] = true;
+            }
+        }
+        TensorDef { operand, ranks, relevant }
+    }
+
+    /// The input feature-map tensor `I[n, c, p·sh + r, q·sw + s]` for the
+    /// given `(vertical, horizontal)` stride (dilation 1).
+    pub fn input(stride: (u64, u64)) -> Self {
+        TensorDef::input_dilated(stride, (1, 1))
+    }
+
+    /// The input tensor with explicit `(vertical, horizontal)` filter
+    /// dilation: `I[n, c, p·sh + r·dh, q·sw + s·dw]`.
+    pub fn input_dilated(stride: (u64, u64), dilation: (u64, u64)) -> Self {
+        TensorDef::new(
+            Operand::Input,
+            vec![
+                Rank::Simple(Dim::N),
+                Rank::Simple(Dim::C),
+                Rank::Strided { pos: Dim::P, win: Dim::R, stride: stride.0, dilation: dilation.0 },
+                Rank::Strided { pos: Dim::Q, win: Dim::S, stride: stride.1, dilation: dilation.1 },
+            ],
+        )
+    }
+
+    /// The weight tensor `W[m, c, r, s]`.
+    pub fn weight() -> Self {
+        TensorDef::new(
+            Operand::Weight,
+            vec![
+                Rank::Simple(Dim::M),
+                Rank::Simple(Dim::C),
+                Rank::Simple(Dim::R),
+                Rank::Simple(Dim::S),
+            ],
+        )
+    }
+
+    /// The output tensor `O[n, m, p, q]`.
+    pub fn output() -> Self {
+        TensorDef::new(
+            Operand::Output,
+            vec![
+                Rank::Simple(Dim::N),
+                Rank::Simple(Dim::M),
+                Rank::Simple(Dim::P),
+                Rank::Simple(Dim::Q),
+            ],
+        )
+    }
+
+    /// Which operand this tensor is.
+    pub fn operand(&self) -> Operand {
+        self.operand
+    }
+
+    /// The tensor's ranks in declaration order.
+    pub fn ranks(&self) -> &[Rank] {
+        &self.ranks
+    }
+
+    /// Whether iteration dimension `dim` is relevant to this tensor, i.e.
+    /// moving along it touches new data. Loops over irrelevant dimensions
+    /// reuse the tensor's current tile.
+    #[inline]
+    pub fn is_relevant(&self, dim: Dim) -> bool {
+        self.relevant[dim]
+    }
+
+    /// The number of data elements covered by an iteration-space tile with
+    /// per-dimension extents `tile`. Sliding-window ranks account for
+    /// halos: a `P`-tile of height 3 with a 3-tall filter at stride 1
+    /// covers 5 input rows, not 9.
+    pub fn footprint(&self, tile: &DimMap<u64>) -> u64 {
+        self.ranks
+            .iter()
+            .fold(1u64, |acc, r| acc.saturating_mul(r.extent(tile)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_tile() -> DimMap<u64> {
+        DimMap::splat(1)
+    }
+
+    #[test]
+    fn relevance_sets_match_paper() {
+        let i = TensorDef::input((1, 1));
+        let w = TensorDef::weight();
+        let o = TensorDef::output();
+        // Inputs: everything except M.
+        for d in Dim::ALL {
+            assert_eq!(i.is_relevant(d), d != Dim::M, "input relevance of {d}");
+        }
+        // Weights: M, C, R, S.
+        for d in Dim::ALL {
+            assert_eq!(
+                w.is_relevant(d),
+                matches!(d, Dim::M | Dim::C | Dim::R | Dim::S),
+                "weight relevance of {d}"
+            );
+        }
+        // Outputs: non-reduction dims.
+        for d in Dim::ALL {
+            assert_eq!(o.is_relevant(d), !d.is_reduction(), "output relevance of {d}");
+        }
+    }
+
+    #[test]
+    fn unit_tile_has_unit_footprint() {
+        for t in [TensorDef::input((2, 2)), TensorDef::weight(), TensorDef::output()] {
+            assert_eq!(t.footprint(&unit_tile()), 1, "{:?}", t.operand());
+        }
+    }
+
+    #[test]
+    fn input_halo_footprint() {
+        let i = TensorDef::input((1, 1));
+        let mut tile = unit_tile();
+        tile[Dim::P] = 3;
+        tile[Dim::R] = 3;
+        // 3 output rows with a 3-tall filter cover 5 input rows.
+        assert_eq!(i.footprint(&tile), 5);
+        tile[Dim::Q] = 4;
+        tile[Dim::S] = 2;
+        assert_eq!(i.footprint(&tile), 5 * 5);
+    }
+
+    #[test]
+    fn strided_halo_footprint() {
+        let i = TensorDef::input((2, 2));
+        let mut tile = unit_tile();
+        tile[Dim::P] = 4;
+        tile[Dim::R] = 3;
+        // (4-1)*2 + 3 = 9 input rows.
+        assert_eq!(i.footprint(&tile), 9);
+    }
+
+    #[test]
+    fn operand_flags() {
+        assert!(Operand::Output.is_written());
+        assert!(!Operand::Input.is_written());
+        assert!(!Operand::Weight.is_written());
+        assert_eq!(Operand::ALL.map(Operand::index), [0, 1, 2]);
+    }
+
+    #[test]
+    fn rank_extent_strided() {
+        let r = Rank::Strided { pos: Dim::Q, win: Dim::S, stride: 3, dilation: 1 };
+        let mut tile = unit_tile();
+        tile[Dim::Q] = 5;
+        tile[Dim::S] = 2;
+        assert_eq!(r.extent(&tile), 4 * 3 + 2);
+        assert_eq!(r.dims(), vec![Dim::Q, Dim::S]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property and invariant tests over the workload suites and the
+//! shape/padding algebra.
+
+use proptest::prelude::*;
+
+use ruby_workload::{suites, Dim, DimMap, Operand, ProblemShape};
+
+/// Every suite layer must be internally consistent: positive MACs,
+/// tensor sizes bounded by the full iteration space, and input extents
+/// matching the stride arithmetic.
+#[test]
+fn all_suite_layers_are_consistent() {
+    let all_suites = [
+        suites::resnet50(),
+        suites::deepbench(),
+        suites::alexnet(),
+        suites::vgg16(),
+        suites::mobilenet_v1_pointwise(),
+    ];
+    for suite in &all_suites {
+        for layer in suite.iter() {
+            assert!(layer.macs() > 0, "{}", layer.name());
+            for op in Operand::ALL {
+                let size = layer.tensor_size(op);
+                assert!(size > 0, "{} {op}", layer.name());
+                assert!(
+                    size <= layer.macs().max(layer.tensor_size(Operand::Input)),
+                    "{} {op}: size {size} exceeds plausible bounds",
+                    layer.name()
+                );
+            }
+            let (sh, sw) = layer.stride();
+            assert_eq!(
+                layer.input_height(),
+                (layer.bound(Dim::P) - 1) * sh + layer.bound(Dim::R),
+                "{} (dilation 1)",
+                layer.name()
+            );
+            assert_eq!(
+                layer.input_width(),
+                (layer.bound(Dim::Q) - 1) * sw + layer.bound(Dim::S),
+                "{}",
+                layer.name()
+            );
+        }
+    }
+}
+
+/// Suites never repeat layer names, and weighted MAC totals dominate the
+/// unweighted sum.
+#[test]
+fn suite_bookkeeping() {
+    for suite in [suites::resnet50(), suites::deepbench(), suites::vgg16()] {
+        let mut names: Vec<&str> = suite.iter().map(|l| l.name()).collect();
+        let unique_before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), unique_before, "{}", suite.name());
+        let unweighted: u64 = suite.iter().map(|l| l.macs()).sum();
+        assert!(suite.total_macs() >= unweighted, "{}", suite.name());
+    }
+}
+
+proptest! {
+    /// Padding is idempotent, monotone and exact-multiple.
+    #[test]
+    fn padding_algebra(d in 1u64..3000, m in 1u64..64) {
+        let shape = ProblemShape::rank1("p", d);
+        let padded = shape.padded_to_multiple(Dim::M, m);
+        prop_assert_eq!(padded.bound(Dim::M) % m, 0);
+        prop_assert!(padded.bound(Dim::M) >= d);
+        prop_assert!(padded.bound(Dim::M) < d + m);
+        let twice = padded.padded_to_multiple(Dim::M, m);
+        prop_assert_eq!(twice.bound(Dim::M), padded.bound(Dim::M));
+    }
+
+    /// GEMM encoding conserves the three tensor sizes.
+    #[test]
+    fn gemm_tensor_sizes(m in 1u64..200, n in 1u64..200, k in 1u64..200) {
+        let g = ProblemShape::gemm("g", m, n, k);
+        prop_assert_eq!(g.tensor_size(Operand::Weight), m * k);
+        prop_assert_eq!(g.tensor_size(Operand::Input), k * n);
+        prop_assert_eq!(g.tensor_size(Operand::Output), m * n);
+        prop_assert_eq!(g.macs(), m * n * k);
+    }
+
+    /// Tensor footprints are monotone in every tile dimension.
+    #[test]
+    fn footprints_monotone(
+        c in 1u64..16, p in 1u64..16, q in 1u64..16, r in 1u64..4, s in 1u64..4,
+    ) {
+        let shape = ProblemShape::conv("f", 1, 8, 16, 16, 16, 4, 4, (1, 1));
+        let mut tile = DimMap::splat(1u64);
+        tile[Dim::C] = c;
+        tile[Dim::P] = p;
+        tile[Dim::Q] = q;
+        tile[Dim::R] = r;
+        tile[Dim::S] = s;
+        for op in Operand::ALL {
+            let base = shape.tensor(op).footprint(&tile);
+            for d in [Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S] {
+                let mut bigger = tile;
+                bigger[d] = tile[d] + 1;
+                prop_assert!(
+                    shape.tensor(op).footprint(&bigger) >= base,
+                    "{op} shrank when {d} grew"
+                );
+            }
+        }
+    }
+}

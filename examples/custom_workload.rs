@@ -1,0 +1,66 @@
+//! Bring your own accelerator and workload: build a custom two-level
+//! architecture and a custom DeepSpeech-like convolution, then compare
+//! all four mapspaces on it.
+//!
+//! Run with: `cargo run --release --example custom_workload`
+
+use ruby_core::prelude::*;
+
+fn main() {
+    // A hand-rolled accelerator: DRAM feeding 13 linear PEs (a prime
+    // count — hostile to perfect factorization on purpose), each with a
+    // 2 KiB scratchpad.
+    let tech = TechnologyModel::default();
+    let dram = MemLevel::new(
+        "DRAM",
+        Capacity::Unbounded,
+        [true; 3],
+        tech.dram_access_energy(),
+        Fanout::linear(13),
+    );
+    let spad = MemLevel::new(
+        "SPAD",
+        Capacity::Shared(1024),
+        [true; 3],
+        tech.sram_access_energy(2048),
+        Fanout::unit(),
+    );
+    let arch = Architecture::new("prime13", vec![dram, spad], tech);
+    println!("{arch}");
+
+    // A DeepSpeech-style spectrogram convolution: tall, skinny, and with
+    // shapes that share no factors with 13.
+    let layer = ProblemShape::conv("ds_like", 1, 32, 1, 38, 166, 5, 10, (2, 1));
+    println!("workload: {layer} ({} MACs)\n", layer.macs());
+
+    let explorer = Explorer::new(arch).with_search(SearchConfig {
+        seed: 3,
+        max_evaluations: Some(40_000),
+        termination: Some(2_000),
+        threads: 4,
+        ..SearchConfig::default()
+    });
+
+    let comparison = explorer.compare(&layer);
+    println!("{:<8} {:>14} {:>10} {:>8} {:>10}", "space", "EDP", "cycles", "util", "vs PFM");
+    for kind in MapspaceKind::ALL {
+        match comparison.best(kind) {
+            Some(best) => {
+                let r = &best.report;
+                let vs = comparison
+                    .edp_vs_pfm(kind)
+                    .map(|x| format!("{:.3}", x))
+                    .unwrap_or_else(|| "-".into());
+                println!(
+                    "{:<8} {:>14.3e} {:>10} {:>7.1}% {:>10}",
+                    kind.name(),
+                    r.edp(),
+                    r.cycles(),
+                    r.utilization() * 100.0,
+                    vs
+                );
+            }
+            None => println!("{:<8} no valid mapping found", kind.name()),
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Architectural design-space exploration (the Figs. 13–14 flow in
+//! miniature): sweep Eyeriss-like PE-array sizes, search each with PFM
+//! and Ruby-S, and print the area/EDP trade-off table.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use ruby_core::prelude::*;
+
+fn main() {
+    // A deliberately awkward layer: 27-wide outputs never divide the
+    // array extents below.
+    let layer = suites::alexnet_layer2();
+    println!("workload: {layer}\n");
+
+    let configs: [(u64, u64); 5] = [(2, 7), (7, 7), (10, 8), (14, 12), (16, 16)];
+    println!(
+        "{:<8} {:>9} {:>14} {:>14} {:>9}",
+        "array", "area mm²", "PFM EDP", "Ruby-S EDP", "Ruby-S Δ"
+    );
+    for (cols, rows) in configs {
+        let arch = presets::eyeriss_like(cols, rows);
+        let area = arch.area_mm2();
+        let explorer = Explorer::new(arch)
+            .with_constraints(Constraints::eyeriss_row_stationary(3, 1))
+            .with_search(SearchConfig {
+                seed: 7,
+                max_evaluations: Some(20_000),
+                termination: Some(1_500),
+                threads: 4,
+                ..SearchConfig::default()
+            });
+        let pfm = explorer.explore(&layer, MapspaceKind::Pfm);
+        let ruby_s = explorer.explore(&layer, MapspaceKind::RubyS);
+        match (pfm, ruby_s) {
+            (Some(p), Some(r)) => {
+                let delta = (1.0 - r.report.edp() / p.report.edp()) * 100.0;
+                println!(
+                    "{:<8} {:>9.1} {:>14.3e} {:>14.3e} {:>8.1}%",
+                    format!("{cols}x{rows}"),
+                    area,
+                    p.report.edp(),
+                    r.report.edp(),
+                    delta
+                );
+            }
+            _ => println!("{cols}x{rows}: no valid mapping found"),
+        }
+    }
+    println!("\nRuby-S should trace the Pareto frontier: equal or lower EDP at every area.");
+}

@@ -1,0 +1,52 @@
+//! The paper's §III-C hardware claim, demonstrated: an FSM pattern
+//! generator with the "different final loop" augmentation emits an
+//! imperfect tile schedule with static configuration and no dead cycles.
+//!
+//! Run with: `cargo run --release --example hardware_patterns`
+
+use ruby_core::prelude::*;
+use ruby_patterngen::{matches_profile, DimProgram, TileFsm};
+
+fn main() {
+    // Take the Fig. 5 mapping's M-dimension chain straight from a real
+    // Mapping: 100 elements, 6-wide spatial chunks.
+    let shape = ProblemShape::rank1("hundred", 100);
+    let mut b = Mapping::builder(2);
+    b.set_tile(Dim::M, 0, SlotKind::SpatialX, 6);
+    let mapping = b.build_for_bounds(shape.bounds()).expect("valid chain");
+    let program = DimProgram::new(mapping.tile_chain(Dim::M));
+
+    println!(
+        "program: chain {:?} — {} config words (static)\n",
+        mapping.tile_chain(Dim::M),
+        program.config_words()
+    );
+
+    // The spatial-chunk boundary is wherever the chain reaches 6.
+    let chunk_boundary = mapping
+        .tile_chain(Dim::M)
+        .iter()
+        .position(|&g| g == 6)
+        .expect("the spatial factor is in the chain");
+    println!("spatial dispatches (base, size):");
+    for (i, (base, size)) in program.tiles_at(chunk_boundary).enumerate() {
+        if i < 4 || size != 6 {
+            println!("  dispatch {i:>2}: PEs get elements {base}..{}", base + size);
+        } else if i == 4 {
+            println!("  ...");
+        }
+    }
+
+    let mut fsm = TileFsm::new(&program);
+    let tiles = fsm.by_ref().count();
+    println!("\ninnermost FSM: {tiles} tiles in {} steps (no dead cycles)", fsm.steps());
+    assert_eq!(tiles as u64, fsm.steps());
+
+    for b in 0..program.num_levels() {
+        assert!(matches_profile(&program, b), "boundary {b} mismatch");
+    }
+    println!("every boundary's emitted tile multiset matches the cost model's profiles ✓");
+    println!("\nThe only hardware delta vs a perfect-factorization generator is one");
+    println!("remaining-extent register (subtract-and-clamp) per loop level —");
+    println!("the paper's 'minor augmentation to such a state machine'.");
+}

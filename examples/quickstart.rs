@@ -1,0 +1,67 @@
+//! Quickstart: map one ResNet-50 pointwise layer onto an Eyeriss-like
+//! accelerator and compare the perfect-factorization baseline against
+//! Ruby-S.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ruby_core::prelude::*;
+
+fn main() {
+    // The paper's baseline: 14×12 PE array, 128 KiB global buffer,
+    // weights bypassing the GLB into per-PE scratchpads.
+    let arch = presets::eyeriss_like(14, 12);
+    println!("{arch}");
+
+    // A pointwise (1×1) ResNet-50 layer: M=256 misaligns with the 12-row
+    // array (best perfect factor: 8), which is exactly where imperfect
+    // factorization helps.
+    let layer = ProblemShape::conv("res2_1x1c", 1, 256, 64, 56, 56, 1, 1, (1, 1));
+    println!("workload: {layer}\n");
+
+    let explorer = Explorer::new(arch)
+        .with_constraints(Constraints::eyeriss_row_stationary(3, 1))
+        .with_search(SearchConfig {
+            seed: 42,
+            max_evaluations: Some(30_000),
+            termination: Some(2_000),
+            threads: 4,
+            ..SearchConfig::default()
+        });
+
+    println!("{:<8} {:>14} {:>14} {:>10} {:>8}", "space", "EDP", "energy", "cycles", "util");
+    let mut pfm_edp = None;
+    for kind in MapspaceKind::ALL {
+        match explorer.explore(&layer, kind) {
+            Some(best) => {
+                let r = &best.report;
+                println!(
+                    "{:<8} {:>14.3e} {:>14.3e} {:>10} {:>7.1}%",
+                    kind.name(),
+                    r.edp(),
+                    r.energy(),
+                    r.cycles(),
+                    r.utilization() * 100.0
+                );
+                if kind == MapspaceKind::Pfm {
+                    pfm_edp = Some(r.edp());
+                }
+                if kind == MapspaceKind::RubyS {
+                    if let Some(base) = pfm_edp {
+                        println!(
+                            "\nRuby-S EDP vs PFM: {:.1}% ({}×{} array)\n",
+                            (1.0 - r.edp() / base) * 100.0,
+                            14,
+                            12
+                        );
+                        println!("Best Ruby-S loop nest:");
+                        println!(
+                            "{}",
+                            render_loopnest(&best.mapping, &["DRAM", "GLB", "PE"])
+                        );
+                    }
+                }
+            }
+            None => println!("{:<8} no valid mapping found", kind.name()),
+        }
+    }
+}

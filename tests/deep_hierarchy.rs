@@ -1,0 +1,88 @@
+//! Cross-crate tests on the four-level clustered hierarchy: the slot
+//! machinery, cost model, sampler and simulator must all generalize
+//! beyond the paper's three-level designs.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ruby_core::prelude::*;
+use ruby_simulator::{simulate, SimLimits};
+
+#[test]
+fn four_level_mapping_by_hand() {
+    // DRAM -> GLB -> 4 clusters -> 8 PEs each; put M across clusters
+    // (imperfectly) and C across PEs.
+    let arch = presets::clustered(4, 8);
+    let shape = ProblemShape::conv("c", 1, 10, 16, 6, 6, 3, 3, (1, 1));
+    let mut b = Mapping::builder(4);
+    b.set_tile(Dim::M, 1, SlotKind::SpatialX, 4); // GLB -> clusters
+    b.set_tile(Dim::C, 2, SlotKind::SpatialX, 8); // cluster -> PEs
+    b.set_tile(Dim::R, 3, SlotKind::Temporal, 3);
+    b.set_tile(Dim::S, 3, SlotKind::Temporal, 3);
+    let mapping = b.build_for_bounds(shape.bounds()).unwrap();
+    assert!(mapping.is_imperfect(), "M=10 over 4 clusters leaves a residual");
+
+    let report = evaluate(&arch, &shape, &mapping, &ModelOptions::default()).unwrap();
+    let sim = simulate(&arch, &shape, &mapping, &SimLimits::default()).unwrap();
+    assert_eq!(report.cycles(), sim.cycles);
+    assert_eq!(report.macs(), sim.macs);
+    // Both fanouts are used: utilization beats the 1/32 serial floor by
+    // a wide margin.
+    assert!(report.utilization() > 0.2, "got {}", report.utilization());
+}
+
+#[test]
+fn four_level_sampling_respects_both_fanouts() {
+    let arch = presets::clustered(5, 7);
+    let shape = ProblemShape::conv("c", 1, 32, 24, 8, 8, 3, 3, (1, 1));
+    let mut rng = SmallRng::seed_from_u64(9);
+    for kind in MapspaceKind::ALL {
+        let space = Mapspace::new(arch.clone(), shape.clone(), kind);
+        for _ in 0..50 {
+            let m = space.sample(&mut rng);
+            let (x1, y1) = m.spatial_extent(1);
+            let (x2, y2) = m.spatial_extent(2);
+            assert!(x1 <= 5 && y1 == 1, "{kind}: GLB fanout {x1}x{y1}");
+            assert!(x2 <= 7 && y2 == 1, "{kind}: cluster fanout {x2}x{y2}");
+        }
+    }
+}
+
+#[test]
+fn four_level_search_finds_imperfect_winners() {
+    let arch = presets::clustered(5, 7);
+    // Powers of two everywhere: 5 and 7 divide nothing.
+    let shape = ProblemShape::conv("c", 1, 64, 32, 16, 16, 1, 1, (1, 1));
+    let explorer = Explorer::new(arch).with_search(SearchConfig {
+        seed: 2,
+        max_evaluations: Some(6_000),
+        termination: Some(600),
+        threads: 2,
+        ..SearchConfig::default()
+    });
+    let pfm = explorer.explore(&shape, MapspaceKind::Pfm).expect("pfm");
+    let ruby_s = explorer.explore(&shape, MapspaceKind::RubyS).expect("ruby-s");
+    assert!(
+        ruby_s.report.cycles() < pfm.report.cycles(),
+        "Ruby-S {} vs PFM {} cycles",
+        ruby_s.report.cycles(),
+        pfm.report.cycles()
+    );
+    assert!(ruby_s.mapping.is_imperfect());
+}
+
+#[test]
+fn four_level_loopnest_renders() {
+    let arch = presets::clustered(2, 3);
+    let shape = ProblemShape::rank1("d", 30);
+    let mut b = Mapping::builder(4);
+    b.set_tile(Dim::M, 1, SlotKind::SpatialX, 2);
+    b.set_tile(Dim::M, 2, SlotKind::SpatialX, 3);
+    let m = b.build_for_bounds(shape.bounds()).unwrap();
+    let nest = render_loopnest(&m, &["DRAM", "GLB", "CLUSTER", "PE"]);
+    for name in ["DRAM", "GLB", "CLUSTER", "PE"] {
+        assert!(nest.contains(name), "{nest}");
+    }
+    assert_eq!(nest.matches("parFor").count(), 2, "{nest}");
+    drop(arch);
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: full explore flows on the paper's
+//! architectures and workloads, exercising workload → arch → mapspace →
+//! model → search end to end.
+
+use ruby_core::prelude::*;
+
+fn quick(seed: u64) -> SearchConfig {
+    SearchConfig {
+        seed,
+        max_evaluations: Some(8_000),
+        termination: Some(800),
+        threads: 2,
+        ..SearchConfig::default()
+    }
+}
+
+#[test]
+fn eyeriss_pointwise_layer_ruby_s_beats_pfm() {
+    // M = 256 does not divide 12 rows: the motivating misalignment.
+    let layer = ProblemShape::conv("pw", 1, 256, 64, 28, 28, 1, 1, (1, 1));
+    let explorer = Explorer::new(presets::eyeriss_like(14, 12))
+        .with_constraints(Constraints::eyeriss_row_stationary(3, 1))
+        .with_search(quick(11));
+    let pfm = explorer.explore(&layer, MapspaceKind::Pfm).expect("PFM mapping");
+    let ruby_s = explorer.explore(&layer, MapspaceKind::RubyS).expect("Ruby-S mapping");
+    assert!(
+        ruby_s.report.edp() <= pfm.report.edp(),
+        "Ruby-S {} vs PFM {}",
+        ruby_s.report.edp(),
+        pfm.report.edp()
+    );
+    assert!(ruby_s.report.utilization() > pfm.report.utilization());
+}
+
+#[test]
+fn simba_like_exploration_completes() {
+    let layer = ProblemShape::conv("c", 1, 128, 64, 14, 14, 3, 3, (1, 1));
+    let explorer = Explorer::new(presets::simba_like(15, 4, 4))
+        .with_constraints(Constraints::simba_cm(3, 1, 2))
+        .with_search(quick(13));
+    for kind in [MapspaceKind::Pfm, MapspaceKind::RubyS] {
+        let best = explorer.explore(&layer, kind).unwrap_or_else(|| panic!("{kind} empty"));
+        assert!(best.report.edp() > 0.0);
+        assert!(best.report.utilization() <= 1.0 + 1e-9);
+        // C/M-only constraint: no spatial P/Q anywhere.
+        for level in 0..3 {
+            let m = &best.mapping;
+            for slot in
+                [m.layout().spatial_x_slot(level), m.layout().spatial_y_slot(level)]
+            {
+                for d in [Dim::P, Dim::Q, Dim::R, Dim::S, Dim::N] {
+                    assert_eq!(m.loop_count(d, slot), 1, "{kind}: {d} spatial at {level}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn explored_mappings_replay_identically() {
+    // The mapping returned by search must evaluate to the same report
+    // when replayed through the model directly.
+    let layer = suites::alexnet_layer2();
+    let arch = presets::eyeriss_like(14, 12);
+    let explorer = Explorer::new(arch.clone())
+        .with_constraints(Constraints::eyeriss_row_stationary(3, 1))
+        .with_search(quick(17));
+    let best = explorer.explore(&layer, MapspaceKind::RubyS).expect("mapping");
+    let replay =
+        evaluate(&arch, &layer, &best.mapping, &ModelOptions::default()).expect("still valid");
+    assert_eq!(replay.cycles(), best.report.cycles());
+    assert!((replay.energy() - best.report.energy()).abs() < 1e-6);
+}
+
+#[test]
+fn padding_flow_matches_fig8_shape() {
+    // D = 127 (prime): PFM serializes, padding to 128 parallelizes fully
+    // at ~1% extra work, Ruby-S parallelizes with no extra work.
+    let arch = presets::toy_linear(16, 1024);
+    let shape = ProblemShape::rank1("d", 127);
+    let constraints = Constraints::unconstrained(2);
+    let explorer = Explorer::new(arch.clone()).with_search(quick(19));
+
+    let pfm = explorer.explore(&shape, MapspaceKind::Pfm).expect("pfm");
+    let ruby_s = explorer.explore(&shape, MapspaceKind::RubyS).expect("ruby-s");
+    let padded_shape = padding::pad_to_array(&shape, &arch, &constraints);
+    assert_eq!(padded_shape.bound(Dim::M), 128);
+    let padded = explorer.explore(&padded_shape, MapspaceKind::Pfm).expect("padded");
+
+    assert_eq!(pfm.report.cycles(), 127, "prime bound serializes PFM");
+    assert_eq!(ruby_s.report.cycles(), 8);
+    assert_eq!(padded.report.cycles(), 8);
+    // Padding does one ineffectual element of work; Ruby-S does none.
+    assert!(padded.report.energy() > ruby_s.report.energy());
+}
+
+#[test]
+fn whole_resnet_suite_is_mappable() {
+    // Every unique ResNet-50 layer must admit at least one valid PFM and
+    // Ruby-S mapping on the baseline architecture (small budget).
+    let explorer = Explorer::new(presets::eyeriss_like(14, 12))
+        .with_constraints(Constraints::eyeriss_row_stationary(3, 1))
+        .with_search(SearchConfig {
+            seed: 23,
+            max_evaluations: Some(4_000),
+            termination: Some(400),
+            threads: 2,
+            ..SearchConfig::default()
+        });
+    for layer in suites::resnet50().iter() {
+        for kind in [MapspaceKind::Pfm, MapspaceKind::RubyS] {
+            assert!(
+                explorer.explore(layer, kind).is_some(),
+                "{} has no valid {kind} mapping",
+                layer.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn latency_objective_trades_energy_for_cycles() {
+    let layer = ProblemShape::conv("c", 1, 96, 32, 27, 27, 3, 3, (1, 1));
+    let explorer = Explorer::new(presets::eyeriss_like(14, 12))
+        .with_constraints(Constraints::eyeriss_row_stationary(3, 1));
+    let edp = explorer
+        .clone()
+        .with_search(quick(29))
+        .explore(&layer, MapspaceKind::RubyS)
+        .expect("edp search");
+    let delay_cfg = SearchConfig { objective: Objective::Delay, ..quick(29) };
+    let delay = explorer
+        .with_search(delay_cfg)
+        .explore(&layer, MapspaceKind::RubyS)
+        .expect("delay search");
+    assert!(delay.report.cycles() <= edp.report.cycles());
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the analytical cost model: conservation,
+//! monotonicity, and consistency invariants that must hold for any
+//! mapping the sampler can produce.
+
+use proptest::prelude::*;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ruby_core::prelude::*;
+
+prop_compose! {
+    fn arb_shape()(n in 1u64..3, m in 1u64..65, c in 1u64..65, p in 1u64..30, q in 1u64..30,
+                   r in 1u64..6, s in 1u64..6) -> ProblemShape {
+        ProblemShape::conv("prop", n, m, c, p, q, r, s, (1, 1))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any valid evaluation moves at least one full copy of every tensor
+    /// out of DRAM (reads for inputs/weights, updates for outputs) and
+    /// serves every MAC from the innermost storing levels.
+    #[test]
+    fn dram_traffic_lower_bounds(shape in arb_shape(), seed in 0u64..20) {
+        let arch = presets::eyeriss_like(14, 12);
+        let space = Mapspace::new(arch.clone(), shape.clone(), MapspaceKind::RubyS);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = space.sample(&mut rng);
+        if let Ok(report) = evaluate(&arch, &shape, &mapping, &ModelOptions::default()) {
+            let dram = &report.level_stats()[0];
+            let w = dram.per_tensor()[Operand::Weight.index()];
+            let o = dram.per_tensor()[Operand::Output.index()];
+            prop_assert!(w.reads >= shape.tensor_size(Operand::Weight) as f64 - 0.5);
+            prop_assert!(o.updates >= shape.tensor_size(Operand::Output) as f64 - 0.5);
+            prop_assert!(report.cycles() as u64 >= shape.macs().div_ceil(arch.total_mac_units()));
+        }
+    }
+
+    /// Disabling multicast can only increase energy; disabling spatial
+    /// reduction can only increase energy.
+    #[test]
+    fn network_features_only_save_energy(shape in arb_shape(), seed in 0u64..10) {
+        let arch = presets::eyeriss_like(14, 12);
+        let space = Mapspace::new(arch.clone(), shape.clone(), MapspaceKind::Ruby);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = space.sample(&mut rng);
+        let with = ModelOptions::default();
+        let without = ModelOptions { multicast: false, spatial_reduction: false };
+        if let (Ok(a), Ok(b)) = (
+            evaluate(&arch, &shape, &mapping, &with),
+            evaluate(&arch, &shape, &mapping, &without),
+        ) {
+            prop_assert!(b.energy() >= a.energy() - 1e-6);
+            prop_assert_eq!(a.cycles(), b.cycles());
+        }
+    }
+
+    /// EDP equals energy times cycles, and level energies sum (with the
+    /// MAC energy) to the total.
+    #[test]
+    fn report_is_internally_consistent(shape in arb_shape(), seed in 0u64..10) {
+        let arch = presets::eyeriss_like(14, 12);
+        let space = Mapspace::new(arch.clone(), shape.clone(), MapspaceKind::RubyS);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = space.sample(&mut rng);
+        if let Ok(report) = evaluate(&arch, &shape, &mapping, &ModelOptions::default()) {
+            let level_sum: f64 = report.level_stats().iter().map(|l| l.energy()).sum();
+            let expected = level_sum + report.macs() as f64 * arch.mac_energy();
+            prop_assert!((report.energy() - expected).abs() < 1e-6 * expected.max(1.0));
+            prop_assert!((report.edp() - report.energy() * report.cycles() as f64).abs()
+                < 1e-6 * report.edp().max(1.0));
+        }
+    }
+
+    /// Serializing everything onto one PE (all-temporal mapping at DRAM)
+    /// is always valid on an architecture with unit-tile buffers and
+    /// takes exactly MACs cycles.
+    #[test]
+    fn fully_serial_mapping_baseline(shape in arb_shape()) {
+        let arch = presets::toy_linear(4, 1024);
+        let mapping = Mapping::builder(2)
+            .build_for_bounds(shape.bounds())
+            .expect("serial chain");
+        let report = evaluate(&arch, &shape, &mapping, &ModelOptions::default())
+            .expect("unit tiles always fit");
+        prop_assert_eq!(report.cycles(), shape.macs());
+    }
+
+    /// Padding a dimension never decreases MACs or the evaluated energy
+    /// of the equivalent mapping.
+    #[test]
+    fn padding_never_reduces_work(d in 2u64..500) {
+        let shape = ProblemShape::rank1("d", d);
+        let arch = presets::toy_linear(16, 1024);
+        let padded = padding::pad_to_array(&shape, &arch, &Constraints::unconstrained(2));
+        prop_assert!(padded.macs() >= shape.macs());
+        prop_assert_eq!(padded.bound(Dim::M) % 16, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the paper's core mathematical claims:
+//! equations (1)–(5), the superset relationship between PFM and Ruby,
+//! and the mapspace-ordering observations behind Table I.
+
+use proptest::prelude::*;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ruby_core::prelude::*;
+
+/// Build the 2-level toy mapspace of the paper's §III studies.
+fn toy_space(kind: MapspaceKind, pes: u64, d: u64) -> Mapspace {
+    Mapspace::new(presets::toy_linear(pes, 1024), ProblemShape::rank1("d", d), kind)
+}
+
+proptest! {
+    /// Eq. (1)/(5): every sampled chain partitions the dimension exactly —
+    /// tile profiles at every boundary cover all D elements.
+    #[test]
+    fn chains_partition_dimension(
+        d in 1u64..2000,
+        pes in 1u64..32,
+        kind_idx in 0usize..4,
+        seed in 0u64..50,
+    ) {
+        let kind = MapspaceKind::ALL[kind_idx];
+        let space = toy_space(kind, pes, d);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = space.sample(&mut rng);
+        for profile in m.profiles(Dim::M) {
+            prop_assert_eq!(profile.total_elements(), d);
+        }
+    }
+
+    /// PFM mappings satisfy eq. (1): every slot's factor divides exactly
+    /// (no remainders anywhere).
+    #[test]
+    fn pfm_is_always_perfect(d in 1u64..2000, pes in 1u64..32, seed in 0u64..50) {
+        let space = toy_space(MapspaceKind::Pfm, pes, d);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        prop_assert!(!space.sample(&mut rng).is_imperfect());
+    }
+
+    /// The paper's superset claim: setting R_n = P_n recovers eq. (1), so
+    /// every PFM tiling is also a Ruby tiling. Counting must agree:
+    /// |Ruby| ≥ |Ruby-T| ≥ |PFM| and |Ruby-S| ≥ |PFM| per dimension.
+    #[test]
+    fn ruby_counts_dominate_pfm(d in 1u64..500, pes in 1u64..16) {
+        let pfm = toy_space(MapspaceKind::Pfm, pes, d).count_tilings();
+        let ruby = toy_space(MapspaceKind::Ruby, pes, d).count_tilings();
+        let ruby_s = toy_space(MapspaceKind::RubyS, pes, d).count_tilings();
+        let ruby_t = toy_space(MapspaceKind::RubyT, pes, d).count_tilings();
+        prop_assert!(ruby >= pfm);
+        prop_assert!(ruby_s >= pfm);
+        prop_assert!(ruby_t >= pfm);
+        prop_assert!(ruby >= ruby_t);
+        prop_assert!(ruby >= ruby_s);
+    }
+
+    /// Fig. 5's cycle arithmetic, generalized: a full-width imperfect
+    /// spatial mapping takes ceil(D / PEs) steps, never more than the
+    /// best PFM spatial mapping.
+    #[test]
+    fn full_width_spatial_takes_ceil_cycles(d in 1u64..3000, pes in 1u64..64) {
+        let shape = ProblemShape::rank1("d", d);
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, pes.min(d));
+        let m = b.build_for_bounds(shape.bounds()).expect("valid chain");
+        prop_assert_eq!(m.compute_cycles(), d.div_ceil(pes.min(d)));
+    }
+
+    /// Utilization never exceeds 1 and MAC counts are conserved for any
+    /// sampled mapping that passes validity.
+    #[test]
+    fn sampled_mappings_conserve_work(
+        d in 1u64..1000,
+        pes in 1u64..16,
+        kind_idx in 0usize..4,
+        seed in 0u64..20,
+    ) {
+        let kind = MapspaceKind::ALL[kind_idx];
+        let space = toy_space(kind, pes, d);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = space.sample(&mut rng);
+        if let Ok(report) =
+            evaluate(space.arch(), space.shape(), &m, &ModelOptions::default())
+        {
+            prop_assert_eq!(report.macs(), d);
+            prop_assert!(report.utilization() <= 1.0 + 1e-9);
+            prop_assert!(report.cycles() >= d.div_ceil(pes));
+        }
+    }
+}
+
+/// Eq. (5) worked example from the paper: L_0 = (6·16) + 4 − 1 = 99,
+/// plus the final iteration = 100 tiles at the PE level.
+#[test]
+fn eq5_worked_example() {
+    let shape = ProblemShape::rank1("d", 100);
+    let mut b = Mapping::builder(2);
+    b.set_tile(Dim::M, 0, SlotKind::SpatialX, 6);
+    let m = b.build_for_bounds(shape.bounds()).expect("valid chain");
+    // 17 temporal iterations at DRAM (P_1 = R_1 = 17 in the paper's
+    // walkthrough), 6-wide spatial with a final remainder of 4.
+    let dram_t = m.layout().temporal_slot(0);
+    assert_eq!(m.loop_count(Dim::M, dram_t), 17);
+    let profiles = m.profiles(Dim::M);
+    // At the PE boundary: 96 full +4 remainder elements = 100 unit tiles.
+    assert_eq!(profiles[0].num_tiles(), 100);
+    // Spatial boundary: 16 groups of 6 plus one group of 4.
+    let spatial_boundary = 5; // chain boundary feeding the DRAM temporal slot
+    assert_eq!(profiles[spatial_boundary].entries(), &[(4, 1), (6, 16)]);
+}
+
+/// Table I's qualitative ordering at the paper's own sizes.
+#[test]
+fn table1_ordering_at_paper_sizes() {
+    for d in [3u64, 24, 99, 625, 4096] {
+        let pfm = toy_space(MapspaceKind::Pfm, 9, d).count_tilings();
+        let ruby = toy_space(MapspaceKind::Ruby, 9, d).count_tilings();
+        let ruby_s = toy_space(MapspaceKind::RubyS, 9, d).count_tilings();
+        assert!(pfm <= ruby_s, "d={d}");
+        assert!(ruby_s <= ruby, "d={d}");
+    }
+    // The expansion must be dramatic at large sizes.
+    let pfm = toy_space(MapspaceKind::Pfm, 9, 4096).count_tilings();
+    let ruby = toy_space(MapspaceKind::Ruby, 9, 4096).count_tilings();
+    assert!(ruby > pfm.saturating_mul(1000), "ruby {ruby} vs pfm {pfm}");
+}

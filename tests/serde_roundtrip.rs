@@ -1,0 +1,80 @@
+//! Serde round-trip tests: every spec type the CLI persists must survive
+//! JSON serialization bit-for-bit, and evaluated results must replay
+//! identically after a round trip.
+
+use ruby_core::prelude::*;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn problem_shapes_round_trip() {
+    for shape in [
+        ProblemShape::conv("c", 1, 96, 48, 27, 27, 5, 5, (2, 1)).with_dilation((2, 2)),
+        ProblemShape::gemm("g", 1760, 16, 1760),
+        ProblemShape::rank1("d", 113),
+    ] {
+        let back = round_trip(&shape);
+        assert_eq!(back, shape);
+        assert_eq!(back.macs(), shape.macs());
+        assert_eq!(back.input_height(), shape.input_height());
+    }
+}
+
+#[test]
+fn architectures_round_trip() {
+    for arch in [
+        presets::eyeriss_like(14, 12),
+        presets::simba_like(15, 4, 4),
+        presets::toy_linear(9, 1024),
+        presets::clustered(5, 7),
+    ] {
+        let back: Architecture = round_trip(&arch);
+        assert_eq!(back, arch);
+        assert_eq!(back.total_mac_units(), arch.total_mac_units());
+        assert_eq!(back.area_mm2(), arch.area_mm2());
+    }
+}
+
+#[test]
+fn mappings_round_trip_and_replay() {
+    let arch = presets::eyeriss_like(14, 12);
+    let shape = suites::alexnet_layer2();
+    let explorer = Explorer::new(arch.clone())
+        .with_constraints(Constraints::eyeriss_row_stationary(3, 1))
+        .with_search(SearchConfig {
+            max_evaluations: Some(2_000),
+            termination: Some(300),
+            ..SearchConfig::default()
+        });
+    let best = explorer.explore(&shape, MapspaceKind::RubyS).expect("mapping");
+    let back: Mapping = round_trip(&best.mapping);
+    assert_eq!(back, best.mapping);
+    let replay = evaluate(&arch, &shape, &back, &ModelOptions::default()).expect("valid");
+    assert_eq!(replay.cycles(), best.report.cycles());
+    assert_eq!(replay.edp(), best.report.edp());
+}
+
+#[test]
+fn cost_reports_round_trip() {
+    let arch = presets::toy_linear(4, 1024);
+    let shape = ProblemShape::rank1("d", 100);
+    let mapping = Mapping::builder(2).build_for_bounds(shape.bounds()).unwrap();
+    let report = evaluate(&arch, &shape, &mapping, &ModelOptions::default()).unwrap();
+    let back: CostReport = round_trip(&report);
+    assert_eq!(back, report);
+    assert_eq!(back.edp(), report.edp());
+}
+
+#[test]
+fn constraints_round_trip() {
+    let c = Constraints::eyeriss_row_stationary(3, 1);
+    let back: Constraints = round_trip(&c);
+    assert_eq!(back, c);
+    assert!(back.exclusive_spatial());
+}
