@@ -23,8 +23,6 @@ pub mod presets;
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use ruby_energy::TechnologyModel;
 use ruby_workload::Operand;
 
@@ -41,7 +39,7 @@ use ruby_workload::Operand;
 /// assert!(!array.is_unit());
 /// assert!(Fanout::unit().is_unit());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fanout {
     x: u64,
     y: u64,
@@ -106,7 +104,7 @@ impl fmt::Display for Fanout {
 }
 
 /// Storage capacity of a memory level, in data words.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Capacity {
     /// No limit (DRAM).
     Unbounded,
@@ -129,7 +127,7 @@ impl Capacity {
 }
 
 /// One storage level of the hierarchy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemLevel {
     name: String,
     capacity: Capacity,
@@ -325,12 +323,60 @@ pub fn bypass_variants(arch: &Architecture, level: usize) -> Vec<Architecture> {
 ///
 /// Levels are ordered outermost-first; index 0 must be the (unbounded)
 /// DRAM level storing all operands.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Architecture {
     name: String,
     levels: Vec<MemLevel>,
     mac_energy: f64,
     tech: TechnologyModel,
+}
+
+serde::impl_serde_struct!(Fanout { x, y });
+serde::impl_serde_struct!(MemLevel {
+    name,
+    capacity,
+    stores,
+    access_energy,
+    fanout,
+    bandwidth_words_per_cycle,
+    noc_hop_energy,
+});
+serde::impl_serde_struct!(Architecture {
+    name,
+    levels,
+    mac_energy,
+    tech
+});
+
+impl serde::Serialize for Capacity {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Capacity::Unbounded => serde::Value::Str("Unbounded".to_owned()),
+            Capacity::Shared(words) => serde::Value::Obj(vec![(
+                "Shared".to_owned(),
+                serde::Serialize::to_value(words),
+            )]),
+            Capacity::PerOperand(per) => serde::Value::Obj(vec![(
+                "PerOperand".to_owned(),
+                serde::Serialize::to_value(per),
+            )]),
+        }
+    }
+}
+
+impl serde::Deserialize for Capacity {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if let Ok("Unbounded") = value.as_str() {
+            return Ok(Capacity::Unbounded);
+        }
+        if let Some(words) = value.get("Shared") {
+            return Ok(Capacity::Shared(serde::Deserialize::from_value(words)?));
+        }
+        if let Some(per) = value.get("PerOperand") {
+            return Ok(Capacity::PerOperand(serde::Deserialize::from_value(per)?));
+        }
+        Err(serde::Error::custom("expected a Capacity variant"))
+    }
 }
 
 impl Architecture {
@@ -341,12 +387,11 @@ impl Architecture {
     /// Panics if there are fewer than two levels, if the outermost level
     /// is bounded or bypasses an operand, or if some operand is stored
     /// nowhere.
-    pub fn new(
-        name: impl Into<String>,
-        levels: Vec<MemLevel>,
-        tech: TechnologyModel,
-    ) -> Self {
-        assert!(levels.len() >= 2, "need at least DRAM plus one on-chip level");
+    pub fn new(name: impl Into<String>, levels: Vec<MemLevel>, tech: TechnologyModel) -> Self {
+        assert!(
+            levels.len() >= 2,
+            "need at least DRAM plus one on-chip level"
+        );
         let outer = &levels[0];
         assert!(
             matches!(outer.capacity(), Capacity::Unbounded),
@@ -356,7 +401,12 @@ impl Architecture {
             assert!(outer.stores(op), "the outermost level must store {op}");
         }
         let mac_energy = tech.mac_energy();
-        Architecture { name: name.into(), levels, mac_energy, tech }
+        Architecture {
+            name: name.into(),
+            levels,
+            mac_energy,
+            tech,
+        }
     }
 
     /// The architecture name.
@@ -397,7 +447,10 @@ impl Architecture {
 
     /// Number of instances of level `index` (product of fanouts above it).
     pub fn instances(&self, index: usize) -> u64 {
-        self.levels[..index].iter().map(|l| l.fanout().total()).product()
+        self.levels[..index]
+            .iter()
+            .map(|l| l.fanout().total())
+            .product()
     }
 
     /// The index of the nearest level at or outside `from` (inclusive)
@@ -421,8 +474,8 @@ impl Architecture {
     /// instance, and a fixed overhead. DRAM (level 0) is off-chip and
     /// excluded. Used for the Pareto studies of Figs. 13–14.
     pub fn area_mm2(&self) -> f64 {
-        let mut area = self.tech.fixed_area_mm2()
-            + self.total_mac_units() as f64 * self.tech.pe_area_mm2();
+        let mut area =
+            self.tech.fixed_area_mm2() + self.total_mac_units() as f64 * self.tech.pe_area_mm2();
         for (i, level) in self.levels.iter().enumerate().skip(1) {
             if let Some(words) = level.capacity().total_words() {
                 if words > 0 {
@@ -593,8 +646,7 @@ mod tests {
                 tech.dram_access_energy(),
                 Fanout::linear(n),
             );
-            let spad =
-                MemLevel::new("S", Capacity::Shared(512), [true; 3], 1.0, Fanout::unit());
+            let spad = MemLevel::new("S", Capacity::Shared(512), [true; 3], 1.0, Fanout::unit());
             Architecture::new("a", vec![dram, spad], tech.clone())
         };
         assert!(mk(16).area_mm2() > mk(4).area_mm2());

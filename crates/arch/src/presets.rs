@@ -64,7 +64,10 @@ pub fn eyeriss_like(cols: u64, rows: u64) -> Architecture {
 ///
 /// Panics if any argument is zero.
 pub fn simba_like(num_pes: u64, vmacs: u64, lanes: u64) -> Architecture {
-    assert!(num_pes > 0 && vmacs > 0 && lanes > 0, "simba parameters must be positive");
+    assert!(
+        num_pes > 0 && vmacs > 0 && lanes > 0,
+        "simba parameters must be positive"
+    );
     let tech = TechnologyModel::default();
     let glb_words = 64 * 1024 / 2;
     let dram = MemLevel::new(
@@ -172,7 +175,10 @@ pub fn toy_glb(glb_bytes: u64, pe_cols: u64, pe_rows: u64) -> Architecture {
 ///
 /// Panics if any count is zero.
 pub fn clustered(clusters: u64, pes_per_cluster: u64) -> Architecture {
-    assert!(clusters > 0 && pes_per_cluster > 0, "cluster parameters must be positive");
+    assert!(
+        clusters > 0 && pes_per_cluster > 0,
+        "cluster parameters must be positive"
+    );
     let tech = TechnologyModel::default();
     let glb_words = 256 * 1024 / 2;
     let cluster_words = 16 * 1024 / 2;

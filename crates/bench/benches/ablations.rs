@@ -19,7 +19,13 @@ fn ablation_multicast(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_multicast");
     for (name, opts) in [
         ("on", ModelOptions::default()),
-        ("off", ModelOptions { multicast: false, spatial_reduction: false }),
+        (
+            "off",
+            ModelOptions {
+                multicast: false,
+                spatial_reduction: false,
+            },
+        ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| evaluate(&arch, &shape, &mapping, &opts))
@@ -121,7 +127,10 @@ fn ablation_search_strategy(c: &mut Criterion) {
         ..SearchConfig::default()
     };
     group.bench_function("random", |b| b.iter(|| search(&space, &random_cfg)));
-    let anneal_cfg = AnnealConfig { steps: 2_000, ..AnnealConfig::default() };
+    let anneal_cfg = AnnealConfig {
+        steps: 2_000,
+        ..AnnealConfig::default()
+    };
     group.bench_function("anneal", |b| b.iter(|| anneal(&space, &anneal_cfg)));
     group.finish();
 }

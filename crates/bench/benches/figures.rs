@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use ruby_core::prelude::Objective;
-use ruby_experiments::{fig10, fig11, fig12, fig13, fig14, fig7, fig8, fig9, table1, ExperimentBudget};
+use ruby_experiments::{
+    fig10, fig11, fig12, fig13, fig14, fig7, fig8, fig9, table1, ExperimentBudget,
+};
 
 fn tiny_budget() -> ExperimentBudget {
     ExperimentBudget {
@@ -31,7 +33,9 @@ fn bench_figures(c: &mut Criterion) {
         bench.iter(|| fig8::run_for(&b, 16, &[100, 113, 128]))
     });
     group.bench_function("fig9_case_study", |bench| bench.iter(|| fig9::run(&b)));
-    group.bench_function("fig10_resnet_eyeriss", |bench| bench.iter(|| fig10::run(&b)));
+    group.bench_function("fig10_resnet_eyeriss", |bench| {
+        bench.iter(|| fig10::run(&b))
+    });
     group.bench_function("fig11_deepbench", |bench| bench.iter(|| fig11::run(&b)));
     group.bench_function("fig11_latency_objective", |bench| {
         bench.iter(|| fig11::run_with_objective(&b, Objective::Delay))

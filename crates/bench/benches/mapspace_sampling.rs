@@ -17,6 +17,12 @@ fn bench_sampling(c: &mut Criterion) {
             .with_constraints(Constraints::eyeriss_row_stationary(3, 1));
         let mut rng = SmallRng::seed_from_u64(9);
         group.bench_function(kind.name(), |b| b.iter(|| space.sample(&mut rng)));
+        // Allocation-free path: reuse one Sampler and one Mapping buffer.
+        let mut sampler = space.sampler();
+        let mut out = space.sample(&mut rng);
+        group.bench_function(format!("{}_into", kind.name()), |b| {
+            b.iter(|| sampler.sample_into(&mut out, &mut rng))
+        });
     }
     group.finish();
 }

@@ -22,7 +22,11 @@ fn bench_evaluate(c: &mut Criterion) {
             presets::simba_like(15, 4, 4),
             ProblemShape::conv("c", 1, 1024, 256, 14, 14, 1, 1, (1, 1)),
         ),
-        ("toy_rank1", presets::toy_linear(16, 1024), ProblemShape::rank1("d", 113)),
+        (
+            "toy_rank1",
+            presets::toy_linear(16, 1024),
+            ProblemShape::rank1("d", 113),
+        ),
     ];
     for (name, arch, shape) in cases {
         let space = Mapspace::new(arch.clone(), shape.clone(), MapspaceKind::RubyS);
@@ -31,6 +35,15 @@ fn bench_evaluate(c: &mut Criterion) {
             b.iter_batched(
                 || space.sample(&mut rng),
                 |mapping| evaluate(&arch, &shape, &mapping, &ModelOptions::default()),
+                BatchSize::SmallInput,
+            )
+        });
+        // Same work through a precomputed EvalContext — the hot-loop path.
+        let ctx = EvalContext::new(&arch, &shape, ModelOptions::default());
+        group.bench_function(format!("{name}_ctx"), |b| {
+            b.iter_batched(
+                || space.sample(&mut rng),
+                |mapping| evaluate_with(&ctx, &mapping),
                 BatchSize::SmallInput,
             )
         });
@@ -47,9 +60,7 @@ fn bench_validity_rejection(c: &mut Criterion) {
     b.set_tile(Dim::C, 2, SlotKind::Temporal, 512); // overflows every spad
     let mapping = b.build_for_bounds(shape.bounds()).expect("chain builds");
     c.bench_function("reject_invalid", |bench| {
-        bench.iter(|| {
-            evaluate(&arch, &shape, &mapping, &ModelOptions::default()).is_err()
-        })
+        bench.iter(|| evaluate(&arch, &shape, &mapping, &ModelOptions::default()).is_err())
     });
 }
 

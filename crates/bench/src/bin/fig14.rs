@@ -1,8 +1,8 @@
 //! Regenerates Fig. 14: per-configuration EDP improvement across the
 //! PE-array sweep.
 
-use ruby_experiments::fig14;
 use ruby_experiments::fig13::SuiteChoice;
+use ruby_experiments::fig14;
 
 fn main() {
     let budget = ruby_bench::budget_from_args();

@@ -1,0 +1,25 @@
+//! Measures the random-search engine's samples/sec at 1..N threads on
+//! the Eyeriss-like preset and writes the baseline to
+//! `BENCH_search.json` in the working directory.
+//!
+//! Budgets: `--quick` (smoke), `--medium` (default), `--full`.
+
+use ruby_bench::throughput;
+
+fn main() {
+    let budget = ruby_bench::budget_from_args();
+    // Fixed work per run: no early termination, so each thread count
+    // performs an identical number of sample+evaluate steps.
+    let max_evaluations = budget.max_evaluations.max(2_000);
+    let repeats = budget.repeats.clamp(1, 3) as u64;
+    // Always measure 1..8 threads: on narrow machines the upper points
+    // are oversubscribed, which still pins down the engine's
+    // synchronization overhead (the JSON records the hardware width).
+    let report = throughput::run(max_evaluations, repeats, &[1, 2, 4, 8]);
+    print!("{}", throughput::render(&report));
+
+    let json = serde_json::to_string_pretty(&report).expect("reports always serialize");
+    let path = "BENCH_search.json";
+    std::fs::write(path, json).expect("writable working directory");
+    println!("wrote {path}");
+}

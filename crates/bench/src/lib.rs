@@ -6,6 +6,8 @@
 //! * `--medium` (default) — minutes-scale, enough for stable trends;
 //! * `--full` — paper-scale search budgets.
 
+pub mod throughput;
+
 use ruby_experiments::ExperimentBudget;
 
 /// Parses the budget flag from `std::env::args`.

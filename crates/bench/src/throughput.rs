@@ -1,0 +1,196 @@
+//! Search-engine throughput: samples/sec and thread scaling.
+//!
+//! The paper's methodology evaluates hundreds of thousands of sampled
+//! mappings per layer, so mapper throughput bounds every experiment.
+//! [`run`] times the full sample→evaluate→compare loop on the Eyeriss-like
+//! preset over a misaligned ResNet-50-style layer and reports
+//! samples/sec per thread count; the `search_throughput` binary writes
+//! the result to `BENCH_search.json` as the baseline future PRs are
+//! measured against.
+
+use std::time::Instant;
+
+use ruby_core::prelude::*;
+
+/// Throughput at one thread count.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Worker threads used.
+    pub threads: u64,
+    /// Mappings sampled (valid + invalid).
+    pub evaluations: u64,
+    /// Valid mappings among them.
+    pub valid: u64,
+    /// Best wall-clock seconds over the repeats.
+    pub seconds: f64,
+    /// `evaluations / seconds` for the best repeat.
+    pub samples_per_sec: f64,
+    /// Throughput relative to the single-thread point.
+    pub speedup: f64,
+    /// `speedup / threads` — 1.0 is ideal linear scaling.
+    pub parallel_efficiency: f64,
+}
+
+serde::impl_serde_struct!(ThroughputPoint {
+    threads,
+    evaluations,
+    valid,
+    seconds,
+    samples_per_sec,
+    speedup,
+    parallel_efficiency,
+});
+
+/// The full thread-scaling measurement.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Architecture preset measured.
+    pub arch: String,
+    /// Workload layer measured.
+    pub workload: String,
+    /// Mapspace kind sampled.
+    pub mapspace: String,
+    /// Sampled mappings per run (termination disabled).
+    pub max_evaluations: u64,
+    /// Timed repeats per thread count (best kept).
+    pub repeats: u64,
+    /// Hardware threads the machine offered during the measurement;
+    /// points beyond it are oversubscribed and measure engine overhead,
+    /// not hardware scaling.
+    pub available_parallelism: u64,
+    /// One entry per thread count, ascending.
+    pub points: Vec<ThroughputPoint>,
+}
+
+serde::impl_serde_struct!(ThroughputReport {
+    arch,
+    workload,
+    mapspace,
+    max_evaluations,
+    repeats,
+    available_parallelism,
+    points,
+});
+
+/// The misaligned pointwise layer used by the integration tests: M = 256
+/// against 12 PE rows, the paper's motivating mismatch.
+fn layer() -> ProblemShape {
+    ProblemShape::conv("pw_256", 1, 256, 64, 28, 28, 1, 1, (1, 1))
+}
+
+/// Measures search throughput at each of `thread_counts`, drawing
+/// exactly `max_evaluations` samples per run (no early termination so
+/// every run does identical work) and keeping the fastest of `repeats`
+/// timed runs per point.
+pub fn run(max_evaluations: u64, repeats: u64, thread_counts: &[usize]) -> ThroughputReport {
+    assert!(repeats > 0, "need at least one timed repeat");
+    let arch = presets::eyeriss_like(14, 12);
+    let space = Mapspace::new(arch, layer(), MapspaceKind::RubyS);
+    let mut points = Vec::with_capacity(thread_counts.len());
+    for &threads in thread_counts {
+        let config = SearchConfig {
+            seed: 1,
+            max_evaluations: Some(max_evaluations),
+            termination: None,
+            threads,
+            ..SearchConfig::default()
+        };
+        let mut best_seconds = f64::INFINITY;
+        let mut outcome = None;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let result = search(&space, &config);
+            let seconds = start.elapsed().as_secs_f64();
+            if seconds < best_seconds {
+                best_seconds = seconds;
+                outcome = Some(result);
+            }
+        }
+        let outcome = outcome.expect("repeats > 0");
+        points.push(ThroughputPoint {
+            threads: threads as u64,
+            evaluations: outcome.evaluations,
+            valid: outcome.valid,
+            seconds: best_seconds,
+            samples_per_sec: outcome.evaluations as f64 / best_seconds,
+            speedup: 0.0,             // filled in below
+            parallel_efficiency: 0.0, // filled in below
+        });
+    }
+    let base = points[0].samples_per_sec;
+    for point in &mut points {
+        point.speedup = point.samples_per_sec / base;
+        point.parallel_efficiency = point.speedup / point.threads as f64;
+    }
+    ThroughputReport {
+        arch: "eyeriss:14x12".to_owned(),
+        workload: layer().name().to_owned(),
+        mapspace: MapspaceKind::RubyS.name().to_owned(),
+        max_evaluations,
+        repeats,
+        available_parallelism: ruby_core::search::default_threads() as u64,
+        points,
+    }
+}
+
+/// Renders the report as an aligned text table.
+pub fn render(report: &ThroughputReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "search throughput — {} / {} / {} ({} samples per run, best of {})\n",
+        report.arch, report.workload, report.mapspace, report.max_evaluations, report.repeats
+    ));
+    out.push_str("threads    samples/sec      speedup   efficiency\n");
+    for p in &report.points {
+        out.push_str(&format!(
+            "{:>7} {:>14.0} {:>10.2}x {:>11.2}\n",
+            p.threads, p.samples_per_sec, p.speedup, p.parallel_efficiency
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_report_is_consistent() {
+        let report = run(200, 1, &[1]);
+        assert_eq!(report.points.len(), 1);
+        let p = &report.points[0];
+        assert_eq!(p.evaluations, 200);
+        assert!(p.samples_per_sec > 0.0);
+        assert_eq!(p.speedup, 1.0);
+        assert_eq!(p.parallel_efficiency, 1.0);
+    }
+
+    #[test]
+    fn scaling_points_cover_requested_threads() {
+        let report = run(200, 1, &[1, 2]);
+        assert_eq!(report.points.len(), 2);
+        assert_eq!(report.points[1].threads, 2);
+        // Two threads do the same total work.
+        assert_eq!(report.points[1].evaluations, 200);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = run(50, 1, &[1]);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: ThroughputReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.points[0].evaluations, report.points[0].evaluations);
+        assert_eq!(
+            back.points[0].samples_per_sec.to_bits(),
+            report.points[0].samples_per_sec.to_bits()
+        );
+    }
+
+    #[test]
+    fn render_mentions_every_thread_count() {
+        let report = run(50, 1, &[1]);
+        let text = render(&report);
+        assert!(text.contains("samples/sec"));
+        assert!(text.contains("eyeriss:14x12"));
+    }
+}

@@ -15,6 +15,14 @@ fn budget_config(flags: &Flags) -> Result<SearchConfig, CliError> {
         "full" => (60_000, 3_000, 8),
         other => return Err(CliError::Usage(format!("unknown budget '{other}'"))),
     };
+    let threads = match flags.get("threads") {
+        Some(t) => t
+            .parse()
+            .ok()
+            .filter(|&t: &usize| t > 0)
+            .ok_or_else(|| CliError::Usage("--threads must be a positive number".into()))?,
+        None => threads,
+    };
     let objective = match flags.get("objective").unwrap_or("edp") {
         "edp" => Objective::Edp,
         "energy" => Objective::Energy,
@@ -22,9 +30,12 @@ fn budget_config(flags: &Flags) -> Result<SearchConfig, CliError> {
         other => return Err(CliError::Usage(format!("unknown objective '{other}'"))),
     };
     Ok(SearchConfig {
-        seed: flags.get("seed").map(str::parse).transpose().map_err(|_| {
-            CliError::Usage("--seed must be a number".into())
-        })?.unwrap_or(1),
+        seed: flags
+            .get("seed")
+            .map(str::parse)
+            .transpose()
+            .map_err(|_| CliError::Usage("--seed must be a number".into()))?
+            .unwrap_or(1),
         max_evaluations: Some(max_evals),
         termination: Some(termination),
         threads,
@@ -80,8 +91,7 @@ pub fn search(args: &[String]) -> Result<String, CliError> {
         ))
     })?;
     if let Some(path) = flags.get("out") {
-        let json = serde_json::to_string_pretty(&best.mapping)
-            .expect("mappings always serialize");
+        let json = serde_json::to_string_pretty(&best.mapping).expect("mappings always serialize");
         std::fs::write(path, json)?;
     }
     let mut out = format!(
@@ -92,8 +102,7 @@ pub fn search(args: &[String]) -> Result<String, CliError> {
     );
     out.push_str(&report_block(&best.report));
     out.push_str("\nloop nest:\n");
-    let names: Vec<&str> =
-        explorer.arch().levels().iter().map(|l| l.name()).collect();
+    let names: Vec<&str> = explorer.arch().levels().iter().map(|l| l.name()).collect();
     out.push_str(&render_loopnest(&best.mapping, &names));
     Ok(out)
 }
@@ -183,8 +192,7 @@ pub fn show(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args, &[])?;
     let arch = parse_arch(flags.require("arch")?)?;
     if let Some(path) = flags.get("out") {
-        let json =
-            serde_json::to_string_pretty(&arch).expect("architectures always serialize");
+        let json = serde_json::to_string_pretty(&arch).expect("architectures always serialize");
         std::fs::write(path, json)?;
     }
     Ok(format!("{arch}area: {:.1} mm²\n", arch.area_mm2()))
@@ -317,8 +325,10 @@ mod tests {
 
     #[test]
     fn compare_lists_all_spaces() {
-        let out =
-            compare(&argv("--arch toy:9,1024 --workload rank1:100 --budget quick")).unwrap();
+        let out = compare(&argv(
+            "--arch toy:9,1024 --workload rank1:100 --budget quick",
+        ))
+        .unwrap();
         for name in ["PFM", "Ruby", "Ruby-S", "Ruby-T"] {
             assert!(out.contains(name), "{out}");
         }
@@ -338,10 +348,7 @@ mod tests {
 
     #[test]
     fn sweep_runs_quickly_on_subset() {
-        let out = sweep(&argv(
-            "--suite mobilenet --configs 14x12 --budget quick",
-        ))
-        .unwrap();
+        let out = sweep(&argv("--suite mobilenet --configs 14x12 --budget quick")).unwrap();
         assert!(out.contains("14x12"), "{out}");
         assert!(out.contains('%'), "{out}");
     }

@@ -12,8 +12,8 @@
 //!
 //! See [`run`] for the subcommands.
 
-pub mod parse;
 pub mod commands;
+pub mod parse;
 
 use std::fmt;
 
@@ -58,7 +58,7 @@ ruby — imperfect-factorization mapping exploration
 USAGE:
   ruby search   --arch <spec> --workload <spec> [--space <kind>] \\
                 [--budget quick|medium|full] [--objective edp|energy|delay] \\
-                [--eyeriss-constraints] [--out mapping.json]
+                [--threads <n>] [--eyeriss-constraints] [--out mapping.json]
   ruby evaluate --arch <spec> --workload <spec> --mapping <file.json>
   ruby simulate --arch <spec> --workload <spec> --mapping <file.json>
   ruby compare  --arch <spec> --workload <spec> [--budget ...] [--eyeriss-constraints]
@@ -125,9 +125,9 @@ impl Flags {
             if bools.contains(&name) {
                 flags.switches.push(name.to_string());
             } else {
-                let value = it.next().ok_or_else(|| {
-                    CliError::Usage(format!("flag --{name} needs a value"))
-                })?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("flag --{name} needs a value")))?;
                 flags.pairs.push((name.to_string(), value.clone()));
             }
         }

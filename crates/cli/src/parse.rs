@@ -16,8 +16,7 @@ use crate::CliError;
 pub fn parse_arch(spec: &str) -> Result<Architecture, CliError> {
     if let Some(path) = spec.strip_prefix('@') {
         let text = std::fs::read_to_string(path)?;
-        return serde_json::from_str(&text)
-            .map_err(|e| CliError::Spec(format!("{path}: {e}")));
+        return serde_json::from_str(&text).map_err(|e| CliError::Spec(format!("{path}: {e}")));
     }
     let (kind, rest) = spec
         .split_once(':')
@@ -37,7 +36,9 @@ pub fn parse_arch(spec: &str) -> Result<Architecture, CliError> {
             let v = parse_u64_list(rest, 2)?;
             Ok(presets::toy_linear(v[0], v[1]))
         }
-        other => Err(CliError::Spec(format!("unknown architecture family '{other}'"))),
+        other => Err(CliError::Spec(format!(
+            "unknown architecture family '{other}'"
+        ))),
     }
 }
 
@@ -50,8 +51,7 @@ pub fn parse_arch(spec: &str) -> Result<Architecture, CliError> {
 pub fn parse_workload(spec: &str) -> Result<ProblemShape, CliError> {
     if let Some(path) = spec.strip_prefix('@') {
         let text = std::fs::read_to_string(path)?;
-        return serde_json::from_str(&text)
-            .map_err(|e| CliError::Spec(format!("{path}: {e}")));
+        return serde_json::from_str(&text).map_err(|e| CliError::Spec(format!("{path}: {e}")));
     }
     if let Some((suite_name, layer)) = spec.split_once('/') {
         let suite = parse_suite(suite_name)?;
@@ -59,34 +59,48 @@ pub fn parse_workload(spec: &str) -> Result<ProblemShape, CliError> {
             .iter()
             .find(|l| l.name() == layer)
             .cloned()
-            .ok_or_else(|| {
-                CliError::Spec(format!("suite '{suite_name}' has no layer '{layer}'"))
-            });
+            .ok_or_else(|| CliError::Spec(format!("suite '{suite_name}' has no layer '{layer}'")));
     }
     let (kind, rest) = spec
         .split_once(':')
         .ok_or_else(|| CliError::Spec(format!("workload '{spec}' has no ':'")))?;
     match kind {
-        "rank1" => Ok(ProblemShape::rank1(format!("rank1_{rest}"), parse_u64(rest)?)),
+        "rank1" => Ok(ProblemShape::rank1(
+            format!("rank1_{rest}"),
+            parse_u64(rest)?,
+        )),
         "gemm" => {
             let v = parse_u64_list(rest, 3)?;
             Ok(ProblemShape::gemm(format!("gemm_{rest}"), v[0], v[1], v[2]))
         }
         "conv" => {
-            let v: Vec<u64> = rest
-                .split(',')
-                .map(parse_u64)
-                .collect::<Result<_, _>>()?;
+            let v: Vec<u64> = rest.split(',').map(parse_u64).collect::<Result<_, _>>()?;
             match v.len() {
                 7 => Ok(ProblemShape::conv(
                     format!("conv_{rest}"),
-                    v[0], v[1], v[2], v[3], v[4], v[5], v[6], (1, 1),
+                    v[0],
+                    v[1],
+                    v[2],
+                    v[3],
+                    v[4],
+                    v[5],
+                    v[6],
+                    (1, 1),
                 )),
                 9 => Ok(ProblemShape::conv(
                     format!("conv_{rest}"),
-                    v[0], v[1], v[2], v[3], v[4], v[5], v[6], (v[7], v[8]),
+                    v[0],
+                    v[1],
+                    v[2],
+                    v[3],
+                    v[4],
+                    v[5],
+                    v[6],
+                    (v[7], v[8]),
                 )),
-                n => Err(CliError::Spec(format!("conv takes 7 or 9 numbers, got {n}"))),
+                n => Err(CliError::Spec(format!(
+                    "conv takes 7 or 9 numbers, got {n}"
+                ))),
             }
         }
         other => Err(CliError::Spec(format!("unknown workload kind '{other}'"))),
@@ -135,7 +149,10 @@ fn parse_u64(s: &str) -> Result<u64, CliError> {
 fn parse_u64_list(s: &str, n: usize) -> Result<Vec<u64>, CliError> {
     let v: Vec<u64> = s.split(',').map(parse_u64).collect::<Result<_, _>>()?;
     if v.len() != n {
-        return Err(CliError::Spec(format!("expected {n} numbers, got {}", v.len())));
+        return Err(CliError::Spec(format!(
+            "expected {n} numbers, got {}",
+            v.len()
+        )));
     }
     Ok(v)
 }

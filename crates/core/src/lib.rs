@@ -49,7 +49,9 @@ pub mod prelude {
     pub use ruby_energy::TechnologyModel;
     pub use ruby_mapping::{display::render_loopnest, Mapping, SlotKind};
     pub use ruby_mapspace::{padding, Constraints, DimSet, Mapspace, MapspaceKind};
-    pub use ruby_model::{evaluate, CostReport, InvalidMapping, ModelOptions};
+    pub use ruby_model::{
+        evaluate, evaluate_with, CostReport, EvalContext, InvalidMapping, ModelOptions,
+    };
     pub use ruby_search::anneal::{anneal, AnnealConfig};
     pub use ruby_search::{search, BestMapping, Objective, SearchConfig, SearchOutcome};
     pub use ruby_workload::{suites, Dim, DimMap, Operand, ProblemShape};
@@ -78,7 +80,11 @@ impl Explorer {
     /// search settings.
     pub fn new(arch: Architecture) -> Self {
         let constraints = Constraints::unconstrained(arch.num_levels());
-        Explorer { arch, constraints, config: SearchConfig::default() }
+        Explorer {
+            arch,
+            constraints,
+            config: SearchConfig::default(),
+        }
     }
 
     /// Replaces the mapping constraints.
@@ -134,11 +140,7 @@ impl Explorer {
 
     /// Like [`Explorer::explore`], but returns the full
     /// [`SearchOutcome`] including the best-so-far trace.
-    pub fn explore_with_outcome(
-        &self,
-        shape: &ProblemShape,
-        kind: MapspaceKind,
-    ) -> SearchOutcome {
+    pub fn explore_with_outcome(&self, shape: &ProblemShape, kind: MapspaceKind) -> SearchOutcome {
         run_search(&self.mapspace(shape, kind), &self.config)
     }
 
@@ -159,7 +161,10 @@ pub struct Comparison {
 impl Comparison {
     /// The best mapping found in the mapspace of `kind`, if any.
     pub fn best(&self, kind: MapspaceKind) -> Option<&BestMapping> {
-        let idx = MapspaceKind::ALL.iter().position(|&k| k == kind).expect("all kinds listed");
+        let idx = MapspaceKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("all kinds listed");
         self.results[idx].as_ref()
     }
 
@@ -179,7 +184,11 @@ mod tests {
     use ruby_arch::presets;
 
     fn quick_config() -> SearchConfig {
-        SearchConfig { max_evaluations: Some(3_000), termination: Some(300), ..Default::default() }
+        SearchConfig {
+            max_evaluations: Some(3_000),
+            termination: Some(300),
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -187,7 +196,9 @@ mod tests {
         let arch = presets::toy_linear(16, 1024);
         let explorer = Explorer::new(arch).with_search(quick_config());
         let shape = ProblemShape::rank1("d", 113);
-        let best = explorer.explore(&shape, MapspaceKind::RubyS).expect("valid mapping");
+        let best = explorer
+            .explore(&shape, MapspaceKind::RubyS)
+            .expect("valid mapping");
         assert_eq!(best.report.cycles(), 8);
     }
 
@@ -196,8 +207,13 @@ mod tests {
         let arch = presets::toy_linear(16, 1024);
         let explorer = Explorer::new(arch).with_search(quick_config());
         let comparison = explorer.compare(&ProblemShape::rank1("d", 113));
-        let ratio = comparison.edp_vs_pfm(MapspaceKind::RubyS).expect("both found");
-        assert!(ratio < 1.0, "Ruby-S must beat PFM on a prime bound, got {ratio}");
+        let ratio = comparison
+            .edp_vs_pfm(MapspaceKind::RubyS)
+            .expect("both found");
+        assert!(
+            ratio < 1.0,
+            "Ruby-S must beat PFM on a prime bound, got {ratio}"
+        );
         assert_eq!(comparison.edp_vs_pfm(MapspaceKind::Pfm), Some(1.0));
     }
 

@@ -36,12 +36,10 @@
 //! assert!(tech.dram_access_energy() > glb);
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 /// Per-word access energies and per-component areas, normalized so one
 /// 16-bit MAC costs 1.0 energy units. See the crate docs for the
 /// calibration points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TechnologyModel {
     mac_energy: f64,
     regfile_energy: f64,
@@ -54,6 +52,19 @@ pub struct TechnologyModel {
     fixed_area_mm2: f64,
     word_bits: u32,
 }
+
+serde::impl_serde_struct!(TechnologyModel {
+    mac_energy,
+    regfile_energy,
+    dram_energy,
+    noc_hop_energy,
+    glb_anchor_bytes,
+    glb_anchor_energy,
+    pe_area_mm2,
+    sram_area_mm2_per_kib,
+    fixed_area_mm2,
+    word_bits,
+});
 
 impl TechnologyModel {
     /// The calibrated default model described in the crate docs.
@@ -210,7 +221,9 @@ mod tests {
 
     #[test]
     fn builders_validate() {
-        let t = TechnologyModel::default().with_dram_energy(100.0).with_mac_energy(0.5);
+        let t = TechnologyModel::default()
+            .with_dram_energy(100.0)
+            .with_mac_energy(0.5);
         assert_eq!(t.dram_access_energy(), 100.0);
         assert_eq!(t.mac_energy(), 0.5);
     }
@@ -241,5 +254,4 @@ mod tests {
             }
         }
     }
-
 }

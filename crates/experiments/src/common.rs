@@ -99,9 +99,11 @@ pub fn compare_layers(
         let pfm = explorer.explore(layer, MapspaceKind::Pfm);
         let ruby = explorer.explore(layer, kind);
         match (pfm, ruby) {
-            (Some(pfm), Some(ruby)) => {
-                out.push(LayerComparison { layer: layer.name().to_string(), pfm, ruby })
-            }
+            (Some(pfm), Some(ruby)) => out.push(LayerComparison {
+                layer: layer.name().to_string(),
+                pfm,
+                ruby,
+            }),
             _ => skipped.push(layer.name().to_string()),
         }
     }
@@ -173,7 +175,9 @@ mod tests {
         // emulate with the public API instead.
         let arch = presets::toy_linear(4, 1024);
         let shape = ProblemShape::rank1("d", 16);
-        let m = Mapping::builder(2).build_for_bounds(shape.bounds()).unwrap();
+        let m = Mapping::builder(2)
+            .build_for_bounds(shape.bounds())
+            .unwrap();
         let r = evaluate(&arch, &shape, &m, &ModelOptions::default()).unwrap();
         t.add(&r, 2);
         assert!((t.energy - 2.0 * r.energy()).abs() < 1e-9);

@@ -96,7 +96,10 @@ pub fn run_layer(budget: &ExperimentBudget, layer: &ProblemShape) -> Study {
             VariantResult { stores, edp }
         })
         .collect();
-    Study { layer: layer.name().to_string(), variants }
+    Study {
+        layer: layer.name().to_string(),
+        variants,
+    }
 }
 
 /// Renders the study.
@@ -105,10 +108,15 @@ pub fn render(study: &Study) -> String {
     for v in &study.variants {
         t.row(vec![
             v.label(),
-            v.edp.map(|e| format!("{e:.3e}")).unwrap_or_else(|| "-".into()),
+            v.edp
+                .map(|e| format!("{e:.3e}"))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
-    let best = study.best().map(|v| v.label()).unwrap_or_else(|| "-".into());
+    let best = study
+        .best()
+        .map(|v| v.label())
+        .unwrap_or_else(|| "-".into());
     format!(
         "Extension: GLB bypass exploration on {} (Eyeriss-like 14x12)\n{}best storage mask: {best} (paper baseline: IFM+OFM)\n",
         study.layer,
@@ -133,9 +141,15 @@ mod tests {
 
     #[test]
     fn labels_are_descriptive() {
-        let v = VariantResult { stores: [true, false, true], edp: None };
+        let v = VariantResult {
+            stores: [true, false, true],
+            edp: None,
+        };
         assert_eq!(v.label(), "IFM+OFM");
-        let none = VariantResult { stores: [false; 3], edp: None };
+        let none = VariantResult {
+            stores: [false; 3],
+            edp: None,
+        };
         assert_eq!(none.label(), "none");
     }
 }

@@ -69,12 +69,12 @@ pub fn run_layer(budget: &ExperimentBudget, layer: &ProblemShape) -> Study {
             ..AnnealConfig::default()
         },
     );
-    let opts = ModelOptions::default();
+    let ctx = EvalContext::new(&arch, layer, ModelOptions::default());
     let heuristic_candidates = heuristic::utilization_first(&arch, layer, &constraints);
     let heuristic_evals = heuristic_candidates.len() as u64;
     let heuristic_edp = heuristic_candidates
         .iter()
-        .filter_map(|m| evaluate(&arch, layer, m, &opts).ok())
+        .filter_map(|m| evaluate_with(&ctx, m).ok())
         .map(|r| r.edp())
         .fold(f64::INFINITY, f64::min);
 
@@ -102,12 +102,17 @@ pub fn run_layer(budget: &ExperimentBudget, layer: &ProblemShape) -> Study {
 
 /// Renders the study.
 pub fn render(study: &Study) -> String {
-    let mut t =
-        TextTable::new(vec!["strategy".into(), "best EDP".into(), "evaluations".into()]);
+    let mut t = TextTable::new(vec![
+        "strategy".into(),
+        "best EDP".into(),
+        "evaluations".into(),
+    ]);
     for r in &study.results {
         t.row(vec![
             r.strategy.to_string(),
-            r.edp.map(|e| format!("{e:.3e}")).unwrap_or_else(|| "-".into()),
+            r.edp
+                .map(|e| format!("{e:.3e}"))
+                .unwrap_or_else(|| "-".into()),
             r.evaluations.to_string(),
         ]);
     }

@@ -25,7 +25,11 @@ pub struct Study {
 
 /// Runs Fig. 10 on the 14×12 baseline with row-stationary constraints.
 pub fn run(budget: &ExperimentBudget) -> Study {
-    run_on(budget, &presets::eyeriss_like(14, 12), &Constraints::eyeriss_row_stationary(3, 1))
+    run_on(
+        budget,
+        &presets::eyeriss_like(14, 12),
+        &Constraints::eyeriss_row_stationary(3, 1),
+    )
 }
 
 /// Runs the same study on any architecture/constraints (used by the
@@ -88,7 +92,10 @@ pub fn render(study: &Study) -> String {
         pct_delta(study.network_cycle_ratio),
     ));
     if !study.skipped.is_empty() {
-        out.push_str(&format!("skipped (no valid mapping): {:?}\n", study.skipped));
+        out.push_str(&format!(
+            "skipped (no valid mapping): {:?}\n",
+            study.skipped
+        ));
     }
     out
 }

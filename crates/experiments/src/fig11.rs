@@ -32,7 +32,10 @@ pub fn run(budget: &ExperimentBudget) -> Study {
 /// mappings that reduce the latency 14%").
 pub fn run_with_objective(budget: &ExperimentBudget, objective: Objective) -> Study {
     let suite = suites::deepbench();
-    let config = SearchConfig { objective, ..budget.search_config() };
+    let config = SearchConfig {
+        objective,
+        ..budget.search_config()
+    };
     let explorer = Explorer::new(presets::eyeriss_like(14, 12))
         .with_constraints(Constraints::eyeriss_row_stationary(3, 1))
         .with_search(config);
@@ -45,7 +48,12 @@ pub fn run_with_objective(budget: &ExperimentBudget, objective: Objective) -> St
     };
     let mean = geomean(layers.iter().map(ratio));
     let best = layers.iter().map(ratio).fold(f64::INFINITY, f64::min);
-    Study { layers, skipped, mean_edp_ratio: mean, best_edp_ratio: best }
+    Study {
+        layers,
+        skipped,
+        mean_edp_ratio: mean,
+        best_edp_ratio: best,
+    }
 }
 
 /// Renders the per-layer table plus the summary line.
@@ -95,7 +103,11 @@ mod tests {
     #[test]
     fn latency_objective_reduces_cycles() {
         let study = run_with_objective(&ExperimentBudget::quick(), Objective::Delay);
-        assert!(study.mean_edp_ratio <= 1.0, "mean cycle ratio {}", study.mean_edp_ratio);
+        assert!(
+            study.mean_edp_ratio <= 1.0,
+            "mean cycle ratio {}",
+            study.mean_edp_ratio
+        );
     }
 
     #[test]

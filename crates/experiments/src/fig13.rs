@@ -123,7 +123,11 @@ pub fn run(budget: &ExperimentBudget, choice: SuiteChoice) -> Vec<SweepPoint> {
 /// The Pareto-optimal subset of points (minimal EDP for their area).
 pub fn pareto_frontier(points: &[SweepPoint]) -> Vec<&SweepPoint> {
     let mut sorted: Vec<&SweepPoint> = points.iter().collect();
-    sorted.sort_by(|a, b| a.area_mm2.total_cmp(&b.area_mm2).then(a.edp.total_cmp(&b.edp)));
+    sorted.sort_by(|a, b| {
+        a.area_mm2
+            .total_cmp(&b.area_mm2)
+            .then(a.edp.total_cmp(&b.edp))
+    });
     let mut frontier: Vec<&SweepPoint> = Vec::new();
     let mut best_edp = f64::INFINITY;
     for p in sorted {

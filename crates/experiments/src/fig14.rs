@@ -62,8 +62,16 @@ pub fn from_points(points: &[SweepPoint], choice: SuiteChoice) -> Study {
         }
     }
     let mean = geomean(configs.iter().map(|c| c.ruby_s_ratio));
-    let best = configs.iter().map(|c| c.ruby_s_ratio).fold(f64::INFINITY, f64::min);
-    Study { choice, configs, mean_ruby_s_ratio: mean, best_ruby_s_ratio: best }
+    let best = configs
+        .iter()
+        .map(|c| c.ruby_s_ratio)
+        .fold(f64::INFINITY, f64::min);
+    Study {
+        choice,
+        configs,
+        mean_ruby_s_ratio: mean,
+        best_ruby_s_ratio: best,
+    }
 }
 
 /// Renders the study.
@@ -108,7 +116,11 @@ mod tests {
                 c.ruby_s_ratio
             );
         }
-        assert!(study.mean_ruby_s_ratio < 1.0, "mean {}", study.mean_ruby_s_ratio);
+        assert!(
+            study.mean_ruby_s_ratio < 1.0,
+            "mean {}",
+            study.mean_ruby_s_ratio
+        );
     }
 
     #[test]

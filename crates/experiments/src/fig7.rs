@@ -90,9 +90,7 @@ pub fn run(budget: &ExperimentBudget) -> Vec<ScenarioResult> {
     scenarios()
         .into_iter()
         .map(|scenario| {
-            let traces = std::array::from_fn(|k| {
-                averaged_trace(&scenario.spaces[k], budget)
-            });
+            let traces = std::array::from_fn(|k| averaged_trace(&scenario.spaces[k], budget));
             ScenarioResult {
                 label: scenario.label,
                 description: scenario.description,
@@ -105,9 +103,14 @@ pub fn run(budget: &ExperimentBudget) -> Vec<ScenarioResult> {
 /// Average best-EDP at each checkpoint over `budget.repeats` independent
 /// random-search runs of one mapspace.
 pub fn averaged_trace(space: &Mapspace, budget: &ExperimentBudget) -> Vec<f64> {
-    let max_evals = budget.max_evaluations.min(*CHECKPOINTS.last().expect("non-empty"));
-    let checkpoints: Vec<u64> =
-        CHECKPOINTS.iter().copied().filter(|&c| c <= max_evals).collect();
+    let max_evals = budget
+        .max_evaluations
+        .min(*CHECKPOINTS.last().expect("non-empty"));
+    let checkpoints: Vec<u64> = CHECKPOINTS
+        .iter()
+        .copied()
+        .filter(|&c| c <= max_evals)
+        .collect();
     let mut sums = vec![0.0f64; checkpoints.len()];
     let mut counts = vec![0u64; checkpoints.len()];
     for rep in 0..budget.repeats {
@@ -136,7 +139,13 @@ pub fn averaged_trace(space: &Mapspace, budget: &ExperimentBudget) -> Vec<f64> {
     checkpoints
         .iter()
         .enumerate()
-        .map(|(i, _)| if counts[i] > 0 { sums[i] / counts[i] as f64 } else { f64::INFINITY })
+        .map(|(i, _)| {
+            if counts[i] > 0 {
+                sums[i] / counts[i] as f64
+            } else {
+                f64::INFINITY
+            }
+        })
         .collect()
 }
 
@@ -183,7 +192,11 @@ mod tests {
 
     #[test]
     fn traces_improve_monotonically() {
-        let budget = ExperimentBudget { repeats: 2, max_evaluations: 300, ..ExperimentBudget::quick() };
+        let budget = ExperimentBudget {
+            repeats: 2,
+            max_evaluations: 300,
+            ..ExperimentBudget::quick()
+        };
         let space = &scenarios()[1].spaces[2]; // Ruby-S on 16 PEs
         let trace = averaged_trace(space, &budget);
         let finite: Vec<f64> = trace.into_iter().filter(|v| v.is_finite()).collect();
@@ -195,7 +208,11 @@ mod tests {
     fn misaligned_gemm_favors_imperfect_spaces() {
         // Fig. 7b: on 16 PEs the best Ruby-S mapping must beat the best
         // PFM mapping (100 shares no factor ≥ 10 with 16).
-        let budget = ExperimentBudget { repeats: 2, max_evaluations: 2_000, ..ExperimentBudget::quick() };
+        let budget = ExperimentBudget {
+            repeats: 2,
+            max_evaluations: 2_000,
+            ..ExperimentBudget::quick()
+        };
         let r = run(&budget);
         let b = &r[1];
         let last_pfm = *b.traces[0].last().unwrap();
@@ -208,8 +225,11 @@ mod tests {
 
     #[test]
     fn render_contains_all_scenarios() {
-        let budget =
-            ExperimentBudget { repeats: 1, max_evaluations: 100, ..ExperimentBudget::quick() };
+        let budget = ExperimentBudget {
+            repeats: 1,
+            max_evaluations: 100,
+            ..ExperimentBudget::quick()
+        };
         let results = run(&budget);
         let s = render(&results);
         for label in ["7(a)", "7(b)", "7(c)", "7(d)"] {

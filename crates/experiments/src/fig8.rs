@@ -77,7 +77,10 @@ pub fn render(points: &[Point]) -> String {
             format!("{:.3e}", p.ruby_s_edp),
         ]);
     }
-    format!("Fig. 8: rank-1 sweep over a 16-PE array (normalized to Ruby-S; 1.0 = parity)\n{}", t.render())
+    format!(
+        "Fig. 8: rank-1 sweep over a 16-PE array (normalized to Ruby-S; 1.0 = parity)\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -85,7 +88,10 @@ mod tests {
     use super::*;
 
     fn budget() -> ExperimentBudget {
-        ExperimentBudget { max_evaluations: 2_000, ..ExperimentBudget::quick() }
+        ExperimentBudget {
+            max_evaluations: 2_000,
+            ..ExperimentBudget::quick()
+        }
     }
 
     #[test]
@@ -117,8 +123,14 @@ mod tests {
         // at D=113 it adds 15 (≈12% overhead).
         let pts = run_for(&budget(), 16, &[113, 127]);
         assert!(pts[0].padded_vs_ruby_s > pts[1].padded_vs_ruby_s);
-        assert!(pts[1].padded_vs_ruby_s < 1.1, "127→128 padding is nearly free");
-        assert!(pts[0].padded_vs_ruby_s > 1.05, "113→128 padding is not free");
+        assert!(
+            pts[1].padded_vs_ruby_s < 1.1,
+            "127→128 padding is nearly free"
+        );
+        assert!(
+            pts[0].padded_vs_ruby_s > 1.05,
+            "113→128 padding is not free"
+        );
     }
 
     #[test]

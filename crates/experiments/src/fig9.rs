@@ -31,7 +31,10 @@ pub struct CaseStudy {
 impl CaseStudy {
     /// The entry by name.
     pub fn entry(&self, name: &str) -> &Entry {
-        self.entries.iter().find(|e| e.name == name).expect("known contender")
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .expect("known contender")
     }
 
     /// Ruby-S EDP relative to PFM.
@@ -69,7 +72,8 @@ pub fn handcrafted_mapping(shape: &ProblemShape) -> Mapping {
     b.set_tile(Dim::Q, 1, SlotKind::Temporal, 2);
     b.set_tile(Dim::P, 1, SlotKind::Temporal, 27);
     b.set_permutation(1, [Dim::Q, Dim::P, Dim::C, Dim::M, Dim::N, Dim::R, Dim::S]);
-    b.build_for_bounds(shape.bounds()).expect("handcrafted chain is valid")
+    b.build_for_bounds(shape.bounds())
+        .expect("handcrafted chain is valid")
 }
 
 /// Runs the case study.
@@ -96,9 +100,18 @@ pub fn run(budget: &ExperimentBudget) -> CaseStudy {
 
     CaseStudy {
         entries: vec![
-            Entry { name: "handcrafted", report: handcrafted },
-            Entry { name: "PFM", report: pfm.report },
-            Entry { name: "Ruby-S", report: ruby_s.report },
+            Entry {
+                name: "handcrafted",
+                report: handcrafted,
+            },
+            Entry {
+                name: "PFM",
+                report: pfm.report,
+            },
+            Entry {
+                name: "Ruby-S",
+                report: ruby_s.report,
+            },
         ],
     }
 }

@@ -26,7 +26,10 @@ impl TextTable {
     /// Panics if `header` is empty.
     pub fn new(header: Vec<String>) -> Self {
         assert!(!header.is_empty(), "a table needs at least one column");
-        TextTable { header, rows: Vec::new() }
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -35,7 +38,11 @@ impl TextTable {
     ///
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, row: Vec<String>) -> &mut Self {
-        assert_eq!(row.len(), self.header.len(), "row width must match the header");
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
         self.rows.push(row);
         self
     }

@@ -41,14 +41,13 @@ pub fn run_for(pes: u64, scratch_bytes: u64, sizes: &[u64]) -> Vec<Row> {
         .map(|&size| {
             let shape = ProblemShape::rank1(format!("d{size}"), size);
             let arch = presets::toy_linear(pes, scratch_bytes);
-            let count = |kind| {
-                Mapspace::new(arch.clone(), shape.clone(), kind).count_tilings()
-            };
+            let count = |kind| Mapspace::new(arch.clone(), shape.clone(), kind).count_tilings();
             let pfm_space = Mapspace::new(arch.clone(), shape.clone(), MapspaceKind::Pfm);
+            let ctx = EvalContext::new(&arch, &shape, ModelOptions::default());
             let pfm_valid = pfm_space
                 .enumerate_perfect(usize::MAX)
                 .iter()
-                .filter(|m| evaluate(&arch, &shape, m, &ModelOptions::default()).is_ok())
+                .filter(|m| evaluate_with(&ctx, m).is_ok())
                 .count() as u128;
             Row {
                 size,
@@ -82,7 +81,10 @@ pub fn render(rows: &[Row]) -> String {
             r.ruby.to_string(),
         ]);
     }
-    format!("Table I: mapspace sizes (rank-1 tensor, 2 levels, fanout 9)\n{}", t.render())
+    format!(
+        "Table I: mapspace sizes (rank-1 tensor, 2 levels, fanout 9)\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -35,8 +35,8 @@ pub fn render_loopnest(mapping: &Mapping, level_names: &[&str]) -> String {
     );
     let mut out = String::new();
     let mut indent = 0usize;
-    for level in 0..layout.num_levels() {
-        let _ = writeln!(out, "{:indent$}// {}", "", level_names[level], indent = indent);
+    for (level, name) in level_names.iter().enumerate().take(layout.num_levels()) {
+        let _ = writeln!(out, "{:indent$}// {}", "", name, indent = indent);
         // Temporal block, outermost dim first (permutation is stored
         // innermost-first).
         let t = layout.temporal_slot(level);
@@ -79,7 +79,12 @@ fn write_loop(
             indent = indent
         );
     } else {
-        let _ = writeln!(out, "{:indent$}{keyword} {lower} in 0..{count}", "", indent = indent);
+        let _ = writeln!(
+            out,
+            "{:indent$}{keyword} {lower} in 0..{count}",
+            "",
+            indent = indent
+        );
     }
     indent + 2
 }

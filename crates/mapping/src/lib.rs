@@ -24,8 +24,6 @@ pub mod display;
 pub mod profile;
 pub mod slots;
 
-use serde::{Deserialize, Serialize};
-
 use ruby_workload::{Dim, DimMap};
 
 pub use profile::TileProfile;
@@ -35,12 +33,20 @@ pub use slots::{SlotId, SlotKind, SlotLayout};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MappingError {
     /// A tile chain has the wrong number of entries for the slot layout.
-    WrongChainLength { dim: Dim, expected: usize, actual: usize },
+    WrongChainLength {
+        dim: Dim,
+        expected: usize,
+        actual: usize,
+    },
     /// A tile chain entry decreases going outward or the innermost entry
     /// is not 1.
     NonMonotoneChain { dim: Dim },
     /// The outermost chain entry does not equal the dimension bound.
-    WrongOuterTile { dim: Dim, expected: u64, actual: u64 },
+    WrongOuterTile {
+        dim: Dim,
+        expected: u64,
+        actual: u64,
+    },
     /// A permutation is not a permutation of all seven dims.
     BadPermutation { level: usize },
     /// Wrong number of per-level permutations.
@@ -50,22 +56,39 @@ pub enum MappingError {
 impl std::fmt::Display for MappingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MappingError::WrongChainLength { dim, expected, actual } => write!(
+            MappingError::WrongChainLength {
+                dim,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "tile chain for {dim} has {actual} entries, expected {expected}"
             ),
             MappingError::NonMonotoneChain { dim } => {
-                write!(f, "tile chain for {dim} must start at 1 and be non-decreasing")
+                write!(
+                    f,
+                    "tile chain for {dim} must start at 1 and be non-decreasing"
+                )
             }
-            MappingError::WrongOuterTile { dim, expected, actual } => write!(
+            MappingError::WrongOuterTile {
+                dim,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "outermost tile for {dim} is {actual}, expected the dimension bound {expected}"
             ),
             MappingError::BadPermutation { level } => {
-                write!(f, "permutation at level {level} is not a permutation of all dims")
+                write!(
+                    f,
+                    "permutation at level {level} is not a permutation of all dims"
+                )
             }
             MappingError::WrongPermutationCount { expected, actual } => {
-                write!(f, "got {actual} permutations, expected {expected} (one per level)")
+                write!(
+                    f,
+                    "got {actual} permutations, expected {expected} (one per level)"
+                )
             }
         }
     }
@@ -98,7 +121,7 @@ pub const DEFAULT_PERM: [Dim; 7] = [Dim::S, Dim::R, Dim::Q, Dim::P, Dim::C, Dim:
 /// let dram_t = m.layout().temporal_slot(0);
 /// assert_eq!(m.loop_count(Dim::M, dram_t), 17);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mapping {
     layout: SlotLayout,
     /// Per dim: cumulative tile sizes, `len == num_slots + 1`,
@@ -108,6 +131,12 @@ pub struct Mapping {
     /// block, innermost dim first.
     perms: Vec<[Dim; 7]>,
 }
+
+serde::impl_serde_struct!(Mapping {
+    layout,
+    tiling,
+    perms
+});
 
 impl Mapping {
     /// Validates and builds a mapping from explicit tile chains.
@@ -150,7 +179,11 @@ impl Mapping {
                 return Err(MappingError::BadPermutation { level });
             }
         }
-        Ok(Mapping { layout, tiling, perms })
+        Ok(Mapping {
+            layout,
+            tiling,
+            perms,
+        })
     }
 
     /// Starts a [`MappingBuilder`] for an architecture with `num_levels`
@@ -187,15 +220,15 @@ impl Mapping {
     pub fn has_remainder(&self, dim: Dim, slot: SlotId) -> bool {
         let chain = &self.tiling[dim];
         let s = slot.index();
-        chain[s + 1] % chain[s] != 0
+        !chain[s + 1].is_multiple_of(chain[s])
     }
 
     /// Whether any slot of any dimension carries a remainder — i.e.
     /// whether this mapping lies outside the perfect-factorization space.
     pub fn is_imperfect(&self) -> bool {
-        Dim::ALL.iter().any(|&d| {
-            (0..self.layout.num_slots()).any(|s| self.has_remainder(d, SlotId::new(s)))
-        })
+        Dim::ALL
+            .iter()
+            .any(|&d| (0..self.layout.num_slots()).any(|s| self.has_remainder(d, SlotId::new(s))))
     }
 
     /// The per-dimension extents of the tile *stored at* storage level
@@ -273,7 +306,22 @@ impl MappingBuilder {
     fn new(num_levels: usize) -> Self {
         let layout = SlotLayout::new(num_levels);
         let factors = DimMap::from_fn(|_| vec![1u64; layout.num_slots()]);
-        MappingBuilder { layout, factors, perms: vec![DEFAULT_PERM; num_levels] }
+        MappingBuilder {
+            layout,
+            factors,
+            perms: vec![DEFAULT_PERM; num_levels],
+        }
+    }
+
+    /// Resets every factor to 1 and every permutation to
+    /// [`DEFAULT_PERM`], keeping the allocations. Lets one builder be
+    /// reused across many samples in a hot loop.
+    pub fn reset(&mut self) -> &mut Self {
+        for (_, factors) in self.factors.iter_mut() {
+            factors.fill(1);
+        }
+        self.perms.fill(DEFAULT_PERM);
+        self
     }
 
     /// Sets the factor of `dim` at the given level and slot kind.
@@ -321,6 +369,51 @@ impl MappingBuilder {
         });
         Mapping::from_tile_chains(self.layout.num_levels(), tiling, self.perms.clone())
     }
+
+    /// Builds into an existing mapping, reusing its chain and permutation
+    /// allocations. Produces exactly the same mapping as
+    /// [`MappingBuilder::build_for_bounds`]; `out`'s previous contents
+    /// (including a different hierarchy depth) are fully overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::BadPermutation`] if a permutation set via
+    /// [`MappingBuilder::set_permutation`] does not cover all seven dims.
+    /// (Builder-produced tile chains are always valid: factors are
+    /// positive and chains are clamped monotone.)
+    pub fn build_into_for_bounds(
+        &self,
+        bounds: &DimMap<u64>,
+        out: &mut Mapping,
+    ) -> Result<(), MappingError> {
+        for (level, perm) in self.perms.iter().enumerate() {
+            let mut seen = [false; 7];
+            for d in perm {
+                seen[d.index()] = true;
+            }
+            if seen.iter().any(|s| !s) {
+                return Err(MappingError::BadPermutation { level });
+            }
+        }
+        let num_slots = self.layout.num_slots();
+        out.layout = self.layout;
+        out.perms.clear();
+        out.perms.extend_from_slice(&self.perms);
+        for (d, chain) in out.tiling.iter_mut() {
+            let bound = bounds[d];
+            chain.clear();
+            chain.reserve(num_slots + 1);
+            chain.push(1u64);
+            let mut cum = 1u64;
+            for s in 0..num_slots {
+                cum = cum.saturating_mul(self.factors[d][s]).min(bound);
+                chain.push(cum);
+            }
+            // Stretch the outermost boundary to the bound.
+            chain[num_slots] = bound;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -335,7 +428,9 @@ mod tests {
 
     #[test]
     fn builder_defaults_put_everything_outer_temporal() {
-        let m = Mapping::builder(2).build_for_bounds(&bounds_m(100)).unwrap();
+        let m = Mapping::builder(2)
+            .build_for_bounds(&bounds_m(100))
+            .unwrap();
         let dram_t = m.layout().temporal_slot(0);
         assert_eq!(m.loop_count(Dim::M, dram_t), 100);
         assert_eq!(m.compute_cycles(), 100);
@@ -411,9 +506,8 @@ mod tests {
         let m = Mapping::builder(2).build_for_bounds(&bounds_m(4)).unwrap();
         assert_eq!(m.permutation(0), &DEFAULT_PERM);
         let bad_perm = [Dim::M; 7];
-        let err =
-            Mapping::from_tile_chains(2, m.tiling.clone(), vec![DEFAULT_PERM, bad_perm])
-                .unwrap_err();
+        let err = Mapping::from_tile_chains(2, m.tiling.clone(), vec![DEFAULT_PERM, bad_perm])
+            .unwrap_err();
         assert_eq!(err, MappingError::BadPermutation { level: 1 });
     }
 

@@ -22,11 +22,15 @@ pub struct TileProfile {
 impl TileProfile {
     /// A profile with a single tile of the given size.
     pub fn single(size: u64) -> Self {
-        TileProfile { entries: vec![(size, 1)] }
+        TileProfile {
+            entries: vec![(size, 1)],
+        }
     }
 
     fn from_map(map: BTreeMap<u64, u64>) -> Self {
-        TileProfile { entries: map.into_iter().collect() }
+        TileProfile {
+            entries: map.into_iter().collect(),
+        }
     }
 
     /// The `(size, count)` entries, smallest size first.
@@ -111,7 +115,11 @@ pub fn sequential_steps(chain: &[u64], layout: &SlotLayout) -> u64 {
     for slot in (0..s).rev() {
         let g = chain[slot];
         let kind = layout.kind_of(SlotId::new(slot));
-        profile = if kind.is_spatial() { profile.clamp(g) } else { profile.split(g) };
+        profile = if kind.is_spatial() {
+            profile.clamp(g)
+        } else {
+            profile.split(g)
+        };
     }
     // All tiles are now unit-sized; the count is the step total.
     profile.num_tiles()

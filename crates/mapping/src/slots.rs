@@ -6,10 +6,8 @@
 //! *innermost-first* globally, matching tile-chain indexing: slot `s`
 //! sits between chain boundaries `s` (inner) and `s + 1` (outer).
 
-use serde::{Deserialize, Serialize};
-
 /// The kind of a loop slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SlotKind {
     /// A temporal loop block at a storage level.
     Temporal,
@@ -27,8 +25,15 @@ impl SlotKind {
 }
 
 /// An index into the global innermost-first slot ordering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SlotId(usize);
+
+serde::impl_serde_unit_enum!(SlotKind {
+    Temporal,
+    SpatialX,
+    SpatialY
+});
+serde::impl_serde_newtype!(SlotId);
 
 impl SlotId {
     /// Wraps a raw innermost-first slot index.
@@ -58,10 +63,12 @@ impl SlotId {
 /// assert_eq!(s0, SlotKind::SpatialY);
 /// assert_eq!(layout.level_of(ruby_mapping::SlotId::new(0)), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SlotLayout {
     num_levels: usize,
 }
+
+serde::impl_serde_struct!(SlotLayout { num_levels });
 
 impl SlotLayout {
     /// Creates the layout for `num_levels` storage levels.

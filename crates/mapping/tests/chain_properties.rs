@@ -69,7 +69,15 @@ fn arb_chain() -> impl Strategy<Value = Vec<u64>> {
     (1u64..120, 1u64..12, 1u64..12, 1u64..6).prop_map(|(bound, a, b, c)| {
         let mut mids = [a.min(bound), (a * b).min(bound), (a * b * c).min(bound)];
         mids.sort_unstable();
-        vec![1, 1, mids[0], mids[0], mids[1], mids[2].max(mids[1]), bound.max(mids[2])]
+        vec![
+            1,
+            1,
+            mids[0],
+            mids[0],
+            mids[1],
+            mids[2].max(mids[1]),
+            bound.max(mids[2]),
+        ]
     })
 }
 
@@ -80,12 +88,12 @@ proptest! {
     #[test]
     fn profiles_match_brute_force(chain in arb_chain()) {
         let profiles = boundary_profiles(&chain);
-        for b in 0..chain.len() {
+        for (b, profile) in profiles.iter().enumerate().take(chain.len()) {
             let expected = brute_profile(&chain, b);
-            let actual: Vec<u64> = profiles[b]
+            let actual: Vec<u64> = profile
                 .entries()
                 .iter()
-                .flat_map(|&(s, c)| std::iter::repeat(s).take(c as usize))
+                .flat_map(|&(s, c)| std::iter::repeat_n(s, c as usize))
                 .collect();
             prop_assert_eq!(&actual, &expected, "boundary {}", b);
         }

@@ -4,8 +4,6 @@
 //! that conform to the data access patterns amenable to row-stationary
 //! dataflows", and its Simba PEs to C/M parallelism).
 
-use serde::{Deserialize, Serialize};
-
 use ruby_workload::Dim;
 
 /// A small set of problem dimensions.
@@ -20,8 +18,10 @@ use ruby_workload::Dim;
 /// assert!(set.contains(Dim::C));
 /// assert!(!set.contains(Dim::Q));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DimSet(u8);
+
+serde::impl_serde_newtype!(DimSet);
 
 impl DimSet {
     /// The empty set.
@@ -74,12 +74,18 @@ impl Default for DimSet {
 /// Per-level spatial-axis dimension filters. A dimension not in the
 /// allowed set of an axis cannot receive a spatial factor greater than 1
 /// there.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Constraints {
     spatial_x: Vec<DimSet>,
     spatial_y: Vec<DimSet>,
     exclusive_spatial: bool,
 }
+
+serde::impl_serde_struct!(Constraints {
+    spatial_x,
+    spatial_y,
+    exclusive_spatial
+});
 
 impl Constraints {
     /// No restrictions: every dimension may use every spatial axis.

@@ -24,9 +24,9 @@ pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
     let mut out = Vec::new();
     let mut p = 2u64;
     while p * p <= n {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             let mut m = 0;
-            while n % p == 0 {
+            while n.is_multiple_of(p) {
                 n /= p;
                 m += 1;
             }
@@ -44,7 +44,7 @@ pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
 pub fn prime_list(n: u64) -> Vec<u64> {
     factorize(n)
         .into_iter()
-        .flat_map(|(p, m)| std::iter::repeat(p).take(m as usize))
+        .flat_map(|(p, m)| std::iter::repeat_n(p, m as usize))
         .collect()
 }
 
@@ -298,7 +298,10 @@ mod tests {
     #[test]
     fn infeasible_assignment_returns_none() {
         let mut rng = SmallRng::seed_from_u64(7);
-        assert_eq!(sample_factor_assignment(113, &[Some(9), Some(9)], &mut rng), None);
+        assert_eq!(
+            sample_factor_assignment(113, &[Some(9), Some(9)], &mut rng),
+            None
+        );
     }
 
     #[test]

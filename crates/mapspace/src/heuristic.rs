@@ -308,6 +308,9 @@ mod tests {
             let (x, y) = m.spatial_extent(1);
             x <= 14 && y <= 12 && x * y >= 100
         });
-        assert!(ok, "expected a candidate covering the bound across both axes");
+        assert!(
+            ok,
+            "expected a candidate covering the bound across both axes"
+        );
     }
 }

@@ -40,4 +40,4 @@ pub mod padding;
 pub mod space;
 
 pub use constraints::{Constraints, DimSet};
-pub use space::{Mapspace, MapspaceKind};
+pub use space::{Mapspace, MapspaceKind, Sampler};

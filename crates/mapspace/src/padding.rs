@@ -46,8 +46,7 @@ pub fn pad_to_array(
             if extent <= 1 {
                 continue;
             }
-            let candidates: Vec<Dim> =
-                allowed.iter().filter(|&d| shape.bound(d) > 1).collect();
+            let candidates: Vec<Dim> = allowed.iter().filter(|&d| shape.bound(d) > 1).collect();
             if !candidates.is_empty() {
                 axes.push((extent, candidates));
             }

@@ -3,17 +3,15 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
-
 use ruby_arch::Architecture;
-use ruby_mapping::{Mapping, SlotKind};
+use ruby_mapping::{Mapping, MappingBuilder, SlotKind};
 use ruby_workload::{Dim, ProblemShape};
 
 use crate::constraints::Constraints;
 use crate::factor;
 
 /// Which factorization rules the mapspace admits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MapspaceKind {
     /// Perfect factorization everywhere (the Timeloop baseline, eq. 1).
     Pfm,
@@ -28,10 +26,21 @@ pub enum MapspaceKind {
     RubyT,
 }
 
+serde::impl_serde_unit_enum!(MapspaceKind {
+    Pfm,
+    Ruby,
+    RubyS,
+    RubyT
+});
+
 impl MapspaceKind {
     /// All four kinds, in presentation order.
-    pub const ALL: [MapspaceKind; 4] =
-        [MapspaceKind::Pfm, MapspaceKind::Ruby, MapspaceKind::RubyS, MapspaceKind::RubyT];
+    pub const ALL: [MapspaceKind; 4] = [
+        MapspaceKind::Pfm,
+        MapspaceKind::Ruby,
+        MapspaceKind::RubyS,
+        MapspaceKind::RubyT,
+    ];
 
     /// Display name matching the paper.
     pub const fn name(self) -> &'static str {
@@ -88,7 +97,12 @@ impl Mapspace {
     /// Creates an unconstrained mapspace.
     pub fn new(arch: Architecture, shape: ProblemShape, kind: MapspaceKind) -> Self {
         let levels = arch.num_levels();
-        Mapspace { arch, shape, constraints: Constraints::unconstrained(levels), kind }
+        Mapspace {
+            arch,
+            shape,
+            constraints: Constraints::unconstrained(levels),
+            kind,
+        }
     }
 
     /// Replaces the constraints.
@@ -138,22 +152,33 @@ impl Mapspace {
                 let level = layout.level_of(slot);
                 let kind = layout.kind_of(slot);
                 match kind {
-                    SlotKind::Temporal => {
-                        SlotRule { spatial: false, cap: None, level, kind }
-                    }
+                    SlotKind::Temporal => SlotRule {
+                        spatial: false,
+                        cap: None,
+                        level,
+                        kind,
+                    },
                     SlotKind::SpatialX => {
                         let allowed = self.constraints.spatial_x(level).contains(dim)
-                            && (!exclusive
-                                || states[level].x_owner.is_none_or(|o| o == dim));
+                            && (!exclusive || states[level].x_owner.is_none_or(|o| o == dim));
                         let cap = if allowed { states[level].x } else { 1 };
-                        SlotRule { spatial: true, cap: Some(cap), level, kind }
+                        SlotRule {
+                            spatial: true,
+                            cap: Some(cap),
+                            level,
+                            kind,
+                        }
                     }
                     SlotKind::SpatialY => {
                         let allowed = self.constraints.spatial_y(level).contains(dim)
-                            && (!exclusive
-                                || states[level].y_owner.is_none_or(|o| o == dim));
+                            && (!exclusive || states[level].y_owner.is_none_or(|o| o == dim));
                         let cap = if allowed { states[level].y } else { 1 };
-                        SlotRule { spatial: true, cap: Some(cap), level, kind }
+                        SlotRule {
+                            spatial: true,
+                            cap: Some(cap),
+                            level,
+                            kind,
+                        }
                     }
                 }
             })
@@ -164,69 +189,38 @@ impl Mapspace {
     /// respect spatial fanout limits and constraints; buffer capacities
     /// are checked later by the cost model, mirroring Timeloop's
     /// generate-then-filter flow.
+    ///
+    /// Allocates a fresh [`Mapping`] (and sampling scratch) per call;
+    /// hot loops should hold a [`Sampler`] and call
+    /// [`Sampler::sample_into`] instead.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Mapping {
-        let num_levels = self.arch.num_levels();
-        let mut builder = Mapping::builder(num_levels);
-        for level in 0..num_levels {
-            let mut perm = Dim::ALL;
-            perm.shuffle(rng);
-            builder.set_permutation(level, perm);
-        }
-        // Remaining spatial capacity per level, shared across dims.
-        let mut states: Vec<AxisState> = self
-            .arch
-            .levels()
-            .iter()
-            .map(|l| AxisState {
-                x: l.fanout().x(),
-                y: l.fanout().y(),
-                x_owner: None,
-                y_owner: None,
-            })
-            .collect();
-        let mut dims = Dim::ALL;
-        dims.shuffle(rng);
-        for d in dims {
-            let bound = self.shape.bound(d);
-            let rules = self.slot_rules(d, &states);
-            let factors = match self.kind {
-                MapspaceKind::Pfm => self.sample_pfm(bound, &rules, rng),
-                MapspaceKind::Ruby => self.sample_free(bound, &rules, rng, true, true),
-                MapspaceKind::RubyS => self.sample_ruby_s(bound, &rules, rng),
-                MapspaceKind::RubyT => self.sample_free(bound, &rules, rng, false, true),
-            };
-            for (rule, &f) in rules.iter().zip(&factors) {
-                if f > 1 {
-                    builder.set_tile(d, rule.level, rule.kind, f);
-                }
-                if rule.spatial && f > 1 {
-                    let state = &mut states[rule.level];
-                    match rule.kind {
-                        SlotKind::SpatialX => {
-                            state.x /= f;
-                            state.x_owner = Some(d);
-                        }
-                        SlotKind::SpatialY => {
-                            state.y /= f;
-                            state.y_owner = Some(d);
-                        }
-                        SlotKind::Temporal => unreachable!(),
-                    }
-                }
-            }
-        }
-        builder
+        let mut out = Mapping::builder(self.arch.num_levels())
             .build_for_bounds(self.shape.bounds())
-            .expect("sampled factors always build a valid chain")
+            .expect("default builder output is always valid");
+        self.sampler().sample_into(&mut out, rng);
+        out
+    }
+
+    /// Draws one mapping into `out`, reusing its allocations. Equivalent
+    /// to `*out = self.sample(rng)` (same RNG stream, same result).
+    pub fn sample_into<R: Rng + ?Sized>(&self, out: &mut Mapping, rng: &mut R) {
+        self.sampler().sample_into(out, rng);
+    }
+
+    /// Creates a reusable sampling scratch bound to this mapspace. One
+    /// [`Sampler`] plus one reused [`Mapping`] makes the sampling half of
+    /// a search loop allocation-free apart from per-dimension factor
+    /// draws.
+    pub fn sampler(&self) -> Sampler<'_> {
+        Sampler {
+            space: self,
+            builder: Mapping::builder(self.arch.num_levels()),
+            states: Vec::with_capacity(self.arch.num_levels()),
+        }
     }
 
     /// PFM: assign the prime factors of `bound` to slots uniformly.
-    fn sample_pfm<R: Rng + ?Sized>(
-        &self,
-        bound: u64,
-        rules: &[SlotRule],
-        rng: &mut R,
-    ) -> Vec<u64> {
+    fn sample_pfm<R: Rng + ?Sized>(&self, bound: u64, rules: &[SlotRule], rng: &mut R) -> Vec<u64> {
         let caps: Vec<Option<u64>> = rules.iter().map(|r| r.cap).collect();
         factor::sample_factor_assignment(bound, &caps, rng)
             .expect("temporal slots are uncapped, so assignment always succeeds")
@@ -244,7 +238,11 @@ impl Mapspace {
         spatial_free: bool,
         _temporal_free: bool,
     ) -> Vec<u64> {
-        let divs = if spatial_free { Vec::new() } else { factor::divisors(bound) };
+        let divs = if spatial_free {
+            Vec::new()
+        } else {
+            factor::divisors(bound)
+        };
         let mut cum = 1u64;
         let mut out = Vec::with_capacity(rules.len());
         for rule in rules {
@@ -255,8 +253,7 @@ impl Mapspace {
                     sample_spatial_imperfect(cap, rng)
                 } else {
                     // Divisor of the bound, within the cap.
-                    let feasible: Vec<u64> =
-                        divs.iter().copied().filter(|&v| v <= cap).collect();
+                    let feasible: Vec<u64> = divs.iter().copied().filter(|&v| v <= cap).collect();
                     feasible[rng.gen_range(0..feasible.len())]
                 }
             } else {
@@ -379,7 +376,7 @@ impl Mapspace {
             })
             .collect();
         let mut out = Vec::new();
-        let mut indices = vec![0usize; 7];
+        let mut indices = [0usize; 7];
         'outer: loop {
             let mut builder = Mapping::builder(self.arch.num_levels());
             for (di, &d) in Dim::ALL.iter().enumerate() {
@@ -410,6 +407,102 @@ impl Mapspace {
             break;
         }
         out
+    }
+}
+
+/// Reusable sampling scratch for one [`Mapspace`] — the builder and
+/// per-level fanout states survive across samples, so a hot search loop
+/// avoids rebuilding them for every draw.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use ruby_arch::presets;
+/// use ruby_mapspace::{Mapspace, MapspaceKind};
+/// use ruby_workload::ProblemShape;
+///
+/// let space = Mapspace::new(
+///     presets::toy_linear(4, 1024),
+///     ProblemShape::rank1("d", 100),
+///     MapspaceKind::RubyS,
+/// );
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let mut sampler = space.sampler();
+/// let mut mapping = space.sample(&mut rng);
+/// for _ in 0..10 {
+///     sampler.sample_into(&mut mapping, &mut rng);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sampler<'a> {
+    space: &'a Mapspace,
+    builder: MappingBuilder,
+    states: Vec<AxisState>,
+}
+
+impl Sampler<'_> {
+    /// The mapspace this sampler draws from.
+    pub fn space(&self) -> &Mapspace {
+        self.space
+    }
+
+    /// Draws one mapping into `out`, reusing both `out`'s and the
+    /// sampler's allocations. Produces the same mapping (and consumes the
+    /// same RNG stream) as [`Mapspace::sample`].
+    pub fn sample_into<R: Rng + ?Sized>(&mut self, out: &mut Mapping, rng: &mut R) {
+        let space = self.space;
+        let num_levels = space.arch.num_levels();
+        self.builder.reset();
+        for level in 0..num_levels {
+            let mut perm = Dim::ALL;
+            perm.shuffle(rng);
+            self.builder.set_permutation(level, perm);
+        }
+        // Remaining spatial capacity per level, shared across dims.
+        self.states.clear();
+        self.states
+            .extend(space.arch.levels().iter().map(|l| AxisState {
+                x: l.fanout().x(),
+                y: l.fanout().y(),
+                x_owner: None,
+                y_owner: None,
+            }));
+        let mut dims = Dim::ALL;
+        dims.shuffle(rng);
+        for d in dims {
+            let bound = space.shape.bound(d);
+            let rules = space.slot_rules(d, &self.states);
+            let factors = match space.kind {
+                MapspaceKind::Pfm => space.sample_pfm(bound, &rules, rng),
+                MapspaceKind::Ruby => space.sample_free(bound, &rules, rng, true, true),
+                MapspaceKind::RubyS => space.sample_ruby_s(bound, &rules, rng),
+                MapspaceKind::RubyT => space.sample_free(bound, &rules, rng, false, true),
+            };
+            for (rule, &f) in rules.iter().zip(&factors) {
+                if f > 1 {
+                    self.builder.set_tile(d, rule.level, rule.kind, f);
+                }
+                if rule.spatial && f > 1 {
+                    let state = &mut self.states[rule.level];
+                    match rule.kind {
+                        SlotKind::SpatialX => {
+                            state.x /= f;
+                            state.x_owner = Some(d);
+                        }
+                        SlotKind::SpatialY => {
+                            state.y /= f;
+                            state.y_owner = Some(d);
+                        }
+                        SlotKind::Temporal => unreachable!(),
+                    }
+                }
+            }
+        }
+        self.builder
+            .build_into_for_bounds(space.shape.bounds(), out)
+            .expect("sampled factors always build a valid chain");
     }
 }
 
@@ -511,7 +604,11 @@ mod tests {
     use ruby_arch::presets;
 
     fn toy_space(kind: MapspaceKind, pes: u64, d: u64) -> Mapspace {
-        Mapspace::new(presets::toy_linear(pes, 1024), ProblemShape::rank1("d", d), kind)
+        Mapspace::new(
+            presets::toy_linear(pes, 1024),
+            ProblemShape::rank1("d", d),
+            kind,
+        )
     }
 
     #[test]
@@ -550,7 +647,11 @@ mod tests {
             let sx = m.layout().spatial_x_slot(0);
             let count = m.loop_count(ruby_workload::Dim::M, sx);
             assert!(count <= 9);
-            assert_eq!(100 % count.max(1), 0, "spatial factor {count} must divide 100");
+            assert_eq!(
+                100 % count.max(1),
+                0,
+                "spatial factor {count} must divide 100"
+            );
         }
     }
 
@@ -595,15 +696,17 @@ mod tests {
     fn constraints_zero_out_disallowed_spatial_dims() {
         let arch = presets::toy_linear(9, 1024);
         let shape = ProblemShape::gemm("g", 12, 1, 12);
-        let constraints =
-            Constraints::unconstrained(2).with_spatial_x(0, &[ruby_workload::Dim::C]);
-        let space =
-            Mapspace::new(arch, shape, MapspaceKind::Ruby).with_constraints(constraints);
+        let constraints = Constraints::unconstrained(2).with_spatial_x(0, &[ruby_workload::Dim::C]);
+        let space = Mapspace::new(arch, shape, MapspaceKind::Ruby).with_constraints(constraints);
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..100 {
             let m = space.sample(&mut rng);
             let sx = m.layout().spatial_x_slot(0);
-            assert_eq!(m.loop_count(ruby_workload::Dim::M, sx), 1, "M is not allowed on X");
+            assert_eq!(
+                m.loop_count(ruby_workload::Dim::M, sx),
+                1,
+                "M is not allowed on X"
+            );
         }
     }
 

@@ -23,10 +23,14 @@ use crate::report::AccessCounts;
 use crate::ModelOptions;
 
 /// Counts accesses for every level (outermost first) and operand
-/// (indexed by [`Operand::index`]).
+/// (indexed by [`Operand::index`]). `tensors` and `chains` are the
+/// operand projections and storage chains precomputed by
+/// [`crate::EvalContext`], indexed by [`Operand::index`].
 pub(crate) fn count_accesses(
     arch: &Architecture,
     shape: &ProblemShape,
+    tensors: &[TensorDef; 3],
+    chains: &[Vec<usize>; 3],
     mapping: &Mapping,
     opts: &ModelOptions,
 ) -> Vec<[AccessCounts; 3]> {
@@ -35,18 +39,18 @@ pub(crate) fn count_accesses(
     let macs = shape.macs() as f64;
 
     for op in Operand::ALL {
-        let tensor = shape.tensor(op);
-        let chain = arch.storage_chain(op);
+        let tensor = &tensors[op.index()];
+        let chain = &chains[op.index()];
         debug_assert!(!chain.is_empty(), "DRAM stores everything");
         for (pos, &parent) in chain.iter().enumerate() {
             let b_parent = mapping.layout().storage_boundary(parent);
             match chain.get(pos + 1) {
                 Some(&child) => {
                     let b_child = mapping.layout().storage_boundary(child);
-                    let a = analyzer.counted_irrelevant_temporal(&tensor, b_child);
-                    let sweep = analyzer.sweep(&tensor, b_child);
-                    let s_all = analyzer.irrelevant_spatial(&tensor, b_child, usize::MAX);
-                    let s_outer = analyzer.irrelevant_spatial(&tensor, b_parent, usize::MAX);
+                    let a = analyzer.counted_irrelevant_temporal(tensor, b_child);
+                    let sweep = analyzer.sweep(tensor, b_child);
+                    let s_all = analyzer.irrelevant_spatial(tensor, b_child, usize::MAX);
+                    let s_outer = analyzer.irrelevant_spatial(tensor, b_parent, usize::MAX);
                     if op == Operand::Output {
                         // Reduction passes outside the child force psum
                         // spills: A passes drain, A−1 refetch.
@@ -55,7 +59,11 @@ pub(crate) fn count_accesses(
                         let read_mult = if opts.multicast { s_outer } else { s_all };
                         acc[parent][op.index()].reads += refetch * sweep * read_mult;
                         acc[child][op.index()].reads += a * sweep * s_all;
-                        let upd_mult = if opts.spatial_reduction { s_outer } else { s_all };
+                        let upd_mult = if opts.spatial_reduction {
+                            s_outer
+                        } else {
+                            s_all
+                        };
                         acc[parent][op.index()].updates += a * sweep * upd_mult;
                         // Refetched psums go down, drained psums come up.
                         acc[parent][op.index()].network += (refetch + a) * sweep * s_all;
@@ -68,17 +76,21 @@ pub(crate) fn count_accesses(
                 }
                 None => {
                     // The compute (MAC) units are this level's child.
-                    let s_below = analyzer.irrelevant_spatial(&tensor, 0, b_parent);
+                    let s_below = analyzer.irrelevant_spatial(tensor, 0, b_parent);
                     if op == Operand::Output {
-                        let updates = if opts.spatial_reduction { macs / s_below } else { macs };
+                        let updates = if opts.spatial_reduction {
+                            macs / s_below
+                        } else {
+                            macs
+                        };
                         acc[parent][op.index()].updates += updates;
                         acc[parent][op.index()].network += macs;
                         // Read-modify-write: every update except the first
                         // write of each fresh psum-tile establishment.
-                        let a = analyzer.counted_irrelevant_temporal(&tensor, b_parent);
-                        let fresh = analyzer.sweep(&tensor, b_parent)
+                        let a = analyzer.counted_irrelevant_temporal(tensor, b_parent);
+                        let fresh = analyzer.sweep(tensor, b_parent)
                             * a
-                            * analyzer.irrelevant_spatial(&tensor, b_parent, usize::MAX);
+                            * analyzer.irrelevant_spatial(tensor, b_parent, usize::MAX);
                         acc[parent][op.index()].reads += (updates - fresh).max(0.0);
                     } else {
                         let reads = if opts.multicast { macs / s_below } else { macs };
@@ -107,7 +119,11 @@ impl<'a> Analyzer<'a> {
             .iter()
             .map(|&d| mapping.profiles(d).iter().map(|p| p.num_tiles()).collect())
             .collect();
-        Analyzer { shape, mapping, tiles_at }
+        Analyzer {
+            shape,
+            mapping,
+            tiles_at,
+        }
     }
 
     /// Nontrivial temporal loops outside boundary `b`, innermost first
@@ -174,7 +190,12 @@ impl<'a> Analyzer<'a> {
             .iter()
             .map(|rank| match *rank {
                 Rank::Simple(d) => self.shape.bound(d) as f64,
-                Rank::Strided { pos, win, stride, dilation } => {
+                Rank::Strided {
+                    pos,
+                    win,
+                    stride,
+                    dilation,
+                } => {
                     // Σ over the (pos, win) tile grid of
                     // (tp−1)·s + (tw−1)·e + 1, separable because tile
                     // sizes along each dim sum to the dim bound.
@@ -197,6 +218,18 @@ mod tests {
     use ruby_arch::presets;
     use ruby_mapping::SlotKind;
 
+    /// Builds the operand projections and storage chains the way
+    /// `EvalContext` does, then counts.
+    fn count(
+        arch: &Architecture,
+        shape: &ProblemShape,
+        mapping: &Mapping,
+        opts: &ModelOptions,
+    ) -> Vec<[AccessCounts; 3]> {
+        let tensors = Operand::ALL.map(|op| shape.tensor(op));
+        let chains = Operand::ALL.map(|op| arch.storage_chain(op));
+        count_accesses(arch, shape, &tensors, &chains, mapping, opts)
+    }
 
     fn rank1_mapping(d: u64, spatial: u64) -> (ProblemShape, Mapping) {
         let shape = ProblemShape::rank1("d", d);
@@ -209,7 +242,7 @@ mod tests {
     fn rank1_counts_match_hand_calculation() {
         let arch = presets::toy_linear(4, 1024);
         let (shape, mapping) = rank1_mapping(100, 4);
-        let acc = count_accesses(&arch, &shape, &mapping, &ModelOptions::default());
+        let acc = count(&arch, &shape, &mapping, &ModelOptions::default());
         let w = Operand::Weight.index();
         let i = Operand::Input.index();
         let o = Operand::Output.index();
@@ -217,7 +250,7 @@ mod tests {
         assert_eq!(acc[1][w].fills, 100.0);
         assert_eq!(acc[0][w].reads, 100.0);
         assert_eq!(acc[1][w].reads, 100.0); // one read per MAC
-        // Input: one element, broadcast to 4 PEs.
+                                            // Input: one element, broadcast to 4 PEs.
         assert_eq!(acc[1][i].fills, 4.0);
         assert_eq!(acc[0][i].reads, 1.0); // multicast
         assert_eq!(acc[1][i].reads, 100.0);
@@ -232,7 +265,7 @@ mod tests {
     fn network_words_counted_at_parent() {
         let arch = presets::toy_linear(4, 1024);
         let (shape, mapping) = rank1_mapping(100, 4);
-        let acc = count_accesses(&arch, &shape, &mapping, &ModelOptions::default());
+        let acc = count(&arch, &shape, &mapping, &ModelOptions::default());
         // Weights: 100 words delivered over the DRAM→PE network.
         assert_eq!(acc[0][Operand::Weight.index()].network, 100.0);
         // Input: the single element is copied to all 4 PEs (per-receiver
@@ -248,8 +281,11 @@ mod tests {
     fn multicast_off_multiplies_parent_reads() {
         let arch = presets::toy_linear(4, 1024);
         let (shape, mapping) = rank1_mapping(100, 4);
-        let opts = ModelOptions { multicast: false, spatial_reduction: true };
-        let acc = count_accesses(&arch, &shape, &mapping, &opts);
+        let opts = ModelOptions {
+            multicast: false,
+            spatial_reduction: true,
+        };
+        let acc = count(&arch, &shape, &mapping, &opts);
         let i = Operand::Input.index();
         assert_eq!(acc[0][i].reads, 4.0); // one DRAM read per PE copy
     }
@@ -261,8 +297,10 @@ mod tests {
         // weights) inside C and M: weights enjoy temporal reuse over P.
         let arch = presets::toy_linear(4, 65536);
         let shape = ProblemShape::gemm("g", 8, 8, 8);
-        let mapping = Mapping::builder(2).build_for_bounds(shape.bounds()).unwrap();
-        let acc = count_accesses(&arch, &shape, &mapping, &ModelOptions::default());
+        let mapping = Mapping::builder(2)
+            .build_for_bounds(shape.bounds())
+            .unwrap();
+        let acc = count(&arch, &shape, &mapping, &ModelOptions::default());
         let w = Operand::Weight.index();
         let i = Operand::Input.index();
         // Weight spad tile is a single element; P iterations (innermost
@@ -284,11 +322,11 @@ mod tests {
         let mut b = Mapping::builder(2);
         b.set_permutation(0, [Dim::M, Dim::S, Dim::R, Dim::Q, Dim::P, Dim::C, Dim::N]);
         let mapping = b.build_for_bounds(shape.bounds()).unwrap();
-        let acc = count_accesses(&arch, &shape, &mapping, &ModelOptions::default());
+        let acc = count(&arch, &shape, &mapping, &ModelOptions::default());
         let i = Operand::Input.index();
         let w = Operand::Weight.index();
         assert_eq!(acc[1][i].fills, 64.0); // inputs reused across M
-        // Weights refetched for every P iteration outside C/M: 8 × 64.
+                                           // Weights refetched for every P iteration outside C/M: 8 × 64.
         assert_eq!(acc[1][w].fills, 512.0);
     }
 
@@ -304,7 +342,7 @@ mod tests {
         // Put C outermost at DRAM so outputs cannot keep partials inside.
         b.set_permutation(0, [Dim::S, Dim::R, Dim::Q, Dim::P, Dim::M, Dim::N, Dim::C]);
         let mapping = b.build_for_bounds(shape.bounds()).unwrap();
-        let acc = count_accesses(&arch, &shape, &mapping, &ModelOptions::default());
+        let acc = count(&arch, &shape, &mapping, &ModelOptions::default());
         let o = Operand::Output.index();
         // |O| = 16, A = 8 reduction passes: drains 128, refetches 112.
         assert_eq!(acc[1][o].reads, 128.0);
@@ -322,7 +360,7 @@ mod tests {
         let mut b = Mapping::builder(2);
         b.set_permutation(0, [Dim::C, Dim::S, Dim::R, Dim::Q, Dim::P, Dim::M, Dim::N]);
         let mapping = b.build_for_bounds(shape.bounds()).unwrap();
-        let acc = count_accesses(&arch, &shape, &mapping, &ModelOptions::default());
+        let acc = count(&arch, &shape, &mapping, &ModelOptions::default());
         let o = Operand::Output.index();
         assert_eq!(acc[1][o].fills, 0.0);
         // 112 read-modify-write reads (7 per element) + 16 drain reads.
@@ -353,7 +391,9 @@ mod tests {
     #[test]
     fn weight_sweep_is_tensor_size_at_any_boundary() {
         let shape = ProblemShape::conv("c", 1, 8, 4, 10, 10, 3, 3, (1, 1));
-        let mapping = Mapping::builder(2).build_for_bounds(shape.bounds()).unwrap();
+        let mapping = Mapping::builder(2)
+            .build_for_bounds(shape.bounds())
+            .unwrap();
         let analyzer = Analyzer::new(&shape, &mapping);
         let w = shape.tensor(Operand::Weight);
         for b in [0, 3, 6] {
@@ -374,7 +414,7 @@ mod tests {
         b.set_tile(Dim::S, 2, SlotKind::Temporal, 3);
         b.set_tile(Dim::C, 2, SlotKind::Temporal, 4);
         let mapping = b.build_for_bounds(shape.bounds()).unwrap();
-        let acc = count_accesses(&arch, &shape, &mapping, &ModelOptions::default());
+        let acc = count(&arch, &shape, &mapping, &ModelOptions::default());
         let w = Operand::Weight.index();
         assert_eq!(acc[1][w].total(), 0.0, "weights must bypass the GLB");
         assert!(acc[0][w].reads > 0.0);
@@ -390,7 +430,7 @@ mod tests {
         b.set_tile(Dim::M, 1, SlotKind::SpatialY, 12);
         b.set_tile(Dim::C, 2, SlotKind::Temporal, 8);
         let mapping = b.build_for_bounds(shape.bounds()).unwrap();
-        let acc = count_accesses(&arch, &shape, &mapping, &ModelOptions::default());
+        let acc = count(&arch, &shape, &mapping, &ModelOptions::default());
         for level in &acc {
             for counts in level {
                 assert!(counts.total().is_finite());

@@ -1,0 +1,219 @@
+//! Reusable evaluation context: everything [`crate::evaluate`] derives
+//! from the `(Architecture, ProblemShape, ModelOptions)` triple alone,
+//! hoisted out of the per-mapping hot path.
+//!
+//! A random search evaluates hundreds of thousands of mappings against
+//! one fixed architecture and workload. Rebuilding operand projections
+//! ([`TensorDef`]s), storage chains and energy coefficients on every call
+//! costs several heap allocations per evaluation before any real work
+//! happens. [`EvalContext`] computes them once; [`evaluate_with`] then
+//! evaluates each candidate against the prepared context, running the
+//! cheap rejection tests (spatial fanout, then buffer capacity) before
+//! any access counting, so invalid mappings — the vast majority of random
+//! samples — exit as early as possible.
+//!
+//! [`crate::evaluate`] is a thin wrapper that builds a fresh context per
+//! call; both paths produce bit-identical [`CostReport`]s.
+
+use ruby_arch::Architecture;
+use ruby_mapping::Mapping;
+use ruby_workload::{Operand, ProblemShape, TensorDef};
+
+use crate::report::{AccessCounts, CostReport, LevelStats};
+use crate::validity::InvalidMapping;
+use crate::{access, latency, validity, ModelOptions};
+
+/// Precomputed per-`(arch, shape)` evaluation state.
+///
+/// Build once, then call [`evaluate_with`] for every candidate mapping.
+///
+/// # Examples
+///
+/// ```
+/// use ruby_arch::presets;
+/// use ruby_mapping::{Mapping, SlotKind};
+/// use ruby_model::{evaluate_with, EvalContext, ModelOptions};
+/// use ruby_workload::{Dim, ProblemShape};
+///
+/// let arch = presets::toy_linear(16, 1024);
+/// let shape = ProblemShape::rank1("d113", 113);
+/// let ctx = EvalContext::new(&arch, &shape, ModelOptions::default());
+/// let mut b = Mapping::builder(2);
+/// b.set_tile(Dim::M, 0, SlotKind::SpatialX, 16);
+/// let mapping = b.build_for_bounds(shape.bounds()).unwrap();
+/// assert_eq!(evaluate_with(&ctx, &mapping).unwrap().cycles(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalContext<'a> {
+    arch: &'a Architecture,
+    shape: &'a ProblemShape,
+    opts: ModelOptions,
+    /// Operand projections (ranks + relevance masks), indexed by
+    /// [`Operand::index`].
+    tensors: [TensorDef; 3],
+    /// Storage chains (level indices, outermost first), indexed by
+    /// [`Operand::index`].
+    chains: [Vec<usize>; 3],
+    macs: u64,
+    /// Total compute energy: `macs × mac_energy`.
+    compute_energy: f64,
+    total_mac_units: u64,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Precomputes the mapping-independent evaluation state.
+    pub fn new(arch: &'a Architecture, shape: &'a ProblemShape, opts: ModelOptions) -> Self {
+        let tensors = Operand::ALL.map(|op| shape.tensor(op));
+        let chains = Operand::ALL.map(|op| arch.storage_chain(op));
+        let macs = shape.macs();
+        EvalContext {
+            arch,
+            shape,
+            opts,
+            tensors,
+            chains,
+            macs,
+            compute_energy: macs as f64 * arch.mac_energy(),
+            total_mac_units: arch.total_mac_units(),
+        }
+    }
+
+    /// The architecture the context was built for.
+    pub fn arch(&self) -> &'a Architecture {
+        self.arch
+    }
+
+    /// The workload the context was built for.
+    pub fn shape(&self) -> &'a ProblemShape {
+        self.shape
+    }
+
+    /// The model options baked into the context.
+    pub fn options(&self) -> &ModelOptions {
+        &self.opts
+    }
+
+    pub(crate) fn tensors(&self) -> &[TensorDef; 3] {
+        &self.tensors
+    }
+
+    pub(crate) fn chains(&self) -> &[Vec<usize>; 3] {
+        &self.chains
+    }
+}
+
+/// Evaluates `mapping` against a prepared [`EvalContext`].
+///
+/// Produces exactly the same result as [`crate::evaluate`] on the same
+/// inputs, but skips all per-call precomputation and rejects invalid
+/// mappings before any access counting: every level's spatial fanout is
+/// checked first (pure integer comparisons), then buffer capacities
+/// (tile footprints), and only survivors reach the access-counting and
+/// latency machinery.
+///
+/// # Errors
+///
+/// Returns [`InvalidMapping`] when the mapping needs more buffer capacity
+/// or spatial fanout than the architecture provides.
+///
+/// # Panics
+///
+/// Panics if the mapping was built for a different hierarchy depth.
+pub fn evaluate_with(ctx: &EvalContext, mapping: &Mapping) -> Result<CostReport, InvalidMapping> {
+    assert_eq!(
+        ctx.arch.num_levels(),
+        mapping.layout().num_levels(),
+        "mapping was built for a different hierarchy depth"
+    );
+    validity::check_fanout(ctx.arch, mapping)?;
+    validity::check_capacity(ctx.arch, ctx.tensors(), mapping)?;
+
+    let accesses = access::count_accesses(
+        ctx.arch,
+        ctx.shape,
+        ctx.tensors(),
+        ctx.chains(),
+        mapping,
+        &ctx.opts,
+    );
+    let cycles = latency::cycles(ctx.arch, mapping, &accesses);
+
+    let mut level_stats = Vec::with_capacity(ctx.arch.num_levels());
+    let mut energy = ctx.compute_energy;
+    for (i, level) in ctx.arch.levels().iter().enumerate() {
+        let per_tensor = accesses[i];
+        let words: f64 = per_tensor.iter().map(AccessCounts::total).sum();
+        let mut level_energy = words * level.access_energy();
+        if let Some(hop) = level.noc_hop_energy() {
+            let network: f64 = per_tensor.iter().map(|c| c.network).sum();
+            level_energy += network * hop;
+        }
+        energy += level_energy;
+        level_stats.push(LevelStats::new(
+            level.name().to_string(),
+            level_energy,
+            per_tensor,
+        ));
+    }
+
+    let utilization = ctx.macs as f64 / (cycles as f64 * ctx.total_mac_units as f64);
+    Ok(CostReport::new(
+        ctx.macs,
+        cycles,
+        energy,
+        utilization,
+        level_stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruby_arch::presets;
+    use ruby_mapping::SlotKind;
+    use ruby_workload::Dim;
+
+    #[test]
+    fn context_precomputes_chains_and_tensors() {
+        let arch = presets::eyeriss_like(14, 12);
+        let shape = ProblemShape::conv("c", 1, 8, 4, 14, 14, 3, 3, (1, 1));
+        let ctx = EvalContext::new(&arch, &shape, ModelOptions::default());
+        for op in Operand::ALL {
+            assert_eq!(ctx.tensors()[op.index()], shape.tensor(op));
+            assert_eq!(ctx.chains()[op.index()], arch.storage_chain(op));
+        }
+        assert_eq!(ctx.macs, shape.macs());
+        assert_eq!(ctx.total_mac_units, arch.total_mac_units());
+    }
+
+    #[test]
+    fn invalid_mapping_rejected_before_counting() {
+        let arch = presets::toy_linear(4, 1024);
+        let shape = ProblemShape::rank1("d", 100);
+        let ctx = EvalContext::new(&arch, &shape, ModelOptions::default());
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, 8);
+        let mapping = b.build_for_bounds(shape.bounds()).unwrap();
+        assert!(matches!(
+            evaluate_with(&ctx, &mapping),
+            Err(InvalidMapping::FanoutExceeded { level: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn fanout_rejection_wins_over_capacity() {
+        // A mapping violating both fanout (level 0) and shared capacity
+        // (level 1) reports the cheaper fanout check first.
+        let arch = presets::toy_linear(4, 64);
+        let shape = ProblemShape::rank1("d", 100);
+        let ctx = EvalContext::new(&arch, &shape, ModelOptions::default());
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, 8);
+        b.set_tile(Dim::M, 1, SlotKind::Temporal, 12);
+        let mapping = b.build_for_bounds(shape.bounds()).unwrap();
+        assert!(matches!(
+            evaluate_with(&ctx, &mapping),
+            Err(InvalidMapping::FanoutExceeded { .. })
+        ));
+    }
+}

@@ -45,7 +45,13 @@ mod tests {
         let arch = Architecture::new(
             "a",
             vec![
-                MemLevel::new("DRAM", Capacity::Unbounded, [true; 3], 200.0, Fanout::linear(4)),
+                MemLevel::new(
+                    "DRAM",
+                    Capacity::Unbounded,
+                    [true; 3],
+                    200.0,
+                    Fanout::linear(4),
+                ),
                 MemLevel::new("S", Capacity::Shared(512), [true; 3], 1.0, Fanout::unit()),
             ],
             tech,
@@ -63,8 +69,14 @@ mod tests {
         let arch = Architecture::new(
             "a",
             vec![
-                MemLevel::new("DRAM", Capacity::Unbounded, [true; 3], 200.0, Fanout::linear(4))
-                    .with_bandwidth(0.5),
+                MemLevel::new(
+                    "DRAM",
+                    Capacity::Unbounded,
+                    [true; 3],
+                    200.0,
+                    Fanout::linear(4),
+                )
+                .with_bandwidth(0.5),
                 MemLevel::new("S", Capacity::Shared(512), [true; 3], 1.0, Fanout::unit()),
             ],
             tech,

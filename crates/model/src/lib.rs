@@ -47,6 +47,7 @@
 //! ```
 
 mod access;
+mod context;
 mod latency;
 mod report;
 mod validity;
@@ -55,6 +56,7 @@ use ruby_arch::Architecture;
 use ruby_mapping::Mapping;
 use ruby_workload::ProblemShape;
 
+pub use context::{evaluate_with, EvalContext};
 pub use report::{AccessCounts, CostReport, LevelStats};
 pub use validity::InvalidMapping;
 
@@ -71,11 +73,18 @@ pub struct ModelOptions {
 
 impl Default for ModelOptions {
     fn default() -> Self {
-        ModelOptions { multicast: true, spatial_reduction: true }
+        ModelOptions {
+            multicast: true,
+            spatial_reduction: true,
+        }
     }
 }
 
 /// Evaluates `mapping` for `shape` on `arch`.
+///
+/// Builds a fresh [`EvalContext`] per call; when evaluating many
+/// mappings against one `(arch, shape)` pair, build the context once
+/// and call [`evaluate_with`] instead — the results are bit-identical.
 ///
 /// # Errors
 ///
@@ -87,32 +96,7 @@ pub fn evaluate(
     mapping: &Mapping,
     opts: &ModelOptions,
 ) -> Result<CostReport, InvalidMapping> {
-    assert_eq!(
-        arch.num_levels(),
-        mapping.layout().num_levels(),
-        "mapping was built for a different hierarchy depth"
-    );
-    validity::check(arch, shape, mapping)?;
-    let accesses = access::count_accesses(arch, shape, mapping, opts);
-    let cycles = latency::cycles(arch, mapping, &accesses);
-    let macs = shape.macs();
-
-    let mut level_stats = Vec::with_capacity(arch.num_levels());
-    let mut energy = macs as f64 * arch.mac_energy();
-    for (i, level) in arch.levels().iter().enumerate() {
-        let per_tensor = accesses[i];
-        let words: f64 = per_tensor.iter().map(AccessCounts::total).sum();
-        let mut level_energy = words * level.access_energy();
-        if let Some(hop) = level.noc_hop_energy() {
-            let network: f64 = per_tensor.iter().map(|c| c.network).sum();
-            level_energy += network * hop;
-        }
-        energy += level_energy;
-        level_stats.push(LevelStats::new(level.name().to_string(), level_energy, per_tensor));
-    }
-
-    let utilization = macs as f64 / (cycles as f64 * arch.total_mac_units() as f64);
-    Ok(CostReport::new(macs, cycles, energy, utilization, level_stats))
+    evaluate_with(&EvalContext::new(arch, shape, *opts), mapping)
 }
 
 #[cfg(test)]
@@ -135,8 +119,13 @@ mod tests {
         if let Some(hop) = noc_hop {
             dram = dram.with_noc_energy(hop);
         }
-        let spad =
-            MemLevel::new("SPAD", Capacity::Shared(512), [true; 3], 1.0, Fanout::unit());
+        let spad = MemLevel::new(
+            "SPAD",
+            Capacity::Shared(512),
+            [true; 3],
+            1.0,
+            Fanout::unit(),
+        );
         Architecture::new("noc_toy", vec![dram, spad], tech)
     }
 
@@ -152,15 +141,20 @@ mod tests {
         // Network words below DRAM: weights 100 + input copies 4 +
         // psum returns 100 = 204, at 2.0 each.
         let expected = base.energy() + 2.0 * 204.0;
-        assert!((with_noc.energy() - expected).abs() < 1e-6, "{}", with_noc.energy());
+        assert!(
+            (with_noc.energy() - expected).abs() < 1e-6,
+            "{}",
+            with_noc.energy()
+        );
         assert_eq!(with_noc.cycles(), base.cycles());
     }
 
     #[test]
     fn zero_hop_energy_is_free() {
         let shape = ProblemShape::rank1("d", 16);
-        let mapping =
-            ruby_mapping::Mapping::builder(2).build_for_bounds(shape.bounds()).unwrap();
+        let mapping = ruby_mapping::Mapping::builder(2)
+            .build_for_bounds(shape.bounds())
+            .unwrap();
         let opts = ModelOptions::default();
         let base = evaluate(&toy(None), &shape, &mapping, &opts).unwrap();
         let zero = evaluate(&toy(Some(0.0)), &shape, &mapping, &opts).unwrap();

@@ -1,10 +1,8 @@
 //! Cost-report types.
 
-use serde::{Deserialize, Serialize};
-
 /// Access counts of one tensor at one storage level, in data words.
 /// Counts are totals across all spatial instances of the level.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AccessCounts {
     /// Words read out of the level (serving children, draining partial
     /// sums upward, and read-modify-write reads).
@@ -27,8 +25,15 @@ impl AccessCounts {
     }
 }
 
+serde::impl_serde_struct!(AccessCounts {
+    reads,
+    fills,
+    updates,
+    network
+});
+
 /// Per-level slice of a [`CostReport`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LevelStats {
     name: String,
     energy: f64,
@@ -37,7 +42,11 @@ pub struct LevelStats {
 
 impl LevelStats {
     pub(crate) fn new(name: String, energy: f64, per_tensor: [AccessCounts; 3]) -> Self {
-        LevelStats { name, energy, per_tensor }
+        LevelStats {
+            name,
+            energy,
+            per_tensor,
+        }
     }
 
     /// The level name.
@@ -62,9 +71,15 @@ impl LevelStats {
     }
 }
 
+serde::impl_serde_struct!(LevelStats {
+    name,
+    energy,
+    per_tensor
+});
+
 /// The result of evaluating one mapping: the quantities the paper reports
 /// (EDP, energy, cycles, utilization) plus a per-level breakdown.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostReport {
     macs: u64,
     cycles: u64,
@@ -81,7 +96,13 @@ impl CostReport {
         utilization: f64,
         level_stats: Vec<LevelStats>,
     ) -> Self {
-        CostReport { macs, cycles, energy, utilization, level_stats }
+        CostReport {
+            macs,
+            cycles,
+            energy,
+            utilization,
+            level_stats,
+        }
     }
 
     /// Total multiply-accumulates performed.
@@ -116,13 +137,26 @@ impl CostReport {
     }
 }
 
+serde::impl_serde_struct!(CostReport {
+    macs,
+    cycles,
+    energy,
+    utilization,
+    level_stats
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn access_counts_total() {
-        let a = AccessCounts { reads: 2.0, fills: 3.0, updates: 5.0, network: 9.0 };
+        let a = AccessCounts {
+            reads: 2.0,
+            fills: 3.0,
+            updates: 5.0,
+            network: 9.0,
+        };
         assert_eq!(a.total(), 10.0);
         assert_eq!(AccessCounts::default().total(), 0.0);
     }
@@ -137,7 +171,12 @@ mod tests {
 
     #[test]
     fn level_stats_totals() {
-        let a = AccessCounts { reads: 1.0, fills: 1.0, updates: 0.0, network: 0.0 };
+        let a = AccessCounts {
+            reads: 1.0,
+            fills: 1.0,
+            updates: 0.0,
+            network: 0.0,
+        };
         let s = LevelStats::new("GLB".into(), 12.0, [a, a, a]);
         assert_eq!(s.total_accesses(), 6.0);
         assert_eq!(s.name(), "GLB");

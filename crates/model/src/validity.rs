@@ -2,7 +2,7 @@
 
 use ruby_arch::{Architecture, Capacity};
 use ruby_mapping::Mapping;
-use ruby_workload::{Operand, ProblemShape};
+use ruby_workload::{Operand, TensorDef};
 
 /// Why a mapping cannot run on an architecture.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,12 +56,9 @@ impl std::fmt::Display for InvalidMapping {
 
 impl std::error::Error for InvalidMapping {}
 
-/// Checks capacities and fanouts.
-pub(crate) fn check(
-    arch: &Architecture,
-    shape: &ProblemShape,
-    mapping: &Mapping,
-) -> Result<(), InvalidMapping> {
+/// Checks every level's spatial fanout. Pure integer comparisons over
+/// precomputed extents — the cheapest rejection test, run first.
+pub(crate) fn check_fanout(arch: &Architecture, mapping: &Mapping) -> Result<(), InvalidMapping> {
     for (i, level) in arch.levels().iter().enumerate() {
         // Fanout: nominal spatial loop counts below this level.
         let (x, y) = mapping.spatial_extent(i);
@@ -73,10 +70,24 @@ pub(crate) fn check(
                 available: (fan.x(), fan.y()),
             });
         }
-        // Capacity: per-instance footprint of stored tensors (maximum
-        // tile sizes — residual tiles are smaller).
+    }
+    Ok(())
+}
+
+/// Checks every level's buffer capacity against the tile footprints of
+/// the stored tensors (maximum tile sizes — residual tiles are smaller).
+/// `tensors` is indexed by [`Operand::index`].
+pub(crate) fn check_capacity(
+    arch: &Architecture,
+    tensors: &[TensorDef; 3],
+    mapping: &Mapping,
+) -> Result<(), InvalidMapping> {
+    for (i, level) in arch.levels().iter().enumerate() {
         if i == 0 {
             continue; // DRAM is unbounded by construction.
+        }
+        if level.capacity() == Capacity::Unbounded {
+            continue;
         }
         let tile = mapping.tile_at_level(i);
         let mut shared_needed = 0u64;
@@ -84,7 +95,7 @@ pub(crate) fn check(
             if !level.stores(op) {
                 continue;
             }
-            let footprint = shape.tensor(op).footprint(&tile);
+            let footprint = tensors[op.index()].footprint(&tile);
             match level.capacity() {
                 Capacity::Unbounded => {}
                 Capacity::Shared(_) => shared_needed = shared_needed.saturating_add(footprint),
@@ -122,7 +133,18 @@ mod tests {
     use super::*;
     use ruby_arch::presets;
     use ruby_mapping::SlotKind;
-    use ruby_workload::Dim;
+    use ruby_workload::{Dim, ProblemShape};
+
+    /// Fanout then capacity, as `evaluate_with` orders them.
+    fn check(
+        arch: &Architecture,
+        shape: &ProblemShape,
+        mapping: &Mapping,
+    ) -> Result<(), InvalidMapping> {
+        check_fanout(arch, mapping)?;
+        let tensors = Operand::ALL.map(|op| shape.tensor(op));
+        check_capacity(arch, &tensors, mapping)
+    }
 
     #[test]
     fn fanout_violation_detected() {
@@ -132,7 +154,10 @@ mod tests {
         b.set_tile(Dim::M, 0, SlotKind::SpatialX, 8);
         let m = b.build_for_bounds(shape.bounds()).unwrap();
         let err = check(&arch, &shape, &m).unwrap_err();
-        assert!(matches!(err, InvalidMapping::FanoutExceeded { level: 0, .. }), "{err}");
+        assert!(
+            matches!(err, InvalidMapping::FanoutExceeded { level: 0, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -144,7 +169,12 @@ mod tests {
         let m = b.build_for_bounds(shape.bounds()).unwrap();
         let err = check(&arch, &shape, &m).unwrap_err();
         match err {
-            InvalidMapping::CapacityExceeded { level: 1, operand: None, needed, available } => {
+            InvalidMapping::CapacityExceeded {
+                level: 1,
+                operand: None,
+                needed,
+                available,
+            } => {
                 // Weight tile (100) + output tile (100) + input tile (1).
                 assert_eq!(needed, 201);
                 assert_eq!(available, 32);
@@ -168,7 +198,11 @@ mod tests {
         assert!(
             matches!(
                 err,
-                InvalidMapping::CapacityExceeded { level: 2, operand: Some(Operand::Weight), .. }
+                InvalidMapping::CapacityExceeded {
+                    level: 2,
+                    operand: Some(Operand::Weight),
+                    ..
+                }
             ),
             "{err}"
         );

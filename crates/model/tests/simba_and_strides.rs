@@ -23,7 +23,10 @@ fn lane_level_spatial_reduction() {
         &arch,
         &shape,
         &mapping,
-        &ModelOptions { multicast: true, spatial_reduction: false },
+        &ModelOptions {
+            multicast: true,
+            spatial_reduction: false,
+        },
     )
     .unwrap();
     let o = Operand::Output.index();
@@ -49,7 +52,10 @@ fn lane_level_input_multicast() {
         &arch,
         &shape,
         &mapping,
-        &ModelOptions { multicast: false, spatial_reduction: true },
+        &ModelOptions {
+            multicast: false,
+            spatial_reduction: true,
+        },
     )
     .unwrap();
     let i = Operand::Input.index();

@@ -61,7 +61,9 @@ impl DimProgram {
             chain.windows(2).all(|w| w[0] <= w[1]),
             "tile chains must be non-decreasing"
         );
-        DimProgram { chain: chain.to_vec() }
+        DimProgram {
+            chain: chain.to_vec(),
+        }
     }
 
     /// The dimension bound the program covers.
@@ -119,8 +121,13 @@ impl TileFsm {
 
     fn with_granularity(program: &DimProgram, gran: u64) -> Self {
         // Levels with granularity > `gran`, outer first, ending at `gran`.
-        let mut grans: Vec<u64> =
-            program.chain.iter().copied().filter(|&g| g > gran).rev().collect();
+        let mut grans: Vec<u64> = program
+            .chain
+            .iter()
+            .copied()
+            .filter(|&g| g > gran)
+            .rev()
+            .collect();
         grans.push(gran);
         let levels = grans.len();
         let mut fsm = TileFsm {
@@ -232,7 +239,7 @@ pub fn matches_profile(program: &DimProgram, b: usize) -> bool {
     let mut expected: Vec<u64> = profile
         .entries()
         .iter()
-        .flat_map(|&(s, c)| std::iter::repeat(s).take(c as usize))
+        .flat_map(|&(s, c)| std::iter::repeat_n(s, c as usize))
         .collect();
     expected.sort_unstable();
     sizes == expected

@@ -35,7 +35,7 @@ use rand::{Rng, SeedableRng};
 
 use ruby_mapping::Mapping;
 use ruby_mapspace::Mapspace;
-use ruby_model::{evaluate, ModelOptions};
+use ruby_model::{evaluate_with, EvalContext, ModelOptions};
 use ruby_workload::{Dim, DimMap};
 
 use crate::{BestMapping, Objective, SearchOutcome};
@@ -85,8 +85,7 @@ pub fn anneal(mapspace: &Mapspace, config: &AnnealConfig) -> SearchOutcome {
         "cooling factor must be in (0, 1]"
     );
     let mut rng = SmallRng::seed_from_u64(config.seed);
-    let arch = mapspace.arch();
-    let shape = mapspace.shape();
+    let ctx = EvalContext::new(mapspace.arch(), mapspace.shape(), config.model);
     let mut evaluations = 0u64;
     let mut valid = 0u64;
     let mut trace = Vec::new();
@@ -96,7 +95,7 @@ pub fn anneal(mapspace: &Mapspace, config: &AnnealConfig) -> SearchOutcome {
     for _ in 0..config.max_restart_attempts {
         evaluations += 1;
         let candidate = mapspace.sample(&mut rng);
-        if let Ok(report) = evaluate(arch, shape, &candidate, &config.model) {
+        if let Ok(report) = evaluate_with(&ctx, &candidate) {
             valid += 1;
             let cost = config.objective.cost(&report);
             trace.push((evaluations, cost));
@@ -105,7 +104,12 @@ pub fn anneal(mapspace: &Mapspace, config: &AnnealConfig) -> SearchOutcome {
         }
     }
     let Some((mut current_mapping, mut current_cost)) = current else {
-        return SearchOutcome { best: None, evaluations, valid, trace };
+        return SearchOutcome {
+            best: None,
+            evaluations,
+            valid,
+            trace,
+        };
     };
     let mut best_mapping = current_mapping.clone();
     let mut best_cost = current_cost;
@@ -115,7 +119,7 @@ pub fn anneal(mapspace: &Mapspace, config: &AnnealConfig) -> SearchOutcome {
         evaluations += 1;
         let candidate = neighbor(mapspace, &current_mapping, &mut rng);
         temperature *= config.cooling;
-        let Ok(report) = evaluate(arch, shape, &candidate, &config.model) else {
+        let Ok(report) = evaluate_with(&ctx, &candidate) else {
             continue;
         };
         valid += 1;
@@ -133,10 +137,14 @@ pub fn anneal(mapspace: &Mapspace, config: &AnnealConfig) -> SearchOutcome {
         }
     }
 
-    let report = evaluate(arch, shape, &best_mapping, &config.model)
+    let report = evaluate_with(&ctx, &best_mapping)
         .expect("the best mapping was valid when first evaluated");
     SearchOutcome {
-        best: Some(BestMapping { mapping: best_mapping, report, cost: best_cost }),
+        best: Some(BestMapping {
+            mapping: best_mapping,
+            report,
+            cost: best_cost,
+        }),
         evaluations,
         valid,
         trace,
@@ -151,7 +159,11 @@ fn neighbor(mapspace: &Mapspace, mapping: &Mapping, rng: &mut SmallRng) -> Mappi
         let donor = mapspace.sample(rng);
         let dim = Dim::ALL[rng.gen_range(0..7)];
         let tiling = DimMap::from_fn(|d| {
-            if d == dim { donor.tile_chain(d).to_vec() } else { mapping.tile_chain(d).to_vec() }
+            if d == dim {
+                donor.tile_chain(d).to_vec()
+            } else {
+                mapping.tile_chain(d).to_vec()
+            }
         });
         let perms = (0..num_levels).map(|l| *mapping.permutation(l)).collect();
         Mapping::from_tile_chains(num_levels, tiling, perms)
@@ -184,7 +196,11 @@ mod tests {
     use ruby_workload::ProblemShape;
 
     fn toy(kind: MapspaceKind) -> Mapspace {
-        Mapspace::new(presets::toy_linear(16, 1024), ProblemShape::rank1("d", 113), kind)
+        Mapspace::new(
+            presets::toy_linear(16, 1024),
+            ProblemShape::rank1("d", 113),
+            kind,
+        )
     }
 
     #[test]
@@ -216,7 +232,10 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let cfg = AnnealConfig { steps: 300, ..AnnealConfig::default() };
+        let cfg = AnnealConfig {
+            steps: 300,
+            ..AnnealConfig::default()
+        };
         let a = anneal(&toy(MapspaceKind::RubyS), &cfg);
         let b = anneal(&toy(MapspaceKind::RubyS), &cfg);
         assert_eq!(a.best.unwrap().cost, b.best.unwrap().cost);
@@ -226,7 +245,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "cooling factor")]
     fn bad_cooling_rejected() {
-        let cfg = AnnealConfig { cooling: 1.5, ..AnnealConfig::default() };
+        let cfg = AnnealConfig {
+            cooling: 1.5,
+            ..AnnealConfig::default()
+        };
         let _ = anneal(&toy(MapspaceKind::Pfm), &cfg);
     }
 }

@@ -6,9 +6,28 @@
 //! only employ Timeloop's random sampling based search"). This crate
 //! reimplements that: threads draw mappings from a
 //! [`ruby_mapspace::Mapspace`], evaluate them with
-//! [`ruby_model::evaluate`], keep the best under an [`Objective`], and
-//! stop after a configurable number of *consecutive valid mappings that
-//! fail to improve* (the paper uses 3000 across 24 threads).
+//! [`ruby_model::evaluate_with`], keep the best under an [`Objective`],
+//! and stop after a configurable number of *consecutive valid mappings
+//! that fail to improve* (the paper uses 3000 across 24 threads).
+//!
+//! # Hot-path design
+//!
+//! The sample→evaluate→compare loop is engineered so the common cases
+//! touch no locks and allocate nothing:
+//!
+//! * each worker owns a [`ruby_mapspace::Sampler`] plus one reused
+//!   [`Mapping`] buffer ([`ruby_mapspace::Mapspace::sample_into`]) and an
+//!   [`EvalContext`] built once per search;
+//! * the best cost lives in an atomic `u64` holding `f64` bits; workers
+//!   compare against it locally and only compare-and-swap — then take
+//!   the mutex guarding the best *mapping* and trace — on an actual
+//!   improvement, which is rare (the trace is a short staircase);
+//! * the no-improvement counter is a plain atomic, so the Timeloop
+//!   victory condition costs one `fetch_add` per valid mapping.
+//!
+//! With one thread the engine is exactly deterministic under a fixed
+//! seed; with many, per-thread RNG streams are decorrelated by
+//! SplitMix64 seed spreading and only the improvement *order* can vary.
 //!
 //! # Examples
 //!
@@ -38,7 +57,7 @@ use rand::SeedableRng;
 
 use ruby_mapping::Mapping;
 use ruby_mapspace::Mapspace;
-use ruby_model::{evaluate, CostReport, ModelOptions};
+use ruby_model::{evaluate_with, CostReport, EvalContext, ModelOptions};
 
 /// The quantity the search minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -68,7 +87,8 @@ impl Objective {
 /// experiments raise `termination` and `threads`.
 #[derive(Debug, Clone)]
 pub struct SearchConfig {
-    /// Base RNG seed; thread `i` uses `seed + i`.
+    /// Base RNG seed; thread `i` draws from a stream seeded by
+    /// SplitMix64-spreading `(seed, i)`.
     pub seed: u64,
     /// Hard cap on total sampled mappings (valid or not); `None` =
     /// unlimited.
@@ -77,8 +97,13 @@ pub struct SearchConfig {
     /// improvement (Timeloop's victory condition). `None` disables it —
     /// then `max_evaluations` must be set.
     pub termination: Option<u64>,
-    /// Worker threads.
+    /// Worker threads. Defaults to the machine's available parallelism;
+    /// set to 1 for bit-exact reproducibility.
     pub threads: usize,
+    /// Cap on the improvement trace kept in [`SearchOutcome::trace`].
+    /// Once full, later improvements overwrite the last entry so the
+    /// final best is always recorded.
+    pub max_trace: usize,
     /// What to minimize.
     pub objective: Objective,
     /// Cost-model options.
@@ -91,11 +116,30 @@ impl Default for SearchConfig {
             seed: 0,
             max_evaluations: Some(200_000),
             termination: Some(1_000),
-            threads: 1,
+            threads: default_threads(),
+            max_trace: 4096,
             objective: Objective::Edp,
             model: ModelOptions::default(),
         }
     }
+}
+
+/// The machine's available parallelism, or 1 when it cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Spreads `(seed, thread)` into a decorrelated per-thread RNG seed.
+///
+/// Plain `seed + thread` hands adjacent threads adjacent SplitMix64
+/// starting points, which `SmallRng::seed_from_u64` expands into highly
+/// overlapping xoshiro state schedules. Mixing the pair through a full
+/// SplitMix64 round first puts every thread on an unrelated seed.
+fn spread_seed(seed: u64, thread_index: u64) -> u64 {
+    let mut state = seed ^ thread_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    rand::splitmix64(&mut state)
 }
 
 /// The best mapping found and its evaluation.
@@ -119,7 +163,8 @@ pub struct SearchOutcome {
     /// Valid mappings among them.
     pub valid: u64,
     /// `(evaluations-so-far, best-cost)` at every improvement — the
-    /// best-so-far staircase of Fig. 7.
+    /// best-so-far staircase of Fig. 7, capped at
+    /// [`SearchConfig::max_trace`] entries.
     pub trace: Vec<(u64, f64)>,
 }
 
@@ -127,12 +172,20 @@ struct Shared {
     evals: AtomicU64,
     valid: AtomicU64,
     stop: AtomicBool,
-    best: Mutex<BestState>,
+    /// Bit pattern of the best cost so far (`f64::to_bits`); starts at
+    /// `+inf`. Compared by value after `from_bits`, never by bits.
+    best_bits: AtomicU64,
+    /// Consecutive valid mappings without improvement. The reset on
+    /// improvement races with concurrent increments only across threads,
+    /// matching Timeloop's approximate multi-threaded victory condition;
+    /// single-threaded it is exact.
+    fails: AtomicU64,
+    /// Taken only when a thread has already won the best-cost CAS.
+    record: Mutex<Record>,
 }
 
-struct BestState {
+struct Record {
     best: Option<BestMapping>,
-    consecutive_fails: u64,
     trace: Vec<(u64, f64)>,
 }
 
@@ -152,63 +205,123 @@ pub fn search(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
         evals: AtomicU64::new(0),
         valid: AtomicU64::new(0),
         stop: AtomicBool::new(false),
-        best: Mutex::new(BestState { best: None, consecutive_fails: 0, trace: Vec::new() }),
+        best_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        fails: AtomicU64::new(0),
+        record: Mutex::new(Record {
+            best: None,
+            trace: Vec::new(),
+        }),
     };
 
     if config.threads == 1 {
         worker(mapspace, config, &shared, 0);
     } else {
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..config.threads {
                 let shared = &shared;
-                scope.spawn(move |_| worker(mapspace, config, shared, t as u64));
+                scope.spawn(move || worker(mapspace, config, shared, t as u64));
             }
-        })
-        .expect("search workers never panic");
+        });
     }
 
-    let state = shared.best.into_inner().expect("no worker panicked");
+    let record = shared.record.into_inner().expect("no worker panicked");
     SearchOutcome {
-        best: state.best,
+        best: record.best,
         evaluations: shared.evals.into_inner(),
         valid: shared.valid.into_inner(),
-        trace: state.trace,
+        trace: record.trace,
     }
 }
 
 fn worker(mapspace: &Mapspace, config: &SearchConfig, shared: &Shared, thread_index: u64) {
-    let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(thread_index));
-    let arch = mapspace.arch();
-    let shape = mapspace.shape();
+    let mut rng = SmallRng::seed_from_u64(spread_seed(config.seed, thread_index));
+    let ctx = EvalContext::new(mapspace.arch(), mapspace.shape(), config.model);
+    let mut sampler = mapspace.sampler();
+    let mut mapping = Mapping::builder(mapspace.arch().num_levels())
+        .build_for_bounds(mapspace.shape().bounds())
+        .expect("the default mapping is well-formed");
     while !shared.stop.load(Ordering::Relaxed) {
         let evals = shared.evals.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(max) = config.max_evaluations {
             if evals > max {
+                // Undo the reservation so the reported total never
+                // exceeds the cap, however many threads raced here.
+                shared.evals.fetch_sub(1, Ordering::Relaxed);
                 shared.stop.store(true, Ordering::Relaxed);
                 break;
             }
         }
-        let mapping = mapspace.sample(&mut rng);
-        let Ok(report) = evaluate(arch, shape, &mapping, &config.model) else {
+        sampler.sample_into(&mut mapping, &mut rng);
+        let Ok(report) = evaluate_with(&ctx, &mapping) else {
             continue; // invalid mappings do not count toward termination
         };
         shared.valid.fetch_add(1, Ordering::Relaxed);
         let cost = config.objective.cost(&report);
-        let mut state = shared.best.lock().expect("no worker panicked");
-        let improved = state.best.as_ref().is_none_or(|b| cost < b.cost);
-        if improved {
-            state.best = Some(BestMapping { mapping, report, cost });
-            state.consecutive_fails = 0;
-            state.trace.push((evals, cost));
+        if try_improve(shared, cost) {
+            record_improvement(shared, config, &mapping, report, cost, evals);
+            shared.fails.store(0, Ordering::Relaxed);
         } else {
-            state.consecutive_fails += 1;
+            let fails = shared.fails.fetch_add(1, Ordering::Relaxed) + 1;
             if let Some(limit) = config.termination {
-                if state.consecutive_fails >= limit {
+                if fails >= limit {
                     shared.stop.store(true, Ordering::Relaxed);
                 }
             }
         }
     }
+}
+
+/// Lowers the atomic best-cost word to `cost` if it improves on it.
+/// Returns whether this thread performed the lowering.
+fn try_improve(shared: &Shared, cost: f64) -> bool {
+    let mut current = shared.best_bits.load(Ordering::Relaxed);
+    loop {
+        if cost >= f64::from_bits(current) {
+            return false;
+        }
+        match shared.best_bits.compare_exchange_weak(
+            current,
+            cost.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return true,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// Stores an improvement under the record lock. Re-checks against the
+/// recorded best: a slower thread can win the CAS first yet arrive here
+/// after a better mapping was recorded, and must not regress it.
+fn record_improvement(
+    shared: &Shared,
+    config: &SearchConfig,
+    mapping: &Mapping,
+    report: CostReport,
+    cost: f64,
+    evals: u64,
+) {
+    let mut record = shared.record.lock().expect("no worker panicked");
+    if record.best.as_ref().is_some_and(|b| cost >= b.cost) {
+        return;
+    }
+    // Keep the trace's evaluation counts non-decreasing even when
+    // improvements from different threads arrive out of order.
+    let at = record
+        .trace
+        .last()
+        .map_or(evals, |&(prev, _)| prev.max(evals));
+    if record.trace.len() < config.max_trace.max(1) {
+        record.trace.push((at, cost));
+    } else {
+        *record.trace.last_mut().expect("max_trace >= 1") = (at, cost);
+    }
+    record.best = Some(BestMapping {
+        mapping: mapping.clone(),
+        report,
+        cost,
+    });
 }
 
 #[cfg(test)]
@@ -219,12 +332,19 @@ mod tests {
     use ruby_workload::ProblemShape;
 
     fn toy_space(kind: MapspaceKind, pes: u64, d: u64) -> Mapspace {
-        Mapspace::new(presets::toy_linear(pes, 1024), ProblemShape::rank1("d", d), kind)
+        Mapspace::new(
+            presets::toy_linear(pes, 1024),
+            ProblemShape::rank1("d", d),
+            kind,
+        )
     }
 
     #[test]
     fn finds_the_full_array_mapping_on_prime_bound() {
-        let outcome = search(&toy_space(MapspaceKind::RubyS, 16, 113), &SearchConfig::default());
+        let outcome = search(
+            &toy_space(MapspaceKind::RubyS, 16, 113),
+            &SearchConfig::default(),
+        );
         let best = outcome.best.expect("valid mappings exist");
         assert_eq!(best.report.cycles(), 8);
         assert!(best.mapping.is_imperfect());
@@ -233,7 +353,10 @@ mod tests {
 
     #[test]
     fn pfm_on_prime_bound_cannot_parallelize() {
-        let outcome = search(&toy_space(MapspaceKind::Pfm, 16, 113), &SearchConfig::default());
+        let outcome = search(
+            &toy_space(MapspaceKind::Pfm, 16, 113),
+            &SearchConfig::default(),
+        );
         let best = outcome.best.expect("valid mappings exist");
         // 113 is prime and > 16, so the only PFM spatial factor is 1.
         assert_eq!(best.report.cycles(), 113);
@@ -241,7 +364,10 @@ mod tests {
 
     #[test]
     fn trace_is_monotonically_improving() {
-        let outcome = search(&toy_space(MapspaceKind::Ruby, 9, 100), &SearchConfig::default());
+        let outcome = search(
+            &toy_space(MapspaceKind::Ruby, 9, 100),
+            &SearchConfig::default(),
+        );
         let costs: Vec<f64> = outcome.trace.iter().map(|&(_, c)| c).collect();
         assert!(!costs.is_empty());
         assert!(costs.windows(2).all(|w| w[1] < w[0]));
@@ -257,14 +383,26 @@ mod tests {
             ..SearchConfig::default()
         };
         let outcome = search(&toy_space(MapspaceKind::Ruby, 9, 100), &config);
-        assert!(outcome.evaluations <= 51);
+        assert!(outcome.evaluations <= 50, "{}", outcome.evaluations);
     }
 
     #[test]
     fn multithreaded_matches_singlethreaded_quality() {
         let space = toy_space(MapspaceKind::RubyS, 16, 113);
-        let single = search(&space, &SearchConfig::default());
-        let multi = search(&space, &SearchConfig { threads: 4, ..SearchConfig::default() });
+        let single = search(
+            &space,
+            &SearchConfig {
+                threads: 1,
+                ..SearchConfig::default()
+            },
+        );
+        let multi = search(
+            &space,
+            &SearchConfig {
+                threads: 4,
+                ..SearchConfig::default()
+            },
+        );
         // Both must find the 8-cycle optimum on this tiny space.
         assert_eq!(
             single.best.unwrap().report.cycles(),
@@ -273,10 +411,113 @@ mod tests {
     }
 
     #[test]
+    fn single_thread_runs_are_deterministic() {
+        let space = toy_space(MapspaceKind::Ruby, 9, 100);
+        let config = SearchConfig {
+            seed: 42,
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let a = search(&space, &config);
+        let b = search(&space, &config);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.valid, b.valid);
+        assert_eq!(a.trace, b.trace);
+        let (a, b) = (a.best.unwrap(), b.best.unwrap());
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.report.energy().to_bits(), b.report.energy().to_bits());
+    }
+
+    #[test]
+    fn different_seeds_change_the_sample_stream() {
+        let space = toy_space(MapspaceKind::Ruby, 9, 100);
+        let outcome = |seed| {
+            search(
+                &space,
+                &SearchConfig {
+                    seed,
+                    threads: 1,
+                    max_evaluations: Some(500),
+                    termination: None,
+                    ..SearchConfig::default()
+                },
+            )
+        };
+        // Improvement staircases under different seeds almost surely
+        // differ; identical traces would suggest correlated streams.
+        let traces: Vec<Vec<(u64, f64)>> = (0..4).map(|s| outcome(s).trace).collect();
+        assert!(traces.windows(2).any(|w| w[0] != w[1]), "{traces:?}");
+    }
+
+    #[test]
+    fn invalid_mappings_do_not_count_toward_termination() {
+        // 64 total words => 32-word scratchpads: many samples overflow
+        // capacity and must not advance the no-improvement counter.
+        let space = Mapspace::new(
+            presets::toy_linear(4, 64),
+            ProblemShape::rank1("d", 100),
+            MapspaceKind::Ruby,
+        );
+        let config = SearchConfig {
+            termination: Some(200),
+            max_evaluations: Some(100_000),
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let outcome = search(&space, &config);
+        assert!(
+            outcome.evaluations > outcome.valid,
+            "expected invalid samples in this cramped space"
+        );
+        // Terminated by the counter, so at least `termination` *valid*
+        // mappings were seen after the last improvement.
+        assert!(outcome.valid >= 200, "{}", outcome.valid);
+    }
+
+    #[test]
+    fn trace_is_capped_but_keeps_the_final_best() {
+        let space = toy_space(MapspaceKind::Ruby, 9, 100);
+        let config = SearchConfig {
+            threads: 1,
+            max_trace: 2,
+            ..SearchConfig::default()
+        };
+        let capped = search(&space, &config);
+        let full = search(
+            &space,
+            &SearchConfig {
+                max_trace: 4096,
+                ..config.clone()
+            },
+        );
+        assert!(full.trace.len() > 2, "toy run should improve > 2 times");
+        assert_eq!(capped.trace.len(), 2);
+        // Same stream, so the capped run's last entry is the true best.
+        assert_eq!(capped.trace.last().unwrap().1, full.trace.last().unwrap().1);
+        assert_eq!(capped.trace[0], full.trace[0]);
+    }
+
+    #[test]
+    fn spread_seeds_are_decorrelated() {
+        let seeds: Vec<u64> = (0..64).map(|t| spread_seed(7, t)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seeds.len(), "collision in spread seeds");
+        // Adjacent thread indices must not yield near-adjacent seeds.
+        assert!(seeds
+            .windows(2)
+            .all(|w| w[0].abs_diff(w[1]) > u32::MAX as u64));
+    }
+
+    #[test]
     fn objective_selects_metric() {
         let space = toy_space(MapspaceKind::RubyS, 16, 113);
-        let config =
-            SearchConfig { objective: Objective::Delay, ..SearchConfig::default() };
+        let config = SearchConfig {
+            objective: Objective::Delay,
+            ..SearchConfig::default()
+        };
         let outcome = search(&space, &config);
         assert_eq!(outcome.best.unwrap().report.cycles(), 8);
     }

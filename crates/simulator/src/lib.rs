@@ -134,7 +134,10 @@ pub fn simulate(
         "mapping was built for a different hierarchy depth"
     );
     if shape.macs() > limits.max_macs {
-        return Err(SimError::TooLarge { macs: shape.macs(), limit: limits.max_macs });
+        return Err(SimError::TooLarge {
+            macs: shape.macs(),
+            limit: limits.max_macs,
+        });
     }
     let mut sim = Simulator::new(arch, shape, mapping);
     let regions = DimMap::from_fn(|d| (0u64, shape.bound(d)));
@@ -249,7 +252,12 @@ impl Simulator {
             .iter()
             .map(|rank| match *rank {
                 Rank::Simple(d) => regions[d],
-                Rank::Strided { pos, win, stride, dilation } => {
+                Rank::Strided {
+                    pos,
+                    win,
+                    stride,
+                    dilation,
+                } => {
                     let (pb, pe) = regions[pos];
                     let (wb, we) = regions[win];
                     (
@@ -297,9 +305,7 @@ impl Simulator {
             .resident
             .iter()
             .filter(|((_, op, _), _)| *op == Operand::Output.index())
-            .map(|((level, op, _), region)| {
-                (*level, *op, region.iter().map(|&(_, e)| e).product())
-            })
+            .map(|((level, op, _), region)| (*level, *op, region.iter().map(|&(_, e)| e).product()))
             .collect();
         for (level, op, fp) in drained {
             self.drains[level][op] += fp;
@@ -367,7 +373,9 @@ mod tests {
     fn serial_mapping_counts() {
         let arch = presets::toy_linear(4, 1024);
         let shape = rank1(10);
-        let m = Mapping::builder(2).build_for_bounds(shape.bounds()).unwrap();
+        let m = Mapping::builder(2)
+            .build_for_bounds(shape.bounds())
+            .unwrap();
         let sim = simulate(&arch, &shape, &m, &SimLimits::default()).unwrap();
         assert_eq!(sim.macs, 10);
         assert_eq!(sim.cycles, 10);
@@ -424,7 +432,9 @@ mod tests {
     fn too_large_rejected() {
         let arch = presets::toy_linear(1, 1024);
         let shape = ProblemShape::gemm("g", 4096, 4096, 4096);
-        let m = Mapping::builder(2).build_for_bounds(shape.bounds()).unwrap();
+        let m = Mapping::builder(2)
+            .build_for_bounds(shape.bounds())
+            .unwrap();
         let err = simulate(&arch, &shape, &m, &SimLimits::default()).unwrap_err();
         assert!(matches!(err, SimError::TooLarge { .. }));
     }

@@ -129,8 +129,7 @@ fn perfect_pointwise_fills_match_exactly() {
 /// region projection must agree on input fills for perfect tilings.
 #[test]
 fn dilated_conv_fills_match() {
-    let shape =
-        ProblemShape::conv("dil", 1, 2, 2, 8, 8, 3, 3, (1, 1)).with_dilation((2, 2));
+    let shape = ProblemShape::conv("dil", 1, 2, 2, 8, 8, 3, 3, (1, 1)).with_dilation((2, 2));
     let arch = presets::toy_linear(2, 65536);
     let mut b = Mapping::builder(2);
     b.set_tile(Dim::P, 1, SlotKind::Temporal, 4);

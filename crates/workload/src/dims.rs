@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-use serde::{Deserialize, Serialize};
-
 /// One of the seven iteration dimensions of the canonical CNN loop nest.
 ///
 /// GEMM and rank-1 problems reuse the same dimension set with the unused
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(!Dim::M.is_reduction());
 /// assert_eq!(Dim::ALL.len(), 7);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Dim {
     /// Batch.
     N,
@@ -107,8 +105,30 @@ impl fmt::Display for Dim {
 /// assert_eq!(bounds[Dim::M], 64);
 /// assert_eq!(bounds[Dim::C], 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DimMap<T>([T; 7]);
+
+serde::impl_serde_unit_enum!(Dim {
+    N,
+    M,
+    C,
+    P,
+    Q,
+    R,
+    S
+});
+
+impl<T: serde::Serialize> serde::Serialize for DimMap<T> {
+    fn to_value(&self) -> serde::Value {
+        serde::Serialize::to_value(&self.0)
+    }
+}
+
+impl<T: serde::Deserialize> serde::Deserialize for DimMap<T> {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        <[T; 7] as serde::Deserialize>::from_value(value).map(DimMap)
+    }
+}
 
 impl<T> DimMap<T> {
     /// Builds a map by evaluating `f` for every dimension.
@@ -181,9 +201,7 @@ impl<T> From<[T; 7]> for DimMap<T> {
 impl DimMap<u64> {
     /// Product of all entries. Saturates at `u64::MAX`.
     pub fn product(&self) -> u64 {
-        self.0
-            .iter()
-            .fold(1u64, |acc, &v| acc.saturating_mul(v))
+        self.0.iter().fold(1u64, |acc, &v| acc.saturating_mul(v))
     }
 }
 
@@ -201,7 +219,11 @@ mod tests {
 
     #[test]
     fn reduction_dims_are_exactly_c_r_s() {
-        let reductions: Vec<Dim> = Dim::ALL.iter().copied().filter(|d| d.is_reduction()).collect();
+        let reductions: Vec<Dim> = Dim::ALL
+            .iter()
+            .copied()
+            .filter(|d| d.is_reduction())
+            .collect();
         assert_eq!(reductions, vec![Dim::C, Dim::R, Dim::S]);
     }
 

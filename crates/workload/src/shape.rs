@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::dims::{Dim, DimMap};
 use crate::tensor::{Operand, TensorDef};
 
@@ -22,7 +20,7 @@ use crate::tensor::{Operand, TensorDef};
 /// assert_eq!(layer.bound(Dim::R), 3);
 /// assert_eq!(layer.input_height(), 58);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProblemShape {
     name: String,
     bounds: DimMap<u64>,
@@ -31,6 +29,13 @@ pub struct ProblemShape {
     /// (vertical, horizontal) filter dilation.
     dilation: (u64, u64),
 }
+
+serde::impl_serde_struct!(ProblemShape {
+    name,
+    bounds,
+    stride,
+    dilation
+});
 
 impl ProblemShape {
     /// A convolution layer. Arguments follow the canonical dimension order:
@@ -58,7 +63,12 @@ impl ProblemShape {
             bounds.iter().all(|(_, &b)| b > 0) && stride.0 > 0 && stride.1 > 0,
             "problem bounds and strides must be positive"
         );
-        ProblemShape { name: name.into(), bounds, stride, dilation: (1, 1) }
+        ProblemShape {
+            name: name.into(),
+            bounds,
+            stride,
+            dilation: (1, 1),
+        }
     }
 
     /// Returns a copy with the given `(vertical, horizontal)` filter
@@ -68,7 +78,10 @@ impl ProblemShape {
     ///
     /// Panics if either dilation is zero.
     pub fn with_dilation(mut self, dilation: (u64, u64)) -> Self {
-        assert!(dilation.0 > 0 && dilation.1 > 0, "dilations must be positive");
+        assert!(
+            dilation.0 > 0 && dilation.1 > 0,
+            "dilations must be positive"
+        );
         self.dilation = dilation;
         self
     }
@@ -130,17 +143,13 @@ impl ProblemShape {
     /// Input feature-map height implied by `P`, `R` and the vertical
     /// stride: `(P − 1)·stride + R`.
     pub fn input_height(&self) -> u64 {
-        (self.bound(Dim::P) - 1) * self.stride.0
-            + (self.bound(Dim::R) - 1) * self.dilation.0
-            + 1
+        (self.bound(Dim::P) - 1) * self.stride.0 + (self.bound(Dim::R) - 1) * self.dilation.0 + 1
     }
 
     /// Input feature-map width implied by `Q`, `S` and the horizontal
     /// stride: `(Q − 1)·stride + S`.
     pub fn input_width(&self) -> u64 {
-        (self.bound(Dim::Q) - 1) * self.stride.1
-            + (self.bound(Dim::S) - 1) * self.dilation.1
-            + 1
+        (self.bound(Dim::Q) - 1) * self.stride.1 + (self.bound(Dim::S) - 1) * self.dilation.1 + 1
     }
 
     /// The three operand tensor definitions (input, weight, output) with

@@ -26,9 +26,18 @@ impl Suite {
     ///
     /// Panics if `layers` is empty or any repeat count is zero.
     pub fn new(name: impl Into<String>, layers: Vec<(ProblemShape, u64)>) -> Self {
-        assert!(!layers.is_empty(), "a suite must contain at least one layer");
-        assert!(layers.iter().all(|(_, n)| *n > 0), "repeat counts must be positive");
-        Suite { name: name.into(), layers }
+        assert!(
+            !layers.is_empty(),
+            "a suite must contain at least one layer"
+        );
+        assert!(
+            layers.iter().all(|(_, n)| *n > 0),
+            "repeat counts must be positive"
+        );
+        Suite {
+            name: name.into(),
+            layers,
+        }
     }
 
     /// The suite name.
@@ -58,9 +67,9 @@ impl Suite {
 
     /// Total MACs across the network, weighting repeated layers.
     pub fn total_macs(&self) -> u64 {
-        self.layers
-            .iter()
-            .fold(0u64, |acc, (l, n)| acc.saturating_add(l.macs().saturating_mul(*n)))
+        self.layers.iter().fold(0u64, |acc, (l, n)| {
+            acc.saturating_add(l.macs().saturating_mul(*n))
+        })
     }
 }
 
@@ -238,7 +247,11 @@ mod tests {
     fn resnet50_has_expected_structure() {
         let suite = resnet50();
         assert_eq!(suite.name(), "resnet50");
-        assert!(suite.len() >= 20, "expected ≥20 unique layers, got {}", suite.len());
+        assert!(
+            suite.len() >= 20,
+            "expected ≥20 unique layers, got {}",
+            suite.len()
+        );
         // Total conv layer instances: ResNet-50 has 53 convs + 1 fc.
         let instances: u64 = suite.layers().iter().map(|(_, n)| n).sum();
         assert_eq!(instances, 54);
@@ -318,7 +331,10 @@ mod tests {
             .filter(|(l, _)| l.name().contains("pw"))
             .map(|(l, n)| l.macs() * n)
             .sum();
-        assert!(pw_macs * 2 > suite.total_macs(), "pointwise layers must dominate");
+        assert!(
+            pw_macs * 2 > suite.total_macs(),
+            "pointwise layers must dominate"
+        );
         // All pointwise layers really are 1x1.
         for l in suite.iter().filter(|l| l.name().contains("pw")) {
             assert_eq!(l.bound(Dim::R), 1);

@@ -16,12 +16,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::dims::{Dim, DimMap};
 
 /// One of the three operand tensors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Operand {
     /// Input feature maps (IFM). Read-only.
     Input,
@@ -69,7 +67,7 @@ impl fmt::Display for Operand {
 
 /// One rank (axis) of an operand tensor, as a projection of iteration
 /// dimensions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rank {
     /// The rank coordinate equals a single iteration dimension.
     Simple(Dim),
@@ -96,9 +94,12 @@ impl Rank {
     pub fn extent(&self, tile: &DimMap<u64>) -> u64 {
         match *self {
             Rank::Simple(d) => tile[d],
-            Rank::Strided { pos, win, stride, dilation } => {
-                (tile[pos] - 1) * stride + (tile[win] - 1) * dilation + 1
-            }
+            Rank::Strided {
+                pos,
+                win,
+                stride,
+                dilation,
+            } => (tile[pos] - 1) * stride + (tile[win] - 1) * dilation + 1,
         }
     }
 
@@ -126,11 +127,63 @@ impl Rank {
 /// let tile = DimMap::from([1, 4, 2, 1, 1, 3, 3]);
 /// assert_eq!(w.footprint(&tile), 4 * 2 * 3 * 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TensorDef {
     operand: Operand,
     ranks: Vec<Rank>,
     relevant: DimMap<bool>,
+}
+
+serde::impl_serde_unit_enum!(Operand {
+    Input,
+    Weight,
+    Output
+});
+serde::impl_serde_struct!(TensorDef {
+    operand,
+    ranks,
+    relevant
+});
+
+impl serde::Serialize for Rank {
+    fn to_value(&self) -> serde::Value {
+        match *self {
+            Rank::Simple(d) => {
+                serde::Value::Obj(vec![("Simple".to_owned(), serde::Serialize::to_value(&d))])
+            }
+            Rank::Strided {
+                pos,
+                win,
+                stride,
+                dilation,
+            } => serde::Value::Obj(vec![(
+                "Strided".to_owned(),
+                serde::Value::Obj(vec![
+                    ("pos".to_owned(), serde::Serialize::to_value(&pos)),
+                    ("win".to_owned(), serde::Serialize::to_value(&win)),
+                    ("stride".to_owned(), serde::Serialize::to_value(&stride)),
+                    ("dilation".to_owned(), serde::Serialize::to_value(&dilation)),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl serde::Deserialize for Rank {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if let Some(d) = value.get("Simple") {
+            return Ok(Rank::Simple(serde::Deserialize::from_value(d)?));
+        }
+        if let Some(fields) = value.get("Strided") {
+            return Ok(Rank::Strided {
+                pos: serde::Deserialize::from_value(fields.field("pos")?)?,
+                win: serde::Deserialize::from_value(fields.field("win")?)?,
+                stride: serde::Deserialize::from_value(fields.field("stride")?)?,
+                dilation: serde::Deserialize::from_value(fields.field("dilation")?)?,
+            });
+        }
+        Err(serde::Error::custom("expected a Simple or Strided rank"))
+    }
 }
 
 impl TensorDef {
@@ -141,7 +194,11 @@ impl TensorDef {
                 relevant[d] = true;
             }
         }
-        TensorDef { operand, ranks, relevant }
+        TensorDef {
+            operand,
+            ranks,
+            relevant,
+        }
     }
 
     /// The input feature-map tensor `I[n, c, p·sh + r, q·sw + s]` for the
@@ -158,8 +215,18 @@ impl TensorDef {
             vec![
                 Rank::Simple(Dim::N),
                 Rank::Simple(Dim::C),
-                Rank::Strided { pos: Dim::P, win: Dim::R, stride: stride.0, dilation: dilation.0 },
-                Rank::Strided { pos: Dim::Q, win: Dim::S, stride: stride.1, dilation: dilation.1 },
+                Rank::Strided {
+                    pos: Dim::P,
+                    win: Dim::R,
+                    stride: stride.0,
+                    dilation: dilation.0,
+                },
+                Rank::Strided {
+                    pos: Dim::Q,
+                    win: Dim::S,
+                    stride: stride.1,
+                    dilation: dilation.1,
+                },
             ],
         )
     }
@@ -246,13 +313,21 @@ mod tests {
         }
         // Outputs: non-reduction dims.
         for d in Dim::ALL {
-            assert_eq!(o.is_relevant(d), !d.is_reduction(), "output relevance of {d}");
+            assert_eq!(
+                o.is_relevant(d),
+                !d.is_reduction(),
+                "output relevance of {d}"
+            );
         }
     }
 
     #[test]
     fn unit_tile_has_unit_footprint() {
-        for t in [TensorDef::input((2, 2)), TensorDef::weight(), TensorDef::output()] {
+        for t in [
+            TensorDef::input((2, 2)),
+            TensorDef::weight(),
+            TensorDef::output(),
+        ] {
             assert_eq!(t.footprint(&unit_tile()), 1, "{:?}", t.operand());
         }
     }
@@ -290,7 +365,12 @@ mod tests {
 
     #[test]
     fn rank_extent_strided() {
-        let r = Rank::Strided { pos: Dim::Q, win: Dim::S, stride: 3, dilation: 1 };
+        let r = Rank::Strided {
+            pos: Dim::Q,
+            win: Dim::S,
+            stride: 3,
+            dilation: 1,
+        };
         let mut tile = unit_tile();
         tile[Dim::Q] = 5;
         tile[Dim::S] = 2;

@@ -42,7 +42,10 @@ fn main() {
     });
 
     let comparison = explorer.compare(&layer);
-    println!("{:<8} {:>14} {:>10} {:>8} {:>10}", "space", "EDP", "cycles", "util", "vs PFM");
+    println!(
+        "{:<8} {:>14} {:>10} {:>8} {:>10}",
+        "space", "EDP", "cycles", "util", "vs PFM"
+    );
     for kind in MapspaceKind::ALL {
         match comparison.best(kind) {
             Some(best) => {

@@ -31,7 +31,10 @@ fn main() {
     println!("spatial dispatches (base, size):");
     for (i, (base, size)) in program.tiles_at(chunk_boundary).enumerate() {
         if i < 4 || size != 6 {
-            println!("  dispatch {i:>2}: PEs get elements {base}..{}", base + size);
+            println!(
+                "  dispatch {i:>2}: PEs get elements {base}..{}",
+                base + size
+            );
         } else if i == 4 {
             println!("  ...");
         }
@@ -39,7 +42,10 @@ fn main() {
 
     let mut fsm = TileFsm::new(&program);
     let tiles = fsm.by_ref().count();
-    println!("\ninnermost FSM: {tiles} tiles in {} steps (no dead cycles)", fsm.steps());
+    println!(
+        "\ninnermost FSM: {tiles} tiles in {} steps (no dead cycles)",
+        fsm.steps()
+    );
     assert_eq!(tiles as u64, fsm.steps());
 
     for b in 0..program.num_levels() {

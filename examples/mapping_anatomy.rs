@@ -40,7 +40,12 @@ fn main() {
             report.utilization() * 100.0
         );
         for level in report.level_stats() {
-            println!("  {:<6} {:>10.0} accesses  {:>12.1} energy", level.name(), level.total_accesses(), level.energy());
+            println!(
+                "  {:<6} {:>10.0} accesses  {:>12.1} energy",
+                level.name(),
+                level.total_accesses(),
+                level.energy()
+            );
         }
         println!();
     }

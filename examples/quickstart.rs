@@ -28,7 +28,10 @@ fn main() {
             ..SearchConfig::default()
         });
 
-    println!("{:<8} {:>14} {:>14} {:>10} {:>8}", "space", "EDP", "energy", "cycles", "util");
+    println!(
+        "{:<8} {:>14} {:>14} {:>10} {:>8}",
+        "space", "EDP", "energy", "cycles", "util"
+    );
     let mut pfm_edp = None;
     for kind in MapspaceKind::ALL {
         match explorer.explore(&layer, kind) {
@@ -54,10 +57,7 @@ fn main() {
                             12
                         );
                         println!("Best Ruby-S loop nest:");
-                        println!(
-                            "{}",
-                            render_loopnest(&best.mapping, &["DRAM", "GLB", "PE"])
-                        );
+                        println!("{}", render_loopnest(&best.mapping, &["DRAM", "GLB", "PE"]));
                     }
                 }
             }

@@ -16,7 +16,10 @@ fn main() {
     let space = Mapspace::new(arch.clone(), layer.clone(), MapspaceKind::RubyS)
         .with_constraints(constraints.clone());
     println!("workload: {layer}\n");
-    println!("{:<10} {:>13} {:>12} {:>10}", "strategy", "best EDP", "evaluations", "time");
+    println!(
+        "{:<10} {:>13} {:>12} {:>10}",
+        "strategy", "best EDP", "evaluations", "time"
+    );
 
     // 1. Random sampling (the paper's search).
     let t = Instant::now();
@@ -30,12 +33,29 @@ fn main() {
             ..SearchConfig::default()
         },
     );
-    print_row("random", random.best.as_ref().map(|b| b.report.edp()), random.evaluations, t);
+    print_row(
+        "random",
+        random.best.as_ref().map(|b| b.report.edp()),
+        random.evaluations,
+        t,
+    );
 
     // 2. Simulated annealing.
     let t = Instant::now();
-    let annealed = anneal(&space, &AnnealConfig { seed: 5, steps: 10_000, ..Default::default() });
-    print_row("anneal", annealed.best.as_ref().map(|b| b.report.edp()), annealed.evaluations, t);
+    let annealed = anneal(
+        &space,
+        &AnnealConfig {
+            seed: 5,
+            steps: 10_000,
+            ..Default::default()
+        },
+    );
+    print_row(
+        "anneal",
+        annealed.best.as_ref().map(|b| b.report.edp()),
+        annealed.evaluations,
+        t,
+    );
 
     // 3. Search-free heuristic (a handful of constructive candidates).
     let t = Instant::now();
@@ -53,6 +73,14 @@ fn main() {
 }
 
 fn print_row(name: &str, edp: Option<f64>, evals: u64, start: Instant) {
-    let edp = edp.map(|e| format!("{e:.4e}")).unwrap_or_else(|| "-".into());
-    println!("{:<10} {:>13} {:>12} {:>9.2?}", name, edp, evals, start.elapsed());
+    let edp = edp
+        .map(|e| format!("{e:.4e}"))
+        .unwrap_or_else(|| "-".into());
+    println!(
+        "{:<10} {:>13} {:>12} {:>9.2?}",
+        name,
+        edp,
+        evals,
+        start.elapsed()
+    );
 }

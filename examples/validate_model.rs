@@ -29,12 +29,11 @@ fn main() {
         let mut sim_fill_sum = 0.0;
         for _ in 0..50 {
             let mapping = space.sample(&mut rng);
-            let Ok(report) = evaluate(&arch, &shape, &mapping, &ModelOptions::default())
-            else {
+            let Ok(report) = evaluate(&arch, &shape, &mapping, &ModelOptions::default()) else {
                 continue;
             };
-            let sim = simulate(&arch, &shape, &mapping, &SimLimits::default())
-                .expect("small problem");
+            let sim =
+                simulate(&arch, &shape, &mapping, &SimLimits::default()).expect("small problem");
             checked += 1;
             assert_eq!(sim.macs, shape.macs(), "MAC conservation violated!");
             if report.cycles() == sim.cycles {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-2b33585e1304a6a3.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-2b33585e1304a6a3: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

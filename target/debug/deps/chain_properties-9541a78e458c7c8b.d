@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chain_properties-9541a78e458c7c8b.d: crates/mapping/tests/chain_properties.rs
+
+/root/repo/target/debug/deps/chain_properties-9541a78e458c7c8b: crates/mapping/tests/chain_properties.rs
+
+crates/mapping/tests/chain_properties.rs:

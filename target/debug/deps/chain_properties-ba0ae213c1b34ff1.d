@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chain_properties-ba0ae213c1b34ff1.d: crates/mapping/tests/chain_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchain_properties-ba0ae213c1b34ff1.rmeta: crates/mapping/tests/chain_properties.rs Cargo.toml
+
+crates/mapping/tests/chain_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

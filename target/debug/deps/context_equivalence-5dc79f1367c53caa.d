@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/context_equivalence-5dc79f1367c53caa.d: crates/core/../../tests/context_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontext_equivalence-5dc79f1367c53caa.rmeta: crates/core/../../tests/context_equivalence.rs Cargo.toml
+
+crates/core/../../tests/context_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

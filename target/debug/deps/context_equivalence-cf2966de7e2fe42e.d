@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/context_equivalence-cf2966de7e2fe42e.d: crates/core/../../tests/context_equivalence.rs
+
+/root/repo/target/debug/deps/context_equivalence-cf2966de7e2fe42e: crates/core/../../tests/context_equivalence.rs
+
+crates/core/../../tests/context_equivalence.rs:

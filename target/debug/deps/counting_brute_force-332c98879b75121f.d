@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/counting_brute_force-332c98879b75121f.d: crates/mapspace/tests/counting_brute_force.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcounting_brute_force-332c98879b75121f.rmeta: crates/mapspace/tests/counting_brute_force.rs Cargo.toml
+
+crates/mapspace/tests/counting_brute_force.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/counting_brute_force-54f951c0d0bdda07.d: crates/mapspace/tests/counting_brute_force.rs
+
+/root/repo/target/debug/deps/counting_brute_force-54f951c0d0bdda07: crates/mapspace/tests/counting_brute_force.rs
+
+crates/mapspace/tests/counting_brute_force.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deep_hierarchy-082387fc815133a7.d: crates/core/../../tests/deep_hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeep_hierarchy-082387fc815133a7.rmeta: crates/core/../../tests/deep_hierarchy.rs Cargo.toml
+
+crates/core/../../tests/deep_hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

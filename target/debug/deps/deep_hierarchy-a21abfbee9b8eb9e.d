@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deep_hierarchy-a21abfbee9b8eb9e.d: crates/core/../../tests/deep_hierarchy.rs
+
+/root/repo/target/debug/deps/deep_hierarchy-a21abfbee9b8eb9e: crates/core/../../tests/deep_hierarchy.rs
+
+crates/core/../../tests/deep_hierarchy.rs:

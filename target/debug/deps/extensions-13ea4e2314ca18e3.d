@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-13ea4e2314ca18e3.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-13ea4e2314ca18e3: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-c009d738b0f63661.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-c009d738b0f63661: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-fc2ed583cf0d32e4.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-fc2ed583cf0d32e4: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-2cf5acb809886de0.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-2cf5acb809886de0: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

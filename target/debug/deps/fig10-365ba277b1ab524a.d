@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-365ba277b1ab524a.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-365ba277b1ab524a: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

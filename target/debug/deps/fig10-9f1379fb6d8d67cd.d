@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-9f1379fb6d8d67cd.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-9f1379fb6d8d67cd: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-31885d1b78bbfb74.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-31885d1b78bbfb74: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

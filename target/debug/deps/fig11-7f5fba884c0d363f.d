@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-7f5fba884c0d363f.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-7f5fba884c0d363f: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-8fd70a64418a9d92.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-8fd70a64418a9d92: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

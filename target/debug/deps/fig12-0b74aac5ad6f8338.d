@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-0b74aac5ad6f8338.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-0b74aac5ad6f8338: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-54826daa15b36c5f.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-54826daa15b36c5f: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

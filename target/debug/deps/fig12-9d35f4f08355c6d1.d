@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-9d35f4f08355c6d1.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-9d35f4f08355c6d1: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-801ecb9c8fda7109.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-801ecb9c8fda7109: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

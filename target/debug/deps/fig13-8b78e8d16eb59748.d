@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-8b78e8d16eb59748.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-8b78e8d16eb59748: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-d880158f07187a81.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-d880158f07187a81: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-1d459feaf9eb602f.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-1d459feaf9eb602f: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-7287d909aa425065.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-7287d909aa425065: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

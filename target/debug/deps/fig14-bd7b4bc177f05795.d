@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-bd7b4bc177f05795.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-bd7b4bc177f05795: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-568e451080377d84.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-568e451080377d84: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

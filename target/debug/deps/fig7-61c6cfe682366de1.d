@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-61c6cfe682366de1.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-61c6cfe682366de1: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-da608def4a0c8c25.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-da608def4a0c8c25: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

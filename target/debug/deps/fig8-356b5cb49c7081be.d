@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-356b5cb49c7081be.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-356b5cb49c7081be: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-3d55c8398ded03a1.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-3d55c8398ded03a1: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-da98887589dfc9b2.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-da98887589dfc9b2: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

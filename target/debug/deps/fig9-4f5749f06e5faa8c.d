@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-4f5749f06e5faa8c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-4f5749f06e5faa8c: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-9cf745be1039d30f.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-9cf745be1039d30f: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-a35a7d244b94c3a2.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-a35a7d244b94c3a2: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-221b929222fcd529.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-221b929222fcd529: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-cab4c1987ff97e2d.d: crates/core/../../tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-cab4c1987ff97e2d.rmeta: crates/core/../../tests/integration.rs Cargo.toml
+
+crates/core/../../tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

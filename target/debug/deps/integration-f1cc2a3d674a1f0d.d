@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-f1cc2a3d674a1f0d.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-f1cc2a3d674a1f0d: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mapspace_sampling-0dff811bcc03991f.d: crates/bench/benches/mapspace_sampling.rs
+
+/root/repo/target/debug/deps/mapspace_sampling-0dff811bcc03991f: crates/bench/benches/mapspace_sampling.rs
+
+crates/bench/benches/mapspace_sampling.rs:

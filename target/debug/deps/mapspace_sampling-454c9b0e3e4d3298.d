@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapspace_sampling-454c9b0e3e4d3298.d: crates/bench/benches/mapspace_sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapspace_sampling-454c9b0e3e4d3298.rmeta: crates/bench/benches/mapspace_sampling.rs Cargo.toml
+
+crates/bench/benches/mapspace_sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-f38522a2ec582343.d: crates/core/../../tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-f38522a2ec582343: crates/core/../../tests/model_properties.rs
+
+crates/core/../../tests/model_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_throughput-35035d032c22f6ba.d: crates/bench/benches/model_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_throughput-35035d032c22f6ba.rmeta: crates/bench/benches/model_throughput.rs Cargo.toml
+
+crates/bench/benches/model_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

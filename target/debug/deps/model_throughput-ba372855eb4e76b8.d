@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_throughput-ba372855eb4e76b8.d: crates/bench/benches/model_throughput.rs
+
+/root/repo/target/debug/deps/model_throughput-ba372855eb4e76b8: crates/bench/benches/model_throughput.rs
+
+crates/bench/benches/model_throughput.rs:

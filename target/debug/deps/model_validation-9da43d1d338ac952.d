@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_validation-9da43d1d338ac952.d: crates/simulator/tests/model_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_validation-9da43d1d338ac952.rmeta: crates/simulator/tests/model_validation.rs Cargo.toml
+
+crates/simulator/tests/model_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

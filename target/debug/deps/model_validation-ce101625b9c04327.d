@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_validation-ce101625b9c04327.d: crates/simulator/tests/model_validation.rs
+
+/root/repo/target/debug/deps/model_validation-ce101625b9c04327: crates/simulator/tests/model_validation.rs
+
+crates/simulator/tests/model_validation.rs:

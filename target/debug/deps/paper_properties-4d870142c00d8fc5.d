@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_properties-4d870142c00d8fc5.d: crates/core/../../tests/paper_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_properties-4d870142c00d8fc5.rmeta: crates/core/../../tests/paper_properties.rs Cargo.toml
+
+crates/core/../../tests/paper_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

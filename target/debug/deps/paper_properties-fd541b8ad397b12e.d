@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_properties-fd541b8ad397b12e.d: crates/core/../../tests/paper_properties.rs
+
+/root/repo/target/debug/deps/paper_properties-fd541b8ad397b12e: crates/core/../../tests/paper_properties.rs
+
+crates/core/../../tests/paper_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/preset_properties-49683a323cc75622.d: crates/arch/tests/preset_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpreset_properties-49683a323cc75622.rmeta: crates/arch/tests/preset_properties.rs Cargo.toml
+
+crates/arch/tests/preset_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/preset_properties-58dd5fc9dcde2880.d: crates/arch/tests/preset_properties.rs
+
+/root/repo/target/debug/deps/preset_properties-58dd5fc9dcde2880: crates/arch/tests/preset_properties.rs
+
+crates/arch/tests/preset_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruby-32092a415eb7e7fb.d: crates/cli/src/bin/ruby.rs
+
+/root/repo/target/debug/deps/ruby-32092a415eb7e7fb: crates/cli/src/bin/ruby.rs
+
+crates/cli/src/bin/ruby.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruby-79ec1fa57b1ebc40.d: crates/cli/src/bin/ruby.rs
+
+/root/repo/target/debug/deps/ruby-79ec1fa57b1ebc40: crates/cli/src/bin/ruby.rs
+
+crates/cli/src/bin/ruby.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ruby-b8649bfbec29c0a5.d: crates/cli/src/bin/ruby.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby-b8649bfbec29c0a5.rmeta: crates/cli/src/bin/ruby.rs Cargo.toml
+
+crates/cli/src/bin/ruby.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ruby-d0231ee5c4a0c69f.d: crates/cli/src/bin/ruby.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby-d0231ee5c4a0c69f.rmeta: crates/cli/src/bin/ruby.rs Cargo.toml
+
+crates/cli/src/bin/ruby.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ruby_arch-31dd9488c1675350.d: crates/arch/src/lib.rs crates/arch/src/presets.rs
+
+/root/repo/target/debug/deps/ruby_arch-31dd9488c1675350: crates/arch/src/lib.rs crates/arch/src/presets.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/presets.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ruby_arch-474ab0d719b91bbd.d: crates/arch/src/lib.rs crates/arch/src/presets.rs
+
+/root/repo/target/debug/deps/libruby_arch-474ab0d719b91bbd.rlib: crates/arch/src/lib.rs crates/arch/src/presets.rs
+
+/root/repo/target/debug/deps/libruby_arch-474ab0d719b91bbd.rmeta: crates/arch/src/lib.rs crates/arch/src/presets.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/presets.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ruby_arch-4c15d83ffd012e20.d: crates/arch/src/lib.rs crates/arch/src/presets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_arch-4c15d83ffd012e20.rmeta: crates/arch/src/lib.rs crates/arch/src/presets.rs Cargo.toml
+
+crates/arch/src/lib.rs:
+crates/arch/src/presets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ruby_bench-0033b41ca7a28b49.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_bench-0033b41ca7a28b49.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

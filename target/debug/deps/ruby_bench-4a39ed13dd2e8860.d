@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ruby_bench-4a39ed13dd2e8860.d: crates/bench/src/lib.rs crates/bench/src/throughput.rs
+
+/root/repo/target/debug/deps/ruby_bench-4a39ed13dd2e8860: crates/bench/src/lib.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/throughput.rs:

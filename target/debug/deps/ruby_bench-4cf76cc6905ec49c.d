@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ruby_bench-4cf76cc6905ec49c.d: crates/bench/src/lib.rs crates/bench/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_bench-4cf76cc6905ec49c.rmeta: crates/bench/src/lib.rs crates/bench/src/throughput.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

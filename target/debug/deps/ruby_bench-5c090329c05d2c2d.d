@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ruby_bench-5c090329c05d2c2d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_bench-5c090329c05d2c2d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ruby_bench-b3c6293d943d801e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libruby_bench-b3c6293d943d801e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libruby_bench-b3c6293d943d801e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

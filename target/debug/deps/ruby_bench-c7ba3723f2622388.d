@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ruby_bench-c7ba3723f2622388.d: crates/bench/src/lib.rs crates/bench/src/throughput.rs
+
+/root/repo/target/debug/deps/libruby_bench-c7ba3723f2622388.rlib: crates/bench/src/lib.rs crates/bench/src/throughput.rs
+
+/root/repo/target/debug/deps/libruby_bench-c7ba3723f2622388.rmeta: crates/bench/src/lib.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruby_bench-ca0d7e3de813964e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ruby_bench-ca0d7e3de813964e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ruby_bench-f64d192267ceec92.d: crates/bench/src/lib.rs crates/bench/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_bench-f64d192267ceec92.rmeta: crates/bench/src/lib.rs crates/bench/src/throughput.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

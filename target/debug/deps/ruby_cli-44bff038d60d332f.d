@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ruby_cli-44bff038d60d332f.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_cli-44bff038d60d332f.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/parse.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

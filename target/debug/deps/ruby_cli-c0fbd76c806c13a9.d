@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ruby_cli-c0fbd76c806c13a9.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/parse.rs
+
+/root/repo/target/debug/deps/ruby_cli-c0fbd76c806c13a9: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/parse.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/parse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ruby_cli-ce4d16381433f92f.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/parse.rs
+
+/root/repo/target/debug/deps/libruby_cli-ce4d16381433f92f.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/parse.rs
+
+/root/repo/target/debug/deps/libruby_cli-ce4d16381433f92f.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/parse.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/parse.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ruby_cli-ea4e5b212c2a58d6.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_cli-ea4e5b212c2a58d6.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/parse.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

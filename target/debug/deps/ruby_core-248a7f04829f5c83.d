@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ruby_core-248a7f04829f5c83.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_core-248a7f04829f5c83.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ruby_core-5ae17240508e4fce.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libruby_core-5ae17240508e4fce.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libruby_core-5ae17240508e4fce.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruby_core-911c1d1de802608d.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/ruby_core-911c1d1de802608d: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

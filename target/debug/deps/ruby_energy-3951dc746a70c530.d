@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ruby_energy-3951dc746a70c530.d: crates/energy/src/lib.rs
+
+/root/repo/target/debug/deps/libruby_energy-3951dc746a70c530.rlib: crates/energy/src/lib.rs
+
+/root/repo/target/debug/deps/libruby_energy-3951dc746a70c530.rmeta: crates/energy/src/lib.rs
+
+crates/energy/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruby_energy-503272f9d9a8fa33.d: crates/energy/src/lib.rs
+
+/root/repo/target/debug/deps/ruby_energy-503272f9d9a8fa33: crates/energy/src/lib.rs
+
+crates/energy/src/lib.rs:

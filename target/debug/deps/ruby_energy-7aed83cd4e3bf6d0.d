@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ruby_energy-7aed83cd4e3bf6d0.d: crates/energy/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_energy-7aed83cd4e3bf6d0.rmeta: crates/energy/src/lib.rs Cargo.toml
+
+crates/energy/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/ruby_experiments-4b90dafda40c7d2b.d: crates/experiments/src/lib.rs crates/experiments/src/common.rs crates/experiments/src/ext_bypass.rs crates/experiments/src/ext_hierarchy.rs crates/experiments/src/ext_search.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/fig14.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/table.rs crates/experiments/src/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_experiments-4b90dafda40c7d2b.rmeta: crates/experiments/src/lib.rs crates/experiments/src/common.rs crates/experiments/src/ext_bypass.rs crates/experiments/src/ext_hierarchy.rs crates/experiments/src/ext_search.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/fig14.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/table.rs crates/experiments/src/table1.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/ext_bypass.rs:
+crates/experiments/src/ext_hierarchy.rs:
+crates/experiments/src/ext_search.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig11.rs:
+crates/experiments/src/fig12.rs:
+crates/experiments/src/fig13.rs:
+crates/experiments/src/fig14.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig8.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/table.rs:
+crates/experiments/src/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ruby_experiments-eb072c06f6451992.d: crates/experiments/src/lib.rs crates/experiments/src/common.rs crates/experiments/src/ext_bypass.rs crates/experiments/src/ext_hierarchy.rs crates/experiments/src/ext_search.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/fig14.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/table.rs crates/experiments/src/table1.rs
+
+/root/repo/target/debug/deps/libruby_experiments-eb072c06f6451992.rlib: crates/experiments/src/lib.rs crates/experiments/src/common.rs crates/experiments/src/ext_bypass.rs crates/experiments/src/ext_hierarchy.rs crates/experiments/src/ext_search.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/fig14.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/table.rs crates/experiments/src/table1.rs
+
+/root/repo/target/debug/deps/libruby_experiments-eb072c06f6451992.rmeta: crates/experiments/src/lib.rs crates/experiments/src/common.rs crates/experiments/src/ext_bypass.rs crates/experiments/src/ext_hierarchy.rs crates/experiments/src/ext_search.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/fig14.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/table.rs crates/experiments/src/table1.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/ext_bypass.rs:
+crates/experiments/src/ext_hierarchy.rs:
+crates/experiments/src/ext_search.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig11.rs:
+crates/experiments/src/fig12.rs:
+crates/experiments/src/fig13.rs:
+crates/experiments/src/fig14.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig8.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/table.rs:
+crates/experiments/src/table1.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ruby_mapping-393e94a4db307b6e.d: crates/mapping/src/lib.rs crates/mapping/src/display.rs crates/mapping/src/profile.rs crates/mapping/src/slots.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_mapping-393e94a4db307b6e.rmeta: crates/mapping/src/lib.rs crates/mapping/src/display.rs crates/mapping/src/profile.rs crates/mapping/src/slots.rs Cargo.toml
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/display.rs:
+crates/mapping/src/profile.rs:
+crates/mapping/src/slots.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

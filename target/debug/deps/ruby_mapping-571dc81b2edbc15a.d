@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ruby_mapping-571dc81b2edbc15a.d: crates/mapping/src/lib.rs crates/mapping/src/display.rs crates/mapping/src/profile.rs crates/mapping/src/slots.rs
+
+/root/repo/target/debug/deps/ruby_mapping-571dc81b2edbc15a: crates/mapping/src/lib.rs crates/mapping/src/display.rs crates/mapping/src/profile.rs crates/mapping/src/slots.rs
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/display.rs:
+crates/mapping/src/profile.rs:
+crates/mapping/src/slots.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ruby_mapping-cf6081cc5318a856.d: crates/mapping/src/lib.rs crates/mapping/src/display.rs crates/mapping/src/profile.rs crates/mapping/src/slots.rs
+
+/root/repo/target/debug/deps/libruby_mapping-cf6081cc5318a856.rlib: crates/mapping/src/lib.rs crates/mapping/src/display.rs crates/mapping/src/profile.rs crates/mapping/src/slots.rs
+
+/root/repo/target/debug/deps/libruby_mapping-cf6081cc5318a856.rmeta: crates/mapping/src/lib.rs crates/mapping/src/display.rs crates/mapping/src/profile.rs crates/mapping/src/slots.rs
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/display.rs:
+crates/mapping/src/profile.rs:
+crates/mapping/src/slots.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ruby_mapspace-fac1aa6020aea655.d: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_mapspace-fac1aa6020aea655.rmeta: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs Cargo.toml
+
+crates/mapspace/src/lib.rs:
+crates/mapspace/src/constraints.rs:
+crates/mapspace/src/factor.rs:
+crates/mapspace/src/heuristic.rs:
+crates/mapspace/src/padding.rs:
+crates/mapspace/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ruby_patterngen-866c0d990f52845e.d: crates/patterngen/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_patterngen-866c0d990f52845e.rmeta: crates/patterngen/src/lib.rs Cargo.toml
+
+crates/patterngen/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

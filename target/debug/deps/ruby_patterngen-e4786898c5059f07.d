@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruby_patterngen-e4786898c5059f07.d: crates/patterngen/src/lib.rs
+
+/root/repo/target/debug/deps/ruby_patterngen-e4786898c5059f07: crates/patterngen/src/lib.rs
+
+crates/patterngen/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ruby_patterngen-e5b10c2007bf467c.d: crates/patterngen/src/lib.rs
+
+/root/repo/target/debug/deps/libruby_patterngen-e5b10c2007bf467c.rlib: crates/patterngen/src/lib.rs
+
+/root/repo/target/debug/deps/libruby_patterngen-e5b10c2007bf467c.rmeta: crates/patterngen/src/lib.rs
+
+crates/patterngen/src/lib.rs:

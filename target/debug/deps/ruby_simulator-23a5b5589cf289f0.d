@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ruby_simulator-23a5b5589cf289f0.d: crates/simulator/src/lib.rs
+
+/root/repo/target/debug/deps/libruby_simulator-23a5b5589cf289f0.rlib: crates/simulator/src/lib.rs
+
+/root/repo/target/debug/deps/libruby_simulator-23a5b5589cf289f0.rmeta: crates/simulator/src/lib.rs
+
+crates/simulator/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruby_simulator-4dd5eaa677cdccb9.d: crates/simulator/src/lib.rs
+
+/root/repo/target/debug/deps/ruby_simulator-4dd5eaa677cdccb9: crates/simulator/src/lib.rs
+
+crates/simulator/src/lib.rs:

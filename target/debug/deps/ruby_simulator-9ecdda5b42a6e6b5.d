@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ruby_simulator-9ecdda5b42a6e6b5.d: crates/simulator/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_simulator-9ecdda5b42a6e6b5.rmeta: crates/simulator/src/lib.rs Cargo.toml
+
+crates/simulator/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ruby_workload-c1a95bc816b3cabc.d: crates/workload/src/lib.rs crates/workload/src/dims.rs crates/workload/src/shape.rs crates/workload/src/suites.rs crates/workload/src/tensor.rs
+
+/root/repo/target/debug/deps/ruby_workload-c1a95bc816b3cabc: crates/workload/src/lib.rs crates/workload/src/dims.rs crates/workload/src/shape.rs crates/workload/src/suites.rs crates/workload/src/tensor.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dims.rs:
+crates/workload/src/shape.rs:
+crates/workload/src/suites.rs:
+crates/workload/src/tensor.rs:

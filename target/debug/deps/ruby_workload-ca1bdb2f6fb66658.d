@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ruby_workload-ca1bdb2f6fb66658.d: crates/workload/src/lib.rs crates/workload/src/dims.rs crates/workload/src/shape.rs crates/workload/src/suites.rs crates/workload/src/tensor.rs
+
+/root/repo/target/debug/deps/libruby_workload-ca1bdb2f6fb66658.rlib: crates/workload/src/lib.rs crates/workload/src/dims.rs crates/workload/src/shape.rs crates/workload/src/suites.rs crates/workload/src/tensor.rs
+
+/root/repo/target/debug/deps/libruby_workload-ca1bdb2f6fb66658.rmeta: crates/workload/src/lib.rs crates/workload/src/dims.rs crates/workload/src/shape.rs crates/workload/src/suites.rs crates/workload/src/tensor.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dims.rs:
+crates/workload/src/shape.rs:
+crates/workload/src/suites.rs:
+crates/workload/src/tensor.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ruby_workload-f30280cf954d3e12.d: crates/workload/src/lib.rs crates/workload/src/dims.rs crates/workload/src/shape.rs crates/workload/src/suites.rs crates/workload/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruby_workload-f30280cf954d3e12.rmeta: crates/workload/src/lib.rs crates/workload/src/dims.rs crates/workload/src/shape.rs crates/workload/src/suites.rs crates/workload/src/tensor.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/dims.rs:
+crates/workload/src/shape.rs:
+crates/workload/src/suites.rs:
+crates/workload/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_throughput-090fe42a5142ec20.d: crates/bench/src/bin/search_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_throughput-090fe42a5142ec20.rmeta: crates/bench/src/bin/search_throughput.rs Cargo.toml
+
+crates/bench/src/bin/search_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_throughput-8b7fdba977e62558.d: crates/bench/src/bin/search_throughput.rs
+
+/root/repo/target/debug/deps/search_throughput-8b7fdba977e62558: crates/bench/src/bin/search_throughput.rs
+
+crates/bench/src/bin/search_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_throughput-edeb9f5edda1896c.d: crates/bench/src/bin/search_throughput.rs
+
+/root/repo/target/debug/deps/search_throughput-edeb9f5edda1896c: crates/bench/src/bin/search_throughput.rs
+
+crates/bench/src/bin/search_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-2acd53595e6ccd96.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-2acd53595e6ccd96: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

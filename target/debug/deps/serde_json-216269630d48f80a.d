@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-216269630d48f80a.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-216269630d48f80a: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

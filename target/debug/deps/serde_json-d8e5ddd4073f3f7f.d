@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-d8e5ddd4073f3f7f.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d8e5ddd4073f3f7f.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d8e5ddd4073f3f7f.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-2c55ef5ef3238c71.d: crates/core/../../tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-2c55ef5ef3238c71: crates/core/../../tests/serde_roundtrip.rs
+
+crates/core/../../tests/serde_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_roundtrip-f256081716b3121f.d: crates/core/../../tests/serde_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_roundtrip-f256081716b3121f.rmeta: crates/core/../../tests/serde_roundtrip.rs Cargo.toml
+
+crates/core/../../tests/serde_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

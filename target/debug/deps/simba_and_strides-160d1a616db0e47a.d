@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simba_and_strides-160d1a616db0e47a.d: crates/model/tests/simba_and_strides.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimba_and_strides-160d1a616db0e47a.rmeta: crates/model/tests/simba_and_strides.rs Cargo.toml
+
+crates/model/tests/simba_and_strides.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

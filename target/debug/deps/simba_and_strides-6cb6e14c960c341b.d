@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simba_and_strides-6cb6e14c960c341b.d: crates/model/tests/simba_and_strides.rs
+
+/root/repo/target/debug/deps/simba_and_strides-6cb6e14c960c341b: crates/model/tests/simba_and_strides.rs
+
+crates/model/tests/simba_and_strides.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_properties-108111829e102be9.d: crates/workload/tests/suite_properties.rs
+
+/root/repo/target/debug/deps/suite_properties-108111829e102be9: crates/workload/tests/suite_properties.rs
+
+crates/workload/tests/suite_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_properties-6c7be585479d0241.d: crates/workload/tests/suite_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_properties-6c7be585479d0241.rmeta: crates/workload/tests/suite_properties.rs Cargo.toml
+
+crates/workload/tests/suite_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-323dbba8bc3e25ab.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-323dbba8bc3e25ab: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

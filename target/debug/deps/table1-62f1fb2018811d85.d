@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-62f1fb2018811d85.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-62f1fb2018811d85: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-7a9401c66d898f5d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-7a9401c66d898f5d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

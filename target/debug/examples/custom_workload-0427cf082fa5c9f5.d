@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_workload-0427cf082fa5c9f5.d: crates/core/../../examples/custom_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_workload-0427cf082fa5c9f5.rmeta: crates/core/../../examples/custom_workload.rs Cargo.toml
+
+crates/core/../../examples/custom_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-2842a6bf974569e8.d: crates/core/../../examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-2842a6bf974569e8: crates/core/../../examples/custom_workload.rs
+
+crates/core/../../examples/custom_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space_exploration-83d80d797d54e273.d: crates/core/../../examples/design_space_exploration.rs
+
+/root/repo/target/debug/examples/design_space_exploration-83d80d797d54e273: crates/core/../../examples/design_space_exploration.rs
+
+crates/core/../../examples/design_space_exploration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_space_exploration-a648aa22c89f61c0.d: crates/core/../../examples/design_space_exploration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_space_exploration-a648aa22c89f61c0.rmeta: crates/core/../../examples/design_space_exploration.rs Cargo.toml
+
+crates/core/../../examples/design_space_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hardware_patterns-48bf26d8cb3ee774.d: crates/core/../../examples/hardware_patterns.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhardware_patterns-48bf26d8cb3ee774.rmeta: crates/core/../../examples/hardware_patterns.rs Cargo.toml
+
+crates/core/../../examples/hardware_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

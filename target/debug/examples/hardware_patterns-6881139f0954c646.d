@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_patterns-6881139f0954c646.d: crates/core/../../examples/hardware_patterns.rs
+
+/root/repo/target/debug/examples/hardware_patterns-6881139f0954c646: crates/core/../../examples/hardware_patterns.rs
+
+crates/core/../../examples/hardware_patterns.rs:

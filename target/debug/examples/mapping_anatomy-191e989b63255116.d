@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mapping_anatomy-191e989b63255116.d: crates/core/../../examples/mapping_anatomy.rs
+
+/root/repo/target/debug/examples/mapping_anatomy-191e989b63255116: crates/core/../../examples/mapping_anatomy.rs
+
+crates/core/../../examples/mapping_anatomy.rs:

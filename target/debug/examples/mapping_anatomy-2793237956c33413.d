@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mapping_anatomy-2793237956c33413.d: crates/core/../../examples/mapping_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmapping_anatomy-2793237956c33413.rmeta: crates/core/../../examples/mapping_anatomy.rs Cargo.toml
+
+crates/core/../../examples/mapping_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-24d583c718c235b2.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-24d583c718c235b2: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

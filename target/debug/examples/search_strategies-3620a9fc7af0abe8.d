@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/search_strategies-3620a9fc7af0abe8.d: crates/core/../../examples/search_strategies.rs
+
+/root/repo/target/debug/examples/search_strategies-3620a9fc7af0abe8: crates/core/../../examples/search_strategies.rs
+
+crates/core/../../examples/search_strategies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/search_strategies-6e81be6b774142b6.d: crates/core/../../examples/search_strategies.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsearch_strategies-6e81be6b774142b6.rmeta: crates/core/../../examples/search_strategies.rs Cargo.toml
+
+crates/core/../../examples/search_strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

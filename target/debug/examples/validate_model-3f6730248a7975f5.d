@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/validate_model-3f6730248a7975f5.d: crates/core/../../examples/validate_model.rs
+
+/root/repo/target/debug/examples/validate_model-3f6730248a7975f5: crates/core/../../examples/validate_model.rs
+
+crates/core/../../examples/validate_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/validate_model-d5ff764d6cac3c13.d: crates/core/../../examples/validate_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvalidate_model-d5ff764d6cac3c13.rmeta: crates/core/../../examples/validate_model.rs Cargo.toml
+
+crates/core/../../examples/validate_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

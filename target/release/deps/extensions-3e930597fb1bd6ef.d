@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-3e930597fb1bd6ef.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/release/deps/extensions-3e930597fb1bd6ef: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-d1a19dd9e00052c4.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/release/deps/extensions-d1a19dd9e00052c4: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

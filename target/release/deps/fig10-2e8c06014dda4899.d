@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-2e8c06014dda4899.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-2e8c06014dda4899: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-65a4498afc696c48.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-65a4498afc696c48: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-0fe388f1fda4b637.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-0fe388f1fda4b637: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-3e45fee04e9f7019.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-3e45fee04e9f7019: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

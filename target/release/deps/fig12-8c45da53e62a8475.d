@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-8c45da53e62a8475.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-8c45da53e62a8475: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-e99b32c26631dfbb.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-e99b32c26631dfbb: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

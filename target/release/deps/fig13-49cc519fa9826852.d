@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-49cc519fa9826852.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-49cc519fa9826852: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

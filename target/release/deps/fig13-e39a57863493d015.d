@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-e39a57863493d015.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-e39a57863493d015: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-45ba6bd435e1ddfc.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-45ba6bd435e1ddfc: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-6650da6372a475b3.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-6650da6372a475b3: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-1aac9c09847fb379.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-1aac9c09847fb379: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-c55835b44585f7f0.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-c55835b44585f7f0: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-218f55df83a1050b.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-218f55df83a1050b: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

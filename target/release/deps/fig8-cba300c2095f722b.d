@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-cba300c2095f722b.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-cba300c2095f722b: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-83d648012c814598.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-83d648012c814598: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

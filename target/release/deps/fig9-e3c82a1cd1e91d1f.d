@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-e3c82a1cd1e91d1f.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-e3c82a1cd1e91d1f: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

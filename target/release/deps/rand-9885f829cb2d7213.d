@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-9885f829cb2d7213.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9885f829cb2d7213.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9885f829cb2d7213.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ruby-a046a4e192ab8680.d: crates/cli/src/bin/ruby.rs
+
+/root/repo/target/release/deps/ruby-a046a4e192ab8680: crates/cli/src/bin/ruby.rs
+
+crates/cli/src/bin/ruby.rs:

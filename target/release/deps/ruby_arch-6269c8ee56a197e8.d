@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ruby_arch-6269c8ee56a197e8.d: crates/arch/src/lib.rs crates/arch/src/presets.rs
+
+/root/repo/target/release/deps/libruby_arch-6269c8ee56a197e8.rlib: crates/arch/src/lib.rs crates/arch/src/presets.rs
+
+/root/repo/target/release/deps/libruby_arch-6269c8ee56a197e8.rmeta: crates/arch/src/lib.rs crates/arch/src/presets.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/presets.rs:

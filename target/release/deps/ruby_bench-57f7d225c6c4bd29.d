@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ruby_bench-57f7d225c6c4bd29.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libruby_bench-57f7d225c6c4bd29.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libruby_bench-57f7d225c6c4bd29.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ruby_bench-d54e9b6f2ba08032.d: crates/bench/src/lib.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/libruby_bench-d54e9b6f2ba08032.rlib: crates/bench/src/lib.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/libruby_bench-d54e9b6f2ba08032.rmeta: crates/bench/src/lib.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ruby_cli-505f5201af5dfdd4.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/parse.rs
+
+/root/repo/target/release/deps/libruby_cli-505f5201af5dfdd4.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/parse.rs
+
+/root/repo/target/release/deps/libruby_cli-505f5201af5dfdd4.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/parse.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/parse.rs:

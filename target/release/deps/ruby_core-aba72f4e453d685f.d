@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ruby_core-aba72f4e453d685f.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libruby_core-aba72f4e453d685f.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libruby_core-aba72f4e453d685f.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

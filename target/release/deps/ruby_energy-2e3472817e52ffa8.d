@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ruby_energy-2e3472817e52ffa8.d: crates/energy/src/lib.rs
+
+/root/repo/target/release/deps/libruby_energy-2e3472817e52ffa8.rlib: crates/energy/src/lib.rs
+
+/root/repo/target/release/deps/libruby_energy-2e3472817e52ffa8.rmeta: crates/energy/src/lib.rs
+
+crates/energy/src/lib.rs:

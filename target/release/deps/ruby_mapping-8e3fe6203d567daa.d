@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ruby_mapping-8e3fe6203d567daa.d: crates/mapping/src/lib.rs crates/mapping/src/display.rs crates/mapping/src/profile.rs crates/mapping/src/slots.rs
+
+/root/repo/target/release/deps/libruby_mapping-8e3fe6203d567daa.rlib: crates/mapping/src/lib.rs crates/mapping/src/display.rs crates/mapping/src/profile.rs crates/mapping/src/slots.rs
+
+/root/repo/target/release/deps/libruby_mapping-8e3fe6203d567daa.rmeta: crates/mapping/src/lib.rs crates/mapping/src/display.rs crates/mapping/src/profile.rs crates/mapping/src/slots.rs
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/display.rs:
+crates/mapping/src/profile.rs:
+crates/mapping/src/slots.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ruby_patterngen-9fb24ebd0c976be4.d: crates/patterngen/src/lib.rs
+
+/root/repo/target/release/deps/libruby_patterngen-9fb24ebd0c976be4.rlib: crates/patterngen/src/lib.rs
+
+/root/repo/target/release/deps/libruby_patterngen-9fb24ebd0c976be4.rmeta: crates/patterngen/src/lib.rs
+
+crates/patterngen/src/lib.rs:

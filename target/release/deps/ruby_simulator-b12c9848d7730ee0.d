@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ruby_simulator-b12c9848d7730ee0.d: crates/simulator/src/lib.rs
+
+/root/repo/target/release/deps/libruby_simulator-b12c9848d7730ee0.rlib: crates/simulator/src/lib.rs
+
+/root/repo/target/release/deps/libruby_simulator-b12c9848d7730ee0.rmeta: crates/simulator/src/lib.rs
+
+crates/simulator/src/lib.rs:

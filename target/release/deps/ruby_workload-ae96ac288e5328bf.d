@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ruby_workload-ae96ac288e5328bf.d: crates/workload/src/lib.rs crates/workload/src/dims.rs crates/workload/src/shape.rs crates/workload/src/suites.rs crates/workload/src/tensor.rs
+
+/root/repo/target/release/deps/libruby_workload-ae96ac288e5328bf.rlib: crates/workload/src/lib.rs crates/workload/src/dims.rs crates/workload/src/shape.rs crates/workload/src/suites.rs crates/workload/src/tensor.rs
+
+/root/repo/target/release/deps/libruby_workload-ae96ac288e5328bf.rmeta: crates/workload/src/lib.rs crates/workload/src/dims.rs crates/workload/src/shape.rs crates/workload/src/suites.rs crates/workload/src/tensor.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dims.rs:
+crates/workload/src/shape.rs:
+crates/workload/src/suites.rs:
+crates/workload/src/tensor.rs:

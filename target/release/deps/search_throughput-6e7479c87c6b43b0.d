@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search_throughput-6e7479c87c6b43b0.d: crates/bench/src/bin/search_throughput.rs
+
+/root/repo/target/release/deps/search_throughput-6e7479c87c6b43b0: crates/bench/src/bin/search_throughput.rs
+
+crates/bench/src/bin/search_throughput.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-4d2220f38f42e66d.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-4d2220f38f42e66d.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-4d2220f38f42e66d.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-dd4b05d48b41e85a.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-dd4b05d48b41e85a.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-dd4b05d48b41e85a.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

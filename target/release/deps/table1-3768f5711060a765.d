@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-3768f5711060a765.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-3768f5711060a765: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-7edf926d1f5eaea7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-7edf926d1f5eaea7: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libruby_energy.rlib: /root/repo/crates/energy/src/lib.rs /root/repo/vendor/serde/src/lib.rs

@@ -1,0 +1,136 @@
+//! `evaluate_with(&ctx, ..)` must be bit-identical to `evaluate(..)`:
+//! the context split is a pure precomputation, so every report field —
+//! including floating-point energies — must match to the bit, and
+//! invalid mappings must produce the same rejection, across a grid of
+//! architectures, workloads, and mapspace kinds.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ruby_core::prelude::*;
+
+fn grid() -> Vec<(Architecture, ProblemShape)> {
+    vec![
+        (presets::toy_linear(16, 1024), ProblemShape::rank1("d", 113)),
+        (presets::toy_linear(9, 100), ProblemShape::rank1("d", 100)),
+        (
+            presets::eyeriss_like(14, 12),
+            ProblemShape::conv("pw", 1, 256, 64, 28, 28, 1, 1, (1, 1)),
+        ),
+        (
+            presets::eyeriss_like(14, 12),
+            ProblemShape::conv("c3", 1, 128, 64, 14, 14, 3, 3, (1, 1)),
+        ),
+        (
+            presets::simba_like(16, 4, 4),
+            ProblemShape::gemm("g", 256, 128, 64),
+        ),
+    ]
+}
+
+fn assert_reports_bit_identical(fresh: &CostReport, ctx: &CostReport) {
+    assert_eq!(fresh.macs(), ctx.macs());
+    assert_eq!(fresh.cycles(), ctx.cycles());
+    assert_eq!(fresh.energy().to_bits(), ctx.energy().to_bits());
+    assert_eq!(fresh.edp().to_bits(), ctx.edp().to_bits());
+    assert_eq!(fresh.utilization().to_bits(), ctx.utilization().to_bits());
+    assert_eq!(fresh.level_stats().len(), ctx.level_stats().len());
+    for (a, b) in fresh.level_stats().iter().zip(ctx.level_stats()) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.energy().to_bits(), b.energy().to_bits());
+        for (x, y) in a.per_tensor().iter().zip(b.per_tensor()) {
+            assert_eq!(x.reads.to_bits(), y.reads.to_bits());
+            assert_eq!(x.fills.to_bits(), y.fills.to_bits());
+            assert_eq!(x.updates.to_bits(), y.updates.to_bits());
+            assert_eq!(x.network.to_bits(), y.network.to_bits());
+        }
+    }
+}
+
+#[test]
+fn context_evaluation_is_bit_identical_across_the_grid() {
+    let opts = ModelOptions::default();
+    let mut valid = 0u32;
+    let mut invalid = 0u32;
+    for (arch, shape) in grid() {
+        let ctx = EvalContext::new(&arch, &shape, opts);
+        for kind in MapspaceKind::ALL {
+            let space = Mapspace::new(arch.clone(), shape.clone(), kind);
+            let mut rng = SmallRng::seed_from_u64(7);
+            for _ in 0..50 {
+                let mapping = space.sample(&mut rng);
+                let fresh = evaluate(&arch, &shape, &mapping, &opts);
+                let via_ctx = evaluate_with(&ctx, &mapping);
+                match (fresh, via_ctx) {
+                    (Ok(a), Ok(b)) => {
+                        valid += 1;
+                        assert_reports_bit_identical(&a, &b);
+                    }
+                    (Err(a), Err(b)) => {
+                        invalid += 1;
+                        assert_eq!(a, b, "rejections must agree");
+                    }
+                    (a, b) => panic!("validity disagreement: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+    // The grid must exercise both paths.
+    assert!(valid > 100, "only {valid} valid mappings in the grid");
+    assert!(invalid > 100, "only {invalid} invalid mappings in the grid");
+}
+
+#[test]
+fn context_respects_model_options() {
+    let arch = presets::eyeriss_like(14, 12);
+    let shape = ProblemShape::conv("c", 1, 128, 64, 28, 28, 3, 3, (1, 1));
+    let space = Mapspace::new(arch.clone(), shape.clone(), MapspaceKind::RubyS);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mapping = loop {
+        let m = space.sample(&mut rng);
+        if evaluate(&arch, &shape, &m, &ModelOptions::default()).is_ok() {
+            break m;
+        }
+    };
+    for opts in [
+        ModelOptions::default(),
+        ModelOptions {
+            multicast: false,
+            spatial_reduction: true,
+        },
+        ModelOptions {
+            multicast: true,
+            spatial_reduction: false,
+        },
+        ModelOptions {
+            multicast: false,
+            spatial_reduction: false,
+        },
+    ] {
+        let ctx = EvalContext::new(&arch, &shape, opts);
+        let fresh = evaluate(&arch, &shape, &mapping, &opts).unwrap();
+        let via_ctx = evaluate_with(&ctx, &mapping).unwrap();
+        assert_reports_bit_identical(&fresh, &via_ctx);
+    }
+}
+
+#[test]
+fn one_context_serves_many_mappings() {
+    let arch = presets::toy_linear(16, 1024);
+    let shape = ProblemShape::rank1("d", 113);
+    let ctx = EvalContext::new(&arch, &shape, ModelOptions::default());
+    let space = Mapspace::new(arch.clone(), shape.clone(), MapspaceKind::Ruby);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut sampler = space.sampler();
+    let mut mapping = Mapping::builder(arch.num_levels())
+        .build_for_bounds(shape.bounds())
+        .unwrap();
+    for _ in 0..200 {
+        sampler.sample_into(&mut mapping, &mut rng);
+        let fresh = evaluate(&arch, &shape, &mapping, &ModelOptions::default());
+        let via_ctx = evaluate_with(&ctx, &mapping);
+        assert_eq!(fresh.is_ok(), via_ctx.is_ok());
+        if let (Ok(a), Ok(b)) = (fresh, via_ctx) {
+            assert_reports_bit_identical(&a, &b);
+        }
+    }
+}

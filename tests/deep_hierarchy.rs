@@ -20,7 +20,10 @@ fn four_level_mapping_by_hand() {
     b.set_tile(Dim::R, 3, SlotKind::Temporal, 3);
     b.set_tile(Dim::S, 3, SlotKind::Temporal, 3);
     let mapping = b.build_for_bounds(shape.bounds()).unwrap();
-    assert!(mapping.is_imperfect(), "M=10 over 4 clusters leaves a residual");
+    assert!(
+        mapping.is_imperfect(),
+        "M=10 over 4 clusters leaves a residual"
+    );
 
     let report = evaluate(&arch, &shape, &mapping, &ModelOptions::default()).unwrap();
     let sim = simulate(&arch, &shape, &mapping, &SimLimits::default()).unwrap();
@@ -61,7 +64,9 @@ fn four_level_search_finds_imperfect_winners() {
         ..SearchConfig::default()
     });
     let pfm = explorer.explore(&shape, MapspaceKind::Pfm).expect("pfm");
-    let ruby_s = explorer.explore(&shape, MapspaceKind::RubyS).expect("ruby-s");
+    let ruby_s = explorer
+        .explore(&shape, MapspaceKind::RubyS)
+        .expect("ruby-s");
     assert!(
         ruby_s.report.cycles() < pfm.report.cycles(),
         "Ruby-S {} vs PFM {} cycles",

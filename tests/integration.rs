@@ -21,8 +21,12 @@ fn eyeriss_pointwise_layer_ruby_s_beats_pfm() {
     let explorer = Explorer::new(presets::eyeriss_like(14, 12))
         .with_constraints(Constraints::eyeriss_row_stationary(3, 1))
         .with_search(quick(11));
-    let pfm = explorer.explore(&layer, MapspaceKind::Pfm).expect("PFM mapping");
-    let ruby_s = explorer.explore(&layer, MapspaceKind::RubyS).expect("Ruby-S mapping");
+    let pfm = explorer
+        .explore(&layer, MapspaceKind::Pfm)
+        .expect("PFM mapping");
+    let ruby_s = explorer
+        .explore(&layer, MapspaceKind::RubyS)
+        .expect("Ruby-S mapping");
     assert!(
         ruby_s.report.edp() <= pfm.report.edp(),
         "Ruby-S {} vs PFM {}",
@@ -39,15 +43,18 @@ fn simba_like_exploration_completes() {
         .with_constraints(Constraints::simba_cm(3, 1, 2))
         .with_search(quick(13));
     for kind in [MapspaceKind::Pfm, MapspaceKind::RubyS] {
-        let best = explorer.explore(&layer, kind).unwrap_or_else(|| panic!("{kind} empty"));
+        let best = explorer
+            .explore(&layer, kind)
+            .unwrap_or_else(|| panic!("{kind} empty"));
         assert!(best.report.edp() > 0.0);
         assert!(best.report.utilization() <= 1.0 + 1e-9);
         // C/M-only constraint: no spatial P/Q anywhere.
         for level in 0..3 {
             let m = &best.mapping;
-            for slot in
-                [m.layout().spatial_x_slot(level), m.layout().spatial_y_slot(level)]
-            {
+            for slot in [
+                m.layout().spatial_x_slot(level),
+                m.layout().spatial_y_slot(level),
+            ] {
                 for d in [Dim::P, Dim::Q, Dim::R, Dim::S, Dim::N] {
                     assert_eq!(m.loop_count(d, slot), 1, "{kind}: {d} spatial at {level}");
                 }
@@ -65,7 +72,9 @@ fn explored_mappings_replay_identically() {
     let explorer = Explorer::new(arch.clone())
         .with_constraints(Constraints::eyeriss_row_stationary(3, 1))
         .with_search(quick(17));
-    let best = explorer.explore(&layer, MapspaceKind::RubyS).expect("mapping");
+    let best = explorer
+        .explore(&layer, MapspaceKind::RubyS)
+        .expect("mapping");
     let replay =
         evaluate(&arch, &layer, &best.mapping, &ModelOptions::default()).expect("still valid");
     assert_eq!(replay.cycles(), best.report.cycles());
@@ -82,10 +91,14 @@ fn padding_flow_matches_fig8_shape() {
     let explorer = Explorer::new(arch.clone()).with_search(quick(19));
 
     let pfm = explorer.explore(&shape, MapspaceKind::Pfm).expect("pfm");
-    let ruby_s = explorer.explore(&shape, MapspaceKind::RubyS).expect("ruby-s");
+    let ruby_s = explorer
+        .explore(&shape, MapspaceKind::RubyS)
+        .expect("ruby-s");
     let padded_shape = padding::pad_to_array(&shape, &arch, &constraints);
     assert_eq!(padded_shape.bound(Dim::M), 128);
-    let padded = explorer.explore(&padded_shape, MapspaceKind::Pfm).expect("padded");
+    let padded = explorer
+        .explore(&padded_shape, MapspaceKind::Pfm)
+        .expect("padded");
 
     assert_eq!(pfm.report.cycles(), 127, "prime bound serializes PFM");
     assert_eq!(ruby_s.report.cycles(), 8);
@@ -128,7 +141,10 @@ fn latency_objective_trades_energy_for_cycles() {
         .with_search(quick(29))
         .explore(&layer, MapspaceKind::RubyS)
         .expect("edp search");
-    let delay_cfg = SearchConfig { objective: Objective::Delay, ..quick(29) };
+    let delay_cfg = SearchConfig {
+        objective: Objective::Delay,
+        ..quick(29)
+    };
     let delay = explorer
         .with_search(delay_cfg)
         .explore(&layer, MapspaceKind::RubyS)

@@ -34,7 +34,7 @@ proptest! {
             let o = dram.per_tensor()[Operand::Output.index()];
             prop_assert!(w.reads >= shape.tensor_size(Operand::Weight) as f64 - 0.5);
             prop_assert!(o.updates >= shape.tensor_size(Operand::Output) as f64 - 0.5);
-            prop_assert!(report.cycles() as u64 >= shape.macs().div_ceil(arch.total_mac_units()));
+            prop_assert!(report.cycles() >= shape.macs().div_ceil(arch.total_mac_units()));
         }
     }
 

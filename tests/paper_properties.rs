@@ -11,7 +11,11 @@ use ruby_core::prelude::*;
 
 /// Build the 2-level toy mapspace of the paper's §III studies.
 fn toy_space(kind: MapspaceKind, pes: u64, d: u64) -> Mapspace {
-    Mapspace::new(presets::toy_linear(pes, 1024), ProblemShape::rank1("d", d), kind)
+    Mapspace::new(
+        presets::toy_linear(pes, 1024),
+        ProblemShape::rank1("d", d),
+        kind,
+    )
 }
 
 proptest! {

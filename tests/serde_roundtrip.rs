@@ -52,7 +52,9 @@ fn mappings_round_trip_and_replay() {
             termination: Some(300),
             ..SearchConfig::default()
         });
-    let best = explorer.explore(&shape, MapspaceKind::RubyS).expect("mapping");
+    let best = explorer
+        .explore(&shape, MapspaceKind::RubyS)
+        .expect("mapping");
     let back: Mapping = round_trip(&best.mapping);
     assert_eq!(back, best.mapping);
     let replay = evaluate(&arch, &shape, &back, &ModelOptions::default()).expect("valid");
@@ -64,7 +66,9 @@ fn mappings_round_trip_and_replay() {
 fn cost_reports_round_trip() {
     let arch = presets::toy_linear(4, 1024);
     let shape = ProblemShape::rank1("d", 100);
-    let mapping = Mapping::builder(2).build_for_bounds(shape.bounds()).unwrap();
+    let mapping = Mapping::builder(2)
+        .build_for_bounds(shape.bounds())
+        .unwrap();
     let report = evaluate(&arch, &shape, &mapping, &ModelOptions::default()).unwrap();
     let back: CostReport = round_trip(&report);
     assert_eq!(back, report);

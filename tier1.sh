@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md): build, tests, lints, formatting.
+# Run from the repo root; fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "tier-1: all green"

@@ -1,0 +1,468 @@
+//! Vendored minimal stand-in for `serde`.
+//!
+//! The build environment has no network access, so the workspace carries
+//! a tiny value-based serialization framework under the `serde` name:
+//! types convert to and from a JSON-like [`Value`] tree, and the
+//! companion `serde_json` stub prints/parses that tree. There is no
+//! proc-macro derive; the defining crates write manual impls, helped by
+//! the [`impl_serde_struct!`], [`impl_serde_unit_enum!`] and
+//! [`impl_serde_newtype!`] macros. Only same-version round-trips are
+//! supported — the wire format is not upstream-serde compatible.
+
+use std::fmt;
+
+/// A JSON-like data tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (full `u64` precision).
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float (exact round-trip via shortest decimal).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value under `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The field under `key`, or a "missing field" error.
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key)
+            .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// This value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match *self {
+            Value::U64(x) => Ok(x),
+            Value::I64(x) if x >= 0 => Ok(x as u64),
+            _ => Err(Error::custom(format!(
+                "expected unsigned integer, got {}",
+                self.type_name()
+            ))),
+        }
+    }
+
+    /// This value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match *self {
+            Value::I64(x) => Ok(x),
+            Value::U64(x) if x <= i64::MAX as u64 => Ok(x as i64),
+            _ => Err(Error::custom(format!(
+                "expected integer, got {}",
+                self.type_name()
+            ))),
+        }
+    }
+
+    /// This value as `f64` (integers coerce, so `1.0` survives being
+    /// printed as `1`).
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match *self {
+            Value::F64(x) => Ok(x),
+            Value::U64(x) => Ok(x as f64),
+            Value::I64(x) => Ok(x as f64),
+            _ => Err(Error::custom(format!(
+                "expected number, got {}",
+                self.type_name()
+            ))),
+        }
+    }
+
+    /// This value as `bool`.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match *self {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::custom(format!(
+                "expected bool, got {}",
+                self.type_name()
+            ))),
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(Error::custom(format!(
+                "expected string, got {}",
+                self.type_name()
+            ))),
+        }
+    }
+
+    /// This value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            _ => Err(Error::custom(format!(
+                "expected array, got {}",
+                self.type_name()
+            ))),
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error carrying `msg`.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// The value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from `value`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization traits, mirroring `serde::de`.
+pub mod de {
+    pub use super::Error;
+
+    /// Owned deserialization (blanket-implemented; mirrors serde's
+    /// `DeserializeOwned` bound used in generic code).
+    pub trait DeserializeOwned: super::Deserialize {}
+
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let x = value.as_u64()?;
+                <$t>::try_from(x).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 { Value::U64(x as u64) } else { Value::I64(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let x = value.as_i64()?;
+                <$t>::try_from(x).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_f64()? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_str().map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_arr()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value.as_arr()?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value.as_arr()?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expected}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Implements `Serialize`/`Deserialize` for a struct with named fields,
+/// encoding it as an object keyed by field name. Must be invoked in the
+/// defining crate (it touches the fields directly).
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Obj(vec![
+                    $((stringify!($field).to_owned(), $crate::Serialize::to_value(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(value: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok($ty {
+                    $($field: $crate::Deserialize::from_value(value.field(stringify!($field))?)?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implements `Serialize`/`Deserialize` for a fieldless enum, encoding
+/// each variant as its name string.
+#[macro_export]
+macro_rules! impl_serde_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                let name = match self {
+                    $($ty::$variant => stringify!($variant),)+
+                };
+                $crate::Value::Str(name.to_owned())
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(value: &$crate::Value) -> Result<Self, $crate::Error> {
+                match value.as_str()? {
+                    $(s if s == stringify!($variant) => Ok($ty::$variant),)+
+                    other => Err($crate::Error::custom(format!(
+                        "unknown {} variant `{other}`",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+/// Implements `Serialize`/`Deserialize` for a single-field tuple struct,
+/// encoding it transparently as the inner value.
+#[macro_export]
+macro_rules! impl_serde_newtype {
+    ($ty:ident) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Serialize::to_value(&self.0)
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(value: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok($ty($crate::Deserialize::from_value(value)?))
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_values() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let opt: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&opt.to_value()).unwrap(), None);
+        let arr = [true, false, true];
+        assert_eq!(<[bool; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+        let pair = (7u64, 9u64);
+        assert_eq!(<(u64, u64)>::from_value(&pair.to_value()).unwrap(), pair);
+    }
+
+    #[test]
+    fn integral_floats_coerce_back() {
+        // 1.0 may be printed as `1` and reparsed as an integer; as_f64
+        // must accept that.
+        assert_eq!(f64::from_value(&Value::U64(1)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let obj = Value::Obj(vec![("a".into(), Value::U64(1))]);
+        let err = obj.field("b").unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+    }
+}

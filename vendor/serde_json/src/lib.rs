@@ -1,0 +1,434 @@
+//! Vendored minimal stand-in for `serde_json`: prints and parses the
+//! [`serde::Value`] tree of the vendored `serde` stub.
+//!
+//! Floats are printed with Rust's shortest-round-trip `Display`, so
+//! `f64` values survive a round trip bit-for-bit (integral floats print
+//! as integers and coerce back via `Value::as_f64`). Only same-version
+//! round-trips are supported.
+
+use std::fmt::Write as _;
+
+use serde::de::DeserializeOwned;
+use serde::{Serialize, Value};
+
+pub use serde::Error;
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// The stub's value tree always prints; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable two-space-indented JSON.
+///
+/// # Errors
+///
+/// The stub's value tree always prints; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into `T`.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or on a value tree `T` rejects.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    T::from_value(&value)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(x) => {
+            // Rust's Display is shortest-round-trip; non-finite values
+            // print as bare tokens the parser also accepts.
+            let _ = write!(out, "{x}");
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => write_seq(out, indent, depth, '[', ']', items.iter(), |out, v, d| {
+            write_value(out, v, indent, d);
+        }),
+        Value::Obj(fields) => {
+            write_seq(
+                out,
+                indent,
+                depth,
+                '{',
+                '}',
+                fields.iter(),
+                |out, (k, v), d| {
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, v, indent, d);
+                },
+            );
+        }
+    }
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    out: &mut String,
+    indent: Option<&str>,
+    depth: usize,
+    open: char,
+    close: char,
+    items: I,
+    mut write_item: impl FnMut(&mut String, I::Item, usize),
+) {
+    out.push(open);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..=depth {
+                out.push_str(pad);
+            }
+        }
+        write_item(out, item, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..depth {
+                out.push_str(pad);
+            }
+        }
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                char::from(b),
+                self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'N') if self.eat_keyword("NaN") => Ok(Value::F64(f64::NAN)),
+            Some(b'i') if self.eat_keyword("inf") => Ok(Value::F64(f64::INFINITY)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::custom(format!(
+                "unexpected input at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let start = self.pos;
+        let mut chars = std::str::from_utf8(&self.bytes[start..])
+            .map_err(|_| Error::custom("invalid UTF-8"))?
+            .char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.pos = start + i + 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    let (_, esc) = chars
+                        .next()
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) = chars
+                                    .next()
+                                    .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                                code = code * 16
+                                    + h.to_digit(16)
+                                        .ok_or_else(|| Error::custom("bad \\u escape"))?;
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("bad \\u code point"))?,
+                            );
+                        }
+                        other => return Err(Error::custom(format!("unknown escape `\\{other}`"))),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err(Error::custom("unterminated string"))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+            // `-inf` from a printed non-finite float.
+            if self.eat_keyword("inf") {
+                return Ok(Value::F64(f64::NEG_INFINITY));
+            }
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::custom(format!("bad number `{text}`")))
+        } else if let Some(neg) = text.strip_prefix('-') {
+            // Integers wider than i64 (e.g. a printed 1e300) fall back
+            // to f64.
+            match neg.parse::<u64>() {
+                Ok(x) if x <= i64::MAX as u64 + 1 => Ok(Value::I64((x as i64).wrapping_neg())),
+                _ => text
+                    .parse::<f64>()
+                    .map(Value::F64)
+                    .map_err(|_| Error::custom(format!("bad number `{text}`"))),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(x) => Ok(Value::U64(x)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::F64)
+                    .map_err(|_| Error::custom(format!("bad number `{text}`"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for json in ["null", "true", "false", "0", "17", "-5", "\"hi\""] {
+            let v: Value = from_str(json).unwrap();
+            assert_eq!(to_string(&v).unwrap(), json);
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [
+            0.1f64,
+            1.0 / 3.0,
+            2.5e-12,
+            1e300,
+            -7.25,
+            123456789.000000001,
+        ] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{json}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let json = r#"{"name":"x","items":[1,2,3],"opt":null,"pair":[1.5,"s"]}"#;
+        let v: Value = from_str(json).unwrap();
+        assert_eq!(to_string(&v).unwrap(), json);
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let json = r#"{"a":[1,{"b":"c"}],"d":2.5}"#;
+        let v: Value = from_str(json).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\nbreak \"quoted\" back\\slash \t tab \u{7}";
+        let json = to_string(&s.to_owned()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<u64>("\"not a number\"").is_err());
+    }
+}
