@@ -1,25 +1,55 @@
-//! Measures the random-search engine's samples/sec at 1..N threads on
+//! Measures each search strategy's throughput across thread counts on
 //! the Eyeriss-like preset and writes the baseline to
 //! `BENCH_search.json` in the working directory.
 //!
 //! Budgets: `--quick` (smoke), `--medium` (default), `--full`.
+//! `--smoke` runs a few hundred candidates per strategy single-threaded,
+//! fails on any panic or a strategy finding zero valid mappings, and
+//! writes no JSON — the tier-1 regression gate.
 
 use ruby_bench::throughput;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let budget = ruby_bench::budget_from_args();
     // Fixed work per run: no early termination, so each thread count
-    // performs an identical number of sample+evaluate steps.
+    // performs an identical number of candidate steps.
     let max_evaluations = budget.max_evaluations.max(2_000);
     let repeats = budget.repeats.clamp(1, 3) as u64;
-    // Always measure 1..8 threads: on narrow machines the upper points
-    // are oversubscribed, which still pins down the engine's
-    // synchronization overhead (the JSON records the hardware width).
-    let report = throughput::run(max_evaluations, repeats, &[1, 2, 4, 8]);
+    // Measure only thread counts the hardware can actually schedule
+    // (always keeping the single-thread baseline); the oversubscribed
+    // flag in the JSON covers machines whose width changes later.
+    let available = ruby_core::search::default_threads();
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= available)
+        .collect();
+    let report = throughput::run(max_evaluations, repeats, &thread_counts);
     print!("{}", throughput::render(&report));
 
     let json = serde_json::to_string_pretty(&report).expect("reports always serialize");
     let path = "BENCH_search.json";
     std::fs::write(path, json).expect("writable working directory");
     println!("wrote {path}");
+}
+
+/// A few hundred candidates per strategy, single-threaded: fails the
+/// process when any strategy finds no valid mapping.
+fn smoke() {
+    let report = throughput::run(300, 1, &[1]);
+    print!("{}", throughput::render(&report));
+    for p in &report.points {
+        if p.valid == 0 {
+            eprintln!(
+                "smoke failure: strategy '{}' found no valid mapping",
+                p.strategy
+            );
+            std::process::exit(1);
+        }
+    }
+    println!("smoke ok: all strategies found valid mappings");
 }

@@ -1,47 +1,80 @@
-//! Search-engine throughput: samples/sec and thread scaling.
+//! Search-engine throughput: samples/sec, thread scaling, and strategy
+//! comparison.
 //!
 //! The paper's methodology evaluates hundreds of thousands of sampled
 //! mappings per layer, so mapper throughput bounds every experiment.
 //! [`run`] times the full sample→evaluate→compare loop on the Eyeriss-like
-//! preset over a misaligned ResNet-50-style layer and reports
-//! samples/sec per thread count; the `search_throughput` binary writes
-//! the result to `BENCH_search.json` as the baseline future PRs are
-//! measured against.
+//! preset over a misaligned ResNet-50-style layer for every
+//! [`SearchStrategy`] at each thread count, reporting samples/sec,
+//! valid-rate, dedup hit-rate and pruning counters; the
+//! `search_throughput` binary writes the result to `BENCH_search.json`
+//! as the baseline future PRs are measured against.
 
 use std::time::Instant;
 
 use ruby_core::prelude::*;
 
-/// Throughput at one thread count.
+/// Throughput of one strategy at one thread count.
 #[derive(Debug, Clone)]
 pub struct ThroughputPoint {
+    /// Search strategy measured ([`SearchStrategy::name`]).
+    pub strategy: String,
     /// Worker threads used.
     pub threads: u64,
-    /// Mappings sampled (valid + invalid).
+    /// Whether `threads` exceeded the machine's hardware parallelism
+    /// during the measurement (the point then measures engine overhead,
+    /// not hardware scaling).
+    pub oversubscribed: bool,
+    /// Candidates scored (valid + invalid + duplicates); bound-pruned
+    /// candidates are avoided work, reported separately below.
     pub evaluations: u64,
-    /// Valid mappings among them.
+    /// Fully evaluated, model-valid mappings among them.
     pub valid: u64,
+    /// Model-rejected candidates.
+    pub invalid: u64,
+    /// Memo-cache hits (candidates skipped without re-evaluation).
+    pub duplicates: u64,
+    /// Enumeration subtrees discarded by the cost lower bound.
+    pub pruned_subtrees: u64,
+    /// Candidates discarded by the cost lower bound.
+    pub pruned_mappings: u64,
+    /// `valid / evaluations` (0 when nothing was considered).
+    pub valid_rate: f64,
+    /// Best EDP found, or `-1.0` when no valid mapping was found.
+    pub best_edp: f64,
+    /// Whether the strategy provably covered the whole deduplicated
+    /// space.
+    pub exhausted: bool,
     /// Best wall-clock seconds over the repeats.
     pub seconds: f64,
     /// `evaluations / seconds` for the best repeat.
     pub samples_per_sec: f64,
-    /// Throughput relative to the single-thread point.
+    /// Throughput relative to this strategy's single-thread point.
     pub speedup: f64,
     /// `speedup / threads` — 1.0 is ideal linear scaling.
     pub parallel_efficiency: f64,
 }
 
 serde::impl_serde_struct!(ThroughputPoint {
+    strategy,
     threads,
+    oversubscribed,
     evaluations,
     valid,
+    invalid,
+    duplicates,
+    pruned_subtrees,
+    pruned_mappings,
+    valid_rate,
+    best_edp,
+    exhausted,
     seconds,
     samples_per_sec,
     speedup,
     parallel_efficiency,
 });
 
-/// The full thread-scaling measurement.
+/// The full strategy × thread-scaling measurement.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
     /// Architecture preset measured.
@@ -50,15 +83,14 @@ pub struct ThroughputReport {
     pub workload: String,
     /// Mapspace kind sampled.
     pub mapspace: String,
-    /// Sampled mappings per run (termination disabled).
+    /// Candidate budget per run (termination disabled).
     pub max_evaluations: u64,
-    /// Timed repeats per thread count (best kept).
+    /// Timed repeats per point (best kept).
     pub repeats: u64,
-    /// Hardware threads the machine offered during the measurement;
-    /// points beyond it are oversubscribed and measure engine overhead,
-    /// not hardware scaling.
+    /// Hardware threads the machine offered during the measurement.
     pub available_parallelism: u64,
-    /// One entry per thread count, ascending.
+    /// One entry per strategy per thread count, grouped by strategy in
+    /// [`SearchStrategy`] declaration order, thread counts ascending.
     pub points: Vec<ThroughputPoint>,
 }
 
@@ -72,55 +104,84 @@ serde::impl_serde_struct!(ThroughputReport {
     points,
 });
 
+/// The strategies measured, in reporting order.
+pub const STRATEGIES: [SearchStrategy; 3] = [
+    SearchStrategy::Random,
+    SearchStrategy::Exhaustive,
+    SearchStrategy::Hybrid,
+];
+
 /// The misaligned pointwise layer used by the integration tests: M = 256
 /// against 12 PE rows, the paper's motivating mismatch.
 fn layer() -> ProblemShape {
     ProblemShape::conv("pw_256", 1, 256, 64, 28, 28, 1, 1, (1, 1))
 }
 
-/// Measures search throughput at each of `thread_counts`, drawing
-/// exactly `max_evaluations` samples per run (no early termination so
-/// every run does identical work) and keeping the fastest of `repeats`
-/// timed runs per point.
+/// Measures every strategy's search throughput at each of
+/// `thread_counts`, spending exactly `max_evaluations` candidates per
+/// run (no early termination, so every run of a strategy does identical
+/// work) and keeping the fastest of `repeats` timed runs per point.
+/// Thread counts above the machine's parallelism are measured anyway but
+/// flagged [`ThroughputPoint::oversubscribed`]; callers that only want
+/// hardware-scaling points should filter the request list first.
 pub fn run(max_evaluations: u64, repeats: u64, thread_counts: &[usize]) -> ThroughputReport {
     assert!(repeats > 0, "need at least one timed repeat");
+    let available = ruby_core::search::default_threads() as u64;
     let arch = presets::eyeriss_like(14, 12);
     let space = Mapspace::new(arch, layer(), MapspaceKind::RubyS);
-    let mut points = Vec::with_capacity(thread_counts.len());
-    for &threads in thread_counts {
-        let config = SearchConfig {
-            seed: 1,
-            max_evaluations: Some(max_evaluations),
-            termination: None,
-            threads,
-            ..SearchConfig::default()
-        };
-        let mut best_seconds = f64::INFINITY;
-        let mut outcome = None;
-        for _ in 0..repeats {
-            let start = Instant::now();
-            let result = search(&space, &config);
-            let seconds = start.elapsed().as_secs_f64();
-            if seconds < best_seconds {
-                best_seconds = seconds;
-                outcome = Some(result);
+    let mut points = Vec::with_capacity(STRATEGIES.len() * thread_counts.len());
+    for strategy in STRATEGIES {
+        let base_index = points.len();
+        for &threads in thread_counts {
+            let config = SearchConfig {
+                seed: 1,
+                max_evaluations: Some(max_evaluations),
+                termination: None,
+                threads,
+                strategy,
+                ..SearchConfig::default()
+            };
+            let mut best_seconds = f64::INFINITY;
+            let mut outcome = None;
+            for _ in 0..repeats {
+                let start = Instant::now();
+                let result = search(&space, &config);
+                let seconds = start.elapsed().as_secs_f64();
+                if seconds < best_seconds {
+                    best_seconds = seconds;
+                    outcome = Some(result);
+                }
             }
+            let outcome = outcome.expect("repeats > 0");
+            let valid_rate = if outcome.evaluations > 0 {
+                outcome.valid as f64 / outcome.evaluations as f64
+            } else {
+                0.0
+            };
+            points.push(ThroughputPoint {
+                strategy: strategy.name().to_owned(),
+                threads: threads as u64,
+                oversubscribed: threads as u64 > available,
+                evaluations: outcome.evaluations,
+                valid: outcome.valid,
+                invalid: outcome.invalid,
+                duplicates: outcome.duplicates,
+                pruned_subtrees: outcome.pruned_subtrees,
+                pruned_mappings: outcome.pruned_mappings,
+                valid_rate,
+                best_edp: outcome.best.map_or(-1.0, |b| b.report.edp()),
+                exhausted: outcome.exhausted,
+                seconds: best_seconds,
+                samples_per_sec: outcome.evaluations as f64 / best_seconds,
+                speedup: 0.0,             // filled in below
+                parallel_efficiency: 0.0, // filled in below
+            });
         }
-        let outcome = outcome.expect("repeats > 0");
-        points.push(ThroughputPoint {
-            threads: threads as u64,
-            evaluations: outcome.evaluations,
-            valid: outcome.valid,
-            seconds: best_seconds,
-            samples_per_sec: outcome.evaluations as f64 / best_seconds,
-            speedup: 0.0,             // filled in below
-            parallel_efficiency: 0.0, // filled in below
-        });
-    }
-    let base = points[0].samples_per_sec;
-    for point in &mut points {
-        point.speedup = point.samples_per_sec / base;
-        point.parallel_efficiency = point.speedup / point.threads as f64;
+        let base = points[base_index].samples_per_sec;
+        for point in &mut points[base_index..] {
+            point.speedup = point.samples_per_sec / base;
+            point.parallel_efficiency = point.speedup / point.threads as f64;
+        }
     }
     ThroughputReport {
         arch: "eyeriss:14x12".to_owned(),
@@ -128,7 +189,7 @@ pub fn run(max_evaluations: u64, repeats: u64, thread_counts: &[usize]) -> Throu
         mapspace: MapspaceKind::RubyS.name().to_owned(),
         max_evaluations,
         repeats,
-        available_parallelism: ruby_core::search::default_threads() as u64,
+        available_parallelism: available,
         points,
     }
 }
@@ -137,14 +198,33 @@ pub fn run(max_evaluations: u64, repeats: u64, thread_counts: &[usize]) -> Throu
 pub fn render(report: &ThroughputReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "search throughput — {} / {} / {} ({} samples per run, best of {})\n",
+        "search throughput — {} / {} / {} ({} candidates per run, best of {})\n",
         report.arch, report.workload, report.mapspace, report.max_evaluations, report.repeats
     ));
-    out.push_str("threads    samples/sec      speedup   efficiency\n");
+    out.push_str(
+        "strategy   threads    samples/sec  valid%   dup%  pruned    speedup   efficiency\n",
+    );
     for p in &report.points {
+        let dup_rate = if p.evaluations > 0 {
+            p.duplicates as f64 / p.evaluations as f64
+        } else {
+            0.0
+        };
         out.push_str(&format!(
-            "{:>7} {:>14.0} {:>10.2}x {:>11.2}\n",
-            p.threads, p.samples_per_sec, p.speedup, p.parallel_efficiency
+            "{:<10} {:>7} {:>14.0} {:>6.1}% {:>5.1}% {:>7} {:>9.2}x {:>11.2}{}\n",
+            p.strategy,
+            p.threads,
+            p.samples_per_sec,
+            p.valid_rate * 100.0,
+            dup_rate * 100.0,
+            p.pruned_mappings,
+            p.speedup,
+            p.parallel_efficiency,
+            if p.oversubscribed {
+                "  (oversubscribed)"
+            } else {
+                ""
+            }
         ));
     }
     out
@@ -155,23 +235,45 @@ mod tests {
     use super::*;
 
     #[test]
-    fn single_point_report_is_consistent() {
+    fn single_thread_report_covers_every_strategy() {
         let report = run(200, 1, &[1]);
-        assert_eq!(report.points.len(), 1);
-        let p = &report.points[0];
-        assert_eq!(p.evaluations, 200);
-        assert!(p.samples_per_sec > 0.0);
-        assert_eq!(p.speedup, 1.0);
-        assert_eq!(p.parallel_efficiency, 1.0);
+        assert_eq!(report.points.len(), STRATEGIES.len());
+        for (p, s) in report.points.iter().zip(STRATEGIES) {
+            assert_eq!(p.strategy, s.name());
+            assert!(p.samples_per_sec > 0.0, "{}", p.strategy);
+            assert_eq!(p.speedup, 1.0, "{}", p.strategy);
+            assert_eq!(p.parallel_efficiency, 1.0, "{}", p.strategy);
+            assert!(p.evaluations <= 200, "{}: {}", p.strategy, p.evaluations);
+            assert_eq!(
+                p.evaluations,
+                p.valid + p.invalid + p.duplicates,
+                "{}",
+                p.strategy
+            );
+            assert!((0.0..=1.0).contains(&p.valid_rate), "{}", p.strategy);
+        }
+        // Random spends the whole budget; its valid-rate is meaningful.
+        assert_eq!(report.points[0].evaluations, 200);
+        assert!(report.points[0].valid > 0);
     }
 
     #[test]
     fn scaling_points_cover_requested_threads() {
         let report = run(200, 1, &[1, 2]);
-        assert_eq!(report.points.len(), 2);
+        assert_eq!(report.points.len(), 2 * STRATEGIES.len());
+        // Random at 2 threads: same total work as at 1.
+        assert_eq!(report.points[1].strategy, "random");
         assert_eq!(report.points[1].threads, 2);
-        // Two threads do the same total work.
         assert_eq!(report.points[1].evaluations, 200);
+    }
+
+    #[test]
+    fn oversubscription_is_flagged_not_dropped() {
+        let report = run(50, 1, &[1, 9999]);
+        let p = &report.points[1];
+        assert_eq!(p.threads, 9999);
+        assert!(p.oversubscribed);
+        assert!(!report.points[0].oversubscribed, "1 thread always fits");
     }
 
     #[test]
@@ -179,7 +281,13 @@ mod tests {
         let report = run(50, 1, &[1]);
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: ThroughputReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.points.len(), report.points.len());
+        assert_eq!(back.points[0].strategy, report.points[0].strategy);
         assert_eq!(back.points[0].evaluations, report.points[0].evaluations);
+        assert_eq!(
+            back.points[1].oversubscribed,
+            report.points[1].oversubscribed
+        );
         assert_eq!(
             back.points[0].samples_per_sec.to_bits(),
             report.points[0].samples_per_sec.to_bits()
@@ -187,10 +295,14 @@ mod tests {
     }
 
     #[test]
-    fn render_mentions_every_thread_count() {
+    fn render_mentions_strategies_and_rates() {
         let report = run(50, 1, &[1]);
         let text = render(&report);
         assert!(text.contains("samples/sec"));
         assert!(text.contains("eyeriss:14x12"));
+        assert!(text.contains("random"));
+        assert!(text.contains("exhaustive"));
+        assert!(text.contains("hybrid"));
+        assert!(text.contains("valid%"));
     }
 }

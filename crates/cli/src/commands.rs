@@ -29,6 +29,20 @@ fn budget_config(flags: &Flags) -> Result<SearchConfig, CliError> {
         "delay" => Objective::Delay,
         other => return Err(CliError::Usage(format!("unknown objective '{other}'"))),
     };
+    let strategy = match flags.get("strategy") {
+        Some(s) => SearchStrategy::parse(s)
+            .ok_or_else(|| CliError::Usage(format!("unknown strategy '{s}'")))?,
+        None => SearchStrategy::Random,
+    };
+    let prune = match flags.get("prune").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--prune takes 'on' or 'off', not '{other}'"
+            )))
+        }
+    };
     Ok(SearchConfig {
         seed: flags
             .get("seed")
@@ -40,6 +54,8 @@ fn budget_config(flags: &Flags) -> Result<SearchConfig, CliError> {
         termination: Some(termination),
         threads,
         objective,
+        strategy,
+        prune,
         ..SearchConfig::default()
     })
 }
@@ -99,6 +115,19 @@ pub fn search(args: &[String]) -> Result<String, CliError> {
         shape.name(),
         outcome.evaluations,
         outcome.valid
+    );
+    let _ = writeln!(
+        out,
+        "  considered:  {} invalid, {} duplicates, {} pruned ({} subtrees){}",
+        outcome.invalid,
+        outcome.duplicates,
+        outcome.pruned_mappings,
+        outcome.pruned_subtrees,
+        if outcome.exhausted {
+            " — mapspace exhausted"
+        } else {
+            ""
+        }
     );
     out.push_str(&report_block(&best.report));
     out.push_str("\nloop nest:\n");
@@ -344,6 +373,23 @@ mod tests {
             "--arch toy:4,1024 --workload rank1:8 --objective happiness"
         ))
         .is_err());
+        assert!(search(&argv(
+            "--arch toy:4,1024 --workload rank1:8 --strategy genetic"
+        ))
+        .is_err());
+        assert!(search(&argv("--arch toy:4,1024 --workload rank1:8 --prune maybe")).is_err());
+    }
+
+    #[test]
+    fn exhaustive_strategy_reports_pruning_counters() {
+        let out = search(&argv(
+            "--arch toy:16,1024 --workload rank1:113 --budget quick \
+             --strategy exhaustive --threads 1",
+        ))
+        .unwrap();
+        assert!(out.contains("cycles:      8"), "{out}");
+        assert!(out.contains("considered:"), "{out}");
+        assert!(out.contains("pruned"), "{out}");
     }
 
     #[test]

@@ -58,6 +58,7 @@ ruby — imperfect-factorization mapping exploration
 USAGE:
   ruby search   --arch <spec> --workload <spec> [--space <kind>] \\
                 [--budget quick|medium|full] [--objective edp|energy|delay] \\
+                [--strategy random|exhaustive|hybrid] [--prune on|off] \\
                 [--threads <n>] [--eyeriss-constraints] [--out mapping.json]
   ruby evaluate --arch <spec> --workload <spec> --mapping <file.json>
   ruby simulate --arch <spec> --workload <spec> --mapping <file.json>

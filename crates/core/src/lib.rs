@@ -53,7 +53,9 @@ pub mod prelude {
         evaluate, evaluate_with, CostReport, EvalContext, InvalidMapping, ModelOptions,
     };
     pub use ruby_search::anneal::{anneal, AnnealConfig};
-    pub use ruby_search::{search, BestMapping, Objective, SearchConfig, SearchOutcome};
+    pub use ruby_search::{
+        search, BestMapping, Objective, SearchConfig, SearchOutcome, SearchStrategy,
+    };
     pub use ruby_workload::{suites, Dim, DimMap, Operand, ProblemShape};
 
     pub use crate::{Comparison, Explorer};

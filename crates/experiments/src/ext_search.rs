@@ -10,6 +10,8 @@
 //! * simulated annealing ([`ruby_core::search::anneal`]),
 //! * the search-free utilization-first heuristic
 //!   ([`ruby_core::mapspace::heuristic`]),
+//! * pruned deterministic enumeration
+//!   ([`SearchStrategy::Exhaustive`]),
 //!
 //! at equal evaluation budgets.
 
@@ -35,7 +37,7 @@ pub struct StrategyResult {
 pub struct Study {
     /// Layer name.
     pub layer: String,
-    /// Results in `[random, anneal, heuristic]` order.
+    /// Results in `[random, anneal, heuristic, exhaustive]` order.
     pub results: Vec<StrategyResult>,
 }
 
@@ -69,6 +71,17 @@ pub fn run_layer(budget: &ExperimentBudget, layer: &ProblemShape) -> Study {
             ..AnnealConfig::default()
         },
     );
+    let exhaustive_outcome = search(
+        &space,
+        &SearchConfig {
+            seed: budget.seed,
+            max_evaluations: Some(budget.max_evaluations),
+            termination: None,
+            threads: budget.threads,
+            strategy: SearchStrategy::Exhaustive,
+            ..SearchConfig::default()
+        },
+    );
     let ctx = EvalContext::new(&arch, layer, ModelOptions::default());
     let heuristic_candidates = heuristic::utilization_first(&arch, layer, &constraints);
     let heuristic_evals = heuristic_candidates.len() as u64;
@@ -95,6 +108,11 @@ pub fn run_layer(budget: &ExperimentBudget, layer: &ProblemShape) -> Study {
                 strategy: "heuristic",
                 edp: heuristic_edp.is_finite().then_some(heuristic_edp),
                 evaluations: heuristic_evals,
+            },
+            StrategyResult {
+                strategy: "exhaustive",
+                edp: exhaustive_outcome.best.map(|b| b.report.edp()),
+                evaluations: exhaustive_outcome.evaluations,
             },
         ],
     }
@@ -155,8 +173,22 @@ mod tests {
     #[test]
     fn render_lists_strategies() {
         let s = render(&run(&ExperimentBudget::quick()));
-        for name in ["random", "anneal", "heuristic"] {
+        for name in ["random", "anneal", "heuristic", "exhaustive"] {
             assert!(s.contains(name));
         }
+    }
+
+    #[test]
+    fn exhaustive_is_competitive_at_equal_budget() {
+        let study = run(&ExperimentBudget::quick());
+        let random = study.results[0].edp.unwrap();
+        let exhaustive = study.results[3].edp.unwrap();
+        // At the quick budget enumeration only reaches the cheapest
+        // cycle-floor regions; it must stay in random sampling's
+        // ballpark (larger budgets close the gap, see EXPERIMENTS.md).
+        assert!(
+            exhaustive <= random * 1.5,
+            "exhaustive {exhaustive} vs random {random}"
+        );
     }
 }

@@ -286,6 +286,82 @@ impl Mapping {
     pub fn tile_chain(&self, dim: Dim) -> &[u64] {
         &self.tiling[dim]
     }
+
+    /// Overwrites the tile chain of `dim` in place, reusing its
+    /// allocation. The enumeration engine's hot path: a
+    /// `SubspaceIterator` swaps per-dimension chains in and out of one
+    /// reused mapping without rebuilding it.
+    ///
+    /// Chain invariants (`len == num_slots + 1`, `chain[0] == 1`,
+    /// non-decreasing) are checked with debug assertions only; callers
+    /// must supply chains produced by validated machinery.
+    pub fn set_tile_chain(&mut self, dim: Dim, chain: &[u64]) {
+        debug_assert_eq!(chain.len(), self.layout.num_slots() + 1);
+        debug_assert_eq!(chain.first(), Some(&1));
+        debug_assert!(chain.windows(2).all(|w| w[0] <= w[1]));
+        let dst = &mut self.tiling[dim];
+        dst.clear();
+        dst.extend_from_slice(chain);
+    }
+
+    /// Replaces the temporal-block permutation at `level` (innermost dim
+    /// first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of all seven dims or `level`
+    /// is out of range.
+    pub fn set_permutation(&mut self, level: usize, perm: [Dim; 7]) {
+        let mut seen = [false; 7];
+        for d in perm {
+            seen[d.index()] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "permutation must cover all seven dims"
+        );
+        self.perms[level] = perm;
+    }
+
+    /// A 64-bit canonical key for memoization: two mappings with the same
+    /// key are (up to negligible hash-collision probability) the same
+    /// point of the cost model.
+    ///
+    /// The key mixes every tile-chain entry plus, per level, the
+    /// permutation restricted to dims whose temporal loop count at that
+    /// level exceeds 1 — the only part of a permutation the cost model
+    /// observes (trivial loops never affect reuse analysis), so mappings
+    /// that differ only in the ordering of trivial loops share a key.
+    pub fn canonical_key(&self) -> u64 {
+        const CHAIN_SEP: u64 = 0xD6E8_FEB8_6659_FD93;
+        const LEVEL_SEP: u64 = 0xA5A5_A5A5_5A5A_5A5A;
+        let mut h = 0x243F_6A88_85A3_08D3u64;
+        for d in Dim::ALL {
+            for &t in &self.tiling[d] {
+                h = mix(h, t);
+            }
+            h = mix(h, CHAIN_SEP);
+        }
+        for (level, perm) in self.perms.iter().enumerate() {
+            let slot = self.layout.temporal_slot(level);
+            for &d in perm {
+                if self.loop_count(d, slot) > 1 {
+                    h = mix(h, d.index() as u64 + 1);
+                }
+            }
+            h = mix(h, LEVEL_SEP);
+        }
+        h
+    }
+}
+
+/// SplitMix64-style mixing step used by [`Mapping::canonical_key`].
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    let mut z = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Incremental builder for [`Mapping`] (see [`Mapping::builder`]).

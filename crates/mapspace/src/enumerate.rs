@@ -1,0 +1,718 @@
+//! Deterministic enumeration of a mapspace's tile-chain support.
+//!
+//! Random sampling (the paper's search) draws per-dimension factor
+//! vectors; many distinct draws collapse to the *same* tile chains after
+//! clamping and outer-tile stretching, and most of their joint
+//! combinations violate shared fanout. This module enumerates the
+//! deduplicated chain support directly:
+//!
+//! 1. **Per-dimension tables** ([`EnumTables::build`]): for each
+//!    dimension, every tile chain the [`crate::Sampler`] can produce
+//!    under the mapspace's factorization rules, deduplicated and grouped
+//!    by *spatial signature* — the chain's loop count at every spatial
+//!    slot. Chains are exactly the sampler's support: every chain is
+//!    reproducible with spatial factors equal to its own loop counts
+//!    (clamped slots have `count = ceil(bound/cum)`, the largest factor
+//!    the sampler may draw there), so signature-level bookkeeping loses
+//!    nothing.
+//! 2. **Regions** ([`EnumTables::regions`]): joint combinations of one
+//!    signature group per dimension that satisfy shared fanout (the
+//!    per-slot product of counts fits the axis extent — equivalent to
+//!    the sampler's sequential floor-division capacity splitting, in any
+//!    dimension order) and spatial exclusivity. Each full mapping lies
+//!    in exactly one region, so regions partition the space with no
+//!    duplicates. Regions are sorted by their *cycle floor* (product of
+//!    per-dimension minimal sequential steps), cheapest-possible first.
+//! 3. **[`SubspaceIterator`]**: a resumable mixed-radix walk over one
+//!    region's leaf index range `[start, end)`. Disjoint ranges touch
+//!    disjoint mappings, so threads split work by index arithmetic
+//!    alone; the same `(region, index)` always denotes the same mapping,
+//!    making enumeration order deterministic across runs and threads.
+//!
+//! Permutations are *not* enumerated (the iterator leaves the reused
+//! mapping's permutations untouched); search backends polish them
+//! separately.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ruby_mapping::{profile, Mapping, SlotLayout};
+use ruby_workload::Dim;
+
+use crate::factor;
+use crate::space::{enumerate_capped_factorizations, Mapspace, MapspaceKind, SlotRule};
+
+/// Size guards for table construction. Enumeration is only worthwhile
+/// when the deduplicated per-dimension support is modest; past these
+/// limits [`EnumTables::build`] returns an error and callers fall back
+/// to random sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct EnumLimits {
+    /// Maximum deduplicated chains per dimension.
+    pub max_entries_per_dim: usize,
+    /// Maximum fanout-feasible signature combinations (regions).
+    pub max_regions: usize,
+}
+
+impl Default for EnumLimits {
+    fn default() -> Self {
+        EnumLimits {
+            max_entries_per_dim: 200_000,
+            max_regions: 250_000,
+        }
+    }
+}
+
+/// Why table construction refused a mapspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnumError {
+    /// One dimension's deduplicated chain table exceeded the limit.
+    DimTooLarge {
+        /// The offending dimension.
+        dim: Dim,
+        /// The configured entry limit.
+        limit: usize,
+    },
+    /// The number of feasible regions exceeded the limit.
+    TooManyRegions {
+        /// The configured region limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for EnumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnumError::DimTooLarge { dim, limit } => {
+                write!(f, "dimension {dim:?} has more than {limit} tile chains")
+            }
+            EnumError::TooManyRegions { limit } => {
+                write!(f, "more than {limit} fanout-feasible regions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnumError {}
+
+/// One deduplicated tile chain of one dimension, with its sequential
+/// step count (the dimension's contribution to compute cycles).
+#[derive(Debug, Clone)]
+struct DimEntry {
+    chain: Vec<u64>,
+    steps: u64,
+}
+
+/// All chains of one dimension sharing a spatial signature (loop counts
+/// at every spatial slot, innermost first).
+#[derive(Debug, Clone)]
+struct SigGroup {
+    counts: Vec<u64>,
+    min_steps: u64,
+    entries: Vec<DimEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct DimTable {
+    groups: Vec<SigGroup>,
+}
+
+/// One fanout-feasible combination of signature groups (one per
+/// dimension). Regions partition the enumerable space: every mapping's
+/// chain tuple belongs to exactly one region.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Per-dimension group index (by [`Dim::ALL`] order).
+    group: [usize; 7],
+    /// Mappings in this region (saturating; only indices below the true
+    /// product are ever decoded).
+    pub leaves: u64,
+    /// Product of per-dimension minimal sequential steps — a lower bound
+    /// on the compute cycles of every mapping in the region.
+    pub min_steps: u64,
+}
+
+/// Deduplicated per-dimension chain tables plus the sorted feasible
+/// regions of one [`Mapspace`].
+#[derive(Debug, Clone)]
+pub struct EnumTables {
+    layout: SlotLayout,
+    /// Slot indices of every spatial slot, innermost first — the index
+    /// space of each [`SigGroup::counts`] vector.
+    spatial_slots: Vec<usize>,
+    tables: Vec<DimTable>,
+    regions: Vec<Region>,
+    total_leaves: u64,
+}
+
+impl EnumTables {
+    /// Builds the tables and regions, or reports why the space is too
+    /// large to enumerate within `limits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnumError`] when a per-dimension table or the region
+    /// set exceeds `limits`; callers should fall back to sampling.
+    pub fn build(space: &Mapspace, limits: &EnumLimits) -> Result<Self, EnumError> {
+        let layout = SlotLayout::new(space.arch().num_levels());
+        let spatial_slots: Vec<usize> = layout
+            .iter()
+            .filter(|&s| layout.kind_of(s).is_spatial())
+            .map(|s| s.index())
+            .collect();
+
+        let mut tables = Vec::with_capacity(7);
+        for dim in Dim::ALL {
+            let bound = space.shape().bound(dim);
+            let rules = space.slot_rules_full(dim);
+            let chains =
+                enumerate_dim_chains(space.kind(), bound, &rules, limits).map_err(|()| {
+                    EnumError::DimTooLarge {
+                        dim,
+                        limit: limits.max_entries_per_dim,
+                    }
+                })?;
+            let mut by_sig: BTreeMap<Vec<u64>, Vec<DimEntry>> = BTreeMap::new();
+            for chain in chains {
+                let sig: Vec<u64> = spatial_slots
+                    .iter()
+                    .map(|&s| chain[s + 1].div_ceil(chain[s]))
+                    .collect();
+                let steps = profile::sequential_steps(&chain, &layout);
+                by_sig
+                    .entry(sig)
+                    .or_default()
+                    .push(DimEntry { chain, steps });
+            }
+            let groups = by_sig
+                .into_iter()
+                .map(|(counts, mut entries)| {
+                    // Cheapest sequential steps first: leaf 0 of every
+                    // region is then its fastest member, and lexicographic
+                    // enumeration reaches low-latency leaves early.
+                    entries.sort_by(|a, b| (a.steps, &a.chain).cmp(&(b.steps, &b.chain)));
+                    SigGroup {
+                        counts,
+                        min_steps: entries.first().expect("non-empty").steps,
+                        entries,
+                    }
+                })
+                .collect();
+            tables.push(DimTable { groups });
+        }
+
+        let regions = build_regions(space, &layout, &spatial_slots, &tables, limits)?;
+        let total_leaves = regions
+            .iter()
+            .fold(0u64, |acc, r| acc.saturating_add(r.leaves));
+        Ok(EnumTables {
+            layout,
+            spatial_slots,
+            tables,
+            regions,
+            total_leaves,
+        })
+    }
+
+    /// The spatial fanout `region` actually uses at each level: per
+    /// level, the product over its spatial slots of the joint (over all
+    /// dimensions) spatial loop counts. Every mapping in the region
+    /// shares this signature exactly, so cost models can specialize
+    /// their bounds to it.
+    pub fn region_spatial_utilization(&self, region: &Region) -> Vec<u64> {
+        let mut utilized = vec![1u64; self.layout.num_levels()];
+        for (j, &s) in self.spatial_slots.iter().enumerate() {
+            let level = self.layout.level_of(ruby_mapping::SlotId::new(s));
+            for (di, table) in self.tables.iter().enumerate() {
+                let count = table.groups[region.group[di]].counts[j];
+                utilized[level] = utilized[level].saturating_mul(count);
+            }
+        }
+        utilized
+    }
+
+    /// Feasible regions, cheapest cycle floor first (ties broken by
+    /// group indices, so the order is deterministic).
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Total mappings across all regions (saturating).
+    pub fn total_leaves(&self) -> u64 {
+        self.total_leaves
+    }
+
+    /// The slot layout the chains were built for.
+    pub fn layout(&self) -> &SlotLayout {
+        &self.layout
+    }
+}
+
+/// Resumable mixed-radix iterator over one region's leaf index range.
+/// Disjoint `[start, end)` ranges yield disjoint mappings; the mapping
+/// at a given index is independent of how the range was partitioned.
+#[derive(Debug)]
+pub struct SubspaceIterator<'a> {
+    tables: &'a EnumTables,
+    region: &'a Region,
+    pos: u64,
+    end: u64,
+}
+
+impl<'a> SubspaceIterator<'a> {
+    /// An iterator over `region`'s leaves `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is inverted or exceeds the region.
+    pub fn new(tables: &'a EnumTables, region: &'a Region, start: u64, end: u64) -> Self {
+        assert!(
+            start <= end && end <= region.leaves,
+            "leaf range {start}..{end} outside region of {} leaves",
+            region.leaves
+        );
+        SubspaceIterator {
+            tables,
+            region,
+            pos: start,
+            end,
+        }
+    }
+
+    /// Writes the next mapping's tile chains into `out` (permutations
+    /// are left untouched) and returns its exact sequential step count,
+    /// or `None` when the range is exhausted.
+    pub fn next_into(&mut self, out: &mut Mapping) -> Option<u64> {
+        if self.pos >= self.end {
+            return None;
+        }
+        let mut idx = self.pos;
+        self.pos += 1;
+        let mut steps = 1u64;
+        for (di, dim) in Dim::ALL.into_iter().enumerate() {
+            let group = &self.tables.tables[di].groups[self.region.group[di]];
+            let radix = group.entries.len() as u64;
+            let entry = &group.entries[(idx % radix) as usize];
+            idx /= radix;
+            out.set_tile_chain(dim, &entry.chain);
+            steps = steps.saturating_mul(entry.steps);
+        }
+        Some(steps)
+    }
+}
+
+/// Enumerates the deduplicated chain support of one dimension under one
+/// mapspace kind's factorization rules, mirroring the sampler's factor
+/// ranges exactly. `Err(())` means the table outgrew the entry limit.
+fn enumerate_dim_chains(
+    kind: MapspaceKind,
+    bound: u64,
+    rules: &[SlotRule],
+    limits: &EnumLimits,
+) -> Result<BTreeSet<Vec<u64>>, ()> {
+    let mut out = BTreeSet::new();
+    let limit = limits.max_entries_per_dim;
+    match kind {
+        MapspaceKind::Pfm => {
+            let caps: Vec<Option<u64>> = rules.iter().map(|r| r.cap).collect();
+            for factors in enumerate_capped_factorizations(bound, &caps) {
+                insert_chain(&mut out, bound, &factors, limit)?;
+            }
+        }
+        MapspaceKind::Ruby | MapspaceKind::RubyT => {
+            let spatial_free = kind == MapspaceKind::Ruby;
+            let divs = if spatial_free {
+                Vec::new()
+            } else {
+                factor::divisors(bound)
+            };
+            let mut factors = Vec::with_capacity(rules.len());
+            recurse_free(
+                bound,
+                rules,
+                &divs,
+                spatial_free,
+                1,
+                &mut factors,
+                &mut out,
+                limit,
+            )?;
+        }
+        MapspaceKind::RubyS => {
+            let spatial_positions: Vec<usize> = rules
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.spatial)
+                .map(|(i, _)| i)
+                .collect();
+            let num_temporal = rules.len() - spatial_positions.len();
+            let mut spatial = Vec::with_capacity(spatial_positions.len());
+            recurse_ruby_s(
+                bound,
+                rules,
+                &spatial_positions,
+                num_temporal,
+                1,
+                &mut spatial,
+                &mut out,
+                limit,
+            )?;
+        }
+    }
+    Ok(out)
+}
+
+/// Builds a chain from a per-slot factor vector the way
+/// [`ruby_mapping::MappingBuilder`] does: cumulative product, clamped to
+/// the bound, with the outermost entry stretched to the bound.
+fn insert_chain(
+    out: &mut BTreeSet<Vec<u64>>,
+    bound: u64,
+    factors: &[u64],
+    limit: usize,
+) -> Result<(), ()> {
+    let mut chain = Vec::with_capacity(factors.len() + 1);
+    chain.push(1u64);
+    let mut cum = 1u64;
+    for &f in factors {
+        cum = cum.saturating_mul(f).min(bound);
+        chain.push(cum);
+    }
+    *chain.last_mut().expect("non-empty chain") = bound;
+    out.insert(chain);
+    if out.len() > limit {
+        return Err(());
+    }
+    Ok(())
+}
+
+/// Ruby / Ruby-T: walk slots innermost-first. Spatial factors range over
+/// `[1, min(cap, ceil(bound/cum))]` (Ruby) or the divisors of the bound
+/// within that cap (Ruby-T); temporal factors over `[1, ceil(bound/cum)]`.
+/// The outermost slot is skipped: its chain entry is stretched to the
+/// bound regardless of the factor drawn there, so all its choices alias.
+#[allow(clippy::too_many_arguments)]
+fn recurse_free(
+    bound: u64,
+    rules: &[SlotRule],
+    divs: &[u64],
+    spatial_free: bool,
+    cum: u64,
+    factors: &mut Vec<u64>,
+    out: &mut BTreeSet<Vec<u64>>,
+    limit: usize,
+) -> Result<(), ()> {
+    let slot = factors.len();
+    if slot == rules.len() - 1 {
+        factors.push(1);
+        let r = insert_chain(out, bound, factors, limit);
+        factors.pop();
+        return r;
+    }
+    let rule = &rules[slot];
+    let needed = bound.div_ceil(cum);
+    let step = |f: u64, factors: &mut Vec<u64>, out: &mut BTreeSet<Vec<u64>>| {
+        factors.push(f);
+        let r = recurse_free(
+            bound,
+            rules,
+            divs,
+            spatial_free,
+            cum.saturating_mul(f).min(bound),
+            factors,
+            out,
+            limit,
+        );
+        factors.pop();
+        r
+    };
+    if rule.spatial {
+        let cap = rule.cap.unwrap_or(u64::MAX).min(needed);
+        if spatial_free {
+            for f in 1..=cap {
+                step(f, factors, out)?;
+            }
+        } else {
+            for &f in divs.iter().filter(|&&f| f <= cap) {
+                step(f, factors, out)?;
+            }
+        }
+    } else {
+        for f in 1..=needed {
+            step(f, factors, out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Ruby-S: choose spatial factors (each in `[1, min(cap,
+/// ceil(bound/Πs))]`, the sampler's range over the spatial-only
+/// product), then perfectly factorize the residual `ceil(bound/Πs)`
+/// across the temporal slots and interleave in slot order.
+#[allow(clippy::too_many_arguments)]
+fn recurse_ruby_s(
+    bound: u64,
+    rules: &[SlotRule],
+    spatial_positions: &[usize],
+    num_temporal: usize,
+    spatial_product: u64,
+    spatial: &mut Vec<u64>,
+    out: &mut BTreeSet<Vec<u64>>,
+    limit: usize,
+) -> Result<(), ()> {
+    if spatial.len() == spatial_positions.len() {
+        let residual = bound.div_ceil(spatial_product);
+        let temporal_caps = vec![None; num_temporal];
+        for temporal in enumerate_capped_factorizations(residual, &temporal_caps) {
+            let mut t = temporal.into_iter();
+            let mut s = spatial.iter().copied();
+            let factors: Vec<u64> = rules
+                .iter()
+                .map(|r| {
+                    if r.spatial {
+                        s.next().expect("one factor per spatial slot")
+                    } else {
+                        t.next().expect("one factor per temporal slot")
+                    }
+                })
+                .collect();
+            insert_chain(out, bound, &factors, limit)?;
+        }
+        return Ok(());
+    }
+    let rule = &rules[spatial_positions[spatial.len()]];
+    let needed = bound.div_ceil(spatial_product);
+    let cap = rule.cap.unwrap_or(u64::MAX).min(needed);
+    for f in 1..=cap {
+        spatial.push(f);
+        let r = recurse_ruby_s(
+            bound,
+            rules,
+            spatial_positions,
+            num_temporal,
+            spatial_product.saturating_mul(f),
+            spatial,
+            out,
+            limit,
+        );
+        spatial.pop();
+        r?;
+    }
+    Ok(())
+}
+
+/// Depth-first search over one signature group per dimension, keeping
+/// per-spatial-slot remaining capacity (sequential floor division — the
+/// same arithmetic as the sampler's shared [`crate::space`] axis states)
+/// and exclusivity ownership.
+fn build_regions(
+    space: &Mapspace,
+    layout: &SlotLayout,
+    spatial_slots: &[usize],
+    tables: &[DimTable],
+    limits: &EnumLimits,
+) -> Result<Vec<Region>, EnumError> {
+    use ruby_mapping::SlotKind;
+    let exclusive = space.constraints().exclusive_spatial();
+    let mut remaining: Vec<u64> = spatial_slots
+        .iter()
+        .map(|&s| {
+            let slot = ruby_mapping::SlotId::new(s);
+            let fanout = space.arch().levels()[layout.level_of(slot)].fanout();
+            match layout.kind_of(slot) {
+                SlotKind::SpatialX => fanout.x(),
+                SlotKind::SpatialY => fanout.y(),
+                SlotKind::Temporal => unreachable!("spatial slots only"),
+            }
+        })
+        .collect();
+    let mut taken = vec![false; spatial_slots.len()];
+    let mut group = [0usize; 7];
+    let mut regions = Vec::new();
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        tables: &[DimTable],
+        exclusive: bool,
+        depth: usize,
+        remaining: &mut Vec<u64>,
+        taken: &mut Vec<bool>,
+        group: &mut [usize; 7],
+        regions: &mut Vec<Region>,
+        max_regions: usize,
+    ) -> Result<(), EnumError> {
+        if depth == 7 {
+            let leaves = group
+                .iter()
+                .enumerate()
+                .map(|(di, &g)| tables[di].groups[g].entries.len() as u64)
+                .fold(1u64, u64::saturating_mul);
+            let min_steps = group
+                .iter()
+                .enumerate()
+                .map(|(di, &g)| tables[di].groups[g].min_steps)
+                .fold(1u64, u64::saturating_mul);
+            regions.push(Region {
+                group: *group,
+                leaves,
+                min_steps,
+            });
+            if regions.len() > max_regions {
+                return Err(EnumError::TooManyRegions { limit: max_regions });
+            }
+            return Ok(());
+        }
+        'groups: for (gi, g) in tables[depth].groups.iter().enumerate() {
+            for (j, &c) in g.counts.iter().enumerate() {
+                if c > 1 && ((exclusive && taken[j]) || c > remaining[j]) {
+                    continue 'groups;
+                }
+            }
+            let mut changed = Vec::new();
+            for (j, &c) in g.counts.iter().enumerate() {
+                if c > 1 {
+                    changed.push((j, remaining[j], taken[j]));
+                    remaining[j] /= c;
+                    taken[j] = true;
+                }
+            }
+            group[depth] = gi;
+            let r = dfs(
+                tables,
+                exclusive,
+                depth + 1,
+                remaining,
+                taken,
+                group,
+                regions,
+                max_regions,
+            );
+            for (j, rem, tk) in changed.into_iter().rev() {
+                remaining[j] = rem;
+                taken[j] = tk;
+            }
+            r?;
+        }
+        Ok(())
+    }
+
+    dfs(
+        tables,
+        exclusive,
+        0,
+        &mut remaining,
+        &mut taken,
+        &mut group,
+        &mut regions,
+        limits.max_regions,
+    )?;
+    regions.sort_by_key(|a| (a.min_steps, a.group));
+    Ok(regions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruby_arch::presets;
+    use ruby_workload::ProblemShape;
+
+    fn toy(kind: MapspaceKind, pes: u64, d: u64) -> Mapspace {
+        Mapspace::new(
+            presets::toy_linear(pes, 1024),
+            ProblemShape::rank1("d", d),
+            kind,
+        )
+    }
+
+    fn enumerate_all(tables: &EnumTables, space: &Mapspace) -> Vec<Mapping> {
+        let mut out = Vec::new();
+        let mut mapping = Mapping::builder(space.arch().num_levels())
+            .build_for_bounds(space.shape().bounds())
+            .unwrap();
+        for region in tables.regions() {
+            let mut it = SubspaceIterator::new(tables, region, 0, region.leaves);
+            while it.next_into(&mut mapping).is_some() {
+                out.push(mapping.clone());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicate_chains() {
+        for kind in MapspaceKind::ALL {
+            let space = toy(kind, 4, 12);
+            let tables = EnumTables::build(&space, &EnumLimits::default()).unwrap();
+            let all = enumerate_all(&tables, &space);
+            assert_eq!(all.len() as u64, tables.total_leaves(), "{kind}");
+            let keys: BTreeSet<Vec<u64>> =
+                all.iter().map(|m| m.tile_chain(Dim::M).to_vec()).collect();
+            assert_eq!(keys.len(), all.len(), "{kind}: duplicate chains");
+        }
+    }
+
+    #[test]
+    fn iterator_ranges_partition_the_region() {
+        let space = toy(MapspaceKind::RubyS, 4, 12);
+        let tables = EnumTables::build(&space, &EnumLimits::default()).unwrap();
+        let region = &tables.regions()[0];
+        let mut mapping = space.sample(&mut {
+            use rand::SeedableRng;
+            rand::rngs::SmallRng::seed_from_u64(0)
+        });
+        let whole: Vec<Vec<u64>> = {
+            let mut it = SubspaceIterator::new(&tables, region, 0, region.leaves);
+            let mut v = Vec::new();
+            while it.next_into(&mut mapping).is_some() {
+                v.push(mapping.tile_chain(Dim::M).to_vec());
+            }
+            v
+        };
+        let mid = region.leaves / 2;
+        let mut split = Vec::new();
+        for (a, b) in [(0, mid), (mid, region.leaves)] {
+            let mut it = SubspaceIterator::new(&tables, region, a, b);
+            while it.next_into(&mut mapping).is_some() {
+                split.push(mapping.tile_chain(Dim::M).to_vec());
+            }
+        }
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn regions_are_sorted_by_cycle_floor() {
+        let space = toy(MapspaceKind::Ruby, 4, 24);
+        let tables = EnumTables::build(&space, &EnumLimits::default()).unwrap();
+        let floors: Vec<u64> = tables.regions().iter().map(|r| r.min_steps).collect();
+        assert!(floors.windows(2).all(|w| w[0] <= w[1]));
+        assert!(!floors.is_empty());
+    }
+
+    #[test]
+    fn region_floor_bounds_every_leaf() {
+        let space = toy(MapspaceKind::RubyS, 4, 30);
+        let tables = EnumTables::build(&space, &EnumLimits::default()).unwrap();
+        let mut mapping = Mapping::builder(2)
+            .build_for_bounds(space.shape().bounds())
+            .unwrap();
+        for region in tables.regions() {
+            let mut it = SubspaceIterator::new(&tables, region, 0, region.leaves);
+            while let Some(steps) = it.next_into(&mut mapping) {
+                assert!(steps >= region.min_steps);
+                assert_eq!(steps, mapping.compute_cycles());
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_entry_limit_is_reported() {
+        let space = toy(MapspaceKind::Ruby, 4, 100);
+        let limits = EnumLimits {
+            max_entries_per_dim: 3,
+            ..EnumLimits::default()
+        };
+        assert!(matches!(
+            EnumTables::build(&space, &limits),
+            Err(EnumError::DimTooLarge { dim: Dim::M, .. })
+        ));
+    }
+}

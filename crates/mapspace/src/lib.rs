@@ -34,10 +34,12 @@
 //! ```
 
 pub mod constraints;
+pub mod enumerate;
 pub mod factor;
 pub mod heuristic;
 pub mod padding;
 pub mod space;
 
 pub use constraints::{Constraints, DimSet};
+pub use enumerate::{EnumError, EnumLimits, EnumTables, Region, SubspaceIterator};
 pub use space::{Mapspace, MapspaceKind, Sampler};

@@ -71,16 +71,17 @@ pub struct Mapspace {
     kind: MapspaceKind,
 }
 
-/// Internal per-slot sampling rule for one dimension.
+/// Internal per-slot sampling rule for one dimension. Shared with the
+/// enumeration backend in [`crate::enumerate`].
 #[derive(Debug, Clone, Copy)]
-struct SlotRule {
-    spatial: bool,
+pub(crate) struct SlotRule {
+    pub(crate) spatial: bool,
     /// Capacity for this dim at this slot: fanout extent if spatial and
     /// allowed, 1 if spatial and disallowed, `None` (unbounded) if
     /// temporal.
-    cap: Option<u64>,
-    level: usize,
-    kind: SlotKind,
+    pub(crate) cap: Option<u64>,
+    pub(crate) level: usize,
+    pub(crate) kind: SlotKind,
 }
 
 /// Remaining spatial capacity of one level's fanout, with the owning
@@ -183,6 +184,26 @@ impl Mapspace {
                 }
             })
             .collect()
+    }
+
+    /// The per-dimension slot rules against *full* (unconsumed) fanouts:
+    /// the caps a dimension would see if it were sampled first. The
+    /// enumeration backend uses these as per-dimension upper bounds and
+    /// re-applies joint fanout sharing (and exclusivity) when combining
+    /// dimensions into regions.
+    pub(crate) fn slot_rules_full(&self, dim: Dim) -> Vec<SlotRule> {
+        let states: Vec<AxisState> = self
+            .arch
+            .levels()
+            .iter()
+            .map(|l| AxisState {
+                x: l.fanout().x(),
+                y: l.fanout().y(),
+                x_owner: None,
+                y_owner: None,
+            })
+            .collect();
+        self.slot_rules(dim, &states)
     }
 
     /// Draws one mapping uniformly-ish at random. Sampled mappings always
@@ -565,7 +586,7 @@ fn count_ruby_t(
 }
 
 /// Enumerates every assignment of the factors of `n` to capped slots.
-fn enumerate_capped_factorizations(n: u64, caps: &[Option<u64>]) -> Vec<Vec<u64>> {
+pub(crate) fn enumerate_capped_factorizations(n: u64, caps: &[Option<u64>]) -> Vec<Vec<u64>> {
     let mut out = Vec::new();
     let mut current = vec![1u64; caps.len()];
     fn recurse(

@@ -1,0 +1,122 @@
+//! Enumeration/sampler agreement: the divisor-table enumeration must
+//! cover exactly the tile-chain support the random sampler draws from —
+//! no chain the sampler can produce may be missing, and no deduplicated
+//! chain may appear twice — for every mapspace kind.
+//!
+//! Comparison runs on canonical keys with permutations normalized to the
+//! builder defaults: the sampler shuffles loop orders, the enumeration
+//! leaves them at their defaults, and the chain structure is what the
+//! tables deduplicate.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ruby_arch::presets;
+use ruby_mapping::Mapping;
+use ruby_mapspace::{EnumLimits, EnumTables, Mapspace, MapspaceKind, SubspaceIterator};
+use ruby_workload::{Dim, ProblemShape};
+
+fn default_mapping(space: &Mapspace) -> Mapping {
+    Mapping::builder(space.arch().num_levels())
+        .build_for_bounds(space.shape().bounds())
+        .expect("the default mapping is well-formed")
+}
+
+/// Canonical keys of every enumerated leaf, in enumeration order.
+fn enumerated_keys(space: &Mapspace) -> Vec<u64> {
+    let tables = EnumTables::build(space, &EnumLimits::default()).expect("test spaces tabulate");
+    let mut mapping = default_mapping(space);
+    let mut keys = Vec::new();
+    for region in tables.regions() {
+        let mut it = SubspaceIterator::new(&tables, region, 0, region.leaves);
+        while it.next_into(&mut mapping).is_some() {
+            keys.push(mapping.canonical_key());
+        }
+    }
+    keys
+}
+
+/// Canonical keys of `draws` sampled mappings with loop orders reset to
+/// the defaults, so only the tile-chain structure distinguishes them.
+fn sampled_keys(space: &Mapspace, draws: usize, seed: u64) -> HashSet<u64> {
+    let defaults: Vec<[Dim; 7]> = {
+        let m = default_mapping(space);
+        (0..space.arch().num_levels())
+            .map(|l| *m.permutation(l))
+            .collect()
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sampler = space.sampler();
+    let mut mapping = default_mapping(space);
+    let mut keys = HashSet::new();
+    for _ in 0..draws {
+        sampler.sample_into(&mut mapping, &mut rng);
+        for (l, &perm) in defaults.iter().enumerate() {
+            mapping.set_permutation(l, perm);
+        }
+        keys.insert(mapping.canonical_key());
+    }
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every kind, random small spaces: the enumeration is duplicate-free
+    /// and a superset of whatever the sampler produces.
+    #[test]
+    fn enumeration_is_deduped_and_misses_no_sample(
+        d in 2u64..40,
+        pes in 2u64..6,
+        kind_idx in 0usize..4,
+    ) {
+        let kind = MapspaceKind::ALL[kind_idx];
+        let space = Mapspace::new(
+            presets::toy_linear(pes, 1024),
+            ProblemShape::rank1("d", d),
+            kind,
+        );
+        let keys = enumerated_keys(&space);
+        let unique: HashSet<u64> = keys.iter().copied().collect();
+        prop_assert_eq!(
+            unique.len(),
+            keys.len(),
+            "duplicate canonical chains in {} enumeration",
+            kind.name()
+        );
+        let sampled = sampled_keys(&space, 300, d ^ (pes << 32) ^ (kind_idx as u64) << 40);
+        for key in &sampled {
+            prop_assert!(
+                unique.contains(key),
+                "{} sampler produced a chain the enumeration misses",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// On a space small enough for the sampler to saturate, the two sets are
+/// *equal*: the enumeration also produces nothing the sampler cannot.
+#[test]
+fn tiny_space_sets_are_equal_for_every_kind() {
+    for kind in MapspaceKind::ALL {
+        let space = Mapspace::new(
+            presets::toy_linear(3, 1024),
+            ProblemShape::rank1("d", 12),
+            kind,
+        );
+        let enumerated: HashSet<u64> = enumerated_keys(&space).into_iter().collect();
+        let sampled = sampled_keys(&space, 20_000, 7);
+        assert_eq!(
+            sampled,
+            enumerated,
+            "{}: sampler reached {} chains, enumeration holds {}",
+            kind.name(),
+            sampled.len(),
+            enumerated.len()
+        );
+    }
+}

@@ -21,7 +21,7 @@ use ruby_workload::{Operand, ProblemShape, TensorDef};
 
 use crate::report::{AccessCounts, CostReport, LevelStats};
 use crate::validity::InvalidMapping;
-use crate::{access, latency, validity, ModelOptions};
+use crate::{access, bound, latency, validity, ModelOptions};
 
 /// Precomputed per-`(arch, shape)` evaluation state.
 ///
@@ -58,6 +58,9 @@ pub struct EvalContext<'a> {
     /// Total compute energy: `macs × mac_energy`.
     compute_energy: f64,
     total_mac_units: u64,
+    /// Admissible lower bound on any valid mapping's energy (see
+    /// [`crate::bound`]).
+    energy_floor: f64,
 }
 
 impl<'a> EvalContext<'a> {
@@ -66,6 +69,16 @@ impl<'a> EvalContext<'a> {
         let tensors = Operand::ALL.map(|op| shape.tensor(op));
         let chains = Operand::ALL.map(|op| arch.storage_chain(op));
         let macs = shape.macs();
+        let compute_energy = macs as f64 * arch.mac_energy();
+        let energy_floor = bound::energy_floor(
+            arch,
+            shape,
+            &tensors,
+            &chains,
+            &opts,
+            compute_energy,
+            &bound::max_fanout_below(arch),
+        );
         EvalContext {
             arch,
             shape,
@@ -73,8 +86,9 @@ impl<'a> EvalContext<'a> {
             tensors,
             chains,
             macs,
-            compute_energy: macs as f64 * arch.mac_energy(),
+            compute_energy,
             total_mac_units: arch.total_mac_units(),
+            energy_floor,
         }
     }
 
@@ -91,6 +105,64 @@ impl<'a> EvalContext<'a> {
     /// The model options baked into the context.
     pub fn options(&self) -> &ModelOptions {
         &self.opts
+    }
+
+    /// An admissible lower bound on the energy of *any* mapping this
+    /// context would evaluate as valid: no fanout- and capacity-valid
+    /// mapping's [`CostReport::energy`] can fall below it (see
+    /// [`crate::bound`] for the argument). Search backends combine it
+    /// with a cycle bound to prune candidates before evaluation.
+    pub fn energy_floor(&self) -> f64 {
+        self.energy_floor
+    }
+
+    /// The energy floor specialized to mappings whose *utilized* spatial
+    /// fanout at level `l` is exactly `utilized[l]` (the product of the
+    /// mapping's spatial loop counts at that level). For such mappings
+    /// the terminal traffic divisor cannot exceed the product of the
+    /// utilized fanouts below the terminal level, so this floor is both
+    /// admissible for the subset and at least as tight as
+    /// [`Self::energy_floor`]. Enumeration regions share one spatial
+    /// signature, making this their exact subset floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilized` does not have one entry per level.
+    pub fn energy_floor_for_spatial(&self, utilized: &[u64]) -> f64 {
+        assert_eq!(utilized.len(), self.arch.num_levels());
+        let mut fanout_below = vec![1.0f64; utilized.len()];
+        for (i, &u) in utilized.iter().enumerate().rev() {
+            let inner = if i + 1 < utilized.len() {
+                fanout_below[i + 1]
+            } else {
+                1.0
+            };
+            fanout_below[i] = inner * u.max(1) as f64;
+        }
+        bound::energy_floor(
+            self.arch,
+            self.shape,
+            &self.tensors,
+            &self.chains,
+            &self.opts,
+            self.compute_energy,
+            &fanout_below,
+        )
+    }
+
+    /// Runs only the cheap validity screens (spatial fanout, then buffer
+    /// capacity) without any access counting, returning the mapping's
+    /// *buffer pressure*: the summed tile footprint in words over every
+    /// capacity-bounded level. A mapping rejected here is exactly the
+    /// set [`evaluate_with`] rejects; search backends use this to
+    /// discard infeasible candidates — and to rank feasible ones by how
+    /// fully they use the buffers — without spending a model evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidMapping`] exactly when [`evaluate_with`] would.
+    pub fn precheck(&self, mapping: &Mapping) -> Result<u64, InvalidMapping> {
+        validity::screen(self.arch, &self.tensors, mapping)
     }
 
     pub(crate) fn tensors(&self) -> &[TensorDef; 3] {

@@ -47,6 +47,7 @@
 //! ```
 
 mod access;
+mod bound;
 mod context;
 mod latency;
 mod report;

@@ -74,14 +74,30 @@ pub(crate) fn check_fanout(arch: &Architecture, mapping: &Mapping) -> Result<(),
     Ok(())
 }
 
+/// Runs both validity tests and reports the mapping's total *buffer
+/// pressure*: the summed tile footprint (in words) over every
+/// capacity-bounded level. Higher pressure means the mapping keeps more
+/// of each buffer busy — a cheap, model-free proxy for data reuse that
+/// the enumeration backend uses to order candidates before evaluation.
+pub(crate) fn screen(
+    arch: &Architecture,
+    tensors: &[TensorDef; 3],
+    mapping: &Mapping,
+) -> Result<u64, InvalidMapping> {
+    check_fanout(arch, mapping)?;
+    check_capacity(arch, tensors, mapping)
+}
+
 /// Checks every level's buffer capacity against the tile footprints of
 /// the stored tensors (maximum tile sizes — residual tiles are smaller).
-/// `tensors` is indexed by [`Operand::index`].
+/// `tensors` is indexed by [`Operand::index`]. Returns the summed
+/// footprint over capacity-bounded levels (see [`screen`]).
 pub(crate) fn check_capacity(
     arch: &Architecture,
     tensors: &[TensorDef; 3],
     mapping: &Mapping,
-) -> Result<(), InvalidMapping> {
+) -> Result<u64, InvalidMapping> {
+    let mut pressure = 0u64;
     for (i, level) in arch.levels().iter().enumerate() {
         if i == 0 {
             continue; // DRAM is unbounded by construction.
@@ -111,6 +127,7 @@ pub(crate) fn check_capacity(
                             available,
                         });
                     }
+                    pressure = pressure.saturating_add(footprint);
                 }
             }
         }
@@ -123,9 +140,10 @@ pub(crate) fn check_capacity(
                     available,
                 });
             }
+            pressure = pressure.saturating_add(shared_needed);
         }
     }
-    Ok(())
+    Ok(pressure)
 }
 
 #[cfg(test)]
@@ -140,10 +158,9 @@ mod tests {
         arch: &Architecture,
         shape: &ProblemShape,
         mapping: &Mapping,
-    ) -> Result<(), InvalidMapping> {
-        check_fanout(arch, mapping)?;
+    ) -> Result<u64, InvalidMapping> {
         let tensors = Operand::ALL.map(|op| shape.tensor(op));
-        check_capacity(arch, &tensors, mapping)
+        screen(arch, &tensors, mapping)
     }
 
     #[test]
@@ -215,7 +232,9 @@ mod tests {
         let mut b = Mapping::builder(2);
         b.set_tile(Dim::M, 0, SlotKind::SpatialX, 9);
         let m = b.build_for_bounds(shape.bounds()).unwrap();
-        assert_eq!(check(&arch, &shape, &m), Ok(()));
+        let pressure = check(&arch, &shape, &m).unwrap();
+        // Pressure covers the bounded inner level's stored tiles.
+        assert!(pressure > 0);
     }
 
     #[test]

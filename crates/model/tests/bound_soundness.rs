@@ -1,0 +1,109 @@
+//! Admissibility of the pruning bounds: over randomly constructed
+//! mappings, the precomputed energy floors must never exceed the true
+//! modeled energy of any mapping the model accepts, and the cheap
+//! validity screen must agree exactly with the full evaluation.
+
+use proptest::prelude::*;
+
+use ruby_arch::presets;
+use ruby_mapping::{Mapping, SlotKind};
+use ruby_model::{evaluate_with, EvalContext, ModelOptions};
+use ruby_workload::{Dim, ProblemShape};
+
+/// The mapping's utilized spatial fanout per level: the product of its
+/// spatial loop counts, the exact subset signature
+/// [`EvalContext::energy_floor_for_spatial`] specializes to.
+fn utilized(mapping: &Mapping, num_levels: usize) -> Vec<u64> {
+    (0..num_levels)
+        .map(|l| {
+            let (x, y) = mapping.spatial_extent(l);
+            x * y
+        })
+        .collect()
+}
+
+/// Checks both floors against one mapping, and the screen against the
+/// evaluator. Returns whether the mapping was valid.
+fn check(ctx: &EvalContext, mapping: &Mapping, num_levels: usize) -> Result<(), String> {
+    let screened = ctx.precheck(mapping);
+    match evaluate_with(ctx, mapping) {
+        Ok(report) => {
+            prop_assert!(
+                screened.is_ok(),
+                "precheck rejected a mapping the model accepts"
+            );
+            // The floor and the evaluator sum the same terms in
+            // different orders; tolerate last-ulp rounding skew.
+            let limit = report.energy() * (1.0 + 1e-9);
+            prop_assert!(
+                ctx.energy_floor() <= limit,
+                "global floor {} exceeds energy {}",
+                ctx.energy_floor(),
+                report.energy()
+            );
+            let subset = ctx.energy_floor_for_spatial(&utilized(mapping, num_levels));
+            prop_assert!(
+                subset <= limit,
+                "subset floor {subset} exceeds energy {}",
+                report.energy()
+            );
+            // The exact-signature floor can only tighten the global one.
+            prop_assert!(subset >= ctx.energy_floor());
+        }
+        Err(why) => {
+            prop_assert!(
+                screened.is_err(),
+                "precheck accepted a mapping the model rejects: {why}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Linear hierarchy, single dimension: spatial/temporal splits at
+    /// every slot, including infeasible ones (which must screen out).
+    #[test]
+    fn floors_hold_on_toy_linear(
+        d in 2u64..300,
+        sx in 1u64..12,
+        t0 in 1u64..20,
+        t1 in 1u64..20,
+    ) {
+        let arch = presets::toy_linear(8, 256);
+        let shape = ProblemShape::rank1("d", d);
+        let ctx = EvalContext::new(&arch, &shape, ModelOptions::default());
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, sx);
+        b.set_tile(Dim::M, 0, SlotKind::Temporal, t0);
+        b.set_tile(Dim::M, 1, SlotKind::Temporal, t1);
+        let mapping = b.build_for_bounds(shape.bounds()).unwrap();
+        check(&ctx, &mapping, 2)?;
+    }
+
+    /// Eyeriss-like grid, conv workload: multi-dim tiles with spatial
+    /// splits across both axes of the PE array.
+    #[test]
+    fn floors_hold_on_eyeriss_conv(
+        m in 1u64..32,
+        c in 1u64..16,
+        q in 1u64..14,
+        sx in 1u64..14,
+        sy in 1u64..12,
+    ) {
+        let arch = presets::eyeriss_like(14, 12);
+        let shape = ProblemShape::conv("l", 1, 32, 16, 14, 14, 3, 3, (1, 1));
+        let ctx = EvalContext::new(&arch, &shape, ModelOptions::default());
+        let mut b = Mapping::builder(3);
+        b.set_tile(Dim::C, 1, SlotKind::SpatialX, sx);
+        b.set_tile(Dim::M, 1, SlotKind::SpatialY, sy);
+        b.set_tile(Dim::M, 2, SlotKind::Temporal, m);
+        b.set_tile(Dim::C, 2, SlotKind::Temporal, c);
+        b.set_tile(Dim::Q, 1, SlotKind::Temporal, q);
+        b.set_tile(Dim::R, 2, SlotKind::Temporal, 3);
+        let mapping = b.build_for_bounds(shape.bounds()).unwrap();
+        check(&ctx, &mapping, 3)?;
+    }
+}

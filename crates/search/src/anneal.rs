@@ -38,7 +38,7 @@ use ruby_mapspace::Mapspace;
 use ruby_model::{evaluate_with, EvalContext, ModelOptions};
 use ruby_workload::{Dim, DimMap};
 
-use crate::{BestMapping, Objective, SearchOutcome};
+use crate::{BestMapping, MemoCache, Objective, SearchOutcome};
 
 /// Annealing parameters.
 #[derive(Debug, Clone)]
@@ -57,6 +57,10 @@ pub struct AnnealConfig {
     pub objective: Objective,
     /// Cost-model options.
     pub model: ModelOptions,
+    /// Memoize evaluated canonical keys: revisited mappings (the local
+    /// moves cycle a lot) reuse their recorded cost instead of paying a
+    /// model evaluation, counted in [`SearchOutcome::duplicates`].
+    pub dedup: bool,
 }
 
 impl Default for AnnealConfig {
@@ -69,6 +73,7 @@ impl Default for AnnealConfig {
             max_restart_attempts: 2_000,
             objective: Objective::Edp,
             model: ModelOptions::default(),
+            dedup: true,
         }
     }
 }
@@ -86,18 +91,48 @@ pub fn anneal(mapspace: &Mapspace, config: &AnnealConfig) -> SearchOutcome {
     );
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let ctx = EvalContext::new(mapspace.arch(), mapspace.shape(), config.model);
+    let memo = config.dedup.then(|| MemoCache::new(16));
     let mut evaluations = 0u64;
     let mut valid = 0u64;
+    let mut invalid = 0u64;
+    let mut duplicates = 0u64;
     let mut trace = Vec::new();
+
+    // Classifies a candidate through the memo cache: `Some(cost)` for a
+    // usable cost (memoized or freshly evaluated), `None` for invalid.
+    let classify = |m: &Mapping, valid: &mut u64, invalid: &mut u64, dup: &mut u64| {
+        let key = m.canonical_key();
+        if let Some(memo) = &memo {
+            if let Some(cost) = memo.probe(key) {
+                *dup += 1;
+                return (cost != f64::INFINITY).then_some(cost);
+            }
+        }
+        match evaluate_with(&ctx, m) {
+            Ok(report) => {
+                *valid += 1;
+                let cost = config.objective.cost(&report);
+                if let Some(memo) = &memo {
+                    memo.insert(key, cost);
+                }
+                Some(cost)
+            }
+            Err(_) => {
+                *invalid += 1;
+                if let Some(memo) = &memo {
+                    memo.insert(key, f64::INFINITY);
+                }
+                None
+            }
+        }
+    };
 
     // Find a valid starting point by rejection sampling.
     let mut current: Option<(Mapping, f64)> = None;
     for _ in 0..config.max_restart_attempts {
         evaluations += 1;
         let candidate = mapspace.sample(&mut rng);
-        if let Ok(report) = evaluate_with(&ctx, &candidate) {
-            valid += 1;
-            let cost = config.objective.cost(&report);
+        if let Some(cost) = classify(&candidate, &mut valid, &mut invalid, &mut duplicates) {
             trace.push((evaluations, cost));
             current = Some((candidate, cost));
             break;
@@ -108,6 +143,11 @@ pub fn anneal(mapspace: &Mapspace, config: &AnnealConfig) -> SearchOutcome {
             best: None,
             evaluations,
             valid,
+            invalid,
+            duplicates,
+            pruned_subtrees: 0,
+            pruned_mappings: 0,
+            exhausted: false,
             trace,
         };
     };
@@ -119,11 +159,9 @@ pub fn anneal(mapspace: &Mapspace, config: &AnnealConfig) -> SearchOutcome {
         evaluations += 1;
         let candidate = neighbor(mapspace, &current_mapping, &mut rng);
         temperature *= config.cooling;
-        let Ok(report) = evaluate_with(&ctx, &candidate) else {
+        let Some(cost) = classify(&candidate, &mut valid, &mut invalid, &mut duplicates) else {
             continue;
         };
-        valid += 1;
-        let cost = config.objective.cost(&report);
         let accept = cost <= current_cost
             || rng.gen::<f64>() < ((current_cost - cost) / temperature.max(1e-30)).exp();
         if accept {
@@ -147,6 +185,11 @@ pub fn anneal(mapspace: &Mapspace, config: &AnnealConfig) -> SearchOutcome {
         }),
         evaluations,
         valid,
+        invalid,
+        duplicates,
+        pruned_subtrees: 0,
+        pruned_mappings: 0,
+        exhausted: false,
         trace,
     }
 }

@@ -1,0 +1,524 @@
+//! Pruned deterministic enumeration backend.
+//!
+//! Builds [`ruby_mapspace::EnumTables`] (deduplicated per-dimension tile
+//! chains, grouped into fanout-feasible *regions*) and sweeps the leaves
+//! in a fixed, probe-guided order:
+//!
+//! 1. **Probe** — evaluate leaf 0 (the fastest member) of the cheapest
+//!    `PROBE_REGIONS` regions by objective floor. A region's probe cost
+//!    turns out to rank regions far better than its floor alone.
+//! 2. **Scan** — walk regions in probe order, screening every leaf with
+//!    [`EvalContext::precheck`]: the exact fanout/capacity tests the
+//!    model would run, at a fraction of the price. Rejected leaves are
+//!    `pruned_mappings`; survivors are queued *highest buffer pressure
+//!    first* (mappings near the capacity boundary reuse the most data
+//!    and hold the best candidates). Whole regions whose floor already
+//!    exceeds the best are dropped as `pruned_subtrees`.
+//! 3. **Rounds** — breadth-first across the scanned batch: each round
+//!    hands every region's next `CHUNK` candidates to the worker pool.
+//!    Chunks run one at a time (threads split a chunk internally), so
+//!    the sequence of chunk barriers is deterministic.
+//!
+//! Determinism: the candidate sequence is fixed by the tables and the
+//! probe costs (both deterministic); pruning compares an *admissible*
+//! lower bound against a best-cost snapshot taken at the previous chunk
+//! barrier, so a candidate that could be (or tie) the optimum is never
+//! discarded, and the snapshot — unlike a live racy read — makes every
+//! prune decision, and hence every counter, identical across runs and
+//! thread counts. Termination is a patience rule on the same fixed
+//! sequence: stop once `termination` candidates have been considered
+//! past the first achiever of the current best (see
+//! `Record::best_ordinal`).
+//!
+//! Budget: `max_evaluations` bounds candidates *considered* (scored plus
+//! bound-pruned); leaves the capacity screen rejects never consume
+//! budget — they are exactly the rejections the random sampler pays a
+//! (cheap) model call to discover, surfaced here from the tables alone.
+//!
+//! Enumeration covers tile chains only (iterators leave permutations at
+//! their defaults); a single-threaded pairwise-swap *permutation polish*
+//! afterwards spends a small budget reserve refining the winner's loop
+//! orders. `exhausted` means every deduplicated chain combination was
+//! considered: evaluated, memoized, capacity-screened, or soundly
+//! pruned.
+
+use std::sync::atomic::Ordering;
+
+use ruby_mapping::Mapping;
+use ruby_mapspace::{EnumLimits, EnumTables, Mapspace, Region, SubspaceIterator};
+use ruby_model::{evaluate_with, EvalContext};
+
+use crate::{note_tie_ordinal, record_improvement, run_random, try_improve, SearchConfig, Shared};
+
+/// Candidates per work chunk: the unit of parallel dispatch and of the
+/// deterministic barrier at which pruning snapshots and the patience
+/// rule are refreshed.
+const CHUNK: usize = 256;
+
+/// Regions probed up front. Probes are single evaluations, so this caps
+/// the ordering overhead at a few hundred model calls.
+const PROBE_REGIONS: usize = 512;
+
+/// Hard cap on leaves decoded by the capacity scan, bounding time and
+/// candidate memory when the budget is huge. Hitting it clears
+/// `exhausted`.
+const MAX_REGION_SCAN: u64 = 1 << 20;
+
+/// One scanned region's surviving candidates, consumed chunk by chunk.
+struct RegionWork {
+    ri: usize,
+    /// `(buffer pressure, leaf index, sequential steps)`, highest
+    /// pressure first.
+    cands: Vec<(u64, u64, u64)>,
+    next: usize,
+}
+
+/// Runs pruned enumeration under `budget` considered candidates; returns
+/// whether the whole deduplicated chain space was covered. Falls back to
+/// random sampling (returning `false`) when the space is too large to
+/// tabulate.
+pub(crate) fn run(
+    mapspace: &Mapspace,
+    config: &SearchConfig,
+    shared: &Shared,
+    budget: Option<u64>,
+) -> bool {
+    let tables = match EnumTables::build(mapspace, &EnumLimits::default()) {
+        Ok(tables) => tables,
+        Err(_) => {
+            if budget.is_none() && config.termination.is_none() {
+                // Exhaustive mode skips the unbounded-search assert, so
+                // give the fallback a finite victory condition.
+                let fallback = SearchConfig {
+                    termination: Some(1_000),
+                    ..config.clone()
+                };
+                run_random(mapspace, &fallback, shared, budget);
+            } else {
+                run_random(mapspace, config, shared, budget);
+            }
+            return false;
+        }
+    };
+
+    // A hybrid warm-up records random-phase evaluation counts as the
+    // achiever position; restart the patience clock at the enumeration's
+    // own ordinal zero.
+    shared
+        .record
+        .lock()
+        .expect("no worker panicked")
+        .best_ordinal = 0;
+
+    let num_levels = mapspace.arch().num_levels();
+    // 21 pairwise swaps per level, two sweeps, plus the re-check round.
+    let polish_cap = num_levels as u64 * 21 * 2 + 1;
+    let (select_budget, polish_budget) = match budget {
+        Some(b) => {
+            let reserve = (b / 8).min(polish_cap);
+            (b - reserve, reserve)
+        }
+        None => (u64::MAX, polish_cap),
+    };
+
+    // Each region's private objective floor: all of a region's mappings
+    // share one spatial signature, so the energy floor specializes to
+    // their exact utilized fanout, and no member runs in fewer than
+    // `min_steps` sequential steps.
+    let ctx = EvalContext::new(mapspace.arch(), mapspace.shape(), config.model);
+    let regions = tables.regions();
+    let energy_floor: Vec<f64> = regions
+        .iter()
+        .map(|r| ctx.energy_floor_for_spatial(&tables.region_spatial_utilization(r)))
+        .collect();
+    let floor_cost: Vec<f64> = regions
+        .iter()
+        .enumerate()
+        .map(|(i, r)| config.objective.cost_floor(energy_floor[i], r.min_steps))
+        .collect();
+    let mut order: Vec<usize> = (0..regions.len()).collect();
+    order.sort_by(|&a, &b| {
+        floor_cost[a]
+            .partial_cmp(&floor_cost[b])
+            .expect("floors are never NaN")
+            .then(a.cmp(&b))
+    });
+
+    let mut mapping = Mapping::builder(num_levels)
+        .build_for_bounds(mapspace.shape().bounds())
+        .expect("the default mapping is well-formed");
+
+    // Phase 1: probe leaf 0 of the cheapest-floor regions, sequentially
+    // (so probe ordinals and the improvement trace are deterministic).
+    let probe_count = PROBE_REGIONS.min(order.len());
+    let mut probe_cost = vec![f64::INFINITY; regions.len()];
+    let mut probe_done = vec![false; regions.len()];
+    let mut ordinal = 0u64; // candidates considered so far
+    let mut stopped = false;
+    let mut complete = true;
+    for &ri in &order[..probe_count] {
+        if ordinal >= select_budget {
+            stopped = true;
+            complete = false;
+            break;
+        }
+        probe_done[ri] = true;
+        SubspaceIterator::new(&tables, &regions[ri], 0, 1)
+            .next_into(&mut mapping)
+            .expect("every region has at least one leaf");
+        match ctx.precheck(&mapping) {
+            Err(_) if config.prune => {
+                shared.pruned_mappings.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                ordinal += 1;
+                shared.evals.fetch_add(1, Ordering::Relaxed);
+                shared.invalid.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(_) => {
+                ordinal += 1;
+                if let Some(cost) = consider(&ctx, config, shared, &mapping, ordinal) {
+                    probe_cost[ri] = cost;
+                }
+            }
+        }
+    }
+
+    // Phase 2 order: probed regions by measured quality, then the
+    // unprobed tail by floor (`order` is already floor-sorted).
+    order[..probe_count].sort_by(|&a, &b| {
+        probe_cost[a]
+            .partial_cmp(&probe_cost[b])
+            .expect("costs are never NaN")
+            .then(
+                floor_cost[a]
+                    .partial_cmp(&floor_cost[b])
+                    .expect("floors are never NaN"),
+            )
+            .then(a.cmp(&b))
+    });
+
+    let mut oi = 0usize; // scan cursor into `order`
+    let mut scanned = 0u64;
+    let mut capped = false;
+    'outer: while !stopped {
+        // Scan regions into a batch holding at least the remaining
+        // budget's worth of screened candidates.
+        let remaining = select_budget.saturating_sub(ordinal);
+        if remaining == 0 {
+            if oi < order.len() {
+                complete = false;
+            }
+            break;
+        }
+        let mut batch: Vec<RegionWork> = Vec::new();
+        let mut batch_cands = 0u64;
+        while batch_cands < remaining && oi < order.len() {
+            let ri = order[oi];
+            oi += 1;
+            let region = &regions[ri];
+            let start = u64::from(probe_done[ri]); // leaf 0 already considered
+            let to_decode = region.leaves - start;
+            if to_decode == 0 {
+                continue;
+            }
+            // Region subtree cut: the floor is admissible and the best
+            // only improves, so nothing in here can win or tie.
+            let best = f64::from_bits(shared.best_bits.load(Ordering::Relaxed));
+            if config.prune && floor_cost[ri] > best {
+                shared.pruned_subtrees.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .pruned_mappings
+                    .fetch_add(to_decode, Ordering::Relaxed);
+                continue;
+            }
+            if scanned + to_decode > MAX_REGION_SCAN {
+                capped = true;
+                complete = false;
+                break;
+            }
+            scanned += to_decode;
+            let mut cands: Vec<(u64, u64, u64)> = Vec::new();
+            let mut it = SubspaceIterator::new(&tables, region, start, region.leaves);
+            let mut leaf = start;
+            while let Some(steps) = it.next_into(&mut mapping) {
+                match ctx.precheck(&mapping) {
+                    Ok(pressure) => cands.push((pressure, leaf, steps)),
+                    Err(_) if config.prune => {
+                        shared.pruned_mappings.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        // With pruning off, screened-out leaves are
+                        // charged like the random sampler's invalid
+                        // draws.
+                        ordinal += 1;
+                        shared.evals.fetch_add(1, Ordering::Relaxed);
+                        shared.invalid.fetch_add(1, Ordering::Relaxed);
+                        if ordinal >= select_budget {
+                            stopped = true;
+                            complete = false;
+                            break;
+                        }
+                    }
+                }
+                leaf += 1;
+            }
+            if stopped {
+                break 'outer;
+            }
+            // Highest buffer pressure first: the best mappings sit near
+            // the capacity boundary, and this surfaces them orders of
+            // magnitude earlier than native leaf order.
+            cands.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            batch_cands += cands.len() as u64;
+            if !cands.is_empty() {
+                batch.push(RegionWork { ri, cands, next: 0 });
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+
+        // Breadth-first rounds: every region advances by one chunk per
+        // round, so a strong region found later still gets depth before
+        // the budget runs out.
+        let mut pending = batch_cands;
+        'rounds: while pending > 0 {
+            for rw in batch.iter_mut() {
+                if rw.next >= rw.cands.len() {
+                    continue;
+                }
+                if ordinal >= select_budget {
+                    stopped = true;
+                    break 'rounds;
+                }
+                let take = CHUNK
+                    .min(rw.cands.len() - rw.next)
+                    .min(usize::try_from(select_budget - ordinal).unwrap_or(usize::MAX));
+                let chunk = &rw.cands[rw.next..rw.next + take];
+                // The snapshot is deterministic at this barrier; workers
+                // prune against it rather than the live (racy) best.
+                let snapshot = f64::from_bits(shared.best_bits.load(Ordering::Relaxed));
+                process_chunk(
+                    &tables,
+                    &regions[rw.ri],
+                    chunk,
+                    ordinal,
+                    energy_floor[rw.ri],
+                    snapshot,
+                    &ctx,
+                    config,
+                    shared,
+                );
+                rw.next += take;
+                pending -= take as u64;
+                ordinal += take as u64;
+                if let Some(limit) = config.termination {
+                    let first = shared
+                        .record
+                        .lock()
+                        .expect("no worker panicked")
+                        .best_ordinal;
+                    if ordinal.saturating_sub(first) >= limit {
+                        stopped = true;
+                        break 'rounds;
+                    }
+                }
+            }
+        }
+        if stopped && (pending > 0 || oi < order.len()) {
+            complete = false;
+        }
+    }
+    if capped {
+        complete = false;
+    }
+
+    polish_permutations(mapspace, config, shared, polish_budget, ordinal);
+    complete
+}
+
+/// Scores one enumeration candidate: memo probe, model evaluation, best
+/// and first-achiever bookkeeping. Returns the candidate's cost when it
+/// is valid (probes use it to rank regions).
+fn consider(
+    ctx: &EvalContext,
+    config: &SearchConfig,
+    shared: &Shared,
+    mapping: &Mapping,
+    ordinal: u64,
+) -> Option<f64> {
+    let key = mapping.canonical_key();
+    if let Some(memo) = &shared.memo {
+        if let Some(cost) = memo.probe(key) {
+            shared.evals.fetch_add(1, Ordering::Relaxed);
+            shared.duplicates.fetch_add(1, Ordering::Relaxed);
+            if cost != f64::INFINITY {
+                note_tie_ordinal(shared, cost, ordinal);
+                return Some(cost);
+            }
+            return None;
+        }
+    }
+    match evaluate_with(ctx, mapping) {
+        Ok(report) => {
+            shared.evals.fetch_add(1, Ordering::Relaxed);
+            shared.valid.fetch_add(1, Ordering::Relaxed);
+            let cost = config.objective.cost(&report);
+            if let Some(memo) = &shared.memo {
+                memo.insert(key, cost);
+            }
+            if try_improve(shared, cost) {
+                record_improvement(shared, config, mapping, report, cost, ordinal);
+            }
+            Some(cost)
+        }
+        Err(_) => {
+            shared.evals.fetch_add(1, Ordering::Relaxed);
+            shared.invalid.fetch_add(1, Ordering::Relaxed);
+            if let Some(memo) = &shared.memo {
+                memo.insert(key, f64::INFINITY);
+            }
+            None
+        }
+    }
+}
+
+/// Scores one chunk of screened candidates, threads striding the slice.
+/// Ordinals are pre-assigned from the slice position, and the floor
+/// prune compares against the caller's barrier snapshot, so the chunk's
+/// contribution to every counter is independent of scheduling.
+#[allow(clippy::too_many_arguments)]
+fn process_chunk(
+    tables: &EnumTables,
+    region: &Region,
+    chunk: &[(u64, u64, u64)],
+    base_ordinal: u64,
+    energy_floor: f64,
+    best_snapshot: f64,
+    ctx: &EvalContext,
+    config: &SearchConfig,
+    shared: &Shared,
+) {
+    let work = |offset: usize| {
+        let mut mapping = Mapping::builder(ctx.arch().num_levels())
+            .build_for_bounds(ctx.shape().bounds())
+            .expect("the default mapping is well-formed");
+        let mut i = offset;
+        while i < chunk.len() {
+            let (_, leaf, steps) = chunk[i];
+            if config.prune && config.objective.cost_floor(energy_floor, steps) > best_snapshot {
+                shared.pruned_mappings.fetch_add(1, Ordering::Relaxed);
+            } else {
+                SubspaceIterator::new(tables, region, leaf, leaf + 1)
+                    .next_into(&mut mapping)
+                    .expect("leaf index is in range");
+                consider(ctx, config, shared, &mapping, base_ordinal + i as u64 + 1);
+            }
+            i += config.threads;
+        }
+    };
+    if config.threads == 1 {
+        work(0);
+    } else {
+        std::thread::scope(|scope| {
+            let work = &work;
+            for t in 0..config.threads.min(chunk.len()) {
+                scope.spawn(move || work(t));
+            }
+        });
+    }
+}
+
+/// Single-threaded coordinate descent over the best mapping's loop
+/// orders: try every pairwise swap at every level, keep strict
+/// improvements, repeat until a full sweep finds none or the budget
+/// reserve runs out. Swaps that do not change the canonical form (both
+/// loops trivial at that level) are skipped for free; everything else is
+/// scored through the memo, so the accounting identity holds here too.
+fn polish_permutations(
+    mapspace: &Mapspace,
+    config: &SearchConfig,
+    shared: &Shared,
+    budget: u64,
+    base_ordinal: u64,
+) {
+    if budget == 0 {
+        return;
+    }
+    let Some(best) = shared
+        .record
+        .lock()
+        .expect("no worker panicked")
+        .best
+        .clone()
+    else {
+        return;
+    };
+    let ctx = EvalContext::new(mapspace.arch(), mapspace.shape(), config.model);
+    let mut current = best.mapping;
+    let mut current_cost = best.cost;
+    let mut current_key = current.canonical_key();
+    let mut spent = 0u64;
+    let mut improved = true;
+    while improved && spent < budget {
+        improved = false;
+        'sweep: for level in 0..mapspace.arch().num_levels() {
+            for i in 0..6 {
+                for j in (i + 1)..7 {
+                    if spent >= budget {
+                        break 'sweep;
+                    }
+                    let mut cand = current.clone();
+                    let mut perm = *cand.permutation(level);
+                    perm.swap(i, j);
+                    cand.set_permutation(level, perm);
+                    let key = cand.canonical_key();
+                    if key == current_key {
+                        continue; // the swapped loops are trivial here
+                    }
+                    spent += 1;
+                    shared.evals.fetch_add(1, Ordering::Relaxed);
+                    if let Some(memo) = &shared.memo {
+                        if memo.probe(key).is_some() {
+                            // Already evaluated (and best-tracked) once.
+                            shared.duplicates.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                    match evaluate_with(&ctx, &cand) {
+                        Ok(report) => {
+                            shared.valid.fetch_add(1, Ordering::Relaxed);
+                            let cost = config.objective.cost(&report);
+                            if let Some(memo) = &shared.memo {
+                                memo.insert(key, cost);
+                            }
+                            if cost < current_cost {
+                                if try_improve(shared, cost) {
+                                    record_improvement(
+                                        shared,
+                                        config,
+                                        &cand,
+                                        report,
+                                        cost,
+                                        base_ordinal + spent,
+                                    );
+                                }
+                                current = cand;
+                                current_cost = cost;
+                                current_key = key;
+                                improved = true;
+                            }
+                        }
+                        Err(_) => {
+                            shared.invalid.fetch_add(1, Ordering::Relaxed);
+                            if let Some(memo) = &shared.memo {
+                                memo.insert(key, f64::INFINITY);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

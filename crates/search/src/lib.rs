@@ -48,6 +48,8 @@
 //! ```
 
 pub mod anneal;
+mod exhaustive;
+mod memo;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -58,6 +60,8 @@ use rand::SeedableRng;
 use ruby_mapping::Mapping;
 use ruby_mapspace::Mapspace;
 use ruby_model::{evaluate_with, CostReport, EvalContext, ModelOptions};
+
+pub use memo::MemoCache;
 
 /// The quantity the search minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -81,6 +85,58 @@ impl Objective {
             Objective::Delay => report.cycles() as f64,
         }
     }
+
+    /// An admissible lower bound on this objective for any valid mapping
+    /// with ≥ `min_steps` sequential steps, given the context's energy
+    /// floor: true cycles ≥ compute steps and true energy ≥ the floor,
+    /// and both factors are positive, so the products compose soundly.
+    pub fn cost_floor(self, energy_floor: f64, min_steps: u64) -> f64 {
+        match self {
+            Objective::Edp => energy_floor * min_steps as f64,
+            Objective::Energy => energy_floor,
+            Objective::Delay => min_steps as f64,
+        }
+    }
+}
+
+/// How the search covers the mapspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SearchStrategy {
+    /// Timeloop-style random sampling (the paper's search).
+    #[default]
+    Random,
+    /// Deterministic pruned enumeration over the deduplicated chain
+    /// support ([`ruby_mapspace::EnumTables`]): cheap single-leaf probes
+    /// rank the fanout regions, capacity screening and an admissible
+    /// cost lower bound discard candidates before the model runs, and a
+    /// patience rule over the considered-candidate ordinal stops the
+    /// sweep. Falls back to random sampling when the space is too large
+    /// to tabulate.
+    Exhaustive,
+    /// A random warm-up (one third of the budget) to seed the pruning
+    /// bound, then enumeration over the remainder.
+    Hybrid,
+}
+
+impl SearchStrategy {
+    /// Stable lowercase name (CLI flag value / bench JSON field).
+    pub const fn name(self) -> &'static str {
+        match self {
+            SearchStrategy::Random => "random",
+            SearchStrategy::Exhaustive => "exhaustive",
+            SearchStrategy::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses a [`Self::name`] back into a strategy.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "random" => Some(SearchStrategy::Random),
+            "exhaustive" => Some(SearchStrategy::Exhaustive),
+            "hybrid" => Some(SearchStrategy::Hybrid),
+            _ => None,
+        }
+    }
 }
 
 /// Search configuration. The defaults suit unit-test-scale problems;
@@ -93,9 +149,11 @@ pub struct SearchConfig {
     /// Hard cap on total sampled mappings (valid or not); `None` =
     /// unlimited.
     pub max_evaluations: Option<u64>,
-    /// Stop after this many consecutive valid mappings without
-    /// improvement (Timeloop's victory condition). `None` disables it —
-    /// then `max_evaluations` must be set.
+    /// Random sampling: stop after this many consecutive valid mappings
+    /// without improvement (Timeloop's victory condition). Enumeration:
+    /// stop after this many *considered candidates* past the first
+    /// achiever of the current best (a deterministic patience rule).
+    /// `None` disables it — then `max_evaluations` must be set.
     pub termination: Option<u64>,
     /// Worker threads. Defaults to the machine's available parallelism;
     /// set to 1 for bit-exact reproducibility.
@@ -108,6 +166,18 @@ pub struct SearchConfig {
     pub objective: Objective,
     /// Cost-model options.
     pub model: ModelOptions,
+    /// How to cover the mapspace.
+    pub strategy: SearchStrategy,
+    /// Skip candidates (and enumeration subtrees) whose cost lower bound
+    /// already exceeds the best found. Pruning never discards a
+    /// potential optimum (the bound is admissible), so it only affects
+    /// the `valid`/`pruned_*` counters, not the result.
+    pub prune: bool,
+    /// Memoize evaluated canonical keys so duplicate factorizations are
+    /// not re-evaluated (counted in [`SearchOutcome::duplicates`]).
+    pub dedup: bool,
+    /// Memo cache size: `2^memo_bits` slots (16 bytes each).
+    pub memo_bits: u32,
 }
 
 impl Default for SearchConfig {
@@ -120,6 +190,10 @@ impl Default for SearchConfig {
             max_trace: 4096,
             objective: Objective::Edp,
             model: ModelOptions::default(),
+            strategy: SearchStrategy::default(),
+            prune: true,
+            dedup: true,
+            memo_bits: 18,
         }
     }
 }
@@ -154,14 +228,39 @@ pub struct BestMapping {
 }
 
 /// The result of a search run.
+///
+/// Budget accounting: `evaluations` counts every candidate *scored* —
+/// fully evaluated by the model (`valid` + `invalid`) or settled by the
+/// memo cache (`duplicates`) — so for **every** strategy
+/// `evaluations = valid + invalid + duplicates`. Candidates the
+/// enumeration engine discards without scoring (table-level capacity
+/// screening, cost-lower-bound cuts) are reported separately in
+/// `pruned_mappings` / `pruned_subtrees`: they represent avoided model
+/// work, not spent budget. [`SearchConfig::max_evaluations`] bounds the
+/// candidates *considered* (scored plus bound-pruned), so `evaluations`
+/// never exceeds it.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
     /// The best valid mapping, if any was found.
     pub best: Option<BestMapping>,
-    /// Total mappings sampled (valid + invalid).
+    /// Total candidates scored (see the budget-accounting note).
     pub evaluations: u64,
-    /// Valid mappings among them.
+    /// Fully evaluated, model-valid mappings among them.
     pub valid: u64,
+    /// Candidates the model rejected (capacity / fanout violations).
+    pub invalid: u64,
+    /// Candidates skipped because their canonical key was already in the
+    /// memo cache.
+    pub duplicates: u64,
+    /// Enumeration subtrees (whole regions / work chunks) discarded by
+    /// the cost lower bound before iteration.
+    pub pruned_subtrees: u64,
+    /// Individual candidates discarded by the cost lower bound
+    /// (including all members of pruned subtrees).
+    pub pruned_mappings: u64,
+    /// Whether the strategy provably covered the entire (deduplicated)
+    /// mapspace — only the enumeration strategies can set this.
+    pub exhausted: bool,
     /// `(evaluations-so-far, best-cost)` at every improvement — the
     /// best-so-far staircase of Fig. 7, capped at
     /// [`SearchConfig::max_trace`] entries.
@@ -171,6 +270,10 @@ pub struct SearchOutcome {
 struct Shared {
     evals: AtomicU64,
     valid: AtomicU64,
+    invalid: AtomicU64,
+    duplicates: AtomicU64,
+    pruned_subtrees: AtomicU64,
+    pruned_mappings: AtomicU64,
     stop: AtomicBool,
     /// Bit pattern of the best cost so far (`f64::to_bits`); starts at
     /// `+inf`. Compared by value after `from_bits`, never by bits.
@@ -180,48 +283,90 @@ struct Shared {
     /// matching Timeloop's approximate multi-threaded victory condition;
     /// single-threaded it is exact.
     fails: AtomicU64,
+    /// Shared memo cache; `None` when [`SearchConfig::dedup`] is off.
+    memo: Option<MemoCache>,
     /// Taken only when a thread has already won the best-cost CAS.
     record: Mutex<Record>,
+}
+
+impl Shared {
+    fn new(config: &SearchConfig) -> Self {
+        Shared {
+            evals: AtomicU64::new(0),
+            valid: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+            pruned_subtrees: AtomicU64::new(0),
+            pruned_mappings: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            best_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            fails: AtomicU64::new(0),
+            memo: config.dedup.then(|| MemoCache::new(config.memo_bits)),
+            record: Mutex::new(Record {
+                best: None,
+                trace: Vec::new(),
+                best_ordinal: 0,
+            }),
+        }
+    }
 }
 
 struct Record {
     best: Option<BestMapping>,
     trace: Vec<(u64, f64)>,
+    /// Position in the strategy's candidate sequence where the current
+    /// best cost was *first* achievable: set on strict improvement,
+    /// pulled back to the minimum on exact cost ties (including memo
+    /// duplicates of the best). The enumeration backend's patience
+    /// termination measures candidates considered past this point —
+    /// deterministic because the candidate sequence and costs are.
+    best_ordinal: u64,
 }
 
-/// Runs random search over `mapspace` under `config`.
+/// Runs a search over `mapspace` under `config` using the configured
+/// [`SearchStrategy`].
+///
+/// With `strategy: Exhaustive` the candidate sequence is fixed before
+/// any thread starts and pruning decisions use best-cost snapshots taken
+/// at chunk barriers, so the best mapping (ties broken by canonical
+/// key), every counter, and the stopping point are identical across runs
+/// *and thread counts*; only the order of same-cost trace entries can
+/// vary with threads > 1. `Random` and `Hybrid` are deterministic only
+/// single-threaded.
 ///
 /// # Panics
 ///
-/// Panics if both `max_evaluations` and `termination` are `None` (the
-/// search would never stop), or if `threads` is zero.
+/// Panics if `threads` is zero, or if both `max_evaluations` and
+/// `termination` are `None` for a strategy with a random phase (the
+/// search would never stop; `Exhaustive` terminates on its own).
 pub fn search(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
     assert!(config.threads > 0, "need at least one search thread");
-    assert!(
-        config.max_evaluations.is_some() || config.termination.is_some(),
-        "unbounded search: set max_evaluations or termination"
-    );
-    let shared = Shared {
-        evals: AtomicU64::new(0),
-        valid: AtomicU64::new(0),
-        stop: AtomicBool::new(false),
-        best_bits: AtomicU64::new(f64::INFINITY.to_bits()),
-        fails: AtomicU64::new(0),
-        record: Mutex::new(Record {
-            best: None,
-            trace: Vec::new(),
-        }),
-    };
-
-    if config.threads == 1 {
-        worker(mapspace, config, &shared, 0);
-    } else {
-        std::thread::scope(|scope| {
-            for t in 0..config.threads {
-                let shared = &shared;
-                scope.spawn(move || worker(mapspace, config, shared, t as u64));
-            }
-        });
+    if config.strategy != SearchStrategy::Exhaustive {
+        assert!(
+            config.max_evaluations.is_some() || config.termination.is_some(),
+            "unbounded search: set max_evaluations or termination"
+        );
+    }
+    let shared = Shared::new(config);
+    let mut exhausted = false;
+    match config.strategy {
+        SearchStrategy::Random => {
+            run_random(mapspace, config, &shared, config.max_evaluations);
+        }
+        SearchStrategy::Exhaustive => {
+            exhausted = exhaustive::run(mapspace, config, &shared, config.max_evaluations);
+        }
+        SearchStrategy::Hybrid => {
+            // Random warm-up seeds the pruning bound, then enumeration
+            // spends the remainder.
+            let warmup = config.max_evaluations.map(|b| b / 3);
+            run_random(mapspace, config, &shared, warmup);
+            shared.stop.store(false, Ordering::Relaxed);
+            shared.fails.store(0, Ordering::Relaxed);
+            let spent = shared.evals.load(Ordering::Relaxed);
+            let remainder = config.max_evaluations.map(|b| b.saturating_sub(spent));
+            exhausted = exhaustive::run(mapspace, config, &shared, remainder);
+        }
     }
 
     let record = shared.record.into_inner().expect("no worker panicked");
@@ -229,11 +374,35 @@ pub fn search(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
         best: record.best,
         evaluations: shared.evals.into_inner(),
         valid: shared.valid.into_inner(),
+        invalid: shared.invalid.into_inner(),
+        duplicates: shared.duplicates.into_inner(),
+        pruned_subtrees: shared.pruned_subtrees.into_inner(),
+        pruned_mappings: shared.pruned_mappings.into_inner(),
+        exhausted,
         trace: record.trace,
     }
 }
 
-fn worker(mapspace: &Mapspace, config: &SearchConfig, shared: &Shared, thread_index: u64) {
+/// Runs the random-sampling workers until `budget` (or termination).
+fn run_random(mapspace: &Mapspace, config: &SearchConfig, shared: &Shared, budget: Option<u64>) {
+    if config.threads == 1 {
+        worker(mapspace, config, shared, budget, 0);
+    } else {
+        std::thread::scope(|scope| {
+            for t in 0..config.threads {
+                scope.spawn(move || worker(mapspace, config, shared, budget, t as u64));
+            }
+        });
+    }
+}
+
+fn worker(
+    mapspace: &Mapspace,
+    config: &SearchConfig,
+    shared: &Shared,
+    budget: Option<u64>,
+    thread_index: u64,
+) {
     let mut rng = SmallRng::seed_from_u64(spread_seed(config.seed, thread_index));
     let ctx = EvalContext::new(mapspace.arch(), mapspace.shape(), config.model);
     let mut sampler = mapspace.sampler();
@@ -242,7 +411,7 @@ fn worker(mapspace: &Mapspace, config: &SearchConfig, shared: &Shared, thread_in
         .expect("the default mapping is well-formed");
     while !shared.stop.load(Ordering::Relaxed) {
         let evals = shared.evals.fetch_add(1, Ordering::Relaxed) + 1;
-        if let Some(max) = config.max_evaluations {
+        if let Some(max) = budget {
             if evals > max {
                 // Undo the reservation so the reported total never
                 // exceeds the cap, however many threads raced here.
@@ -252,13 +421,45 @@ fn worker(mapspace: &Mapspace, config: &SearchConfig, shared: &Shared, thread_in
             }
         }
         sampler.sample_into(&mut mapping, &mut rng);
-        let Ok(report) = evaluate_with(&ctx, &mapping) else {
-            continue; // invalid mappings do not count toward termination
+        let key = mapping.canonical_key();
+        if let Some(memo) = &shared.memo {
+            if let Some(cost) = memo.probe(key) {
+                // Already evaluated (by any thread or phase): the first
+                // occurrence updated the best, so skip the model — but
+                // keep Timeloop's victory condition intact: a revisited
+                // *valid* mapping is still a consecutive valid sample
+                // that failed to improve, while a revisited invalid one
+                // stays invisible to the counter.
+                shared.duplicates.fetch_add(1, Ordering::Relaxed);
+                if cost != f64::INFINITY {
+                    let fails = shared.fails.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(limit) = config.termination {
+                        if fails >= limit {
+                            shared.stop.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                continue;
+            }
+        }
+        let report = match evaluate_with(&ctx, &mapping) {
+            Ok(report) => report,
+            Err(_) => {
+                shared.invalid.fetch_add(1, Ordering::Relaxed);
+                if let Some(memo) = &shared.memo {
+                    memo.insert(key, f64::INFINITY);
+                }
+                continue; // invalid mappings do not count toward termination
+            }
         };
         shared.valid.fetch_add(1, Ordering::Relaxed);
         let cost = config.objective.cost(&report);
-        if try_improve(shared, cost) {
-            record_improvement(shared, config, &mapping, report, cost, evals);
+        if let Some(memo) = &shared.memo {
+            memo.insert(key, cost);
+        }
+        if try_improve(shared, cost)
+            && record_improvement(shared, config, &mapping, report, cost, evals)
+        {
             shared.fails.store(0, Ordering::Relaxed);
         } else {
             let fails = shared.fails.fetch_add(1, Ordering::Relaxed) + 1;
@@ -271,13 +472,18 @@ fn worker(mapspace: &Mapspace, config: &SearchConfig, shared: &Shared, thread_in
     }
 }
 
-/// Lowers the atomic best-cost word to `cost` if it improves on it.
-/// Returns whether this thread performed the lowering.
+/// Lowers the atomic best-cost word to `cost` if it improves on it;
+/// returns `true` on a lowering *or an exact tie* (ties proceed to the
+/// record lock, where the canonical key breaks them deterministically).
 fn try_improve(shared: &Shared, cost: f64) -> bool {
     let mut current = shared.best_bits.load(Ordering::Relaxed);
     loop {
-        if cost >= f64::from_bits(current) {
+        let best = f64::from_bits(current);
+        if cost > best {
             return false;
+        }
+        if cost == best {
+            return true;
         }
         match shared.best_bits.compare_exchange_weak(
             current,
@@ -291,37 +497,75 @@ fn try_improve(shared: &Shared, cost: f64) -> bool {
     }
 }
 
-/// Stores an improvement under the record lock. Re-checks against the
-/// recorded best: a slower thread can win the CAS first yet arrive here
-/// after a better mapping was recorded, and must not regress it.
+/// Stores an improvement under the record lock; returns whether the
+/// recorded best strictly improved. Re-checks against the recorded best:
+/// a slower thread can win the CAS first yet arrive here after a better
+/// mapping was recorded, and must not regress it. Exact cost ties pull
+/// the first-achiever ordinal back to the minimum and are broken by the
+/// smaller canonical key, making both the winning *mapping* and the
+/// termination arithmetic independent of evaluation order; tie
+/// replacements do not extend the trace (its costs stay strictly
+/// decreasing).
 fn record_improvement(
     shared: &Shared,
     config: &SearchConfig,
     mapping: &Mapping,
     report: CostReport,
     cost: f64,
-    evals: u64,
-) {
-    let mut record = shared.record.lock().expect("no worker panicked");
-    if record.best.as_ref().is_some_and(|b| cost >= b.cost) {
-        return;
+    at: u64,
+) -> bool {
+    let mut guard = shared.record.lock().expect("no worker panicked");
+    let record = &mut *guard;
+    if let Some(best) = &record.best {
+        if cost > best.cost {
+            return false;
+        }
+        if cost == best.cost {
+            record.best_ordinal = record.best_ordinal.min(at);
+            if mapping.canonical_key() >= best.mapping.canonical_key() {
+                return false;
+            }
+            record.best = Some(BestMapping {
+                mapping: mapping.clone(),
+                report,
+                cost,
+            });
+            return false;
+        }
     }
+    record.best_ordinal = at;
     // Keep the trace's evaluation counts non-decreasing even when
     // improvements from different threads arrive out of order.
-    let at = record
-        .trace
-        .last()
-        .map_or(evals, |&(prev, _)| prev.max(evals));
+    let pos = record.trace.last().map_or(at, |&(prev, _)| prev.max(at));
     if record.trace.len() < config.max_trace.max(1) {
-        record.trace.push((at, cost));
+        record.trace.push((pos, cost));
     } else {
-        *record.trace.last_mut().expect("max_trace >= 1") = (at, cost);
+        *record.trace.last_mut().expect("max_trace >= 1") = (pos, cost);
     }
     record.best = Some(BestMapping {
         mapping: mapping.clone(),
         report,
         cost,
     });
+    true
+}
+
+/// Pulls the first-achiever ordinal back when `cost` ties the recorded
+/// best. A memo duplicate of the best mapping costs no model work, but
+/// it still marks a point in the deterministic candidate sequence where
+/// the best was reachable — without this, which of two equal-key
+/// occurrences lands first in the memo (a thread race) would shift the
+/// patience-termination arithmetic.
+fn note_tie_ordinal(shared: &Shared, cost: f64, ordinal: u64) {
+    // The memo only holds costs that already went through
+    // `record_improvement`, so `cost` can never beat the recorded best;
+    // equality is the only interesting case and needs no CAS.
+    if f64::from_bits(shared.best_bits.load(Ordering::Relaxed)) == cost {
+        let mut record = shared.record.lock().expect("no worker panicked");
+        if record.best.as_ref().is_some_and(|b| b.cost == cost) {
+            record.best_ordinal = record.best_ordinal.min(ordinal);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -463,6 +707,9 @@ mod tests {
             termination: Some(200),
             max_evaluations: Some(100_000),
             threads: 1,
+            // Dedup would reclassify repeat samples as duplicates; this
+            // test checks the raw Timeloop counter semantics.
+            dedup: false,
             ..SearchConfig::default()
         };
         let outcome = search(&space, &config);
@@ -531,5 +778,155 @@ mod tests {
             ..SearchConfig::default()
         };
         let _ = search(&toy_space(MapspaceKind::Pfm, 4, 10), &config);
+    }
+
+    #[test]
+    fn exhaustive_finds_the_optimum_and_exhausts_tiny_spaces() {
+        let config = SearchConfig {
+            strategy: SearchStrategy::Exhaustive,
+            max_evaluations: None,
+            termination: None,
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let outcome = search(&toy_space(MapspaceKind::RubyS, 16, 113), &config);
+        assert_eq!(outcome.best.expect("valid mappings").report.cycles(), 8);
+        assert!(outcome.exhausted, "113-wide toy space fits any budget");
+        assert!(outcome.valid > 0);
+        // Every scored candidate is accounted for exactly once; pruned
+        // candidates are avoided work, reported separately.
+        assert_eq!(
+            outcome.evaluations,
+            outcome.valid + outcome.invalid + outcome.duplicates
+        );
+    }
+
+    #[test]
+    fn exhaustive_best_is_deterministic_across_threads_and_runs() {
+        let space = toy_space(MapspaceKind::Ruby, 9, 100);
+        let outcome = |threads| {
+            search(
+                &space,
+                &SearchConfig {
+                    strategy: SearchStrategy::Exhaustive,
+                    threads,
+                    max_evaluations: Some(20_000),
+                    termination: None,
+                    ..SearchConfig::default()
+                },
+            )
+        };
+        let base = outcome(1);
+        let best = base.best.as_ref().expect("valid mappings");
+        for threads in [1, 2, 4] {
+            let other = outcome(threads);
+            let b = other.best.expect("valid mappings");
+            assert_eq!(b.cost, best.cost, "threads={threads}");
+            assert_eq!(b.mapping, best.mapping, "threads={threads}");
+            // Chunk-barrier snapshots make every counter — not just the
+            // winner — thread-count invariant.
+            assert_eq!(other.evaluations, base.evaluations, "threads={threads}");
+            assert_eq!(other.valid, base.valid, "threads={threads}");
+            assert_eq!(other.invalid, base.invalid, "threads={threads}");
+            assert_eq!(other.duplicates, base.duplicates, "threads={threads}");
+            assert_eq!(
+                other.pruned_mappings, base.pruned_mappings,
+                "threads={threads}"
+            );
+            assert_eq!(
+                other.pruned_subtrees, base.pruned_subtrees,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_does_not_change_the_best() {
+        let space = toy_space(MapspaceKind::Ruby, 9, 60);
+        let outcome = |prune| {
+            search(
+                &space,
+                &SearchConfig {
+                    strategy: SearchStrategy::Exhaustive,
+                    prune,
+                    threads: 1,
+                    max_evaluations: Some(50_000),
+                    termination: None,
+                    ..SearchConfig::default()
+                },
+            )
+        };
+        let pruned = outcome(true);
+        let full = outcome(false);
+        assert_eq!(full.pruned_mappings, 0);
+        assert_eq!(
+            pruned.best.expect("valid mappings").mapping,
+            full.best.expect("valid mappings").mapping
+        );
+        assert!(
+            pruned.valid <= full.valid,
+            "pruning can only skip evaluations"
+        );
+    }
+
+    #[test]
+    fn exhaustive_respects_the_budget() {
+        // Pruning off so every leaf charges the budget: coverage must
+        // then be truncated on a space larger than the budget.
+        let config = SearchConfig {
+            strategy: SearchStrategy::Exhaustive,
+            max_evaluations: Some(100),
+            termination: None,
+            threads: 2,
+            prune: false,
+            ..SearchConfig::default()
+        };
+        let outcome = search(&toy_space(MapspaceKind::Ruby, 9, 100), &config);
+        assert!(outcome.evaluations <= 100, "{}", outcome.evaluations);
+        assert!(!outcome.exhausted, "this space exceeds 100 mappings");
+    }
+
+    #[test]
+    fn hybrid_combines_sampling_and_enumeration() {
+        let config = SearchConfig {
+            strategy: SearchStrategy::Hybrid,
+            max_evaluations: Some(3_000),
+            termination: None,
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let outcome = search(&toy_space(MapspaceKind::RubyS, 16, 113), &config);
+        assert_eq!(outcome.best.expect("valid mappings").report.cycles(), 8);
+        assert!(outcome.evaluations <= 3_000);
+    }
+
+    #[test]
+    fn random_with_dedup_counts_duplicates() {
+        // A tiny space revisits the same chains constantly; with dedup
+        // on, repeats must be skipped and counted rather than re-scored.
+        let config = SearchConfig {
+            max_evaluations: Some(2_000),
+            termination: None,
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let outcome = search(&toy_space(MapspaceKind::Pfm, 4, 12), &config);
+        assert!(outcome.duplicates > 0, "{outcome:?}");
+        assert_eq!(
+            outcome.evaluations,
+            outcome.valid + outcome.invalid + outcome.duplicates
+        );
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in [
+            SearchStrategy::Random,
+            SearchStrategy::Exhaustive,
+            SearchStrategy::Hybrid,
+        ] {
+            assert_eq!(SearchStrategy::parse(s.name()), Some(s));
+        }
+        assert_eq!(SearchStrategy::parse("genetic"), None);
     }
 }

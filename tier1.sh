@@ -7,6 +7,9 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> search_throughput --smoke"
+cargo run --release -p ruby-bench --bin search_throughput -- --smoke
+
 echo "==> cargo test -q"
 cargo test -q
 
