@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bound_soundness-40eccacaa08fcebf.d: crates/model/tests/bound_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbound_soundness-40eccacaa08fcebf.rmeta: crates/model/tests/bound_soundness.rs Cargo.toml
+
+crates/model/tests/bound_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bound_soundness-94185017b13fd595.d: crates/model/tests/bound_soundness.rs
+
+/root/repo/target/debug/deps/bound_soundness-94185017b13fd595: crates/model/tests/bound_soundness.rs
+
+crates/model/tests/bound_soundness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enumeration_matches_sampler-ac29a92d9f0e21f1.d: crates/mapspace/tests/enumeration_matches_sampler.rs
+
+/root/repo/target/debug/deps/enumeration_matches_sampler-ac29a92d9f0e21f1: crates/mapspace/tests/enumeration_matches_sampler.rs
+
+crates/mapspace/tests/enumeration_matches_sampler.rs:

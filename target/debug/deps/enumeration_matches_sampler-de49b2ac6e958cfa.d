@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/enumeration_matches_sampler-de49b2ac6e958cfa.d: crates/mapspace/tests/enumeration_matches_sampler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenumeration_matches_sampler-de49b2ac6e958cfa.rmeta: crates/mapspace/tests/enumeration_matches_sampler.rs Cargo.toml
+
+crates/mapspace/tests/enumeration_matches_sampler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/ruby_mapspace-3b988246d624b84b.d: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs Cargo.toml
+/root/repo/target/debug/deps/ruby_mapspace-3b988246d624b84b.d: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/enumerate.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs Cargo.toml
 
-/root/repo/target/debug/deps/libruby_mapspace-3b988246d624b84b.rmeta: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs Cargo.toml
+/root/repo/target/debug/deps/libruby_mapspace-3b988246d624b84b.rmeta: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/enumerate.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs Cargo.toml
 
 crates/mapspace/src/lib.rs:
 crates/mapspace/src/constraints.rs:
+crates/mapspace/src/enumerate.rs:
 crates/mapspace/src/factor.rs:
 crates/mapspace/src/heuristic.rs:
 crates/mapspace/src/padding.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/ruby_mapspace-50c9c28ac74352ac.d: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
+/root/repo/target/debug/deps/ruby_mapspace-50c9c28ac74352ac.d: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/enumerate.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
 
-/root/repo/target/debug/deps/libruby_mapspace-50c9c28ac74352ac.rlib: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
+/root/repo/target/debug/deps/libruby_mapspace-50c9c28ac74352ac.rlib: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/enumerate.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
 
-/root/repo/target/debug/deps/libruby_mapspace-50c9c28ac74352ac.rmeta: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
+/root/repo/target/debug/deps/libruby_mapspace-50c9c28ac74352ac.rmeta: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/enumerate.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
 
 crates/mapspace/src/lib.rs:
 crates/mapspace/src/constraints.rs:
+crates/mapspace/src/enumerate.rs:
 crates/mapspace/src/factor.rs:
 crates/mapspace/src/heuristic.rs:
 crates/mapspace/src/padding.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/ruby_mapspace-a55e0d54f8c6c9e7.d: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
+/root/repo/target/debug/deps/ruby_mapspace-a55e0d54f8c6c9e7.d: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/enumerate.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
 
-/root/repo/target/debug/deps/ruby_mapspace-a55e0d54f8c6c9e7: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
+/root/repo/target/debug/deps/ruby_mapspace-a55e0d54f8c6c9e7: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/enumerate.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
 
 crates/mapspace/src/lib.rs:
 crates/mapspace/src/constraints.rs:
+crates/mapspace/src/enumerate.rs:
 crates/mapspace/src/factor.rs:
 crates/mapspace/src/heuristic.rs:
 crates/mapspace/src/padding.rs:

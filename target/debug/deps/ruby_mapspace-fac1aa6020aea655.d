@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/ruby_mapspace-fac1aa6020aea655.d: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs Cargo.toml
+/root/repo/target/debug/deps/ruby_mapspace-fac1aa6020aea655.d: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/enumerate.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs Cargo.toml
 
-/root/repo/target/debug/deps/libruby_mapspace-fac1aa6020aea655.rmeta: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs Cargo.toml
+/root/repo/target/debug/deps/libruby_mapspace-fac1aa6020aea655.rmeta: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/enumerate.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs Cargo.toml
 
 crates/mapspace/src/lib.rs:
 crates/mapspace/src/constraints.rs:
+crates/mapspace/src/enumerate.rs:
 crates/mapspace/src/factor.rs:
 crates/mapspace/src/heuristic.rs:
 crates/mapspace/src/padding.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/ruby_model-30ed8f44cc0368c1.d: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
+/root/repo/target/debug/deps/ruby_model-30ed8f44cc0368c1.d: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/bound.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
 
-/root/repo/target/debug/deps/libruby_model-30ed8f44cc0368c1.rlib: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
+/root/repo/target/debug/deps/libruby_model-30ed8f44cc0368c1.rlib: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/bound.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
 
-/root/repo/target/debug/deps/libruby_model-30ed8f44cc0368c1.rmeta: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
+/root/repo/target/debug/deps/libruby_model-30ed8f44cc0368c1.rmeta: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/bound.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
 
 crates/model/src/lib.rs:
 crates/model/src/access.rs:
+crates/model/src/bound.rs:
 crates/model/src/context.rs:
 crates/model/src/latency.rs:
 crates/model/src/report.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/ruby_model-a54a7cdee6df26a4.d: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs Cargo.toml
+/root/repo/target/debug/deps/ruby_model-a54a7cdee6df26a4.d: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/bound.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs Cargo.toml
 
-/root/repo/target/debug/deps/libruby_model-a54a7cdee6df26a4.rmeta: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs Cargo.toml
+/root/repo/target/debug/deps/libruby_model-a54a7cdee6df26a4.rmeta: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/bound.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs Cargo.toml
 
 crates/model/src/lib.rs:
 crates/model/src/access.rs:
+crates/model/src/bound.rs:
 crates/model/src/context.rs:
 crates/model/src/latency.rs:
 crates/model/src/report.rs:

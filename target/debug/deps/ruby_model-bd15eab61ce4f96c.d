@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/ruby_model-bd15eab61ce4f96c.d: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
+/root/repo/target/debug/deps/ruby_model-bd15eab61ce4f96c.d: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/bound.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
 
-/root/repo/target/debug/deps/ruby_model-bd15eab61ce4f96c: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
+/root/repo/target/debug/deps/ruby_model-bd15eab61ce4f96c: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/bound.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
 
 crates/model/src/lib.rs:
 crates/model/src/access.rs:
+crates/model/src/bound.rs:
 crates/model/src/context.rs:
 crates/model/src/latency.rs:
 crates/model/src/report.rs:

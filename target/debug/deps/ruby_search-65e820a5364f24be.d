@@ -1,6 +1,8 @@
-/root/repo/target/debug/deps/ruby_search-65e820a5364f24be.d: crates/search/src/lib.rs crates/search/src/anneal.rs
+/root/repo/target/debug/deps/ruby_search-65e820a5364f24be.d: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/exhaustive.rs crates/search/src/memo.rs
 
-/root/repo/target/debug/deps/ruby_search-65e820a5364f24be: crates/search/src/lib.rs crates/search/src/anneal.rs
+/root/repo/target/debug/deps/ruby_search-65e820a5364f24be: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/exhaustive.rs crates/search/src/memo.rs
 
 crates/search/src/lib.rs:
 crates/search/src/anneal.rs:
+crates/search/src/exhaustive.rs:
+crates/search/src/memo.rs:

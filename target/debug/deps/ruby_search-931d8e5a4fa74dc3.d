@@ -1,9 +1,11 @@
-/root/repo/target/debug/deps/ruby_search-931d8e5a4fa74dc3.d: crates/search/src/lib.rs crates/search/src/anneal.rs Cargo.toml
+/root/repo/target/debug/deps/ruby_search-931d8e5a4fa74dc3.d: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/exhaustive.rs crates/search/src/memo.rs Cargo.toml
 
-/root/repo/target/debug/deps/libruby_search-931d8e5a4fa74dc3.rmeta: crates/search/src/lib.rs crates/search/src/anneal.rs Cargo.toml
+/root/repo/target/debug/deps/libruby_search-931d8e5a4fa74dc3.rmeta: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/exhaustive.rs crates/search/src/memo.rs Cargo.toml
 
 crates/search/src/lib.rs:
 crates/search/src/anneal.rs:
+crates/search/src/exhaustive.rs:
+crates/search/src/memo.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

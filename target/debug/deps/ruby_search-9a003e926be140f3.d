@@ -1,8 +1,10 @@
-/root/repo/target/debug/deps/ruby_search-9a003e926be140f3.d: crates/search/src/lib.rs crates/search/src/anneal.rs
+/root/repo/target/debug/deps/ruby_search-9a003e926be140f3.d: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/exhaustive.rs crates/search/src/memo.rs
 
-/root/repo/target/debug/deps/libruby_search-9a003e926be140f3.rlib: crates/search/src/lib.rs crates/search/src/anneal.rs
+/root/repo/target/debug/deps/libruby_search-9a003e926be140f3.rlib: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/exhaustive.rs crates/search/src/memo.rs
 
-/root/repo/target/debug/deps/libruby_search-9a003e926be140f3.rmeta: crates/search/src/lib.rs crates/search/src/anneal.rs
+/root/repo/target/debug/deps/libruby_search-9a003e926be140f3.rmeta: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/exhaustive.rs crates/search/src/memo.rs
 
 crates/search/src/lib.rs:
 crates/search/src/anneal.rs:
+crates/search/src/exhaustive.rs:
+crates/search/src/memo.rs:

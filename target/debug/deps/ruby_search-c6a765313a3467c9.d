@@ -1,9 +1,11 @@
-/root/repo/target/debug/deps/ruby_search-c6a765313a3467c9.d: crates/search/src/lib.rs crates/search/src/anneal.rs Cargo.toml
+/root/repo/target/debug/deps/ruby_search-c6a765313a3467c9.d: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/exhaustive.rs crates/search/src/memo.rs Cargo.toml
 
-/root/repo/target/debug/deps/libruby_search-c6a765313a3467c9.rmeta: crates/search/src/lib.rs crates/search/src/anneal.rs Cargo.toml
+/root/repo/target/debug/deps/libruby_search-c6a765313a3467c9.rmeta: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/exhaustive.rs crates/search/src/memo.rs Cargo.toml
 
 crates/search/src/lib.rs:
 crates/search/src/anneal.rs:
+crates/search/src/exhaustive.rs:
+crates/search/src/memo.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

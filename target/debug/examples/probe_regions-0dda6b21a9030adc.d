@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_regions-0dda6b21a9030adc.d: crates/core/examples/probe_regions.rs
+
+/root/repo/target/debug/examples/probe_regions-0dda6b21a9030adc: crates/core/examples/probe_regions.rs
+
+crates/core/examples/probe_regions.rs:

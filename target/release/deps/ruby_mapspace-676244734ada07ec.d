@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/ruby_mapspace-676244734ada07ec.d: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
+/root/repo/target/release/deps/ruby_mapspace-676244734ada07ec.d: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/enumerate.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
 
-/root/repo/target/release/deps/libruby_mapspace-676244734ada07ec.rlib: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
+/root/repo/target/release/deps/libruby_mapspace-676244734ada07ec.rlib: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/enumerate.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
 
-/root/repo/target/release/deps/libruby_mapspace-676244734ada07ec.rmeta: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
+/root/repo/target/release/deps/libruby_mapspace-676244734ada07ec.rmeta: crates/mapspace/src/lib.rs crates/mapspace/src/constraints.rs crates/mapspace/src/enumerate.rs crates/mapspace/src/factor.rs crates/mapspace/src/heuristic.rs crates/mapspace/src/padding.rs crates/mapspace/src/space.rs
 
 crates/mapspace/src/lib.rs:
 crates/mapspace/src/constraints.rs:
+crates/mapspace/src/enumerate.rs:
 crates/mapspace/src/factor.rs:
 crates/mapspace/src/heuristic.rs:
 crates/mapspace/src/padding.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/ruby_model-4012f7eb9ebd359c.d: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
+/root/repo/target/release/deps/ruby_model-4012f7eb9ebd359c.d: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/bound.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
 
-/root/repo/target/release/deps/libruby_model-4012f7eb9ebd359c.rlib: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
+/root/repo/target/release/deps/libruby_model-4012f7eb9ebd359c.rlib: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/bound.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
 
-/root/repo/target/release/deps/libruby_model-4012f7eb9ebd359c.rmeta: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
+/root/repo/target/release/deps/libruby_model-4012f7eb9ebd359c.rmeta: crates/model/src/lib.rs crates/model/src/access.rs crates/model/src/bound.rs crates/model/src/context.rs crates/model/src/latency.rs crates/model/src/report.rs crates/model/src/validity.rs
 
 crates/model/src/lib.rs:
 crates/model/src/access.rs:
+crates/model/src/bound.rs:
 crates/model/src/context.rs:
 crates/model/src/latency.rs:
 crates/model/src/report.rs:

@@ -1,8 +1,10 @@
-/root/repo/target/release/deps/ruby_search-380fb82bae0e8448.d: crates/search/src/lib.rs crates/search/src/anneal.rs
+/root/repo/target/release/deps/ruby_search-380fb82bae0e8448.d: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/exhaustive.rs crates/search/src/memo.rs
 
-/root/repo/target/release/deps/libruby_search-380fb82bae0e8448.rlib: crates/search/src/lib.rs crates/search/src/anneal.rs
+/root/repo/target/release/deps/libruby_search-380fb82bae0e8448.rlib: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/exhaustive.rs crates/search/src/memo.rs
 
-/root/repo/target/release/deps/libruby_search-380fb82bae0e8448.rmeta: crates/search/src/lib.rs crates/search/src/anneal.rs
+/root/repo/target/release/deps/libruby_search-380fb82bae0e8448.rmeta: crates/search/src/lib.rs crates/search/src/anneal.rs crates/search/src/exhaustive.rs crates/search/src/memo.rs
 
 crates/search/src/lib.rs:
 crates/search/src/anneal.rs:
+crates/search/src/exhaustive.rs:
+crates/search/src/memo.rs:

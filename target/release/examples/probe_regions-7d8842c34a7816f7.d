@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_regions-7d8842c34a7816f7.d: crates/core/examples/probe_regions.rs
+
+/root/repo/target/release/examples/probe_regions-7d8842c34a7816f7: crates/core/examples/probe_regions.rs
+
+crates/core/examples/probe_regions.rs:
