@@ -1,0 +1,511 @@
+//! The semantic mapping verifier.
+//!
+//! [`MappingAnalyzer`] walks a [`Mapping`] against an [`Architecture`]
+//! and [`ProblemShape`] and reports every finding as a coded
+//! [`Diagnostic`] (see [`crate::diag`] for the code table). Unlike the
+//! cost model's fail-fast screens it never panics and never stops at the
+//! first problem, so it can explain *all* the ways a hand-written or
+//! deserialized mapping is broken.
+//!
+//! # The differential contract
+//!
+//! For structurally well-formed mappings of the right hierarchy depth,
+//! `analyze(m).has_errors()` is `true` exactly when
+//! `ruby_model::EvalContext::precheck(m)` rejects `m`. The capacity and
+//! fanout findings (`RBY001`/`RBY002`) are built from
+//! [`EvalContext::violations`] — the model's own validity predicates run
+//! to exhaustion — so the two sides cannot drift apart; the remaining
+//! error codes catch states the model's fast path *assumes away*
+//! (malformed chains, contradictory bypass masks, broken remainder
+//! bookkeeping) and cannot fire on builder- or sampler-produced
+//! mappings.
+
+use std::collections::BTreeMap;
+
+use ruby_arch::{Architecture, Capacity};
+use ruby_mapping::{Mapping, SlotId};
+use ruby_model::{EvalContext, InvalidMapping, ModelOptions};
+use ruby_workload::{Dim, Operand, ProblemShape};
+
+use crate::diag::{Analysis, DiagCode, Diagnostic};
+
+/// Semantic verifier for mappings against one `(architecture, workload)`
+/// pair. Build once, analyze many mappings.
+///
+/// # Examples
+///
+/// ```
+/// use ruby_analysis::MappingAnalyzer;
+/// use ruby_arch::presets;
+/// use ruby_mapping::{Mapping, SlotKind};
+/// use ruby_workload::{Dim, ProblemShape};
+///
+/// let arch = presets::toy_linear(4, 1024);
+/// let shape = ProblemShape::rank1("d", 100);
+/// let analyzer = MappingAnalyzer::new(&arch, &shape);
+///
+/// // 8-wide spatial spread over a 4-PE array: RBY002 FanoutOverflow.
+/// let mut b = Mapping::builder(2);
+/// b.set_tile(Dim::M, 0, SlotKind::SpatialX, 8);
+/// let m = b.build_for_bounds(shape.bounds()).unwrap();
+/// let analysis = analyzer.analyze(&m);
+/// assert!(analysis.has_errors());
+/// assert!(analysis.render().contains("RBY002"));
+/// ```
+pub struct MappingAnalyzer<'a> {
+    arch: &'a Architecture,
+    shape: &'a ProblemShape,
+    ctx: EvalContext<'a>,
+}
+
+impl<'a> MappingAnalyzer<'a> {
+    /// Prepares an analyzer for the given architecture and workload.
+    pub fn new(arch: &'a Architecture, shape: &'a ProblemShape) -> Self {
+        MappingAnalyzer {
+            arch,
+            shape,
+            ctx: EvalContext::new(arch, shape, ModelOptions::default()),
+        }
+    }
+
+    /// Analyzes one mapping, returning every finding in a fixed
+    /// deterministic order: structural errors (RBY003), architecture
+    /// bypass conflicts (RBY004), model validity errors (RBY001/RBY002,
+    /// by ascending level), remainder bookkeeping errors (RBY005, by
+    /// dimension), then warnings.
+    pub fn analyze(&self, mapping: &Mapping) -> Analysis {
+        let mut out = Analysis::default();
+
+        self.check_bypass(&mut out);
+        if !self.check_structure(mapping, &mut out) {
+            // Chains are unusable (wrong depth or length); every later
+            // pass would index out of bounds, so stop at the structural
+            // report.
+            return out;
+        }
+        self.check_model_validity(mapping, &mut out);
+        self.check_remainders(mapping, &mut out);
+        self.check_utilization(mapping, &mut out);
+        out
+    }
+
+    /// RBY003: chain lengths, monotonicity, and boundary anchoring.
+    /// Returns whether the chains are shaped well enough for the
+    /// remaining passes to index safely.
+    fn check_structure(&self, mapping: &Mapping, out: &mut Analysis) -> bool {
+        let arch_levels = self.arch.num_levels();
+        let map_levels = mapping.layout().num_levels();
+        if arch_levels != map_levels {
+            out.push(Diagnostic::new(
+                DiagCode::IncompleteFactorization,
+                format!(
+                    "mapping was built for {map_levels} storage levels, \
+                     architecture has {arch_levels}"
+                ),
+            ));
+            return false;
+        }
+        let expected = mapping.layout().num_slots() + 1;
+        let mut usable = true;
+        for dim in Dim::ALL {
+            let chain = mapping.tile_chain(dim);
+            if chain.len() != expected {
+                out.push(Diagnostic::new(
+                    DiagCode::IncompleteFactorization,
+                    format!(
+                        "tile chain for {dim} has {} entries, expected {expected}",
+                        chain.len()
+                    ),
+                ));
+                usable = false;
+                continue;
+            }
+            if chain[0] != 1 {
+                out.push(Diagnostic::new(
+                    DiagCode::IncompleteFactorization,
+                    format!(
+                        "tile chain for {dim} starts at {}, the innermost tile must be 1",
+                        chain[0]
+                    ),
+                ));
+            }
+            if chain.windows(2).any(|w| w[0] > w[1]) {
+                out.push(Diagnostic::new(
+                    DiagCode::IncompleteFactorization,
+                    format!("tile chain for {dim} decreases going outward"),
+                ));
+            }
+            let bound = self.shape.bounds()[dim];
+            let outer = chain[expected - 1];
+            if outer != bound {
+                out.push(Diagnostic::new(
+                    DiagCode::IncompleteFactorization,
+                    format!(
+                        "outermost tile for {dim} is {outer}, \
+                         the factorization must cover the dimension bound {bound}"
+                    ),
+                ));
+            }
+        }
+        usable
+    }
+
+    /// RBY004: contradictory storage declarations in the architecture.
+    /// Reachable only through hand-written or deserialized specs —
+    /// [`Architecture::new`] validates these invariants — but a JSON
+    /// round trip bypasses the constructor.
+    fn check_bypass(&self, out: &mut Analysis) {
+        for op in Operand::ALL {
+            if self.arch.storage_chain(op).is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::BypassConflict,
+                        format!("{op} is bypassed at every level: it has no backing store"),
+                    )
+                    .for_operand(op.to_string()),
+                );
+            }
+        }
+        for (i, level) in self.arch.levels().iter().enumerate() {
+            if let Capacity::PerOperand(per) = level.capacity() {
+                for op in Operand::ALL {
+                    if level.stores(op) && per[op.index()].is_none() {
+                        out.push(
+                            Diagnostic::new(
+                                DiagCode::BypassConflict,
+                                format!(
+                                    "level {i} ({}) declares storage for {op} \
+                                     but allocates it no buffer words",
+                                    level.name()
+                                ),
+                            )
+                            .at_level(i)
+                            .for_operand(op.to_string()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// RBY001/RBY002: the model's own validity predicates, run to
+    /// exhaustion via [`EvalContext::violations`].
+    fn check_model_validity(&self, mapping: &Mapping, out: &mut Analysis) {
+        for v in self.ctx.violations(mapping) {
+            match v {
+                InvalidMapping::CapacityExceeded {
+                    level,
+                    operand,
+                    needed,
+                    available,
+                } => {
+                    let name = self.arch.level(level).name();
+                    let mut d = Diagnostic::new(
+                        DiagCode::CapacityExceeded,
+                        match operand {
+                            Some(op) => format!(
+                                "level {level} ({name}): {op} tile needs {needed} words, \
+                                 buffer holds {available}"
+                            ),
+                            None => format!(
+                                "level {level} ({name}): stored tiles need {needed} words, \
+                                 shared buffer holds {available}"
+                            ),
+                        },
+                    )
+                    .at_level(level);
+                    if let Some(op) = operand {
+                        d = d.for_operand(op.to_string());
+                    }
+                    out.push(d);
+                }
+                InvalidMapping::FanoutExceeded {
+                    level,
+                    requested,
+                    available,
+                } => {
+                    let name = self.arch.level(level).name();
+                    out.push(
+                        Diagnostic::new(
+                            DiagCode::FanoutOverflow,
+                            format!(
+                                "level {level} ({name}): spatial extent {}x{} \
+                                 exceeds fanout {}x{}",
+                                requested.0, requested.1, available.0, available.1
+                            ),
+                        )
+                        .at_level(level),
+                    );
+                }
+            }
+        }
+    }
+
+    /// RBY005: cross-checks the mapping's sequential-step accounting
+    /// against an independent recursive recomputation of eq. 5's
+    /// full-plus-residual tile arithmetic (see [`recount_steps`]).
+    fn check_remainders(&self, mapping: &Mapping, out: &mut Analysis) {
+        for dim in Dim::ALL {
+            let claimed = mapping.sequential_steps(dim);
+            let recomputed = recount_steps(mapping, dim);
+            if claimed != recomputed {
+                out.push(Diagnostic::new(
+                    DiagCode::ImperfectRemainderMismatch,
+                    format!(
+                        "sequential steps along {dim}: mapping accounts {claimed}, \
+                         residual-exact recount gives {recomputed}"
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// RBY101: spatial fanout left idle.
+    fn check_utilization(&self, mapping: &Mapping, out: &mut Analysis) {
+        for (i, level) in self.arch.levels().iter().enumerate() {
+            let fan = level.fanout();
+            let total = fan.x().saturating_mul(fan.y());
+            if total <= 1 {
+                continue;
+            }
+            let (x, y) = mapping.spatial_extent(i);
+            let used = x.saturating_mul(y);
+            if used < total && x <= fan.x() && y <= fan.y() {
+                let pct = 100.0 * used as f64 / total as f64;
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::FanoutUnderutilized,
+                        format!(
+                            "level {i} ({}): spatial extent {x}x{y} uses {used} of \
+                             {}x{} = {total} units ({pct:.1}%)",
+                            level.name(),
+                            fan.x(),
+                            fan.y(),
+                        ),
+                    )
+                    .at_level(i),
+                );
+            }
+        }
+    }
+}
+
+/// Independent recount of one dimension's sequential steps.
+///
+/// Where `ruby_mapping::profile` propagates tile-size *multisets* from
+/// the outermost boundary inward, this walks top-down recursively: a
+/// tile of `size` at chain boundary `b` splits at a temporal slot into
+/// `size / g` full children plus one exact residual of `size % g`
+/// (paper eq. 5), and clamps at a spatial slot to its largest lockstep
+/// chunk. Memoized on `(boundary, size)` — residual sizes stay few — so
+/// the recount is linear in practice while sharing no code with the
+/// profile machinery it cross-checks.
+fn recount_steps(mapping: &Mapping, dim: Dim) -> u64 {
+    fn go(
+        chain: &[u64],
+        mapping: &Mapping,
+        memo: &mut BTreeMap<(usize, u64), u64>,
+        b: usize,
+        size: u64,
+    ) -> u64 {
+        if b == 0 {
+            // A tile that reached the innermost boundary is one step
+            // unit; degenerate zero-sized tiles (malformed chains,
+            // already reported as RBY003) contribute nothing.
+            return u64::from(size > 0);
+        }
+        if let Some(&steps) = memo.get(&(b, size)) {
+            return steps;
+        }
+        let g = chain[b - 1].max(1);
+        let kind = mapping.layout().kind_of(SlotId::new(b - 1));
+        let steps = if kind.is_spatial() {
+            // Lockstep: one dispatch, paced by the largest chunk.
+            go(chain, mapping, memo, b - 1, size.min(g))
+        } else {
+            let full = size / g;
+            let rem = size % g;
+            let mut steps = full.saturating_mul(go(chain, mapping, memo, b - 1, g));
+            if rem > 0 {
+                steps = steps.saturating_add(go(chain, mapping, memo, b - 1, rem));
+            }
+            steps
+        };
+        memo.insert((b, size), steps);
+        steps
+    }
+    let chain = mapping.tile_chain(dim);
+    let slots = chain.len() - 1;
+    let mut memo = BTreeMap::new();
+    go(chain, mapping, &mut memo, slots, chain[slots])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruby_arch::presets;
+    use ruby_mapping::SlotKind;
+    use ruby_model::evaluate_with;
+    use ruby_workload::DimMap;
+
+    fn bounds_m(d: u64) -> DimMap<u64> {
+        let mut b = DimMap::splat(1u64);
+        b[Dim::M] = d;
+        b
+    }
+
+    #[test]
+    fn valid_mapping_has_no_errors() {
+        let arch = presets::toy_linear(9, 1024);
+        let shape = ProblemShape::rank1("d", 100);
+        let analyzer = MappingAnalyzer::new(&arch, &shape);
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, 9);
+        let m = b.build_for_bounds(shape.bounds()).unwrap();
+        let analysis = analyzer.analyze(&m);
+        assert!(!analysis.has_errors(), "{}", analysis.render());
+    }
+
+    #[test]
+    fn fanout_overflow_reported_as_rby002() {
+        let arch = presets::toy_linear(4, 1024);
+        let shape = ProblemShape::rank1("d", 100);
+        let analyzer = MappingAnalyzer::new(&arch, &shape);
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, 8);
+        let m = b.build_for_bounds(shape.bounds()).unwrap();
+        let analysis = analyzer.analyze(&m);
+        assert!(analysis.has_errors());
+        assert!(analysis
+            .errors()
+            .any(|d| d.code() == DiagCode::FanoutOverflow));
+    }
+
+    #[test]
+    fn capacity_overflow_reported_as_rby001_with_anchors() {
+        let arch = presets::eyeriss_like(14, 12);
+        let shape = ProblemShape::conv("l", 1, 32, 1, 8, 8, 3, 3, (1, 1));
+        let analyzer = MappingAnalyzer::new(&arch, &shape);
+        let mut b = Mapping::builder(3);
+        b.set_tile(Dim::M, 2, SlotKind::Temporal, 32);
+        b.set_tile(Dim::R, 2, SlotKind::Temporal, 3);
+        b.set_tile(Dim::S, 2, SlotKind::Temporal, 3);
+        let m = b.build_for_bounds(shape.bounds()).unwrap();
+        let analysis = analyzer.analyze(&m);
+        let cap: Vec<_> = analysis
+            .errors()
+            .filter(|d| d.code() == DiagCode::CapacityExceeded)
+            .collect();
+        assert!(!cap.is_empty());
+        assert_eq!(cap[0].level(), Some(2));
+        assert_eq!(cap[0].operand(), Some("W"));
+    }
+
+    #[test]
+    fn all_violations_reported_not_just_first() {
+        // Violates fanout at level 0 AND shared capacity at level 1; the
+        // model's fail-fast screen reports only the fanout, the analyzer
+        // reports both.
+        let arch = presets::toy_linear(4, 64);
+        let shape = ProblemShape::rank1("d", 100);
+        let analyzer = MappingAnalyzer::new(&arch, &shape);
+        let mut b = Mapping::builder(2);
+        // Chain [1,1,1,16,16,100,100]: spatial count ceil(100/16) = 7
+        // over 4 PEs, and a 16-element PE tile needing 16+16+1 = 33 of
+        // 32 shared words.
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, 8);
+        b.set_tile(Dim::M, 1, SlotKind::Temporal, 16);
+        let m = b.build_for_bounds(shape.bounds()).unwrap();
+        let analysis = analyzer.analyze(&m);
+        assert!(analysis
+            .errors()
+            .any(|d| d.code() == DiagCode::FanoutOverflow));
+        assert!(analysis
+            .errors()
+            .any(|d| d.code() == DiagCode::CapacityExceeded));
+    }
+
+    #[test]
+    fn wrong_depth_reported_as_rby003_without_panicking() {
+        let arch = presets::eyeriss_like(14, 12);
+        let shape = ProblemShape::rank1("d", 100);
+        let analyzer = MappingAnalyzer::new(&arch, &shape);
+        // Built for 2 levels; the architecture has 3.
+        let m = Mapping::builder(2)
+            .build_for_bounds(shape.bounds())
+            .unwrap();
+        let analysis = analyzer.analyze(&m);
+        assert!(analysis
+            .errors()
+            .any(|d| d.code() == DiagCode::IncompleteFactorization));
+    }
+
+    #[test]
+    fn malformed_chain_reported_as_rby003() {
+        // Hand-build a mapping whose outer tile misses the bound, as a
+        // JSON round trip could produce; `evaluate` would silently cost
+        // the truncated problem, the analyzer flags it.
+        let arch = presets::toy_linear(4, 1024);
+        let shape = ProblemShape::rank1("d", 100);
+        let analyzer = MappingAnalyzer::new(&arch, &shape);
+        let mut tiling = DimMap::from_fn(|_| vec![1u64; 7]);
+        tiling[Dim::M] = vec![1, 1, 1, 1, 1, 1, 64]; // bound is 100
+        let m = Mapping::from_tile_chains(2, tiling, vec![ruby_mapping::DEFAULT_PERM; 2]).unwrap();
+        let analysis = analyzer.analyze(&m);
+        assert!(analysis
+            .errors()
+            .any(|d| d.code() == DiagCode::IncompleteFactorization
+                && d.message().contains("dimension bound 100")));
+    }
+
+    #[test]
+    fn underutilized_fanout_is_warning_only() {
+        let arch = presets::toy_linear(16, 1024);
+        let shape = ProblemShape::rank1("d", 100);
+        let analyzer = MappingAnalyzer::new(&arch, &shape);
+        let mut b = Mapping::builder(2);
+        b.set_tile(Dim::M, 0, SlotKind::SpatialX, 4); // 4 of 16 PEs
+        let m = b.build_for_bounds(shape.bounds()).unwrap();
+        let analysis = analyzer.analyze(&m);
+        assert!(!analysis.has_errors());
+        assert!(analysis
+            .warnings()
+            .any(|d| d.code() == DiagCode::FanoutUnderutilized));
+    }
+
+    #[test]
+    fn recount_matches_profile_machinery_on_imperfect_chains() {
+        for (sx, t) in [(1u64, 7u64), (6, 1), (6, 2), (3, 7), (16, 16)] {
+            let mut b = Mapping::builder(2);
+            b.set_tile(Dim::M, 0, SlotKind::SpatialX, sx);
+            b.set_tile(Dim::M, 1, SlotKind::Temporal, t);
+            let m = b.build_for_bounds(&bounds_m(100)).unwrap();
+            assert_eq!(
+                recount_steps(&m, Dim::M),
+                m.sequential_steps(Dim::M),
+                "sx={sx} t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_evaluate_on_rejection() {
+        let arch = presets::eyeriss_like(14, 12);
+        let shape = ProblemShape::conv("l", 1, 16, 4, 8, 8, 3, 3, (1, 1));
+        let analyzer = MappingAnalyzer::new(&arch, &shape);
+        let ctx = EvalContext::new(&arch, &shape, ModelOptions::default());
+        let mut b = Mapping::builder(3);
+        for sx in [1u64, 7, 14, 15] {
+            for t in [1u64, 9, 32, 96] {
+                b.reset();
+                b.set_tile(Dim::Q, 1, SlotKind::SpatialX, sx);
+                b.set_tile(Dim::M, 2, SlotKind::Temporal, t);
+                b.set_tile(Dim::R, 2, SlotKind::Temporal, 3);
+                let m = b.build_for_bounds(shape.bounds()).unwrap();
+                let rejected = evaluate_with(&ctx, &m).is_err();
+                let analysis = analyzer.analyze(&m);
+                assert_eq!(rejected, analysis.has_errors(), "sx={sx} t={t}");
+            }
+        }
+    }
+}

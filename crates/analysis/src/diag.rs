@@ -1,0 +1,327 @@
+//! Structured diagnostics with stable `RBYxxx` codes.
+//!
+//! Every analyzer finding carries a [`DiagCode`] that is stable across
+//! releases (tools may match on the code string), a [`Severity`], and a
+//! human-readable message. Errors mark mappings the cost model would
+//! reject or whose internal bookkeeping is inconsistent; warnings flag
+//! legal-but-suspicious structure (idle fanout, dead buffers) and never
+//! affect [`Analysis::has_errors`].
+
+use serde::Value;
+
+/// Stable diagnostic codes. The numeric band encodes severity: `RBY0xx`
+/// are errors, `RBY1xx` are warnings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// `RBY001`: a tensor tile (or the sum of stored tiles for a shared
+    /// buffer) exceeds a level's capacity.
+    CapacityExceeded,
+    /// `RBY002`: the spatial extent mapped below a level exceeds its
+    /// fanout.
+    FanoutOverflow,
+    /// `RBY003`: the tile chains do not factor the workload — wrong
+    /// chain length for the hierarchy, a non-monotone chain, an inner
+    /// boundary that is not 1, or an outer boundary that misses the
+    /// dimension bound.
+    IncompleteFactorization,
+    /// `RBY004`: the architecture's bypass/storage declarations
+    /// contradict themselves — an operand stored nowhere, or a level
+    /// that declares storage for an operand without allocating any
+    /// per-operand buffer words.
+    BypassConflict,
+    /// `RBY005`: the mapping's imperfect-factorization bookkeeping is
+    /// inconsistent — an independent recomputation of the sequential
+    /// step count (full tiles plus exact residuals, paper eq. 5)
+    /// disagrees with the mapping's own accounting.
+    ImperfectRemainderMismatch,
+    /// `RBY101` (warning): a level's spatial fanout is only partially
+    /// used; the mapping leaves compute units idle.
+    FanoutUnderutilized,
+}
+
+/// Diagnostic severity. Only [`Severity::Error`] marks a mapping
+/// invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The mapping is rejected by the cost model or internally
+    /// inconsistent.
+    Error,
+    /// Legal but suspicious; evaluation proceeds.
+    Warning,
+}
+
+impl Severity {
+    /// Lower-case name, as rendered in text and JSON output.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+impl DiagCode {
+    /// The stable code string, e.g. `"RBY001"`.
+    pub const fn code(self) -> &'static str {
+        match self {
+            DiagCode::CapacityExceeded => "RBY001",
+            DiagCode::FanoutOverflow => "RBY002",
+            DiagCode::IncompleteFactorization => "RBY003",
+            DiagCode::BypassConflict => "RBY004",
+            DiagCode::ImperfectRemainderMismatch => "RBY005",
+            DiagCode::FanoutUnderutilized => "RBY101",
+        }
+    }
+
+    /// The short CamelCase name, e.g. `"CapacityExceeded"`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DiagCode::CapacityExceeded => "CapacityExceeded",
+            DiagCode::FanoutOverflow => "FanoutOverflow",
+            DiagCode::IncompleteFactorization => "IncompleteFactorization",
+            DiagCode::BypassConflict => "BypassConflict",
+            DiagCode::ImperfectRemainderMismatch => "ImperfectRemainderMismatch",
+            DiagCode::FanoutUnderutilized => "FanoutUnderutilized",
+        }
+    }
+
+    /// The severity implied by the code band.
+    pub const fn severity(self) -> Severity {
+        match self {
+            DiagCode::CapacityExceeded
+            | DiagCode::FanoutOverflow
+            | DiagCode::IncompleteFactorization
+            | DiagCode::BypassConflict
+            | DiagCode::ImperfectRemainderMismatch => Severity::Error,
+            DiagCode::FanoutUnderutilized => Severity::Warning,
+        }
+    }
+}
+
+/// One analyzer finding: a coded, located, human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    code: DiagCode,
+    message: String,
+    /// Architecture level index the finding anchors to, if any
+    /// (0 = outermost).
+    level: Option<usize>,
+    /// Operand name the finding anchors to, if any.
+    operand: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic with no location anchors.
+    pub fn new(code: DiagCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            message: message.into(),
+            level: None,
+            operand: None,
+        }
+    }
+
+    /// Anchors the diagnostic to an architecture level.
+    pub fn at_level(mut self, level: usize) -> Self {
+        self.level = Some(level);
+        self
+    }
+
+    /// Anchors the diagnostic to an operand.
+    pub fn for_operand(mut self, operand: impl Into<String>) -> Self {
+        self.operand = Some(operand.into());
+        self
+    }
+
+    /// The stable diagnostic code.
+    pub fn code(&self) -> DiagCode {
+        self.code
+    }
+
+    /// The severity (derived from the code band).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// The human-readable message body.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The anchored architecture level, if any.
+    pub fn level(&self) -> Option<usize> {
+        self.level
+    }
+
+    /// The anchored operand name, if any.
+    pub fn operand(&self) -> Option<&str> {
+        self.operand.as_deref()
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}",
+            self.severity().as_str(),
+            self.code.code(),
+            self.message
+        )
+    }
+}
+
+impl serde::Serialize for Diagnostic {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("code".to_string(), Value::Str(self.code.code().to_string())),
+            ("name".to_string(), Value::Str(self.code.name().to_string())),
+            (
+                "severity".to_string(),
+                Value::Str(self.severity().as_str().to_string()),
+            ),
+            ("message".to_string(), Value::Str(self.message.clone())),
+        ];
+        if let Some(level) = self.level {
+            fields.push(("level".to_string(), Value::U64(level as u64)));
+        }
+        if let Some(op) = &self.operand {
+            fields.push(("operand".to_string(), Value::Str(op.clone())));
+        }
+        Value::Obj(fields)
+    }
+}
+
+/// The full result of analyzing one mapping: every finding, in the
+/// analyzer's fixed deterministic order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Analysis {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Analysis {
+    pub(crate) fn push(&mut self, diag: Diagnostic) {
+        self.diagnostics.push(diag);
+    }
+
+    /// All findings, errors first then warnings within the analyzer's
+    /// pass order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Whether any error-severity finding is present. This is `true`
+    /// exactly when the cost model rejects the mapping (the differential
+    /// contract with `EvalContext::precheck`) or its bookkeeping is
+    /// inconsistent.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity() == Severity::Error)
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+    }
+
+    /// The warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+    }
+
+    /// Multi-line human-readable rendering: one `severity[CODE]: message`
+    /// line per finding plus a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        if errors == 0 && warnings == 0 {
+            out.push_str("mapping is valid: no findings\n");
+        } else {
+            out.push_str(&format!(
+                "{errors} error{}, {warnings} warning{}: mapping is {}\n",
+                if errors == 1 { "" } else { "s" },
+                if warnings == 1 { "" } else { "s" },
+                if errors == 0 { "valid" } else { "invalid" },
+            ));
+        }
+        out
+    }
+}
+
+impl serde::Serialize for Analysis {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("valid".to_string(), Value::Bool(!self.has_errors())),
+            (
+                "error_count".to_string(),
+                Value::U64(self.errors().count() as u64),
+            ),
+            (
+                "warning_count".to_string(),
+                Value::U64(self.warnings().count() as u64),
+            ),
+            (
+                "diagnostics".to_string(),
+                Value::Arr(self.diagnostics.iter().map(|d| d.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[test]
+    fn codes_are_stable_and_banded() {
+        assert_eq!(DiagCode::CapacityExceeded.code(), "RBY001");
+        assert_eq!(DiagCode::FanoutOverflow.code(), "RBY002");
+        assert_eq!(DiagCode::IncompleteFactorization.code(), "RBY003");
+        assert_eq!(DiagCode::BypassConflict.code(), "RBY004");
+        assert_eq!(DiagCode::ImperfectRemainderMismatch.code(), "RBY005");
+        assert_eq!(DiagCode::FanoutUnderutilized.code(), "RBY101");
+        assert_eq!(DiagCode::FanoutUnderutilized.severity(), Severity::Warning);
+        assert_eq!(DiagCode::CapacityExceeded.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn analysis_partitions_by_severity() {
+        let mut a = Analysis::default();
+        a.push(Diagnostic::new(DiagCode::FanoutUnderutilized, "idle PEs").at_level(1));
+        assert!(!a.has_errors());
+        a.push(
+            Diagnostic::new(DiagCode::CapacityExceeded, "too big")
+                .at_level(2)
+                .for_operand("Weight"),
+        );
+        assert!(a.has_errors());
+        assert_eq!(a.errors().count(), 1);
+        assert_eq!(a.warnings().count(), 1);
+        assert!(a.render().contains("error[RBY001]: too big"));
+        assert!(a
+            .render()
+            .contains("1 error, 1 warning: mapping is invalid"));
+    }
+
+    #[test]
+    fn json_rendering_carries_code_and_anchors() {
+        let d = Diagnostic::new(DiagCode::FanoutOverflow, "15x1 over 14x12")
+            .at_level(1)
+            .for_operand("Input");
+        let v = d.to_value();
+        assert_eq!(v.get("code"), Some(&Value::Str("RBY002".to_string())));
+        assert_eq!(v.get("level"), Some(&Value::U64(1)));
+        assert_eq!(v.get("operand"), Some(&Value::Str("Input".to_string())));
+    }
+}

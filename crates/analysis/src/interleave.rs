@@ -1,0 +1,582 @@
+//! Mini-loom: bounded-exhaustive deterministic interleaving exploration
+//! for small lock-free protocols.
+//!
+//! The search engine's hot path relies on two hand-rolled lock-free
+//! protocols (the memo cache's claim-then-publish insert and the
+//! best-cost CAS loop) whose correctness arguments live in comments. A
+//! comment is not a check. This module provides a tiny loom/shuttle-style
+//! model checker that *runs every interleaving* of a small concurrent
+//! test, so those arguments become executable:
+//!
+//! - [`shim`] wraps the std atomics with a **yield point before every
+//!   atomic access**. Outside an exploration the wrappers compile down to
+//!   direct delegation (a thread-local lookup and a branch); inside one,
+//!   each access blocks until the scheduler grants that thread the next
+//!   step.
+//! - [`Explorer`] drives a depth-first search over scheduling decisions:
+//!   each run replays a recorded decision prefix, extends it
+//!   first-choice, and the next run flips the deepest unexplored
+//!   decision. Because every thread parks at its next atomic access, the
+//!   set of runnable threads at each decision point is a pure function of
+//!   the prefix, making replay exact.
+//!
+//! The exploration uses real OS threads with a mutex/condvar handshake —
+//! only one thread runs between yield points, so schedules are
+//! deterministic regardless of the host's actual scheduling.
+//!
+//! # Example
+//!
+//! ```
+//! use ruby_analysis::interleave::{shim::{AtomicU64, Ordering}, Explorer};
+//!
+//! // Two racing increments over a CAS loop never lose an update.
+//! let report = Explorer::new(10_000).explore(|sched| {
+//!     let counter = AtomicU64::new(0);
+//!     sched.run(vec![
+//!         Box::new(|| {
+//!             let mut cur = counter.load(Ordering::Relaxed);
+//!             loop {
+//!                 match counter.compare_exchange(
+//!                     cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed,
+//!                 ) {
+//!                     Ok(_) => break,
+//!                     Err(seen) => cur = seen,
+//!                 }
+//!             }
+//!         }),
+//!         Box::new(|| {
+//!             counter.fetch_add(1, Ordering::Relaxed);
+//!         }),
+//!     ]);
+//!     assert_eq!(counter.load(Ordering::Relaxed), 2);
+//! });
+//! assert!(report.complete);
+//! assert!(report.schedules > 1);
+//! ```
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+thread_local! {
+    /// The scheduler this OS thread participates in, with its logical
+    /// thread index — `None` on threads outside an exploration, which
+    /// makes the [`shim`] wrappers pass straight through.
+    static PARTICIPANT: RefCell<Option<(Arc<SchedState>, usize)>> = const { RefCell::new(None) };
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Spawned (or granted) and executing; not at a yield point.
+    Running,
+    /// Parked at a yield point, waiting for a grant.
+    AtYield,
+    /// Task returned (or unwound).
+    Finished,
+}
+
+/// One scheduling decision: which position in the (rotated) runnable
+/// list was chosen, out of how many.
+#[derive(Debug, Clone, Copy)]
+struct Choice {
+    pos: usize,
+    available: usize,
+}
+
+struct Inner {
+    status: Vec<Status>,
+    /// The thread currently holding the right to run, if any. Held from
+    /// grant until that thread's next yield/finish.
+    granted: Option<usize>,
+    /// Decision positions to replay from the previous run (DFS prefix).
+    replay: Vec<usize>,
+    /// Decisions actually taken this run.
+    trail: Vec<Choice>,
+}
+
+/// Shared scheduler state for one schedule execution.
+struct SchedState {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    seed: u64,
+}
+
+impl SchedState {
+    fn new(threads: usize, seed: u64, replay: Vec<usize>) -> Self {
+        SchedState {
+            inner: Mutex::new(Inner {
+                status: vec![Status::Running; threads],
+                granted: None,
+                replay,
+                trail: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            seed,
+        }
+    }
+
+    /// If every live thread is parked and nobody holds a grant, pick the
+    /// next thread to run: replay the recorded decision at this depth or
+    /// extend the trail first-choice.
+    fn try_dispatch(&self, inner: &mut Inner) {
+        if inner.granted.is_some() {
+            return;
+        }
+        if inner.status.contains(&Status::Running) {
+            return;
+        }
+        let mut runnable: Vec<usize> = (0..inner.status.len())
+            .filter(|&i| inner.status[i] == Status::AtYield)
+            .collect();
+        if runnable.is_empty() {
+            return; // All finished; the scope join completes the run.
+        }
+        // Seed-dependent rotation varies which branch the DFS explores
+        // first without affecting which schedules exist.
+        let depth = inner.trail.len();
+        let rot = (splitmix(self.seed ^ depth as u64) as usize) % runnable.len();
+        runnable.rotate_left(rot);
+        let pos = inner
+            .replay
+            .get(depth)
+            .copied()
+            .unwrap_or(0)
+            .min(runnable.len() - 1);
+        inner.trail.push(Choice {
+            pos,
+            available: runnable.len(),
+        });
+        inner.granted = Some(runnable[pos]);
+        self.cv.notify_all();
+    }
+
+    /// Blocks the calling logical thread until the scheduler grants it
+    /// the next step.
+    fn yield_point(&self, me: usize) {
+        let mut g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        g.status[me] = Status::AtYield;
+        if g.granted == Some(me) {
+            g.granted = None;
+        }
+        self.try_dispatch(&mut g);
+        while g.granted != Some(me) {
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+        g.status[me] = Status::Running;
+    }
+
+    /// Marks a logical thread finished and hands the schedule onward.
+    /// Runs from a drop guard so a panicking assertion inside a task
+    /// still releases the remaining threads (the panic itself surfaces
+    /// through the scope join).
+    fn finish(&self, me: usize) {
+        let mut g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        g.status[me] = Status::Finished;
+        if g.granted == Some(me) {
+            g.granted = None;
+        }
+        self.try_dispatch(&mut g);
+        self.cv.notify_all();
+    }
+}
+
+fn splitmix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Clears this OS thread's participant registration and marks the
+/// logical thread finished, even when the task unwinds.
+struct FinishGuard {
+    state: Arc<SchedState>,
+    me: usize,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        PARTICIPANT.with(|p| *p.borrow_mut() = None);
+        self.state.finish(self.me);
+    }
+}
+
+/// Handle passed to the exploration body; spawns the logical threads of
+/// one schedule.
+pub struct Sched {
+    state: Arc<SchedState>,
+}
+
+impl Sched {
+    /// Runs `tasks` as logical threads under the scheduler and joins
+    /// them all. Each task runs on a real OS thread but only one makes
+    /// progress between yield points. May be called more than once per
+    /// schedule; later calls continue the same decision trail.
+    ///
+    /// Panics raised by tasks (failed assertions) propagate out of the
+    /// join, failing the surrounding test.
+    pub fn run<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        {
+            let mut g = self
+                .state
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            g.status = vec![Status::Running; tasks.len()];
+            g.granted = None;
+        }
+        std::thread::scope(|scope| {
+            for (me, task) in tasks.into_iter().enumerate() {
+                let state = Arc::clone(&self.state);
+                scope.spawn(move || {
+                    PARTICIPANT.with(|p| *p.borrow_mut() = Some((Arc::clone(&state), me)));
+                    let _guard = FinishGuard { state, me };
+                    task();
+                });
+            }
+        });
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Distinct schedules executed.
+    pub schedules: usize,
+    /// Whether the decision tree was exhausted (`false` when the
+    /// schedule budget cut the search short).
+    pub complete: bool,
+}
+
+/// Depth-first exhaustive scheduler. See the module docs.
+pub struct Explorer {
+    max_schedules: usize,
+    seed: u64,
+}
+
+impl Explorer {
+    /// An explorer that runs at most `max_schedules` schedules.
+    pub fn new(max_schedules: usize) -> Self {
+        Explorer {
+            max_schedules: max_schedules.max(1),
+            seed: 0,
+        }
+    }
+
+    /// Sets the seed that rotates first-choice order at each decision
+    /// depth. Different seeds visit the same schedule set in a
+    /// different order — useful when a budget truncates the search.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs `body` once per schedule until the decision tree is
+    /// exhausted or the budget runs out. The body must be
+    /// deterministic: all cross-thread communication must go through
+    /// [`shim`] atomics, and per-run state must be created inside the
+    /// body.
+    pub fn explore<F: FnMut(&Sched)>(&self, mut body: F) -> Report {
+        let mut replay: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            let state = Arc::new(SchedState::new(0, self.seed, std::mem::take(&mut replay)));
+            let sched = Sched {
+                state: Arc::clone(&state),
+            };
+            body(&sched);
+            schedules += 1;
+            let trail = {
+                let g = state.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                g.trail.clone()
+            };
+            match next_prefix(&trail) {
+                None => {
+                    return Report {
+                        schedules,
+                        complete: true,
+                    }
+                }
+                Some(_) if schedules >= self.max_schedules => {
+                    return Report {
+                        schedules,
+                        complete: false,
+                    }
+                }
+                Some(next) => replay = next,
+            }
+        }
+    }
+}
+
+/// The DFS successor of a completed decision trail: flip the deepest
+/// decision that still has an unexplored sibling, drop everything
+/// after it. `None` when the tree is exhausted.
+fn next_prefix(trail: &[Choice]) -> Option<Vec<usize>> {
+    for (i, c) in trail.iter().enumerate().rev() {
+        if c.pos + 1 < c.available {
+            let mut prefix: Vec<usize> = trail[..i].iter().map(|c| c.pos).collect();
+            prefix.push(c.pos + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+/// Atomic wrappers with a scheduler yield before every access.
+///
+/// Drop-in for the std types the search hot path uses. On threads not
+/// participating in an exploration (production, ordinary tests) every
+/// operation delegates directly to the underlying std atomic.
+///
+/// `compare_exchange_weak` deliberately delegates to the strong
+/// variant: a spurious failure is a scheduling artifact of the host
+/// CPU, and the model checker needs behavior to be a pure function of
+/// the schedule.
+pub mod shim {
+    use std::sync::Arc;
+
+    pub use std::sync::atomic::Ordering;
+
+    use super::{SchedState, PARTICIPANT};
+
+    /// Yields to the active scheduler, if this thread is participating
+    /// in an exploration.
+    fn maybe_yield() {
+        let participant: Option<(Arc<SchedState>, usize)> =
+            PARTICIPANT.with(|p| p.borrow().clone());
+        if let Some((state, me)) = participant {
+            state.yield_point(me);
+        }
+    }
+
+    /// [`std::sync::atomic::AtomicU64`] with exploration yield points.
+    #[derive(Debug, Default)]
+    pub struct AtomicU64(std::sync::atomic::AtomicU64);
+
+    impl AtomicU64 {
+        /// See [`std::sync::atomic::AtomicU64::new`].
+        pub const fn new(v: u64) -> Self {
+            AtomicU64(std::sync::atomic::AtomicU64::new(v))
+        }
+
+        /// See [`std::sync::atomic::AtomicU64::load`].
+        pub fn load(&self, order: Ordering) -> u64 {
+            maybe_yield();
+            self.0.load(order)
+        }
+
+        /// See [`std::sync::atomic::AtomicU64::store`].
+        pub fn store(&self, v: u64, order: Ordering) {
+            maybe_yield();
+            self.0.store(v, order);
+        }
+
+        /// See [`std::sync::atomic::AtomicU64::fetch_add`].
+        pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+            maybe_yield();
+            self.0.fetch_add(v, order)
+        }
+
+        /// See [`std::sync::atomic::AtomicU64::fetch_sub`].
+        pub fn fetch_sub(&self, v: u64, order: Ordering) -> u64 {
+            maybe_yield();
+            self.0.fetch_sub(v, order)
+        }
+
+        /// See [`std::sync::atomic::AtomicU64::compare_exchange`].
+        pub fn compare_exchange(
+            &self,
+            current: u64,
+            new: u64,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<u64, u64> {
+            maybe_yield();
+            self.0.compare_exchange(current, new, success, failure)
+        }
+
+        /// See [`std::sync::atomic::AtomicU64::compare_exchange_weak`].
+        /// Delegates to the strong variant so failures are a pure
+        /// function of the schedule (see the module docs).
+        pub fn compare_exchange_weak(
+            &self,
+            current: u64,
+            new: u64,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<u64, u64> {
+            maybe_yield();
+            self.0.compare_exchange(current, new, success, failure)
+        }
+
+        /// See [`std::sync::atomic::AtomicU64::into_inner`].
+        pub fn into_inner(self) -> u64 {
+            self.0.into_inner()
+        }
+    }
+
+    /// [`std::sync::atomic::AtomicBool`] with exploration yield points.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        /// See [`std::sync::atomic::AtomicBool::new`].
+        pub const fn new(v: bool) -> Self {
+            AtomicBool(std::sync::atomic::AtomicBool::new(v))
+        }
+
+        /// See [`std::sync::atomic::AtomicBool::load`].
+        pub fn load(&self, order: Ordering) -> bool {
+            maybe_yield();
+            self.0.load(order)
+        }
+
+        /// See [`std::sync::atomic::AtomicBool::store`].
+        pub fn store(&self, v: bool, order: Ordering) {
+            maybe_yield();
+            self.0.store(v, order);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::shim::{AtomicBool, AtomicU64, Ordering};
+    use super::*;
+
+    #[test]
+    fn passthrough_outside_exploration() {
+        let a = AtomicU64::new(1);
+        assert_eq!(a.load(Ordering::SeqCst), 1);
+        a.store(5, Ordering::SeqCst);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 5);
+        assert_eq!(a.into_inner(), 7);
+        let b = AtomicBool::new(false);
+        b.store(true, Ordering::SeqCst);
+        assert!(b.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn explores_all_two_thread_interleavings_of_two_stores() {
+        // Two threads, one store each: exactly 2 schedules.
+        let report = Explorer::new(1000).explore(|sched| {
+            let a = AtomicU64::new(0);
+            sched.run(vec![
+                Box::new(|| a.store(1, Ordering::SeqCst)),
+                Box::new(|| a.store(2, Ordering::SeqCst)),
+            ]);
+            let last = a.load(Ordering::SeqCst);
+            assert!(last == 1 || last == 2);
+        });
+        assert!(report.complete);
+        assert_eq!(report.schedules, 2);
+    }
+
+    #[test]
+    fn schedule_count_matches_interleaving_combinatorics() {
+        // Two threads with two ops each: C(4, 2) = 6 interleavings.
+        let report = Explorer::new(1000).explore(|sched| {
+            let a = AtomicU64::new(0);
+            let b = AtomicU64::new(0);
+            sched.run(vec![
+                Box::new(|| {
+                    a.store(1, Ordering::SeqCst);
+                    b.store(1, Ordering::SeqCst);
+                }),
+                Box::new(|| {
+                    b.store(2, Ordering::SeqCst);
+                    a.store(2, Ordering::SeqCst);
+                }),
+            ]);
+        });
+        assert!(report.complete);
+        assert_eq!(report.schedules, 6);
+    }
+
+    #[test]
+    fn finds_the_lost_update_in_a_naive_counter() {
+        // The classic read-modify-write race: exhaustive exploration
+        // must visit at least one schedule where an increment is lost.
+        let mut lost = false;
+        let report = Explorer::new(1000).explore(|sched| {
+            let c = AtomicU64::new(0);
+            sched.run(vec![
+                Box::new(|| {
+                    let v = c.load(Ordering::SeqCst);
+                    c.store(v + 1, Ordering::SeqCst);
+                }),
+                Box::new(|| {
+                    let v = c.load(Ordering::SeqCst);
+                    c.store(v + 1, Ordering::SeqCst);
+                }),
+            ]);
+            if c.load(Ordering::SeqCst) == 1 {
+                lost = true;
+            }
+        });
+        assert!(report.complete);
+        assert!(lost, "exhaustive search must surface the lost update");
+    }
+
+    #[test]
+    fn budget_truncates_and_reports_incomplete() {
+        let report = Explorer::new(3).explore(|sched| {
+            let a = AtomicU64::new(0);
+            sched.run(vec![
+                Box::new(|| {
+                    a.fetch_add(1, Ordering::SeqCst);
+                    a.fetch_add(1, Ordering::SeqCst);
+                }),
+                Box::new(|| {
+                    a.fetch_add(1, Ordering::SeqCst);
+                    a.fetch_add(1, Ordering::SeqCst);
+                }),
+            ]);
+        });
+        assert!(!report.complete);
+        assert_eq!(report.schedules, 3);
+    }
+
+    #[test]
+    fn seeds_permute_exploration_order_not_outcome() {
+        for seed in [0u64, 1, 42] {
+            let report = Explorer::new(1000).seed(seed).explore(|sched| {
+                let a = AtomicU64::new(0);
+                sched.run(vec![
+                    Box::new(|| a.store(1, Ordering::SeqCst)),
+                    Box::new(|| {
+                        a.load(Ordering::SeqCst);
+                        a.store(2, Ordering::SeqCst);
+                    }),
+                ]);
+            });
+            assert!(report.complete, "seed {seed}");
+            assert_eq!(report.schedules, 3, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn three_threads_explode_combinatorially() {
+        // 3 threads x 2 ops: 6!/(2!2!2!) = 90 interleavings.
+        let report = Explorer::new(10_000).explore(|sched| {
+            let a = AtomicU64::new(0);
+            sched.run(vec![
+                Box::new(|| {
+                    a.fetch_add(1, Ordering::SeqCst);
+                    a.fetch_add(1, Ordering::SeqCst);
+                }),
+                Box::new(|| {
+                    a.fetch_add(1, Ordering::SeqCst);
+                    a.fetch_add(1, Ordering::SeqCst);
+                }),
+                Box::new(|| {
+                    a.fetch_add(1, Ordering::SeqCst);
+                    a.fetch_add(1, Ordering::SeqCst);
+                }),
+            ]);
+            assert_eq!(a.load(Ordering::SeqCst), 6);
+        });
+        assert!(report.complete);
+        assert_eq!(report.schedules, 90);
+    }
+}

@@ -1,0 +1,36 @@
+//! Correctness analysis layer for the Ruby reproduction.
+//!
+//! Two independent instruments that machine-check what the rest of the
+//! workspace otherwise only asserts:
+//!
+//! - **Semantic mapping verifier** ([`MappingAnalyzer`]): walks any
+//!   [`ruby_mapping::Mapping`] against an architecture and workload and
+//!   reports every problem as a structured [`Diagnostic`] with a stable
+//!   `RBYxxx` code, instead of the cost model's fail-fast single error.
+//!   Capacity/fanout findings are produced by the model's own validity
+//!   predicates (via `EvalContext::violations`), so analyzer verdicts
+//!   and evaluation-time rejection agree by construction — a property
+//!   pinned down by differential tests over sampled and enumerated
+//!   mappings.
+//! - **Mini-loom interleaving checker** ([`interleave`]): a
+//!   deterministic DFS over thread schedules, driven through shim
+//!   atomics with yield points, that runs *every* interleaving of small
+//!   lock-free protocols. The search crate uses it under `cfg(test)` to
+//!   model-check its memo-cache publish protocol and best-cost CAS
+//!   loop.
+//!
+//! | Code   | Name                       | Severity | Meaning |
+//! |--------|----------------------------|----------|---------|
+//! | RBY001 | CapacityExceeded           | error    | tile footprint exceeds a buffer |
+//! | RBY002 | FanoutOverflow             | error    | spatial extent exceeds a fanout |
+//! | RBY003 | IncompleteFactorization    | error    | chains do not factor the workload |
+//! | RBY004 | BypassConflict             | error    | contradictory storage declarations |
+//! | RBY005 | ImperfectRemainderMismatch | error    | residual-tile bookkeeping inconsistent |
+//! | RBY101 | FanoutUnderutilized        | warning  | mapping leaves compute units idle |
+
+pub mod analyzer;
+pub mod diag;
+pub mod interleave;
+
+pub use analyzer::MappingAnalyzer;
+pub use diag::{Analysis, DiagCode, Diagnostic, Severity};

@@ -1,0 +1,148 @@
+//! The differential contract, at scale: for structurally well-formed
+//! mappings the analyzer reports at least one error exactly when the
+//! cost model's `precheck` rejects the mapping. Exercised over >10k
+//! sampled *and* enumerated mappings across the Eyeriss-like and
+//! Simba-like presets, plus proptest determinism and agreement checks.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ruby_analysis::MappingAnalyzer;
+use ruby_arch::{presets, Architecture};
+use ruby_mapspace::{EnumLimits, EnumTables, Mapspace, MapspaceKind, SubspaceIterator};
+use ruby_model::{EvalContext, ModelOptions};
+use ruby_workload::ProblemShape;
+
+/// The two presets the acceptance criteria name, each with a workload
+/// cramped enough that sampling produces a healthy mix of valid and
+/// invalid mappings.
+fn preset_pairs() -> Vec<(&'static str, Architecture, ProblemShape)> {
+    vec![
+        (
+            "eyeriss_like",
+            presets::eyeriss_like(14, 12),
+            ProblemShape::conv("diff_conv", 1, 32, 16, 14, 14, 3, 3, (1, 1)),
+        ),
+        (
+            "simba_like",
+            presets::simba_like(15, 4, 4),
+            ProblemShape::gemm("diff_gemm", 64, 48, 96),
+        ),
+    ]
+}
+
+/// Checks one mapping; returns whether the analyzer found errors, after
+/// asserting both sides agree.
+fn check_agreement(
+    label: &str,
+    ctx: &EvalContext<'_>,
+    analyzer: &MappingAnalyzer<'_>,
+    mapping: &ruby_mapping::Mapping,
+) -> bool {
+    let rejected = ctx.precheck(mapping).is_err();
+    let analysis = analyzer.analyze(mapping);
+    assert_eq!(
+        rejected,
+        analysis.has_errors(),
+        "{label}: precheck {} but analyzer said {}\nmapping: {mapping:?}\nfindings:\n{}",
+        if rejected { "rejected" } else { "accepted" },
+        if analysis.has_errors() {
+            "invalid"
+        } else {
+            "valid"
+        },
+        analysis.render(),
+    );
+    analysis.has_errors()
+}
+
+#[test]
+fn sampled_and_enumerated_mappings_never_disagree_with_precheck() {
+    const SAMPLED_PER_PRESET: usize = 3_000;
+    const ENUMERATED_PER_PRESET: usize = 3_000;
+    let mut total = 0usize;
+    let mut invalid = 0usize;
+    for (name, arch, shape) in preset_pairs() {
+        let ctx = EvalContext::new(&arch, &shape, ModelOptions::default());
+        let analyzer = MappingAnalyzer::new(&arch, &shape);
+        let space = Mapspace::new(arch.clone(), shape.clone(), MapspaceKind::RubyS);
+
+        // Random draws: the mix the search loop actually sees.
+        let mut rng = SmallRng::seed_from_u64(0x5eed_0001);
+        let mut sampler = space.sampler();
+        let mut mapping = space.sample(&mut rng);
+        for i in 0..SAMPLED_PER_PRESET {
+            sampler.sample_into(&mut mapping, &mut rng);
+            let label = format!("{name} sampled #{i}");
+            invalid += usize::from(check_agreement(&label, &ctx, &analyzer, &mapping));
+            total += 1;
+        }
+
+        // Deterministic enumeration: walks regions the sampler rarely
+        // hits (extreme fanout signatures, deep temporal chains).
+        let tables = EnumTables::build(&space, &EnumLimits::default())
+            .expect("preset spaces fit the default enumeration limits");
+        let mut enumerated = 0usize;
+        'regions: for region in tables.regions() {
+            let end = region.leaves.min((ENUMERATED_PER_PRESET / 4) as u64);
+            let mut it = SubspaceIterator::new(&tables, region, 0, end);
+            while it.next_into(&mut mapping).is_some() {
+                let label = format!("{name} enumerated #{enumerated}");
+                invalid += usize::from(check_agreement(&label, &ctx, &analyzer, &mapping));
+                enumerated += 1;
+                total += 1;
+                if enumerated >= ENUMERATED_PER_PRESET {
+                    break 'regions;
+                }
+            }
+        }
+        assert!(
+            enumerated >= ENUMERATED_PER_PRESET / 2,
+            "{name}: only {enumerated} enumerated mappings"
+        );
+    }
+    assert!(total >= 10_000, "only {total} mappings checked");
+    // The differential is only meaningful if both verdicts occur.
+    assert!(invalid > 0, "no invalid mapping in {total}");
+    assert!(invalid < total, "no valid mapping in {total}");
+}
+
+fn preset(ix: usize) -> (&'static str, Architecture, ProblemShape) {
+    let mut pairs = preset_pairs();
+    pairs.swap_remove(ix % 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// 1k sampled mappings per preset agree with `precheck` (each case
+    /// draws one mapping per preset from an arbitrary seed).
+    #[test]
+    fn analyzer_agrees_with_precheck_on_sampled_mappings(seed in 0u64..=u64::MAX) {
+        for (name, arch, shape) in preset_pairs() {
+            let ctx = EvalContext::new(&arch, &shape, ModelOptions::default());
+            let analyzer = MappingAnalyzer::new(&arch, &shape);
+            let space = Mapspace::new(arch.clone(), shape.clone(), MapspaceKind::RubyS);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mapping = space.sample(&mut rng);
+            check_agreement(name, &ctx, &analyzer, &mapping);
+        }
+    }
+
+    /// Analysis is a pure function of the mapping: re-running it yields
+    /// byte-identical renderings and JSON, regardless of preset.
+    #[test]
+    fn analysis_is_deterministic(seed in 0u64..=u64::MAX, ix in 0usize..2) {
+        let (_, arch, shape) = preset(ix);
+        let analyzer = MappingAnalyzer::new(&arch, &shape);
+        let space = Mapspace::new(arch.clone(), shape.clone(), MapspaceKind::RubyS);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = space.sample(&mut rng);
+        let first = analyzer.analyze(&mapping);
+        let second = analyzer.analyze(&mapping);
+        prop_assert_eq!(first.render(), second.render());
+        let a = serde_json::to_string(&first).expect("analysis serializes");
+        let b = serde_json::to_string(&second).expect("analysis serializes");
+        prop_assert_eq!(a, b);
+    }
+}

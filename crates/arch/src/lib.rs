@@ -457,6 +457,8 @@ impl Architecture {
     /// that stores `operand`. Falls back to 0 (DRAM), which always stores
     /// everything.
     pub fn storing_level_at_or_above(&self, operand: Operand, from: usize) -> usize {
+        // lint: allow(panics) — level 0 (DRAM) stores every operand in
+        // all architectures, so the search cannot come up empty.
         (0..=from)
             .rev()
             .find(|&i| self.levels[i].stores(operand))

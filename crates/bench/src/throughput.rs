@@ -152,6 +152,8 @@ pub fn run(max_evaluations: u64, repeats: u64, thread_counts: &[usize]) -> Throu
                     outcome = Some(result);
                 }
             }
+            // lint: allow(panics) — the repeat loop runs at least once
+            // (repeats is clamped to >= 1), so an outcome was recorded.
             let outcome = outcome.expect("repeats > 0");
             let valid_rate = if outcome.evaluations > 0 {
                 outcome.valid as f64 / outcome.evaluations as f64

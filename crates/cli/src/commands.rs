@@ -107,7 +107,8 @@ pub fn search(args: &[String]) -> Result<String, CliError> {
         ))
     })?;
     if let Some(path) = flags.get("out") {
-        let json = serde_json::to_string_pretty(&best.mapping).expect("mappings always serialize");
+        let json = serde_json::to_string_pretty(&best.mapping)
+            .map_err(|e| CliError::Spec(format!("serializing mapping: {e}")))?;
         std::fs::write(path, json)?;
     }
     let mut out = format!(
@@ -148,6 +149,24 @@ pub fn evaluate(args: &[String]) -> Result<String, CliError> {
         Ok(report) => Ok(format!("{}:\n{}", shape.name(), report_block(&report))),
         Err(e) => Err(CliError::Empty(format!("invalid mapping: {e}"))),
     }
+}
+
+/// `ruby analyze`: run the semantic mapping verifier over a serialized
+/// mapping and report every problem at once (stable `RBYxxx` codes),
+/// instead of the cost model's first-error-only rejection.
+pub fn analyze(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["json"])?;
+    let arch = parse_arch(flags.require("arch")?)?;
+    let shape = parse_workload(flags.require("workload")?)?;
+    let text = std::fs::read_to_string(flags.require("mapping")?)?;
+    let mapping: Mapping =
+        serde_json::from_str(&text).map_err(|e| CliError::Spec(format!("mapping: {e}")))?;
+    let analysis = ruby_analysis::MappingAnalyzer::new(&arch, &shape).analyze(&mapping);
+    if flags.has("json") {
+        return serde_json::to_string_pretty(&analysis)
+            .map_err(|e| CliError::Spec(format!("serializing analysis: {e}")));
+    }
+    Ok(analysis.render())
 }
 
 /// `ruby simulate`: execute a serialized mapping in the functional
@@ -221,7 +240,8 @@ pub fn show(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args, &[])?;
     let arch = parse_arch(flags.require("arch")?)?;
     if let Some(path) = flags.get("out") {
-        let json = serde_json::to_string_pretty(&arch).expect("architectures always serialize");
+        let json = serde_json::to_string_pretty(&arch)
+            .map_err(|e| CliError::Spec(format!("serializing architecture: {e}")))?;
         std::fs::write(path, json)?;
     }
     Ok(format!("{arch}area: {:.1} mm²\n", arch.area_mm2()))
@@ -350,6 +370,35 @@ mod tests {
         )))
         .unwrap();
         assert!(sim.contains("113 MACs in 8 cycles"), "{sim}");
+    }
+
+    #[test]
+    fn analyze_accepts_a_searched_mapping_and_emits_json() {
+        let dir = std::env::temp_dir().join("ruby_cli_analyze_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mapping.json");
+        search(&argv(&format!(
+            "--arch toy:16,1024 --workload rank1:113 --budget quick --out {}",
+            path.display()
+        )))
+        .unwrap();
+        let spec = format!(
+            "--arch toy:16,1024 --workload rank1:113 --mapping {}",
+            path.display()
+        );
+        let human = analyze(&argv(&spec)).unwrap();
+        assert!(human.contains("mapping is valid"), "{human}");
+        let json = analyze(&argv(&format!("{spec} --json"))).unwrap();
+        assert!(json.contains("\"valid\": true"), "{json}");
+        // A mapping for the wrong workload must produce structured
+        // diagnostics, not a bare rejection.
+        let wrong = analyze(&argv(&format!(
+            "--arch toy:16,1024 --workload rank1:64 --mapping {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(wrong.contains("RBY"), "{wrong}");
+        assert!(wrong.contains("mapping is invalid"), "{wrong}");
     }
 
     #[test]

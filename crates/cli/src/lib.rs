@@ -61,6 +61,7 @@ USAGE:
                 [--strategy random|exhaustive|hybrid] [--prune on|off] \\
                 [--threads <n>] [--eyeriss-constraints] [--out mapping.json]
   ruby evaluate --arch <spec> --workload <spec> --mapping <file.json>
+  ruby analyze  --arch <spec> --workload <spec> --mapping <file.json> [--json]
   ruby simulate --arch <spec> --workload <spec> --mapping <file.json>
   ruby compare  --arch <spec> --workload <spec> [--budget ...] [--eyeriss-constraints]
   ruby show     --arch <spec>
@@ -90,6 +91,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match command.as_str() {
         "search" => commands::search(rest),
         "evaluate" => commands::evaluate(rest),
+        "analyze" => commands::analyze(rest),
         "simulate" => commands::simulate(rest),
         "compare" => commands::compare(rest),
         "show" => commands::show(rest),

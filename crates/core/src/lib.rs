@@ -163,6 +163,8 @@ pub struct Comparison {
 impl Comparison {
     /// The best mapping found in the mapspace of `kind`, if any.
     pub fn best(&self, kind: MapspaceKind) -> Option<&BestMapping> {
+        // lint: allow(panics) — MapspaceKind::ALL enumerates every
+        // variant, so any `kind` value has a position.
         let idx = MapspaceKind::ALL
             .iter()
             .position(|&k| k == kind)

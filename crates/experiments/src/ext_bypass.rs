@@ -53,13 +53,16 @@ impl Study {
     pub fn best(&self) -> Option<&VariantResult> {
         self.variants
             .iter()
-            .filter(|v| v.edp.is_some())
-            .min_by(|a, b| a.edp.unwrap().total_cmp(&b.edp.unwrap()))
+            .filter_map(|v| v.edp.map(|edp| (edp, v)))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, v)| v)
     }
 
     /// The paper-baseline variant (inputs + outputs stored, weights
     /// bypassing).
     pub fn baseline(&self) -> &VariantResult {
+        // lint: allow(panics) — the study constructor enumerates every
+        // storage mask, including the baseline's, unconditionally.
         self.variants
             .iter()
             .find(|v| v.stores == [true, false, true])

@@ -103,6 +103,7 @@ pub fn run(budget: &ExperimentBudget) -> Vec<ScenarioResult> {
 /// Average best-EDP at each checkpoint over `budget.repeats` independent
 /// random-search runs of one mapspace.
 pub fn averaged_trace(space: &Mapspace, budget: &ExperimentBudget) -> Vec<f64> {
+    // lint: allow(panics) — CHECKPOINTS is a non-empty const array.
     let max_evals = budget
         .max_evaluations
         .min(*CHECKPOINTS.last().expect("non-empty"));

@@ -41,13 +41,19 @@ pub fn run_for(budget: &ExperimentBudget, pes: u64, sizes: &[u64]) -> Vec<Point>
         .iter()
         .map(|&size| {
             let shape = ProblemShape::rank1(format!("d{size}"), size);
+            // lint: allow(panics) — every mapspace here contains the
+            // all-temporal serial mapping, so exploration cannot fail;
+            // an empty result is a bug worth dying loudly over in an
+            // experiment driver.
             let pfm = explorer
                 .explore(&shape, MapspaceKind::Pfm)
                 .expect("rank-1 problems always admit the serial mapping");
+            // lint: allow(panics) — as above: Ruby-S ⊇ PFM.
             let ruby_s = explorer
                 .explore(&shape, MapspaceKind::RubyS)
                 .expect("Ruby-S is a superset of PFM");
             let padded_shape = padding::pad_to_array(&shape, &arch, &constraints);
+            // lint: allow(panics) — as above for the padded problem.
             let padded = explorer
                 .explore(&padded_shape, MapspaceKind::Pfm)
                 .expect("padded problems admit the serial mapping");

@@ -31,6 +31,8 @@ pub struct CaseStudy {
 impl CaseStudy {
     /// The entry by name.
     pub fn entry(&self, name: &str) -> &Entry {
+        // lint: allow(panics) — callers pass the fixed contender names
+        // this module itself defines; a miss is a typo in this file.
         self.entries
             .iter()
             .find(|e| e.name == name)
@@ -72,6 +74,8 @@ pub fn handcrafted_mapping(shape: &ProblemShape) -> Mapping {
     b.set_tile(Dim::Q, 1, SlotKind::Temporal, 2);
     b.set_tile(Dim::P, 1, SlotKind::Temporal, 27);
     b.set_permutation(1, [Dim::Q, Dim::P, Dim::C, Dim::M, Dim::N, Dim::R, Dim::S]);
+    // lint: allow(panics) — the handcrafted tile factors above multiply
+    // back to the fixed workload bounds; a failure is a typo here.
     b.build_for_bounds(shape.bounds())
         .expect("handcrafted chain is valid")
 }
@@ -90,10 +94,15 @@ pub fn run(budget: &ExperimentBudget) -> CaseStudy {
         &handcrafted_mapping(&shape),
         &ModelOptions::default(),
     )
+    // lint: allow(panics) — the fixed handcrafted mapping fits the
+    // fixed baseline architecture; dying loudly beats a silent figure.
     .expect("the handcrafted mapping fits the baseline");
+    // lint: allow(panics) — both mapspaces contain the serial mapping,
+    // so exploration cannot come up empty.
     let pfm = explorer
         .explore(&shape, MapspaceKind::Pfm)
         .expect("PFM finds a valid mapping");
+    // lint: allow(panics) — as above: Ruby-S ⊇ PFM.
     let ruby_s = explorer
         .explore(&shape, MapspaceKind::RubyS)
         .expect("Ruby-S finds a valid mapping");

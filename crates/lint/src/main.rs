@@ -1,0 +1,384 @@
+//! `ruby-lint`: the repo's lint wall, run by `tier1.sh` alongside
+//! clippy. Scans every workspace library source file and enforces three
+//! rules that clippy cannot express:
+//!
+//! 1. **panics** — no `.unwrap()` / `.expect(` / `panic!(` /
+//!    `unreachable!(` / `todo!(` / `unimplemented!(` in library code.
+//!    A site may be allowlisted with an adjacent justification comment:
+//!    `// lint: allow(panics) — <why this cannot fire / why dying is
+//!    right>`. An allow without a justification is itself an error.
+//! 2. **ordering** — every `Ordering::Relaxed` / `Ordering::AcqRel` use
+//!    must carry an adjacent `// ordering: <rationale>` comment
+//!    explaining why that memory ordering is sufficient.
+//! 3. **cast** — no `as`-casts to integer types inside `crates/model`
+//!    (the cost model's hot paths), where a silent truncation would
+//!    corrupt paper figures; `// lint: allow(cast) — <why lossless>`
+//!    allowlists a site.
+//!
+//! "Adjacent" means on the same line or within the four lines below the
+//! end of the comment block containing the marker, so one comment can
+//! cover a small cluster of related sites.
+//!
+//! Test code is exempt: `#[cfg(test)]`-gated blocks are masked by brace
+//! counting, and `tests.rs` / `*_tests.rs` files, `tests/`, `benches/`,
+//! `examples/`, and binary entry points (`main.rs`, `src/bin/`) are
+//! skipped entirely.
+//!
+//! Exit status: 0 when clean, 1 with findings (printed one per line as
+//! `path:line: [rule] message`).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How many lines below a marker comment's last line it still covers.
+const ADJACENCY: usize = 4;
+
+/// Minimum justification length (characters after the marker) for an
+/// allowlist entry to count as justified.
+const MIN_JUSTIFICATION: usize = 10;
+
+#[derive(Debug)]
+struct Finding {
+    path: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+fn main() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_sources(&root.join("crates"), &mut files);
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            findings.push(Finding {
+                path: path.clone(),
+                line: 0,
+                rule: "io",
+                message: "could not read file".into(),
+            });
+            continue;
+        };
+        scanned += 1;
+        let display = path.strip_prefix(&root).unwrap_or(path).to_path_buf();
+        scan_file(&display, &text, &mut findings);
+    }
+
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!("ruby-lint: {scanned} files clean");
+    } else {
+        println!(
+            "ruby-lint: {} finding(s) in {scanned} files",
+            findings.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// Gathers the library sources under `crates/`, skipping this crate,
+/// binary entry points, and test-only files.
+fn collect_sources(crates_dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(crates_dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_dir() || path.file_name().is_some_and(|n| n == "lint") {
+            continue;
+        }
+        walk_sources(&path.join("src"), out);
+    }
+}
+
+fn walk_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "bin" || name == "tests" || name == "benches" || name == "examples" {
+                continue;
+            }
+            walk_sources(&path, out);
+        } else if name.ends_with(".rs")
+            && name != "main.rs"
+            && name != "tests.rs"
+            && !name.ends_with("_tests.rs")
+        {
+            out.push(path);
+        }
+    }
+}
+
+/// Per-rule "last marker line" bookkeeping. A marker's position is
+/// bumped along the comment block it lives in, so multi-line comments
+/// cover sites just below their final line.
+#[derive(Default)]
+struct Markers {
+    allow_panics: Option<usize>,
+    allow_panics_justified: bool,
+    allow_cast: Option<usize>,
+    allow_cast_justified: bool,
+    ordering: Option<usize>,
+}
+
+impl Markers {
+    fn covers(last: Option<usize>, line: usize) -> bool {
+        last.is_some_and(|m| line >= m && line - m <= ADJACENCY)
+    }
+}
+
+fn scan_file(display: &Path, text: &str, findings: &mut Vec<Finding>) {
+    let in_model = display.components().any(|c| c.as_os_str() == "model");
+    let mut markers = Markers::default();
+    // Depth of an active `#[cfg(test)]`-masked block, if any.
+    let mut masked_depth: Option<i64> = None;
+    // A test-gating attribute was seen; mask starts at the next `{`.
+    let mut pending_mask = false;
+    let mut prev_was_comment = false;
+    let mut prev_line_no = 0usize;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim_start();
+        let is_comment = trimmed.starts_with("//");
+
+        // Marker detection runs on every line (comments and trailing
+        // comments alike) before any masking, so an allow inside a
+        // masked block is simply unused, never an error.
+        let had_marker = detect_markers(raw, line_no, &mut markers, findings, display);
+        if is_comment && !had_marker && prev_was_comment && prev_line_no + 1 == line_no {
+            // A continuation line of a comment block: slide any marker
+            // that ended on the previous line down with the block.
+            for slot in [
+                &mut markers.allow_panics,
+                &mut markers.allow_cast,
+                &mut markers.ordering,
+            ] {
+                if *slot == Some(prev_line_no) {
+                    *slot = Some(line_no);
+                }
+            }
+        }
+        prev_was_comment = is_comment;
+        prev_line_no = line_no;
+        if is_comment {
+            continue;
+        }
+
+        // Track and honor `#[cfg(test)]` masking.
+        if let Some(depth) = &mut masked_depth {
+            *depth += brace_delta(raw);
+            if *depth <= 0 {
+                masked_depth = None;
+            }
+            continue;
+        }
+        if trimmed.starts_with("#[cfg(test)")
+            || trimmed.starts_with("#[cfg(any(test")
+            || trimmed.starts_with("#[cfg_attr(test")
+        {
+            pending_mask = true;
+            continue;
+        }
+        if pending_mask {
+            if raw.contains('{') {
+                pending_mask = false;
+                let depth = brace_delta(raw);
+                if depth > 0 {
+                    masked_depth = Some(depth);
+                }
+                continue;
+            }
+            if raw.contains(';') {
+                // Out-of-line item (`mod foo;`): nothing to mask here;
+                // the file itself is skipped by name.
+                pending_mask = false;
+            }
+            continue;
+        }
+
+        // Strip a trailing line comment before matching code patterns,
+        // sparing `://` so URLs in strings don't truncate the line.
+        let code = strip_trailing_comment(raw);
+
+        for pattern in [
+            ".unwrap()",
+            ".expect(",
+            "panic!(",
+            "unreachable!(",
+            "todo!(",
+            "unimplemented!(",
+        ] {
+            if code.contains(pattern) && !Markers::covers(markers.allow_panics, line_no) {
+                findings.push(Finding {
+                    path: display.to_path_buf(),
+                    line: line_no,
+                    rule: "panics",
+                    message: format!(
+                        "`{pattern}` in library code without an adjacent \
+                         `// lint: allow(panics) — <justification>`"
+                    ),
+                });
+            }
+        }
+
+        for ordering in ["Ordering::Relaxed", "Ordering::AcqRel"] {
+            if code.contains(ordering) && !Markers::covers(markers.ordering, line_no) {
+                findings.push(Finding {
+                    path: display.to_path_buf(),
+                    line: line_no,
+                    rule: "ordering",
+                    message: format!(
+                        "`{ordering}` without an adjacent `// ordering: <rationale>` comment"
+                    ),
+                });
+            }
+        }
+
+        if in_model {
+            if let Some(target) = int_cast_target(code) {
+                if !Markers::covers(markers.allow_cast, line_no) {
+                    findings.push(Finding {
+                        path: display.to_path_buf(),
+                        line: line_no,
+                        rule: "cast",
+                        message: format!(
+                            "`as {target}` in the cost model without an adjacent \
+                             `// lint: allow(cast) — <justification>`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Records any lint/ordering markers on this line; returns whether one
+/// was found. Unjustified allowlist entries are findings themselves.
+fn detect_markers(
+    raw: &str,
+    line_no: usize,
+    markers: &mut Markers,
+    findings: &mut Vec<Finding>,
+    display: &Path,
+) -> bool {
+    let mut found = false;
+    for (needle, rule) in [
+        ("// lint: allow(panics)", "panics"),
+        ("// lint: allow(cast)", "cast"),
+    ] {
+        if let Some(at) = raw.find(needle) {
+            found = true;
+            let justification = raw[at + needle.len()..]
+                .trim_start_matches([' ', '—', '-', ':'])
+                .trim();
+            let justified = justification.chars().count() >= MIN_JUSTIFICATION;
+            if !justified {
+                findings.push(Finding {
+                    path: display.to_path_buf(),
+                    line: line_no,
+                    rule,
+                    message: format!("allowlist entry without a justification: `{needle}`"),
+                });
+            }
+            if rule == "panics" {
+                markers.allow_panics = Some(line_no);
+                markers.allow_panics_justified = justified;
+            } else {
+                markers.allow_cast = Some(line_no);
+                markers.allow_cast_justified = justified;
+            }
+        }
+    }
+    if raw.contains("// ordering:") {
+        found = true;
+        markers.ordering = Some(line_no);
+    }
+    found
+}
+
+/// Net `{`/`}` balance of a line — good enough for rustfmt'd sources,
+/// where braces inside string literals are vanishingly rare.
+fn brace_delta(line: &str) -> i64 {
+    let mut delta = 0i64;
+    for c in line.chars() {
+        match c {
+            '{' => delta += 1,
+            '}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
+/// The code portion of a line, with any trailing `//` comment removed
+/// (a `//` immediately preceded by `:` is kept: it is a URL scheme).
+fn strip_trailing_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b'/' && bytes[i + 1] == b'/' && (i == 0 || bytes[i - 1] != b':') {
+            return &line[..i];
+        }
+        i += 1;
+    }
+    line
+}
+
+/// The integer type named by the first ` as <int>` cast on the line, if
+/// any. Casts to floats are not truncating in the sense this rule
+/// polices (the model's arithmetic is deliberately f64).
+fn int_cast_target(code: &str) -> Option<&'static str> {
+    const TARGETS: [&str; 10] = [
+        "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize",
+    ];
+    let mut rest = code;
+    while let Some(at) = rest.find(" as ") {
+        let after = &rest[at + 4..];
+        for target in TARGETS {
+            if after.starts_with(target) {
+                let tail = after.as_bytes().get(target.len());
+                let boundary = tail.is_none_or(|&b| !(b.is_ascii_alphanumeric() || b == b'_'));
+                if boundary {
+                    return Some(target);
+                }
+            }
+        }
+        rest = &rest[at + 4..];
+    }
+    None
+}

@@ -192,6 +192,8 @@ impl EnumTables {
                     entries.sort_by(|a, b| (a.steps, &a.chain).cmp(&(b.steps, &b.chain)));
                     SigGroup {
                         counts,
+                        // lint: allow(panics) — groups are created from
+                        // at least one entry, never empty.
                         min_steps: entries.first().expect("non-empty").steps,
                         entries,
                     }
@@ -377,6 +379,8 @@ fn insert_chain(
         cum = cum.saturating_mul(f).min(bound);
         chain.push(cum);
     }
+    // lint: allow(panics) — `chain` starts with a pushed 1 and grows,
+    // so it always has a last element.
     *chain.last_mut().expect("non-empty chain") = bound;
     out.insert(chain);
     if out.len() > limit {
@@ -468,6 +472,8 @@ fn recurse_ruby_s(
             let factors: Vec<u64> = rules
                 .iter()
                 .map(|r| {
+                    // lint: allow(panics) — both iterators were built
+                    // with exactly one factor per slot of their kind.
                     if r.spatial {
                         s.next().expect("one factor per spatial slot")
                     } else {
@@ -521,6 +527,8 @@ fn build_regions(
             match layout.kind_of(slot) {
                 SlotKind::SpatialX => fanout.x(),
                 SlotKind::SpatialY => fanout.y(),
+                // lint: allow(panics) — this closure is only applied to
+                // the spatial slots of the layout.
                 SlotKind::Temporal => unreachable!("spatial slots only"),
             }
         })

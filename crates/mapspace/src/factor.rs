@@ -104,6 +104,8 @@ fn binomial(n: u128, k: u128) -> u128 {
 /// (`None` = uncapped). Exact DP over the divisors of `n`.
 pub fn count_capped_factorizations(n: u64, caps: &[Option<u64>]) -> u128 {
     let divs = divisors(n);
+    // lint: allow(panics) — only queried with quotients of divisors of
+    // `n`, which are themselves divisors and hence always found.
     let index_of = |d: u64| divs.binary_search(&d).expect("divisor");
     // ways[i] = number of ways for the remaining quotient divs[i] using
     // the slots processed so far.

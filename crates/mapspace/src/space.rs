@@ -215,6 +215,8 @@ impl Mapspace {
     /// hot loops should hold a [`Sampler`] and call
     /// [`Sampler::sample_into`] instead.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Mapping {
+        // lint: allow(panics) — the all-ones default factorization is
+        // valid for every architecture/shape pair by construction.
         let mut out = Mapping::builder(self.arch.num_levels())
             .build_for_bounds(self.shape.bounds())
             .expect("default builder output is always valid");
@@ -243,6 +245,8 @@ impl Mapspace {
     /// PFM: assign the prime factors of `bound` to slots uniformly.
     fn sample_pfm<R: Rng + ?Sized>(&self, bound: u64, rules: &[SlotRule], rng: &mut R) -> Vec<u64> {
         let caps: Vec<Option<u64>> = rules.iter().map(|r| r.cap).collect();
+        // lint: allow(panics) — assignment only fails when every slot is
+        // capped below a prime factor; temporal slots are never capped.
         factor::sample_factor_assignment(bound, &caps, rng)
             .expect("temporal slots are uncapped, so assignment always succeeds")
     }
@@ -309,11 +313,14 @@ impl Mapspace {
         let residual = bound.div_ceil(spatial_product);
         let temporal_caps: Vec<Option<u64>> =
             rules.iter().filter(|r| !r.spatial).map(|_| None).collect();
+        // lint: allow(panics) — all-`None` caps cannot reject, and the
+        // assignment yields exactly one factor per temporal slot.
         let temporal = factor::sample_factor_assignment(residual, &temporal_caps, rng)
             .expect("uncapped assignment always succeeds");
         let mut it = temporal.into_iter();
         for (i, rule) in rules.iter().enumerate() {
             if !rule.spatial {
+                // lint: allow(panics) — same-length iterators, as above.
                 factors[i] = it.next().expect("one factor per temporal slot");
             }
         }
@@ -410,6 +417,8 @@ impl Mapspace {
                 }
             }
             out.push(
+                // lint: allow(panics) — enumerated factors come from the
+                // bound's own divisors, which always build a valid chain.
                 builder
                     .build_for_bounds(self.shape.bounds())
                     .expect("enumerated factors build valid chains"),
@@ -516,11 +525,15 @@ impl Sampler<'_> {
                             state.y /= f;
                             state.y_owner = Some(d);
                         }
+                        // lint: allow(panics) — the enclosing loop
+                        // iterates spatial slots only.
                         SlotKind::Temporal => unreachable!(),
                     }
                 }
             }
         }
+        // lint: allow(panics) — sampled factors multiply back to the
+        // dimension bound by construction, so the chain always builds.
         self.builder
             .build_into_for_bounds(space.shape.bounds(), out)
             .expect("sampled factors always build a valid chain");

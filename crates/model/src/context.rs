@@ -165,6 +165,22 @@ impl<'a> EvalContext<'a> {
         validity::screen(self.arch, &self.tensors, mapping)
     }
 
+    /// Collects *every* validity violation of `mapping`, in a fixed
+    /// deterministic order (fanout by ascending level, then capacity by
+    /// ascending level and [`Operand::ALL`] order within a level).
+    ///
+    /// The result is non-empty exactly when [`Self::precheck`] (and
+    /// therefore [`evaluate_with`]) rejects the mapping: both run the
+    /// same per-level predicates, this one just keeps scanning past the
+    /// first failure. Diagnostics-facing cold path — semantic analyzers
+    /// build their reports from this instead of re-deriving the model's
+    /// validity rules.
+    pub fn violations(&self, mapping: &Mapping) -> Vec<InvalidMapping> {
+        let mut out = Vec::new();
+        validity::collect_violations(self.arch, &self.tensors, mapping, &mut out);
+        out
+    }
+
     pub(crate) fn tensors(&self) -> &[TensorDef; 3] {
         &self.tensors
     }

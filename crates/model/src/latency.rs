@@ -22,6 +22,9 @@ pub(crate) fn cycles(
             worst = worst.max(per_instance / bw);
         }
     }
+    // lint: allow(cast) — f64→u64 `as` saturates rather than wrapping,
+    // and `worst` is finite and >= compute >= 0 by construction, so the
+    // ceiling is a genuine cycle count (never negative, never NaN).
     worst.ceil() as u64
 }
 

@@ -116,9 +116,10 @@ pub(crate) fn check_capacity(
                 Capacity::Unbounded => {}
                 Capacity::Shared(_) => shared_needed = shared_needed.saturating_add(footprint),
                 Capacity::PerOperand(_) => {
-                    let available = level
-                        .capacity_for(op)
-                        .expect("per-operand capacity is bounded");
+                    // `capacity_for` returns `Some` for every stored
+                    // operand of a per-operand level; an absent entry
+                    // reads as a zero-capacity buffer, which rejects.
+                    let available = level.capacity_for(op).unwrap_or(0);
                     if footprint > available {
                         return Err(InvalidMapping::CapacityExceeded {
                             level: i,
@@ -144,6 +145,72 @@ pub(crate) fn check_capacity(
         }
     }
     Ok(pressure)
+}
+
+/// Collects *every* validity violation of `mapping` instead of stopping
+/// at the first, in a fixed deterministic order: fanout violations by
+/// ascending level, then capacity violations by ascending level (and,
+/// within a per-operand level, in [`Operand::ALL`] order).
+///
+/// Shares the per-level predicates with [`screen`]: the returned vector
+/// is non-empty exactly when [`screen`] returns an error, so
+/// analyzer-side diagnostics and evaluation-time rejection agree by
+/// construction. Cold path — diagnostics only, never in search loops.
+pub(crate) fn collect_violations(
+    arch: &Architecture,
+    tensors: &[TensorDef; 3],
+    mapping: &Mapping,
+    out: &mut Vec<InvalidMapping>,
+) {
+    for (i, level) in arch.levels().iter().enumerate() {
+        let (x, y) = mapping.spatial_extent(i);
+        let fan = level.fanout();
+        if x > fan.x() || y > fan.y() {
+            out.push(InvalidMapping::FanoutExceeded {
+                level: i,
+                requested: (x, y),
+                available: (fan.x(), fan.y()),
+            });
+        }
+    }
+    for (i, level) in arch.levels().iter().enumerate() {
+        if i == 0 || level.capacity() == Capacity::Unbounded {
+            continue; // DRAM (and any unbounded level) never overflows.
+        }
+        let tile = mapping.tile_at_level(i);
+        let mut shared_needed = 0u64;
+        for op in Operand::ALL {
+            if !level.stores(op) {
+                continue;
+            }
+            let footprint = tensors[op.index()].footprint(&tile);
+            match level.capacity() {
+                Capacity::Unbounded => {}
+                Capacity::Shared(_) => shared_needed = shared_needed.saturating_add(footprint),
+                Capacity::PerOperand(_) => {
+                    let available = level.capacity_for(op).unwrap_or(0);
+                    if footprint > available {
+                        out.push(InvalidMapping::CapacityExceeded {
+                            level: i,
+                            operand: Some(op),
+                            needed: footprint,
+                            available,
+                        });
+                    }
+                }
+            }
+        }
+        if let Capacity::Shared(available) = level.capacity() {
+            if shared_needed > available {
+                out.push(InvalidMapping::CapacityExceeded {
+                    level: i,
+                    operand: None,
+                    needed: shared_needed,
+                    available,
+                });
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +302,37 @@ mod tests {
         let pressure = check(&arch, &shape, &m).unwrap();
         // Pressure covers the bounded inner level's stored tiles.
         assert!(pressure > 0);
+    }
+
+    #[test]
+    fn collect_agrees_with_screen_on_emptiness() {
+        // Sweep a grid of builder factors — valid and invalid alike —
+        // and require screen() rejection iff collect_violations() is
+        // non-empty; when screen rejects, its error must be among the
+        // collected ones.
+        let arch = presets::eyeriss_like(14, 12);
+        let shape = ProblemShape::conv("l", 1, 16, 4, 8, 8, 3, 3, (1, 1));
+        let tensors = Operand::ALL.map(|op| shape.tensor(op));
+        let mut b = Mapping::builder(3);
+        for sx in [1u64, 7, 14, 15, 28] {
+            for sy in [1u64, 3, 12, 13] {
+                for t in [1u64, 3, 9, 32, 96] {
+                    b.reset();
+                    b.set_tile(Dim::Q, 1, SlotKind::SpatialX, sx);
+                    b.set_tile(Dim::M, 1, SlotKind::SpatialY, sy);
+                    b.set_tile(Dim::M, 2, SlotKind::Temporal, t);
+                    b.set_tile(Dim::R, 2, SlotKind::Temporal, 3);
+                    let m = b.build_for_bounds(shape.bounds()).unwrap();
+                    let screened = screen(&arch, &tensors, &m);
+                    let mut all = Vec::new();
+                    collect_violations(&arch, &tensors, &m, &mut all);
+                    assert_eq!(screened.is_err(), !all.is_empty(), "sx={sx} sy={sy} t={t}");
+                    if let Err(e) = screened {
+                        assert!(all.contains(&e), "missing {e} in {all:?}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

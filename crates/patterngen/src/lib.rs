@@ -68,6 +68,8 @@ impl DimProgram {
 
     /// The dimension bound the program covers.
     pub fn bound(&self) -> u64 {
+        // lint: allow(panics) — the constructor rejects empty chains,
+        // so a built value always has a last element.
         *self.chain.last().expect("validated non-empty")
     }
 

@@ -42,7 +42,9 @@
 //! considered: evaluated, memoized, capacity-screened, or soundly
 //! pruned.
 
-use std::sync::atomic::Ordering;
+use std::sync::PoisonError;
+
+use crate::sync::Ordering;
 
 use ruby_mapping::Mapping;
 use ruby_mapspace::{EnumLimits, EnumTables, Mapspace, Region, SubspaceIterator};
@@ -107,7 +109,7 @@ pub(crate) fn run(
     shared
         .record
         .lock()
-        .expect("no worker panicked")
+        .unwrap_or_else(PoisonError::into_inner)
         .best_ordinal = 0;
 
     let num_levels = mapspace.arch().num_levels();
@@ -137,13 +139,10 @@ pub(crate) fn run(
         .map(|(i, r)| config.objective.cost_floor(energy_floor[i], r.min_steps))
         .collect();
     let mut order: Vec<usize> = (0..regions.len()).collect();
-    order.sort_by(|&a, &b| {
-        floor_cost[a]
-            .partial_cmp(&floor_cost[b])
-            .expect("floors are never NaN")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| floor_cost[a].total_cmp(&floor_cost[b]).then(a.cmp(&b)));
 
+    // lint: allow(panics) — every architecture has >= 1 level, so the
+    // all-ones default factorization always builds.
     let mut mapping = Mapping::builder(num_levels)
         .build_for_bounds(mapspace.shape().bounds())
         .expect("the default mapping is well-formed");
@@ -163,15 +162,21 @@ pub(crate) fn run(
             break;
         }
         probe_done[ri] = true;
+        // lint: allow(panics) — EnumTables only emits regions with
+        // `leaves >= 1`, so leaf 0 always decodes.
         SubspaceIterator::new(&tables, &regions[ri], 0, 1)
             .next_into(&mut mapping)
             .expect("every region has at least one leaf");
         match ctx.precheck(&mapping) {
             Err(_) if config.prune => {
+                // ordering: Relaxed — statistics counter, read only
+                // after the thread join barrier.
                 shared.pruned_mappings.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => {
                 ordinal += 1;
+                // ordering: Relaxed — statistics counters, read only
+                // after the thread join barrier.
                 shared.evals.fetch_add(1, Ordering::Relaxed);
                 shared.invalid.fetch_add(1, Ordering::Relaxed);
             }
@@ -188,13 +193,8 @@ pub(crate) fn run(
     // unprobed tail by floor (`order` is already floor-sorted).
     order[..probe_count].sort_by(|&a, &b| {
         probe_cost[a]
-            .partial_cmp(&probe_cost[b])
-            .expect("costs are never NaN")
-            .then(
-                floor_cost[a]
-                    .partial_cmp(&floor_cost[b])
-                    .expect("floors are never NaN"),
-            )
+            .total_cmp(&probe_cost[b])
+            .then(floor_cost[a].total_cmp(&floor_cost[b]))
             .then(a.cmp(&b))
     });
 
@@ -224,9 +224,12 @@ pub(crate) fn run(
             }
             // Region subtree cut: the floor is admissible and the best
             // only improves, so nothing in here can win or tie.
+            // ordering: Relaxed — value-only best-cost snapshot; the
+            // counters below are statistics read after the join barrier.
             let best = f64::from_bits(shared.best_bits.load(Ordering::Relaxed));
             if config.prune && floor_cost[ri] > best {
                 shared.pruned_subtrees.fetch_add(1, Ordering::Relaxed);
+                // ordering: Relaxed — statistics counter, as above.
                 shared
                     .pruned_mappings
                     .fetch_add(to_decode, Ordering::Relaxed);
@@ -245,6 +248,8 @@ pub(crate) fn run(
                 match ctx.precheck(&mapping) {
                     Ok(pressure) => cands.push((pressure, leaf, steps)),
                     Err(_) if config.prune => {
+                        // ordering: Relaxed — statistics counter, read
+                        // only after the thread join barrier.
                         shared.pruned_mappings.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(_) => {
@@ -252,6 +257,8 @@ pub(crate) fn run(
                         // charged like the random sampler's invalid
                         // draws.
                         ordinal += 1;
+                        // ordering: Relaxed — statistics counters, read
+                        // only after the thread join barrier.
                         shared.evals.fetch_add(1, Ordering::Relaxed);
                         shared.invalid.fetch_add(1, Ordering::Relaxed);
                         if ordinal >= select_budget {
@@ -298,6 +305,9 @@ pub(crate) fn run(
                 let chunk = &rw.cands[rw.next..rw.next + take];
                 // The snapshot is deterministic at this barrier; workers
                 // prune against it rather than the live (racy) best.
+                // ordering: Relaxed — value-only word; the previous
+                // chunk's thread joins ordered all its CAS updates
+                // before this read.
                 let snapshot = f64::from_bits(shared.best_bits.load(Ordering::Relaxed));
                 process_chunk(
                     &tables,
@@ -317,7 +327,7 @@ pub(crate) fn run(
                     let first = shared
                         .record
                         .lock()
-                        .expect("no worker panicked")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .best_ordinal;
                     if ordinal.saturating_sub(first) >= limit {
                         stopped = true;
@@ -351,6 +361,8 @@ fn consider(
     let key = mapping.canonical_key();
     if let Some(memo) = &shared.memo {
         if let Some(cost) = memo.probe(key) {
+            // ordering: Relaxed — statistics counters, read only after
+            // the thread join barrier.
             shared.evals.fetch_add(1, Ordering::Relaxed);
             shared.duplicates.fetch_add(1, Ordering::Relaxed);
             if cost != f64::INFINITY {
@@ -362,6 +374,8 @@ fn consider(
     }
     match evaluate_with(ctx, mapping) {
         Ok(report) => {
+            // ordering: Relaxed — statistics counters, read only after
+            // the thread join barrier.
             shared.evals.fetch_add(1, Ordering::Relaxed);
             shared.valid.fetch_add(1, Ordering::Relaxed);
             let cost = config.objective.cost(&report);
@@ -374,6 +388,8 @@ fn consider(
             Some(cost)
         }
         Err(_) => {
+            // ordering: Relaxed — statistics counters, read only after
+            // the thread join barrier.
             shared.evals.fetch_add(1, Ordering::Relaxed);
             shared.invalid.fetch_add(1, Ordering::Relaxed);
             if let Some(memo) = &shared.memo {
@@ -401,6 +417,8 @@ fn process_chunk(
     shared: &Shared,
 ) {
     let work = |offset: usize| {
+        // lint: allow(panics) — every architecture has >= 1 level, so
+        // the all-ones default factorization always builds.
         let mut mapping = Mapping::builder(ctx.arch().num_levels())
             .build_for_bounds(ctx.shape().bounds())
             .expect("the default mapping is well-formed");
@@ -408,8 +426,12 @@ fn process_chunk(
         while i < chunk.len() {
             let (_, leaf, steps) = chunk[i];
             if config.prune && config.objective.cost_floor(energy_floor, steps) > best_snapshot {
+                // ordering: Relaxed — statistics counter, read only
+                // after the thread join barrier.
                 shared.pruned_mappings.fetch_add(1, Ordering::Relaxed);
             } else {
+                // lint: allow(panics) — `leaf` came from this region's
+                // own scan, so it is in range by construction.
                 SubspaceIterator::new(tables, region, leaf, leaf + 1)
                     .next_into(&mut mapping)
                     .expect("leaf index is in range");
@@ -449,7 +471,7 @@ fn polish_permutations(
     let Some(best) = shared
         .record
         .lock()
-        .expect("no worker panicked")
+        .unwrap_or_else(PoisonError::into_inner)
         .best
         .clone()
     else {
@@ -478,16 +500,20 @@ fn polish_permutations(
                         continue; // the swapped loops are trivial here
                     }
                     spent += 1;
+                    // ordering: Relaxed — statistics counter; the polish
+                    // phase is single-threaded anyway.
                     shared.evals.fetch_add(1, Ordering::Relaxed);
                     if let Some(memo) = &shared.memo {
                         if memo.probe(key).is_some() {
                             // Already evaluated (and best-tracked) once.
+                            // ordering: Relaxed — statistics counter.
                             shared.duplicates.fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
                     }
                     match evaluate_with(&ctx, &cand) {
                         Ok(report) => {
+                            // ordering: Relaxed — statistics counter.
                             shared.valid.fetch_add(1, Ordering::Relaxed);
                             let cost = config.objective.cost(&report);
                             if let Some(memo) = &shared.memo {
@@ -511,6 +537,7 @@ fn polish_permutations(
                             }
                         }
                         Err(_) => {
+                            // ordering: Relaxed — statistics counter.
                             shared.invalid.fetch_add(1, Ordering::Relaxed);
                             if let Some(memo) = &shared.memo {
                                 memo.insert(key, f64::INFINITY);

@@ -51,8 +51,28 @@ pub mod anneal;
 mod exhaustive;
 mod memo;
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+/// Atomic primitives for the lock-free hot path. Production builds bind
+/// the std atomics directly; test and `shuttle`-feature builds route
+/// through the `ruby-analysis` interleaving shim, whose per-access yield
+/// points let the mini-loom explorer model-check every schedule of the
+/// memo-cache and best-tracker protocols (see `interleave_tests`).
+/// Outside an active exploration the shim passes straight through, so
+/// ordinary tests exercise the same semantics as production.
+#[cfg(not(any(test, feature = "shuttle")))]
+pub(crate) mod sync {
+    pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+}
+#[cfg(any(test, feature = "shuttle"))]
+pub(crate) mod sync {
+    pub(crate) use ruby_analysis::interleave::shim::{AtomicBool, AtomicU64, Ordering};
+}
+
+#[cfg(test)]
+mod interleave_tests;
+
+use std::sync::{Mutex, PoisonError};
+
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -361,6 +381,9 @@ pub fn search(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
             // spends the remainder.
             let warmup = config.max_evaluations.map(|b| b / 3);
             run_random(mapspace, config, &shared, warmup);
+            // ordering: Relaxed — the warm-up threads were joined when
+            // run_random returned, so these resets are already ordered
+            // before the enumeration phase observes them.
             shared.stop.store(false, Ordering::Relaxed);
             shared.fails.store(0, Ordering::Relaxed);
             let spent = shared.evals.load(Ordering::Relaxed);
@@ -369,7 +392,13 @@ pub fn search(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
         }
     }
 
-    let record = shared.record.into_inner().expect("no worker panicked");
+    // A panicking worker poisons the mutex but cannot leave the record
+    // half-written (every update completes before unlock), so the poison
+    // flag carries no information here and is safely discarded.
+    let record = shared
+        .record
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     SearchOutcome {
         best: record.best,
         evaluations: shared.evals.into_inner(),
@@ -406,15 +435,25 @@ fn worker(
     let mut rng = SmallRng::seed_from_u64(spread_seed(config.seed, thread_index));
     let ctx = EvalContext::new(mapspace.arch(), mapspace.shape(), config.model);
     let mut sampler = mapspace.sampler();
+    // lint: allow(panics) — every architecture has >= 1 level, so the
+    // all-ones default factorization always builds; failure here is a
+    // programming error, not an input error.
     let mut mapping = Mapping::builder(mapspace.arch().num_levels())
         .build_for_bounds(mapspace.shape().bounds())
         .expect("the default mapping is well-formed");
+    // ordering: Relaxed — the stop flag is advisory: seeing it late only
+    // costs a few extra samples, and the spawning scope's join is the
+    // real synchronization point for the final counter reads.
     while !shared.stop.load(Ordering::Relaxed) {
+        // ordering: Relaxed — budget reservation counter; only its
+        // arithmetic value matters, no payload is published through it.
         let evals = shared.evals.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(max) = budget {
             if evals > max {
                 // Undo the reservation so the reported total never
                 // exceeds the cap, however many threads raced here.
+                // ordering: Relaxed — same counter/flag discipline as
+                // the reservation above.
                 shared.evals.fetch_sub(1, Ordering::Relaxed);
                 shared.stop.store(true, Ordering::Relaxed);
                 break;
@@ -430,11 +469,17 @@ fn worker(
                 // *valid* mapping is still a consecutive valid sample
                 // that failed to improve, while a revisited invalid one
                 // stays invisible to the counter.
+                // ordering: Relaxed — statistics counter, read only
+                // after the thread join barrier.
                 shared.duplicates.fetch_add(1, Ordering::Relaxed);
                 if cost != f64::INFINITY {
+                    // ordering: Relaxed — Timeloop's victory counter is
+                    // deliberately approximate across threads; the stop
+                    // flag it feeds is advisory.
                     let fails = shared.fails.fetch_add(1, Ordering::Relaxed) + 1;
                     if let Some(limit) = config.termination {
                         if fails >= limit {
+                            // ordering: Relaxed — advisory stop flag.
                             shared.stop.store(true, Ordering::Relaxed);
                         }
                     }
@@ -445,6 +490,8 @@ fn worker(
         let report = match evaluate_with(&ctx, &mapping) {
             Ok(report) => report,
             Err(_) => {
+                // ordering: Relaxed — statistics counter, read only
+                // after the thread join barrier.
                 shared.invalid.fetch_add(1, Ordering::Relaxed);
                 if let Some(memo) = &shared.memo {
                     memo.insert(key, f64::INFINITY);
@@ -452,6 +499,8 @@ fn worker(
                 continue; // invalid mappings do not count toward termination
             }
         };
+        // ordering: Relaxed — statistics counter, read only after the
+        // thread join barrier.
         shared.valid.fetch_add(1, Ordering::Relaxed);
         let cost = config.objective.cost(&report);
         if let Some(memo) = &shared.memo {
@@ -460,11 +509,16 @@ fn worker(
         if try_improve(shared, cost)
             && record_improvement(shared, config, &mapping, report, cost, evals)
         {
+            // ordering: Relaxed — approximate victory-counter reset;
+            // racing increments are acceptable (Timeloop semantics).
             shared.fails.store(0, Ordering::Relaxed);
         } else {
+            // ordering: Relaxed — approximate victory counter feeding
+            // the advisory stop flag; no payload rides on either.
             let fails = shared.fails.fetch_add(1, Ordering::Relaxed) + 1;
             if let Some(limit) = config.termination {
                 if fails >= limit {
+                    // ordering: Relaxed — advisory stop flag.
                     shared.stop.store(true, Ordering::Relaxed);
                 }
             }
@@ -476,6 +530,10 @@ fn worker(
 /// returns `true` on a lowering *or an exact tie* (ties proceed to the
 /// record lock, where the canonical key breaks them deterministically).
 fn try_improve(shared: &Shared, cost: f64) -> bool {
+    // ordering: Relaxed — best_bits carries only the cost's bit pattern,
+    // compared by value after from_bits; the winning mapping itself is
+    // published under the record mutex, so no release/acquire edge needs
+    // to ride on this word.
     let mut current = shared.best_bits.load(Ordering::Relaxed);
     loop {
         let best = f64::from_bits(current);
@@ -488,6 +546,7 @@ fn try_improve(shared: &Shared, cost: f64) -> bool {
         match shared.best_bits.compare_exchange_weak(
             current,
             cost.to_bits(),
+            // ordering: Relaxed — value-only word, see the load above.
             Ordering::Relaxed,
             Ordering::Relaxed,
         ) {
@@ -514,7 +573,9 @@ fn record_improvement(
     cost: f64,
     at: u64,
 ) -> bool {
-    let mut guard = shared.record.lock().expect("no worker panicked");
+    // A panicking worker cannot leave the record half-written (updates
+    // complete before unlock), so a poisoned lock is still consistent.
+    let mut guard = shared.record.lock().unwrap_or_else(PoisonError::into_inner);
     let record = &mut *guard;
     if let Some(best) = &record.best {
         if cost > best.cost {
@@ -539,8 +600,9 @@ fn record_improvement(
     let pos = record.trace.last().map_or(at, |&(prev, _)| prev.max(at));
     if record.trace.len() < config.max_trace.max(1) {
         record.trace.push((pos, cost));
-    } else {
-        *record.trace.last_mut().expect("max_trace >= 1") = (pos, cost);
+    } else if let Some(last) = record.trace.last_mut() {
+        // Reaching this branch implies len >= max(max_trace, 1) >= 1.
+        *last = (pos, cost);
     }
     record.best = Some(BestMapping {
         mapping: mapping.clone(),
@@ -560,8 +622,10 @@ fn note_tie_ordinal(shared: &Shared, cost: f64, ordinal: u64) {
     // The memo only holds costs that already went through
     // `record_improvement`, so `cost` can never beat the recorded best;
     // equality is the only interesting case and needs no CAS.
+    // ordering: Relaxed — value-only snapshot of the best cost; the
+    // authoritative comparison repeats under the record lock below.
     if f64::from_bits(shared.best_bits.load(Ordering::Relaxed)) == cost {
-        let mut record = shared.record.lock().expect("no worker panicked");
+        let mut record = shared.record.lock().unwrap_or_else(PoisonError::into_inner);
         if record.best.as_ref().is_some_and(|b| b.cost == cost) {
             record.best_ordinal = record.best_ordinal.min(ordinal);
         }

@@ -14,7 +14,7 @@
 //! slot's cost is written exactly once, by the thread that won the key
 //! CAS, so readers can never observe a torn (key, cost) pair.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 const PROBE_WINDOW: usize = 8;
 const EMPTY: u64 = 0;
@@ -67,11 +67,16 @@ impl MemoCache {
         let base = key & self.mask;
         for i in 0..PROBE_WINDOW as u64 {
             let slot = &self.slots[((base + i) & self.mask) as usize];
+            // ordering: Acquire — pairs with the AcqRel key CAS in
+            // `insert` so a key match happens-after the claim.
             let k = slot.key.load(Ordering::Acquire);
             if k == EMPTY {
                 return None;
             }
             if k == key {
+                // ordering: Acquire — pairs with the Release cost store
+                // in `insert`; anything other than NOT_READY is the
+                // fully published cost, never a torn intermediate.
                 let c = slot.cost.load(Ordering::Acquire);
                 if c == NOT_READY {
                     return None;
@@ -89,16 +94,24 @@ impl MemoCache {
         let base = key & self.mask;
         for i in 0..PROBE_WINDOW as u64 {
             let slot = &self.slots[((base + i) & self.mask) as usize];
+            // ordering: Acquire — see `probe`: a key hit means the slot
+            // is claimed (its owner will publish the cost), so we bail.
             let k = slot.key.load(Ordering::Acquire);
             if k == key {
                 return;
             }
             if k == EMPTY {
+                // ordering: AcqRel / Acquire — success releases the
+                // claim to racing probes and acquires the slot; failure
+                // acquires the racing claimant's key for the == check.
                 match slot
                     .key
                     .compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Acquire)
                 {
                     Ok(_) => {
+                        // ordering: Release — publishes the cost; pairs
+                        // with the Acquire cost load in `probe`. Written
+                        // exactly once, by the CAS winner.
                         slot.cost.store(cost.to_bits(), Ordering::Release);
                         return;
                     }

@@ -13,6 +13,12 @@ cargo run --release -p ruby-bench --bin search_throughput -- --smoke
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> interleaving checker (bounded schedule exploration)"
+cargo test -q -p ruby-search interleave
+
+echo "==> ruby-lint"
+cargo run --release -q -p ruby-lint
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
