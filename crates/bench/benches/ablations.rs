@@ -50,7 +50,9 @@ fn ablation_remainder_placement(c: &mut Criterion) {
             termination: Some(300),
             ..SearchConfig::default()
         };
-        group.bench_function(kind.name(), |b| b.iter(|| search(&space, &config)));
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| Engine::new(&space).with_config(config.clone()).run())
+        });
     }
     group.finish();
 }
@@ -74,7 +76,7 @@ fn ablation_termination(c: &mut Criterion) {
             ..SearchConfig::default()
         };
         group.bench_function(termination.to_string(), |b| {
-            b.iter(|| search(&space, &config))
+            b.iter(|| Engine::new(&space).with_config(config.clone()).run())
         });
     }
     group.finish();
@@ -126,7 +128,9 @@ fn ablation_search_strategy(c: &mut Criterion) {
         termination: Some(400),
         ..SearchConfig::default()
     };
-    group.bench_function("random", |b| b.iter(|| search(&space, &random_cfg)));
+    group.bench_function("random", |b| {
+        b.iter(|| Engine::new(&space).with_config(random_cfg.clone()).run())
+    });
     let anneal_cfg = AnnealConfig {
         steps: 2_000,
         ..AnnealConfig::default()

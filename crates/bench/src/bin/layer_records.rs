@@ -1,0 +1,75 @@
+//! Per-layer search records for a whole suite: times every layer's
+//! Ruby-S search on the Eyeriss-like baseline and writes one
+//! search-quality JSONL record per layer to `BENCH_layers.jsonl`.
+//!
+//! Usage: `layer_records [--suite resnet50|alexnet|deepbench|vgg16|mobilenet]
+//! [--quick | --medium | --full]` (default: resnet50, medium budget).
+
+use ruby_core::prelude::*;
+use ruby_experiments::{records, ExperimentBudget};
+
+fn main() {
+    let mut budget = ruby_bench::medium();
+    let mut suite_name = "resnet50".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => budget = ExperimentBudget::quick(),
+            "--medium" => budget = ruby_bench::medium(),
+            "--full" => budget = ExperimentBudget::full(),
+            "--suite" => match args.next() {
+                Some(name) => suite_name = name,
+                None => {
+                    eprintln!("--suite needs a value");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument {other}; expected \
+                     [--suite <name>] [--quick | --medium | --full]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let suite = match suite_name.as_str() {
+        "resnet50" => suites::resnet50(),
+        "alexnet" => suites::alexnet(),
+        "deepbench" => suites::deepbench(),
+        "vgg16" => suites::vgg16(),
+        "mobilenet" => suites::mobilenet_v1_pointwise(),
+        other => {
+            eprintln!(
+                "unknown suite '{other}' (try resnet50, alexnet, deepbench, vgg16, mobilenet)"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let recs = records::suite_records(&suite, &budget, MapspaceKind::RubyS);
+    println!(
+        "{:<22} {:>9} {:>8} {:>7} {:>13} {:>8}",
+        "layer", "evals", "valid%", "secs", "best EDP", "cycles"
+    );
+    for r in &recs {
+        let valid_rate = if r.evaluations > 0 {
+            r.valid as f64 / r.evaluations as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<22} {:>9} {:>7.1}% {:>7.2} {:>13.4e} {:>8}",
+            r.layer,
+            r.evaluations,
+            valid_rate * 100.0,
+            r.seconds,
+            r.best_edp,
+            r.best_cycles
+        );
+    }
+
+    let path = "BENCH_layers.jsonl";
+    std::fs::write(path, records::to_jsonl(&recs)).expect("writable working directory");
+    println!("wrote {path} ({} records)", recs.len());
+}

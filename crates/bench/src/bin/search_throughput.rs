@@ -42,6 +42,14 @@ fn main() {
 fn smoke() {
     let report = throughput::run(300, 1, &[1]);
     print!("{}", throughput::render(&report));
+    println!(
+        "telemetry counters: {}",
+        if report.telemetry {
+            "on"
+        } else {
+            "off (no-op)"
+        }
+    );
     for p in &report.points {
         if p.valid == 0 {
             eprintln!(

@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use ruby_core::prelude::*;
 use ruby_simulator::{simulate as run_sim, SimLimits};
 
-use crate::parse::{parse_arch, parse_kind, parse_suite, parse_workload};
+use crate::parse::{parse_arch, parse_kind, parse_suite, parse_workload, OutputOpts};
 use crate::{CliError, Flags};
 
 fn budget_config(flags: &Flags) -> Result<SearchConfig, CliError> {
@@ -23,15 +23,15 @@ fn budget_config(flags: &Flags) -> Result<SearchConfig, CliError> {
             .ok_or_else(|| CliError::Usage("--threads must be a positive number".into()))?,
         None => threads,
     };
-    let objective = match flags.get("objective").unwrap_or("edp") {
-        "edp" => Objective::Edp,
-        "energy" => Objective::Energy,
-        "delay" => Objective::Delay,
-        other => return Err(CliError::Usage(format!("unknown objective '{other}'"))),
-    };
-    let strategy = match flags.get("strategy") {
-        Some(s) => SearchStrategy::parse(s)
-            .ok_or_else(|| CliError::Usage(format!("unknown strategy '{s}'")))?,
+    let objective: Objective = flags
+        .get("objective")
+        .unwrap_or("edp")
+        .parse()
+        .map_err(|e: ConfigError| CliError::Usage(e.to_string()))?;
+    let strategy: SearchStrategy = match flags.get("strategy") {
+        Some(s) => s
+            .parse()
+            .map_err(|e: ConfigError| CliError::Usage(e.to_string()))?,
         None => SearchStrategy::Random,
     };
     let prune = match flags.get("prune").unwrap_or("on") {
@@ -43,21 +43,22 @@ fn budget_config(flags: &Flags) -> Result<SearchConfig, CliError> {
             )))
         }
     };
-    Ok(SearchConfig {
-        seed: flags
-            .get("seed")
-            .map(str::parse)
-            .transpose()
-            .map_err(|_| CliError::Usage("--seed must be a number".into()))?
-            .unwrap_or(1),
-        max_evaluations: Some(max_evals),
-        termination: Some(termination),
-        threads,
-        objective,
-        strategy,
-        prune,
-        ..SearchConfig::default()
-    })
+    let seed = flags
+        .get("seed")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| CliError::Usage("--seed must be a number".into()))?
+        .unwrap_or(1);
+    SearchConfig::builder()
+        .seed(seed)
+        .max_evaluations(max_evals)
+        .termination(termination)
+        .threads(threads)
+        .objective(objective)
+        .strategy(strategy)
+        .prune(prune)
+        .build()
+        .map_err(|e| CliError::Usage(e.to_string()))
 }
 
 fn explorer(flags: &Flags, arch: Architecture) -> Result<Explorer, CliError> {
@@ -93,24 +94,50 @@ fn report_block(report: &CostReport) -> String {
 }
 
 /// `ruby search`: find the best mapping in one mapspace.
+///
+/// Output flags: `--json` prints the full [`SearchOutcome`] as JSON
+/// (schema-versioned, same document the bench tools emit), `--out`
+/// writes the best mapping for `ruby evaluate`/`analyze`/`simulate`,
+/// `--progress` streams a live progress line to stderr, and
+/// `--metrics-out <path>` appends snapshot/summary JSONL records (plus
+/// a metrics dump in `telemetry`-feature builds).
 pub fn search(args: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(args, &["eyeriss-constraints"])?;
+    let flags = Flags::parse(args, &["eyeriss-constraints", "json", "progress"])?;
     let arch = parse_arch(flags.require("arch")?)?;
     let shape = parse_workload(flags.require("workload")?)?;
     let kind = parse_kind(flags.get("space").unwrap_or("ruby-s"))?;
+    let output = OutputOpts::from_flags(&flags);
     let explorer = explorer(&flags, arch)?;
-    let outcome = explorer.explore_with_outcome(&shape, kind);
+    let space = explorer.mapspace(&shape, kind);
+    let mut engine = Engine::new(&space).with_config(explorer.search_config().clone());
+    let mut sinks = MultiSink::new();
+    if flags.has("progress") {
+        sinks.push(Box::new(HumanSink::stderr()));
+    }
+    if let Some(path) = flags.get("metrics-out") {
+        sinks.push(Box::new(JsonlSink::create(path)?));
+    }
+    if !sinks.is_empty() {
+        engine = engine.with_progress(Box::new(sinks));
+    }
+    let outcome = engine.run();
+    if let (Some(path), Some(best)) = (&output.out, outcome.best.as_ref()) {
+        let json = serde_json::to_string_pretty(&best.mapping)
+            .map_err(|e| CliError::Spec(format!("serializing mapping: {e}")))?;
+        std::fs::write(path, json)?;
+    }
+    if output.json {
+        // The JSON document reports the outcome whether or not a valid
+        // mapping was found; consumers check `best` themselves.
+        return serde_json::to_string_pretty(&outcome)
+            .map_err(|e| CliError::Spec(format!("serializing outcome: {e}")));
+    }
     let best = outcome.best.ok_or_else(|| {
         CliError::Empty(format!(
             "no valid {kind} mapping found in {} evaluations",
             outcome.evaluations
         ))
     })?;
-    if let Some(path) = flags.get("out") {
-        let json = serde_json::to_string_pretty(&best.mapping)
-            .map_err(|e| CliError::Spec(format!("serializing mapping: {e}")))?;
-        std::fs::write(path, json)?;
-    }
     let mut out = format!(
         "best {kind} mapping for {} ({} evaluations, {} valid):\n",
         shape.name(),
@@ -154,17 +181,27 @@ pub fn evaluate(args: &[String]) -> Result<String, CliError> {
 /// `ruby analyze`: run the semantic mapping verifier over a serialized
 /// mapping and report every problem at once (stable `RBYxxx` codes),
 /// instead of the cost model's first-error-only rejection.
+///
+/// Output flags match `ruby search`: `--json` prints the analysis as
+/// JSON, `--out <path>` writes that JSON to a file.
 pub fn analyze(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args, &["json"])?;
     let arch = parse_arch(flags.require("arch")?)?;
     let shape = parse_workload(flags.require("workload")?)?;
+    let output = OutputOpts::from_flags(&flags);
     let text = std::fs::read_to_string(flags.require("mapping")?)?;
     let mapping: Mapping =
         serde_json::from_str(&text).map_err(|e| CliError::Spec(format!("mapping: {e}")))?;
     let analysis = ruby_analysis::MappingAnalyzer::new(&arch, &shape).analyze(&mapping);
-    if flags.has("json") {
-        return serde_json::to_string_pretty(&analysis)
-            .map_err(|e| CliError::Spec(format!("serializing analysis: {e}")));
+    if output.json || output.out.is_some() {
+        let json = serde_json::to_string_pretty(&analysis)
+            .map_err(|e| CliError::Spec(format!("serializing analysis: {e}")))?;
+        if let Some(path) = &output.out {
+            std::fs::write(path, &json)?;
+        }
+        if output.json {
+            return Ok(json);
+        }
     }
     Ok(analysis.render())
 }
@@ -439,6 +476,76 @@ mod tests {
         assert!(out.contains("cycles:      8"), "{out}");
         assert!(out.contains("considered:"), "{out}");
         assert!(out.contains("pruned"), "{out}");
+    }
+
+    #[test]
+    fn anneal_strategy_runs_from_the_cli() {
+        let out = search(&argv(
+            "--arch toy:16,1024 --workload rank1:113 --budget quick --strategy anneal",
+        ))
+        .unwrap();
+        assert!(out.contains("cycles:      8"), "{out}");
+    }
+
+    #[test]
+    fn search_streams_metrics_jsonl_and_versioned_json() {
+        use serde::Deserialize as _;
+        let dir = std::env::temp_dir().join("ruby_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        let json = search(&argv(&format!(
+            "--arch toy:16,1024 --workload rank1:113 --budget quick --json --metrics-out {}",
+            path.display()
+        )))
+        .unwrap();
+        let value = serde_json::from_str::<serde::Value>(&json).expect("stdout parses");
+        assert_eq!(
+            value.get("schema"),
+            Some(&serde::Value::U64(SCHEMA_VERSION))
+        );
+        let outcome = SearchOutcome::from_value(&value).expect("stdout is a SearchOutcome");
+
+        let stream = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<serde::Value> = stream
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("every JSONL record parses"))
+            .collect();
+        assert!(lines.len() >= 2, "want snapshots + summary:\n{stream}");
+        let snapshot = SearchSnapshot::from_value(&lines[0]).expect("first record is a snapshot");
+        assert!(snapshot.seq >= 1);
+        let summary = lines
+            .iter()
+            .find(|v| v.get("event") == Some(&serde::Value::Str("summary".to_owned())))
+            .expect("stream has a summary event");
+        let streamed = SearchOutcome::from_value(summary).expect("summary is a SearchOutcome");
+        assert_eq!(streamed.evaluations, outcome.evaluations);
+        assert_eq!(streamed.valid, outcome.valid);
+        assert_eq!(
+            streamed.best.map(|b| b.cost.to_bits()),
+            outcome.best.map(|b| b.cost.to_bits())
+        );
+    }
+
+    #[test]
+    fn analyze_writes_its_report_to_a_file() {
+        let dir = std::env::temp_dir().join("ruby_cli_analyze_out_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mapping_path = dir.join("mapping.json");
+        let report_path = dir.join("analysis.json");
+        search(&argv(&format!(
+            "--arch toy:16,1024 --workload rank1:113 --budget quick --out {}",
+            mapping_path.display()
+        )))
+        .unwrap();
+        let human = analyze(&argv(&format!(
+            "--arch toy:16,1024 --workload rank1:113 --mapping {} --out {}",
+            mapping_path.display(),
+            report_path.display()
+        )))
+        .unwrap();
+        assert!(human.contains("mapping is valid"), "{human}");
+        let written = std::fs::read_to_string(&report_path).unwrap();
+        assert!(written.contains("\"valid\": true"), "{written}");
     }
 
     #[test]

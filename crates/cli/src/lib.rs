@@ -17,7 +17,7 @@ pub mod parse;
 
 use std::fmt;
 
-pub use parse::{parse_arch, parse_kind, parse_workload};
+pub use parse::{parse_arch, parse_kind, parse_workload, OutputOpts};
 
 /// CLI errors, rendered to stderr by the binary.
 #[derive(Debug)]
@@ -58,10 +58,13 @@ ruby — imperfect-factorization mapping exploration
 USAGE:
   ruby search   --arch <spec> --workload <spec> [--space <kind>] \\
                 [--budget quick|medium|full] [--objective edp|energy|delay] \\
-                [--strategy random|exhaustive|hybrid] [--prune on|off] \\
-                [--threads <n>] [--eyeriss-constraints] [--out mapping.json]
+                [--strategy random|exhaustive|hybrid|anneal] [--prune on|off] \\
+                [--threads <n>] [--seed <n>] [--eyeriss-constraints] \\
+                [--json] [--out mapping.json] [--progress] \\
+                [--metrics-out metrics.jsonl]
   ruby evaluate --arch <spec> --workload <spec> --mapping <file.json>
-  ruby analyze  --arch <spec> --workload <spec> --mapping <file.json> [--json]
+  ruby analyze  --arch <spec> --workload <spec> --mapping <file.json> \\
+                [--json] [--out analysis.json]
   ruby simulate --arch <spec> --workload <spec> --mapping <file.json>
   ruby compare  --arch <spec> --workload <spec> [--budget ...] [--eyeriss-constraints]
   ruby show     --arch <spec>

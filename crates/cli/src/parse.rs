@@ -3,7 +3,31 @@
 
 use ruby_core::prelude::*;
 
-use crate::CliError;
+use crate::{CliError, Flags};
+
+/// Normalized output options shared by the subcommands that produce
+/// machine-readable results (`ruby search`, `ruby analyze`): `--json`
+/// switches stdout to a JSON document, `--out <path>` writes the
+/// command's artifact (best mapping / analysis report) to a file.
+/// Commands using this type must list `"json"` among their boolean
+/// flags when parsing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutputOpts {
+    /// Print the machine-readable JSON document instead of prose.
+    pub json: bool,
+    /// Write the command's artifact to this path.
+    pub out: Option<String>,
+}
+
+impl OutputOpts {
+    /// Extracts the normalized `--json` / `--out` pair from `flags`.
+    pub fn from_flags(flags: &Flags) -> OutputOpts {
+        OutputOpts {
+            json: flags.has("json"),
+            out: flags.get("out").map(str::to_owned),
+        }
+    }
+}
 
 /// Parses an architecture spec: `eyeriss:COLSxROWS`, `simba:PES,VMACS,LANES`,
 /// `toy:PES,BYTES`, or `@file.json` (a serialized
@@ -196,6 +220,24 @@ mod tests {
         assert_eq!(parse_kind("ruby-s").unwrap(), MapspaceKind::RubyS);
         assert_eq!(parse_kind("PFM").unwrap(), MapspaceKind::Pfm);
         assert!(parse_kind("perfect").is_err());
+    }
+
+    #[test]
+    fn output_opts_normalize_json_and_out() {
+        let flags = Flags::parse(
+            &["--json", "--out", "result.json"].map(String::from),
+            &["json"],
+        )
+        .unwrap();
+        assert_eq!(
+            OutputOpts::from_flags(&flags),
+            OutputOpts {
+                json: true,
+                out: Some("result.json".to_owned()),
+            }
+        );
+        let bare = Flags::parse(&[], &["json"]).unwrap();
+        assert_eq!(OutputOpts::from_flags(&bare), OutputOpts::default());
     }
 
     #[test]

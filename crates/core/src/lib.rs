@@ -53,8 +53,12 @@ pub mod prelude {
         evaluate, evaluate_with, CostReport, EvalContext, InvalidMapping, ModelOptions,
     };
     pub use ruby_search::anneal::{anneal, AnnealConfig};
+    #[allow(deprecated)] // the shim stays exported until downstreams migrate
+    pub use ruby_search::search;
     pub use ruby_search::{
-        search, BestMapping, Objective, SearchConfig, SearchOutcome, SearchStrategy,
+        BestMapping, ConfigError, Engine, HumanSink, JsonlSink, MemorySink, MultiSink, Objective,
+        ProgressSink, SearchConfig, SearchConfigBuilder, SearchOutcome, SearchSnapshot,
+        SearchStrategy, SCHEMA_VERSION,
     };
     pub use ruby_workload::{suites, Dim, DimMap, Operand, ProblemShape};
 
@@ -63,7 +67,7 @@ pub mod prelude {
 
 use ruby_arch::Architecture;
 use ruby_mapspace::{Constraints, Mapspace, MapspaceKind};
-use ruby_search::{search as run_search, BestMapping, SearchConfig, SearchOutcome};
+use ruby_search::{BestMapping, Engine, SearchConfig, SearchOutcome};
 use ruby_workload::ProblemShape;
 
 /// High-level mapping exploration: an architecture plus constraints and
@@ -143,7 +147,9 @@ impl Explorer {
     /// Like [`Explorer::explore`], but returns the full
     /// [`SearchOutcome`] including the best-so-far trace.
     pub fn explore_with_outcome(&self, shape: &ProblemShape, kind: MapspaceKind) -> SearchOutcome {
-        run_search(&self.mapspace(shape, kind), &self.config)
+        Engine::new(&self.mapspace(shape, kind))
+            .with_config(self.config.clone())
+            .run()
     }
 
     /// Searches all four mapspaces for `shape` and reports their best

@@ -53,35 +53,35 @@ pub fn run_layer(budget: &ExperimentBudget, layer: &ProblemShape) -> Study {
     let space = Mapspace::new(arch.clone(), layer.clone(), MapspaceKind::RubyS)
         .with_constraints(constraints.clone());
 
-    let random_outcome = search(
-        &space,
-        &SearchConfig {
+    let random_outcome = Engine::new(&space)
+        .with_config(SearchConfig {
             seed: budget.seed,
             max_evaluations: Some(budget.max_evaluations),
             termination: Some(budget.termination),
             threads: budget.threads,
             ..SearchConfig::default()
-        },
-    );
-    let anneal_outcome = anneal(
-        &space,
-        &AnnealConfig {
+        })
+        .run();
+    // The engine maps `max_evaluations` onto the annealer's step budget.
+    let anneal_outcome = Engine::new(&space)
+        .with_config(SearchConfig {
             seed: budget.seed,
-            steps: budget.max_evaluations,
-            ..AnnealConfig::default()
-        },
-    );
-    let exhaustive_outcome = search(
-        &space,
-        &SearchConfig {
+            max_evaluations: Some(budget.max_evaluations),
+            termination: None,
+            strategy: SearchStrategy::Anneal,
+            ..SearchConfig::default()
+        })
+        .run();
+    let exhaustive_outcome = Engine::new(&space)
+        .with_config(SearchConfig {
             seed: budget.seed,
             max_evaluations: Some(budget.max_evaluations),
             termination: None,
             threads: budget.threads,
             strategy: SearchStrategy::Exhaustive,
             ..SearchConfig::default()
-        },
-    );
+        })
+        .run();
     let ctx = EvalContext::new(&arch, layer, ModelOptions::default());
     let heuristic_candidates = heuristic::utilization_first(&arch, layer, &constraints);
     let heuristic_evals = heuristic_candidates.len() as u64;

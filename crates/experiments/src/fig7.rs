@@ -122,7 +122,9 @@ pub fn averaged_trace(space: &Mapspace, budget: &ExperimentBudget) -> Vec<f64> {
             threads: 1,
             ..SearchConfig::default()
         };
-        let outcome = ruby_core::search::search(space, &config);
+        let outcome = ruby_core::search::Engine::new(space)
+            .with_config(config)
+            .run();
         for (i, &cp) in checkpoints.iter().enumerate() {
             // Best cost achieved at or before this checkpoint.
             let best = outcome

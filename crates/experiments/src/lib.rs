@@ -18,6 +18,9 @@
 //! GLB-bypass/mapping exploration), [`ext_search`] (random vs annealing
 //! vs the search-free heuristic on the same Ruby-S space), and
 //! [`ext_hierarchy`] (Ruby-S on a four-level clustered design).
+//! [`records`] flattens any suite into timed per-layer search-quality
+//! JSONL records (the `layer_records` binary writes
+//! `BENCH_layers.jsonl`).
 //!
 //! Every experiment takes an [`ExperimentBudget`] so the same code runs as
 //! a fast smoke test ([`ExperimentBudget::quick`]) or at paper scale
@@ -35,6 +38,7 @@ pub mod fig14;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod records;
 pub mod table;
 pub mod table1;
 

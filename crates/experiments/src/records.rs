@@ -1,0 +1,217 @@
+//! Per-layer search records: one timed, search-quality-annotated record
+//! per unique suite layer, serialized as JSONL for offline analysis.
+//!
+//! Where the figure modules aggregate (geomean ratios, network totals),
+//! this module preserves the raw per-layer picture the telemetry layer
+//! exposes: wall-clock seconds, the evaluation/valid/duplicate split,
+//! pruning counters, and the best mapping's headline numbers. The
+//! `layer_records` bench binary writes `BENCH_layers.jsonl` from it.
+
+use std::time::Instant;
+
+use ruby_core::prelude::*;
+
+use crate::common::ExperimentBudget;
+
+/// One layer's timed search, flattened for JSONL consumption. Shares
+/// the versioned schema of `SearchOutcome` and the telemetry stream.
+#[derive(Debug, Clone)]
+pub struct LayerRecord {
+    /// Record schema version ([`SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// Suite the layer came from.
+    pub suite: String,
+    /// Layer name.
+    pub layer: String,
+    /// Mapspace kind searched.
+    pub mapspace: String,
+    /// How many times the network repeats this layer.
+    pub repeats: u64,
+    /// Wall-clock seconds spent searching this layer.
+    pub seconds: f64,
+    /// Candidates scored (valid + invalid + duplicates).
+    pub evaluations: u64,
+    /// Fully evaluated, model-valid mappings.
+    pub valid: u64,
+    /// Model-rejected candidates.
+    pub invalid: u64,
+    /// Memo-cache hits.
+    pub duplicates: u64,
+    /// Enumeration subtrees discarded by the cost lower bound.
+    pub pruned_subtrees: u64,
+    /// Candidates discarded by the cost lower bound.
+    pub pruned_mappings: u64,
+    /// Whether the search provably covered the deduplicated space.
+    pub exhausted: bool,
+    /// Best EDP found, or `-1.0` when no valid mapping was found.
+    pub best_edp: f64,
+    /// Best mapping's cycle count (0 when none was found).
+    pub best_cycles: u64,
+    /// Best mapping's PE-array utilization (0.0 when none was found).
+    pub utilization: f64,
+}
+
+serde::impl_serde_struct!(LayerRecord {
+    schema,
+    suite,
+    layer,
+    mapspace,
+    repeats,
+    seconds,
+    evaluations,
+    valid,
+    invalid,
+    duplicates,
+    pruned_subtrees,
+    pruned_mappings,
+    exhausted,
+    best_edp,
+    best_cycles,
+    utilization,
+});
+
+impl LayerRecord {
+    fn from_outcome(
+        suite: &str,
+        layer: &str,
+        kind: MapspaceKind,
+        repeats: u64,
+        seconds: f64,
+        outcome: &SearchOutcome,
+    ) -> LayerRecord {
+        let best = outcome.best.as_ref();
+        LayerRecord {
+            schema: SCHEMA_VERSION,
+            suite: suite.to_owned(),
+            layer: layer.to_owned(),
+            mapspace: kind.name().to_owned(),
+            repeats,
+            seconds,
+            evaluations: outcome.evaluations,
+            valid: outcome.valid,
+            invalid: outcome.invalid,
+            duplicates: outcome.duplicates,
+            pruned_subtrees: outcome.pruned_subtrees,
+            pruned_mappings: outcome.pruned_mappings,
+            exhausted: outcome.exhausted,
+            best_edp: best.map_or(-1.0, |b| b.report.edp()),
+            best_cycles: best.map_or(0, |b| b.report.cycles()),
+            utilization: best.map_or(0.0, |b| b.report.utilization()),
+        }
+    }
+}
+
+/// Searches every unique layer of `suite` in the `kind` mapspace on the
+/// Eyeriss-like 14×12 baseline (row-stationary constraints, the Fig. 10
+/// setup) and returns one timed record per layer, in suite order.
+pub fn suite_records(
+    suite: &suites::Suite,
+    budget: &ExperimentBudget,
+    kind: MapspaceKind,
+) -> Vec<LayerRecord> {
+    let explorer = Explorer::new(presets::eyeriss_like(14, 12))
+        .with_constraints(Constraints::eyeriss_row_stationary(3, 1))
+        .with_search(budget.search_config());
+    records_with(&explorer, suite, kind)
+}
+
+/// Like [`suite_records`], but over a caller-supplied explorer (any
+/// architecture, constraints and search configuration).
+pub fn records_with(
+    explorer: &Explorer,
+    suite: &suites::Suite,
+    kind: MapspaceKind,
+) -> Vec<LayerRecord> {
+    suite
+        .layers()
+        .iter()
+        .map(|(layer, repeats)| {
+            let start = Instant::now();
+            let outcome = explorer.explore_with_outcome(layer, kind);
+            let seconds = start.elapsed().as_secs_f64();
+            LayerRecord::from_outcome(
+                suite.name(),
+                layer.name(),
+                kind,
+                *repeats,
+                seconds,
+                &outcome,
+            )
+        })
+        .collect()
+}
+
+/// Serializes records as JSONL: one record per line, in input order.
+pub fn to_jsonl(records: &[LayerRecord]) -> String {
+    let mut out = String::new();
+    for record in records {
+        // lint: allow(panics) — record trees contain no non-serializable
+        // values, so serialization cannot fail.
+        out.push_str(&serde_json::to_string(record).expect("records always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize as _;
+
+    fn tiny_suite() -> suites::Suite {
+        suites::Suite::new(
+            "tiny",
+            vec![
+                (ProblemShape::rank1("r113", 113), 2),
+                (ProblemShape::rank1("r64", 64), 1),
+            ],
+        )
+    }
+
+    fn toy_explorer() -> Explorer {
+        let budget = ExperimentBudget {
+            max_evaluations: 500,
+            termination: 100,
+            threads: 1,
+            repeats: 1,
+            seed: 1,
+        };
+        Explorer::new(presets::toy_linear(16, 1024)).with_search(budget.search_config())
+    }
+
+    #[test]
+    fn records_cover_every_layer_with_consistent_counters() {
+        let records = records_with(&toy_explorer(), &tiny_suite(), MapspaceKind::RubyS);
+        assert_eq!(records.len(), 2);
+        let r = &records[0];
+        assert_eq!(r.schema, SCHEMA_VERSION);
+        assert_eq!(r.suite, "tiny");
+        assert_eq!(r.layer, "r113");
+        assert_eq!(r.mapspace, "Ruby-S");
+        assert_eq!(r.repeats, 2);
+        assert_eq!(r.evaluations, r.valid + r.invalid + r.duplicates);
+        assert!(r.seconds >= 0.0);
+        assert!(r.best_edp > 0.0, "113 has a valid Ruby-S mapping");
+        assert_eq!(r.best_cycles, 8, "imperfect factors reach the floor");
+        assert!(r.utilization > 0.0);
+    }
+
+    #[test]
+    fn jsonl_emits_one_round_trippable_record_per_line() {
+        let records = records_with(&toy_explorer(), &tiny_suite(), MapspaceKind::RubyS);
+        let jsonl = to_jsonl(&records);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), records.len());
+        for (line, record) in lines.iter().zip(&records) {
+            let value = serde_json::from_str::<serde::Value>(line).expect("line parses");
+            assert_eq!(
+                value.get("schema"),
+                Some(&serde::Value::U64(SCHEMA_VERSION))
+            );
+            let back = LayerRecord::from_value(&value).expect("record round-trips");
+            assert_eq!(back.layer, record.layer);
+            assert_eq!(back.evaluations, record.evaluations);
+            assert_eq!(back.best_edp.to_bits(), record.best_edp.to_bits());
+        }
+    }
+}

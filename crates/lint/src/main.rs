@@ -14,6 +14,11 @@
 //!    (the cost model's hot paths), where a silent truncation would
 //!    corrupt paper figures; `// lint: allow(cast) — <why lossless>`
 //!    allowlists a site.
+//! 4. **ordering (telemetry)** — inside `crates/telemetry` the rule
+//!    tightens: *every* `Ordering::` use (including `SeqCst`) and every
+//!    `Atomic*::new(` construction needs an adjacent `// ordering:`
+//!    rationale. The crate's whole job is lock-free publication; an
+//!    undocumented ordering there is a future correctness bug.
 //!
 //! "Adjacent" means on the same line or within the four lines below the
 //! end of the comment block containing the marker, so one comment can
@@ -163,6 +168,7 @@ impl Markers {
 
 fn scan_file(display: &Path, text: &str, findings: &mut Vec<Finding>) {
     let in_model = display.components().any(|c| c.as_os_str() == "model");
+    let in_telemetry = display.components().any(|c| c.as_os_str() == "telemetry");
     let mut markers = Markers::default();
     // Depth of an active `#[cfg(test)]`-masked block, if any.
     let mut masked_depth: Option<i64> = None;
@@ -269,6 +275,25 @@ fn scan_file(display: &Path, text: &str, findings: &mut Vec<Finding>) {
             }
         }
 
+        if in_telemetry && !Markers::covers(markers.ordering, line_no) {
+            // The Relaxed/AcqRel loop above already reported those; this
+            // covers the orderings it deliberately leaves alone
+            // (SeqCst, Acquire, Release) plus atomic construction.
+            let other_ordering = code.contains("Ordering::")
+                && !code.contains("Ordering::Relaxed")
+                && !code.contains("Ordering::AcqRel");
+            if other_ordering || atomic_init(code) {
+                findings.push(Finding {
+                    path: display.to_path_buf(),
+                    line: line_no,
+                    rule: "ordering",
+                    message: "atomic use in crates/telemetry without an adjacent \
+                              `// ordering: <rationale>` comment"
+                        .into(),
+                });
+            }
+        }
+
         if in_model {
             if let Some(target) = int_cast_target(code) {
                 if !Markers::covers(markers.allow_cast, line_no) {
@@ -357,6 +382,22 @@ fn strip_trailing_comment(line: &str) -> &str {
         i += 1;
     }
     line
+}
+
+/// Whether the line constructs an atomic (`AtomicU64::new(`,
+/// `AtomicUsize::new(`, …) — the declaration sites the telemetry rule
+/// wants a rationale on.
+fn atomic_init(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(at) = rest.find("Atomic") {
+        let after = &rest[at + "Atomic".len()..];
+        let ty_len = after.bytes().take_while(u8::is_ascii_alphanumeric).count();
+        if after[ty_len..].starts_with("::new(") {
+            return true;
+        }
+        rest = after;
+    }
+    false
 }
 
 /// The integer type named by the first ` as <int>` cast on the line, if

@@ -17,11 +17,19 @@
 
 use ruby_arch::Architecture;
 use ruby_mapping::Mapping;
+use ruby_telemetry::LazyCounter;
 use ruby_workload::{Operand, ProblemShape, TensorDef};
 
 use crate::report::{AccessCounts, CostReport, LevelStats};
 use crate::validity::InvalidMapping;
 use crate::{access, bound, latency, validity, ModelOptions};
+
+/// Rejection-stage instrumentation for [`evaluate_with`]: which validity
+/// wall each candidate hits, and how many survive to full costing.
+/// No-ops unless the `telemetry` cargo feature is on.
+static REJECT_FANOUT: LazyCounter = LazyCounter::new("model.reject.fanout");
+static REJECT_CAPACITY: LazyCounter = LazyCounter::new("model.reject.capacity");
+static EVAL_VALID: LazyCounter = LazyCounter::new("model.eval.valid");
 
 /// Precomputed per-`(arch, shape)` evaluation state.
 ///
@@ -213,8 +221,10 @@ pub fn evaluate_with(ctx: &EvalContext, mapping: &Mapping) -> Result<CostReport,
         mapping.layout().num_levels(),
         "mapping was built for a different hierarchy depth"
     );
-    validity::check_fanout(ctx.arch, mapping)?;
-    validity::check_capacity(ctx.arch, ctx.tensors(), mapping)?;
+    validity::check_fanout(ctx.arch, mapping).inspect_err(|_| REJECT_FANOUT.inc())?;
+    validity::check_capacity(ctx.arch, ctx.tensors(), mapping)
+        .inspect_err(|_| REJECT_CAPACITY.inc())?;
+    EVAL_VALID.inc();
 
     let accesses = access::count_accesses(
         ctx.arch,

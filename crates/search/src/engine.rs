@@ -1,0 +1,822 @@
+//! The unified search entry point: [`Engine`], the validating
+//! [`SearchConfigBuilder`], and progress streaming.
+//!
+//! Every strategy — random sampling, pruned enumeration, hybrid, and
+//! simulated annealing — runs through one facade:
+//!
+//! ```
+//! use ruby_arch::presets;
+//! use ruby_mapspace::{Mapspace, MapspaceKind};
+//! use ruby_search::{Engine, SearchConfig};
+//! use ruby_workload::ProblemShape;
+//!
+//! let space = Mapspace::new(
+//!     presets::toy_linear(16, 1024),
+//!     ProblemShape::rank1("d", 113),
+//!     MapspaceKind::RubyS,
+//! );
+//! let config = SearchConfig::builder().seed(7).build().expect("valid");
+//! let outcome = Engine::new(&space).with_config(config).run();
+//! assert!(outcome.best.is_some());
+//! ```
+//!
+//! Attaching a [`ProgressSink`] (see [`Engine::with_progress`]) spawns
+//! a monitor thread that polls the workers' [`SnapshotSlot`] and
+//! forwards fresh [`SearchSnapshot`]s; workers publish through the slot
+//! about once per thousand candidates, so streaming costs the hot path
+//! one masked branch per candidate plus a lossy CAS per stride.
+
+use std::time::{Duration, Instant};
+
+use ruby_mapspace::Mapspace;
+use ruby_telemetry::snapshot::{SearchSnapshot, SnapshotSlot};
+use ruby_telemetry::ProgressSink;
+
+use crate::anneal::{anneal, AnnealConfig};
+use crate::sync::{AtomicU64, Ordering};
+use crate::{exhaustive, run_random, SearchConfig, SearchOutcome, SearchStrategy, Shared};
+
+/// Workers publish a progress snapshot every this many reservations
+/// (power of two: the stride check is one mask on the hot path).
+pub(crate) const PROGRESS_STRIDE: u64 = 1024;
+
+/// How often the monitor thread polls the snapshot slot by default.
+const DEFAULT_PROGRESS_INTERVAL: Duration = Duration::from_millis(100);
+
+/// A configuration rejected by [`SearchConfigBuilder::build`] (also the
+/// `FromStr` error for [`crate::Objective`] / [`SearchStrategy`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `threads == 0`.
+    ZeroThreads,
+    /// `max_evaluations` or `termination` set to zero.
+    ZeroBudget,
+    /// A negative budget reached a builder setter (field name, value).
+    NegativeBudget(&'static str, i64),
+    /// Neither `max_evaluations` nor `termination` set for a strategy
+    /// with a random phase.
+    Unbounded,
+    /// `Hybrid` with pruning disabled: the warm-up exists to seed the
+    /// enumeration's pruning bound, so the combination is always a
+    /// misconfiguration.
+    UnprunedHybrid,
+    /// An unrecognized objective name.
+    UnknownObjective(String),
+    /// An unrecognized strategy name.
+    UnknownStrategy(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroThreads => f.write_str("need at least one search thread"),
+            ConfigError::ZeroBudget => {
+                f.write_str("zero budget: max_evaluations and termination must be positive")
+            }
+            ConfigError::NegativeBudget(field, value) => {
+                write!(f, "negative {field}: {value}")
+            }
+            ConfigError::Unbounded => {
+                f.write_str("unbounded search: set max_evaluations or termination")
+            }
+            ConfigError::UnprunedHybrid => f.write_str(
+                "hybrid strategy requires pruning: its warm-up exists to seed the bound",
+            ),
+            ConfigError::UnknownObjective(name) => {
+                write!(
+                    f,
+                    "unknown objective `{name}` (expected edp | energy | delay)"
+                )
+            }
+            ConfigError::UnknownStrategy(name) => write!(
+                f,
+                "unknown strategy `{name}` (expected random | exhaustive | hybrid | anneal)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builds a validated [`SearchConfig`].
+///
+/// Setters mirror the config fields; budget setters take `i64` so a
+/// negative value is representable — and rejected — rather than
+/// silently wrapped by the caller. The first error sticks and is
+/// returned by [`build`](Self::build).
+#[derive(Debug, Clone, Default)]
+pub struct SearchConfigBuilder {
+    config: SearchConfig,
+    error: Option<ConfigError>,
+}
+
+impl SearchConfigBuilder {
+    /// Sets the base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Caps total sampled mappings; negative values are rejected at
+    /// [`build`](Self::build).
+    pub fn max_evaluations(mut self, max: i64) -> Self {
+        if max < 0 {
+            self.error
+                .get_or_insert(ConfigError::NegativeBudget("max_evaluations", max));
+        } else {
+            self.config.max_evaluations = Some(max as u64);
+        }
+        self
+    }
+
+    /// Removes the evaluation cap (termination must then be set for
+    /// strategies with a random phase).
+    pub fn no_max_evaluations(mut self) -> Self {
+        self.config.max_evaluations = None;
+        self
+    }
+
+    /// Sets the no-improvement termination threshold; negative values
+    /// are rejected at [`build`](Self::build).
+    pub fn termination(mut self, limit: i64) -> Self {
+        if limit < 0 {
+            self.error
+                .get_or_insert(ConfigError::NegativeBudget("termination", limit));
+        } else {
+            self.config.termination = Some(limit as u64);
+        }
+        self
+    }
+
+    /// Disables the no-improvement termination rule.
+    pub fn no_termination(mut self) -> Self {
+        self.config.termination = None;
+        self
+    }
+
+    /// Sets the worker thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Caps the improvement trace length.
+    pub fn max_trace(mut self, max_trace: usize) -> Self {
+        self.config.max_trace = max_trace;
+        self
+    }
+
+    /// Sets the objective to minimize.
+    pub fn objective(mut self, objective: crate::Objective) -> Self {
+        self.config.objective = objective;
+        self
+    }
+
+    /// Sets the cost-model options.
+    pub fn model(mut self, model: ruby_model::ModelOptions) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// Sets the search strategy.
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Enables or disables lower-bound pruning.
+    pub fn prune(mut self, prune: bool) -> Self {
+        self.config.prune = prune;
+        self
+    }
+
+    /// Enables or disables memo-cache deduplication.
+    pub fn dedup(mut self, dedup: bool) -> Self {
+        self.config.dedup = dedup;
+        self
+    }
+
+    /// Sets the memo cache size (`2^memo_bits` slots).
+    pub fn memo_bits(mut self, memo_bits: u32) -> Self {
+        self.config.memo_bits = memo_bits;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<SearchConfig, ConfigError> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        let config = self.config;
+        if config.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        if config.max_evaluations == Some(0) || config.termination == Some(0) {
+            return Err(ConfigError::ZeroBudget);
+        }
+        if matches!(
+            config.strategy,
+            SearchStrategy::Random | SearchStrategy::Hybrid
+        ) && config.max_evaluations.is_none()
+            && config.termination.is_none()
+        {
+            return Err(ConfigError::Unbounded);
+        }
+        if config.strategy == SearchStrategy::Hybrid && !config.prune {
+            return Err(ConfigError::UnprunedHybrid);
+        }
+        Ok(config)
+    }
+}
+
+/// Progress-streaming state attached to [`Shared`] when the engine has
+/// a sink: workers assemble snapshots from the shared counters and
+/// publish them through the slot; the monitor thread reads the other
+/// end.
+pub(crate) struct ProgressState {
+    slot: SnapshotSlot<{ SearchSnapshot::WORDS }>,
+    start: Instant,
+    seq: std::sync::atomic::AtomicU64,
+    live: std::sync::atomic::AtomicU64,
+    threads: u64,
+}
+
+impl ProgressState {
+    fn new(threads: u64) -> Self {
+        ProgressState {
+            slot: SnapshotSlot::new(),
+            start: Instant::now(),
+            seq: std::sync::atomic::AtomicU64::new(0),
+            live: std::sync::atomic::AtomicU64::new(0),
+            threads,
+        }
+    }
+}
+
+impl std::fmt::Debug for ProgressState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressState")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Shared {
+    /// Publishes a progress snapshot assembled from the live counters
+    /// (no-op without an attached sink). Lossy under contention: a
+    /// failed slot claim drops the snapshot, never blocks a worker.
+    pub(crate) fn publish_progress(&self) {
+        let Some(progress) = &self.progress else {
+            return;
+        };
+        // ordering: Relaxed — the reads via this closure and the seq
+        // bump below are statistics for a human-facing snapshot;
+        // mid-flight skew between the counters is acceptable, and the
+        // final (post-join) snapshot is exact.
+        let read = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        let seq = progress
+            .seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        // ordering: Relaxed — same statistics-read rationale as above.
+        let live_threads = progress.live.load(std::sync::atomic::Ordering::Relaxed);
+        let snapshot = SearchSnapshot {
+            seq,
+            elapsed_nanos: u64::try_from(progress.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            evaluations: read(&self.evals),
+            valid: read(&self.valid),
+            invalid: read(&self.invalid),
+            duplicates: read(&self.duplicates),
+            pruned_subtrees: read(&self.pruned_subtrees),
+            pruned_mappings: read(&self.pruned_mappings),
+            improvements: read(&self.improvements),
+            best_cost_bits: read(&self.best_bits),
+            live_threads,
+            threads: progress.threads,
+        };
+        progress.slot.publish(&snapshot.encode());
+    }
+
+    /// Marks one worker as inside the search loop.
+    pub(crate) fn progress_thread_started(&self) {
+        if let Some(progress) = &self.progress {
+            // ordering: Relaxed — liveness counter for display only.
+            progress
+                .live
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Marks one worker as done.
+    pub(crate) fn progress_thread_stopped(&self) {
+        if let Some(progress) = &self.progress {
+            // ordering: Relaxed — liveness counter for display only.
+            progress
+                .live
+                .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Sets the liveness counter directly (the enumeration coordinator
+    /// tracks phase-level, not worker-level, liveness).
+    pub(crate) fn progress_set_live(&self, live: u64) {
+        if let Some(progress) = &self.progress {
+            // ordering: Relaxed — liveness counter for display only.
+            progress
+                .live
+                .store(live, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+/// The unified search facade: one entry point for every strategy, with
+/// optional progress streaming. See the module docs for an example.
+pub struct Engine<'s> {
+    space: &'s Mapspace,
+    config: SearchConfig,
+    sink: Option<Box<dyn ProgressSink>>,
+    interval: Duration,
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("progress", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl<'s> Engine<'s> {
+    /// An engine over `space` with the default [`SearchConfig`].
+    pub fn new(space: &'s Mapspace) -> Self {
+        Engine {
+            space,
+            config: SearchConfig::default(),
+            sink: None,
+            interval: DEFAULT_PROGRESS_INTERVAL,
+        }
+    }
+
+    /// Replaces the configuration (typically from
+    /// [`SearchConfig::builder`]).
+    pub fn with_config(mut self, config: SearchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Streams progress snapshots to `sink` while the search runs; the
+    /// sink also receives the final summary (and, in
+    /// `telemetry`-feature builds, the metrics dump). At least one
+    /// snapshot is always emitted, however short the run.
+    pub fn with_progress(mut self, sink: Box<dyn ProgressSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Adjusts how often the monitor forwards snapshots (default
+    /// 100 ms).
+    pub fn progress_interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// The configuration this engine will run with.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Runs the search.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a configuration [`SearchConfig::builder`] would have
+    /// rejected as [`ConfigError::ZeroThreads`] or
+    /// [`ConfigError::Unbounded`] (hand-built configs skip validation).
+    pub fn run(self) -> SearchOutcome {
+        match self.sink {
+            None => execute(self.space, &self.config),
+            Some(sink) => run_streaming(self.space, &self.config, sink, self.interval),
+        }
+    }
+}
+
+/// Validates the invariants `search()` has always enforced by panic.
+fn validate_run(config: &SearchConfig) {
+    assert!(config.threads > 0, "{}", ConfigError::ZeroThreads);
+    if matches!(
+        config.strategy,
+        SearchStrategy::Random | SearchStrategy::Hybrid
+    ) {
+        assert!(
+            config.max_evaluations.is_some() || config.termination.is_some(),
+            "{}",
+            ConfigError::Unbounded
+        );
+    }
+}
+
+/// Runs `config.strategy` over `mapspace` against `shared`; returns
+/// whether the space was provably exhausted.
+fn dispatch(mapspace: &Mapspace, config: &SearchConfig, shared: &Shared) -> bool {
+    match config.strategy {
+        SearchStrategy::Random => {
+            run_random(mapspace, config, shared, config.max_evaluations);
+            false
+        }
+        SearchStrategy::Exhaustive => {
+            exhaustive::run(mapspace, config, shared, config.max_evaluations)
+        }
+        SearchStrategy::Hybrid => {
+            // Random warm-up seeds the pruning bound, then enumeration
+            // spends the remainder.
+            let warmup = config.max_evaluations.map(|b| b / 3);
+            run_random(mapspace, config, shared, warmup);
+            // ordering: Relaxed — the warm-up threads were joined when
+            // run_random returned, so these resets are already ordered
+            // before the enumeration phase observes them.
+            shared.stop.store(false, Ordering::Relaxed);
+            shared.fails.store(0, Ordering::Relaxed);
+            let spent = shared.evals.load(Ordering::Relaxed);
+            let remainder = config.max_evaluations.map(|b| b.saturating_sub(spent));
+            exhaustive::run(mapspace, config, shared, remainder)
+        }
+        // lint: allow(panics) — dispatch callers peel off Anneal first
+        // (it has no Shared); reaching this arm is a programming error.
+        SearchStrategy::Anneal => unreachable!("anneal runs outside the Shared pipeline"),
+    }
+}
+
+/// Drains `shared` into the final outcome.
+fn collect(shared: Shared, exhausted: bool) -> SearchOutcome {
+    // A panicking worker poisons the mutex but cannot leave the record
+    // half-written (every update completes before unlock), so the poison
+    // flag carries no information here and is safely discarded.
+    let record = shared
+        .record
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    SearchOutcome {
+        best: record.best,
+        evaluations: shared.evals.into_inner(),
+        valid: shared.valid.into_inner(),
+        invalid: shared.invalid.into_inner(),
+        duplicates: shared.duplicates.into_inner(),
+        pruned_subtrees: shared.pruned_subtrees.into_inner(),
+        pruned_mappings: shared.pruned_mappings.into_inner(),
+        exhausted,
+        trace: record.trace,
+    }
+}
+
+/// Maps a [`SearchConfig`] onto the annealer (strategy `Anneal`):
+/// `max_evaluations` becomes the step budget, everything else carries
+/// over; annealing-specific knobs keep their [`AnnealConfig`] defaults.
+fn run_anneal(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
+    let defaults = AnnealConfig::default();
+    let anneal_config = AnnealConfig {
+        seed: config.seed,
+        steps: config.max_evaluations.unwrap_or(defaults.steps).max(1),
+        objective: config.objective,
+        model: config.model,
+        dedup: config.dedup,
+        ..defaults
+    };
+    anneal(mapspace, &anneal_config)
+}
+
+/// The un-streamed execution path (also the body of the deprecated
+/// [`crate::search`] shim).
+pub(crate) fn execute(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
+    if config.strategy == SearchStrategy::Anneal {
+        return run_anneal(mapspace, config);
+    }
+    validate_run(config);
+    let shared = Shared::new(config);
+    let exhausted = dispatch(mapspace, config, &shared);
+    collect(shared, exhausted)
+}
+
+/// A synthetic single snapshot for strategies that bypass [`Shared`]
+/// (annealing): emitted after the fact so every streamed run still
+/// yields at least one snapshot.
+fn snapshot_of_outcome(outcome: &SearchOutcome, elapsed: Duration) -> SearchSnapshot {
+    SearchSnapshot {
+        seq: 1,
+        elapsed_nanos: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+        evaluations: outcome.evaluations,
+        valid: outcome.valid,
+        invalid: outcome.invalid,
+        duplicates: outcome.duplicates,
+        pruned_subtrees: outcome.pruned_subtrees,
+        pruned_mappings: outcome.pruned_mappings,
+        improvements: outcome.trace.len() as u64,
+        best_cost_bits: outcome
+            .best
+            .as_ref()
+            .map_or(f64::INFINITY, |b| b.cost)
+            .to_bits(),
+        live_threads: 0,
+        threads: 1,
+    }
+}
+
+/// Sends the post-run records: the summary (always) and the metrics
+/// dump (only in `telemetry`-feature builds, where the registry is
+/// populated).
+fn deliver_final(sink: &mut dyn ProgressSink, outcome: &SearchOutcome) {
+    sink.finish(&serde::Serialize::to_value(outcome));
+    if ruby_telemetry::enabled() {
+        sink.metrics(&ruby_telemetry::registry().dump());
+    }
+}
+
+/// The streamed execution path: workers publish, a monitor thread
+/// forwards to the sink.
+fn run_streaming(
+    mapspace: &Mapspace,
+    config: &SearchConfig,
+    mut sink: Box<dyn ProgressSink>,
+    interval: Duration,
+) -> SearchOutcome {
+    if config.strategy == SearchStrategy::Anneal {
+        let start = Instant::now();
+        let outcome = run_anneal(mapspace, config);
+        sink.emit(&snapshot_of_outcome(&outcome, start.elapsed()));
+        deliver_final(sink.as_mut(), &outcome);
+        return outcome;
+    }
+    validate_run(config);
+    let mut shared = Shared::new(config);
+    shared.progress = Some(ProgressState::new(config.threads as u64));
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let exhausted = {
+        let shared = &shared;
+        let done = &done;
+        let sink = sink.as_mut();
+        std::thread::scope(|scope| {
+            scope.spawn(move || monitor(sink, shared, done, interval));
+            let exhausted = dispatch(mapspace, config, shared);
+            // The post-join counters are exact now; force one last
+            // snapshot so even instant runs stream >= 1.
+            shared.publish_progress();
+            done.store(true, std::sync::atomic::Ordering::SeqCst);
+            exhausted
+        })
+    };
+    let outcome = collect(shared, exhausted);
+    deliver_final(sink.as_mut(), &outcome);
+    outcome
+}
+
+/// The monitor loop: forward each fresh snapshot (dedup by `seq`),
+/// sleep in short slices so shutdown stays prompt, and drain the final
+/// snapshot after the engine signals completion.
+fn monitor(
+    sink: &mut dyn ProgressSink,
+    shared: &Shared,
+    done: &std::sync::atomic::AtomicBool,
+    interval: Duration,
+) {
+    const SLICE: Duration = Duration::from_millis(5);
+    let mut last_seq = 0u64;
+    loop {
+        let finished = done.load(std::sync::atomic::Ordering::SeqCst);
+        if let Some(progress) = &shared.progress {
+            if let Some(words) = progress.slot.read() {
+                let snapshot = SearchSnapshot::decode(&words);
+                if snapshot.seq > last_seq {
+                    last_seq = snapshot.seq;
+                    sink.emit(&snapshot);
+                }
+            }
+        }
+        if finished {
+            return;
+        }
+        let mut waited = Duration::ZERO;
+        while waited < interval && !done.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::sleep(SLICE.min(interval - waited));
+            waited += SLICE;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Objective;
+    use ruby_arch::presets;
+    use ruby_mapspace::MapspaceKind;
+    use ruby_telemetry::MemorySink;
+    use ruby_workload::ProblemShape;
+
+    fn toy_space() -> Mapspace {
+        Mapspace::new(
+            presets::toy_linear(16, 1024),
+            ProblemShape::rank1("d", 113),
+            MapspaceKind::RubyS,
+        )
+    }
+
+    #[test]
+    fn builder_accepts_a_valid_config() {
+        let config = SearchConfig::builder()
+            .seed(9)
+            .max_evaluations(5_000)
+            .termination(500)
+            .threads(2)
+            .objective(Objective::Energy)
+            .strategy(SearchStrategy::Hybrid)
+            .prune(true)
+            .dedup(true)
+            .memo_bits(10)
+            .max_trace(64)
+            .build()
+            .expect("valid config");
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.max_evaluations, Some(5_000));
+        assert_eq!(config.termination, Some(500));
+        assert_eq!(config.threads, 2);
+        assert_eq!(config.objective, Objective::Energy);
+        assert_eq!(config.strategy, SearchStrategy::Hybrid);
+        assert_eq!(config.memo_bits, 10);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        let err = |b: SearchConfigBuilder| b.build().expect_err("must be rejected");
+        assert_eq!(
+            err(SearchConfig::builder().threads(0)),
+            ConfigError::ZeroThreads
+        );
+        assert_eq!(
+            err(SearchConfig::builder().max_evaluations(-5)),
+            ConfigError::NegativeBudget("max_evaluations", -5)
+        );
+        assert_eq!(
+            err(SearchConfig::builder().termination(-1)),
+            ConfigError::NegativeBudget("termination", -1)
+        );
+        assert_eq!(
+            err(SearchConfig::builder().max_evaluations(0)),
+            ConfigError::ZeroBudget
+        );
+        assert_eq!(
+            err(SearchConfig::builder()
+                .no_max_evaluations()
+                .no_termination()),
+            ConfigError::Unbounded
+        );
+        assert_eq!(
+            err(SearchConfig::builder()
+                .strategy(SearchStrategy::Hybrid)
+                .prune(false)),
+            ConfigError::UnprunedHybrid
+        );
+        // Exhaustive terminates on its own: unbounded is fine there.
+        assert!(SearchConfig::builder()
+            .strategy(SearchStrategy::Exhaustive)
+            .no_max_evaluations()
+            .no_termination()
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_reports_the_first_error() {
+        let err = SearchConfig::builder()
+            .max_evaluations(-3)
+            .termination(-9)
+            .threads(0)
+            .build()
+            .expect_err("must be rejected");
+        assert_eq!(err, ConfigError::NegativeBudget("max_evaluations", -3));
+    }
+
+    #[test]
+    fn config_errors_render_actionable_messages() {
+        for (error, needle) in [
+            (ConfigError::ZeroThreads, "thread"),
+            (ConfigError::ZeroBudget, "zero budget"),
+            (ConfigError::NegativeBudget("termination", -2), "-2"),
+            (ConfigError::Unbounded, "unbounded"),
+            (ConfigError::UnprunedHybrid, "hybrid"),
+            (ConfigError::UnknownObjective("speed".into()), "speed"),
+            (ConfigError::UnknownStrategy("genetic".into()), "genetic"),
+        ] {
+            let message = error.to_string();
+            assert!(message.contains(needle), "{message:?} lacks {needle:?}");
+        }
+    }
+
+    #[test]
+    fn engine_matches_the_free_function() {
+        let space = toy_space();
+        let config = SearchConfig {
+            seed: 3,
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let via_engine = Engine::new(&space).with_config(config.clone()).run();
+        #[allow(deprecated)]
+        let via_function = crate::search(&space, &config);
+        assert_eq!(via_engine.evaluations, via_function.evaluations);
+        assert_eq!(via_engine.valid, via_function.valid);
+        assert_eq!(via_engine.trace, via_function.trace);
+        assert_eq!(
+            via_engine.best.expect("valid mappings").cost,
+            via_function.best.expect("valid mappings").cost
+        );
+    }
+
+    #[test]
+    fn engine_runs_the_anneal_strategy() {
+        let space = toy_space();
+        let outcome = Engine::new(&space)
+            .with_config(
+                SearchConfig::builder()
+                    .strategy(SearchStrategy::Anneal)
+                    .max_evaluations(2_000)
+                    .threads(1)
+                    .build()
+                    .expect("valid config"),
+            )
+            .run();
+        assert_eq!(
+            outcome
+                .best
+                .expect("annealing finds the optimum")
+                .report
+                .cycles(),
+            8
+        );
+        assert!(!outcome.exhausted, "annealing never proves exhaustion");
+    }
+
+    #[test]
+    fn streaming_emits_snapshots_and_a_matching_summary() {
+        let space = toy_space();
+        let sink = MemorySink::new();
+        let outcome = Engine::new(&space)
+            .with_config(
+                SearchConfig::builder()
+                    .seed(1)
+                    .max_evaluations(4_000)
+                    .no_termination()
+                    .threads(2)
+                    .build()
+                    .expect("valid config"),
+            )
+            .with_progress(Box::new(sink.clone()))
+            .progress_interval(Duration::from_millis(1))
+            .run();
+        let snapshots = sink.snapshots();
+        assert!(!snapshots.is_empty(), "streaming must emit >= 1 snapshot");
+        // The final snapshot is published after the worker join, so it
+        // agrees with the outcome exactly.
+        let last = snapshots.last().expect("non-empty");
+        assert_eq!(last.evaluations, outcome.evaluations);
+        assert_eq!(last.valid, outcome.valid);
+        assert_eq!(last.invalid, outcome.invalid);
+        assert_eq!(last.duplicates, outcome.duplicates);
+        assert_eq!(last.threads, 2);
+        assert!(
+            snapshots.windows(2).all(|w| w[0].seq < w[1].seq),
+            "monitor must deduplicate by seq"
+        );
+        let summary = sink.summary().expect("finish must run");
+        assert_eq!(
+            summary.get("event"),
+            Some(&serde::Value::Str("summary".to_owned()))
+        );
+        let round_trip =
+            <SearchOutcome as serde::Deserialize>::from_value(&summary).expect("summary parses");
+        assert_eq!(round_trip.evaluations, outcome.evaluations);
+        assert_eq!(round_trip.valid, outcome.valid);
+        assert_eq!(round_trip.duplicates, outcome.duplicates);
+        // Metrics arrive only in feature builds, where the registry has
+        // real counters behind it.
+        assert_eq!(sink.metrics_dump().is_some(), ruby_telemetry::enabled());
+    }
+
+    #[test]
+    fn streaming_anneal_synthesizes_one_snapshot() {
+        let space = toy_space();
+        let sink = MemorySink::new();
+        let outcome = Engine::new(&space)
+            .with_config(
+                SearchConfig::builder()
+                    .strategy(SearchStrategy::Anneal)
+                    .max_evaluations(500)
+                    .build()
+                    .expect("valid config"),
+            )
+            .with_progress(Box::new(sink.clone()))
+            .run();
+        let snapshots = sink.snapshots();
+        assert_eq!(snapshots.len(), 1);
+        assert_eq!(snapshots[0].evaluations, outcome.evaluations);
+        assert!(sink.summary().is_some());
+    }
+}

@@ -112,6 +112,11 @@ pub(crate) fn run(
         .unwrap_or_else(PoisonError::into_inner)
         .best_ordinal = 0;
 
+    // The coordinator drives chunk-scoped worker pools, so liveness is
+    // tracked at phase granularity: the configured width while the
+    // enumeration runs, zero once it returns.
+    shared.progress_set_live(config.threads as u64);
+
     let num_levels = mapspace.arch().num_levels();
     // 21 pairwise swaps per level, two sweeps, plus the re-check round.
     let polish_cap = num_levels as u64 * 21 * 2 + 1;
@@ -188,6 +193,10 @@ pub(crate) fn run(
             }
         }
     }
+
+    // The probe phase is a natural snapshot point: the first costs are
+    // in and the region ranking is about to be fixed.
+    shared.publish_progress();
 
     // Phase 2 order: probed regions by measured quality, then the
     // unprobed tail by floor (`order` is already floor-sorted).
@@ -323,6 +332,9 @@ pub(crate) fn run(
                 rw.next += take;
                 pending -= take as u64;
                 ordinal += take as u64;
+                // Chunk barriers are the enumeration's progress beat:
+                // the workers just joined, so the counters are settled.
+                shared.publish_progress();
                 if let Some(limit) = config.termination {
                     let first = shared
                         .record
@@ -345,6 +357,7 @@ pub(crate) fn run(
     }
 
     polish_permutations(mapspace, config, shared, polish_budget, ordinal);
+    shared.progress_set_live(0);
     complete
 }
 

@@ -31,10 +31,13 @@
 //!
 //! # Examples
 //!
+//! All strategies run through the [`Engine`] facade; configurations come
+//! from the validating [`SearchConfig::builder`]:
+//!
 //! ```
 //! use ruby_arch::presets;
 //! use ruby_mapspace::{Mapspace, MapspaceKind};
-//! use ruby_search::{search, SearchConfig};
+//! use ruby_search::{Engine, SearchConfig};
 //! use ruby_workload::ProblemShape;
 //!
 //! let space = Mapspace::new(
@@ -42,12 +45,19 @@
 //!     ProblemShape::rank1("d", 113),
 //!     MapspaceKind::RubyS,
 //! );
-//! let outcome = search(&space, &SearchConfig::default());
+//! let config = SearchConfig::builder().build().expect("defaults are valid");
+//! let outcome = Engine::new(&space).with_config(config).run();
 //! let best = outcome.best.expect("the toy space has valid mappings");
 //! assert_eq!(best.report.cycles(), 8); // ceil(113/16): full-array Ruby-S
 //! ```
+//!
+//! Attach a [`ProgressSink`] with [`Engine::with_progress`] to stream
+//! [`SearchSnapshot`] events while the search runs (see the `engine`
+//! module docs); metric counters (memo hit/miss, model rejection stages)
+//! additionally require the `telemetry` cargo feature.
 
 pub mod anneal;
+mod engine;
 mod exhaustive;
 mod memo;
 
@@ -81,7 +91,13 @@ use ruby_mapping::Mapping;
 use ruby_mapspace::Mapspace;
 use ruby_model::{evaluate_with, CostReport, EvalContext, ModelOptions};
 
+pub use engine::{ConfigError, Engine, SearchConfigBuilder};
 pub use memo::MemoCache;
+// Re-exported so Engine callers can attach sinks without a direct
+// ruby-telemetry dependency.
+pub use ruby_telemetry::{
+    HumanSink, JsonlSink, MemorySink, MultiSink, ProgressSink, SearchSnapshot, SCHEMA_VERSION,
+};
 
 /// The quantity the search minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -117,6 +133,43 @@ impl Objective {
             Objective::Delay => min_steps as f64,
         }
     }
+
+    /// Stable lowercase name (CLI flag value / JSON field).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Objective::Edp => "edp",
+            Objective::Energy => "energy",
+            Objective::Delay => "delay",
+        }
+    }
+
+    /// Parses a [`Self::name`] back into an objective.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the FromStr impl: `s.parse::<Objective>()`"
+    )]
+    pub fn parse(s: &str) -> Option<Self> {
+        s.parse().ok()
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Objective {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
+        match s {
+            "edp" => Ok(Objective::Edp),
+            "energy" => Ok(Objective::Energy),
+            "delay" => Ok(Objective::Delay),
+            other => Err(ConfigError::UnknownObjective(other.to_owned())),
+        }
+    }
 }
 
 /// How the search covers the mapspace.
@@ -136,6 +189,11 @@ pub enum SearchStrategy {
     /// A random warm-up (one third of the budget) to seed the pruning
     /// bound, then enumeration over the remainder.
     Hybrid,
+    /// Single-threaded simulated annealing ([`anneal`]), exposed here so
+    /// the [`Engine`] facade covers every backend; `max_evaluations`
+    /// maps onto the step budget, annealing-specific knobs keep their
+    /// [`anneal::AnnealConfig`] defaults.
+    Anneal,
 }
 
 impl SearchStrategy {
@@ -145,16 +203,36 @@ impl SearchStrategy {
             SearchStrategy::Random => "random",
             SearchStrategy::Exhaustive => "exhaustive",
             SearchStrategy::Hybrid => "hybrid",
+            SearchStrategy::Anneal => "anneal",
         }
     }
 
     /// Parses a [`Self::name`] back into a strategy.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the FromStr impl: `s.parse::<SearchStrategy>()`"
+    )]
     pub fn parse(s: &str) -> Option<Self> {
+        s.parse().ok()
+    }
+}
+
+impl std::fmt::Display for SearchStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SearchStrategy {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
         match s {
-            "random" => Some(SearchStrategy::Random),
-            "exhaustive" => Some(SearchStrategy::Exhaustive),
-            "hybrid" => Some(SearchStrategy::Hybrid),
-            _ => None,
+            "random" => Ok(SearchStrategy::Random),
+            "exhaustive" => Ok(SearchStrategy::Exhaustive),
+            "hybrid" => Ok(SearchStrategy::Hybrid),
+            "anneal" => Ok(SearchStrategy::Anneal),
+            other => Err(ConfigError::UnknownStrategy(other.to_owned())),
         }
     }
 }
@@ -198,6 +276,15 @@ pub struct SearchConfig {
     pub dedup: bool,
     /// Memo cache size: `2^memo_bits` slots (16 bytes each).
     pub memo_bits: u32,
+}
+
+impl SearchConfig {
+    /// A validating builder starting from the defaults; the only way to
+    /// obtain a config that is *guaranteed* runnable (direct struct
+    /// construction defers the same checks to panics inside the engine).
+    pub fn builder() -> SearchConfigBuilder {
+        SearchConfigBuilder::default()
+    }
 }
 
 impl Default for SearchConfig {
@@ -287,6 +374,88 @@ pub struct SearchOutcome {
     pub trace: Vec<(u64, f64)>,
 }
 
+impl serde::Serialize for BestMapping {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("cost".to_owned(), serde::Value::F64(self.cost)),
+            ("mapping".to_owned(), self.mapping.to_value()),
+            ("report".to_owned(), self.report.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for BestMapping {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(BestMapping {
+            mapping: serde::Deserialize::from_value(value.field("mapping")?)?,
+            report: serde::Deserialize::from_value(value.field("report")?)?,
+            cost: value.field("cost")?.as_f64()?,
+        })
+    }
+}
+
+// SearchOutcome's JSON form is the project's one stable search-result
+// schema: the CLI's `--json` output, `BENCH_search.json` entries and the
+// telemetry JSONL summary record all serialize through here, leading
+// with `"schema": SCHEMA_VERSION` so consumers can detect breaking
+// changes. Extra fields (e.g. the JSONL sink's `"event"` tag) are
+// ignored on the way back in.
+impl serde::Serialize for SearchOutcome {
+    fn to_value(&self) -> serde::Value {
+        let best = match &self.best {
+            Some(best) => best.to_value(),
+            None => serde::Value::Null,
+        };
+        serde::Value::Obj(vec![
+            ("schema".to_owned(), serde::Value::U64(SCHEMA_VERSION)),
+            (
+                "evaluations".to_owned(),
+                serde::Value::U64(self.evaluations),
+            ),
+            ("valid".to_owned(), serde::Value::U64(self.valid)),
+            ("invalid".to_owned(), serde::Value::U64(self.invalid)),
+            ("duplicates".to_owned(), serde::Value::U64(self.duplicates)),
+            (
+                "pruned_subtrees".to_owned(),
+                serde::Value::U64(self.pruned_subtrees),
+            ),
+            (
+                "pruned_mappings".to_owned(),
+                serde::Value::U64(self.pruned_mappings),
+            ),
+            ("exhausted".to_owned(), serde::Value::Bool(self.exhausted)),
+            ("best".to_owned(), best),
+            ("trace".to_owned(), self.trace.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for SearchOutcome {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let schema = value.field("schema")?.as_u64()?;
+        if schema != SCHEMA_VERSION {
+            return Err(serde::Error::custom(format!(
+                "unsupported search-outcome schema {schema} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let best = match value.field("best")? {
+            serde::Value::Null => None,
+            other => Some(serde::Deserialize::from_value(other)?),
+        };
+        Ok(SearchOutcome {
+            best,
+            evaluations: value.field("evaluations")?.as_u64()?,
+            valid: value.field("valid")?.as_u64()?,
+            invalid: value.field("invalid")?.as_u64()?,
+            duplicates: value.field("duplicates")?.as_u64()?,
+            pruned_subtrees: value.field("pruned_subtrees")?.as_u64()?,
+            pruned_mappings: value.field("pruned_mappings")?.as_u64()?,
+            exhausted: value.field("exhausted")?.as_bool()?,
+            trace: serde::Deserialize::from_value(value.field("trace")?)?,
+        })
+    }
+}
+
 struct Shared {
     evals: AtomicU64,
     valid: AtomicU64,
@@ -294,6 +463,8 @@ struct Shared {
     duplicates: AtomicU64,
     pruned_subtrees: AtomicU64,
     pruned_mappings: AtomicU64,
+    /// Strict best-cost improvements recorded (trace pushes/overwrites).
+    improvements: AtomicU64,
     stop: AtomicBool,
     /// Bit pattern of the best cost so far (`f64::to_bits`); starts at
     /// `+inf`. Compared by value after `from_bits`, never by bits.
@@ -307,6 +478,9 @@ struct Shared {
     memo: Option<MemoCache>,
     /// Taken only when a thread has already won the best-cost CAS.
     record: Mutex<Record>,
+    /// Progress-streaming state; `Some` only when the [`Engine`] runs
+    /// with a sink attached (see `engine::ProgressState`).
+    progress: Option<engine::ProgressState>,
 }
 
 impl Shared {
@@ -318,6 +492,7 @@ impl Shared {
             duplicates: AtomicU64::new(0),
             pruned_subtrees: AtomicU64::new(0),
             pruned_mappings: AtomicU64::new(0),
+            improvements: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             best_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             fails: AtomicU64::new(0),
@@ -327,6 +502,7 @@ impl Shared {
                 trace: Vec::new(),
                 best_ordinal: 0,
             }),
+            progress: None,
         }
     }
 }
@@ -359,57 +535,12 @@ struct Record {
 /// Panics if `threads` is zero, or if both `max_evaluations` and
 /// `termination` are `None` for a strategy with a random phase (the
 /// search would never stop; `Exhaustive` terminates on its own).
+#[deprecated(
+    since = "0.1.0",
+    note = "use the Engine facade: `Engine::new(space).with_config(config.clone()).run()`"
+)]
 pub fn search(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
-    assert!(config.threads > 0, "need at least one search thread");
-    if config.strategy != SearchStrategy::Exhaustive {
-        assert!(
-            config.max_evaluations.is_some() || config.termination.is_some(),
-            "unbounded search: set max_evaluations or termination"
-        );
-    }
-    let shared = Shared::new(config);
-    let mut exhausted = false;
-    match config.strategy {
-        SearchStrategy::Random => {
-            run_random(mapspace, config, &shared, config.max_evaluations);
-        }
-        SearchStrategy::Exhaustive => {
-            exhausted = exhaustive::run(mapspace, config, &shared, config.max_evaluations);
-        }
-        SearchStrategy::Hybrid => {
-            // Random warm-up seeds the pruning bound, then enumeration
-            // spends the remainder.
-            let warmup = config.max_evaluations.map(|b| b / 3);
-            run_random(mapspace, config, &shared, warmup);
-            // ordering: Relaxed — the warm-up threads were joined when
-            // run_random returned, so these resets are already ordered
-            // before the enumeration phase observes them.
-            shared.stop.store(false, Ordering::Relaxed);
-            shared.fails.store(0, Ordering::Relaxed);
-            let spent = shared.evals.load(Ordering::Relaxed);
-            let remainder = config.max_evaluations.map(|b| b.saturating_sub(spent));
-            exhausted = exhaustive::run(mapspace, config, &shared, remainder);
-        }
-    }
-
-    // A panicking worker poisons the mutex but cannot leave the record
-    // half-written (every update completes before unlock), so the poison
-    // flag carries no information here and is safely discarded.
-    let record = shared
-        .record
-        .into_inner()
-        .unwrap_or_else(PoisonError::into_inner);
-    SearchOutcome {
-        best: record.best,
-        evaluations: shared.evals.into_inner(),
-        valid: shared.valid.into_inner(),
-        invalid: shared.invalid.into_inner(),
-        duplicates: shared.duplicates.into_inner(),
-        pruned_subtrees: shared.pruned_subtrees.into_inner(),
-        pruned_mappings: shared.pruned_mappings.into_inner(),
-        exhausted,
-        trace: record.trace,
-    }
+    engine::execute(mapspace, config)
 }
 
 /// Runs the random-sampling workers until `budget` (or termination).
@@ -441,6 +572,7 @@ fn worker(
     let mut mapping = Mapping::builder(mapspace.arch().num_levels())
         .build_for_bounds(mapspace.shape().bounds())
         .expect("the default mapping is well-formed");
+    shared.progress_thread_started();
     // ordering: Relaxed — the stop flag is advisory: seeing it late only
     // costs a few extra samples, and the spawning scope's join is the
     // real synchronization point for the final counter reads.
@@ -458,6 +590,12 @@ fn worker(
                 shared.stop.store(true, Ordering::Relaxed);
                 break;
             }
+        }
+        // One masked branch per candidate; the publish itself (a lossy
+        // CAS + word stores) runs once per stride per thread and is a
+        // no-op without an attached sink.
+        if evals & (engine::PROGRESS_STRIDE - 1) == 0 {
+            shared.publish_progress();
         }
         sampler.sample_into(&mut mapping, &mut rng);
         let key = mapping.canonical_key();
@@ -524,6 +662,7 @@ fn worker(
             }
         }
     }
+    shared.progress_thread_stopped();
 }
 
 /// Lowers the atomic best-cost word to `cost` if it improves on it;
@@ -609,6 +748,9 @@ fn record_improvement(
         report,
         cost,
     });
+    // ordering: Relaxed — statistics counter feeding progress snapshots;
+    // the record mutex above already serializes the improvement itself.
+    shared.improvements.fetch_add(1, Ordering::Relaxed);
     true
 }
 
@@ -634,10 +776,15 @@ fn note_tie_ordinal(shared: &Shared, cost: f64, ordinal: u64) {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `search()` shim must keep its exact pre-Engine
+    // behavior (panic messages included), so these tests keep calling it.
+    #![allow(deprecated)]
+
     use super::*;
     use ruby_arch::presets;
     use ruby_mapspace::MapspaceKind;
     use ruby_workload::ProblemShape;
+    use serde::Serialize as _;
 
     fn toy_space(kind: MapspaceKind, pes: u64, d: u64) -> Mapspace {
         Mapspace::new(
@@ -988,9 +1135,67 @@ mod tests {
             SearchStrategy::Random,
             SearchStrategy::Exhaustive,
             SearchStrategy::Hybrid,
+            SearchStrategy::Anneal,
         ] {
+            assert_eq!(s.name().parse(), Ok(s));
+            assert_eq!(s.to_string(), s.name());
+            // The deprecated entry point must agree with FromStr.
             assert_eq!(SearchStrategy::parse(s.name()), Some(s));
         }
-        assert_eq!(SearchStrategy::parse("genetic"), None);
+        assert_eq!(
+            "genetic".parse::<SearchStrategy>(),
+            Err(ConfigError::UnknownStrategy("genetic".to_owned()))
+        );
+    }
+
+    #[test]
+    fn objective_names_round_trip() {
+        for o in [Objective::Edp, Objective::Energy, Objective::Delay] {
+            assert_eq!(o.name().parse(), Ok(o));
+            assert_eq!(o.to_string(), o.name());
+            assert_eq!(Objective::parse(o.name()), Some(o));
+        }
+        assert_eq!(
+            "speed".parse::<Objective>(),
+            Err(ConfigError::UnknownObjective("speed".to_owned()))
+        );
+    }
+
+    #[test]
+    fn outcome_serde_round_trips_with_a_stable_schema() {
+        let outcome = search(
+            &toy_space(MapspaceKind::RubyS, 16, 113),
+            &SearchConfig {
+                threads: 1,
+                ..SearchConfig::default()
+            },
+        );
+        let value = outcome.to_value();
+        assert_eq!(
+            value.get("schema"),
+            Some(&serde::Value::U64(SCHEMA_VERSION))
+        );
+        let text = serde_json::to_string(&value).expect("serializes");
+        let parsed: serde::Value = serde_json::from_str(&text).expect("parses");
+        let back = <SearchOutcome as serde::Deserialize>::from_value(&parsed).expect("decodes");
+        assert_eq!(back.evaluations, outcome.evaluations);
+        assert_eq!(back.valid, outcome.valid);
+        assert_eq!(back.invalid, outcome.invalid);
+        assert_eq!(back.duplicates, outcome.duplicates);
+        assert_eq!(back.exhausted, outcome.exhausted);
+        assert_eq!(back.trace, outcome.trace);
+        let (a, b) = (outcome.best.expect("best"), back.best.expect("best"));
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.report.cycles(), b.report.cycles());
+        // Wrong schema versions must be rejected, not misread.
+        let mut fields = match value {
+            serde::Value::Obj(fields) => fields,
+            other => panic!("expected object, got {other:?}"),
+        };
+        fields[0].1 = serde::Value::U64(999);
+        assert!(
+            <SearchOutcome as serde::Deserialize>::from_value(&serde::Value::Obj(fields)).is_err()
+        );
     }
 }

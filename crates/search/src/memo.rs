@@ -16,6 +16,16 @@
 
 use crate::sync::{AtomicU64, Ordering};
 
+use ruby_telemetry::LazyCounter;
+
+/// Memo instrumentation: no-ops unless the `telemetry` feature is on.
+/// Hits and misses are the per-probe outcomes (a hit is exactly one
+/// [`SearchOutcome::duplicates`](crate::SearchOutcome) increment in the
+/// callers); drops count entries lost to a full probe window.
+static MEMO_HIT: LazyCounter = LazyCounter::new("search.memo.hit");
+static MEMO_MISS: LazyCounter = LazyCounter::new("search.memo.miss");
+static MEMO_DROP: LazyCounter = LazyCounter::new("search.memo.drop");
+
 const PROBE_WINDOW: usize = 8;
 const EMPTY: u64 = 0;
 /// NaN bit pattern never produced by `f64::to_bits` of a finite cost or
@@ -71,6 +81,7 @@ impl MemoCache {
             // `insert` so a key match happens-after the claim.
             let k = slot.key.load(Ordering::Acquire);
             if k == EMPTY {
+                MEMO_MISS.inc();
                 return None;
             }
             if k == key {
@@ -79,11 +90,14 @@ impl MemoCache {
                 // fully published cost, never a torn intermediate.
                 let c = slot.cost.load(Ordering::Acquire);
                 if c == NOT_READY {
+                    MEMO_MISS.inc();
                     return None;
                 }
+                MEMO_HIT.inc();
                 return Some(f64::from_bits(c));
             }
         }
+        MEMO_MISS.inc();
         None
     }
 
@@ -120,6 +134,9 @@ impl MemoCache {
                 }
             }
         }
+        // Window full of other keys: the entry is dropped (see the
+        // module docs — lossy, never wrong).
+        MEMO_DROP.inc();
     }
 }
 

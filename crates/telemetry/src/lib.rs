@@ -1,0 +1,55 @@
+//! Observability for the Ruby search engine: lock-free metrics,
+//! epoch-published progress snapshots, and pluggable sinks.
+//!
+//! The paper's claims rest on *search dynamics* — valid-rate,
+//! improvement staircases, memo hit rates, pruning yield — that the
+//! engine computes on its hot path. This crate makes those dynamics
+//! first-class outputs without slowing that path down:
+//!
+//! * [`metrics`] — atomic [`Counter`]s, log2-bucketed [`Histogram`]s and
+//!   monotonic [`Gauge`]s behind `Lazy*` handles that register
+//!   themselves in the process-wide [`MetricsRegistry`] on first use.
+//!   With the `telemetry` cargo feature **off** (the default) every
+//!   handle method compiles to an empty `#[inline(always)]` body — the
+//!   instrumented crates carry zero runtime cost.
+//! * [`snapshot`] — a seqlock-style [`SnapshotSlot`] through which
+//!   search workers publish a fixed-size [`SearchSnapshot`] (counters,
+//!   best cost, thread liveness) that a monitor thread reads without
+//!   ever observing a torn value. Publication is lossy under
+//!   contention by design: a skipped snapshot costs nothing, a lock
+//!   would.
+//! * [`sink`] — the [`ProgressSink`] trait plus three implementations:
+//!   [`HumanSink`] (ANSI progress line), [`JsonlSink`] (one JSON event
+//!   per line) and [`MemorySink`] (test capture). Sinks receive
+//!   snapshots, a final summary record and — when the feature is on —
+//!   a metrics dump.
+//!
+//! Every record the JSONL sink emits carries `"schema"`:
+//! [`SCHEMA_VERSION`] and an `"event"` tag (`snapshot` / `summary` /
+//! `metrics`); the schema table lives in DESIGN.md §5.4.
+
+pub mod metrics;
+pub mod sink;
+pub mod snapshot;
+
+#[cfg(test)]
+mod interleave_tests;
+
+pub use metrics::{
+    registry, Counter, Gauge, Histogram, LazyCounter, LazyGauge, LazyHistogram, MetricsRegistry,
+    HISTOGRAM_BUCKETS,
+};
+pub use sink::{HumanSink, JsonlSink, MemorySink, MultiSink, ProgressSink};
+pub use snapshot::{SearchSnapshot, SnapshotSlot};
+
+/// Version stamped into every serialized record that crosses a process
+/// boundary (telemetry JSONL events, `SearchOutcome` JSON,
+/// `BENCH_search.json`). Bump on any breaking field change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Whether this build carries real metrics instrumentation (the
+/// `telemetry` cargo feature). When `false`, the `Lazy*` handles are
+/// no-ops and [`registry`] stays empty.
+pub const fn enabled() -> bool {
+    cfg!(feature = "telemetry")
+}

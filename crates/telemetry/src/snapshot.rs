@@ -1,0 +1,409 @@
+//! Epoch-published search snapshots.
+//!
+//! Workers publish progress through a [`SnapshotSlot`]: a seqlock-style
+//! cell holding a fixed array of `u64` words guarded by an epoch
+//! counter. The protocol:
+//!
+//! * the epoch starts at 0 ("never published"); an even value means the
+//!   words are stable; an odd value means a writer owns the slot;
+//! * a writer claims the slot by CASing the even epoch to odd, stores
+//!   the words, then bumps the epoch to the next even value. If the
+//!   claim fails the snapshot is simply *dropped* — publication is
+//!   lossy by design, so no writer ever waits;
+//! * a reader loads the epoch, copies the words, and re-loads the
+//!   epoch: a stable pair of identical even epochs proves the copy is
+//!   untorn. A bounded retry keeps the reader from spinning forever
+//!   against a pathological writer.
+//!
+//! The protocol is model-checked against the `ruby-analysis`
+//! interleaving explorer in `interleave_tests.rs`: under every schedule
+//! of a racing writer and reader, the reader observes `None` or a
+//! complete snapshot — never a mix of two publications.
+
+/// Atomics for the publish protocol. Test builds route through the
+/// `ruby-analysis` interleaving shim (a dev-dependency) so the
+/// epoch protocol can be model-checked on the exact production code.
+#[cfg(not(test))]
+pub(crate) mod sync {
+    pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+}
+#[cfg(test)]
+pub(crate) mod sync {
+    pub(crate) use ruby_analysis::interleave::shim::{AtomicU64, Ordering};
+}
+
+use crate::snapshot::sync::{AtomicU64, Ordering};
+use crate::SCHEMA_VERSION;
+
+/// How many times [`SnapshotSlot::read`] retries before giving up.
+const READ_RETRIES: usize = 64;
+
+/// A lossy single-writer-at-a-time publication cell for `N` words.
+#[derive(Debug)]
+pub struct SnapshotSlot<const N: usize> {
+    // ordering: SeqCst protocol (see the publish/read comments below);
+    // the cells start at zero = "never published".
+    epoch: AtomicU64,
+    words: [AtomicU64; N],
+}
+
+impl<const N: usize> SnapshotSlot<N> {
+    /// An empty slot (readers see `None` until the first publish).
+    pub fn new() -> Self {
+        SnapshotSlot {
+            // ordering: SeqCst protocol cells, zero-initialized; the
+            // constructor itself is single-threaded.
+            epoch: AtomicU64::new(0),
+            words: [const { AtomicU64::new(0) }; N],
+        }
+    }
+
+    /// Publishes `words`, returning whether the slot was claimed.
+    /// Failure means another writer held the slot — the caller should
+    /// drop the snapshot and move on (the next publish supersedes it).
+    pub fn publish(&self, words: &[u64; N]) -> bool {
+        // ordering: SeqCst — publication is off the hot path (one call
+        // per ~thousand evaluations), so the strongest ordering costs
+        // nothing and keeps the epoch protocol trivially sequentially
+        // consistent: claim (odd) happens-before the word stores, which
+        // happen-before the release to the next even epoch.
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        if epoch & 1 == 1 {
+            return false;
+        }
+        if self
+            .epoch
+            // ordering: SeqCst — see the protocol comment above.
+            .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return false;
+        }
+        for (cell, &word) in self.words.iter().zip(words) {
+            // ordering: SeqCst — see the protocol comment above.
+            cell.store(word, Ordering::SeqCst);
+        }
+        // ordering: SeqCst — see the protocol comment above.
+        self.epoch.store(epoch + 2, Ordering::SeqCst);
+        true
+    }
+
+    /// The most recent stable publication, or `None` if nothing was
+    /// ever published (or a writer monopolized the slot for all
+    /// [`READ_RETRIES`] attempts).
+    pub fn read(&self) -> Option<[u64; N]> {
+        for _ in 0..READ_RETRIES {
+            // ordering: SeqCst — matching the writer's protocol (see
+            // `publish`): equal even epochs around the copy prove no
+            // writer touched the words in between.
+            let before = self.epoch.load(Ordering::SeqCst);
+            if before == 0 {
+                return None;
+            }
+            if before & 1 == 1 {
+                continue; // a writer owns the slot; retry
+            }
+            let mut out = [0u64; N];
+            for (word, cell) in out.iter_mut().zip(&self.words) {
+                // ordering: SeqCst — see the protocol comment above.
+                *word = cell.load(Ordering::SeqCst);
+            }
+            // ordering: SeqCst — see the protocol comment above.
+            if self.epoch.load(Ordering::SeqCst) == before {
+                return Some(out);
+            }
+        }
+        None
+    }
+}
+
+impl<const N: usize> Default for SnapshotSlot<N> {
+    fn default() -> Self {
+        SnapshotSlot::new()
+    }
+}
+
+/// A point-in-time view of a running search, encoded as
+/// [`SearchSnapshot::WORDS`] `u64` words for the [`SnapshotSlot`].
+///
+/// Counter semantics match [`SearchOutcome`]: `evaluations = valid +
+/// invalid + duplicates`, `duplicates` doubles as the memo hit count
+/// and `valid + invalid` as the miss count (every miss is evaluated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchSnapshot {
+    /// Publication sequence number (1-based; later supersedes earlier).
+    pub seq: u64,
+    /// Nanoseconds since the search started.
+    pub elapsed_nanos: u64,
+    /// Candidates scored so far.
+    pub evaluations: u64,
+    /// Model-valid mappings among them.
+    pub valid: u64,
+    /// Model-rejected mappings among them.
+    pub invalid: u64,
+    /// Memo-cache hits among them.
+    pub duplicates: u64,
+    /// Enumeration subtrees discarded by the cost lower bound.
+    pub pruned_subtrees: u64,
+    /// Individual candidates discarded by the cost lower bound.
+    pub pruned_mappings: u64,
+    /// Strict best-cost improvements recorded so far.
+    pub improvements: u64,
+    /// Bit pattern (`f64::to_bits`) of the best cost so far; `+inf`
+    /// bits until the first valid mapping.
+    pub best_cost_bits: u64,
+    /// Worker threads currently inside the search loop.
+    pub live_threads: u64,
+    /// Worker threads configured for this phase.
+    pub threads: u64,
+}
+
+impl SearchSnapshot {
+    /// Number of `u64` words in the wire encoding.
+    pub const WORDS: usize = 12;
+
+    /// Packs the snapshot into its word encoding (field order above).
+    pub fn encode(&self) -> [u64; Self::WORDS] {
+        [
+            self.seq,
+            self.elapsed_nanos,
+            self.evaluations,
+            self.valid,
+            self.invalid,
+            self.duplicates,
+            self.pruned_subtrees,
+            self.pruned_mappings,
+            self.improvements,
+            self.best_cost_bits,
+            self.live_threads,
+            self.threads,
+        ]
+    }
+
+    /// Unpacks a word encoding produced by [`Self::encode`].
+    pub fn decode(words: &[u64; Self::WORDS]) -> Self {
+        SearchSnapshot {
+            seq: words[0],
+            elapsed_nanos: words[1],
+            evaluations: words[2],
+            valid: words[3],
+            invalid: words[4],
+            duplicates: words[5],
+            pruned_subtrees: words[6],
+            pruned_mappings: words[7],
+            improvements: words[8],
+            best_cost_bits: words[9],
+            live_threads: words[10],
+            threads: words[11],
+        }
+    }
+
+    /// Elapsed wall-clock time in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_nanos as f64 / 1e9
+    }
+
+    /// Scoring throughput so far (0 before any time has elapsed).
+    pub fn evals_per_sec(&self) -> f64 {
+        let secs = self.elapsed_secs();
+        if secs > 0.0 {
+            self.evaluations as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of scored candidates the model accepted (0 when none
+    /// were scored).
+    pub fn valid_rate(&self) -> f64 {
+        if self.evaluations > 0 {
+            self.valid as f64 / self.evaluations as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Memo-cache hits (every duplicate is a hit).
+    pub fn memo_hits(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Memo-cache misses (every miss goes to the model).
+    pub fn memo_misses(&self) -> u64 {
+        self.valid + self.invalid
+    }
+
+    /// The best cost so far, or `None` before the first valid mapping.
+    pub fn best_cost(&self) -> Option<f64> {
+        let cost = f64::from_bits(self.best_cost_bits);
+        cost.is_finite().then_some(cost)
+    }
+}
+
+impl serde::Serialize for SearchSnapshot {
+    fn to_value(&self) -> serde::Value {
+        let best = match self.best_cost() {
+            Some(cost) => serde::Value::F64(cost),
+            None => serde::Value::Null,
+        };
+        serde::Value::Obj(vec![
+            ("schema".to_owned(), serde::Value::U64(SCHEMA_VERSION)),
+            ("event".to_owned(), serde::Value::Str("snapshot".to_owned())),
+            ("seq".to_owned(), serde::Value::U64(self.seq)),
+            (
+                "elapsed_nanos".to_owned(),
+                serde::Value::U64(self.elapsed_nanos),
+            ),
+            (
+                "evaluations".to_owned(),
+                serde::Value::U64(self.evaluations),
+            ),
+            ("valid".to_owned(), serde::Value::U64(self.valid)),
+            ("invalid".to_owned(), serde::Value::U64(self.invalid)),
+            ("duplicates".to_owned(), serde::Value::U64(self.duplicates)),
+            (
+                "pruned_subtrees".to_owned(),
+                serde::Value::U64(self.pruned_subtrees),
+            ),
+            (
+                "pruned_mappings".to_owned(),
+                serde::Value::U64(self.pruned_mappings),
+            ),
+            (
+                "improvements".to_owned(),
+                serde::Value::U64(self.improvements),
+            ),
+            ("best_cost".to_owned(), best),
+            (
+                "live_threads".to_owned(),
+                serde::Value::U64(self.live_threads),
+            ),
+            ("threads".to_owned(), serde::Value::U64(self.threads)),
+            (
+                "evals_per_sec".to_owned(),
+                serde::Value::F64(self.evals_per_sec()),
+            ),
+            (
+                "valid_rate".to_owned(),
+                serde::Value::F64(self.valid_rate()),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for SearchSnapshot {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let schema = value.field("schema")?.as_u64()?;
+        if schema != SCHEMA_VERSION {
+            return Err(serde::Error::custom(format!(
+                "unsupported snapshot schema {schema} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let event = value.field("event")?.as_str()?;
+        if event != "snapshot" {
+            return Err(serde::Error::custom(format!(
+                "expected event `snapshot`, got `{event}`"
+            )));
+        }
+        let best_cost_bits = match value.field("best_cost")? {
+            serde::Value::Null => f64::INFINITY.to_bits(),
+            other => other.as_f64()?.to_bits(),
+        };
+        Ok(SearchSnapshot {
+            seq: value.field("seq")?.as_u64()?,
+            elapsed_nanos: value.field("elapsed_nanos")?.as_u64()?,
+            evaluations: value.field("evaluations")?.as_u64()?,
+            valid: value.field("valid")?.as_u64()?,
+            invalid: value.field("invalid")?.as_u64()?,
+            duplicates: value.field("duplicates")?.as_u64()?,
+            pruned_subtrees: value.field("pruned_subtrees")?.as_u64()?,
+            pruned_mappings: value.field("pruned_mappings")?.as_u64()?,
+            improvements: value.field("improvements")?.as_u64()?,
+            best_cost_bits,
+            live_threads: value.field("live_threads")?.as_u64()?,
+            threads: value.field("threads")?.as_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    fn sample() -> SearchSnapshot {
+        SearchSnapshot {
+            seq: 3,
+            elapsed_nanos: 2_000_000_000,
+            evaluations: 1_000,
+            valid: 400,
+            invalid: 500,
+            duplicates: 100,
+            pruned_subtrees: 7,
+            pruned_mappings: 900,
+            improvements: 5,
+            best_cost_bits: 123.5f64.to_bits(),
+            live_threads: 4,
+            threads: 8,
+        }
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let snap = sample();
+        assert_eq!(SearchSnapshot::decode(&snap.encode()), snap);
+    }
+
+    #[test]
+    fn derived_rates_are_consistent() {
+        let snap = sample();
+        assert_eq!(snap.elapsed_secs(), 2.0);
+        assert_eq!(snap.evals_per_sec(), 500.0);
+        assert_eq!(snap.valid_rate(), 0.4);
+        assert_eq!(snap.memo_hits(), 100);
+        assert_eq!(snap.memo_misses(), 900);
+        assert_eq!(snap.best_cost(), Some(123.5));
+        let empty = SearchSnapshot::default();
+        assert_eq!(empty.evals_per_sec(), 0.0);
+        assert_eq!(empty.valid_rate(), 0.0);
+        assert_eq!(
+            SearchSnapshot {
+                best_cost_bits: f64::INFINITY.to_bits(),
+                ..empty
+            }
+            .best_cost(),
+            None
+        );
+    }
+
+    #[test]
+    fn serde_round_trips_and_pins_the_schema() {
+        let snap = sample();
+        let value = snap.to_value();
+        assert_eq!(value.get("schema"), Some(&serde::Value::U64(1)));
+        assert_eq!(
+            value.get("event"),
+            Some(&serde::Value::Str("snapshot".to_owned()))
+        );
+        let back = SearchSnapshot::from_value(&value).expect("round-trip");
+        assert_eq!(back, snap);
+        // Unknown schema versions must be rejected, not misread.
+        let mut fields = match value {
+            serde::Value::Obj(fields) => fields,
+            other => panic!("expected object, got {other:?}"),
+        };
+        fields[0].1 = serde::Value::U64(999);
+        let err = SearchSnapshot::from_value(&serde::Value::Obj(fields));
+        assert!(err.is_err(), "schema 999 must not parse");
+    }
+
+    #[test]
+    fn slot_reads_none_then_the_latest_publication() {
+        let slot: SnapshotSlot<3> = SnapshotSlot::new();
+        assert_eq!(slot.read(), None);
+        assert!(slot.publish(&[1, 2, 3]));
+        assert_eq!(slot.read(), Some([1, 2, 3]));
+        assert!(slot.publish(&[4, 5, 6]));
+        assert_eq!(slot.read(), Some([4, 5, 6]));
+    }
+}

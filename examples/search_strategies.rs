@@ -21,18 +21,17 @@ fn main() {
         "strategy", "best EDP", "evaluations", "time"
     );
 
-    // 1. Random sampling (the paper's search).
+    // 1. Random sampling (the paper's search), via the Engine facade
+    //    and the validating config builder.
     let t = Instant::now();
-    let random = search(
-        &space,
-        &SearchConfig {
-            seed: 5,
-            max_evaluations: Some(10_000),
-            termination: Some(1_500),
-            threads: 4,
-            ..SearchConfig::default()
-        },
-    );
+    let config = SearchConfig::builder()
+        .seed(5)
+        .max_evaluations(10_000)
+        .termination(1_500)
+        .threads(4)
+        .build()
+        .expect("positive budgets are a valid config");
+    let random = Engine::new(&space).with_config(config).run();
     print_row(
         "random",
         random.best.as_ref().map(|b| b.report.edp()),
@@ -40,16 +39,18 @@ fn main() {
         t,
     );
 
-    // 2. Simulated annealing.
+    // 2. Simulated annealing: same engine entry point, different
+    //    strategy (max_evaluations becomes the annealer's step budget).
     let t = Instant::now();
-    let annealed = anneal(
-        &space,
-        &AnnealConfig {
+    let annealed = Engine::new(&space)
+        .with_config(SearchConfig {
             seed: 5,
-            steps: 10_000,
-            ..Default::default()
-        },
-    );
+            max_evaluations: Some(10_000),
+            termination: None,
+            strategy: SearchStrategy::Anneal,
+            ..SearchConfig::default()
+        })
+        .run();
     print_row(
         "anneal",
         annealed.best.as_ref().map(|b| b.report.edp()),

@@ -16,6 +16,12 @@ cargo test -q
 echo "==> interleaving checker (bounded schedule exploration)"
 cargo test -q -p ruby-search interleave
 
+echo "==> telemetry feature matrix"
+cargo test -q -p ruby-telemetry
+cargo test -q -p ruby-telemetry --features telemetry
+cargo test -q -p ruby-search --features telemetry
+cargo build --release -p ruby-cli --features telemetry
+
 echo "==> ruby-lint"
 cargo run --release -q -p ruby-lint
 
