@@ -70,6 +70,7 @@ fn main() {
     }
 
     let path = "BENCH_layers.jsonl";
-    std::fs::write(path, records::to_jsonl(&recs)).expect("writable working directory");
+    ruby_telemetry::write_atomic(path, records::to_jsonl(&recs).as_bytes())
+        .expect("writable working directory");
     println!("wrote {path} ({} records)", recs.len());
 }

@@ -1,0 +1,176 @@
+//! Resilience smoke gate for tier-1: proves, at smoke scale, that
+//!
+//! 1. an exhaustive run interrupted at ~50% of its budget and resumed
+//!    from its checkpoint reproduces the uninterrupted run bit-for-bit
+//!    (best cost, best mapping, every deterministic counter);
+//! 2. no torn artifacts survive — the checkpoint directory holds no
+//!    stray `.tmp` staging files after the kill/resume cycle;
+//! 3. (in `--features failpoints` builds) an injected evaluation panic
+//!    is supervised — the run completes with `worker_restarts ≥ 1`
+//!    instead of aborting the process.
+//!
+//! Exits nonzero on the first violated property.
+
+use ruby_core::prelude::*;
+
+fn space() -> Mapspace {
+    Mapspace::new(
+        presets::toy_linear(16, 1024),
+        ProblemShape::rank1("d", 113),
+        MapspaceKind::RubyS,
+    )
+}
+
+fn config() -> SearchConfig {
+    // justified: the smoke config is a compile-time constant; builder
+    // rejection would be a programming error, not an input error.
+    SearchConfig::builder()
+        .seed(42)
+        .threads(1)
+        .strategy(SearchStrategy::Exhaustive)
+        .max_evaluations(2_000)
+        .no_termination()
+        .build()
+        .expect("smoke config is valid")
+}
+
+fn fail(what: &str) -> ! {
+    eprintln!("resilience smoke FAILED: {what}");
+    std::process::exit(1);
+}
+
+fn check(cond: bool, what: &str) {
+    if !cond {
+        fail(what);
+    }
+}
+
+fn assert_same(a: &SearchOutcome, b: &SearchOutcome) {
+    check(a.evaluations == b.evaluations, "evaluations diverged");
+    check(a.valid == b.valid, "valid counts diverged");
+    check(a.invalid == b.invalid, "invalid counts diverged");
+    check(a.duplicates == b.duplicates, "duplicate counts diverged");
+    check(a.exhausted == b.exhausted, "exhausted flags diverged");
+    let cost = |o: &SearchOutcome| o.best.as_ref().map(|b| b.cost.to_bits());
+    check(cost(a) == cost(b), "best cost bits diverged");
+    let mapping = |o: &SearchOutcome| o.best.as_ref().map(|b| b.mapping.clone());
+    check(mapping(a) == mapping(b), "best mappings diverged");
+}
+
+fn kill_and_resume() {
+    let space = space();
+    let baseline = Engine::new(&space).with_config(config()).run();
+    check(baseline.best.is_some(), "baseline found no valid mapping");
+
+    let dir = std::env::temp_dir().join(format!("ruby-resilience-smoke-{}", std::process::id()));
+    // justified: a temp dir that cannot be created fails the gate
+    // loudly; there is nothing to degrade to.
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    let path = dir.join("run.ckpt");
+
+    // Interrupt at ~50% of the baseline's evaluation count: the token
+    // trips deterministically, the drain writes a checkpoint.
+    let token = StopToken::new();
+    token.trip_after_evaluations(baseline.evaluations / 2);
+    let interrupted = Engine::new(&space)
+        .with_config(config())
+        .with_stop_token(token)
+        .with_checkpoint(&path, 10_000)
+        .run();
+    check(interrupted.stopped_early, "trip-wire did not stop the run");
+    check(path.exists(), "no checkpoint written at the drain point");
+
+    let resumed = match Engine::new(&space)
+        .with_config(config())
+        .with_checkpoint(&path, 10_000)
+        .resume()
+        .try_run()
+    {
+        Ok(outcome) => outcome,
+        Err(err) => fail(&format!("resume rejected the checkpoint: {err}")),
+    };
+    check(!resumed.stopped_early, "resumed run did not finish");
+    assert_same(&baseline, &resumed);
+
+    // No torn artifacts: atomic writes stage into `.tmp` siblings and
+    // rename; anything left behind means a write path skipped the
+    // discipline (or a rename failed silently).
+    // justified: an unreadable temp dir fails the gate loudly.
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .expect("temp dir is readable")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.ends_with(".tmp"))
+        .collect();
+    check(leftovers.is_empty(), "stray .tmp staging files survived");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "kill/resume parity OK ({} evaluations, interrupted at {})",
+        baseline.evaluations, interrupted.evaluations
+    );
+}
+
+#[cfg(feature = "failpoints")]
+fn supervised_panic() {
+    // Silence the default panic report for the injected panics; the
+    // supervisor converts them into quarantine + restart bookkeeping.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("failpoint"))
+            || info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("failpoint"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    check(
+        ruby_failpoints::arm("search.eval", "panic@10"),
+        "failpoint site `search.eval` did not arm",
+    );
+    let space = space();
+    // justified: the builder input is constant (see `config`).
+    let config = SearchConfig::builder()
+        .seed(42)
+        .threads(2)
+        .strategy(SearchStrategy::Random)
+        .max_evaluations(500)
+        .no_termination()
+        .max_worker_restarts(100_000)
+        .build()
+        .expect("smoke config is valid");
+    let outcome = Engine::new(&space).with_config(config).run();
+    ruby_failpoints::reset();
+    let _ = std::panic::take_hook();
+    check(
+        outcome.worker_restarts >= 1,
+        "injected panic produced no supervised restart",
+    );
+    check(
+        !outcome.stopped_early,
+        "supervised run should complete within its restart budget",
+    );
+    check(
+        outcome.best.is_some(),
+        "supervised run lost its best mapping",
+    );
+    println!(
+        "supervised panic OK ({} restarts, {} quarantined)",
+        outcome.worker_restarts, outcome.quarantined
+    );
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn supervised_panic() {
+    println!("supervised panic SKIPPED (build without --features failpoints)");
+}
+
+fn main() {
+    kill_and_resume();
+    supervised_panic();
+    println!("resilience smoke OK");
+}

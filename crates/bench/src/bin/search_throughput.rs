@@ -33,7 +33,7 @@ fn main() {
 
     let json = serde_json::to_string_pretty(&report).expect("reports always serialize");
     let path = "BENCH_search.json";
-    std::fs::write(path, json).expect("writable working directory");
+    ruby_telemetry::write_atomic(path, json.as_bytes()).expect("writable working directory");
     println!("wrote {path}");
 }
 

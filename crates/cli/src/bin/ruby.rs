@@ -1,6 +1,63 @@
 //! The `ruby` command-line tool. Run `ruby help` for usage.
+//!
+//! Signal discipline for long runs: the first SIGINT/SIGTERM asks the
+//! running search to drain — finish the batch in flight, write a final
+//! checkpoint if `--checkpoint` was given, and report a normal (if
+//! `stopped-early`) outcome. A second signal exits immediately with
+//! the conventional 130 status.
+
+#[cfg(unix)]
+mod signals {
+    use std::time::Duration;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(status: i32) -> !;
+    }
+
+    /// The handler itself: async-signal-safe by construction — it only
+    /// bumps an atomic counter. All real work happens on the watcher
+    /// thread below.
+    extern "C" fn on_signal(_signum: i32) {
+        ruby_cli::interrupts::note_signal();
+    }
+
+    /// Installs the handlers and spawns the watcher thread that turns
+    /// signal counts into actions (1 = graceful drain, 2 = hard exit).
+    pub fn install() {
+        // justified: a failed signal(2) registration only costs the
+        // graceful-drain feature; the search itself is unaffected, so
+        // degrade silently rather than abort startup.
+        unsafe {
+            let _ = signal(SIGINT, on_signal as *const () as usize);
+            let _ = signal(SIGTERM, on_signal as *const () as usize);
+        }
+        std::thread::spawn(|| {
+            let mut drained = false;
+            loop {
+                let count = ruby_cli::interrupts::signal_count();
+                if count >= 2 {
+                    // Second signal: the user wants out *now*. 130 is
+                    // the conventional fatal-SIGINT status.
+                    unsafe { _exit(130) };
+                }
+                if count >= 1 && !drained {
+                    ruby_cli::interrupts::request_stop();
+                    drained = true;
+                    eprintln!("ruby: interrupt received — draining (press again to exit hard)");
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+    }
+}
 
 fn main() {
+    #[cfg(unix)]
+    signals::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match ruby_cli::run(&args) {
         Ok(output) => print!("{output}"),

@@ -49,16 +49,29 @@ fn budget_config(flags: &Flags) -> Result<SearchConfig, CliError> {
         .transpose()
         .map_err(|_| CliError::Usage("--seed must be a number".into()))?
         .unwrap_or(1);
-    SearchConfig::builder()
+    let max_evals = match flags.get("max-evals") {
+        Some(n) => n
+            .parse()
+            .ok()
+            .filter(|&n: &i64| n > 0)
+            .ok_or_else(|| CliError::Usage("--max-evals must be a positive number".into()))?,
+        None => max_evals,
+    };
+    let mut builder = SearchConfig::builder()
         .seed(seed)
         .max_evaluations(max_evals)
         .termination(termination)
         .threads(threads)
         .objective(objective)
         .strategy(strategy)
-        .prune(prune)
-        .build()
-        .map_err(|e| CliError::Usage(e.to_string()))
+        .prune(prune);
+    if let Some(seconds) = flags.get("max-seconds") {
+        let seconds: f64 = seconds
+            .parse()
+            .map_err(|_| CliError::Usage("--max-seconds must be a number of seconds".into()))?;
+        builder = builder.max_seconds(seconds);
+    }
+    builder.build().map_err(|e| CliError::Usage(e.to_string()))
 }
 
 fn explorer(flags: &Flags, arch: Architecture) -> Result<Explorer, CliError> {
@@ -102,14 +115,38 @@ fn report_block(report: &CostReport) -> String {
 /// `--metrics-out <path>` appends snapshot/summary JSONL records (plus
 /// a metrics dump in `telemetry`-feature builds).
 pub fn search(args: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(args, &["eyeriss-constraints", "json", "progress"])?;
+    let flags = Flags::parse(args, &["eyeriss-constraints", "json", "progress", "resume"])?;
     let arch = parse_arch(flags.require("arch")?)?;
     let shape = parse_workload(flags.require("workload")?)?;
     let kind = parse_kind(flags.get("space").unwrap_or("ruby-s"))?;
     let output = OutputOpts::from_flags(&flags);
     let explorer = explorer(&flags, arch)?;
     let space = explorer.mapspace(&shape, kind);
-    let mut engine = Engine::new(&space).with_config(explorer.search_config().clone());
+    let token = StopToken::new();
+    crate::interrupts::register(&token);
+    let mut engine = Engine::new(&space)
+        .with_config(explorer.search_config().clone())
+        .with_stop_token(token);
+    let every = match flags.get("checkpoint-every") {
+        Some(n) => n.parse().ok().filter(|&n: &u64| n > 0).ok_or_else(|| {
+            CliError::Usage("--checkpoint-every must be a positive number".into())
+        })?,
+        None => 10_000,
+    };
+    match flags.get("checkpoint") {
+        Some(path) => {
+            engine = engine.with_checkpoint(path, every);
+            if flags.has("resume") {
+                engine = engine.resume();
+            }
+        }
+        None if flags.has("resume") => {
+            return Err(CliError::Usage(
+                "--resume needs --checkpoint <path> to resume from".into(),
+            ));
+        }
+        None => {}
+    }
     let mut sinks = MultiSink::new();
     if flags.has("progress") {
         sinks.push(Box::new(HumanSink::stderr()));
@@ -120,11 +157,11 @@ pub fn search(args: &[String]) -> Result<String, CliError> {
     if !sinks.is_empty() {
         engine = engine.with_progress(Box::new(sinks));
     }
-    let outcome = engine.run();
+    let outcome = engine.try_run()?;
     if let (Some(path), Some(best)) = (&output.out, outcome.best.as_ref()) {
         let json = serde_json::to_string_pretty(&best.mapping)
             .map_err(|e| CliError::Spec(format!("serializing mapping: {e}")))?;
-        std::fs::write(path, json)?;
+        write_atomic(path, json.as_bytes())?;
     }
     if output.json {
         // The JSON document reports the outcome whether or not a valid
@@ -157,6 +194,20 @@ pub fn search(args: &[String]) -> Result<String, CliError> {
             ""
         }
     );
+    if outcome.stopped_early {
+        let _ = writeln!(
+            out,
+            "  stopped early: {}",
+            outcome.stop_reason.as_deref().unwrap_or("unknown")
+        );
+    }
+    if outcome.worker_restarts > 0 {
+        let _ = writeln!(
+            out,
+            "  supervision:  {} worker restart(s), {} candidate(s) quarantined",
+            outcome.worker_restarts, outcome.quarantined
+        );
+    }
     out.push_str(&report_block(&best.report));
     out.push_str("\nloop nest:\n");
     let names: Vec<&str> = explorer.arch().levels().iter().map(|l| l.name()).collect();
@@ -197,7 +248,7 @@ pub fn analyze(args: &[String]) -> Result<String, CliError> {
         let json = serde_json::to_string_pretty(&analysis)
             .map_err(|e| CliError::Spec(format!("serializing analysis: {e}")))?;
         if let Some(path) = &output.out {
-            std::fs::write(path, &json)?;
+            write_atomic(path, json.as_bytes())?;
         }
         if output.json {
             return Ok(json);
@@ -279,7 +330,7 @@ pub fn show(args: &[String]) -> Result<String, CliError> {
     if let Some(path) = flags.get("out") {
         let json = serde_json::to_string_pretty(&arch)
             .map_err(|e| CliError::Spec(format!("serializing architecture: {e}")))?;
-        std::fs::write(path, json)?;
+        write_atomic(path, json.as_bytes())?;
     }
     Ok(format!("{arch}area: {:.1} mm²\n", arch.area_mm2()))
 }
@@ -553,6 +604,54 @@ mod tests {
         let out = sweep(&argv("--suite mobilenet --configs 14x12 --budget quick")).unwrap();
         assert!(out.contains("14x12"), "{out}");
         assert!(out.contains('%'), "{out}");
+    }
+
+    #[test]
+    fn search_checkpoints_and_replays_a_finished_run() {
+        let dir = std::env::temp_dir().join("ruby_cli_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let spec = format!(
+            "--arch toy:16,1024 --workload rank1:113 --budget quick --strategy exhaustive \
+             --threads 1 --json --checkpoint {}",
+            path.display()
+        );
+        let first = search(&argv(&spec)).unwrap();
+        assert!(path.exists(), "terminal checkpoint written");
+        // Resuming a finished run replays its recorded outcome instead
+        // of recomputing; the JSON documents must agree.
+        let replayed = search(&argv(&format!("{spec} --resume"))).unwrap();
+        assert_eq!(first, replayed);
+    }
+
+    #[test]
+    fn resume_without_checkpoint_is_a_usage_error() {
+        assert!(matches!(
+            search(&argv("--arch toy:4,1024 --workload rank1:8 --resume")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn resume_under_a_different_config_is_a_checkpoint_error() {
+        let dir = std::env::temp_dir().join("ruby_cli_ckpt_mismatch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let _ = std::fs::remove_file(&path);
+        search(&argv(&format!(
+            "--arch toy:16,1024 --workload rank1:113 --budget quick --threads 1 \
+             --seed 5 --checkpoint {}",
+            path.display()
+        )))
+        .unwrap();
+        let err = search(&argv(&format!(
+            "--arch toy:16,1024 --workload rank1:113 --budget quick --threads 1 \
+             --seed 6 --checkpoint {} --resume",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Checkpoint(_)), "{err}");
     }
 
     #[test]

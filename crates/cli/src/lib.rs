@@ -30,6 +30,9 @@ pub enum CliError {
     Io(std::io::Error),
     /// The requested operation found nothing (e.g. no valid mapping).
     Empty(String),
+    /// A `--resume` checkpoint could not be used (corrupt, another
+    /// schema version, or taken under a different configuration).
+    Checkpoint(ruby_core::prelude::CheckpointError),
 }
 
 impl fmt::Display for CliError {
@@ -39,6 +42,7 @@ impl fmt::Display for CliError {
             CliError::Spec(msg) => write!(f, "spec error: {msg}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Empty(msg) => write!(f, "{msg}"),
+            CliError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -48,6 +52,57 @@ impl std::error::Error for CliError {}
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::Io(e)
+    }
+}
+
+impl From<ruby_core::prelude::CheckpointError> for CliError {
+    fn from(e: ruby_core::prelude::CheckpointError) -> Self {
+        CliError::Checkpoint(e)
+    }
+}
+
+/// Signal-to-search plumbing shared between the binary's signal
+/// handler and long-running subcommands.
+///
+/// The handler itself may only do async-signal-safe work, so it bumps
+/// [`note_signal`]'s atomic counter and nothing else; a watcher thread
+/// in the binary polls the count and trips the registered
+/// [`StopToken`](ruby_core::prelude::StopToken) (first signal = drain
+/// and checkpoint) or hard-exits (second signal).
+pub mod interrupts {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::{Mutex, PoisonError};
+
+    use ruby_core::prelude::StopToken;
+
+    static SIGNALS: AtomicU32 = AtomicU32::new(0);
+    static TOKEN: Mutex<Option<StopToken>> = Mutex::new(None);
+
+    /// Records one delivered signal. Async-signal-safe: a single
+    /// atomic increment, no locks, no allocation.
+    pub fn note_signal() {
+        SIGNALS.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// How many interrupt signals have been delivered so far.
+    pub fn signal_count() -> u32 {
+        SIGNALS.load(Ordering::SeqCst)
+    }
+
+    /// Makes `token` the one the watcher trips on the next signal.
+    pub fn register(token: &StopToken) {
+        *TOKEN.lock().unwrap_or_else(PoisonError::into_inner) = Some(token.clone());
+    }
+
+    /// Asks the registered token (if any) to drain gracefully.
+    pub fn request_stop() {
+        if let Some(token) = TOKEN
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            token.request_stop();
+        }
     }
 }
 
@@ -61,7 +116,9 @@ USAGE:
                 [--strategy random|exhaustive|hybrid|anneal] [--prune on|off] \\
                 [--threads <n>] [--seed <n>] [--eyeriss-constraints] \\
                 [--json] [--out mapping.json] [--progress] \\
-                [--metrics-out metrics.jsonl]
+                [--metrics-out metrics.jsonl] \\
+                [--max-evals <n>] [--max-seconds <s>] \\
+                [--checkpoint run.ckpt] [--checkpoint-every <n>] [--resume]
   ruby evaluate --arch <spec> --workload <spec> --mapping <file.json>
   ruby analyze  --arch <spec> --workload <spec> --mapping <file.json> \\
                 [--json] [--out analysis.json]
@@ -78,6 +135,13 @@ SPECS:
   workload:  rank1:113 | gemm:M,N,K | conv:N,M,C,P,Q,R,S[,SH,SW]
              | <suite>/<layer> | @file.json
   space:     pfm | ruby | ruby-s | ruby-t        (default ruby-s)
+
+LONG RUNS:
+  --max-evals / --max-seconds bound the search; interrupted or
+  exhausted runs still report a complete outcome (marked stopped-early).
+  --checkpoint writes a crash-safe resume file every --checkpoint-every
+  evaluations (default 10000) and on SIGINT/SIGTERM; add --resume to
+  continue a previous run bit-identically. A second signal exits hard.
 ";
 
 /// Parses argv (without the program name) and runs the subcommand,

@@ -55,10 +55,12 @@ pub mod prelude {
     pub use ruby_search::anneal::{anneal, AnnealConfig};
     #[allow(deprecated)] // the shim stays exported until downstreams migrate
     pub use ruby_search::search;
+    pub use ruby_search::write_atomic;
     pub use ruby_search::{
-        BestMapping, ConfigError, Engine, HumanSink, JsonlSink, MemorySink, MultiSink, Objective,
-        ProgressSink, SearchConfig, SearchConfigBuilder, SearchOutcome, SearchSnapshot,
-        SearchStrategy, SCHEMA_VERSION,
+        BestMapping, CheckpointError, ConfigError, Engine, HumanSink, JsonlSink, MemorySink,
+        MultiSink, Objective, ProgressSink, SearchCheckpoint, SearchConfig, SearchConfigBuilder,
+        SearchOutcome, SearchSnapshot, SearchStrategy, StopToken, CHECKPOINT_SCHEMA,
+        SCHEMA_VERSION,
     };
     pub use ruby_workload::{suites, Dim, DimMap, Operand, ProblemShape};
 

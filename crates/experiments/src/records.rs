@@ -43,6 +43,11 @@ pub struct LayerRecord {
     pub pruned_mappings: u64,
     /// Whether the search provably covered the deduplicated space.
     pub exhausted: bool,
+    /// Whether the run was cut short (budget, deadline, interrupt, or
+    /// exhausted worker-restart budget) rather than finishing.
+    pub stopped_early: bool,
+    /// Panicking worker bodies restarted by the supervisor.
+    pub worker_restarts: u64,
     /// Best EDP found, or `-1.0` when no valid mapping was found.
     pub best_edp: f64,
     /// Best mapping's cycle count (0 when none was found).
@@ -65,6 +70,8 @@ serde::impl_serde_struct!(LayerRecord {
     pruned_subtrees,
     pruned_mappings,
     exhausted,
+    stopped_early,
+    worker_restarts,
     best_edp,
     best_cycles,
     utilization,
@@ -94,6 +101,8 @@ impl LayerRecord {
             pruned_subtrees: outcome.pruned_subtrees,
             pruned_mappings: outcome.pruned_mappings,
             exhausted: outcome.exhausted,
+            stopped_early: outcome.stopped_early,
+            worker_restarts: outcome.worker_restarts,
             best_edp: best.map_or(-1.0, |b| b.report.edp()),
             best_cycles: best.map_or(0, |b| b.report.cycles()),
             utilization: best.map_or(0.0, |b| b.report.utilization()),
@@ -190,6 +199,8 @@ mod tests {
         assert_eq!(r.mapspace, "Ruby-S");
         assert_eq!(r.repeats, 2);
         assert_eq!(r.evaluations, r.valid + r.invalid + r.duplicates);
+        assert!(!r.stopped_early, "uninterrupted smoke run finishes");
+        assert_eq!(r.worker_restarts, 0);
         assert!(r.seconds >= 0.0);
         assert!(r.best_edp > 0.0, "113 has a valid Ruby-S mapping");
         assert_eq!(r.best_cycles, 8, "imperfect factors reach the floor");

@@ -1,0 +1,292 @@
+//! Fault-injection points ("failpoints") for resilience testing.
+//!
+//! A failpoint is a named site in production code that can be armed to
+//! misbehave on demand: panic, report an I/O-style error, or tear a
+//! write after N bytes. Sites call [`hit`] with their name and act on
+//! the returned [`Action`]; unarmed sites see [`Action::Off`].
+//!
+//! The whole facility is gated behind the `enabled` cargo feature. With
+//! the feature off (the default for every production build), [`hit`] is
+//! an empty `#[inline(always)]` body returning [`Action::Off`] and the
+//! arming functions are no-ops, so the hot paths pay nothing and no
+//! injection machinery ships.
+//!
+//! # Arming
+//!
+//! Programmatically (tests): [`arm`] / [`disarm`] / [`reset`].
+//! From the environment (whole-process smoke runs): set
+//! `RUBY_FAILPOINTS` to a comma-separated list of `name=spec` entries,
+//! parsed on first use:
+//!
+//! ```text
+//! RUBY_FAILPOINTS="search.eval=panic@100,telemetry.sink.write=err,artifact.write=torn:40"
+//! ```
+//!
+//! # Specs
+//!
+//! * `panic` — the site should panic (every hit once triggered).
+//! * `err` — the site should fail with an injected error.
+//! * `torn:N` — the site should truncate its write after `N` bytes and
+//!   then fail (checkpoint/artifact writers use this to simulate a
+//!   crash mid-write).
+//! * Any spec may carry `@K` (e.g. `panic@100`): the action triggers on
+//!   the K-th hit of that site (1-based) and every hit after it, so a
+//!   run can fail mid-stream rather than at the first touch.
+//!
+//! The registry counts hits per site whether or not the site is armed;
+//! [`hits`] exposes the count so tests can assert a site was actually
+//! exercised.
+
+/// What an armed failpoint asks its site to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Not armed (or the crate is compiled without `enabled`).
+    Off,
+    /// Panic at the site.
+    Panic,
+    /// Fail with an injected error.
+    Err,
+    /// Truncate the write after this many bytes, then fail.
+    Torn(usize),
+}
+
+#[cfg(feature = "enabled")]
+mod real {
+    use super::Action;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+
+    struct Point {
+        name: String,
+        action: Action,
+        /// 1-based hit number at which the action starts triggering.
+        after: u64,
+        hits: u64,
+    }
+
+    fn registry() -> &'static Mutex<Vec<Point>> {
+        static REGISTRY: OnceLock<Mutex<Vec<Point>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            let mut points = Vec::new();
+            if let Ok(env) = std::env::var("RUBY_FAILPOINTS") {
+                for entry in env.split(',') {
+                    let entry = entry.trim();
+                    if entry.is_empty() {
+                        continue;
+                    }
+                    if let Some((name, spec)) = entry.split_once('=') {
+                        if let Some((action, after)) = parse_spec(spec) {
+                            points.push(Point {
+                                name: name.trim().to_owned(),
+                                action,
+                                after,
+                                hits: 0,
+                            });
+                        } else {
+                            eprintln!("ruby-failpoints: ignoring malformed spec `{entry}`");
+                        }
+                    } else {
+                        eprintln!("ruby-failpoints: ignoring malformed entry `{entry}`");
+                    }
+                }
+            }
+            Mutex::new(points)
+        })
+    }
+
+    /// Parses `panic`, `err`, `torn:N`, each optionally suffixed `@K`.
+    fn parse_spec(spec: &str) -> Option<(Action, u64)> {
+        let spec = spec.trim();
+        let (body, after) = match spec.split_once('@') {
+            Some((body, at)) => (body, at.parse::<u64>().ok()?.max(1)),
+            None => (spec, 1),
+        };
+        let action = match body {
+            "panic" => Action::Panic,
+            "err" => Action::Err,
+            _ => {
+                let n = body.strip_prefix("torn:")?;
+                Action::Torn(n.parse::<usize>().ok()?)
+            }
+        };
+        Some((action, after))
+    }
+
+    pub fn hit(name: &str) -> Action {
+        let mut points = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        match points.iter_mut().find(|p| p.name == name) {
+            Some(point) => {
+                point.hits += 1;
+                if point.hits >= point.after {
+                    point.action
+                } else {
+                    Action::Off
+                }
+            }
+            None => {
+                // Count hits on unarmed sites too, so tests can assert a
+                // site was reached before arming it.
+                points.push(Point {
+                    name: name.to_owned(),
+                    action: Action::Off,
+                    after: u64::MAX,
+                    hits: 1,
+                });
+                Action::Off
+            }
+        }
+    }
+
+    pub fn arm(name: &str, spec: &str) -> bool {
+        let Some((action, after)) = parse_spec(spec) else {
+            return false;
+        };
+        let mut points = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        match points.iter_mut().find(|p| p.name == name) {
+            Some(point) => {
+                point.action = action;
+                point.after = point.hits + after;
+            }
+            None => points.push(Point {
+                name: name.to_owned(),
+                action,
+                after,
+                hits: 0,
+            }),
+        }
+        true
+    }
+
+    pub fn disarm(name: &str) {
+        let mut points = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(point) = points.iter_mut().find(|p| p.name == name) {
+            point.action = Action::Off;
+            point.after = u64::MAX;
+        }
+    }
+
+    pub fn reset() {
+        let mut points = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        points.clear();
+    }
+
+    pub fn hits(name: &str) -> u64 {
+        let points = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        points.iter().find(|p| p.name == name).map_or(0, |p| p.hits)
+    }
+}
+
+/// Records a hit on failpoint `name` and returns the action the site
+/// should take. Always [`Action::Off`] without the `enabled` feature.
+#[cfg(feature = "enabled")]
+pub fn hit(name: &str) -> Action {
+    real::hit(name)
+}
+
+/// See the `enabled`-feature docs; this build compiles the no-op body.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn hit(_name: &str) -> Action {
+    Action::Off
+}
+
+/// Arms failpoint `name` with `spec` (`panic` | `err` | `torn:N`, each
+/// optionally `@K` for the 1-based triggering hit). Returns whether the
+/// spec parsed; always `false` without the `enabled` feature.
+#[cfg(feature = "enabled")]
+pub fn arm(name: &str, spec: &str) -> bool {
+    real::arm(name, spec)
+}
+
+/// See the `enabled`-feature docs; this build compiles the no-op body.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn arm(_name: &str, _spec: &str) -> bool {
+    false
+}
+
+/// Disarms failpoint `name` (hit counting continues).
+#[cfg(feature = "enabled")]
+pub fn disarm(name: &str) {
+    real::disarm(name)
+}
+
+/// See the `enabled`-feature docs; this build compiles the no-op body.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn disarm(_name: &str) {}
+
+/// Clears every armed point and hit counter (test isolation).
+#[cfg(feature = "enabled")]
+pub fn reset() {
+    real::reset()
+}
+
+/// See the `enabled`-feature docs; this build compiles the no-op body.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn reset() {}
+
+/// Hits recorded on `name` so far; always 0 without `enabled`.
+#[cfg(feature = "enabled")]
+pub fn hits(name: &str) -> u64 {
+    real::hits(name)
+}
+
+/// See the `enabled`-feature docs; this build compiles the no-op body.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn hits(_name: &str) -> u64 {
+    0
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    // Tests share one process-global registry, so each uses a unique
+    // site name instead of reset() to stay order-independent.
+
+    #[test]
+    fn unarmed_sites_are_off_but_counted() {
+        assert_eq!(hit("t.unarmed"), Action::Off);
+        assert_eq!(hit("t.unarmed"), Action::Off);
+        assert_eq!(hits("t.unarmed"), 2);
+    }
+
+    #[test]
+    fn arming_triggers_at_the_requested_hit() {
+        assert!(arm("t.third", "panic@3"));
+        assert_eq!(hit("t.third"), Action::Off);
+        assert_eq!(hit("t.third"), Action::Off);
+        assert_eq!(hit("t.third"), Action::Panic);
+        assert_eq!(hit("t.third"), Action::Panic);
+        disarm("t.third");
+        assert_eq!(hit("t.third"), Action::Off);
+    }
+
+    #[test]
+    fn torn_spec_carries_its_byte_offset() {
+        assert!(arm("t.torn", "torn:17"));
+        assert_eq!(hit("t.torn"), Action::Torn(17));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(!arm("t.bad", "explode"));
+        assert!(!arm("t.bad", "torn:xyz"));
+        assert!(!arm("t.bad", "panic@"));
+        assert_eq!(hit("t.bad"), Action::Off);
+    }
+
+    #[test]
+    fn rearming_counts_from_the_current_hit() {
+        assert!(arm("t.rearm", "err"));
+        assert_eq!(hit("t.rearm"), Action::Err);
+        disarm("t.rearm");
+        assert_eq!(hit("t.rearm"), Action::Off);
+        // `@2` now means "second hit from here", not from process start.
+        assert!(arm("t.rearm", "err@2"));
+        assert_eq!(hit("t.rearm"), Action::Off);
+        assert_eq!(hit("t.rearm"), Action::Err);
+    }
+}

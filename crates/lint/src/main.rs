@@ -10,11 +10,17 @@
 //! 2. **ordering** — every `Ordering::Relaxed` / `Ordering::AcqRel` use
 //!    must carry an adjacent `// ordering: <rationale>` comment
 //!    explaining why that memory ordering is sufficient.
-//! 3. **cast** — no `as`-casts to integer types inside `crates/model`
+//! 3. **panics (search)** — inside `crates/search` the rule tightens:
+//!    a panic-family site needs an adjacent `// justified: <why this
+//!    cannot fire / why dying is right>` rationale (the long-run search
+//!    layer must not abort; see DESIGN.md §5.5), and *bare* asserts
+//!    (`assert!` / `assert_eq!` / `assert_ne!`, but not `debug_assert`)
+//!    need one too.
+//! 4. **cast** — no `as`-casts to integer types inside `crates/model`
 //!    (the cost model's hot paths), where a silent truncation would
 //!    corrupt paper figures; `// lint: allow(cast) — <why lossless>`
 //!    allowlists a site.
-//! 4. **ordering (telemetry)** — inside `crates/telemetry` the rule
+//! 5. **ordering (telemetry)** — inside `crates/telemetry` the rule
 //!    tightens: *every* `Ordering::` use (including `SeqCst`) and every
 //!    `Atomic*::new(` construction needs an adjacent `// ordering:`
 //!    rationale. The crate's whole job is lock-free publication; an
@@ -157,6 +163,7 @@ struct Markers {
     allow_panics_justified: bool,
     allow_cast: Option<usize>,
     allow_cast_justified: bool,
+    justified: Option<usize>,
     ordering: Option<usize>,
 }
 
@@ -168,6 +175,7 @@ impl Markers {
 
 fn scan_file(display: &Path, text: &str, findings: &mut Vec<Finding>) {
     let in_model = display.components().any(|c| c.as_os_str() == "model");
+    let in_search = display.components().any(|c| c.as_os_str() == "search");
     let in_telemetry = display.components().any(|c| c.as_os_str() == "telemetry");
     let mut markers = Markers::default();
     // Depth of an active `#[cfg(test)]`-masked block, if any.
@@ -192,6 +200,7 @@ fn scan_file(display: &Path, text: &str, findings: &mut Vec<Finding>) {
             for slot in [
                 &mut markers.allow_panics,
                 &mut markers.allow_cast,
+                &mut markers.justified,
                 &mut markers.ordering,
             ] {
                 if *slot == Some(prev_line_no) {
@@ -249,17 +258,38 @@ fn scan_file(display: &Path, text: &str, findings: &mut Vec<Finding>) {
             "todo!(",
             "unimplemented!(",
         ] {
-            if code.contains(pattern) && !Markers::covers(markers.allow_panics, line_no) {
+            let covered = if in_search {
+                // crates/search must not abort mid-run: the stricter
+                // `// justified:` rationale is the only accepted marker.
+                Markers::covers(markers.justified, line_no)
+            } else {
+                Markers::covers(markers.allow_panics, line_no)
+                    || Markers::covers(markers.justified, line_no)
+            };
+            if code.contains(pattern) && !covered {
+                let marker = if in_search {
+                    "`// justified: <rationale>`"
+                } else {
+                    "`// lint: allow(panics) — <justification>`"
+                };
                 findings.push(Finding {
                     path: display.to_path_buf(),
                     line: line_no,
                     rule: "panics",
-                    message: format!(
-                        "`{pattern}` in library code without an adjacent \
-                         `// lint: allow(panics) — <justification>`"
-                    ),
+                    message: format!("`{pattern}` in library code without an adjacent {marker}"),
                 });
             }
+        }
+
+        if in_search && has_bare_assert(code) && !Markers::covers(markers.justified, line_no) {
+            findings.push(Finding {
+                path: display.to_path_buf(),
+                line: line_no,
+                rule: "panics",
+                message: "bare assert in crates/search without an adjacent \
+                          `// justified: <rationale>` (prefer debug_assert or a Result)"
+                    .into(),
+            });
         }
 
         for ordering in ["Ordering::Relaxed", "Ordering::AcqRel"] {
@@ -349,11 +379,45 @@ fn detect_markers(
             }
         }
     }
+    if let Some(at) = raw.find("// justified:") {
+        found = true;
+        let rationale = raw[at + "// justified:".len()..].trim();
+        if rationale.chars().count() < MIN_JUSTIFICATION {
+            findings.push(Finding {
+                path: display.to_path_buf(),
+                line: line_no,
+                rule: "panics",
+                message: "`// justified:` without a rationale".into(),
+            });
+        }
+        markers.justified = Some(line_no);
+    }
     if raw.contains("// ordering:") {
         found = true;
         markers.ordering = Some(line_no);
     }
     found
+}
+
+/// Whether the line uses a bare `assert!` / `assert_eq!` / `assert_ne!`
+/// (the `debug_assert` family is fine: compiled out of release runs).
+fn has_bare_assert(code: &str) -> bool {
+    for pattern in ["assert!(", "assert_eq!(", "assert_ne!("] {
+        let mut rest = code;
+        while let Some(at) = rest.find(pattern) {
+            let preceded_by_debug = at >= 6 && rest[..at].ends_with("debug_");
+            let mid_identifier = at > 0
+                && rest[..at]
+                    .bytes()
+                    .next_back()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_');
+            if !preceded_by_debug && !mid_identifier {
+                return true;
+            }
+            rest = &rest[at + pattern.len()..];
+        }
+    }
+    false
 }
 
 /// Net `{`/`}` balance of a line — good enough for rustfmt'd sources,

@@ -30,15 +30,21 @@
 //! assert_eq!(outcome.best.unwrap().report.cycles(), 8);
 //! ```
 
+use std::time::Instant;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use ruby_mapping::Mapping;
 use ruby_mapspace::Mapspace;
-use ruby_model::{evaluate_with, EvalContext, ModelOptions};
+use ruby_model::{CostReport, EvalContext, ModelOptions};
 use ruby_workload::{Dim, DimMap};
 
-use crate::{BestMapping, MemoCache, Objective, SearchOutcome};
+use crate::checkpoint::{AnnealCursor, CheckpointCounters, Checkpointer, Cursor, SearchCheckpoint};
+use crate::stop::StopToken;
+use crate::{
+    score_candidate, BestMapping, MemoCache, Objective, Scored, SearchOutcome, SearchStrategy,
+};
 
 /// Annealing parameters.
 #[derive(Debug, Clone)]
@@ -78,122 +84,318 @@ impl Default for AnnealConfig {
     }
 }
 
+/// Resilience wiring handed down by the engine; every field defaults to
+/// "absent", so direct [`anneal`] callers get the historical behavior.
+#[derive(Default)]
+pub(crate) struct Hooks<'a> {
+    /// Cooperative cancellation token; polled once per step.
+    pub(crate) token: Option<&'a StopToken>,
+    /// Wall-clock budget (`SearchConfig::max_seconds`), already resolved
+    /// to an absolute deadline.
+    pub(crate) deadline: Option<Instant>,
+    /// Periodic checkpoint writer; also receives the drain checkpoint.
+    pub(crate) checkpointer: Option<&'a Checkpointer>,
+    /// A checkpoint to continue from (only its `Anneal` cursor is used;
+    /// the engine routes other cursors elsewhere).
+    pub(crate) resume: Option<&'a SearchCheckpoint>,
+}
+
+/// A candidate's classification through the memo cache.
+enum Classified {
+    /// Memoized finite cost: usable, but carries no fresh report.
+    Hit(f64),
+    /// Freshly evaluated valid mapping.
+    Fresh(f64, CostReport),
+    /// Invalid (fresh, memoized, or quarantined after a panic).
+    Invalid,
+}
+
+/// The annealer's single-threaded ledger: everything a checkpoint needs
+/// beyond the cursor itself.
+#[derive(Default)]
+struct Tally {
+    evaluations: u64,
+    valid: u64,
+    invalid: u64,
+    duplicates: u64,
+    worker_restarts: u64,
+    quarantined: u64,
+    trace: Vec<(u64, f64)>,
+    poison: Vec<u64>,
+}
+
+impl Tally {
+    /// Classifies `m` through the memo, containing evaluation panics:
+    /// a panicking candidate is quarantined (counted invalid, memoized
+    /// as such, recorded in the poison list) and the walk continues.
+    fn classify(
+        &mut self,
+        ctx: &EvalContext,
+        config: &AnnealConfig,
+        memo: &Option<MemoCache>,
+        m: &Mapping,
+    ) -> Classified {
+        let key = m.canonical_key();
+        if let Some(memo) = memo {
+            if let Some(cost) = memo.probe(key) {
+                self.duplicates += 1;
+                return if cost == f64::INFINITY {
+                    Classified::Invalid
+                } else {
+                    Classified::Hit(cost)
+                };
+            }
+        }
+        match score_candidate(ctx, m) {
+            Scored::Valid(report) => {
+                self.valid += 1;
+                let cost = config.objective.cost(&report);
+                if let Some(memo) = memo {
+                    memo.insert(key, cost);
+                }
+                Classified::Fresh(cost, report)
+            }
+            Scored::Invalid => {
+                self.invalid += 1;
+                if let Some(memo) = memo {
+                    memo.insert(key, f64::INFINITY);
+                }
+                Classified::Invalid
+            }
+            Scored::Panicked => {
+                self.invalid += 1;
+                self.quarantined += 1;
+                self.worker_restarts += 1;
+                self.poison.push(key);
+                if let Some(memo) = memo {
+                    memo.insert(key, f64::INFINITY);
+                }
+                Classified::Invalid
+            }
+        }
+    }
+
+    /// Packages the ledger into a checkpoint around `cursor` (the
+    /// fingerprint is stamped by [`Checkpointer::save`]).
+    fn snapshot(
+        &self,
+        best: &Option<BestMapping>,
+        memo: &Option<MemoCache>,
+        cursor: Cursor,
+    ) -> SearchCheckpoint {
+        SearchCheckpoint {
+            fingerprint: 0,
+            strategy: SearchStrategy::Anneal.name().to_owned(),
+            counters: CheckpointCounters {
+                evaluations: self.evaluations,
+                valid: self.valid,
+                invalid: self.invalid,
+                duplicates: self.duplicates,
+                pruned_subtrees: 0,
+                pruned_mappings: 0,
+                improvements: self.trace.len() as u64,
+                fails: 0,
+                worker_restarts: self.worker_restarts,
+                quarantined: self.quarantined,
+            },
+            best: best.clone(),
+            best_ordinal: 0,
+            trace: self.trace.clone(),
+            memo: memo.as_ref().map(MemoCache::dump).unwrap_or_default(),
+            poison: self.poison.clone(),
+            cursor,
+        }
+    }
+
+    /// The final outcome; `stop_reason` is `Some` exactly when the walk
+    /// drained early.
+    fn outcome(self, best: Option<BestMapping>, stop_reason: Option<&str>) -> SearchOutcome {
+        SearchOutcome {
+            best,
+            evaluations: self.evaluations,
+            valid: self.valid,
+            invalid: self.invalid,
+            duplicates: self.duplicates,
+            pruned_subtrees: 0,
+            pruned_mappings: 0,
+            exhausted: false,
+            trace: self.trace,
+            stopped_early: stop_reason.is_some(),
+            stop_reason: stop_reason.map(str::to_owned),
+            worker_restarts: self.worker_restarts,
+            quarantined: self.quarantined,
+        }
+    }
+}
+
+/// The annealing acceptance rule. The RNG draw happens only when the
+/// candidate is strictly worse (short-circuit), which resume replay
+/// relies on for bit-identical streams.
+fn accepts(rng: &mut SmallRng, cost: f64, current_cost: f64, temperature: f64) -> bool {
+    cost <= current_cost
+        || rng.gen::<f64>() < ((current_cost - cost) / temperature.max(1e-30)).exp()
+}
+
 /// Runs simulated annealing over `mapspace`.
 ///
 /// # Panics
 ///
 /// Panics if `steps` is zero or `cooling` is not in `(0, 1]`.
 pub fn anneal(mapspace: &Mapspace, config: &AnnealConfig) -> SearchOutcome {
+    anneal_with(mapspace, config, Hooks::default())
+}
+
+/// [`anneal`] with the engine's resilience wiring: cancellation, a
+/// wall-clock deadline, periodic checkpoints at step boundaries, and
+/// resume from an [`AnnealCursor`]. Every step boundary is a barrier
+/// (the walk is single-threaded), so a resumed run replays the exact
+/// RNG, temperature, and acceptance stream of an uninterrupted one.
+pub(crate) fn anneal_with(
+    mapspace: &Mapspace,
+    config: &AnnealConfig,
+    hooks: Hooks<'_>,
+) -> SearchOutcome {
+    // justified: pre-engine API contract — these have always been
+    // documented panics on nonsensical annealing parameters.
     assert!(config.steps > 0, "need at least one annealing step");
+    // justified: same documented contract as the steps assert.
     assert!(
         config.cooling > 0.0 && config.cooling <= 1.0,
         "cooling factor must be in (0, 1]"
     );
-    let mut rng = SmallRng::seed_from_u64(config.seed);
     let ctx = EvalContext::new(mapspace.arch(), mapspace.shape(), config.model);
-    let memo = config.dedup.then(|| MemoCache::new(16));
-    let mut evaluations = 0u64;
-    let mut valid = 0u64;
-    let mut invalid = 0u64;
-    let mut duplicates = 0u64;
-    let mut trace = Vec::new();
+    let memo = config.dedup.then(|| MemoCache::try_new(16)).flatten();
+    let mut tally = Tally::default();
 
-    // Classifies a candidate through the memo cache: `Some(cost)` for a
-    // usable cost (memoized or freshly evaluated), `None` for invalid.
-    let classify = |m: &Mapping, valid: &mut u64, invalid: &mut u64, dup: &mut u64| {
-        let key = m.canonical_key();
+    let resume = hooks.resume.and_then(|cp| match &cp.cursor {
+        Cursor::Anneal(cursor) => Some((cp, cursor)),
+        _ => None,
+    });
+
+    let mut rng;
+    let mut current_mapping;
+    let mut current_cost;
+    let mut best: Option<BestMapping>;
+    let mut best_cost;
+    let mut temperature;
+    let start_step;
+    if let Some((cp, cursor)) = resume {
+        rng = SmallRng::from_state(cursor.rng);
+        current_mapping = cursor.current.clone();
+        current_cost = cursor.current_cost;
+        best = cp.best.clone();
+        best_cost = cp.best.as_ref().map_or(f64::INFINITY, |b| b.cost);
+        temperature = cursor.temperature;
+        start_step = cursor.step;
+        tally.evaluations = cp.counters.evaluations;
+        tally.valid = cp.counters.valid;
+        tally.invalid = cp.counters.invalid;
+        tally.duplicates = cp.counters.duplicates;
+        tally.worker_restarts = cp.counters.worker_restarts;
+        tally.quarantined = cp.counters.quarantined;
+        tally.trace = cp.trace.clone();
+        tally.poison = cp.poison.clone();
         if let Some(memo) = &memo {
-            if let Some(cost) = memo.probe(key) {
-                *dup += 1;
-                return (cost != f64::INFINITY).then_some(cost);
+            memo.restore(&cp.memo);
+        }
+    } else {
+        rng = SmallRng::seed_from_u64(config.seed);
+        // Find a valid starting point by rejection sampling.
+        let mut start: Option<(Mapping, f64, CostReport)> = None;
+        for _ in 0..config.max_restart_attempts {
+            tally.evaluations += 1;
+            let candidate = mapspace.sample(&mut rng);
+            if let Classified::Fresh(cost, report) = tally.classify(&ctx, config, &memo, &candidate)
+            {
+                tally.trace.push((tally.evaluations, cost));
+                start = Some((candidate, cost, report));
+                break;
             }
         }
-        match evaluate_with(&ctx, m) {
-            Ok(report) => {
-                *valid += 1;
-                let cost = config.objective.cost(&report);
-                if let Some(memo) = &memo {
-                    memo.insert(key, cost);
-                }
-                Some(cost)
-            }
-            Err(_) => {
-                *invalid += 1;
-                if let Some(memo) = &memo {
-                    memo.insert(key, f64::INFINITY);
-                }
-                None
-            }
-        }
-    };
+        let Some((mapping, cost, report)) = start else {
+            return tally.outcome(None, None);
+        };
+        current_cost = cost;
+        temperature = cost * config.initial_temperature;
+        best = Some(BestMapping {
+            mapping: mapping.clone(),
+            report,
+            cost,
+        });
+        best_cost = cost;
+        current_mapping = mapping;
+        start_step = 0;
+    }
 
-    // Find a valid starting point by rejection sampling.
-    let mut current: Option<(Mapping, f64)> = None;
-    for _ in 0..config.max_restart_attempts {
-        evaluations += 1;
-        let candidate = mapspace.sample(&mut rng);
-        if let Some(cost) = classify(&candidate, &mut valid, &mut invalid, &mut duplicates) {
-            trace.push((evaluations, cost));
-            current = Some((candidate, cost));
+    let mut stop_reason: Option<&str> = None;
+    for step in start_step..config.steps {
+        // Step boundaries are the annealer's barriers: drain checks and
+        // checkpoints happen here, before the step consumes any RNG.
+        let drained = if hooks
+            .token
+            .is_some_and(|t| t.should_stop_at(tally.evaluations))
+        {
+            stop_reason = Some("stop-requested");
+            true
+        } else if hooks.deadline.is_some_and(|d| Instant::now() >= d) {
+            stop_reason = Some("deadline");
+            true
+        } else {
+            false
+        };
+        let cursor = || {
+            Cursor::Anneal(AnnealCursor {
+                rng: rng.to_state(),
+                step,
+                temperature,
+                current_cost,
+                current: current_mapping.clone(),
+            })
+        };
+        if drained {
+            if let Some(cpr) = hooks.checkpointer {
+                cpr.save(tally.snapshot(&best, &memo, cursor()));
+            }
             break;
         }
-    }
-    let Some((mut current_mapping, mut current_cost)) = current else {
-        return SearchOutcome {
-            best: None,
-            evaluations,
-            valid,
-            invalid,
-            duplicates,
-            pruned_subtrees: 0,
-            pruned_mappings: 0,
-            exhausted: false,
-            trace,
-        };
-    };
-    let mut best_mapping = current_mapping.clone();
-    let mut best_cost = current_cost;
-    let mut temperature = current_cost * config.initial_temperature;
+        if let Some(cpr) = hooks.checkpointer {
+            if step > start_step && step.is_multiple_of(cpr.stride()) {
+                cpr.save(tally.snapshot(&best, &memo, cursor()));
+            }
+        }
 
-    for _ in 0..config.steps {
-        evaluations += 1;
+        tally.evaluations += 1;
         let candidate = neighbor(mapspace, &current_mapping, &mut rng);
         temperature *= config.cooling;
-        let Some(cost) = classify(&candidate, &mut valid, &mut invalid, &mut duplicates) else {
-            continue;
-        };
-        let accept = cost <= current_cost
-            || rng.gen::<f64>() < ((current_cost - cost) / temperature.max(1e-30)).exp();
-        if accept {
-            current_mapping = candidate;
-            current_cost = cost;
-            if cost < best_cost {
-                best_cost = cost;
-                best_mapping = current_mapping.clone();
-                trace.push((evaluations, cost));
+        match tally.classify(&ctx, config, &memo, &candidate) {
+            Classified::Invalid => {}
+            Classified::Hit(cost) => {
+                if accepts(&mut rng, cost, current_cost, temperature) {
+                    // A memoized cost was evaluated (and best-tracked)
+                    // once already, so it can never beat `best` here.
+                    current_mapping = candidate;
+                    current_cost = cost;
+                }
+            }
+            Classified::Fresh(cost, report) => {
+                if accepts(&mut rng, cost, current_cost, temperature) {
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best = Some(BestMapping {
+                            mapping: candidate.clone(),
+                            report,
+                            cost,
+                        });
+                        tally.trace.push((tally.evaluations, cost));
+                    }
+                    current_mapping = candidate;
+                    current_cost = cost;
+                }
             }
         }
     }
 
-    // lint: allow(panics) — re-evaluating a mapping is deterministic,
-    // and this one already passed evaluation when it became the best.
-    let report = evaluate_with(&ctx, &best_mapping)
-        .expect("the best mapping was valid when first evaluated");
-    SearchOutcome {
-        best: Some(BestMapping {
-            mapping: best_mapping,
-            report,
-            cost: best_cost,
-        }),
-        evaluations,
-        valid,
-        invalid,
-        duplicates,
-        pruned_subtrees: 0,
-        pruned_mappings: 0,
-        exhausted: false,
-        trace,
-    }
+    tally.outcome(best, stop_reason)
 }
 
 /// Produces a neighbor of `mapping` inside `mapspace`.
@@ -211,7 +413,7 @@ fn neighbor(mapspace: &Mapspace, mapping: &Mapping, rng: &mut SmallRng) -> Mappi
             }
         });
         let perms = (0..num_levels).map(|l| *mapping.permutation(l)).collect();
-        // lint: allow(panics) — the spliced chain came from a valid
+        // justified: the spliced chain came from a valid
         // sampled mapping over the same bounds, so the build succeeds.
         Mapping::from_tile_chains(num_levels, tiling, perms)
             .expect("splicing one valid chain keeps the mapping well-formed")
@@ -230,7 +432,7 @@ fn neighbor(mapspace: &Mapspace, mapping: &Mapping, rng: &mut SmallRng) -> Mappi
                 p
             })
             .collect();
-        // lint: allow(panics) — tile chains are untouched here; only
+        // justified: tile chains are untouched here; only
         // permutations changed, which cannot invalidate a mapping.
         Mapping::from_tile_chains(num_levels, tiling, perms)
             .expect("permutation swaps keep the mapping well-formed")

@@ -26,13 +26,18 @@
 //! about once per thousand candidates, so streaming costs the hot path
 //! one masked branch per candidate plus a lossy CAS per stride.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use ruby_mapspace::Mapspace;
 use ruby_telemetry::snapshot::{SearchSnapshot, SnapshotSlot};
 use ruby_telemetry::ProgressSink;
 
-use crate::anneal::{anneal, AnnealConfig};
+use crate::anneal::{self, AnnealConfig};
+use crate::checkpoint::{
+    self, CheckpointError, Checkpointer, Cursor, RandomPhase, SearchCheckpoint,
+};
+use crate::stop::StopToken;
 use crate::sync::{AtomicU64, Ordering};
 use crate::{exhaustive, run_random, SearchConfig, SearchOutcome, SearchStrategy, Shared};
 
@@ -64,6 +69,9 @@ pub enum ConfigError {
     UnknownObjective(String),
     /// An unrecognized strategy name.
     UnknownStrategy(String),
+    /// `max_seconds` was not a positive, finite number (rendered as a
+    /// string so the error type stays `Eq`).
+    InvalidMaxSeconds(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -91,6 +99,10 @@ impl std::fmt::Display for ConfigError {
             ConfigError::UnknownStrategy(name) => write!(
                 f,
                 "unknown strategy `{name}` (expected random | exhaustive | hybrid | anneal)"
+            ),
+            ConfigError::InvalidMaxSeconds(value) => write!(
+                f,
+                "invalid max_seconds `{value}`: must be a positive, finite number of seconds"
             ),
         }
     }
@@ -199,6 +211,25 @@ impl SearchConfigBuilder {
     /// Sets the memo cache size (`2^memo_bits` slots).
     pub fn memo_bits(mut self, memo_bits: u32) -> Self {
         self.config.memo_bits = memo_bits;
+        self
+    }
+
+    /// Caps wall-clock time; non-positive or non-finite values are
+    /// rejected at [`build`](Self::build).
+    pub fn max_seconds(mut self, seconds: f64) -> Self {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.config.max_seconds = Some(seconds);
+        } else {
+            self.error
+                .get_or_insert(ConfigError::InvalidMaxSeconds(format!("{seconds}")));
+        }
+        self
+    }
+
+    /// Sets the panicking-worker restart budget (see
+    /// [`SearchConfig::max_worker_restarts`]).
+    pub fn max_worker_restarts(mut self, restarts: u64) -> Self {
+        self.config.max_worker_restarts = restarts;
         self
     }
 
@@ -329,13 +360,23 @@ impl Shared {
     }
 }
 
+/// Checkpoint wiring for one engine run (see [`Engine::with_checkpoint`]).
+struct CheckpointSpec {
+    path: PathBuf,
+    every: u64,
+    resume: bool,
+}
+
 /// The unified search facade: one entry point for every strategy, with
-/// optional progress streaming. See the module docs for an example.
+/// optional progress streaming, cooperative cancellation and
+/// checkpoint/resume. See the module docs for an example.
 pub struct Engine<'s> {
     space: &'s Mapspace,
     config: SearchConfig,
     sink: Option<Box<dyn ProgressSink>>,
     interval: Duration,
+    token: Option<StopToken>,
+    checkpoint: Option<CheckpointSpec>,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -355,6 +396,8 @@ impl<'s> Engine<'s> {
             config: SearchConfig::default(),
             sink: None,
             interval: DEFAULT_PROGRESS_INTERVAL,
+            token: None,
+            checkpoint: None,
         }
     }
 
@@ -386,28 +429,155 @@ impl<'s> Engine<'s> {
         &self.config
     }
 
+    /// Registers a cancellation token: tripping it (from a signal
+    /// watcher, another thread, or a test trip-wire) makes every
+    /// strategy drain — finish the unit of work in flight, write a
+    /// final checkpoint if one is configured, and return a valid
+    /// outcome marked `stopped_early`.
+    pub fn with_stop_token(mut self, token: StopToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// Writes checkpoints to `path`: periodically (about every `every`
+    /// evaluations, at the strategy's deterministic barriers), at the
+    /// drain point of an interrupted run, and once more — as a terminal
+    /// `Done` record — when the run finishes. Call before
+    /// [`resume`](Self::resume).
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: u64) -> Self {
+        self.checkpoint = Some(CheckpointSpec {
+            path: path.into(),
+            every: every.max(1),
+            resume: false,
+        });
+        self
+    }
+
+    /// Resumes from the configured checkpoint file if it exists (a
+    /// missing file starts fresh; corrupt or mismatched files fail
+    /// [`try_run`](Self::try_run)). No-op without
+    /// [`with_checkpoint`](Self::with_checkpoint).
+    pub fn resume(mut self) -> Self {
+        if let Some(spec) = &mut self.checkpoint {
+            spec.resume = true;
+        }
+        self
+    }
+
     /// Runs the search.
     ///
     /// # Panics
     ///
     /// Panics on a configuration [`SearchConfig::builder`] would have
     /// rejected as [`ConfigError::ZeroThreads`] or
-    /// [`ConfigError::Unbounded`] (hand-built configs skip validation).
+    /// [`ConfigError::Unbounded`] (hand-built configs skip validation),
+    /// or when a configured resume checkpoint cannot be used — callers
+    /// that resume should prefer [`try_run`](Self::try_run).
     pub fn run(self) -> SearchOutcome {
-        match self.sink {
-            None => execute(self.space, &self.config),
-            Some(sink) => run_streaming(self.space, &self.config, sink, self.interval),
-        }
+        // justified: only reachable with a resume checkpoint
+        // configured; those callers are documented onto try_run.
+        self.try_run().expect("checkpoint error")
     }
+
+    /// Runs the search, surfacing checkpoint problems as errors: a
+    /// corrupt/truncated file, a schema from another version, or a
+    /// checkpoint taken under a different configuration or mapspace.
+    pub fn try_run(self) -> Result<SearchOutcome, CheckpointError> {
+        let fingerprint = checkpoint::fingerprint(self.space, &self.config);
+        let (checkpointer, resume) = match &self.checkpoint {
+            None => (None, None),
+            Some(spec) => {
+                let resume = if spec.resume {
+                    load_resume(&spec.path, fingerprint, self.config.strategy)?
+                } else {
+                    None
+                };
+                (
+                    Some(Checkpointer::new(
+                        spec.path.clone(),
+                        spec.every,
+                        fingerprint,
+                    )),
+                    resume,
+                )
+            }
+        };
+        let ctx = RunCtx {
+            token: self.token,
+            checkpointer,
+            resume,
+        };
+        Ok(match self.sink {
+            None => execute_ctx(self.space, &self.config, &ctx),
+            Some(sink) => run_streaming(self.space, &self.config, sink, self.interval, &ctx),
+        })
+    }
+}
+
+/// Loads and validates a resume checkpoint; `Ok(None)` when the file
+/// does not exist yet (first run of a checkpointed job).
+fn load_resume(
+    path: &std::path::Path,
+    fingerprint: u64,
+    strategy: SearchStrategy,
+) -> Result<Option<SearchCheckpoint>, CheckpointError> {
+    let cp = match SearchCheckpoint::load(path) {
+        Ok(cp) => cp,
+        Err(CheckpointError::Io(err)) if err.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(None);
+        }
+        Err(err) => return Err(err),
+    };
+    if cp.fingerprint != fingerprint || cp.strategy != strategy.name() {
+        return Err(CheckpointError::ConfigMismatch);
+    }
+    if !cursor_matches(strategy, &cp.cursor) {
+        return Err(CheckpointError::Corrupt(format!(
+            "cursor does not belong to strategy `{}`",
+            strategy.name()
+        )));
+    }
+    Ok(Some(cp))
+}
+
+/// Whether `cursor` is a resume position the given strategy can occupy.
+fn cursor_matches(strategy: SearchStrategy, cursor: &Cursor) -> bool {
+    match (strategy, cursor) {
+        (_, Cursor::Done { .. }) => true,
+        (SearchStrategy::Random, Cursor::Random(c)) => c.phase == RandomPhase::Plain,
+        // Exhaustive checkpoints a random cursor only from its fallback.
+        (SearchStrategy::Exhaustive, Cursor::Random(c)) => c.phase == RandomPhase::Fallback,
+        (SearchStrategy::Exhaustive, Cursor::Exhaustive(_)) => true,
+        (SearchStrategy::Hybrid, Cursor::Random(c)) => {
+            matches!(c.phase, RandomPhase::Warmup | RandomPhase::Fallback)
+        }
+        (SearchStrategy::Hybrid, Cursor::Exhaustive(_)) => true,
+        (SearchStrategy::Anneal, Cursor::Anneal(_)) => true,
+        _ => false,
+    }
+}
+
+/// Per-run resilience wiring threaded from [`Engine::try_run`] down to
+/// the strategies: cancellation token, checkpoint writer, restored
+/// checkpoint.
+#[derive(Default)]
+pub(crate) struct RunCtx {
+    pub(crate) token: Option<StopToken>,
+    pub(crate) checkpointer: Option<Checkpointer>,
+    pub(crate) resume: Option<SearchCheckpoint>,
 }
 
 /// Validates the invariants `search()` has always enforced by panic.
 fn validate_run(config: &SearchConfig) {
+    // justified: pre-Engine API contract — hand-built configs that skip
+    // the builder have always been rejected by panic at run start.
     assert!(config.threads > 0, "{}", ConfigError::ZeroThreads);
     if matches!(
         config.strategy,
         SearchStrategy::Random | SearchStrategy::Hybrid
     ) {
+        // justified: same pre-Engine contract as the threads assert —
+        // an unbounded random search would simply never return.
         assert!(
             config.max_evaluations.is_some() || config.termination.is_some(),
             "{}",
@@ -417,31 +587,101 @@ fn validate_run(config: &SearchConfig) {
 }
 
 /// Runs `config.strategy` over `mapspace` against `shared`; returns
-/// whether the space was provably exhausted.
-fn dispatch(mapspace: &Mapspace, config: &SearchConfig, shared: &Shared) -> bool {
+/// whether the space was provably exhausted. A resume cursor in `ctx`
+/// routes back into the exact leg (warmup / sweep / fallback) the
+/// checkpoint was taken from.
+fn dispatch(mapspace: &Mapspace, config: &SearchConfig, shared: &Shared, ctx: &RunCtx) -> bool {
+    let cpr = ctx.checkpointer.as_ref();
+    let cursor = ctx.resume.as_ref().map(|cp| &cp.cursor);
     match config.strategy {
         SearchStrategy::Random => {
-            run_random(mapspace, config, shared, config.max_evaluations);
+            let (budget, rngs) = match cursor {
+                Some(Cursor::Random(c)) => (c.budget, Some(c.rngs.clone())),
+                _ => (config.max_evaluations, None),
+            };
+            run_random(
+                mapspace,
+                config,
+                shared,
+                budget,
+                RandomPhase::Plain,
+                cpr,
+                rngs,
+            );
             false
         }
         SearchStrategy::Exhaustive => {
-            exhaustive::run(mapspace, config, shared, config.max_evaluations)
+            let resume = match cursor {
+                Some(Cursor::Exhaustive(c)) => Some(exhaustive::Resume::Sweep(c.clone())),
+                Some(Cursor::Random(c)) => Some(exhaustive::Resume::Fallback(c.clone())),
+                _ => None,
+            };
+            let budget = match &resume {
+                Some(exhaustive::Resume::Sweep(c)) => c.budget,
+                Some(exhaustive::Resume::Fallback(c)) => c.budget,
+                None => config.max_evaluations,
+            };
+            exhaustive::run(mapspace, config, shared, budget, cpr, resume)
         }
         SearchStrategy::Hybrid => {
+            // A checkpoint from the enumeration leg (or its fallback)
+            // means the warmup already completed: skip straight back.
+            match cursor {
+                Some(Cursor::Exhaustive(c)) => {
+                    return exhaustive::run(
+                        mapspace,
+                        config,
+                        shared,
+                        c.budget,
+                        cpr,
+                        Some(exhaustive::Resume::Sweep(c.clone())),
+                    );
+                }
+                Some(Cursor::Random(c)) if c.phase == RandomPhase::Fallback => {
+                    return exhaustive::run(
+                        mapspace,
+                        config,
+                        shared,
+                        c.budget,
+                        cpr,
+                        Some(exhaustive::Resume::Fallback(c.clone())),
+                    );
+                }
+                _ => {}
+            }
             // Random warm-up seeds the pruning bound, then enumeration
             // spends the remainder.
-            let warmup = config.max_evaluations.map(|b| b / 3);
-            run_random(mapspace, config, shared, warmup);
+            let (warmup, rngs) = match cursor {
+                Some(Cursor::Random(c)) => (c.budget, Some(c.rngs.clone())),
+                _ => (config.max_evaluations.map(|b| b / 3), None),
+            };
+            run_random(
+                mapspace,
+                config,
+                shared,
+                warmup,
+                RandomPhase::Warmup,
+                cpr,
+                rngs,
+            );
+            if shared.is_stopped_early() {
+                // Interrupted mid-warmup: the warmup cursor was saved at
+                // the drain point; do not enter the enumeration leg.
+                return false;
+            }
             // ordering: Relaxed — the warm-up threads were joined when
             // run_random returned, so these resets are already ordered
             // before the enumeration phase observes them.
             shared.stop.store(false, Ordering::Relaxed);
             shared.fails.store(0, Ordering::Relaxed);
             let spent = shared.evals.load(Ordering::Relaxed);
+            // Deterministic on resume too: a restored warmup replays to
+            // the same `spent`, so the remainder matches the
+            // uninterrupted run's.
             let remainder = config.max_evaluations.map(|b| b.saturating_sub(spent));
-            exhaustive::run(mapspace, config, shared, remainder)
+            exhaustive::run(mapspace, config, shared, remainder, cpr, None)
         }
-        // lint: allow(panics) — dispatch callers peel off Anneal first
+        // justified: dispatch callers peel off Anneal first
         // (it has no Shared); reaching this arm is a programming error.
         SearchStrategy::Anneal => unreachable!("anneal runs outside the Shared pipeline"),
     }
@@ -456,6 +696,9 @@ fn collect(shared: Shared, exhausted: bool) -> SearchOutcome {
         .record
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // ordering: Relaxed — all workers joined; these are the final values.
+    let stopped_early = shared.stopped_early.load(Ordering::Relaxed);
+    let stop_reason = crate::stop_reason_name(shared.stop_reason.into_inner());
     SearchOutcome {
         best: record.best,
         evaluations: shared.evals.into_inner(),
@@ -466,13 +709,17 @@ fn collect(shared: Shared, exhausted: bool) -> SearchOutcome {
         pruned_mappings: shared.pruned_mappings.into_inner(),
         exhausted,
         trace: record.trace,
+        stopped_early,
+        stop_reason,
+        worker_restarts: shared.worker_restarts.into_inner(),
+        quarantined: shared.quarantined.into_inner(),
     }
 }
 
 /// Maps a [`SearchConfig`] onto the annealer (strategy `Anneal`):
 /// `max_evaluations` becomes the step budget, everything else carries
 /// over; annealing-specific knobs keep their [`AnnealConfig`] defaults.
-fn run_anneal(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
+fn run_anneal(mapspace: &Mapspace, config: &SearchConfig, ctx: &RunCtx) -> SearchOutcome {
     let defaults = AnnealConfig::default();
     let anneal_config = AnnealConfig {
         seed: config.seed,
@@ -482,19 +729,69 @@ fn run_anneal(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
         dedup: config.dedup,
         ..defaults
     };
-    anneal(mapspace, &anneal_config)
+    let hooks = anneal::Hooks {
+        token: ctx.token.as_ref(),
+        deadline: config
+            .max_seconds
+            .filter(|s| s.is_finite() && *s > 0.0)
+            .map(|s| Instant::now() + Duration::from_secs_f64(s)),
+        checkpointer: ctx.checkpointer.as_ref(),
+        resume: ctx.resume.as_ref(),
+    };
+    anneal::anneal_with(mapspace, &anneal_config, hooks)
 }
 
 /// The un-streamed execution path (also the body of the deprecated
 /// [`crate::search`] shim).
 pub(crate) fn execute(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
+    execute_ctx(mapspace, config, &RunCtx::default())
+}
+
+/// [`execute`] with the resilience wiring attached.
+pub(crate) fn execute_ctx(
+    mapspace: &Mapspace,
+    config: &SearchConfig,
+    ctx: &RunCtx,
+) -> SearchOutcome {
+    if let Some(outcome) = replay_done(ctx) {
+        return outcome;
+    }
     if config.strategy == SearchStrategy::Anneal {
-        return run_anneal(mapspace, config);
+        let outcome = run_anneal(mapspace, config, ctx);
+        finish_checkpoint(config, ctx, &outcome);
+        return outcome;
     }
     validate_run(config);
-    let shared = Shared::new(config);
-    let exhausted = dispatch(mapspace, config, &shared);
-    collect(shared, exhausted)
+    let mut shared = Shared::new(config);
+    shared.token = ctx.token.clone();
+    if let Some(cp) = &ctx.resume {
+        checkpoint::restore_shared(&shared, cp);
+    }
+    let exhausted = dispatch(mapspace, config, &shared, ctx);
+    let outcome = collect(shared, exhausted);
+    finish_checkpoint(config, ctx, &outcome);
+    outcome
+}
+
+/// Resuming a `Done` checkpoint replays the recorded outcome instead of
+/// recomputing the (already finished) run.
+fn replay_done(ctx: &RunCtx) -> Option<SearchOutcome> {
+    let cp = ctx.resume.as_ref()?;
+    matches!(cp.cursor, Cursor::Done { .. }).then(|| checkpoint::outcome_of_checkpoint(cp))
+}
+
+/// Writes the terminal `Done` checkpoint after an uninterrupted finish
+/// (interrupted runs saved their resume cursor at the drain point).
+fn finish_checkpoint(config: &SearchConfig, ctx: &RunCtx, outcome: &SearchOutcome) {
+    if outcome.stopped_early {
+        return;
+    }
+    if let Some(cpr) = &ctx.checkpointer {
+        cpr.save(checkpoint::checkpoint_of_outcome(
+            outcome,
+            config.strategy.name(),
+        ));
+    }
 }
 
 /// A synthetic single snapshot for strategies that bypass [`Shared`]
@@ -538,16 +835,29 @@ fn run_streaming(
     config: &SearchConfig,
     mut sink: Box<dyn ProgressSink>,
     interval: Duration,
+    ctx: &RunCtx,
 ) -> SearchOutcome {
+    if let Some(outcome) = replay_done(ctx) {
+        // A finished run replayed from its `Done` checkpoint: stream the
+        // recorded state so sinks still observe a complete run.
+        sink.emit(&snapshot_of_outcome(&outcome, Duration::ZERO));
+        deliver_final(sink.as_mut(), &outcome);
+        return outcome;
+    }
     if config.strategy == SearchStrategy::Anneal {
         let start = Instant::now();
-        let outcome = run_anneal(mapspace, config);
+        let outcome = run_anneal(mapspace, config, ctx);
         sink.emit(&snapshot_of_outcome(&outcome, start.elapsed()));
         deliver_final(sink.as_mut(), &outcome);
+        finish_checkpoint(config, ctx, &outcome);
         return outcome;
     }
     validate_run(config);
     let mut shared = Shared::new(config);
+    shared.token = ctx.token.clone();
+    if let Some(cp) = &ctx.resume {
+        checkpoint::restore_shared(&shared, cp);
+    }
     shared.progress = Some(ProgressState::new(config.threads as u64));
     let done = std::sync::atomic::AtomicBool::new(false);
     let exhausted = {
@@ -556,7 +866,7 @@ fn run_streaming(
         let sink = sink.as_mut();
         std::thread::scope(|scope| {
             scope.spawn(move || monitor(sink, shared, done, interval));
-            let exhausted = dispatch(mapspace, config, shared);
+            let exhausted = dispatch(mapspace, config, shared, ctx);
             // The post-join counters are exact now; force one last
             // snapshot so even instant runs stream >= 1.
             shared.publish_progress();
@@ -566,6 +876,7 @@ fn run_streaming(
     };
     let outcome = collect(shared, exhausted);
     deliver_final(sink.as_mut(), &outcome);
+    finish_checkpoint(config, ctx, &outcome);
     outcome
 }
 

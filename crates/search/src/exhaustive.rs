@@ -48,9 +48,15 @@ use crate::sync::Ordering;
 
 use ruby_mapping::Mapping;
 use ruby_mapspace::{EnumLimits, EnumTables, Mapspace, Region, SubspaceIterator};
-use ruby_model::{evaluate_with, EvalContext};
+use ruby_model::EvalContext;
 
-use crate::{note_tie_ordinal, record_improvement, run_random, try_improve, SearchConfig, Shared};
+use crate::checkpoint::{
+    Checkpointer, Cursor, ExhaustiveCursor, RandomCursor, RandomPhase, SearchCheckpoint,
+};
+use crate::{
+    note_tie_ordinal, quarantine, record_improvement, run_random, score_candidate, try_improve,
+    Scored, SearchConfig, Shared,
+};
 
 /// Candidates per work chunk: the unit of parallel dispatch and of the
 /// deterministic barrier at which pruning snapshots and the patience
@@ -75,42 +81,105 @@ struct RegionWork {
     next: usize,
 }
 
+/// Where a checkpointed enumeration run left off: either inside the
+/// deterministic sweep itself, or inside the random-sampling fallback
+/// taken when the space could not be tabulated.
+pub(crate) enum Resume {
+    Sweep(ExhaustiveCursor),
+    Fallback(RandomCursor),
+}
+
+/// Runs the random fallback with the enumeration leg's budget
+/// adjustments (an otherwise unbounded exhaustive run gets a finite
+/// patience so the fallback terminates).
+fn run_fallback(
+    mapspace: &Mapspace,
+    config: &SearchConfig,
+    shared: &Shared,
+    budget: Option<u64>,
+    cpr: Option<&Checkpointer>,
+    rngs: Option<Vec<[u64; 4]>>,
+) {
+    if budget.is_none() && config.termination.is_none() {
+        // Exhaustive mode skips the unbounded-search assert, so give
+        // the fallback a finite victory condition.
+        let fallback = SearchConfig {
+            termination: Some(1_000),
+            ..config.clone()
+        };
+        run_random(
+            mapspace,
+            &fallback,
+            shared,
+            budget,
+            RandomPhase::Fallback,
+            cpr,
+            rngs,
+        );
+    } else {
+        run_random(
+            mapspace,
+            config,
+            shared,
+            budget,
+            RandomPhase::Fallback,
+            cpr,
+            rngs,
+        );
+    }
+}
+
 /// Runs pruned enumeration under `budget` considered candidates; returns
 /// whether the whole deduplicated chain space was covered. Falls back to
 /// random sampling (returning `false`) when the space is too large to
-/// tabulate.
+/// tabulate. A `resume` cursor re-enters the matching leg: the sweep
+/// restarts from its last batch barrier (the batch in flight is redone,
+/// bit-identically, against the restored counters/memo/best), the
+/// fallback from its saved sampler states.
 pub(crate) fn run(
     mapspace: &Mapspace,
     config: &SearchConfig,
     shared: &Shared,
     budget: Option<u64>,
+    cpr: Option<&Checkpointer>,
+    resume: Option<Resume>,
 ) -> bool {
+    let sweep_resume = match resume {
+        Some(Resume::Fallback(cursor)) => {
+            // The interrupted run already proved the space untabulable;
+            // skip the (expensive) table build and rejoin the fallback.
+            run_fallback(
+                mapspace,
+                config,
+                shared,
+                cursor.budget,
+                cpr,
+                Some(cursor.rngs),
+            );
+            return false;
+        }
+        Some(Resume::Sweep(cursor)) => Some(cursor),
+        None => None,
+    };
     let tables = match EnumTables::build(mapspace, &EnumLimits::default()) {
         Ok(tables) => tables,
         Err(_) => {
-            if budget.is_none() && config.termination.is_none() {
-                // Exhaustive mode skips the unbounded-search assert, so
-                // give the fallback a finite victory condition.
-                let fallback = SearchConfig {
-                    termination: Some(1_000),
-                    ..config.clone()
-                };
-                run_random(mapspace, &fallback, shared, budget);
-            } else {
-                run_random(mapspace, config, shared, budget);
-            }
+            run_fallback(mapspace, config, shared, budget, cpr, None);
             return false;
         }
     };
 
-    // A hybrid warm-up records random-phase evaluation counts as the
-    // achiever position; restart the patience clock at the enumeration's
-    // own ordinal zero.
-    shared
-        .record
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .best_ordinal = 0;
+    if sweep_resume.is_none() {
+        // A hybrid warm-up records random-phase evaluation counts as the
+        // achiever position; restart the patience clock at the
+        // enumeration's own ordinal zero. (On resume the checkpoint
+        // already holds the enumeration-relative ordinal.)
+        shared
+            .record
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .best_ordinal = 0;
+    }
 
     // The coordinator drives chunk-scoped worker pools, so liveness is
     // tracked at phase granularity: the configured width while the
@@ -146,71 +215,150 @@ pub(crate) fn run(
     let mut order: Vec<usize> = (0..regions.len()).collect();
     order.sort_by(|&a, &b| floor_cost[a].total_cmp(&floor_cost[b]).then(a.cmp(&b)));
 
-    // lint: allow(panics) — every architecture has >= 1 level, so the
+    // justified: every architecture has >= 1 level, so the
     // all-ones default factorization always builds.
     let mut mapping = Mapping::builder(num_levels)
         .build_for_bounds(mapspace.shape().bounds())
         .expect("the default mapping is well-formed");
 
-    // Phase 1: probe leaf 0 of the cheapest-floor regions, sequentially
-    // (so probe ordinals and the improvement trace are deterministic).
-    let probe_count = PROBE_REGIONS.min(order.len());
-    let mut probe_cost = vec![f64::INFINITY; regions.len()];
     let mut probe_done = vec![false; regions.len()];
     let mut ordinal = 0u64; // candidates considered so far
     let mut stopped = false;
     let mut complete = true;
-    for &ri in &order[..probe_count] {
-        if ordinal >= select_budget {
-            stopped = true;
-            complete = false;
-            break;
+    let mut oi = 0usize; // scan cursor into `order`
+    let mut scanned = 0u64;
+    let mut start_pi = 0usize; // probe cursor into `order`
+    let mut probe_cost = vec![f64::INFINITY; regions.len()];
+    let mut skip_probe = false;
+    if let Some(cursor) = &sweep_resume {
+        // Restore the sweep coordinates verbatim. A mid-probe checkpoint
+        // rejoins the probe loop (the floor-sorted `order` it stored is
+        // the pre-sort one); a batch-barrier checkpoint skips straight
+        // to the scan, its `order` already probe-sorted.
+        order = cursor.order.iter().map(|&ri| ri as usize).collect();
+        probe_done = cursor.probe_done.clone();
+        ordinal = cursor.ordinal;
+        if cursor.probing {
+            start_pi = cursor.pi as usize;
+            probe_cost = cursor
+                .probe_cost
+                .iter()
+                .map(|&b| f64::from_bits(b))
+                .collect();
+            if probe_cost.len() != regions.len() {
+                probe_cost = vec![f64::INFINITY; regions.len()];
+            }
+        } else {
+            skip_probe = true;
+            oi = cursor.oi as usize;
+            scanned = cursor.scanned;
         }
-        probe_done[ri] = true;
-        // lint: allow(panics) — EnumTables only emits regions with
-        // `leaves >= 1`, so leaf 0 always decodes.
-        SubspaceIterator::new(&tables, &regions[ri], 0, 1)
-            .next_into(&mut mapping)
-            .expect("every region has at least one leaf");
-        match ctx.precheck(&mapping) {
-            Err(_) if config.prune => {
-                // ordering: Relaxed — statistics counter, read only
-                // after the thread join barrier.
-                shared.pruned_mappings.fetch_add(1, Ordering::Relaxed);
+    }
+    if !skip_probe {
+        // Phase 1: probe leaf 0 of the cheapest-floor regions,
+        // sequentially (so probe ordinals and the improvement trace are
+        // deterministic). Every iteration top is a barrier — the phase
+        // is single-threaded — so an interrupt checkpoints right here.
+        let probe_count = PROBE_REGIONS.min(order.len());
+        for pi in start_pi..probe_count {
+            let ri = order[pi];
+            if ordinal >= select_budget {
+                stopped = true;
+                complete = false;
+                break;
             }
-            Err(_) => {
-                ordinal += 1;
-                // ordering: Relaxed — statistics counters, read only
-                // after the thread join barrier.
-                shared.evals.fetch_add(1, Ordering::Relaxed);
-                shared.invalid.fetch_add(1, Ordering::Relaxed);
+            if shared.check_interrupt() {
+                if let Some(cpr) = cpr {
+                    cpr.save(SearchCheckpoint::capture(
+                        shared,
+                        config,
+                        Cursor::Exhaustive(ExhaustiveCursor {
+                            budget,
+                            order: order.iter().map(|&r| r as u64).collect(),
+                            probe_done: probe_done.clone(),
+                            oi: 0,
+                            ordinal,
+                            scanned: 0,
+                            probing: true,
+                            pi: pi as u64,
+                            probe_cost: probe_cost.iter().map(|c| c.to_bits()).collect(),
+                        }),
+                    ));
+                }
+                stopped = true;
+                complete = false;
+                break;
             }
-            Ok(_) => {
-                ordinal += 1;
-                if let Some(cost) = consider(&ctx, config, shared, &mapping, ordinal) {
-                    probe_cost[ri] = cost;
+            probe_done[ri] = true;
+            // justified: EnumTables only emits regions with
+            // `leaves >= 1`, so leaf 0 always decodes.
+            SubspaceIterator::new(&tables, &regions[ri], 0, 1)
+                .next_into(&mut mapping)
+                .expect("every region has at least one leaf");
+            match ctx.precheck(&mapping) {
+                Err(_) if config.prune => {
+                    // ordering: Relaxed — statistics counter, read only
+                    // after the thread join barrier.
+                    shared.pruned_mappings.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    ordinal += 1;
+                    // ordering: Relaxed — statistics counters, read only
+                    // after the thread join barrier.
+                    shared.evals.fetch_add(1, Ordering::Relaxed);
+                    shared.invalid.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(_) => {
+                    ordinal += 1;
+                    if let Some(cost) = consider(&ctx, config, shared, &mapping, ordinal) {
+                        probe_cost[ri] = cost;
+                    }
                 }
             }
         }
+
+        // The probe phase is a natural snapshot point: the first costs
+        // are in and the region ranking is about to be fixed.
+        shared.publish_progress();
+
+        // Phase 2 order: probed regions by measured quality, then the
+        // unprobed tail by floor (`order` is already floor-sorted).
+        order[..probe_count].sort_by(|&a, &b| {
+            probe_cost[a]
+                .total_cmp(&probe_cost[b])
+                .then(floor_cost[a].total_cmp(&floor_cost[b]))
+                .then(a.cmp(&b))
+        });
     }
 
-    // The probe phase is a natural snapshot point: the first costs are
-    // in and the region ranking is about to be fixed.
-    shared.publish_progress();
-
-    // Phase 2 order: probed regions by measured quality, then the
-    // unprobed tail by floor (`order` is already floor-sorted).
-    order[..probe_count].sort_by(|&a, &b| {
-        probe_cost[a]
-            .total_cmp(&probe_cost[b])
-            .then(floor_cost[a].total_cmp(&floor_cost[b]))
-            .then(a.cmp(&b))
-    });
-
-    let mut oi = 0usize; // scan cursor into `order`
-    let mut scanned = 0u64;
     let mut capped = false;
     'outer: while !stopped {
+        // Batch barrier: the previous batch's workers joined, so the
+        // counters, memo, and best are settled and deterministic. Save
+        // the resumable state now — an interrupt anywhere inside the
+        // batch below resumes from this point and redoes the batch
+        // bit-identically.
+        if let Some(cpr) = cpr {
+            cpr.save(SearchCheckpoint::capture(
+                shared,
+                config,
+                Cursor::Exhaustive(ExhaustiveCursor {
+                    budget,
+                    order: order.iter().map(|&ri| ri as u64).collect(),
+                    probe_done: probe_done.clone(),
+                    oi: oi as u64,
+                    ordinal,
+                    scanned,
+                    probing: false,
+                    pi: 0,
+                    probe_cost: Vec::new(),
+                }),
+            ));
+        }
+        if shared.check_interrupt() {
+            complete = false;
+            break;
+        }
         // Scan regions into a batch holding at least the remaining
         // budget's worth of screened candidates.
         let remaining = select_budget.saturating_sub(ordinal);
@@ -254,6 +402,13 @@ pub(crate) fn run(
             let mut it = SubspaceIterator::new(&tables, region, start, region.leaves);
             let mut leaf = start;
             while let Some(steps) = it.next_into(&mut mapping) {
+                // Drain politely on long scans: one flag/clock poll per
+                // 1024 decoded leaves.
+                if leaf & 1023 == 0 && shared.check_interrupt() {
+                    stopped = true;
+                    complete = false;
+                    break;
+                }
                 match ctx.precheck(&mapping) {
                     Ok(pressure) => cands.push((pressure, leaf, steps)),
                     Err(_) if config.prune => {
@@ -308,6 +463,11 @@ pub(crate) fn run(
                     stopped = true;
                     break 'rounds;
                 }
+                if shared.check_interrupt() {
+                    stopped = true;
+                    complete = false;
+                    break 'rounds;
+                }
                 let take = CHUNK
                     .min(rw.cands.len() - rw.next)
                     .min(usize::try_from(select_budget - ordinal).unwrap_or(usize::MAX));
@@ -356,6 +516,14 @@ pub(crate) fn run(
         complete = false;
     }
 
+    if shared.is_stopped_early() {
+        // Interrupted: the batch-barrier checkpoint above is the resume
+        // point, and the polish (which the resumed run will redo in
+        // full) is skipped so the drain stays prompt.
+        shared.progress_set_live(0);
+        return false;
+    }
+
     polish_permutations(mapspace, config, shared, polish_budget, ordinal);
     shared.progress_set_live(0);
     complete
@@ -385,8 +553,8 @@ fn consider(
             return None;
         }
     }
-    match evaluate_with(ctx, mapping) {
-        Ok(report) => {
+    match score_candidate(ctx, mapping) {
+        Scored::Valid(report) => {
             // ordering: Relaxed — statistics counters, read only after
             // the thread join barrier.
             shared.evals.fetch_add(1, Ordering::Relaxed);
@@ -400,7 +568,7 @@ fn consider(
             }
             Some(cost)
         }
-        Err(_) => {
+        Scored::Invalid => {
             // ordering: Relaxed — statistics counters, read only after
             // the thread join barrier.
             shared.evals.fetch_add(1, Ordering::Relaxed);
@@ -408,6 +576,17 @@ fn consider(
             if let Some(memo) = &shared.memo {
                 memo.insert(key, f64::INFINITY);
             }
+            None
+        }
+        Scored::Panicked => {
+            // A panicking evaluation is contained per candidate: charge
+            // the reservation, quarantine the key (counted invalid so
+            // the accounting identity holds), and keep sweeping.
+            // ordering: Relaxed — statistics counters, read only after
+            // the thread join barrier.
+            shared.evals.fetch_add(1, Ordering::Relaxed);
+            quarantine(shared, key);
+            shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
             None
         }
     }
@@ -430,7 +609,7 @@ fn process_chunk(
     shared: &Shared,
 ) {
     let work = |offset: usize| {
-        // lint: allow(panics) — every architecture has >= 1 level, so
+        // justified: every architecture has >= 1 level, so
         // the all-ones default factorization always builds.
         let mut mapping = Mapping::builder(ctx.arch().num_levels())
             .build_for_bounds(ctx.shape().bounds())
@@ -443,7 +622,7 @@ fn process_chunk(
                 // after the thread join barrier.
                 shared.pruned_mappings.fetch_add(1, Ordering::Relaxed);
             } else {
-                // lint: allow(panics) — `leaf` came from this region's
+                // justified: `leaf` came from this region's
                 // own scan, so it is in range by construction.
                 SubspaceIterator::new(tables, region, leaf, leaf + 1)
                     .next_into(&mut mapping)
@@ -504,6 +683,9 @@ fn polish_permutations(
                     if spent >= budget {
                         break 'sweep;
                     }
+                    if shared.check_interrupt() {
+                        break 'sweep;
+                    }
                     let mut cand = current.clone();
                     let mut perm = *cand.permutation(level);
                     perm.swap(i, j);
@@ -524,8 +706,8 @@ fn polish_permutations(
                             continue;
                         }
                     }
-                    match evaluate_with(&ctx, &cand) {
-                        Ok(report) => {
+                    match score_candidate(&ctx, &cand) {
+                        Scored::Valid(report) => {
                             // ordering: Relaxed — statistics counter.
                             shared.valid.fetch_add(1, Ordering::Relaxed);
                             let cost = config.objective.cost(&report);
@@ -549,12 +731,19 @@ fn polish_permutations(
                                 improved = true;
                             }
                         }
-                        Err(_) => {
+                        Scored::Invalid => {
                             // ordering: Relaxed — statistics counter.
                             shared.invalid.fetch_add(1, Ordering::Relaxed);
                             if let Some(memo) = &shared.memo {
                                 memo.insert(key, f64::INFINITY);
                             }
+                        }
+                        Scored::Panicked => {
+                            // Contained like the sweep: the reservation
+                            // above already charged `evals`.
+                            quarantine(shared, key);
+                            // ordering: Relaxed — statistic counter.
+                            shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }

@@ -57,9 +57,11 @@
 //! additionally require the `telemetry` cargo feature.
 
 pub mod anneal;
+pub mod checkpoint;
 mod engine;
 mod exhaustive;
 mod memo;
+pub mod stop;
 
 /// Atomic primitives for the lock-free hot path. Production builds bind
 /// the std atomics directly; test and `shuttle`-feature builds route
@@ -91,12 +93,15 @@ use ruby_mapping::Mapping;
 use ruby_mapspace::Mapspace;
 use ruby_model::{evaluate_with, CostReport, EvalContext, ModelOptions};
 
+pub use checkpoint::{CheckpointError, SearchCheckpoint, CHECKPOINT_SCHEMA};
 pub use engine::{ConfigError, Engine, SearchConfigBuilder};
 pub use memo::MemoCache;
+pub use stop::StopToken;
 // Re-exported so Engine callers can attach sinks without a direct
 // ruby-telemetry dependency.
 pub use ruby_telemetry::{
-    HumanSink, JsonlSink, MemorySink, MultiSink, ProgressSink, SearchSnapshot, SCHEMA_VERSION,
+    write_atomic, HumanSink, JsonlSink, MemorySink, MultiSink, ProgressSink, SearchSnapshot,
+    SCHEMA_VERSION,
 };
 
 /// The quantity the search minimizes.
@@ -276,6 +281,16 @@ pub struct SearchConfig {
     pub dedup: bool,
     /// Memo cache size: `2^memo_bits` slots (16 bytes each).
     pub memo_bits: u32,
+    /// Wall-clock cap in seconds. Polled at loop boundaries, so runs
+    /// overshoot by at most one unit of work; an expired deadline drains
+    /// gracefully (checkpoint + `stopped_early` outcome). `None` = no
+    /// deadline. Non-positive or non-finite values are ignored (the
+    /// builder rejects them up front).
+    pub max_seconds: Option<f64>,
+    /// How many times a panicking worker body is restarted — with the
+    /// offending candidate quarantined — before the run gives up and
+    /// drains with `stop_reason: "worker-failures"`.
+    pub max_worker_restarts: u64,
 }
 
 impl SearchConfig {
@@ -301,6 +316,8 @@ impl Default for SearchConfig {
             prune: true,
             dedup: true,
             memo_bits: 18,
+            max_seconds: None,
+            max_worker_restarts: 8,
         }
     }
 }
@@ -324,7 +341,7 @@ fn spread_seed(seed: u64, thread_index: u64) -> u64 {
 }
 
 /// The best mapping found and its evaluation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BestMapping {
     /// The winning mapping.
     pub mapping: Mapping,
@@ -372,6 +389,19 @@ pub struct SearchOutcome {
     /// best-so-far staircase of Fig. 7, capped at
     /// [`SearchConfig::max_trace`] entries.
     pub trace: Vec<(u64, f64)>,
+    /// Whether the run was interrupted (stop token, deadline, or
+    /// exhausted worker-restart budget) and drained instead of finishing
+    /// on its own terms. Interrupted runs are still valid outcomes.
+    pub stopped_early: bool,
+    /// Why the run stopped early (`"stop-requested"`, `"deadline"` or
+    /// `"worker-failures"`); `None` when it was not interrupted.
+    pub stop_reason: Option<String>,
+    /// Times a panicking worker body was restarted with the offending
+    /// candidate quarantined (see [`SearchConfig::max_worker_restarts`]).
+    pub worker_restarts: u64,
+    /// Candidates quarantined after their evaluation panicked; each is
+    /// counted as `invalid` and memoized so it is never retried.
+    pub quarantined: u64,
 }
 
 impl serde::Serialize for BestMapping {
@@ -424,6 +454,25 @@ impl serde::Serialize for SearchOutcome {
                 serde::Value::U64(self.pruned_mappings),
             ),
             ("exhausted".to_owned(), serde::Value::Bool(self.exhausted)),
+            (
+                "stopped_early".to_owned(),
+                serde::Value::Bool(self.stopped_early),
+            ),
+            (
+                "stop_reason".to_owned(),
+                match &self.stop_reason {
+                    Some(reason) => serde::Value::Str(reason.clone()),
+                    None => serde::Value::Null,
+                },
+            ),
+            (
+                "worker_restarts".to_owned(),
+                serde::Value::U64(self.worker_restarts),
+            ),
+            (
+                "quarantined".to_owned(),
+                serde::Value::U64(self.quarantined),
+            ),
             ("best".to_owned(), best),
             ("trace".to_owned(), self.trace.to_value()),
         ])
@@ -452,6 +501,13 @@ impl serde::Deserialize for SearchOutcome {
             pruned_mappings: value.field("pruned_mappings")?.as_u64()?,
             exhausted: value.field("exhausted")?.as_bool()?,
             trace: serde::Deserialize::from_value(value.field("trace")?)?,
+            stopped_early: value.field("stopped_early")?.as_bool()?,
+            stop_reason: match value.field("stop_reason")? {
+                serde::Value::Null => None,
+                other => Some(other.as_str()?.to_owned()),
+            },
+            worker_restarts: value.field("worker_restarts")?.as_u64()?,
+            quarantined: value.field("quarantined")?.as_u64()?,
         })
     }
 }
@@ -481,6 +537,38 @@ struct Shared {
     /// Progress-streaming state; `Some` only when the [`Engine`] runs
     /// with a sink attached (see `engine::ProgressState`).
     progress: Option<engine::ProgressState>,
+    /// External cancellation handle; `None` unless the [`Engine`] was
+    /// given one ([`Engine::with_stop_token`]).
+    token: Option<stop::StopToken>,
+    /// Wall-clock cutoff derived from [`SearchConfig::max_seconds`].
+    deadline: Option<std::time::Instant>,
+    /// Whether the run was interrupted (distinct from `stop`, which any
+    /// natural termination rule also raises).
+    stopped_early: AtomicBool,
+    /// First interrupt cause to fire (`STOP_REASON_*`; 0 = none).
+    stop_reason: AtomicU64,
+    /// Times a panicking worker body was restarted.
+    worker_restarts: AtomicU64,
+    /// Candidates quarantined after a panic during evaluation.
+    quarantined: AtomicU64,
+    /// Canonical keys of quarantined candidates (for the checkpoint and
+    /// post-mortem reporting).
+    poison: Mutex<Vec<u64>>,
+}
+
+/// `Shared::stop_reason` codes, mapped to strings by
+/// [`stop_reason_name`].
+pub(crate) const STOP_REASON_REQUESTED: u64 = 1;
+pub(crate) const STOP_REASON_DEADLINE: u64 = 2;
+pub(crate) const STOP_REASON_WORKER_FAILURES: u64 = 3;
+
+pub(crate) fn stop_reason_name(code: u64) -> Option<String> {
+    match code {
+        STOP_REASON_REQUESTED => Some("stop-requested".to_owned()),
+        STOP_REASON_DEADLINE => Some("deadline".to_owned()),
+        STOP_REASON_WORKER_FAILURES => Some("worker-failures".to_owned()),
+        _ => None,
+    }
 }
 
 impl Shared {
@@ -496,13 +584,132 @@ impl Shared {
             stop: AtomicBool::new(false),
             best_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             fails: AtomicU64::new(0),
-            memo: config.dedup.then(|| MemoCache::new(config.memo_bits)),
+            // `try_new` degrades to no deduplication when the simulated
+            // allocation failure (`search.memo.alloc` failpoint) fires.
+            memo: config
+                .dedup
+                .then(|| MemoCache::try_new(config.memo_bits))
+                .flatten(),
             record: Mutex::new(Record {
                 best: None,
                 trace: Vec::new(),
                 best_ordinal: 0,
             }),
             progress: None,
+            token: None,
+            deadline: config
+                .max_seconds
+                .filter(|s| s.is_finite() && *s > 0.0)
+                .map(|s| std::time::Instant::now() + std::time::Duration::from_secs_f64(s)),
+            stopped_early: AtomicBool::new(false),
+            stop_reason: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            poison: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Polls the interrupt sources (stop token, wall-clock deadline) and
+    /// latches the first one to fire. Cheap enough for loop boundaries:
+    /// two relaxed loads on the common path, plus an `Instant::now()`
+    /// when a deadline is configured.
+    fn check_interrupt(&self) -> bool {
+        // ordering: Relaxed — advisory latch; the join barrier at scope
+        // exit is the real synchronization point.
+        if self.stopped_early.load(Ordering::Relaxed) {
+            return true;
+        }
+        let reason = if self
+            .token
+            .as_ref()
+            // ordering: Relaxed — see the field docs: evals is a value-
+            // only counter feeding the deterministic trip-wire.
+            .is_some_and(|t| t.should_stop_at(self.evals.load(Ordering::Relaxed)))
+        {
+            STOP_REASON_REQUESTED
+        } else if self
+            .deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+        {
+            STOP_REASON_DEADLINE
+        } else {
+            return false;
+        };
+        self.mark_stopped_early(reason);
+        true
+    }
+
+    /// Latches an interrupt: records the first cause, marks the run
+    /// `stopped_early`, and raises the strategies' shared stop flag.
+    fn mark_stopped_early(&self, reason: u64) {
+        // ordering: Relaxed — advisory flags; only the first CAS winner's
+        // reason is reported, which is all the semantics promised.
+        self.stopped_early.store(true, Ordering::Relaxed);
+        let _ = self
+            .stop_reason
+            .compare_exchange(0, reason, Ordering::Relaxed, Ordering::Relaxed);
+        // ordering: Relaxed — advisory latch (see above).
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    fn is_stopped_early(&self) -> bool {
+        // ordering: Relaxed — advisory latch (see check_interrupt).
+        self.stopped_early.load(Ordering::Relaxed)
+    }
+}
+
+/// Quarantines a candidate whose evaluation panicked: classifies it
+/// invalid, memoizes `+inf` so no strategy retries it, and records its
+/// key in the poison list. The caller accounts for the evaluation
+/// reservation and the restart itself.
+fn quarantine(shared: &Shared, key: u64) {
+    // ordering: Relaxed — statistics counters, read after join barriers.
+    shared.invalid.fetch_add(1, Ordering::Relaxed);
+    shared.quarantined.fetch_add(1, Ordering::Relaxed);
+    if let Some(memo) = &shared.memo {
+        memo.insert(key, f64::INFINITY);
+    }
+    shared
+        .poison
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(key);
+}
+
+/// How one candidate scored, with panics contained.
+pub(crate) enum Scored {
+    /// The model accepted it.
+    Valid(CostReport),
+    /// The model rejected it (capacity / fanout violations).
+    Invalid,
+    /// Evaluation panicked (a model bug or the `search.eval` failpoint);
+    /// the caller quarantines the candidate.
+    Panicked,
+}
+
+/// The model-call site shared by every strategy: runs the `search.eval`
+/// failpoint (so resilience tests can inject evaluation panics) and
+/// converts outcomes into [`Scored`].
+pub(crate) fn score_candidate(ctx: &EvalContext, mapping: &Mapping) -> Scored {
+    let evaluated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if matches!(
+            ruby_failpoints::hit("search.eval"),
+            ruby_failpoints::Action::Panic
+        ) {
+            // justified: deliberate: this is the injected
+            // fault the supervised workers must recover from.
+            panic!("failpoint search.eval: injected evaluation panic");
+        }
+        evaluate_with(ctx, mapping)
+    }));
+    match evaluated {
+        Ok(Ok(report)) => Scored::Valid(report),
+        Ok(Err(_)) => Scored::Invalid,
+        Err(payload) => {
+            // Silence the payload; the panic is already contained and
+            // accounted for via quarantine.
+            drop(payload);
+            Scored::Panicked
         }
     }
 }
@@ -544,39 +751,180 @@ pub fn search(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
 }
 
 /// Runs the random-sampling workers until `budget` (or termination).
-fn run_random(mapspace: &Mapspace, config: &SearchConfig, shared: &Shared, budget: Option<u64>) {
-    if config.threads == 1 {
-        worker(mapspace, config, shared, budget, 0);
+///
+/// `phase` tags which role the sampler is playing (plain / hybrid
+/// warmup / enumeration fallback) so an interrupted run's checkpoint
+/// can resume into the same role; `resume_rngs` restores per-worker RNG
+/// states from such a checkpoint. With a checkpointer attached and one
+/// thread, periodic checkpoints are written every
+/// [`Checkpointer`](checkpoint::Checkpointer) stride; an interrupted
+/// run always writes an exact final cursor at the drain point.
+fn run_random(
+    mapspace: &Mapspace,
+    config: &SearchConfig,
+    shared: &Shared,
+    budget: Option<u64>,
+    phase: checkpoint::RandomPhase,
+    cpr: Option<&checkpoint::Checkpointer>,
+    resume_rngs: Option<Vec<[u64; 4]>>,
+) {
+    let rng_for = |t: usize| match resume_rngs.as_ref().and_then(|r| r.get(t)) {
+        Some(state) => SmallRng::from_state(*state),
+        None => SmallRng::seed_from_u64(spread_seed(config.seed, t as u64)),
+    };
+    let final_rngs: Vec<[u64; 4]> = if config.threads == 1 {
+        // Only the single-threaded worker checkpoints in-loop: with one
+        // thread the loop is deterministic, so the periodic snapshots
+        // sit on the uninterrupted run's own trajectory.
+        vec![worker(
+            mapspace,
+            config,
+            shared,
+            budget,
+            rng_for(0),
+            phase,
+            cpr,
+        )]
     } else {
         std::thread::scope(|scope| {
-            for t in 0..config.threads {
-                scope.spawn(move || worker(mapspace, config, shared, budget, t as u64));
-            }
-        });
+            let handles: Vec<_> = (0..config.threads)
+                .map(|t| {
+                    let rng = rng_for(t);
+                    scope.spawn(move || worker(mapspace, config, shared, budget, rng, phase, None))
+                })
+                .collect();
+            handles
+                .into_iter()
+                // A join error means a panic escaped the supervised
+                // worker body (a harness bug); degrade to a fresh state.
+                .map(|h| h.join().unwrap_or_default())
+                .collect()
+        })
+    };
+    if shared.is_stopped_early() {
+        if let Some(cpr) = cpr {
+            cpr.save(checkpoint::SearchCheckpoint::capture(
+                shared,
+                config,
+                checkpoint::Cursor::Random(checkpoint::RandomCursor {
+                    phase,
+                    budget,
+                    rngs: final_rngs,
+                }),
+            ));
+        }
     }
 }
 
+/// One supervised sampling worker: the loop body runs under
+/// `catch_unwind`, and a panic that escapes the per-candidate
+/// containment in [`score_candidate`] quarantines the candidate in
+/// flight and restarts the body — up to
+/// [`SearchConfig::max_worker_restarts`] times, after which the run
+/// drains with `stop_reason: "worker-failures"`. Returns the final RNG
+/// state for the drain checkpoint.
 fn worker(
     mapspace: &Mapspace,
     config: &SearchConfig,
     shared: &Shared,
     budget: Option<u64>,
-    thread_index: u64,
-) {
-    let mut rng = SmallRng::seed_from_u64(spread_seed(config.seed, thread_index));
+    mut rng: SmallRng,
+    phase: checkpoint::RandomPhase,
+    cpr: Option<&checkpoint::Checkpointer>,
+) -> [u64; 4] {
     let ctx = EvalContext::new(mapspace.arch(), mapspace.shape(), config.model);
     let mut sampler = mapspace.sampler();
-    // lint: allow(panics) — every architecture has >= 1 level, so the
+    // justified: every architecture has >= 1 level, so the
     // all-ones default factorization always builds; failure here is a
     // programming error, not an input error.
     let mut mapping = Mapping::builder(mapspace.arch().num_levels())
         .build_for_bounds(mapspace.shape().bounds())
         .expect("the default mapping is well-formed");
     shared.progress_thread_started();
+    let mut restarts_left = config.max_worker_restarts;
+    loop {
+        let mut last_key: Option<u64> = None;
+        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker_loop(
+                config,
+                shared,
+                budget,
+                &ctx,
+                &mut sampler,
+                &mut mapping,
+                &mut rng,
+                phase,
+                cpr,
+                &mut restarts_left,
+                &mut last_key,
+            )
+        }));
+        match body {
+            Ok(()) => break,
+            Err(_) => {
+                // Best-effort accounting: when the panic struck before a
+                // candidate key existed (e.g. inside the sampler), the
+                // budget reservation stays unclassified — a one-off slack
+                // in the `valid + invalid + duplicates` identity beats
+                // miscounting an unknown candidate.
+                if let Some(key) = last_key {
+                    quarantine(shared, key);
+                }
+                // ordering: Relaxed — statistics counter, read after the
+                // join barrier.
+                shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                if restarts_left == 0 {
+                    shared.mark_stopped_early(STOP_REASON_WORKER_FAILURES);
+                    break;
+                }
+                restarts_left -= 1;
+            }
+        }
+    }
+    shared.progress_thread_stopped();
+    rng.to_state()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    config: &SearchConfig,
+    shared: &Shared,
+    budget: Option<u64>,
+    ctx: &EvalContext,
+    sampler: &mut ruby_mapspace::Sampler<'_>,
+    mapping: &mut Mapping,
+    rng: &mut SmallRng,
+    phase: checkpoint::RandomPhase,
+    cpr: Option<&checkpoint::Checkpointer>,
+    restarts_left: &mut u64,
+    last_key: &mut Option<u64>,
+) {
     // ordering: Relaxed — the stop flag is advisory: seeing it late only
     // costs a few extra samples, and the spawning scope's join is the
     // real synchronization point for the final counter reads.
     while !shared.stop.load(Ordering::Relaxed) {
+        *last_key = None;
+        // Interrupt poll sits before the budget reservation so draining
+        // never needs an undo — the checkpoint then freezes a state the
+        // uninterrupted run also passes through.
+        if shared.check_interrupt() {
+            break;
+        }
+        if let Some(cpr) = cpr {
+            // ordering: Relaxed — value-only counter read (see below).
+            let done = shared.evals.load(Ordering::Relaxed);
+            if done > 0 && done.is_multiple_of(cpr.stride()) {
+                cpr.save(checkpoint::SearchCheckpoint::capture(
+                    shared,
+                    config,
+                    checkpoint::Cursor::Random(checkpoint::RandomCursor {
+                        phase,
+                        budget,
+                        rngs: vec![rng.to_state()],
+                    }),
+                ));
+            }
+        }
         // ordering: Relaxed — budget reservation counter; only its
         // arithmetic value matters, no payload is published through it.
         let evals = shared.evals.fetch_add(1, Ordering::Relaxed) + 1;
@@ -597,8 +945,9 @@ fn worker(
         if evals & (engine::PROGRESS_STRIDE - 1) == 0 {
             shared.publish_progress();
         }
-        sampler.sample_into(&mut mapping, &mut rng);
+        sampler.sample_into(mapping, rng);
         let key = mapping.canonical_key();
+        *last_key = Some(key);
         if let Some(memo) = &shared.memo {
             if let Some(cost) = memo.probe(key) {
                 // Already evaluated (by any thread or phase): the first
@@ -625,9 +974,9 @@ fn worker(
                 continue;
             }
         }
-        let report = match evaluate_with(&ctx, &mapping) {
-            Ok(report) => report,
-            Err(_) => {
+        let report = match score_candidate(ctx, mapping) {
+            Scored::Valid(report) => report,
+            Scored::Invalid => {
                 // ordering: Relaxed — statistics counter, read only
                 // after the thread join barrier.
                 shared.invalid.fetch_add(1, Ordering::Relaxed);
@@ -635,6 +984,18 @@ fn worker(
                     memo.insert(key, f64::INFINITY);
                 }
                 continue; // invalid mappings do not count toward termination
+            }
+            Scored::Panicked => {
+                quarantine(shared, key);
+                // ordering: Relaxed — statistics counter, read after the
+                // join barrier.
+                shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                if *restarts_left == 0 {
+                    shared.mark_stopped_early(STOP_REASON_WORKER_FAILURES);
+                    break;
+                }
+                *restarts_left -= 1;
+                continue;
             }
         };
         // ordering: Relaxed — statistics counter, read only after the
@@ -645,7 +1006,7 @@ fn worker(
             memo.insert(key, cost);
         }
         if try_improve(shared, cost)
-            && record_improvement(shared, config, &mapping, report, cost, evals)
+            && record_improvement(shared, config, mapping, report, cost, evals)
         {
             // ordering: Relaxed — approximate victory-counter reset;
             // racing increments are acceptable (Timeloop semantics).
@@ -662,7 +1023,6 @@ fn worker(
             }
         }
     }
-    shared.progress_thread_stopped();
 }
 
 /// Lowers the atomic best-cost word to `cost` if it improves on it;

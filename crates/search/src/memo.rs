@@ -60,6 +60,60 @@ impl MemoCache {
         }
     }
 
+    /// A cache like [`new`](Self::new), unless the `search.memo.alloc`
+    /// failpoint simulates an allocation failure — then `None`, and
+    /// callers degrade to searching without deduplication.
+    pub fn try_new(bits: u32) -> Option<Self> {
+        if matches!(
+            ruby_failpoints::hit("search.memo.alloc"),
+            ruby_failpoints::Action::Err
+        ) {
+            return None;
+        }
+        Some(Self::new(bits))
+    }
+
+    /// Every published entry as `(slot, key, cost bits)`, in slot order.
+    /// Slot-exact so [`restore`](Self::restore) reproduces the table
+    /// bit-for-bit and a resumed run replays identical probe/insert
+    /// outcomes (including window-full drops).
+    pub fn dump(&self) -> Vec<(u64, u64, u64)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                // ordering: Acquire — pairs with insert's publication;
+                // callers dump at barriers, after workers joined.
+                let key = slot.key.load(Ordering::Acquire);
+                if key == EMPTY {
+                    return None;
+                }
+                let cost = slot.cost.load(Ordering::Acquire);
+                if cost == NOT_READY {
+                    // Claimed but unpublished (a worker died mid-insert):
+                    // not part of the deterministic state, skip it.
+                    return None;
+                }
+                Some((i as u64, key, cost))
+            })
+            .collect()
+    }
+
+    /// Places dumped entries back at their exact slots. Out-of-range
+    /// slots are skipped; only meaningful on a fresh cache of the same
+    /// size the dump was taken from, before any worker starts.
+    pub fn restore(&self, entries: &[(u64, u64, u64)]) {
+        for &(i, key, cost) in entries {
+            let Some(slot) = self.slots.get(i as usize) else {
+                continue;
+            };
+            // ordering: Release — cost before key, matching the insert
+            // protocol (restore runs single-threaded anyway).
+            slot.cost.store(cost, Ordering::Release);
+            slot.key.store(key, Ordering::Release);
+        }
+    }
+
     /// `EMPTY` doubles as the vacancy marker, so a genuine zero key is
     /// remapped onto a fixed non-zero value.
     fn normalize(key: u64) -> u64 {
@@ -190,6 +244,24 @@ mod tests {
                 assert_eq!(c, k as f64);
             }
         }
+    }
+
+    #[test]
+    fn dump_restore_reproduces_the_table_slot_exactly() {
+        let memo = MemoCache::new(6);
+        for k in 1..40u64 {
+            memo.insert(k * 17, (k as f64) / 3.0);
+        }
+        memo.insert(999, f64::INFINITY);
+        let dump = memo.dump();
+        assert!(!dump.is_empty());
+        let fresh = MemoCache::new(6);
+        fresh.restore(&dump);
+        assert_eq!(fresh.dump(), dump);
+        for k in 1..40u64 {
+            assert_eq!(fresh.probe(k * 17), memo.probe(k * 17));
+        }
+        assert_eq!(fresh.probe(999), Some(f64::INFINITY));
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! A [`StopToken`] is a cloneable handle shared between a search run
+//! and whoever may need to interrupt it (a signal watcher, a deadline
+//! monitor, an embedding application). Strategies poll it at their
+//! loop boundaries and *drain*: finish the unit of work in flight,
+//! flush the pending checkpoint, and return a valid `SearchOutcome`
+//! marked `stopped_early` instead of aborting.
+//!
+//! Two levels exist. [`request_stop`](StopToken::request_stop) is the
+//! graceful drain described above (first Ctrl-C). [`hard_stop`]
+//! (StopToken::hard_stop) records that even draining should be
+//! abandoned; the CLI's second Ctrl-C exits the process directly, so
+//! this level mostly serves embedders that cannot `_exit`.
+//!
+//! The token also carries an optional evaluation trip-wire
+//! ([`trip_after_evaluations`](StopToken::trip_after_evaluations)):
+//! tests and the resilience harness use it to interrupt a run at a
+//! *deterministic* point (e.g. "at 50% of the budget") so that
+//! kill-and-resume equivalence can be asserted bit-for-bit.
+
+// ordering: this module uses plain std atomics (not `crate::sync`) on
+// purpose: the token is shared with non-search threads (signal
+// watchers) that outlive any interleaving-test harness, and every cell
+// is a standalone flag with no payload published through it.
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+const STATE_RUN: u8 = 0;
+const STATE_DRAIN: u8 = 1;
+const STATE_HARD: u8 = 2;
+
+#[derive(Debug)]
+struct Inner {
+    // ordering: Relaxed — standalone stop flag; polled, never used to
+    // publish other memory.
+    state: AtomicU8,
+    // ordering: Relaxed — standalone trip-wire threshold.
+    trip_at_evals: AtomicU64,
+}
+
+/// A cloneable cancellation handle polled by every search strategy.
+///
+/// Clones share state: tripping any clone stops the run.
+#[derive(Debug, Clone)]
+pub struct StopToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for StopToken {
+    fn default() -> Self {
+        StopToken::new()
+    }
+}
+
+impl StopToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        StopToken {
+            inner: Arc::new(Inner {
+                // ordering: Relaxed — standalone flag (see above).
+                state: AtomicU8::new(STATE_RUN),
+                // ordering: Relaxed — standalone threshold (see above).
+                trip_at_evals: AtomicU64::new(u64::MAX),
+            }),
+        }
+    }
+
+    /// Requests a graceful drain: strategies finish the unit of work in
+    /// flight, checkpoint, and return a `stopped_early` outcome.
+    pub fn request_stop(&self) {
+        // ordering: Relaxed — flag only; the drain path joins worker
+        // threads, which provides any needed synchronization.
+        let _ = self.inner.state.compare_exchange(
+            STATE_RUN,
+            STATE_DRAIN,
+            // ordering: Relaxed — flag only (see above).
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Escalates past draining. Implies [`request_stop`](Self::request_stop).
+    pub fn hard_stop(&self) {
+        // ordering: Relaxed — flag only (see request_stop).
+        self.inner.state.store(STATE_HARD, Ordering::Relaxed);
+    }
+
+    /// Whether a stop (graceful or hard) has been requested.
+    #[inline]
+    pub fn stop_requested(&self) -> bool {
+        // ordering: Relaxed — flag poll (see module docs).
+        self.inner.state.load(Ordering::Relaxed) != STATE_RUN
+    }
+
+    /// Whether the hard level has been reached.
+    pub fn hard_requested(&self) -> bool {
+        // ordering: Relaxed — flag poll (see module docs).
+        self.inner.state.load(Ordering::Relaxed) == STATE_HARD
+    }
+
+    /// Arms a deterministic trip-wire: once the run's evaluation
+    /// counter reaches `evals`, polling via
+    /// [`should_stop_at`](Self::should_stop_at) reports a stop. Used by
+    /// resilience tests to interrupt at an exact, reproducible point.
+    pub fn trip_after_evaluations(&self, evals: u64) {
+        // ordering: Relaxed — standalone threshold (see module docs).
+        self.inner.trip_at_evals.store(evals, Ordering::Relaxed);
+    }
+
+    /// [`stop_requested`](Self::stop_requested), plus the evaluation
+    /// trip-wire: stops once `evaluations` reaches the armed threshold.
+    #[inline]
+    pub fn should_stop_at(&self, evaluations: u64) -> bool {
+        if self.stop_requested() {
+            return true;
+        }
+        // ordering: Relaxed — standalone threshold (see module docs).
+        let trip = self.inner.trip_at_evals.load(Ordering::Relaxed);
+        evaluations >= trip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_untripped() {
+        let token = StopToken::new();
+        assert!(!token.stop_requested());
+        assert!(!token.hard_requested());
+        assert!(!token.should_stop_at(u64::MAX - 1));
+    }
+
+    #[test]
+    fn clones_share_the_stop_state() {
+        let token = StopToken::new();
+        let clone = token.clone();
+        token.request_stop();
+        assert!(clone.stop_requested());
+        assert!(!clone.hard_requested());
+        clone.hard_stop();
+        assert!(token.hard_requested());
+    }
+
+    #[test]
+    fn trip_wire_fires_at_the_threshold() {
+        let token = StopToken::new();
+        token.trip_after_evaluations(100);
+        assert!(!token.should_stop_at(99));
+        assert!(token.should_stop_at(100));
+        assert!(token.should_stop_at(101));
+        assert!(!token.stop_requested(), "trip-wire is poll-only");
+    }
+}

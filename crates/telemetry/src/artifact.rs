@@ -1,0 +1,132 @@
+//! Atomic artifact writes: no crash leaves a torn JSON file behind.
+//!
+//! Every artifact the workspace persists (`BENCH_search.json`,
+//! `BENCH_layers.jsonl`, `--out`, `--metrics-out`, checkpoints) goes
+//! through [`write_atomic`]: the bytes land in a `<path>.tmp` sibling,
+//! are fsynced, and only then renamed over the destination. A reader
+//! therefore sees either the complete old file or the complete new one,
+//! never a prefix — the rename is the commit point.
+//!
+//! The `artifact.write` failpoint (feature `failpoints`) simulates a
+//! crash mid-write: `torn:N` truncates the temporary file after `N`
+//! bytes and fails *without renaming*, which is exactly the on-disk
+//! state a power loss would leave.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically (tmp + fsync + rename).
+///
+/// On error the destination is untouched: either the previous contents
+/// survive or the file still does not exist. A stale `<path>.tmp` may
+/// remain after a failure and is overwritten by the next attempt.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let tmp = tmp_path(path);
+    let result = write_tmp(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        // Best-effort cleanup; the torn failpoint intentionally leaves
+        // the truncated tmp in place to emulate a crash artifact.
+        if !torn_injected() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+    result
+}
+
+/// The temporary sibling `write_atomic` stages into: `<path>.tmp`.
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    std::path::PathBuf::from(tmp)
+}
+
+fn write_tmp(tmp: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(tmp)?;
+    match ruby_failpoints::hit("artifact.write") {
+        ruby_failpoints::Action::Torn(n) => {
+            // Simulated crash: a prefix reaches the disk, the rename
+            // never happens, and the caller sees the failure.
+            file.write_all(&bytes[..n.min(bytes.len())])?;
+            file.sync_all()?;
+            set_torn_injected();
+            return Err(std::io::Error::other(
+                "failpoint artifact.write: torn write",
+            ));
+        }
+        ruby_failpoints::Action::Err => {
+            return Err(std::io::Error::other(
+                "failpoint artifact.write: injected error",
+            ));
+        }
+        _ => {}
+    }
+    file.write_all(bytes)?;
+    file.sync_all()
+}
+
+#[cfg(feature = "failpoints")]
+mod torn_flag {
+    use std::cell::Cell;
+    std::thread_local! {
+        pub static TORN: Cell<bool> = const { Cell::new(false) };
+    }
+}
+
+#[cfg(feature = "failpoints")]
+fn set_torn_injected() {
+    torn_flag::TORN.with(|t| t.set(true));
+}
+
+#[cfg(feature = "failpoints")]
+fn torn_injected() -> bool {
+    torn_flag::TORN.with(|t| t.replace(false))
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+fn set_torn_injected() {}
+
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+fn torn_injected() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ruby-artifact-{name}-{}", std::process::id()));
+        path
+    }
+
+    #[test]
+    fn write_lands_the_full_contents_and_no_tmp() {
+        let path = scratch("full");
+        write_atomic(&path, b"{\"ok\":true}\n").expect("atomic write");
+        assert_eq!(std::fs::read(&path).expect("readable"), b"{\"ok\":true}\n");
+        assert!(!tmp_path(&path).exists(), "tmp must be renamed away");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn overwrite_replaces_previous_contents() {
+        let path = scratch("overwrite");
+        write_atomic(&path, b"old").expect("first write");
+        write_atomic(&path, b"new-and-longer").expect("second write");
+        assert_eq!(std::fs::read(&path).expect("readable"), b"new-and-longer");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_write_leaves_the_destination_untouched() {
+        let path = scratch("missing-dir");
+        let mut nested = path.clone();
+        nested.push("no-such-dir/out.json");
+        assert!(write_atomic(&nested, b"x").is_err());
+        assert!(!nested.exists());
+    }
+}

@@ -28,6 +28,7 @@
 //! [`SCHEMA_VERSION`] and an `"event"` tag (`snapshot` / `summary` /
 //! `metrics`); the schema table lives in DESIGN.md §5.4.
 
+pub mod artifact;
 pub mod metrics;
 pub mod sink;
 pub mod snapshot;
@@ -35,6 +36,7 @@ pub mod snapshot;
 #[cfg(test)]
 mod interleave_tests;
 
+pub use artifact::write_atomic;
 pub use metrics::{
     registry, Counter, Gauge, Histogram, LazyCounter, LazyGauge, LazyHistogram, MetricsRegistry,
     HISTOGRAM_BUCKETS,
@@ -45,7 +47,10 @@ pub use snapshot::{SearchSnapshot, SnapshotSlot};
 /// Version stamped into every serialized record that crosses a process
 /// boundary (telemetry JSONL events, `SearchOutcome` JSON,
 /// `BENCH_search.json`). Bump on any breaking field change.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v2 added the resilience fields to `SearchOutcome`
+/// (`stopped_early`, `stop_reason`, `worker_restarts`, `quarantined`).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Whether this build carries real metrics instrumentation (the
 /// `telemetry` cargo feature). When `false`, the `Lazy*` handles are

@@ -8,7 +8,13 @@
 use std::io::Write;
 use std::sync::{Arc, Mutex, PoisonError};
 
+use crate::metrics::LazyCounter;
 use crate::snapshot::SearchSnapshot;
+
+/// Events dropped by a sink that could not write (I/O error, injected
+/// fault). Sinks degrade — drop the event, bump this — rather than let
+/// an output problem propagate into the search.
+static SINK_ERRORS: LazyCounter = LazyCounter::new("telemetry.sink.errors");
 
 /// A consumer of streamed search progress.
 ///
@@ -114,28 +120,75 @@ impl ProgressSink for HumanSink {
 
 /// One JSON record per line: `snapshot` events while running, then a
 /// `summary` event, then (feature builds) a `metrics` event.
+///
+/// File-backed sinks ([`create`](Self::create)) stream into a
+/// `<path>.tmp` sibling and rename it over the destination when the
+/// sink drops, after the last event (`metrics` arrives *after*
+/// `finish`, so the commit point cannot be earlier). A killed process
+/// leaves only the `.tmp` staging file — never a torn artifact at the
+/// requested path.
 pub struct JsonlSink {
     out: Box<dyn Write + Send>,
+    staged: Option<Staged>,
+}
+
+/// The tmp → destination rename pending on a file-backed sink.
+struct Staged {
+    tmp: std::path::PathBuf,
+    dest: std::path::PathBuf,
 }
 
 impl JsonlSink {
-    /// A sink appending to the file at `path` (created or truncated).
+    /// A sink streaming to the file at `path` (created or truncated),
+    /// committed atomically when the sink drops.
     pub fn create(path: &str) -> std::io::Result<Self> {
-        let file = std::fs::File::create(path)?;
-        Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(file))))
+        let dest = std::path::PathBuf::from(path);
+        let tmp = crate::artifact::tmp_path(&dest);
+        let file = std::fs::File::create(&tmp)?;
+        Ok(JsonlSink {
+            out: Box::new(std::io::BufWriter::new(file)),
+            staged: Some(Staged { tmp, dest }),
+        })
     }
 
     /// A sink writing to an arbitrary writer (used by tests).
     pub fn new(out: Box<dyn Write + Send>) -> Self {
-        JsonlSink { out }
+        JsonlSink { out, staged: None }
     }
 
     fn write_line(&mut self, value: &serde::Value) {
         // Progress is best-effort: an unwritable line must not fail the
-        // search, so the result is deliberately dropped. (Value trees
-        // always serialize, so the Ok branch is the only real one.)
-        if let Ok(text) = serde_json::to_string(value) {
-            let _ = writeln!(self.out, "{text}");
+        // search. Failures degrade to a dropped event plus a counter
+        // bump. (Value trees always serialize, so a to_string error is
+        // counted but cannot otherwise occur.)
+        let result = match ruby_failpoints::hit("telemetry.sink.write") {
+            ruby_failpoints::Action::Off => match serde_json::to_string(value) {
+                Ok(text) => writeln!(self.out, "{text}"),
+                Err(_) => Err(std::io::Error::other("unserializable value")),
+            },
+            _ => Err(std::io::Error::other(
+                "failpoint telemetry.sink.write: injected error",
+            )),
+        };
+        if result.is_err() {
+            SINK_ERRORS.inc();
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let Some(staged) = self.staged.take() else {
+            return;
+        };
+        // Commit: flush the buffered tail, then publish with a rename.
+        // Either step failing leaves the destination untouched (old
+        // contents or absent) and is reported through the counter.
+        if self.out.flush().is_err() {
+            SINK_ERRORS.inc();
+        }
+        if std::fs::rename(&staged.tmp, &staged.dest).is_err() {
+            SINK_ERRORS.inc();
         }
     }
 }
@@ -380,6 +433,42 @@ mod tests {
         );
         assert!(buf.contents().lines().count() == 2);
         assert!(memory.metrics_dump().is_none());
+    }
+
+    #[test]
+    fn file_backed_jsonl_sink_commits_on_drop() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ruby-sink-commit-{}.jsonl", std::process::id()));
+        let path_str = path.to_str().expect("temp path is utf-8").to_owned();
+        let tmp = crate::artifact::tmp_path(&path);
+        {
+            let mut sink = JsonlSink::create(&path_str).expect("create");
+            sink.emit(&snapshot(1));
+            sink.finish(&serde::Value::Null);
+            assert!(tmp.exists(), "events stream into the staging file");
+            assert!(!path.exists(), "destination appears only on commit");
+        }
+        assert!(!tmp.exists(), "drop renames the staging file away");
+        let text = std::fs::read_to_string(&path).expect("committed file");
+        assert_eq!(text.lines().count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(all(feature = "failpoints", feature = "telemetry"))]
+    #[test]
+    fn injected_write_errors_degrade_and_are_counted() {
+        let buf = SharedBuf::default();
+        let mut sink = JsonlSink::new(Box::new(buf.clone()));
+        sink.emit(&snapshot(1));
+        let before = SINK_ERRORS.get();
+        assert!(ruby_failpoints::arm("telemetry.sink.write", "err"));
+        sink.emit(&snapshot(2));
+        sink.emit(&snapshot(3));
+        ruby_failpoints::disarm("telemetry.sink.write");
+        sink.emit(&snapshot(4));
+        assert_eq!(SINK_ERRORS.get() - before, 2, "one bump per dropped event");
+        let text = buf.contents();
+        assert_eq!(text.lines().count(), 2, "injected events are dropped");
     }
 
     #[test]

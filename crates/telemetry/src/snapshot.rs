@@ -380,7 +380,10 @@ mod tests {
     fn serde_round_trips_and_pins_the_schema() {
         let snap = sample();
         let value = snap.to_value();
-        assert_eq!(value.get("schema"), Some(&serde::Value::U64(1)));
+        assert_eq!(
+            value.get("schema"),
+            Some(&serde::Value::U64(SCHEMA_VERSION))
+        );
         assert_eq!(
             value.get("event"),
             Some(&serde::Value::Str("snapshot".to_owned()))

@@ -22,6 +22,10 @@ cargo test -q -p ruby-telemetry --features telemetry
 cargo test -q -p ruby-search --features telemetry
 cargo build --release -p ruby-cli --features telemetry
 
+echo "==> resilience smoke (kill/resume parity + supervised worker panic)"
+cargo run --release -q -p ruby-bench --bin resilience_smoke --features failpoints
+cargo test -q -p ruby-search --features failpoints
+
 echo "==> ruby-lint"
 cargo run --release -q -p ruby-lint
 
