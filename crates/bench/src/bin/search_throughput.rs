@@ -38,7 +38,9 @@ fn main() {
 }
 
 /// A few hundred candidates per strategy, single-threaded: fails the
-/// process when any strategy finds no valid mapping.
+/// process when any strategy finds no valid mapping, when the random
+/// walk repeats a candidate, or when single-thread random throughput
+/// falls below half the committed `BENCH_search.json` baseline.
 fn smoke() {
     let report = throughput::run(300, 1, &[1]);
     print!("{}", throughput::render(&report));
@@ -58,6 +60,76 @@ fn smoke() {
             );
             std::process::exit(1);
         }
+        // The permuted walk makes random sampling duplicate-free by
+        // construction; any repeat is a broken bijection.
+        if p.strategy == "random" && p.duplicates > 0 {
+            eprintln!(
+                "smoke failure: the random walk repeated {} candidates \
+                 (the permutation guarantees zero)",
+                p.duplicates
+            );
+            std::process::exit(1);
+        }
     }
+    throughput_floor();
     println!("smoke ok: all strategies found valid mappings");
+}
+
+/// Regression guard: single-thread random throughput must stay above
+/// half the committed `BENCH_search.json` point. Re-measured best-of-3
+/// at a larger budget than the validity smoke so timer noise and cold
+/// caches don't trip the gate; skipped (loudly) when no comparable
+/// baseline is available.
+fn throughput_floor() {
+    let path = "BENCH_search.json";
+    let Ok(json) = std::fs::read_to_string(path) else {
+        println!("throughput floor: no committed {path}, skipping");
+        return;
+    };
+    let baseline: throughput::ThroughputReport = match serde_json::from_str(&json) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("throughput floor: unreadable {path} ({err}), skipping");
+            return;
+        }
+    };
+    if baseline.schema != ruby_telemetry::SCHEMA_VERSION {
+        println!(
+            "throughput floor: {path} has schema {} (current {}), skipping",
+            baseline.schema,
+            ruby_telemetry::SCHEMA_VERSION
+        );
+        return;
+    }
+    if baseline.telemetry != ruby_telemetry::enabled() {
+        println!("throughput floor: instrumentation modes differ, skipping");
+        return;
+    }
+    let Some(base) = baseline
+        .points
+        .iter()
+        .find(|p| p.strategy == "random" && p.threads == 1)
+    else {
+        println!("throughput floor: no committed random 1-thread point, skipping");
+        return;
+    };
+    let floor = base.samples_per_sec * 0.5;
+    let fresh = throughput::run(2_000, 3, &[1]);
+    let measured = fresh
+        .points
+        .iter()
+        .find(|p| p.strategy == "random" && p.threads == 1)
+        .map_or(0.0, |p| p.samples_per_sec);
+    if measured < floor {
+        eprintln!(
+            "smoke failure: random 1-thread throughput {measured:.0} samples/s \
+             fell below the regression floor {floor:.0} \
+             (0.5x the committed {:.0})",
+            base.samples_per_sec
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "throughput floor ok: {measured:.0} samples/s >= {floor:.0} (0.5x committed baseline)"
+    );
 }

@@ -49,9 +49,11 @@ pub struct ThroughputPoint {
     pub seconds: f64,
     /// `evaluations / seconds` for the best repeat.
     pub samples_per_sec: f64,
-    /// Throughput relative to this strategy's single-thread point.
+    /// Throughput relative to this strategy's `threads == 1` point
+    /// (`0.0` when the request list measured no single-thread point).
     pub speedup: f64,
-    /// `speedup / threads` — 1.0 is ideal linear scaling.
+    /// `speedup / threads` — 1.0 is ideal linear scaling (`0.0` when
+    /// no single-thread point was measured).
     pub parallel_efficiency: f64,
 }
 
@@ -188,10 +190,19 @@ pub fn run(max_evaluations: u64, repeats: u64, thread_counts: &[usize]) -> Throu
                 parallel_efficiency: 0.0, // filled in below
             });
         }
-        let base = points[base_index].samples_per_sec;
-        for point in &mut points[base_index..] {
-            point.speedup = point.samples_per_sec / base;
-            point.parallel_efficiency = point.speedup / point.threads as f64;
+        // Speedup is pinned to this strategy's measured single-thread
+        // point, not merely the first point: a request list without 1
+        // leaves the ratios at their 0.0 sentinel instead of silently
+        // normalizing against a multi-threaded base.
+        let base = points[base_index..]
+            .iter()
+            .find(|p| p.threads == 1)
+            .map(|p| p.samples_per_sec);
+        if let Some(base) = base {
+            for point in &mut points[base_index..] {
+                point.speedup = point.samples_per_sec / base;
+                point.parallel_efficiency = point.speedup / point.threads as f64;
+            }
         }
     }
     ThroughputReport {
@@ -287,6 +298,35 @@ mod tests {
         assert_eq!(p.threads, 9999);
         assert!(p.oversubscribed);
         assert!(!report.points[0].oversubscribed, "1 thread always fits");
+    }
+
+    #[test]
+    fn speedup_base_is_the_single_thread_point_regardless_of_order() {
+        // 1 thread listed *after* 2: the base must still be the
+        // threads == 1 measurement, not whichever point came first.
+        let report = run(50, 1, &[2, 1]);
+        for chunk in report.points.chunks(2) {
+            let (two, one) = (&chunk[0], &chunk[1]);
+            assert_eq!(two.threads, 2, "{}", two.strategy);
+            assert_eq!(one.threads, 1, "{}", one.strategy);
+            assert_eq!(one.speedup, 1.0, "{}", one.strategy);
+            assert_eq!(one.parallel_efficiency, 1.0, "{}", one.strategy);
+            assert_eq!(
+                two.speedup.to_bits(),
+                (two.samples_per_sec / one.samples_per_sec).to_bits(),
+                "{}",
+                two.strategy
+            );
+        }
+    }
+
+    #[test]
+    fn missing_single_thread_point_leaves_the_sentinel() {
+        let report = run(50, 1, &[2]);
+        for p in &report.points {
+            assert_eq!(p.speedup, 0.0, "{}", p.strategy);
+            assert_eq!(p.parallel_efficiency, 0.0, "{}", p.strategy);
+        }
     }
 
     #[test]

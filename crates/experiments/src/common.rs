@@ -2,6 +2,7 @@
 
 use ruby_core::prelude::*;
 use ruby_core::search::BestMapping;
+use ruby_core::search::SearchStrategy;
 
 /// How much search effort an experiment spends. All experiments accept a
 /// budget so the same code runs as a CI smoke test or at paper scale.
@@ -44,13 +45,19 @@ impl ExperimentBudget {
         }
     }
 
-    /// The corresponding search configuration.
+    /// The corresponding search configuration. Experiments use the
+    /// `Sampled` strategy — the paper's plain generative sampling — so
+    /// that mapspace quality, not search cleverness, drives the
+    /// comparisons; the permuted-walk `Random` strategy draws uniformly
+    /// over enumeration leaves, a different (and for figure
+    /// reproduction, wrong) sampling distribution.
     pub fn search_config(&self) -> SearchConfig {
         SearchConfig {
             seed: self.seed,
             max_evaluations: Some(self.max_evaluations),
             termination: Some(self.termination),
             threads: self.threads,
+            strategy: SearchStrategy::Sampled,
             ..SearchConfig::default()
         }
     }

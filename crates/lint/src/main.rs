@@ -18,7 +18,9 @@
 //!    need one too.
 //! 4. **cast** — no `as`-casts to integer types inside `crates/model`
 //!    (the cost model's hot paths), where a silent truncation would
-//!    corrupt paper figures; `// lint: allow(cast) — <why lossless>`
+//!    corrupt paper figures, nor in `permute.rs` (the Feistel cipher's
+//!    round function must stay all-u64 — a truncating cast silently
+//!    breaks the bijection); `// lint: allow(cast) — <why lossless>`
 //!    allowlists a site.
 //! 5. **ordering (telemetry)** — inside `crates/telemetry` the rule
 //!    tightens: *every* `Ordering::` use (including `SeqCst`) and every
@@ -175,6 +177,9 @@ impl Markers {
 
 fn scan_file(display: &Path, text: &str, findings: &mut Vec<Finding>) {
     let in_model = display.components().any(|c| c.as_os_str() == "model");
+    // The permutation cipher is bijective only while every word stays
+    // u64 end to end, so it joins the cast-audited set.
+    let in_permute = display.file_name().is_some_and(|f| f == "permute.rs");
     let in_search = display.components().any(|c| c.as_os_str() == "search");
     let in_telemetry = display.components().any(|c| c.as_os_str() == "telemetry");
     let mut markers = Markers::default();
@@ -324,15 +329,20 @@ fn scan_file(display: &Path, text: &str, findings: &mut Vec<Finding>) {
             }
         }
 
-        if in_model {
+        if in_model || in_permute {
             if let Some(target) = int_cast_target(code) {
                 if !Markers::covers(markers.allow_cast, line_no) {
+                    let place = if in_model {
+                        "the cost model"
+                    } else {
+                        "the permutation cipher"
+                    };
                     findings.push(Finding {
                         path: display.to_path_buf(),
                         line: line_no,
                         rule: "cast",
                         message: format!(
-                            "`as {target}` in the cost model without an adjacent \
+                            "`as {target}` in {place} without an adjacent \
                              `// lint: allow(cast) — <justification>`"
                         ),
                     });

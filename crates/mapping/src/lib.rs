@@ -26,7 +26,7 @@ pub mod slots;
 
 use ruby_workload::{Dim, DimMap};
 
-pub use profile::TileProfile;
+pub use profile::{ProfileScratch, TileProfile};
 pub use slots::{SlotId, SlotKind, SlotLayout};
 
 /// Errors produced when constructing or validating a [`Mapping`].
@@ -265,6 +265,19 @@ impl Mapping {
         profile::boundary_profiles(&self.tiling[dim])
     }
 
+    /// `num_tiles` of every [`Self::profiles`] entry for `dim`, written
+    /// into `out` (`out[b]` = tile count at boundary `b`) without
+    /// materializing the multisets — the cost model's hot path (see
+    /// [`profile::boundary_tile_counts_into`]).
+    pub fn boundary_tile_counts_into(
+        &self,
+        dim: Dim,
+        scratch: &mut ProfileScratch,
+        out: &mut Vec<u64>,
+    ) {
+        profile::boundary_tile_counts_into(&self.tiling[dim], scratch, out);
+    }
+
     /// The number of *sequential* steps contributed by `dim`: temporal
     /// slots run tiles one after another (residual tiles take exactly
     /// their residual count of inner steps), spatial slots run chunks in
@@ -275,11 +288,17 @@ impl Mapping {
     }
 
     /// Total compute cycles: the product of [`Mapping::sequential_steps`]
-    /// over all dimensions (saturating).
+    /// over all dimensions (saturating). One scratch serves all seven
+    /// walks, so the per-candidate latency path stays allocation-light.
     pub fn compute_cycles(&self) -> u64 {
-        Dim::ALL
-            .iter()
-            .fold(1u64, |acc, &d| acc.saturating_mul(self.sequential_steps(d)))
+        let mut scratch = ProfileScratch::new();
+        Dim::ALL.iter().fold(1u64, |acc, &d| {
+            acc.saturating_mul(profile::sequential_steps_with(
+                &self.tiling[d],
+                &self.layout,
+                &mut scratch,
+            ))
+        })
     }
 
     /// The raw tile chain of `dim` (testing/diagnostics).

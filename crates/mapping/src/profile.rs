@@ -109,26 +109,178 @@ pub fn boundary_profiles(chain: &[u64]) -> Vec<TileProfile> {
 /// clamping at spatial slots (chunks run in lockstep, paced by the
 /// largest). The final count of unit tiles is the step count.
 pub fn sequential_steps(chain: &[u64], layout: &SlotLayout) -> u64 {
+    sequential_steps_with(chain, layout, &mut ProfileScratch::new())
+}
+
+/// Reusable multiset scratch for allocation-free profile walks.
+///
+/// A boundary's tile multiset has at most one distinct size per
+/// remaining chain link (each split adds the granularity plus per-size
+/// residuals, each clamp only merges), so the working set stays tiny —
+/// a sorted `(size, count)` vector beats the `BTreeMap` the one-shot
+/// [`TileProfile`] API uses, and reusing it across dimensions and
+/// candidates removes the cost model's dominant allocation churn. The
+/// arithmetic is exactly [`TileProfile::split`] / [`TileProfile::clamp`]
+/// on the same sorted order, so every count is bit-identical to the
+/// allocating path (the unit tests pin this).
+#[derive(Debug, Default)]
+pub struct ProfileScratch {
+    /// Current multiset: `(size, count)` sorted by size, like
+    /// [`TileProfile::entries`].
+    cur: Vec<(u64, u64)>,
+    /// Double buffer for split passes.
+    next: Vec<(u64, u64)>,
+}
+
+impl ProfileScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        ProfileScratch::default()
+    }
+
+    /// Resets to a single tile of `size`.
+    fn reset(&mut self, size: u64) {
+        self.cur.clear();
+        self.cur.push((size, 1));
+    }
+
+    /// Total number of tiles, as [`TileProfile::num_tiles`].
+    fn num_tiles(&self) -> u64 {
+        self.cur.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// In-place [`TileProfile::split`]: every tile becomes `size / g`
+    /// full children of size `g` plus at most one residual.
+    fn split(&mut self, g: u64) {
+        self.next.clear();
+        for i in 0..self.cur.len() {
+            let (size, count) = self.cur[i];
+            let full = size / g;
+            let rem = size % g;
+            if full > 0 {
+                Self::bump(&mut self.next, g, full * count);
+            }
+            if rem > 0 {
+                Self::bump(&mut self.next, rem, count);
+            }
+        }
+        std::mem::swap(&mut self.cur, &mut self.next);
+    }
+
+    /// In-place [`TileProfile::clamp`]: every size drops to at most `g`
+    /// without changing counts. `min` is monotonic, so the sorted order
+    /// survives and only adjacent entries can merge.
+    fn clamp(&mut self, g: u64) {
+        let mut write = 0usize;
+        for i in 0..self.cur.len() {
+            let (size, count) = self.cur[i];
+            let clamped = size.min(g);
+            if write > 0 && self.cur[write - 1].0 == clamped {
+                self.cur[write - 1].1 += count;
+            } else {
+                self.cur[write] = (clamped, count);
+                write += 1;
+            }
+        }
+        self.cur.truncate(write);
+    }
+
+    /// Sorted-insert `count` tiles of `size` (the multiset stays tiny,
+    /// so the linear probe beats any map).
+    fn bump(entries: &mut Vec<(u64, u64)>, size: u64, count: u64) {
+        match entries.binary_search_by_key(&size, |&(s, _)| s) {
+            Ok(i) => entries[i].1 += count,
+            Err(i) => entries.insert(i, (size, count)),
+        }
+    }
+}
+
+/// [`sequential_steps`] against a caller-owned [`ProfileScratch`], for
+/// hot loops that walk many chains (the cost model's latency path).
+pub fn sequential_steps_with(
+    chain: &[u64],
+    layout: &SlotLayout,
+    scratch: &mut ProfileScratch,
+) -> u64 {
     let s = chain.len() - 1;
     debug_assert_eq!(s, layout.num_slots());
-    let mut profile = TileProfile::single(chain[s]);
+    scratch.reset(chain[s]);
     for slot in (0..s).rev() {
         let g = chain[slot];
-        let kind = layout.kind_of(SlotId::new(slot));
-        profile = if kind.is_spatial() {
-            profile.clamp(g)
+        if layout.kind_of(SlotId::new(slot)).is_spatial() {
+            scratch.clamp(g);
         } else {
-            profile.split(g)
-        };
+            scratch.split(g);
+        }
     }
     // All tiles are now unit-sized; the count is the step total.
-    profile.num_tiles()
+    scratch.num_tiles()
+}
+
+/// `num_tiles` of every [`boundary_profiles`] entry — `out[b]` is the
+/// tile count at boundary `b` — without materializing the per-boundary
+/// multisets. This is all the access counter needs, and it is the cost
+/// model's hottest integer kernel.
+pub fn boundary_tile_counts_into(chain: &[u64], scratch: &mut ProfileScratch, out: &mut Vec<u64>) {
+    let s = chain.len() - 1;
+    out.clear();
+    out.resize(s + 1, 0);
+    scratch.reset(chain[s]);
+    out[s] = 1;
+    for b in (0..s).rev() {
+        scratch.split(chain[b]);
+        out[b] = scratch.num_tiles();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::slots::SlotLayout;
+
+    /// The scratch walks must agree exactly with the allocating
+    /// [`TileProfile`] recursion on awkward imperfect chains — the cost
+    /// model's bit-identity rides on these counts.
+    #[test]
+    fn scratch_counts_match_allocating_profiles() {
+        let chains: [&[u64]; 5] = [
+            &[1, 3, 10, 100],
+            &[1, 1, 7, 7, 113],
+            &[1, 2, 5, 17, 256],
+            &[1, 13, 13, 39, 117],
+            &[1, 1, 1, 1, 64],
+        ];
+        let mut scratch = ProfileScratch::new();
+        let mut counts = Vec::new();
+        for chain in chains {
+            let profiles = boundary_profiles(chain);
+            boundary_tile_counts_into(chain, &mut scratch, &mut counts);
+            assert_eq!(counts.len(), profiles.len(), "{chain:?}");
+            for (b, p) in profiles.iter().enumerate() {
+                assert_eq!(counts[b], p.num_tiles(), "{chain:?} boundary {b}");
+            }
+        }
+    }
+
+    /// `sequential_steps_with` reuses one scratch across chains without
+    /// cross-contamination (and `sequential_steps` itself now routes
+    /// through the scratch, so pin the known-good hand counts again).
+    #[test]
+    fn scratch_sequential_steps_match_one_shot() {
+        let layout = SlotLayout::new(2);
+        let mut scratch = ProfileScratch::new();
+        for (chain, want) in [
+            ([1u64, 1, 1, 7, 7, 7, 100], 100),
+            ([1u64, 1, 1, 1, 1, 6, 100], 17),
+            ([1u64, 1, 1, 2, 2, 12, 100], 18),
+        ] {
+            assert_eq!(
+                sequential_steps_with(&chain, &layout, &mut scratch),
+                want,
+                "{chain:?}"
+            );
+        }
+    }
 
     #[test]
     fn profiles_partition_exactly() {

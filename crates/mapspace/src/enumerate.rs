@@ -243,6 +243,22 @@ impl EnumTables {
         self.total_leaves
     }
 
+    /// Total mappings across all regions, or `None` when any region's
+    /// leaf product or the sum saturated `u64` (such a space cannot be
+    /// addressed by a single global index and callers must fall back
+    /// to sampling). `u64::MAX` region counts are treated as saturated:
+    /// `saturating_mul` collapses every overflow to exactly that value.
+    pub fn exact_total_leaves(&self) -> Option<u64> {
+        let mut acc = 0u64;
+        for region in &self.regions {
+            if region.leaves == u64::MAX {
+                return None;
+            }
+            acc = acc.checked_add(region.leaves)?;
+        }
+        Some(acc)
+    }
+
     /// The slot layout the chains were built for.
     pub fn layout(&self) -> &SlotLayout {
         &self.layout

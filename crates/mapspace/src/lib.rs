@@ -38,8 +38,10 @@ pub mod enumerate;
 pub mod factor;
 pub mod heuristic;
 pub mod padding;
+pub mod permute;
 pub mod space;
 
 pub use constraints::{Constraints, DimSet};
 pub use enumerate::{EnumError, EnumLimits, EnumTables, Region, SubspaceIterator};
+pub use permute::{FeistelPermutation, PermutedIterator};
 pub use space::{Mapspace, MapspaceKind, Sampler};

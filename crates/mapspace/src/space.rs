@@ -8,7 +8,10 @@ use ruby_mapping::{Mapping, MappingBuilder, SlotKind};
 use ruby_telemetry::LazyCounter;
 use ruby_workload::{Dim, ProblemShape};
 
+use std::sync::OnceLock;
+
 use crate::constraints::Constraints;
+use crate::enumerate::{EnumLimits, EnumTables};
 use crate::factor;
 
 /// Sampler draw counter; a no-op unless the `telemetry` feature is on.
@@ -73,6 +76,13 @@ pub struct Mapspace {
     shape: ProblemShape,
     constraints: Constraints,
     kind: MapspaceKind,
+    /// Enumeration tables, built lazily on first use and shared by
+    /// every strategy run against this space (the build walks the full
+    /// factorization lattice, so it is milliseconds — far too expensive
+    /// to repeat per search phase). `None` inside the cell records a
+    /// build failure (limits exceeded), so callers fall back to the
+    /// sampler without retrying the doomed build.
+    tables: OnceLock<Option<EnumTables>>,
 }
 
 /// Internal per-slot sampling rule for one dimension. Shared with the
@@ -107,7 +117,18 @@ impl Mapspace {
             shape,
             constraints: Constraints::unconstrained(levels),
             kind,
+            tables: OnceLock::new(),
         }
+    }
+
+    /// The enumeration tables for this space, built on first call and
+    /// cached for the lifetime of the value. Returns `None` when the
+    /// space exceeds [`EnumLimits::default`] (callers fall back to the
+    /// rejection sampler).
+    pub fn enum_tables(&self) -> Option<&EnumTables> {
+        self.tables
+            .get_or_init(|| EnumTables::build(self, &EnumLimits::default()).ok())
+            .as_ref()
     }
 
     /// Replaces the constraints.
@@ -122,6 +143,8 @@ impl Mapspace {
             "constraints must cover every architecture level"
         );
         self.constraints = constraints;
+        // The tables encode the constraints; drop any cached build.
+        self.tables = OnceLock::new();
         self
     }
 
@@ -230,6 +253,14 @@ impl Mapspace {
 
     /// Draws one mapping into `out`, reusing its allocations. Equivalent
     /// to `*out = self.sample(rng)` (same RNG stream, same result).
+    ///
+    /// Rebuilds the sampling scratch on every call; hot loops should
+    /// hold a [`Sampler`] (see [`Self::sampler`]) and duplicate-free
+    /// walks should iterate a `PermutedIterator` instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "hold a Sampler: `space.sampler().sample_into(out, rng)`"
+    )]
     pub fn sample_into<R: Rng + ?Sized>(&self, out: &mut Mapping, rng: &mut R) {
         self.sampler().sample_into(out, rng);
     }

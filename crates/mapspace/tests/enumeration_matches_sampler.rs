@@ -8,6 +8,9 @@
 //! leaves them at their defaults, and the chain structure is what the
 //! tables deduplicate.
 
+// The vendored proptest macro expands deeply per generated parameter.
+#![recursion_limit = "256"]
+
 use std::collections::HashSet;
 
 use proptest::prelude::*;
@@ -16,7 +19,9 @@ use rand::SeedableRng;
 
 use ruby_arch::presets;
 use ruby_mapping::Mapping;
-use ruby_mapspace::{EnumLimits, EnumTables, Mapspace, MapspaceKind, SubspaceIterator};
+use ruby_mapspace::{
+    EnumLimits, EnumTables, Mapspace, MapspaceKind, PermutedIterator, SubspaceIterator,
+};
 use ruby_workload::{Dim, ProblemShape};
 
 fn default_mapping(space: &Mapspace) -> Mapping {
@@ -60,6 +65,61 @@ fn sampled_keys(space: &Mapspace, draws: usize, seed: u64) -> HashSet<u64> {
         keys.insert(mapping.canonical_key());
     }
     keys
+}
+
+/// Canonical keys visited by a full permuted walk over the same tables.
+fn permuted_keys(space: &Mapspace, seed: u64) -> Vec<u64> {
+    let tables = EnumTables::build(space, &EnumLimits::default()).expect("test spaces tabulate");
+    let total = tables
+        .exact_total_leaves()
+        .expect("test spaces count exactly");
+    let mut walk =
+        PermutedIterator::new(&tables, seed, 0, total).expect("exact totals admit a walk");
+    let mut mapping = default_mapping(space);
+    let mut keys = Vec::new();
+    while walk.next_into(&mut mapping).is_some() {
+        keys.push(mapping.canonical_key());
+    }
+    keys
+}
+
+/// The shuffled walk must visit exactly the enumeration's support —
+/// same multiset, zero repeats — so a budgeted prefix of it is a
+/// uniform duplicate-free sample. Plain asserts: proptest catches the
+/// panic and shrinks the case.
+fn check_walk_support(d: u64, pes: u64, kind: MapspaceKind, seed: u64) {
+    let space = Mapspace::new(
+        presets::toy_linear(pes, 1024),
+        ProblemShape::rank1("d", d),
+        kind,
+    );
+    let mut in_order = enumerated_keys(&space);
+    let mut shuffled = permuted_keys(&space, seed);
+    assert_eq!(
+        shuffled.len(),
+        in_order.len(),
+        "{} walk length != leaf count",
+        kind.name()
+    );
+    in_order.sort_unstable();
+    shuffled.sort_unstable();
+    assert_eq!(shuffled, in_order, "{} walk support diverged", kind.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn permuted_walk_visits_exactly_the_enumeration_support(
+        d in 2u64..40,
+        pes in 2u64..6,
+        kind_idx in 0usize..4,
+    ) {
+        // Seed derived from the case so walks differ across cases
+        // without a fourth generated parameter.
+        let seed = d.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (pes << 17) ^ kind_idx as u64;
+        check_walk_support(d, pes, MapspaceKind::ALL[kind_idx], seed);
+    }
 }
 
 proptest! {

@@ -16,7 +16,7 @@
 //!   partial-sum copies (outputs).
 
 use ruby_arch::Architecture;
-use ruby_mapping::{Mapping, SlotId};
+use ruby_mapping::{Mapping, ProfileScratch, SlotId};
 use ruby_workload::{Dim, Operand, ProblemShape, Rank, TensorDef};
 
 use crate::report::AccessCounts;
@@ -108,22 +108,36 @@ pub(crate) fn count_accesses(
 struct Analyzer<'a> {
     shape: &'a ProblemShape,
     mapping: &'a Mapping,
-    /// `tiles_at[d.index()][b]`: exact number of tiles of dimension `d`
-    /// at chain boundary `b`.
-    tiles_at: Vec<Vec<u64>>,
+    /// Tile count of dimension `d` at chain boundary `b`, flattened as
+    /// `tiles_at[d.index() * boundaries + b]` (one allocation instead of
+    /// a profile multiset per dim × boundary — this constructor runs
+    /// once per costed candidate).
+    tiles_at: Vec<u64>,
+    /// Boundaries per dimension (`num_slots + 1`, identical for all).
+    boundaries: usize,
 }
 
 impl<'a> Analyzer<'a> {
     fn new(shape: &'a ProblemShape, mapping: &'a Mapping) -> Self {
-        let tiles_at = Dim::ALL
-            .iter()
-            .map(|&d| mapping.profiles(d).iter().map(|p| p.num_tiles()).collect())
-            .collect();
+        let boundaries = mapping.layout().num_slots() + 1;
+        let mut tiles_at = Vec::with_capacity(Dim::ALL.len() * boundaries);
+        let mut scratch = ProfileScratch::new();
+        let mut counts = Vec::with_capacity(boundaries);
+        for d in Dim::ALL {
+            mapping.boundary_tile_counts_into(d, &mut scratch, &mut counts);
+            tiles_at.extend_from_slice(&counts);
+        }
         Analyzer {
             shape,
             mapping,
             tiles_at,
+            boundaries,
         }
+    }
+
+    /// Exact number of tiles of `d` at chain boundary `b`.
+    fn tiles(&self, d: Dim, b: usize) -> u64 {
+        self.tiles_at[d.index() * self.boundaries + b]
     }
 
     /// Nontrivial temporal loops outside boundary `b`, innermost first
@@ -199,8 +213,8 @@ impl<'a> Analyzer<'a> {
                     // Σ over the (pos, win) tile grid of
                     // (tp−1)·s + (tw−1)·e + 1, separable because tile
                     // sizes along each dim sum to the dim bound.
-                    let np = self.tiles_at[pos.index()][b] as f64;
-                    let nw = self.tiles_at[win.index()][b] as f64;
+                    let np = self.tiles(pos, b) as f64;
+                    let nw = self.tiles(win, b) as f64;
                     let dp = self.shape.bound(pos) as f64;
                     let dw = self.shape.bound(win) as f64;
                     let s = stride as f64;

@@ -20,16 +20,18 @@ use ruby_mapping::Mapping;
 use ruby_telemetry::LazyCounter;
 use ruby_workload::{Operand, ProblemShape, TensorDef};
 
-use crate::report::{AccessCounts, CostReport, LevelStats};
+use crate::report::{AccessCounts, CostReport, CostSummary, LevelStats};
 use crate::validity::InvalidMapping;
 use crate::{access, bound, latency, validity, ModelOptions};
 
 /// Rejection-stage instrumentation for [`evaluate_with`]: which validity
-/// wall each candidate hits, and how many survive to full costing.
+/// wall each candidate hits, and how many survive to full costing. The
+/// batched evaluator ([`crate::BatchEvalContext`]) feeds the same
+/// counters, so scalar and batched runs report comparable telemetry.
 /// No-ops unless the `telemetry` cargo feature is on.
-static REJECT_FANOUT: LazyCounter = LazyCounter::new("model.reject.fanout");
-static REJECT_CAPACITY: LazyCounter = LazyCounter::new("model.reject.capacity");
-static EVAL_VALID: LazyCounter = LazyCounter::new("model.eval.valid");
+pub(crate) static REJECT_FANOUT: LazyCounter = LazyCounter::new("model.reject.fanout");
+pub(crate) static REJECT_CAPACITY: LazyCounter = LazyCounter::new("model.reject.capacity");
+pub(crate) static EVAL_VALID: LazyCounter = LazyCounter::new("model.eval.valid");
 
 /// Precomputed per-`(arch, shape)` evaluation state.
 ///
@@ -225,7 +227,48 @@ pub fn evaluate_with(ctx: &EvalContext, mapping: &Mapping) -> Result<CostReport,
     validity::check_capacity(ctx.arch, ctx.tensors(), mapping)
         .inspect_err(|_| REJECT_CAPACITY.inc())?;
     EVAL_VALID.inc();
+    Ok(evaluate_unchecked(ctx, mapping))
+}
 
+/// [`evaluate_with`] without the per-level breakdown: same validity
+/// screens, same counters, but the result carries only the scalar
+/// quantities ([`CostSummary`]) and performs no heap allocation for
+/// level names. Every field is bit-identical to what [`evaluate_with`]
+/// would report — both run [`cost_core`] — so a caller can search on
+/// summaries and materialize the full [`CostReport`] only for the
+/// mappings it keeps.
+///
+/// # Errors
+///
+/// Returns [`InvalidMapping`] exactly when [`evaluate_with`] would.
+///
+/// # Panics
+///
+/// Panics if the mapping was built for a different hierarchy depth.
+pub fn summarize_with(ctx: &EvalContext, mapping: &Mapping) -> Result<CostSummary, InvalidMapping> {
+    assert_eq!(
+        ctx.arch.num_levels(),
+        mapping.layout().num_levels(),
+        "mapping was built for a different hierarchy depth"
+    );
+    validity::check_fanout(ctx.arch, mapping).inspect_err(|_| REJECT_FANOUT.inc())?;
+    validity::check_capacity(ctx.arch, ctx.tensors(), mapping)
+        .inspect_err(|_| REJECT_CAPACITY.inc())?;
+    EVAL_VALID.inc();
+    Ok(summarize_unchecked(ctx, mapping))
+}
+
+/// The post-validity body shared by every evaluation path: access
+/// counting, latency, and the per-level energy accumulation. `stats`
+/// optionally collects the per-level breakdown; crucially, the energy
+/// sum runs the *same* floating-point additions in the same order
+/// whether or not stats are collected, so the lean and full paths are
+/// bit-identical by construction.
+fn cost_core(
+    ctx: &EvalContext,
+    mapping: &Mapping,
+    mut stats: Option<&mut Vec<LevelStats>>,
+) -> (u64, f64, f64) {
     let accesses = access::count_accesses(
         ctx.arch,
         ctx.shape,
@@ -236,7 +279,6 @@ pub fn evaluate_with(ctx: &EvalContext, mapping: &Mapping) -> Result<CostReport,
     );
     let cycles = latency::cycles(ctx.arch, mapping, &accesses);
 
-    let mut level_stats = Vec::with_capacity(ctx.arch.num_levels());
     let mut energy = ctx.compute_energy;
     for (i, level) in ctx.arch.levels().iter().enumerate() {
         let per_tensor = accesses[i];
@@ -247,21 +289,33 @@ pub fn evaluate_with(ctx: &EvalContext, mapping: &Mapping) -> Result<CostReport,
             level_energy += network * hop;
         }
         energy += level_energy;
-        level_stats.push(LevelStats::new(
-            level.name().to_string(),
-            level_energy,
-            per_tensor,
-        ));
+        if let Some(stats) = stats.as_deref_mut() {
+            stats.push(LevelStats::new(
+                level.name().to_string(),
+                level_energy,
+                per_tensor,
+            ));
+        }
     }
 
     let utilization = ctx.macs as f64 / (cycles as f64 * ctx.total_mac_units as f64);
-    Ok(CostReport::new(
-        ctx.macs,
-        cycles,
-        energy,
-        utilization,
-        level_stats,
-    ))
+    (cycles, energy, utilization)
+}
+
+/// Full costing of a mapping *already proven valid* (by
+/// [`validity::screen`] or the batched ladder). Skipping the validity
+/// re-check is what lets the batched path screen once and cost once.
+pub(crate) fn evaluate_unchecked(ctx: &EvalContext, mapping: &Mapping) -> CostReport {
+    let mut level_stats = Vec::with_capacity(ctx.arch.num_levels());
+    let (cycles, energy, utilization) = cost_core(ctx, mapping, Some(&mut level_stats));
+    CostReport::new(ctx.macs, cycles, energy, utilization, level_stats)
+}
+
+/// Lean costing of a mapping already proven valid (see
+/// [`evaluate_unchecked`]); no per-level allocation.
+pub(crate) fn summarize_unchecked(ctx: &EvalContext, mapping: &Mapping) -> CostSummary {
+    let (cycles, energy, utilization) = cost_core(ctx, mapping, None);
+    CostSummary::new(ctx.macs, cycles, energy, utilization)
 }
 
 #[cfg(test)]

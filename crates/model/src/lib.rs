@@ -47,6 +47,7 @@
 //! ```
 
 mod access;
+mod batch;
 mod bound;
 mod context;
 mod latency;
@@ -57,8 +58,9 @@ use ruby_arch::Architecture;
 use ruby_mapping::Mapping;
 use ruby_workload::ProblemShape;
 
-pub use context::{evaluate_with, EvalContext};
-pub use report::{AccessCounts, CostReport, LevelStats};
+pub use batch::{BatchEvalContext, BatchVerdict, BATCH};
+pub use context::{evaluate_with, summarize_with, EvalContext};
+pub use report::{AccessCounts, CostReport, CostSummary, LevelStats};
 pub use validity::InvalidMapping;
 
 /// Toggles for the cost model's network behaviour.

@@ -145,6 +145,58 @@ serde::impl_serde_struct!(CostReport {
     level_stats
 });
 
+/// The scalar quantities of a [`CostReport`] without the per-level
+/// breakdown — no heap allocation, so the search hot path can cost a
+/// candidate without paying for level names it will throw away.
+///
+/// Produced by [`crate::summarize_with`] (and the batched evaluator)
+/// through the *same* accumulation code as [`CostReport`], so every
+/// field is bit-identical to the full report's; the report is
+/// materialized only for candidates worth keeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSummary {
+    macs: u64,
+    cycles: u64,
+    energy: f64,
+    utilization: f64,
+}
+
+impl CostSummary {
+    pub(crate) fn new(macs: u64, cycles: u64, energy: f64, utilization: f64) -> Self {
+        CostSummary {
+            macs,
+            cycles,
+            energy,
+            utilization,
+        }
+    }
+
+    /// Total multiply-accumulates performed.
+    pub fn macs(&self) -> u64 {
+        self.macs
+    }
+
+    /// Execution latency in MAC-normalized cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total energy in MAC-normalized units.
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Energy-delay product, computed exactly as [`CostReport::edp`].
+    pub fn edp(&self) -> f64 {
+        self.energy * self.cycles as f64
+    }
+
+    /// Compute utilization (see [`CostReport::utilization`]).
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -178,6 +178,31 @@ impl_serde_struct!(RandomCursor {
     rngs,
 });
 
+/// Resume state for the permuted walk: one `(position, end)` pair per
+/// worker. The Feistel permutation is a pure function of the config seed
+/// and the (deterministically rebuilt) table size, so the position alone
+/// regenerates the remaining visit sequence bit-identically — batch
+/// boundaries leave no state behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermutedCursor {
+    /// Role the walk was playing (see [`RandomPhase`]; the walk never
+    /// runs the `Fallback` role — fallback means the tables failed, and
+    /// without tables there is no index space to permute).
+    pub phase: RandomPhase,
+    /// Evaluation budget this leg was launched with (see
+    /// [`RandomCursor::budget`]).
+    pub budget: Option<u64>,
+    /// Next global leaf position and range end per worker, captured at a
+    /// batch barrier.
+    pub positions: Vec<(u64, u64)>,
+}
+
+impl_serde_struct!(PermutedCursor {
+    phase,
+    budget,
+    positions,
+});
+
 /// Resume state for the exhaustive sweep, captured at a batch barrier
 /// (after the probe phase; region order already probe-sorted).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -247,8 +272,12 @@ impl_serde_struct!(AnnealCursor {
 /// instead of recomputing.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Cursor {
-    /// Random sampling (any [`RandomPhase`]).
+    /// Random sampling (any [`RandomPhase`]) on the rejection-sampler
+    /// fallback path.
     Random(RandomCursor),
+    /// The duplicate-free permuted walk over the enumeration index
+    /// space (the default random path when the space tabulates).
+    Permuted(PermutedCursor),
     /// The exhaustive sweep.
     Exhaustive(ExhaustiveCursor),
     /// Simulated annealing.
@@ -264,6 +293,7 @@ impl Serialize for Cursor {
     fn to_value(&self) -> Value {
         let (kind, state) = match self {
             Cursor::Random(c) => ("random", c.to_value()),
+            Cursor::Permuted(c) => ("permuted", c.to_value()),
             Cursor::Exhaustive(c) => ("exhaustive", c.to_value()),
             Cursor::Anneal(c) => ("anneal", c.to_value()),
             Cursor::Done { exhausted } => ("done", exhausted.to_value()),
@@ -282,6 +312,7 @@ impl Deserialize for Cursor {
         let state = value.field("state")?;
         match kind {
             "random" => Ok(Cursor::Random(RandomCursor::from_value(state)?)),
+            "permuted" => Ok(Cursor::Permuted(PermutedCursor::from_value(state)?)),
             "exhaustive" => Ok(Cursor::Exhaustive(ExhaustiveCursor::from_value(state)?)),
             "anneal" => Ok(Cursor::Anneal(AnnealCursor::from_value(state)?)),
             "done" => Ok(Cursor::Done {
@@ -682,6 +713,11 @@ mod tests {
                 phase: RandomPhase::Warmup,
                 budget: Some(1000),
                 rngs: vec![[1, 2, 3, 4], [5, 6, 7, 8]],
+            }),
+            Cursor::Permuted(PermutedCursor {
+                phase: RandomPhase::Plain,
+                budget: Some(4096),
+                positions: vec![(17, 512), (600, 1024)],
             }),
             Cursor::Exhaustive(ExhaustiveCursor {
                 budget: None,

@@ -39,7 +39,9 @@ use crate::checkpoint::{
 };
 use crate::stop::StopToken;
 use crate::sync::{AtomicU64, Ordering};
-use crate::{exhaustive, run_random, SearchConfig, SearchOutcome, SearchStrategy, Shared};
+use crate::{
+    exhaustive, permuted, run_random, SearchConfig, SearchOutcome, SearchStrategy, Shared,
+};
 
 /// Workers publish a progress snapshot every this many reservations
 /// (power of two: the stride check is one mask on the hot path).
@@ -98,7 +100,7 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::UnknownStrategy(name) => write!(
                 f,
-                "unknown strategy `{name}` (expected random | exhaustive | hybrid | anneal)"
+                "unknown strategy `{name}` (expected random | sampled | exhaustive | hybrid | anneal)"
             ),
             ConfigError::InvalidMaxSeconds(value) => write!(
                 f,
@@ -544,10 +546,18 @@ fn load_resume(
 fn cursor_matches(strategy: SearchStrategy, cursor: &Cursor) -> bool {
     match (strategy, cursor) {
         (_, Cursor::Done { .. }) => true,
+        // Random checkpoints a permuted cursor from the walk (the
+        // default path) and a random cursor from the sampler fallback;
+        // the path choice is deterministic, so resume re-derives it.
+        (SearchStrategy::Random, Cursor::Permuted(c)) => c.phase == RandomPhase::Plain,
         (SearchStrategy::Random, Cursor::Random(c)) => c.phase == RandomPhase::Plain,
+        // Sampled always runs the rejection sampler, so only a random
+        // cursor (never a permuted one) can belong to it.
+        (SearchStrategy::Sampled, Cursor::Random(c)) => c.phase == RandomPhase::Plain,
         // Exhaustive checkpoints a random cursor only from its fallback.
         (SearchStrategy::Exhaustive, Cursor::Random(c)) => c.phase == RandomPhase::Fallback,
         (SearchStrategy::Exhaustive, Cursor::Exhaustive(_)) => true,
+        (SearchStrategy::Hybrid, Cursor::Permuted(c)) => c.phase == RandomPhase::Warmup,
         (SearchStrategy::Hybrid, Cursor::Random(c)) => {
             matches!(c.phase, RandomPhase::Warmup | RandomPhase::Fallback)
         }
@@ -574,7 +584,7 @@ fn validate_run(config: &SearchConfig) {
     assert!(config.threads > 0, "{}", ConfigError::ZeroThreads);
     if matches!(
         config.strategy,
-        SearchStrategy::Random | SearchStrategy::Hybrid
+        SearchStrategy::Random | SearchStrategy::Sampled | SearchStrategy::Hybrid
     ) {
         // justified: same pre-Engine contract as the threads assert —
         // an unbounded random search would simply never return.
@@ -595,6 +605,63 @@ fn dispatch(mapspace: &Mapspace, config: &SearchConfig, shared: &Shared, ctx: &R
     let cursor = ctx.resume.as_ref().map(|cp| &cp.cursor);
     match config.strategy {
         SearchStrategy::Random => {
+            // The permuted walk is the default random path; the
+            // rejection sampler only runs when the space fails to
+            // tabulate. Both the failure and the choice are
+            // deterministic, so a cursor of either kind resumes
+            // straight back onto the leg that wrote it.
+            match cursor {
+                Some(Cursor::Permuted(c)) => permuted::run(
+                    mapspace,
+                    config,
+                    shared,
+                    c.budget,
+                    RandomPhase::Plain,
+                    cpr,
+                    Some(c.positions.clone()),
+                )
+                .unwrap_or(false),
+                Some(Cursor::Random(c)) => {
+                    run_random(
+                        mapspace,
+                        config,
+                        shared,
+                        c.budget,
+                        RandomPhase::Plain,
+                        cpr,
+                        Some(c.rngs.clone()),
+                    );
+                    false
+                }
+                _ => {
+                    let budget = config.max_evaluations;
+                    match permuted::run(
+                        mapspace,
+                        config,
+                        shared,
+                        budget,
+                        RandomPhase::Plain,
+                        cpr,
+                        None,
+                    ) {
+                        Some(complete) => complete,
+                        None => {
+                            run_random(
+                                mapspace,
+                                config,
+                                shared,
+                                budget,
+                                RandomPhase::Plain,
+                                cpr,
+                                None,
+                            );
+                            false
+                        }
+                    }
+                }
+            }
+        }
+        SearchStrategy::Sampled => {
             let (budget, rngs) = match cursor {
                 Some(Cursor::Random(c)) => (c.budget, Some(c.rngs.clone())),
                 _ => (config.max_evaluations, None),
@@ -650,20 +717,47 @@ fn dispatch(mapspace: &Mapspace, config: &SearchConfig, shared: &Shared, ctx: &R
                 _ => {}
             }
             // Random warm-up seeds the pruning bound, then enumeration
-            // spends the remainder.
-            let (warmup, rngs) = match cursor {
-                Some(Cursor::Random(c)) => (c.budget, Some(c.rngs.clone())),
-                _ => (config.max_evaluations.map(|b| b / 3), None),
+            // spends the remainder. The warmup prefers the permuted
+            // walk (inserting into the memo so the enumeration leg
+            // dedups against it); a Random warmup cursor means the
+            // tables failed on the original run, so resume re-enters
+            // the sampler directly.
+            let (warmup, walk_resume, sampler_rngs) = match cursor {
+                Some(Cursor::Permuted(c)) => (c.budget, Some(c.positions.clone()), None),
+                Some(Cursor::Random(c)) => (c.budget, None, Some(c.rngs.clone())),
+                _ => (config.max_evaluations.map(|b| b / 3), None, None),
             };
-            run_random(
+            if let Some(rngs) = sampler_rngs {
+                run_random(
+                    mapspace,
+                    config,
+                    shared,
+                    warmup,
+                    RandomPhase::Warmup,
+                    cpr,
+                    Some(rngs),
+                );
+            } else if permuted::run(
                 mapspace,
                 config,
                 shared,
                 warmup,
                 RandomPhase::Warmup,
                 cpr,
-                rngs,
-            );
+                walk_resume,
+            )
+            .is_none()
+            {
+                run_random(
+                    mapspace,
+                    config,
+                    shared,
+                    warmup,
+                    RandomPhase::Warmup,
+                    cpr,
+                    None,
+                );
+            }
             if shared.is_stopped_early() {
                 // Interrupted mid-warmup: the warmup cursor was saved at
                 // the drain point; do not enter the enumeration leg.

@@ -47,7 +47,7 @@ use std::sync::PoisonError;
 use crate::sync::Ordering;
 
 use ruby_mapping::Mapping;
-use ruby_mapspace::{EnumLimits, EnumTables, Mapspace, Region, SubspaceIterator};
+use ruby_mapspace::{EnumTables, Mapspace, Region, SubspaceIterator};
 use ruby_model::EvalContext;
 
 use crate::checkpoint::{
@@ -161,9 +161,9 @@ pub(crate) fn run(
         Some(Resume::Sweep(cursor)) => Some(cursor),
         None => None,
     };
-    let tables = match EnumTables::build(mapspace, &EnumLimits::default()) {
-        Ok(tables) => tables,
-        Err(_) => {
+    let tables = match mapspace.enum_tables() {
+        Some(tables) => tables,
+        None => {
             run_fallback(mapspace, config, shared, budget, cpr, None);
             return false;
         }
@@ -292,7 +292,7 @@ pub(crate) fn run(
             probe_done[ri] = true;
             // justified: EnumTables only emits regions with
             // `leaves >= 1`, so leaf 0 always decodes.
-            SubspaceIterator::new(&tables, &regions[ri], 0, 1)
+            SubspaceIterator::new(tables, &regions[ri], 0, 1)
                 .next_into(&mut mapping)
                 .expect("every region has at least one leaf");
             match ctx.precheck(&mapping) {
@@ -399,7 +399,7 @@ pub(crate) fn run(
             }
             scanned += to_decode;
             let mut cands: Vec<(u64, u64, u64)> = Vec::new();
-            let mut it = SubspaceIterator::new(&tables, region, start, region.leaves);
+            let mut it = SubspaceIterator::new(tables, region, start, region.leaves);
             let mut leaf = start;
             while let Some(steps) = it.next_into(&mut mapping) {
                 // Drain politely on long scans: one flag/clock poll per
@@ -479,7 +479,7 @@ pub(crate) fn run(
                 // before this read.
                 let snapshot = f64::from_bits(shared.best_bits.load(Ordering::Relaxed));
                 process_chunk(
-                    &tables,
+                    tables,
                     &regions[rw.ri],
                     chunk,
                     ordinal,

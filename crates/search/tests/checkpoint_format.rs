@@ -1,5 +1,5 @@
 //! Checkpoint wire-format properties: serde round-trips bit-exactly
-//! for arbitrary checkpoints (all four cursor kinds, with and without
+//! for arbitrary checkpoints (all five cursor kinds, with and without
 //! a best mapping), and *any* single-byte corruption of a saved file —
 //! header or payload — is rejected at load time rather than silently
 //! yielding a different checkpoint.
@@ -13,7 +13,8 @@ use proptest::prelude::*;
 use ruby_arch::presets;
 use ruby_mapspace::{Mapspace, MapspaceKind};
 use ruby_search::checkpoint::{
-    AnnealCursor, CheckpointCounters, Cursor, ExhaustiveCursor, RandomCursor, RandomPhase,
+    AnnealCursor, CheckpointCounters, Cursor, ExhaustiveCursor, PermutedCursor, RandomCursor,
+    RandomPhase,
 };
 use ruby_search::{
     BestMapping, CheckpointError, Engine, SearchCheckpoint, SearchConfig, SearchStrategy,
@@ -74,7 +75,7 @@ fn cost(state: &mut u64) -> f64 {
 }
 
 fn build_cursor(kind: u8, state: &mut u64, len: usize) -> Cursor {
-    match kind % 4 {
+    match kind % 5 {
         0 => Cursor::Random(RandomCursor {
             phase: match mix(state) % 3 {
                 0 => RandomPhase::Plain,
@@ -112,6 +113,22 @@ fn build_cursor(kind: u8, state: &mut u64, len: usize) -> Cursor {
             current_cost: cost(state),
             current: sample_best().mapping.clone(),
         }),
+        // The permuted walk only ever serves the Plain and Warmup
+        // roles (the Fallback role *is* the sampler path).
+        3 => Cursor::Permuted(PermutedCursor {
+            phase: if mix(state).is_multiple_of(2) {
+                RandomPhase::Plain
+            } else {
+                RandomPhase::Warmup
+            },
+            budget: (mix(state).is_multiple_of(2)).then(|| mix(state) % 1_000_000),
+            positions: (0..len)
+                .map(|_| {
+                    let start = mix(state) % 1_000_000;
+                    (start, start + mix(state) % 1_000_000)
+                })
+                .collect(),
+        }),
         _ => Cursor::Done {
             exhausted: mix(state).is_multiple_of(2),
         },
@@ -135,7 +152,8 @@ fn build_checkpoint(seed: u64, kind: u8, with_best: bool) -> SearchCheckpoint {
     };
     SearchCheckpoint {
         fingerprint: mix(&mut state),
-        strategy: ["random", "exhaustive", "hybrid", "anneal"][(kind % 4) as usize].to_owned(),
+        strategy: ["random", "exhaustive", "hybrid", "anneal", "random"][(kind % 5) as usize]
+            .to_owned(),
         counters,
         best: with_best.then(|| sample_best().clone()),
         best_ordinal: mix(&mut state) % 1_000_000,
@@ -154,7 +172,7 @@ proptest! {
     /// save → load returns the identical checkpoint, including f64
     /// bits in traces, memo entries and cursor state.
     #[test]
-    fn save_load_round_trips(seed in 0u64..u64::MAX, kind in 0u8..4, best_flag in 0u8..2) {
+    fn save_load_round_trips(seed in 0u64..u64::MAX, kind in 0u8..5, best_flag in 0u8..2) {
         let cp = build_checkpoint(seed, kind, best_flag == 1);
         let path = scratch();
         cp.save(&path).expect("save succeeds");
@@ -168,7 +186,7 @@ proptest! {
     /// ever parses as a (different) checkpoint.
     #[test]
     fn any_single_byte_flip_is_rejected(seed in 0u64..u64::MAX, offset_seed in 0u64..u64::MAX) {
-        let cp = build_checkpoint(seed, (seed % 4) as u8, seed % 2 == 0);
+        let cp = build_checkpoint(seed, (seed % 5) as u8, seed % 2 == 0);
         let path = scratch();
         cp.save(&path).expect("save succeeds");
         let mut bytes = std::fs::read(&path).expect("readable");
@@ -184,7 +202,7 @@ proptest! {
     /// by the header's byte count (or the missing header itself).
     #[test]
     fn any_truncation_is_rejected(seed in 0u64..u64::MAX, cut_seed in 0u64..u64::MAX) {
-        let cp = build_checkpoint(seed, (seed % 4) as u8, false);
+        let cp = build_checkpoint(seed, (seed % 5) as u8, false);
         let path = scratch();
         cp.save(&path).expect("save succeeds");
         let bytes = std::fs::read(&path).expect("readable");
@@ -219,7 +237,9 @@ fn future_schema_reports_a_version_mismatch() {
 
 #[test]
 fn unknown_cursor_kind_is_rejected_not_misparsed() {
-    let cp = build_checkpoint(7, 3, false);
+    // kind 4 is the Done cursor whose `"kind":"done"` tag the test
+    // rewrites below.
+    let cp = build_checkpoint(7, 4, false);
     let path = scratch();
     cp.save(&path).expect("save succeeds");
     let raw = std::fs::read_to_string(&path).expect("readable");

@@ -211,7 +211,14 @@ fn resume_without_a_file_starts_fresh() {
 #[test]
 fn max_seconds_deadline_stops_the_run() {
     let _guard = shield();
-    let space = toy_space();
+    // The permuted walk exhausts the toy space in well under the
+    // deadline, so this test needs a space large enough that only the
+    // clock can stop it.
+    let space = Mapspace::new(
+        presets::eyeriss_like(14, 12),
+        ProblemShape::conv("pw", 1, 256, 64, 28, 28, 1, 1, (1, 1)),
+        MapspaceKind::RubyS,
+    );
     let config = SearchConfig::builder()
         .seed(7)
         .threads(1)

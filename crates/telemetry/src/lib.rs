@@ -50,7 +50,11 @@ pub use snapshot::{SearchSnapshot, SnapshotSlot};
 ///
 /// History: v2 added the resilience fields to `SearchOutcome`
 /// (`stopped_early`, `stop_reason`, `worker_restarts`, `quarantined`).
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3 pinned `BENCH_search.json` speedup/parallel_efficiency to the
+/// same strategy's measured single-thread point (previously the first
+/// point per strategy, whatever its thread count) and switched the
+/// random strategy to the duplicate-free permuted walk.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Whether this build carries real metrics instrumentation (the
 /// `telemetry` cargo feature). When `false`, the `Lazy*` handles are

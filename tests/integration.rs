@@ -4,12 +4,16 @@
 
 use ruby_core::prelude::*;
 
+/// Small-budget config on the paper's search methodology (`Sampled`,
+/// generative per-slot draws): these tests assert mapspace-quality
+/// claims, which are defined under that sampling distribution.
 fn quick(seed: u64) -> SearchConfig {
     SearchConfig {
         seed,
         max_evaluations: Some(8_000),
         termination: Some(800),
         threads: 2,
+        strategy: SearchStrategy::Sampled,
         ..SearchConfig::default()
     }
 }

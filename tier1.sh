@@ -7,7 +7,7 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> search_throughput --smoke"
+echo "==> search_throughput --smoke (validity + zero duplicates + throughput floor)"
 cargo run --release -p ruby-bench --bin search_throughput -- --smoke
 
 echo "==> cargo test -q"
