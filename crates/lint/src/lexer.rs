@@ -1,0 +1,487 @@
+//! A small hand-written Rust lexer, just accurate enough for lints.
+//!
+//! The old line scanner treated source text as flat strings, so a `//`
+//! inside a string literal truncated the line and a quote inside a
+//! comment could open a phantom string. This lexer tracks the real
+//! token structure — line comments, (nested) block comments, string /
+//! raw-string / byte-string / char literals, lifetimes, identifiers,
+//! numbers, and punctuation — with byte spans, and guarantees the
+//! round-trip property: the concatenation of all token texts is the
+//! input, byte for byte. Everything downstream (the semantic model and
+//! every pass) consumes these tokens instead of raw lines.
+
+/// What a token is. The lexer never fails: unexpected bytes become
+/// one-byte [`TokenKind::Punct`] tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `impl`, `load`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (`42`, `0x1f`, `1.5e3`, `2u64`).
+    Number,
+    /// String or byte-string literal, quotes included (`"…"`, `b"…"`).
+    Str,
+    /// Raw (byte-)string literal, hashes included (`r#"…"#`).
+    RawStr,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A `//` comment, up to but excluding the newline.
+    LineComment,
+    /// A `/* … */` comment, nesting tracked.
+    BlockComment,
+    /// A single punctuation byte (`{`, `.`, `:`, …).
+    Punct,
+    /// Spaces, tabs, newlines, carriage returns.
+    Whitespace,
+}
+
+impl TokenKind {
+    /// Whether the token is a comment.
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether the token carries code the passes should look at
+    /// (neither comment nor whitespace).
+    pub fn is_code(self) -> bool {
+        !self.is_comment() && self != TokenKind::Whitespace
+    }
+}
+
+/// One token: kind plus the byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start..self.end]
+    }
+}
+
+/// Tokenizes `source` completely. Total: the spans tile `0..len` in
+/// order, so `tokens.iter().map(|t| t.text(src)).collect::<String>()`
+/// reproduces the input exactly.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run(source)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self, source: &str) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        debug_assert_eq!(
+            self.out.iter().map(|t| t.end - t.start).sum::<usize>(),
+            source.len()
+        );
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.src[self.pos];
+        // Multi-byte UTF-8 continuation bytes never equal b'\n', so
+        // counting newline *bytes* counts newline characters.
+        if b == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        b
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.src[self.pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while matches!(self.peek(0), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                    self.bump();
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while self.peek(0).is_some_and(|c| c != b'\n') {
+                    self.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.bump();
+                self.bump();
+                let mut depth = 1usize;
+                while depth > 0 && self.pos < self.src.len() {
+                    if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                        self.bump();
+                        self.bump();
+                        depth += 1;
+                    } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                        self.bump();
+                        self.bump();
+                        depth -= 1;
+                    } else {
+                        self.bump();
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b'r' | b'b' if self.raw_or_byte_prefix() => self.prefixed_literal(),
+            _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+                {
+                    self.bump();
+                }
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                // Good enough for spans: digits, `_`, hex/float letters,
+                // `.` only when followed by a digit (so `0..n` and
+                // method calls on literals stay punctuation).
+                while let Some(c) = self.peek(0) {
+                    let continues = c == b'_'
+                        || c.is_ascii_alphanumeric()
+                        || (c == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                        || ((c == b'+' || c == b'-')
+                            && matches!(self.src.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E')));
+                    if !continues {
+                        break;
+                    }
+                    self.bump();
+                }
+                TokenKind::Number
+            }
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    /// Whether the byte at `pos` starts a raw/byte literal prefix
+    /// (`r"`, `r#"`, `b"`, `b'`, `br"`, `br#"`, `rb…` is not Rust).
+    fn raw_or_byte_prefix(&self) -> bool {
+        match self.src[self.pos] {
+            b'r' => match self.peek(1) {
+                Some(b'"') => true,
+                Some(b'#') => {
+                    // `r#ident` is a raw identifier, `r#"…"#` a raw
+                    // string: look past the hashes for a quote.
+                    let mut i = 1;
+                    while self.peek(i) == Some(b'#') {
+                        i += 1;
+                    }
+                    self.peek(i) == Some(b'"')
+                }
+                _ => false,
+            },
+            b'b' => match self.peek(1) {
+                Some(b'"') | Some(b'\'') => true,
+                Some(b'r') => {
+                    let mut i = 2;
+                    while self.peek(i) == Some(b'#') {
+                        i += 1;
+                    }
+                    self.peek(i) == Some(b'"')
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Lexes a literal starting with `r`/`b` prefixes, cursor on the
+    /// prefix (which [`Self::raw_or_byte_prefix`] validated).
+    fn prefixed_literal(&mut self) -> TokenKind {
+        let mut raw = false;
+        while matches!(self.peek(0), Some(b'r' | b'b')) {
+            raw |= self.peek(0) == Some(b'r');
+            self.bump();
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(0) == Some(b'#') {
+                hashes += 1;
+                self.bump();
+            }
+            self.bump(); // opening quote
+            loop {
+                match self.peek(0) {
+                    None => break,
+                    Some(b'"') => {
+                        self.bump();
+                        let mut seen = 0usize;
+                        while seen < hashes && self.peek(0) == Some(b'#') {
+                            seen += 1;
+                            self.bump();
+                        }
+                        if seen == hashes {
+                            break;
+                        }
+                    }
+                    Some(_) => {
+                        self.bump();
+                    }
+                }
+            }
+            TokenKind::RawStr
+        } else if self.peek(0) == Some(b'\'') {
+            self.char_or_lifetime()
+        } else {
+            self.string()
+        }
+    }
+
+    /// Lexes a `"…"` body with escapes, cursor on the opening quote.
+    fn string(&mut self) -> TokenKind {
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// Disambiguates `'a'` / `'\n'` (char) from `'a` / `'static`
+    /// (lifetime), cursor on the `'`.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // A lifetime is `'` + ident-start + ident-continue* with no
+        // closing quote right after the first character.
+        let first = self.peek(1);
+        let lifetime_like = first.is_some_and(|c| c == b'_' || c.is_ascii_alphabetic())
+            && self.peek(2) != Some(b'\'');
+        self.bump(); // the quote
+        if lifetime_like {
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.bump();
+            }
+            return TokenKind::Lifetime;
+        }
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.bump();
+                if self.peek(0).is_some() {
+                    self.bump();
+                }
+                // Escapes like `\u{1f600}` run to the closing quote.
+                while self.peek(0).is_some_and(|c| c != b'\'') {
+                    self.bump();
+                }
+            }
+            Some(_) => {
+                // Possibly multi-byte UTF-8: consume to the quote.
+                while self.peek(0).is_some_and(|c| c != b'\'') {
+                    self.bump();
+                }
+            }
+            None => {}
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.bump();
+        }
+        TokenKind::Char
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn round_trip(src: &str) {
+        let rebuilt: String = tokenize(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn slashes_inside_strings_are_not_comments() {
+        let src = r#"let url = "https://example.com"; x.unwrap();"#;
+        round_trip(src);
+        let toks = kinds(src);
+        assert!(toks.iter().all(|(k, _)| !k.is_comment()));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("https://")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn comment_openers_inside_strings_stay_strings() {
+        let src = r#"let s = "a // b /* c"; y.load(Ordering::Relaxed); // tail"#;
+        round_trip(src);
+        let toks = kinds(src);
+        let comments: Vec<_> = toks.iter().filter(|(k, _)| k.is_comment()).collect();
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].1, "// tail");
+    }
+
+    #[test]
+    fn quotes_inside_comments_do_not_open_strings() {
+        let src = "// it's \"quoted\"\nlet x = 1;";
+        round_trip(src);
+        let toks = kinds(src);
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Str));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "x"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_inner_quotes() {
+        let src = r###"let re = r#"he said "hi" // not a comment"#; done();"###;
+        round_trip(src);
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::RawStr));
+        assert!(toks.iter().all(|(k, _)| !k.is_comment()));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "done"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still */ code()";
+        round_trip(src);
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[0].1, "/* outer /* inner */ still */");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "code"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'b' }";
+        round_trip(src);
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && *t == "'b'"));
+    }
+
+    #[test]
+    fn char_escapes_do_not_leak() {
+        for src in [
+            "let q = '\\''; f();",
+            "let n = '\\n'; f();",
+            "let u = '\\u{1F600}'; f();",
+        ] {
+            round_trip(src);
+            let toks = kinds(src);
+            assert!(toks.iter().any(|(k, _)| *k == TokenKind::Char), "{src}");
+            assert!(
+                toks.iter()
+                    .any(|(k, t)| *k == TokenKind::Ident && *t == "f"),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_literals_and_byte_strings() {
+        let src = "let a = b'x'; let s = b\"//\"; let r = br#\"q\"\"#;";
+        round_trip(src);
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && *t == "b'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && *t == "b\"//\""));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::RawStr));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let src = "let r#type = 1; r#match();";
+        round_trip(src);
+        let toks = kinds(src);
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::RawStr));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nbb\n  ccc";
+        let toks: Vec<_> = tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .collect();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_forms_still_round_trip() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b\"", "let x = 'a"] {
+            round_trip(src);
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! `ruby-lint` v2: a workspace semantic model plus pluggable analysis
+//! passes over it.
+//!
+//! The crate lexes every workspace source file with a hand-written
+//! string/comment/raw-string-aware lexer ([`lexer`]), builds a semantic
+//! model ([`model::Workspace`]) — item trees, cfg regions, atomic
+//! sites with their orderings, lock acquisitions, schema-versioned
+//! serde surfaces — and runs the [`passes`] over it:
+//!
+//! | band | codes | pass |
+//! |------|-------|------|
+//! | 20x  | legacy hygiene rules (panics, orderings, casts, markers) | `legacy-rules` |
+//! | 21x  | atomic release/acquire protocol pairing | `atomic-protocol` |
+//! | 22x  | lock acquisition order, guards across blocking calls | `lock-discipline` |
+//! | 24x  | serde schema drift against `schema.lock` | `schema-drift` |
+//! | 25x  | feature-matrix hygiene, interleave shim coverage | `feature-matrix` |
+//!
+//! Findings print human-readable by default, as a stable JSON document
+//! (`{"schema":1,"findings":[...]}`) under `--json`, and can be
+//! suppressed through a committed baseline file. Exit codes: 0 clean,
+//! 1 errors, 2 warnings only.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use serde::Value;
+
+pub mod lexer;
+pub mod model;
+pub mod passes;
+
+/// Version of the `--json` findings document.
+pub const JSON_SCHEMA: u64 = 1;
+
+/// How bad a finding is: errors fail the build (exit 1), warnings only
+/// flip the exit code to 2 when nothing worse is present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Every diagnostic the linter can emit. The numeric bands group codes
+/// by pass; numbers are stable across releases so baselines keep
+/// working.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintCode {
+    /// RBYL200: a workspace file could not be read.
+    IoError,
+    /// RBYL201: panic-capable call in library code without a marker.
+    PanicSite,
+    /// RBYL202: atomic ordering without an `// ordering:` rationale.
+    OrderingRationale,
+    /// RBYL203: truncating integer cast in audited numeric code.
+    TruncatingCast,
+    /// RBYL204: allowlist marker without a justification.
+    UnjustifiedAllow,
+    /// RBYL210: Release store with no acquire-side load of the cell.
+    UnpairedRelease,
+    /// RBYL211: Acquire load with no release-side store of the cell.
+    UnpairedAcquire,
+    /// RBYL212: SeqCst and Relaxed mixed on one cell without rationale.
+    MixedOrdering,
+    /// RBYL220: pairwise lock acquisition order inversion.
+    LockOrderInversion,
+    /// RBYL221: lock guard held across a join/spawn/evaluate call.
+    LockHeldAcrossBlocking,
+    /// RBYL240: schema surface changed without a version bump.
+    SchemaDrift,
+    /// RBYL241: schema.lock missing, unreadable, or behind a bump.
+    SchemaLockStale,
+    /// RBYL242: schema surface not recorded in schema.lock.
+    SchemaSurfaceUnlocked,
+    /// RBYL243: locked schema surface no longer exists.
+    SchemaSurfaceRemoved,
+    /// RBYL250: feature-gated symbol referenced outside its gate.
+    FeatureGateLeak,
+    /// RBYL251: shim-bound atomic type never interleave-tested.
+    ShimCoverageGap,
+}
+
+impl LintCode {
+    /// The stable `RBYLnnn` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::IoError => "RBYL200",
+            LintCode::PanicSite => "RBYL201",
+            LintCode::OrderingRationale => "RBYL202",
+            LintCode::TruncatingCast => "RBYL203",
+            LintCode::UnjustifiedAllow => "RBYL204",
+            LintCode::UnpairedRelease => "RBYL210",
+            LintCode::UnpairedAcquire => "RBYL211",
+            LintCode::MixedOrdering => "RBYL212",
+            LintCode::LockOrderInversion => "RBYL220",
+            LintCode::LockHeldAcrossBlocking => "RBYL221",
+            LintCode::SchemaDrift => "RBYL240",
+            LintCode::SchemaLockStale => "RBYL241",
+            LintCode::SchemaSurfaceUnlocked => "RBYL242",
+            LintCode::SchemaSurfaceRemoved => "RBYL243",
+            LintCode::FeatureGateLeak => "RBYL250",
+            LintCode::ShimCoverageGap => "RBYL251",
+        }
+    }
+
+    /// The short kebab-case name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::IoError => "io-error",
+            LintCode::PanicSite => "panic-site",
+            LintCode::OrderingRationale => "ordering-rationale",
+            LintCode::TruncatingCast => "truncating-cast",
+            LintCode::UnjustifiedAllow => "unjustified-allow",
+            LintCode::UnpairedRelease => "unpaired-release",
+            LintCode::UnpairedAcquire => "unpaired-acquire",
+            LintCode::MixedOrdering => "mixed-ordering",
+            LintCode::LockOrderInversion => "lock-order-inversion",
+            LintCode::LockHeldAcrossBlocking => "lock-held-across-blocking",
+            LintCode::SchemaDrift => "schema-drift",
+            LintCode::SchemaLockStale => "schema-lock-stale",
+            LintCode::SchemaSurfaceUnlocked => "schema-surface-unlocked",
+            LintCode::SchemaSurfaceRemoved => "schema-surface-removed",
+            LintCode::FeatureGateLeak => "feature-gate-leak",
+            LintCode::ShimCoverageGap => "shim-coverage-gap",
+        }
+    }
+
+    pub fn severity(self) -> Severity {
+        match self {
+            // A missing interleave schedule is a coverage debt, not a
+            // broken invariant; everything else fails the build.
+            LintCode::ShimCoverageGap => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One diagnostic: a code anchored at a file/line with a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub code: LintCode,
+    pub path: PathBuf,
+    pub line: usize,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(code: LintCode, path: PathBuf, line: usize, message: String) -> Self {
+        Finding {
+            code,
+            path,
+            line,
+            message,
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("code".to_owned(), Value::Str(self.code.code().to_owned())),
+            ("name".to_owned(), Value::Str(self.code.name().to_owned())),
+            (
+                "severity".to_owned(),
+                Value::Str(self.code.severity().as_str().to_owned()),
+            ),
+            (
+                "path".to_owned(),
+                Value::Str(self.path.display().to_string()),
+            ),
+            ("line".to_owned(), Value::U64(self.line as u64)),
+            ("message".to_owned(), Value::Str(self.message.clone())),
+        ])
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}] {}",
+            self.path.display(),
+            self.line,
+            self.code.severity().as_str(),
+            self.code.code(),
+            self.message
+        )
+    }
+}
+
+/// Runs every pass over the workspace at `root` and returns the sorted
+/// findings.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let ws = model::Workspace::load(root);
+    run_model(&ws)
+}
+
+/// Runs every pass over an already-built model (fixture tests build
+/// mini workspaces directly).
+pub fn run_model(ws: &model::Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for pass in passes::all_passes() {
+        pass.run(ws, &mut findings);
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.code, &a.message).cmp(&(&b.path, b.line, b.code, &b.message))
+    });
+    findings.dedup();
+    findings
+}
+
+/// Renders findings as the stable `--json` document.
+pub fn render_json(findings: &[Finding]) -> String {
+    let doc = Value::Obj(vec![
+        ("schema".to_owned(), Value::U64(JSON_SCHEMA)),
+        (
+            "findings".to_owned(),
+            Value::Arr(findings.iter().map(Finding::to_json).collect()),
+        ),
+    ]);
+    let mut text = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_owned());
+    text.push('\n');
+    text
+}
+
+/// A baseline: previously-accepted findings to suppress. Matching is by
+/// `(code, path, message)` — line numbers drift as files are edited, so
+/// they are deliberately not part of the key.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: Vec<(String, String, String)>,
+}
+
+impl Baseline {
+    /// Parses a baseline file (same shape as `--json` output; only the
+    /// key fields of each finding are read).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc: Value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        let findings = doc
+            .field("findings")
+            .and_then(Value::as_arr)
+            .map_err(|e| e.to_string())?;
+        let mut entries = Vec::new();
+        for f in findings {
+            let key = |k: &str| -> Result<String, String> {
+                f.field(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .map_err(|e| e.to_string())
+            };
+            entries.push((key("code")?, key("path")?, key("message")?));
+        }
+        Ok(Baseline { entries })
+    }
+
+    pub fn suppresses(&self, finding: &Finding) -> bool {
+        let path = finding.path.display().to_string();
+        self.entries
+            .iter()
+            .any(|(c, p, m)| c == finding.code.code() && *p == path && *m == finding.message)
+    }
+
+    /// Drops suppressed findings, returning the survivors.
+    pub fn filter(&self, findings: Vec<Finding>) -> Vec<Finding> {
+        findings
+            .into_iter()
+            .filter(|f| !self.suppresses(f))
+            .collect()
+    }
+}
+
+/// The process exit code for a finding set: 0 clean, 1 any error,
+/// 2 warnings only.
+pub fn exit_code(findings: &[Finding]) -> i32 {
+    if findings
+        .iter()
+        .any(|f| f.code.severity() == Severity::Error)
+    {
+        1
+    } else if findings.is_empty() {
+        0
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(code: LintCode, path: &str, line: usize, msg: &str) -> Finding {
+        Finding::new(code, PathBuf::from(path), line, msg.to_owned())
+    }
+
+    #[test]
+    fn exit_codes_distinguish_errors_from_warnings() {
+        assert_eq!(exit_code(&[]), 0);
+        let warn = finding(LintCode::ShimCoverageGap, "a.rs", 1, "gap");
+        assert_eq!(exit_code(std::slice::from_ref(&warn)), 2);
+        let err = finding(LintCode::PanicSite, "a.rs", 2, "unwrap");
+        assert_eq!(exit_code(&[warn, err]), 1);
+    }
+
+    #[test]
+    fn json_document_round_trips_with_schema_header() {
+        let findings = vec![finding(
+            LintCode::SchemaDrift,
+            "crates/x/src/lib.rs",
+            9,
+            "m",
+        )];
+        let text = render_json(&findings);
+        let doc: Value = serde_json::from_str(&text).expect("valid json");
+        assert_eq!(doc.field("schema").unwrap().as_u64().unwrap(), JSON_SCHEMA);
+        let arr = doc.field("findings").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].field("code").unwrap().as_str().unwrap(), "RBYL240");
+        assert_eq!(arr[0].field("severity").unwrap().as_str().unwrap(), "error");
+        assert_eq!(arr[0].field("line").unwrap().as_u64().unwrap(), 9);
+    }
+
+    #[test]
+    fn baseline_suppresses_by_code_path_message_not_line() {
+        let accepted = vec![finding(LintCode::PanicSite, "a.rs", 10, "`unwrap` here")];
+        let baseline = Baseline::parse(&render_json(&accepted)).expect("parse");
+        // Same finding at a different line is still suppressed…
+        let moved = finding(LintCode::PanicSite, "a.rs", 42, "`unwrap` here");
+        assert!(baseline.suppresses(&moved));
+        // …but a different message or path is not.
+        let other = finding(LintCode::PanicSite, "a.rs", 10, "`expect` here");
+        assert!(!baseline.suppresses(&other));
+        let elsewhere = finding(LintCode::PanicSite, "b.rs", 10, "`unwrap` here");
+        assert_eq!(baseline.filter(vec![moved, other, elsewhere]).len(), 2);
+    }
+
+    #[test]
+    fn codes_and_names_are_unique() {
+        let all = [
+            LintCode::IoError,
+            LintCode::PanicSite,
+            LintCode::OrderingRationale,
+            LintCode::TruncatingCast,
+            LintCode::UnjustifiedAllow,
+            LintCode::UnpairedRelease,
+            LintCode::UnpairedAcquire,
+            LintCode::MixedOrdering,
+            LintCode::LockOrderInversion,
+            LintCode::LockHeldAcrossBlocking,
+            LintCode::SchemaDrift,
+            LintCode::SchemaLockStale,
+            LintCode::SchemaSurfaceUnlocked,
+            LintCode::SchemaSurfaceRemoved,
+            LintCode::FeatureGateLeak,
+            LintCode::ShimCoverageGap,
+        ];
+        let codes: std::collections::BTreeSet<_> = all.iter().map(|c| c.code()).collect();
+        let names: std::collections::BTreeSet<_> = all.iter().map(|c| c.name()).collect();
+        assert_eq!(codes.len(), all.len());
+        assert_eq!(names.len(), all.len());
+    }
+}

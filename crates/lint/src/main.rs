@@ -1,499 +1,130 @@
-//! `ruby-lint`: the repo's lint wall, run by `tier1.sh` alongside
-//! clippy. Scans every workspace library source file and enforces three
-//! rules that clippy cannot express:
+//! `ruby-lint` — workspace lint driver.
 //!
-//! 1. **panics** — no `.unwrap()` / `.expect(` / `panic!(` /
-//!    `unreachable!(` / `todo!(` / `unimplemented!(` in library code.
-//!    A site may be allowlisted with an adjacent justification comment:
-//!    `// lint: allow(panics) — <why this cannot fire / why dying is
-//!    right>`. An allow without a justification is itself an error.
-//! 2. **ordering** — every `Ordering::Relaxed` / `Ordering::AcqRel` use
-//!    must carry an adjacent `// ordering: <rationale>` comment
-//!    explaining why that memory ordering is sufficient.
-//! 3. **panics (search)** — inside `crates/search` the rule tightens:
-//!    a panic-family site needs an adjacent `// justified: <why this
-//!    cannot fire / why dying is right>` rationale (the long-run search
-//!    layer must not abort; see DESIGN.md §5.5), and *bare* asserts
-//!    (`assert!` / `assert_eq!` / `assert_ne!`, but not `debug_assert`)
-//!    need one too.
-//! 4. **cast** — no `as`-casts to integer types inside `crates/model`
-//!    (the cost model's hot paths), where a silent truncation would
-//!    corrupt paper figures, nor in `permute.rs` (the Feistel cipher's
-//!    round function must stay all-u64 — a truncating cast silently
-//!    breaks the bijection); `// lint: allow(cast) — <why lossless>`
-//!    allowlists a site.
-//! 5. **ordering (telemetry)** — inside `crates/telemetry` the rule
-//!    tightens: *every* `Ordering::` use (including `SeqCst`) and every
-//!    `Atomic*::new(` construction needs an adjacent `// ordering:`
-//!    rationale. The crate's whole job is lock-free publication; an
-//!    undocumented ordering there is a future correctness bug.
+//! ```text
+//! ruby-lint [--root PATH] [--json] [--out PATH] [--baseline PATH]
+//!           [--write-baseline PATH] [--update-schema-lock]
+//! ```
 //!
-//! "Adjacent" means on the same line or within the four lines below the
-//! end of the comment block containing the marker, so one comment can
-//! cover a small cluster of related sites.
-//!
-//! Test code is exempt: `#[cfg(test)]`-gated blocks are masked by brace
-//! counting, and `tests.rs` / `*_tests.rs` files, `tests/`, `benches/`,
-//! `examples/`, and binary entry points (`main.rs`, `src/bin/`) are
-//! skipped entirely.
-//!
-//! Exit status: 0 when clean, 1 with findings (printed one per line as
-//! `path:line: [rule] message`).
+//! All analysis lives in the `ruby_lint` library; this binary only
+//! parses flags, picks an output format, and maps findings to an exit
+//! code (0 clean, 1 errors, 2 warnings only).
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-/// How many lines below a marker comment's last line it still covers.
-const ADJACENCY: usize = 4;
+use ruby_lint::passes::schema_drift;
+use ruby_lint::{exit_code, model::Workspace, render_json, Baseline, Finding};
 
-/// Minimum justification length (characters after the marker) for an
-/// allowlist entry to count as justified.
-const MIN_JUSTIFICATION: usize = 10;
-
-#[derive(Debug)]
-struct Finding {
-    path: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
+struct Args {
+    root: PathBuf,
+    json: bool,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    update_schema_lock: bool,
 }
 
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.path.display(),
-            self.line,
-            self.rule,
-            self.message
-        )
-    }
-}
-
-fn main() {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    collect_sources(&root.join("crates"), &mut files);
-    files.sort();
-
-    let mut findings = Vec::new();
-    let mut scanned = 0usize;
-    for path in &files {
-        let Ok(text) = std::fs::read_to_string(path) else {
-            findings.push(Finding {
-                path: path.clone(),
-                line: 0,
-                rule: "io",
-                message: "could not read file".into(),
-            });
-            continue;
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        out: None,
+        baseline: None,
+        write_baseline: None,
+        update_schema_lock: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut path_value = |name: &str| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} requires a path argument"))
         };
-        scanned += 1;
-        let display = path.strip_prefix(&root).unwrap_or(path).to_path_buf();
-        scan_file(&display, &text, &mut findings);
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--update-schema-lock" => args.update_schema_lock = true,
+            "--root" => args.root = path_value("--root")?,
+            "--out" => args.out = Some(path_value("--out")?),
+            "--baseline" => args.baseline = Some(path_value("--baseline")?),
+            "--write-baseline" => args.write_baseline = Some(path_value("--write-baseline")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("ruby-lint: {message}");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => return fail(&err),
+    };
+
+    let ws = Workspace::load(&args.root);
+
+    if args.update_schema_lock {
+        let lock = schema_drift::render_lock(&schema_drift::current_surfaces(&ws));
+        let path = args.root.join(schema_drift::LOCK_PATH);
+        if let Err(err) = ruby_telemetry::write_atomic(&path, lock.as_bytes()) {
+            return fail(&format!("writing {}: {err}", path.display()));
+        }
+        println!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
     }
 
-    for finding in &findings {
+    let mut findings = ruby_lint::run_model(&ws);
+
+    if let Some(path) = &args.write_baseline {
+        if let Err(err) = ruby_telemetry::write_atomic(path, render_json(&findings).as_bytes()) {
+            return fail(&format!("writing {}: {err}", path.display()));
+        }
+        println!(
+            "wrote baseline with {} finding(s) to {}",
+            findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => return fail(&format!("reading baseline {}: {err}", path.display())),
+        };
+        match Baseline::parse(&text) {
+            Ok(baseline) => findings = baseline.filter(findings),
+            Err(err) => return fail(&format!("parsing baseline {}: {err}", path.display())),
+        }
+    }
+
+    if args.json {
+        let text = render_json(&findings);
+        match &args.out {
+            Some(path) => {
+                if let Err(err) = ruby_telemetry::write_atomic(path, text.as_bytes()) {
+                    return fail(&format!("writing {}: {err}", path.display()));
+                }
+            }
+            None => print!("{text}"),
+        }
+    } else {
+        report_human(&findings);
+    }
+
+    ExitCode::from(u8::try_from(exit_code(&findings)).unwrap_or(1))
+}
+
+fn report_human(findings: &[Finding]) {
+    for finding in findings {
         println!("{finding}");
     }
     if findings.is_empty() {
-        println!("ruby-lint: {scanned} files clean");
+        println!("ruby-lint: clean");
     } else {
-        println!(
-            "ruby-lint: {} finding(s) in {scanned} files",
-            findings.len()
-        );
-        std::process::exit(1);
+        println!("ruby-lint: {} finding(s)", findings.len());
     }
-}
-
-/// The workspace root: two levels above this crate's manifest.
-fn workspace_root() -> PathBuf {
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .and_then(Path::parent)
-        .map(Path::to_path_buf)
-        .unwrap_or(manifest)
-}
-
-/// Gathers the library sources under `crates/`, skipping this crate,
-/// binary entry points, and test-only files.
-fn collect_sources(crates_dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(crates_dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if !path.is_dir() || path.file_name().is_some_and(|n| n == "lint") {
-            continue;
-        }
-        walk_sources(&path.join("src"), out);
-    }
-}
-
-fn walk_sources(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "bin" || name == "tests" || name == "benches" || name == "examples" {
-                continue;
-            }
-            walk_sources(&path, out);
-        } else if name.ends_with(".rs")
-            && name != "main.rs"
-            && name != "tests.rs"
-            && !name.ends_with("_tests.rs")
-        {
-            out.push(path);
-        }
-    }
-}
-
-/// Per-rule "last marker line" bookkeeping. A marker's position is
-/// bumped along the comment block it lives in, so multi-line comments
-/// cover sites just below their final line.
-#[derive(Default)]
-struct Markers {
-    allow_panics: Option<usize>,
-    allow_panics_justified: bool,
-    allow_cast: Option<usize>,
-    allow_cast_justified: bool,
-    justified: Option<usize>,
-    ordering: Option<usize>,
-}
-
-impl Markers {
-    fn covers(last: Option<usize>, line: usize) -> bool {
-        last.is_some_and(|m| line >= m && line - m <= ADJACENCY)
-    }
-}
-
-fn scan_file(display: &Path, text: &str, findings: &mut Vec<Finding>) {
-    let in_model = display.components().any(|c| c.as_os_str() == "model");
-    // The permutation cipher is bijective only while every word stays
-    // u64 end to end, so it joins the cast-audited set.
-    let in_permute = display.file_name().is_some_and(|f| f == "permute.rs");
-    let in_search = display.components().any(|c| c.as_os_str() == "search");
-    let in_telemetry = display.components().any(|c| c.as_os_str() == "telemetry");
-    let mut markers = Markers::default();
-    // Depth of an active `#[cfg(test)]`-masked block, if any.
-    let mut masked_depth: Option<i64> = None;
-    // A test-gating attribute was seen; mask starts at the next `{`.
-    let mut pending_mask = false;
-    let mut prev_was_comment = false;
-    let mut prev_line_no = 0usize;
-
-    for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let trimmed = raw.trim_start();
-        let is_comment = trimmed.starts_with("//");
-
-        // Marker detection runs on every line (comments and trailing
-        // comments alike) before any masking, so an allow inside a
-        // masked block is simply unused, never an error.
-        let had_marker = detect_markers(raw, line_no, &mut markers, findings, display);
-        if is_comment && !had_marker && prev_was_comment && prev_line_no + 1 == line_no {
-            // A continuation line of a comment block: slide any marker
-            // that ended on the previous line down with the block.
-            for slot in [
-                &mut markers.allow_panics,
-                &mut markers.allow_cast,
-                &mut markers.justified,
-                &mut markers.ordering,
-            ] {
-                if *slot == Some(prev_line_no) {
-                    *slot = Some(line_no);
-                }
-            }
-        }
-        prev_was_comment = is_comment;
-        prev_line_no = line_no;
-        if is_comment {
-            continue;
-        }
-
-        // Track and honor `#[cfg(test)]` masking.
-        if let Some(depth) = &mut masked_depth {
-            *depth += brace_delta(raw);
-            if *depth <= 0 {
-                masked_depth = None;
-            }
-            continue;
-        }
-        if trimmed.starts_with("#[cfg(test)")
-            || trimmed.starts_with("#[cfg(any(test")
-            || trimmed.starts_with("#[cfg_attr(test")
-        {
-            pending_mask = true;
-            continue;
-        }
-        if pending_mask {
-            if raw.contains('{') {
-                pending_mask = false;
-                let depth = brace_delta(raw);
-                if depth > 0 {
-                    masked_depth = Some(depth);
-                }
-                continue;
-            }
-            if raw.contains(';') {
-                // Out-of-line item (`mod foo;`): nothing to mask here;
-                // the file itself is skipped by name.
-                pending_mask = false;
-            }
-            continue;
-        }
-
-        // Strip a trailing line comment before matching code patterns,
-        // sparing `://` so URLs in strings don't truncate the line.
-        let code = strip_trailing_comment(raw);
-
-        for pattern in [
-            ".unwrap()",
-            ".expect(",
-            "panic!(",
-            "unreachable!(",
-            "todo!(",
-            "unimplemented!(",
-        ] {
-            let covered = if in_search {
-                // crates/search must not abort mid-run: the stricter
-                // `// justified:` rationale is the only accepted marker.
-                Markers::covers(markers.justified, line_no)
-            } else {
-                Markers::covers(markers.allow_panics, line_no)
-                    || Markers::covers(markers.justified, line_no)
-            };
-            if code.contains(pattern) && !covered {
-                let marker = if in_search {
-                    "`// justified: <rationale>`"
-                } else {
-                    "`// lint: allow(panics) — <justification>`"
-                };
-                findings.push(Finding {
-                    path: display.to_path_buf(),
-                    line: line_no,
-                    rule: "panics",
-                    message: format!("`{pattern}` in library code without an adjacent {marker}"),
-                });
-            }
-        }
-
-        if in_search && has_bare_assert(code) && !Markers::covers(markers.justified, line_no) {
-            findings.push(Finding {
-                path: display.to_path_buf(),
-                line: line_no,
-                rule: "panics",
-                message: "bare assert in crates/search without an adjacent \
-                          `// justified: <rationale>` (prefer debug_assert or a Result)"
-                    .into(),
-            });
-        }
-
-        for ordering in ["Ordering::Relaxed", "Ordering::AcqRel"] {
-            if code.contains(ordering) && !Markers::covers(markers.ordering, line_no) {
-                findings.push(Finding {
-                    path: display.to_path_buf(),
-                    line: line_no,
-                    rule: "ordering",
-                    message: format!(
-                        "`{ordering}` without an adjacent `// ordering: <rationale>` comment"
-                    ),
-                });
-            }
-        }
-
-        if in_telemetry && !Markers::covers(markers.ordering, line_no) {
-            // The Relaxed/AcqRel loop above already reported those; this
-            // covers the orderings it deliberately leaves alone
-            // (SeqCst, Acquire, Release) plus atomic construction.
-            let other_ordering = code.contains("Ordering::")
-                && !code.contains("Ordering::Relaxed")
-                && !code.contains("Ordering::AcqRel");
-            if other_ordering || atomic_init(code) {
-                findings.push(Finding {
-                    path: display.to_path_buf(),
-                    line: line_no,
-                    rule: "ordering",
-                    message: "atomic use in crates/telemetry without an adjacent \
-                              `// ordering: <rationale>` comment"
-                        .into(),
-                });
-            }
-        }
-
-        if in_model || in_permute {
-            if let Some(target) = int_cast_target(code) {
-                if !Markers::covers(markers.allow_cast, line_no) {
-                    let place = if in_model {
-                        "the cost model"
-                    } else {
-                        "the permutation cipher"
-                    };
-                    findings.push(Finding {
-                        path: display.to_path_buf(),
-                        line: line_no,
-                        rule: "cast",
-                        message: format!(
-                            "`as {target}` in {place} without an adjacent \
-                             `// lint: allow(cast) — <justification>`"
-                        ),
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// Records any lint/ordering markers on this line; returns whether one
-/// was found. Unjustified allowlist entries are findings themselves.
-fn detect_markers(
-    raw: &str,
-    line_no: usize,
-    markers: &mut Markers,
-    findings: &mut Vec<Finding>,
-    display: &Path,
-) -> bool {
-    let mut found = false;
-    for (needle, rule) in [
-        ("// lint: allow(panics)", "panics"),
-        ("// lint: allow(cast)", "cast"),
-    ] {
-        if let Some(at) = raw.find(needle) {
-            found = true;
-            let justification = raw[at + needle.len()..]
-                .trim_start_matches([' ', '—', '-', ':'])
-                .trim();
-            let justified = justification.chars().count() >= MIN_JUSTIFICATION;
-            if !justified {
-                findings.push(Finding {
-                    path: display.to_path_buf(),
-                    line: line_no,
-                    rule,
-                    message: format!("allowlist entry without a justification: `{needle}`"),
-                });
-            }
-            if rule == "panics" {
-                markers.allow_panics = Some(line_no);
-                markers.allow_panics_justified = justified;
-            } else {
-                markers.allow_cast = Some(line_no);
-                markers.allow_cast_justified = justified;
-            }
-        }
-    }
-    if let Some(at) = raw.find("// justified:") {
-        found = true;
-        let rationale = raw[at + "// justified:".len()..].trim();
-        if rationale.chars().count() < MIN_JUSTIFICATION {
-            findings.push(Finding {
-                path: display.to_path_buf(),
-                line: line_no,
-                rule: "panics",
-                message: "`// justified:` without a rationale".into(),
-            });
-        }
-        markers.justified = Some(line_no);
-    }
-    if raw.contains("// ordering:") {
-        found = true;
-        markers.ordering = Some(line_no);
-    }
-    found
-}
-
-/// Whether the line uses a bare `assert!` / `assert_eq!` / `assert_ne!`
-/// (the `debug_assert` family is fine: compiled out of release runs).
-fn has_bare_assert(code: &str) -> bool {
-    for pattern in ["assert!(", "assert_eq!(", "assert_ne!("] {
-        let mut rest = code;
-        while let Some(at) = rest.find(pattern) {
-            let preceded_by_debug = at >= 6 && rest[..at].ends_with("debug_");
-            let mid_identifier = at > 0
-                && rest[..at]
-                    .bytes()
-                    .next_back()
-                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_');
-            if !preceded_by_debug && !mid_identifier {
-                return true;
-            }
-            rest = &rest[at + pattern.len()..];
-        }
-    }
-    false
-}
-
-/// Net `{`/`}` balance of a line — good enough for rustfmt'd sources,
-/// where braces inside string literals are vanishingly rare.
-fn brace_delta(line: &str) -> i64 {
-    let mut delta = 0i64;
-    for c in line.chars() {
-        match c {
-            '{' => delta += 1,
-            '}' => delta -= 1,
-            _ => {}
-        }
-    }
-    delta
-}
-
-/// The code portion of a line, with any trailing `//` comment removed
-/// (a `//` immediately preceded by `:` is kept: it is a URL scheme).
-fn strip_trailing_comment(line: &str) -> &str {
-    let bytes = line.as_bytes();
-    let mut i = 0;
-    while i + 1 < bytes.len() {
-        if bytes[i] == b'/' && bytes[i + 1] == b'/' && (i == 0 || bytes[i - 1] != b':') {
-            return &line[..i];
-        }
-        i += 1;
-    }
-    line
-}
-
-/// Whether the line constructs an atomic (`AtomicU64::new(`,
-/// `AtomicUsize::new(`, …) — the declaration sites the telemetry rule
-/// wants a rationale on.
-fn atomic_init(code: &str) -> bool {
-    let mut rest = code;
-    while let Some(at) = rest.find("Atomic") {
-        let after = &rest[at + "Atomic".len()..];
-        let ty_len = after.bytes().take_while(u8::is_ascii_alphanumeric).count();
-        if after[ty_len..].starts_with("::new(") {
-            return true;
-        }
-        rest = after;
-    }
-    false
-}
-
-/// The integer type named by the first ` as <int>` cast on the line, if
-/// any. Casts to floats are not truncating in the sense this rule
-/// polices (the model's arithmetic is deliberately f64).
-fn int_cast_target(code: &str) -> Option<&'static str> {
-    const TARGETS: [&str; 10] = [
-        "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize",
-    ];
-    let mut rest = code;
-    while let Some(at) = rest.find(" as ") {
-        let after = &rest[at + 4..];
-        for target in TARGETS {
-            if after.starts_with(target) {
-                let tail = after.as_bytes().get(target.len());
-                let boundary = tail.is_none_or(|&b| !(b.is_ascii_alphanumeric() || b == b'_'));
-                if boundary {
-                    return Some(target);
-                }
-            }
-        }
-        rest = &rest[at + 4..];
-    }
-    None
 }

@@ -1,0 +1,149 @@
+//! Atomic-protocol pairing: group atomic operations by the cell they
+//! touch and check the release/acquire handshake is whole.
+//!
+//! Within each (crate, field) group:
+//! - a `Release`-side write (store, RMW, or CAS success ordering of
+//!   `Release`/`AcqRel`) with no `Acquire`-side read anywhere in the
+//!   group publishes to nobody — the acquire half is missing
+//!   ([`LintCode::UnpairedRelease`]);
+//! - an `Acquire`-side read with no `Release`-side write observes no
+//!   publication — the release half is missing
+//!   ([`LintCode::UnpairedAcquire`]);
+//! - `SeqCst` sites satisfy both sides;
+//! - mixing `SeqCst` and `Relaxed` on the same cell is legal but almost
+//!   always means one of the two is wrong; each `Relaxed` site in such
+//!   a group needs an `// ordering:` escalation rationale
+//!   ([`LintCode::MixedOrdering`]).
+//!
+//! The pass runs over the concurrency-bearing crates — `search`,
+//! `telemetry`, `failpoints` — plus `analysis`'s interleave module
+//! (the mini-loom shim itself).
+
+use std::collections::BTreeMap;
+
+use crate::model::{AtomicOp, AtomicSite, MarkerKind, SourceFile, Workspace};
+use crate::{Finding, LintCode};
+
+pub struct AtomicProtocolPass;
+
+fn in_scope(file: &SourceFile) -> bool {
+    match file.crate_name.as_str() {
+        "search" | "telemetry" | "failpoints" => true,
+        "analysis" => file.path.file_name().is_some_and(|f| f == "interleave.rs"),
+        _ => false,
+    }
+}
+
+/// The store-side ordering of a site, if it writes.
+fn write_ordering(site: &AtomicSite) -> Option<&str> {
+    match site.op {
+        AtomicOp::Load => None,
+        AtomicOp::Store | AtomicOp::Rmw | AtomicOp::Cas => {
+            site.orderings.first().map(String::as_str)
+        }
+    }
+}
+
+/// The load-side orderings of a site, if it reads (CAS contributes
+/// both its success and failure orderings).
+fn read_orderings(site: &AtomicSite) -> Vec<&str> {
+    match site.op {
+        AtomicOp::Store => Vec::new(),
+        AtomicOp::Load | AtomicOp::Rmw => {
+            site.orderings.iter().map(String::as_str).take(1).collect()
+        }
+        AtomicOp::Cas => site.orderings.iter().map(String::as_str).collect(),
+    }
+}
+
+fn is_release(ord: &str) -> bool {
+    matches!(ord, "Release" | "AcqRel")
+}
+
+fn is_acquire(ord: &str) -> bool {
+    matches!(ord, "Acquire" | "AcqRel")
+}
+
+impl super::Pass for AtomicProtocolPass {
+    fn name(&self) -> &'static str {
+        "atomic-protocol"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // (crate, field) → sites across the crate's files.
+        let mut groups: BTreeMap<(String, String), Vec<(&SourceFile, &AtomicSite)>> =
+            BTreeMap::new();
+        for file in ws.files.iter().filter(|f| in_scope(f) && !f.is_test_file) {
+            for site in &file.atomic_sites {
+                if file.in_test_region(site.line) {
+                    continue;
+                }
+                groups
+                    .entry((file.crate_name.clone(), site.field.clone()))
+                    .or_default()
+                    .push((file, site));
+            }
+        }
+
+        for ((_, field), sites) in &groups {
+            let has_acquire_side = sites.iter().any(|(_, s)| {
+                read_orderings(s)
+                    .iter()
+                    .any(|o| is_acquire(o) || *o == "SeqCst")
+            });
+            let has_release_side = sites
+                .iter()
+                .any(|(_, s)| write_ordering(s).is_some_and(|o| is_release(o) || o == "SeqCst"));
+            let has_seqcst = sites
+                .iter()
+                .any(|(_, s)| s.orderings.iter().any(|o| o == "SeqCst"));
+            let has_relaxed = sites
+                .iter()
+                .any(|(_, s)| s.orderings.iter().any(|o| o == "Relaxed"));
+
+            for (file, site) in sites {
+                if let Some(ord) = write_ordering(site) {
+                    if is_release(ord) && !has_acquire_side {
+                        out.push(Finding::new(
+                            LintCode::UnpairedRelease,
+                            file.path.clone(),
+                            site.line,
+                            format!(
+                                "`{field}.{}({ord})` publishes with Release but no \
+                                 Acquire/AcqRel/SeqCst load of `{field}` exists in this crate",
+                                site.method
+                            ),
+                        ));
+                    }
+                }
+                if read_orderings(site).iter().any(|o| is_acquire(o)) && !has_release_side {
+                    out.push(Finding::new(
+                        LintCode::UnpairedAcquire,
+                        file.path.clone(),
+                        site.line,
+                        format!(
+                            "`{field}.{}` acquires but no Release/AcqRel/SeqCst store of \
+                             `{field}` exists in this crate",
+                            site.method
+                        ),
+                    ));
+                }
+                if has_seqcst
+                    && has_relaxed
+                    && site.orderings.iter().any(|o| o == "Relaxed")
+                    && !file.markers.covers(MarkerKind::Ordering, site.line)
+                {
+                    out.push(Finding::new(
+                        LintCode::MixedOrdering,
+                        file.path.clone(),
+                        site.line,
+                        format!(
+                            "`{field}` mixes SeqCst and Relaxed orderings; this Relaxed site \
+                             needs an `// ordering:` escalation rationale"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

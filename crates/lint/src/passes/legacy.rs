@@ -1,0 +1,237 @@
+//! The five original `ruby-lint` rules, re-expressed against the
+//! semantic model. The rule semantics are unchanged (same markers,
+//! same adjacency window, same crate scoping); what changed is the
+//! substrate: sanitized per-line code text from the lexer, so string
+//! and raw-string literals can no longer confuse comment stripping,
+//! and `cfg(test)` masking follows real token-level brace tracking.
+
+use crate::model::{MarkerKind, SourceFile, Workspace};
+use crate::{Finding, LintCode};
+use std::path::Path;
+
+pub struct LegacyRulesPass;
+
+const PANIC_PATTERNS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+impl super::Pass for LegacyRulesPass {
+    fn name(&self) -> &'static str {
+        "legacy-rules"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for (path, err) in &ws.io_errors {
+            out.push(Finding::new(
+                LintCode::IoError,
+                path.clone(),
+                0,
+                format!("could not read file: {err}"),
+            ));
+        }
+        for file in ws.files.iter().filter(|f| !f.is_test_file) {
+            scan_file(file, out);
+        }
+    }
+}
+
+fn in_crate(path: &Path, name: &str) -> bool {
+    path.components().any(|c| c.as_os_str() == name)
+}
+
+fn scan_file(file: &SourceFile, out: &mut Vec<Finding>) {
+    let in_model = in_crate(&file.path, "model");
+    // The permutation cipher is bijective only while every word stays
+    // u64 end to end, so it joins the cast-audited set.
+    let in_permute = file.path.file_name().is_some_and(|f| f == "permute.rs");
+    let in_search = in_crate(&file.path, "search");
+    let in_telemetry = in_crate(&file.path, "telemetry");
+
+    // Unjustified allowlist entries are findings themselves, wherever
+    // they appear.
+    for def in &file.markers.defs {
+        if def.justified {
+            continue;
+        }
+        let (code, message) = match def.kind {
+            MarkerKind::AllowPanics => (
+                LintCode::UnjustifiedAllow,
+                "allowlist entry without a justification: `// lint: allow(panics)`".to_owned(),
+            ),
+            MarkerKind::AllowCast => (
+                LintCode::UnjustifiedAllow,
+                "allowlist entry without a justification: `// lint: allow(cast)`".to_owned(),
+            ),
+            MarkerKind::Justified => (
+                LintCode::UnjustifiedAllow,
+                "`// justified:` without a rationale".to_owned(),
+            ),
+            MarkerKind::Ordering => continue,
+        };
+        out.push(Finding::new(code, file.path.clone(), def.line, message));
+    }
+
+    for line_no in 1..=file.line_count() {
+        if file.in_test_region(line_no) {
+            continue;
+        }
+        let code = file.code_line(line_no);
+        if code.trim().is_empty() {
+            continue;
+        }
+
+        for pattern in PANIC_PATTERNS {
+            let covered = if in_search {
+                // crates/search must not abort mid-run: the stricter
+                // `// justified:` rationale is the only accepted marker.
+                file.markers.covers(MarkerKind::Justified, line_no)
+            } else {
+                file.markers.covers(MarkerKind::AllowPanics, line_no)
+                    || file.markers.covers(MarkerKind::Justified, line_no)
+            };
+            if code.contains(pattern) && !covered {
+                let marker = if in_search {
+                    "`// justified: <rationale>`"
+                } else {
+                    "`// lint: allow(panics) — <justification>`"
+                };
+                out.push(Finding::new(
+                    LintCode::PanicSite,
+                    file.path.clone(),
+                    line_no,
+                    format!("`{pattern}` in library code without an adjacent {marker}"),
+                ));
+            }
+        }
+
+        if in_search
+            && has_bare_assert(code)
+            && !file.markers.covers(MarkerKind::Justified, line_no)
+        {
+            out.push(Finding::new(
+                LintCode::PanicSite,
+                file.path.clone(),
+                line_no,
+                "bare assert in crates/search without an adjacent \
+                 `// justified: <rationale>` (prefer debug_assert or a Result)"
+                    .to_owned(),
+            ));
+        }
+
+        for ordering in ["Ordering::Relaxed", "Ordering::AcqRel"] {
+            if code.contains(ordering) && !file.markers.covers(MarkerKind::Ordering, line_no) {
+                out.push(Finding::new(
+                    LintCode::OrderingRationale,
+                    file.path.clone(),
+                    line_no,
+                    format!("`{ordering}` without an adjacent `// ordering: <rationale>` comment"),
+                ));
+            }
+        }
+
+        if in_telemetry && !file.markers.covers(MarkerKind::Ordering, line_no) {
+            // The Relaxed/AcqRel loop above already reported those; this
+            // covers the orderings it deliberately leaves alone
+            // (SeqCst, Acquire, Release) plus atomic construction.
+            let other_ordering = code.contains("Ordering::")
+                && !code.contains("Ordering::Relaxed")
+                && !code.contains("Ordering::AcqRel");
+            if other_ordering || atomic_init(code) {
+                out.push(Finding::new(
+                    LintCode::OrderingRationale,
+                    file.path.clone(),
+                    line_no,
+                    "atomic use in crates/telemetry without an adjacent \
+                     `// ordering: <rationale>` comment"
+                        .to_owned(),
+                ));
+            }
+        }
+
+        if in_model || in_permute {
+            if let Some(target) = int_cast_target(code) {
+                if !file.markers.covers(MarkerKind::AllowCast, line_no) {
+                    let place = if in_model {
+                        "the cost model"
+                    } else {
+                        "the permutation cipher"
+                    };
+                    out.push(Finding::new(
+                        LintCode::TruncatingCast,
+                        file.path.clone(),
+                        line_no,
+                        format!(
+                            "`as {target}` in {place} without an adjacent \
+                             `// lint: allow(cast) — <justification>`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Whether the line uses a bare `assert!` / `assert_eq!` / `assert_ne!`
+/// (the `debug_assert` family is fine: compiled out of release runs).
+fn has_bare_assert(code: &str) -> bool {
+    for pattern in ["assert!(", "assert_eq!(", "assert_ne!("] {
+        let mut rest = code;
+        while let Some(at) = rest.find(pattern) {
+            let preceded_by_debug = at >= 6 && rest[..at].ends_with("debug_");
+            let mid_identifier = at > 0
+                && rest[..at]
+                    .bytes()
+                    .next_back()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_');
+            if !preceded_by_debug && !mid_identifier {
+                return true;
+            }
+            rest = &rest[at + pattern.len()..];
+        }
+    }
+    false
+}
+
+/// Whether the line constructs an atomic (`AtomicU64::new(`, …) — the
+/// declaration sites the telemetry rule wants a rationale on.
+fn atomic_init(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(at) = rest.find("Atomic") {
+        let after = &rest[at + "Atomic".len()..];
+        let ty_len = after.bytes().take_while(u8::is_ascii_alphanumeric).count();
+        if after[ty_len..].starts_with("::new(") {
+            return true;
+        }
+        rest = after;
+    }
+    false
+}
+
+/// The integer type named by the first ` as <int>` cast on the line, if
+/// any. Casts to floats are not truncating in the sense this rule
+/// polices (the model's arithmetic is deliberately f64).
+fn int_cast_target(code: &str) -> Option<&'static str> {
+    const TARGETS: [&str; 10] = [
+        "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize",
+    ];
+    let mut rest = code;
+    while let Some(at) = rest.find(" as ") {
+        let after = &rest[at + 4..];
+        for target in TARGETS {
+            if after.starts_with(target) {
+                let tail = after.as_bytes().get(target.len());
+                let boundary = tail.is_none_or(|&b| !(b.is_ascii_alphanumeric() || b == b'_'));
+                if boundary {
+                    return Some(target);
+                }
+            }
+        }
+        rest = &rest[at + 4..];
+    }
+    None
+}

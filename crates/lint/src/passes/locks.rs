@@ -1,0 +1,203 @@
+//! Lock discipline: workspace-wide pairwise acquisition order, and
+//! guards held across blocking calls.
+//!
+//! Within every function body the pass replays acquisitions: a
+//! `let`-bound `.lock()` guard is held from its binding until its
+//! enclosing block closes (or an explicit `drop(guard)`); a
+//! non-`let` acquisition is a transient that dies at the end of its
+//! statement. Acquiring lock `B` while `A` is held records the edge
+//! `A → B`; if the workspace also contains `B → A` (within the same
+//! crate — lock identity is `(crate, field name)`), the two sites
+//! can deadlock under concurrency and both are reported
+//! ([`LintCode::LockOrderInversion`]). Holding any guard across a
+//! `join()` / `spawn(...)` / `evaluate*` call serializes or deadlocks
+//! the very work the lock-free layers exist to overlap
+//! ([`LintCode::LockHeldAcrossBlocking`]).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::lexer::TokenKind;
+use crate::model::{SourceFile, Workspace};
+use crate::{Finding, LintCode};
+
+pub struct LockDisciplinePass;
+
+#[derive(Debug)]
+struct Guard {
+    lock: String,
+    var: Option<String>,
+    depth: i64,
+    line: usize,
+}
+
+impl super::Pass for LockDisciplinePass {
+    fn name(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // (crate, from, to) → first acquisition site of `to` with
+        // `from` held.
+        let mut edges: BTreeMap<(String, String, String), (PathBuf, usize)> = BTreeMap::new();
+        for file in ws.files.iter().filter(|f| !f.is_test_file) {
+            for fun in &file.fns {
+                if fun.body.is_empty() || file.in_test_region(fun.start_line) {
+                    continue;
+                }
+                walk_fn(file, fun.body.clone(), &mut edges, out);
+            }
+        }
+        for ((krate, a, b), (path, line)) in &edges {
+            if a < b {
+                if let Some((other_path, other_line)) =
+                    edges.get(&(krate.clone(), b.clone(), a.clone()))
+                {
+                    out.push(Finding::new(
+                        LintCode::LockOrderInversion,
+                        path.clone(),
+                        *line,
+                        format!(
+                            "lock order inversion in crate `{krate}`: `{b}` acquired here while \
+                             `{a}` is held, but {}:{} acquires `{a}` while `{b}` is held",
+                            other_path.display(),
+                            other_line
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn walk_fn(
+    file: &SourceFile,
+    body: std::ops::Range<usize>,
+    edges: &mut BTreeMap<(String, String, String), (PathBuf, usize)>,
+    out: &mut Vec<Finding>,
+) {
+    let code: Vec<usize> = (body.start..body.end.min(file.tokens.len()))
+        .filter(|&i| file.tokens[i].kind.is_code())
+        .collect();
+    let txt = |w: usize| file.tokens[code[w]].text(&file.text);
+    let mut depth = 0i64;
+    let mut held: Vec<Guard> = Vec::new();
+    let mut stmt_let_var: Option<String> = None;
+    let mut stmt_is_let = false;
+
+    let mut w = 0;
+    while w < code.len() {
+        let t = txt(w);
+        match t {
+            "{" => {
+                depth += 1;
+                stmt_is_let = false;
+                stmt_let_var = None;
+            }
+            "}" => {
+                depth -= 1;
+                held.retain(|g| g.depth <= depth);
+                stmt_is_let = false;
+                stmt_let_var = None;
+            }
+            ";" => {
+                stmt_is_let = false;
+                stmt_let_var = None;
+            }
+            "let" if file.tokens[code[w]].kind == TokenKind::Ident => {
+                stmt_is_let = true;
+                // `let [mut] name = …`: capture the binding name so an
+                // explicit `drop(name)` can release the guard.
+                let mut v = w + 1;
+                if v < code.len() && txt(v) == "mut" {
+                    v += 1;
+                }
+                stmt_let_var = (v < code.len() && file.tokens[code[v]].kind == TokenKind::Ident)
+                    .then(|| txt(v).to_owned());
+            }
+            "drop" if file.tokens[code[w]].kind == TokenKind::Ident => {
+                if w + 2 < code.len() && txt(w + 1) == "(" {
+                    let victim = txt(w + 2).to_owned();
+                    held.retain(|g| g.var.as_deref() != Some(victim.as_str()));
+                }
+            }
+            "lock"
+                if file.tokens[code[w]].kind == TokenKind::Ident
+                    && w >= 1
+                    && txt(w - 1) == "."
+                    && w + 1 < code.len()
+                    && txt(w + 1) == "(" =>
+            {
+                let line = file.tokens[code[w]].line;
+                let site = file.lock_sites.iter().find(|s| s.token == code[w]);
+                if let Some(site) = site {
+                    if !file.in_test_region(line) {
+                        for g in &held {
+                            if g.lock != site.name {
+                                edges
+                                    .entry((
+                                        file.crate_name.clone(),
+                                        g.lock.clone(),
+                                        site.name.clone(),
+                                    ))
+                                    .or_insert_with(|| (file.path.clone(), line));
+                            }
+                        }
+                        let bound = stmt_is_let && stmt_let_var.as_deref() != Some("_");
+                        if bound {
+                            held.push(Guard {
+                                lock: site.name.clone(),
+                                var: stmt_let_var.clone(),
+                                depth,
+                                line,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {
+                if file.tokens[code[w]].kind == TokenKind::Ident
+                    && !held.is_empty()
+                    && !file.in_test_region(file.tokens[code[w]].line)
+                {
+                    let blocking = blocking_call(&code, w, &txt, t);
+                    if let Some(kind) = blocking {
+                        for g in &held {
+                            out.push(Finding::new(
+                                LintCode::LockHeldAcrossBlocking,
+                                file.path.clone(),
+                                file.tokens[code[w]].line,
+                                format!(
+                                    "`{}` guard (acquired line {}) is held across `{kind}` — \
+                                     release it before blocking or spawning",
+                                    g.lock, g.line
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        w += 1;
+    }
+}
+
+/// Whether the identifier at `code[w]` is a blocking/forking call the
+/// pass polices: a zero-argument `.join()`, any `spawn(`, or an
+/// eval-loop entry (`evaluate*(`).
+fn blocking_call<'a>(
+    code: &[usize],
+    w: usize,
+    txt: &dyn Fn(usize) -> &'a str,
+    t: &str,
+) -> Option<&'static str> {
+    let next_is = |d: usize, s: &str| w + d < code.len() && txt(w + d) == s;
+    match t {
+        // `handle.join()`: zero args distinguishes thread joins from
+        // `slice::join(sep)` / `Path::join(seg)`.
+        "join" if next_is(1, "(") && next_is(2, ")") => Some("join()"),
+        "spawn" if next_is(1, "(") => Some("spawn(..)"),
+        _ if t.starts_with("evaluate") && next_is(1, "(") => Some("an evaluation call"),
+        _ => None,
+    }
+}

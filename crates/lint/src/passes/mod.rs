@@ -1,0 +1,37 @@
+//! The pluggable pass framework: each analysis consumes the
+//! [`Workspace`] model and appends [`Finding`]s. Passes are pure
+//! (model in, findings out), so fixture tests can run any subset
+//! against a mini workspace tree.
+
+use crate::model::Workspace;
+use crate::Finding;
+
+mod atomic_protocol;
+mod features;
+mod legacy;
+mod locks;
+pub mod schema_drift;
+
+pub use atomic_protocol::AtomicProtocolPass;
+pub use features::FeatureMatrixPass;
+pub use legacy::LegacyRulesPass;
+pub use locks::LockDisciplinePass;
+pub use schema_drift::SchemaDriftPass;
+
+/// One lint analysis over the workspace model.
+pub trait Pass {
+    /// Stable pass name (shown in `--json` output and docs).
+    fn name(&self) -> &'static str;
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// Every pass, in the canonical execution order.
+pub fn all_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(LegacyRulesPass),
+        Box::new(AtomicProtocolPass),
+        Box::new(LockDisciplinePass),
+        Box::new(SchemaDriftPass),
+        Box::new(FeatureMatrixPass),
+    ]
+}

@@ -1,0 +1,246 @@
+//! Schema drift: fingerprint every schema-versioned serde surface into
+//! `crates/lint/schema.lock` and fail when the wire format moves
+//! without a version bump.
+//!
+//! A *surface* is any struct serialized with a `schema` field
+//! (`impl_serde_struct!` with a `schema` member, a manual
+//! `impl serde::Serialize` that emits a `"schema"` key, or a JSON
+//! template literal with a `"schema"` key — the checkpoint header).
+//! The committed lock records, per surface, the version constant's
+//! value and the ordered field list. On every run the pass recomputes
+//! the fingerprints and compares:
+//!
+//! - fields changed, version unchanged → [`LintCode::SchemaDrift`]
+//!   (the wire format moved silently — bump the version);
+//! - version changed (fields may or may not have) →
+//!   [`LintCode::SchemaLockStale`] (legitimate bump; refresh the lock
+//!   with `ruby-lint --update-schema-lock`);
+//! - surface absent from the lock → [`LintCode::SchemaSurfaceUnlocked`];
+//! - locked surface gone from the tree → [`LintCode::SchemaSurfaceRemoved`].
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::model::Workspace;
+use crate::{Finding, LintCode};
+
+pub struct SchemaDriftPass;
+
+/// Where the lock lives, relative to the workspace root.
+pub const LOCK_PATH: &str = "crates/lint/schema.lock";
+
+/// One locked surface entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEntry {
+    pub version: u64,
+    pub via: String,
+    pub fields: Vec<String>,
+}
+
+/// Computes the current fingerprints: surface name → entry.
+pub fn current_surfaces(ws: &Workspace) -> BTreeMap<String, LockEntry> {
+    let mut map = BTreeMap::new();
+    for (file, surface) in ws.schema_surfaces() {
+        let via = surface
+            .version_const
+            .clone()
+            .unwrap_or_else(|| "?".to_owned());
+        let version = ws.schema_consts.get(&via).copied().unwrap_or(0);
+        let mut name = surface.name.clone();
+        if map.contains_key(&name) {
+            name = format!("{}@{}", name, file.crate_name);
+        }
+        map.insert(
+            name,
+            LockEntry {
+                version,
+                via,
+                fields: surface.fields.clone(),
+            },
+        );
+    }
+    map
+}
+
+/// Renders the lock file deterministically.
+pub fn render_lock(surfaces: &BTreeMap<String, LockEntry>) -> String {
+    let mut out = String::from(
+        "# ruby-lint schema.lock — fingerprints of every schema-versioned serde surface.\n\
+         # Regenerate with `cargo run -p ruby-lint -- --update-schema-lock` after a\n\
+         # deliberate format change WITH a version bump; the schema-drift pass fails\n\
+         # when fields move without one.\n",
+    );
+    for (name, entry) in surfaces {
+        out.push_str(&format!(
+            "{name} version={} via={} fields={}\n",
+            entry.version,
+            entry.via,
+            entry.fields.join(",")
+        ));
+    }
+    out
+}
+
+/// Parses a lock file produced by [`render_lock`].
+pub fn parse_lock(text: &str) -> Result<BTreeMap<String, LockEntry>, String> {
+    let mut map = BTreeMap::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(name), Some(version), Some(via), Some(fields)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("line {}: expected 4 fields", no + 1));
+        };
+        let version = version
+            .strip_prefix("version=")
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| format!("line {}: bad version", no + 1))?;
+        let via = via
+            .strip_prefix("via=")
+            .ok_or_else(|| format!("line {}: bad via", no + 1))?;
+        let fields = fields
+            .strip_prefix("fields=")
+            .ok_or_else(|| format!("line {}: bad fields", no + 1))?;
+        map.insert(
+            name.to_owned(),
+            LockEntry {
+                version,
+                via: via.to_owned(),
+                fields: fields.split(',').map(str::to_owned).collect(),
+            },
+        );
+    }
+    Ok(map)
+}
+
+impl super::Pass for SchemaDriftPass {
+    fn name(&self) -> &'static str {
+        "schema-drift"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let current = current_surfaces(ws);
+        let lock_path = ws.root.join(LOCK_PATH);
+        let lock_display = PathBuf::from(LOCK_PATH);
+        let locked = match std::fs::read_to_string(&lock_path) {
+            Ok(text) => match parse_lock(&text) {
+                Ok(map) => map,
+                Err(err) => {
+                    out.push(Finding::new(
+                        LintCode::SchemaLockStale,
+                        lock_display,
+                        0,
+                        format!("schema.lock is unreadable ({err}); regenerate with --update-schema-lock"),
+                    ));
+                    return;
+                }
+            },
+            Err(_) => {
+                out.push(Finding::new(
+                    LintCode::SchemaLockStale,
+                    lock_display,
+                    0,
+                    "schema.lock is missing; generate it with `ruby-lint --update-schema-lock` \
+                     and commit it"
+                        .to_owned(),
+                ));
+                return;
+            }
+        };
+
+        // Anchor findings at the surface declaration when we have one.
+        let site = |name: &str| -> (PathBuf, usize) {
+            for (file, s) in ws.schema_surfaces() {
+                if s.name == name || format!("{}@{}", s.name, file.crate_name) == name {
+                    return (file.path.clone(), s.line);
+                }
+            }
+            (PathBuf::from(LOCK_PATH), 0)
+        };
+
+        for (name, cur) in &current {
+            match locked.get(name) {
+                None => {
+                    let (path, line) = site(name);
+                    out.push(Finding::new(
+                        LintCode::SchemaSurfaceUnlocked,
+                        path,
+                        line,
+                        format!(
+                            "schema surface `{name}` is not in schema.lock; run \
+                             `ruby-lint --update-schema-lock` and commit the result"
+                        ),
+                    ));
+                }
+                Some(old) if old.version == cur.version && old.fields != cur.fields => {
+                    let (path, line) = site(name);
+                    let added: Vec<_> = cur
+                        .fields
+                        .iter()
+                        .filter(|f| !old.fields.contains(f))
+                        .cloned()
+                        .collect();
+                    let removed: Vec<_> = old
+                        .fields
+                        .iter()
+                        .filter(|f| !cur.fields.contains(f))
+                        .cloned()
+                        .collect();
+                    let mut delta = Vec::new();
+                    if !added.is_empty() {
+                        delta.push(format!("added [{}]", added.join(", ")));
+                    }
+                    if !removed.is_empty() {
+                        delta.push(format!("removed [{}]", removed.join(", ")));
+                    }
+                    if delta.is_empty() {
+                        delta.push("reordered".to_owned());
+                    }
+                    out.push(Finding::new(
+                        LintCode::SchemaDrift,
+                        path,
+                        line,
+                        format!(
+                            "schema surface `{name}` changed ({}) without a `{}` bump \
+                             (still {}); bump the version, then refresh schema.lock",
+                            delta.join(", "),
+                            cur.via,
+                            cur.version
+                        ),
+                    ));
+                }
+                Some(old) if old.version != cur.version || old.via != cur.via => {
+                    let (path, line) = site(name);
+                    out.push(Finding::new(
+                        LintCode::SchemaLockStale,
+                        path,
+                        line,
+                        format!(
+                            "schema surface `{name}` is versioned {} but schema.lock records \
+                             {}; refresh with `ruby-lint --update-schema-lock`",
+                            cur.version, old.version
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        for name in locked.keys() {
+            if !current.contains_key(name) {
+                out.push(Finding::new(
+                    LintCode::SchemaSurfaceRemoved,
+                    PathBuf::from(LOCK_PATH),
+                    0,
+                    format!(
+                        "schema surface `{name}` is locked but no longer exists in the tree; \
+                         refresh schema.lock with `ruby-lint --update-schema-lock`"
+                    ),
+                ));
+            }
+        }
+    }
+}

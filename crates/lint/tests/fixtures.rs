@@ -1,0 +1,183 @@
+//! Fixture corpus: every pass has at least one known-bad mini
+//! workspace it must flag and one known-clean twin it must accept.
+//! Assertions filter findings to the pass's own code band, so the
+//! fixtures stay independent of each other (a lock fixture is free to
+//! contain an unwrap, say).
+
+use std::path::PathBuf;
+
+use ruby_lint::{run, Finding, LintCode};
+
+fn fixture(name: &str, side: &str) -> Vec<Finding> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .join(side);
+    run(&root)
+}
+
+fn codes(findings: &[Finding], band: impl Fn(LintCode) -> bool) -> Vec<LintCode> {
+    findings
+        .iter()
+        .map(|f| f.code)
+        .filter(|&c| band(c))
+        .collect()
+}
+
+fn legacy_band(c: LintCode) -> bool {
+    matches!(
+        c,
+        LintCode::IoError
+            | LintCode::PanicSite
+            | LintCode::OrderingRationale
+            | LintCode::TruncatingCast
+            | LintCode::UnjustifiedAllow
+    )
+}
+
+fn atomic_band(c: LintCode) -> bool {
+    matches!(
+        c,
+        LintCode::UnpairedRelease | LintCode::UnpairedAcquire | LintCode::MixedOrdering
+    )
+}
+
+fn lock_band(c: LintCode) -> bool {
+    matches!(
+        c,
+        LintCode::LockOrderInversion | LintCode::LockHeldAcrossBlocking
+    )
+}
+
+fn schema_band(c: LintCode) -> bool {
+    matches!(
+        c,
+        LintCode::SchemaDrift
+            | LintCode::SchemaLockStale
+            | LintCode::SchemaSurfaceUnlocked
+            | LintCode::SchemaSurfaceRemoved
+    )
+}
+
+fn feature_band(c: LintCode) -> bool {
+    matches!(c, LintCode::FeatureGateLeak | LintCode::ShimCoverageGap)
+}
+
+#[test]
+fn legacy_bad_flags_every_planted_site() {
+    let findings = fixture("legacy", "bad");
+    let mut got = codes(&findings, legacy_band);
+    got.sort();
+    // Two uncovered unwraps (one shadowed by a marker spelled inside a
+    // string literal — the lexer must not be fooled), one bare assert,
+    // one Relaxed without rationale, one truncating cast.
+    assert_eq!(
+        got,
+        vec![
+            LintCode::PanicSite,
+            LintCode::PanicSite,
+            LintCode::PanicSite,
+            LintCode::OrderingRationale,
+            LintCode::TruncatingCast,
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn legacy_clean_accepts_markers_and_literal_edge_cases() {
+    let findings = fixture("legacy", "clean");
+    assert!(codes(&findings, legacy_band).is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn atomic_bad_flags_each_broken_handshake() {
+    let findings = fixture("atomic_protocol", "bad");
+    let mut got = codes(&findings, atomic_band);
+    got.sort();
+    assert_eq!(
+        got,
+        vec![
+            LintCode::UnpairedRelease,
+            LintCode::UnpairedAcquire,
+            LintCode::MixedOrdering,
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn atomic_clean_accepts_whole_handshakes() {
+    let findings = fixture("atomic_protocol", "clean");
+    assert!(codes(&findings, atomic_band).is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn locks_bad_flags_inversion_and_blocking_hold() {
+    let findings = fixture("locks", "bad");
+    let mut got = codes(&findings, lock_band);
+    got.sort();
+    assert_eq!(
+        got,
+        vec![
+            LintCode::LockOrderInversion,
+            LintCode::LockHeldAcrossBlocking,
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn locks_clean_accepts_global_order_and_released_guards() {
+    let findings = fixture("locks", "clean");
+    assert!(codes(&findings, lock_band).is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn schema_bad_flags_field_change_without_version_bump() {
+    let findings = fixture("schema_drift", "bad");
+    let got = codes(&findings, schema_band);
+    assert_eq!(got, vec![LintCode::SchemaDrift], "{findings:#?}");
+    let drift = findings
+        .iter()
+        .find(|f| f.code == LintCode::SchemaDrift)
+        .expect("drift finding");
+    assert!(
+        drift.message.contains("best_cost"),
+        "message should name the added field: {}",
+        drift.message
+    );
+}
+
+#[test]
+fn schema_clean_accepts_matching_lock() {
+    let findings = fixture("schema_drift", "clean");
+    assert!(codes(&findings, schema_band).is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn features_bad_flags_gate_leak_and_shim_gap() {
+    let findings = fixture("features", "bad");
+    let mut got = codes(&findings, feature_band);
+    got.sort();
+    assert_eq!(
+        got,
+        vec![LintCode::FeatureGateLeak, LintCode::ShimCoverageGap],
+        "{findings:#?}"
+    );
+    let gap = findings
+        .iter()
+        .find(|f| f.code == LintCode::ShimCoverageGap)
+        .expect("gap finding");
+    assert!(
+        gap.message.contains("AtomicBool"),
+        "the untested type must be named: {}",
+        gap.message
+    );
+}
+
+#[test]
+fn features_clean_accepts_twinned_defs_and_covered_shims() {
+    let findings = fixture("features", "clean");
+    assert!(codes(&findings, feature_band).is_empty(), "{findings:#?}");
+}

@@ -1,0 +1,42 @@
+//! Known-bad atomic-protocol fixture: three broken handshakes.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Cells {
+    ready: AtomicU64,
+    flag: AtomicU64,
+    mode: AtomicU64,
+}
+
+impl Cells {
+    pub fn publish(&self) {
+        // Release store, but every load of `ready` below is Relaxed:
+        // the acquire half of the handshake is missing.
+        self.ready.store(1, Ordering::Release);
+    }
+
+    pub fn poll_ready(&self) -> u64 {
+        // ordering: polled flag (keeps the legacy rule quiet; the
+        // protocol pass must still see the missing Acquire).
+        self.ready.load(Ordering::Relaxed)
+    }
+
+    pub fn consume(&self) -> u64 {
+        // Acquire load, but `flag` is only ever stored Relaxed: there
+        // is no Release publication to synchronize with.
+        self.flag.load(Ordering::Acquire)
+    }
+
+    pub fn set_flag(&self) {
+        // ordering: see consume (deliberately mismatched fixture).
+        self.flag.store(1, Ordering::Relaxed);
+    }
+
+    pub fn set_mode(&self) {
+        self.mode.store(2, Ordering::SeqCst);
+    }
+
+    pub fn read_mode(&self) -> u64 {
+        let m = self.mode.load(Ordering::Relaxed);
+        m
+    }
+}

@@ -1,0 +1,27 @@
+//! Known-clean atomic-protocol fixture: whole handshakes only.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Cells {
+    ready: AtomicU64,
+    mode: AtomicU64,
+}
+
+impl Cells {
+    pub fn publish(&self) {
+        self.ready.store(1, Ordering::Release);
+    }
+
+    pub fn consume(&self) -> u64 {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    pub fn set_mode(&self) {
+        self.mode.store(2, Ordering::SeqCst);
+    }
+
+    pub fn read_mode_fast(&self) -> u64 {
+        // ordering: deliberate escalation mix — the SeqCst store is the
+        // fence; this hot-path read only needs the value.
+        self.mode.load(Ordering::Relaxed)
+    }
+}

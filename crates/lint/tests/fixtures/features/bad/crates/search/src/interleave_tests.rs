@@ -1,0 +1,8 @@
+//! Fixture schedule file: exercises AtomicU64 but never AtomicBool.
+use crate::sync::{AtomicU64, Ordering};
+
+#[test]
+fn counter_schedules() {
+    let c = AtomicU64::new(0);
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,18 @@
+//! Known-bad feature fixture: `fast_sum` only exists when the `fast`
+//! feature is on, yet `total` calls it unconditionally — every build
+//! without the feature breaks. The shim binding is reachable through
+//! the `shuttle` feature, but `AtomicBool` never appears in an
+//! interleave schedule.
+#[cfg(any(test, feature = "shuttle"))]
+pub(crate) mod sync {
+    pub(crate) use shim::{AtomicBool, AtomicU64, Ordering};
+}
+
+#[cfg(feature = "fast")]
+pub fn fast_sum(v: &[u64]) -> u64 {
+    v.iter().copied().sum()
+}
+
+pub fn total(v: &[u64]) -> u64 {
+    fast_sum(v)
+}

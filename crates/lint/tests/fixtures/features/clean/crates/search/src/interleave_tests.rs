@@ -1,0 +1,10 @@
+//! Fixture schedule file: both shim-bound types are model-checked.
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
+
+#[test]
+fn latch_and_counter_schedules() {
+    let flag = AtomicBool::new(false);
+    let c = AtomicU64::new(0);
+    flag.store(true, Ordering::Relaxed);
+    c.fetch_add(1, Ordering::Relaxed);
+}

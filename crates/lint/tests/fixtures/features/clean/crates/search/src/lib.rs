@@ -1,0 +1,25 @@
+//! Known-clean feature fixture: `fast_sum` has a `not(fast)` twin, so
+//! every point of the feature matrix compiles; both shim-bound atomic
+//! types appear in interleave schedules.
+#[cfg(any(test, feature = "shuttle"))]
+pub(crate) mod sync {
+    pub(crate) use shim::{AtomicBool, AtomicU64, Ordering};
+}
+
+#[cfg(feature = "fast")]
+pub fn fast_sum(v: &[u64]) -> u64 {
+    v.iter().copied().sum()
+}
+
+#[cfg(not(feature = "fast"))]
+pub fn fast_sum(v: &[u64]) -> u64 {
+    let mut acc = 0;
+    for x in v {
+        acc += x;
+    }
+    acc
+}
+
+pub fn total(v: &[u64]) -> u64 {
+    fast_sum(v)
+}

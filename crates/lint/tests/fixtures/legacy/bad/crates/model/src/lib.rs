@@ -1,0 +1,4 @@
+//! Known-bad cast fixture: a truncating cast in the cost model.
+pub fn truncate(x: u64) -> u32 {
+    x as u32
+}

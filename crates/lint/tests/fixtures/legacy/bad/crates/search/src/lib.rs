@@ -1,0 +1,21 @@
+//! Known-bad legacy fixture: every site below must be flagged.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn uncovered_unwrap(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+pub fn marker_hidden_in_string(x: Option<u64>) -> u64 {
+    // The string literal spells a marker, but it is data, not a
+    // comment: the site must still be flagged.
+    let _decoy = "// lint: allow(panics) — not a marker";
+    x.unwrap()
+}
+
+pub fn bare_assert(v: u64) {
+    assert!(v > 0);
+}
+
+pub fn relaxed_without_rationale(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}

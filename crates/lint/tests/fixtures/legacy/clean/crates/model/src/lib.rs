@@ -1,0 +1,10 @@
+//! Known-clean cast fixture.
+pub fn widen(x: u32) -> u64 {
+    // Widening; still audited because the rule is textual.
+    // lint: allow(cast) — u32 -> u64 is lossless.
+    u64::from(x) + (x as u64)
+}
+
+pub fn float_math(x: u64) -> f64 {
+    x as f64
+}

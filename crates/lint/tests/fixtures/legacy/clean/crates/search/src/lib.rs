@@ -1,0 +1,28 @@
+//! Known-clean legacy fixture: every site carries its marker, and the
+//! lexer regressions (comment syntax inside literals, string syntax
+//! inside comments) must not confuse coverage.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn covered_unwrap(x: Option<u64>) -> u64 {
+    // justified: the caller checked is_some() on the line above.
+    x.unwrap()
+}
+
+pub fn slashes_in_string_then_marker(x: Option<u64>) -> u64 {
+    // A `//` inside the string must not swallow the real trailing
+    // marker comment after it.
+    let _url = "https://example.com/path"; // justified: checked above.
+    let _block = "/* not a comment */";
+    x.unwrap() // justified: infallible by construction here.
+}
+
+// An unmatched quote inside this comment: it's fine — "
+pub fn quote_in_comment_above(v: u64) -> u64 {
+    debug_assert!(v > 0);
+    v
+}
+
+pub fn relaxed_with_rationale(c: &AtomicU64) -> u64 {
+    // ordering: standalone statistics counter, no payload published.
+    c.load(Ordering::Relaxed)
+}

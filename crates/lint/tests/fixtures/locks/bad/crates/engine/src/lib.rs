@@ -1,0 +1,44 @@
+//! Known-bad lock-discipline fixture: an A/B–B/A inversion plus a
+//! guard held across a join.
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+pub struct State {
+    record: Mutex<u64>,
+    poison: Mutex<u64>,
+}
+
+impl State {
+    pub fn capture(&self) -> u64 {
+        let record = self.record.lock();
+        let poison = self.poison.lock();
+        drop(poison);
+        match record {
+            Ok(g) => *g,
+            Err(_) => 0,
+        }
+    }
+
+    pub fn restore(&self) -> u64 {
+        // Opposite order from `capture`: the classic deadlock pair.
+        let poison = self.poison.lock();
+        let record = self.record.lock();
+        drop(record);
+        match poison {
+            Ok(g) => *g,
+            Err(_) => 0,
+        }
+    }
+
+    pub fn drain(&self, worker: JoinHandle<u64>) -> u64 {
+        let guard = self.record.lock();
+        // The worker may be waiting on `record`: joining while holding
+        // it deadlocks.
+        let got = worker.join();
+        drop(guard);
+        match got {
+            Ok(v) => v,
+            Err(_) => 0,
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Known-clean lock-discipline fixture: one global order, guards
+//! released before blocking.
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+pub struct State {
+    record: Mutex<u64>,
+    poison: Mutex<u64>,
+}
+
+impl State {
+    pub fn capture(&self) -> u64 {
+        let record = self.record.lock();
+        let poison = self.poison.lock();
+        drop(poison);
+        match record {
+            Ok(g) => *g,
+            Err(_) => 0,
+        }
+    }
+
+    pub fn audit(&self) -> u64 {
+        // Same record-before-poison order as `capture`.
+        let record = self.record.lock();
+        let poison = self.poison.lock();
+        let sum = match (&record, &poison) {
+            (Ok(a), Ok(b)) => **a + **b,
+            _ => 0,
+        };
+        sum
+    }
+
+    pub fn drain(&self, worker: JoinHandle<u64>) -> u64 {
+        let guard = self.record.lock();
+        let seed = match &guard {
+            Ok(g) => **g,
+            Err(_) => 0,
+        };
+        drop(guard);
+        match worker.join() {
+            Ok(v) => seed + v,
+            Err(_) => seed,
+        }
+    }
+}

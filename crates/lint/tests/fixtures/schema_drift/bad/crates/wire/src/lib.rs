@@ -1,0 +1,16 @@
+//! Known-bad schema fixture: `best_cost` was added to the wire struct
+//! without bumping `WIRE_SCHEMA_VERSION`, and the lock still records
+//! the old shape.
+pub const WIRE_SCHEMA_VERSION: u64 = 2;
+
+pub struct Report {
+    pub schema: u64,
+    pub runs: u64,
+    pub best_cost: f64,
+}
+
+impl_serde_struct!(Report {
+    schema,
+    runs,
+    best_cost,
+});

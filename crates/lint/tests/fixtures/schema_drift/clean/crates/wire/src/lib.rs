@@ -1,0 +1,14 @@
+//! Known-clean schema fixture: the lock matches the wire struct.
+pub const WIRE_SCHEMA_VERSION: u64 = 2;
+
+pub struct Report {
+    pub schema: u64,
+    pub runs: u64,
+    pub best_cost: f64,
+}
+
+impl_serde_struct!(Report {
+    schema,
+    runs,
+    best_cost,
+});

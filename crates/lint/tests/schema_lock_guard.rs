@@ -1,0 +1,74 @@
+//! Acceptance guard for the schema-drift pass against the *real*
+//! workspace: the committed `schema.lock` must be current, and
+//! deleting a field from `SearchOutcome`'s fingerprint (in memory —
+//! the tree is untouched) must trip `RBYL240` without a version bump.
+
+use std::path::PathBuf;
+
+use ruby_lint::model::Workspace;
+use ruby_lint::passes::schema_drift::{current_surfaces, parse_lock, render_lock, LOCK_PATH};
+use ruby_lint::passes::{Pass, SchemaDriftPass};
+use ruby_lint::LintCode;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn committed_lock_matches_the_tree() {
+    let root = workspace_root();
+    let ws = Workspace::load(&root);
+    let current = current_surfaces(&ws);
+    assert!(
+        current.contains_key("SearchOutcome"),
+        "SearchOutcome surface must be fingerprinted; got {:?}",
+        current.keys().collect::<Vec<_>>()
+    );
+    let committed =
+        std::fs::read_to_string(root.join(LOCK_PATH)).expect("schema.lock is committed");
+    let locked = parse_lock(&committed).expect("schema.lock parses");
+    assert_eq!(
+        locked, current,
+        "schema.lock is stale; regenerate with `ruby-lint --update-schema-lock`"
+    );
+    // The renderer is the canonical writer: its output must reparse to
+    // the same map (guards against format skew between write and read).
+    assert_eq!(
+        parse_lock(&render_lock(&current)).expect("reparse"),
+        current
+    );
+}
+
+#[test]
+fn deleting_a_search_outcome_field_trips_drift_without_a_bump() {
+    let root = workspace_root();
+    let mut ws = Workspace::load(&root);
+    // Drop one field from the in-memory fingerprint, exactly what a
+    // silent wire-format change looks like to the pass.
+    let mut removed = None;
+    for file in &mut ws.files {
+        for surface in &mut file.schema_surfaces {
+            if surface.name == "SearchOutcome" {
+                removed = Some(surface.fields.remove(surface.fields.len() - 1));
+            }
+        }
+    }
+    let removed = removed.expect("SearchOutcome surface exists");
+
+    let mut findings = Vec::new();
+    SchemaDriftPass.run(&ws, &mut findings);
+    let drift: Vec<_> = findings
+        .iter()
+        .filter(|f| f.code == LintCode::SchemaDrift)
+        .collect();
+    assert_eq!(drift.len(), 1, "{findings:#?}");
+    assert!(
+        drift[0].message.contains(&removed),
+        "drift message must name the missing field `{removed}`: {}",
+        drift[0].message
+    );
+}

@@ -9,7 +9,11 @@
 
 use ruby_analysis::interleave::Explorer;
 
-use crate::{try_improve, MemoCache, SearchConfig, SearchStrategy, Shared};
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
+use crate::{
+    try_improve, MemoCache, SearchConfig, SearchStrategy, Shared, STOP_REASON_DEADLINE,
+    STOP_REASON_REQUESTED,
+};
 
 /// A `Shared` without the memo cache (its 2^18 slots would dominate
 /// per-schedule setup cost and are exercised separately).
@@ -121,6 +125,65 @@ fn best_tracker_exact_tie_still_reports_improvable() {
         assert_eq!(best, 3.5);
     });
     assert!(report.complete, "schedule tree must be exhausted");
+}
+
+#[test]
+fn stop_latch_racing_interrupts_keep_exactly_one_reason() {
+    // Two interrupt sources latch concurrently while a strategy polls.
+    // The protocol (see `Shared::mark_stopped_early`) promises: the
+    // latch never unlatches, the strategies' stop flag is raised, and
+    // the recorded reason is whichever cause won the first CAS — never
+    // zero, never a blend.
+    let report = Explorer::new(50_000).explore(|sched| {
+        let shared = bare_shared();
+        let s = &shared;
+        sched.run(vec![
+            Box::new(move || s.mark_stopped_early(STOP_REASON_REQUESTED)),
+            Box::new(move || s.mark_stopped_early(STOP_REASON_DEADLINE)),
+            Box::new(move || {
+                // A poll that observes the latch must keep observing it.
+                if s.is_stopped_early() {
+                    assert!(s.is_stopped_early(), "stop latch unlatched");
+                }
+            }),
+        ]);
+        assert!(shared.is_stopped_early());
+        assert!(shared.stop.load(Ordering::Relaxed), "stop flag not raised");
+        let reason = shared.stop_reason.load(Ordering::Relaxed);
+        assert!(
+            reason == STOP_REASON_REQUESTED || reason == STOP_REASON_DEADLINE,
+            "reason lost or blended: {reason}"
+        );
+    });
+    assert!(report.complete, "schedule tree must be exhausted");
+    assert!(report.schedules >= 2, "{}", report.schedules);
+}
+
+#[test]
+fn stop_latch_cells_reduced_to_shim_atomics_first_cas_wins() {
+    // The same latch, distilled to its two cells — a shim `AtomicBool`
+    // flag and a shim `AtomicU64` reason word — so the explorer checks
+    // the cell-level protocol in isolation: flag stores are idempotent
+    // and the reason CAS admits exactly one winner.
+    let report = Explorer::new(50_000).explore(|sched| {
+        let latch = AtomicBool::new(false);
+        let reason = AtomicU64::new(0);
+        let (l, r) = (&latch, &reason);
+        let arm = |cause: u64| {
+            move || {
+                // ordering: Relaxed — mirrors mark_stopped_early: the
+                // latch is advisory; joins are the sync point.
+                l.store(true, Ordering::Relaxed);
+                let _ = r.compare_exchange(0, cause, Ordering::Relaxed, Ordering::Relaxed);
+            }
+        };
+        sched.run(vec![Box::new(arm(1)), Box::new(arm(2))]);
+        assert!(latch.load(Ordering::Relaxed));
+        let got = reason.load(Ordering::Relaxed);
+        assert!(got == 1 || got == 2, "CAS admitted {got}");
+    });
+    assert!(report.complete, "schedule tree must be exhausted");
+    assert!(report.schedules >= 2, "{}", report.schedules);
 }
 
 #[test]

@@ -26,8 +26,16 @@ echo "==> resilience smoke (kill/resume parity + supervised worker panic)"
 cargo run --release -q -p ruby-bench --bin resilience_smoke --features failpoints
 cargo test -q -p ruby-search --features failpoints
 
-echo "==> ruby-lint"
-cargo run --release -q -p ruby-lint
+echo "==> ruby-lint (--json, <5s budget, schema.lock committed + current)"
+git ls-files --error-unmatch crates/lint/schema.lock >/dev/null
+lint_start=$(date +%s)
+cargo run --release -q -p ruby-lint -- --json --out target/ruby-lint.json
+lint_elapsed=$(( $(date +%s) - lint_start ))
+if [ "$lint_elapsed" -ge 5 ]; then
+    echo "ruby-lint took ${lint_elapsed}s (budget: <5s)" >&2
+    exit 1
+fi
+grep -q '"schema": 1' target/ruby-lint.json
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
