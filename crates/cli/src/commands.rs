@@ -4,6 +4,7 @@ use std::fmt::Write as _;
 
 use ruby_core::prelude::*;
 use ruby_simulator::{simulate as run_sim, SimLimits};
+use serde::Serialize as _;
 
 use crate::parse::{parse_arch, parse_kind, parse_suite, parse_workload, OutputOpts};
 use crate::{CliError, Flags};
@@ -115,7 +116,9 @@ fn report_block(report: &CostReport) -> String {
 /// `--metrics-out <path>` appends snapshot/summary JSONL records (plus
 /// a metrics dump in `telemetry`-feature builds).
 pub fn search(args: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(args, &["eyeriss-constraints", "json", "progress", "resume"])?;
+    let mut bools = vec!["eyeriss-constraints", "resume"];
+    bools.extend(OutputOpts::BOOLS);
+    let flags = Flags::parse(args, &bools)?;
     let arch = parse_arch(flags.require("arch")?)?;
     let shape = parse_workload(flags.require("workload")?)?;
     let kind = parse_kind(flags.get("space").unwrap_or("ruby-s"))?;
@@ -147,14 +150,7 @@ pub fn search(args: &[String]) -> Result<String, CliError> {
         }
         None => {}
     }
-    let mut sinks = MultiSink::new();
-    if flags.has("progress") {
-        sinks.push(Box::new(HumanSink::stderr()));
-    }
-    if let Some(path) = flags.get("metrics-out") {
-        sinks.push(Box::new(JsonlSink::create(path)?));
-    }
-    if !sinks.is_empty() {
+    if let Some(sinks) = output.sink()? {
         engine = engine.with_progress(Box::new(sinks));
     }
     let outcome = engine.try_run()?;
@@ -234,9 +230,10 @@ pub fn evaluate(args: &[String]) -> Result<String, CliError> {
 /// instead of the cost model's first-error-only rejection.
 ///
 /// Output flags match `ruby search`: `--json` prints the analysis as
-/// JSON, `--out <path>` writes that JSON to a file.
+/// JSON, `--out <path>` writes that JSON to a file, and `--metrics-out
+/// <path>` appends the analysis as a JSONL summary record.
 pub fn analyze(args: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(args, &["json"])?;
+    let flags = Flags::parse(args, &OutputOpts::BOOLS)?;
     let arch = parse_arch(flags.require("arch")?)?;
     let shape = parse_workload(flags.require("workload")?)?;
     let output = OutputOpts::from_flags(&flags);
@@ -244,6 +241,9 @@ pub fn analyze(args: &[String]) -> Result<String, CliError> {
     let mapping: Mapping =
         serde_json::from_str(&text).map_err(|e| CliError::Spec(format!("mapping: {e}")))?;
     let analysis = ruby_analysis::MappingAnalyzer::new(&arch, &shape).analyze(&mapping);
+    if let Some(mut sinks) = output.sink()? {
+        sinks.finish(&analysis.to_value());
+    }
     if output.json || output.out.is_some() {
         let json = serde_json::to_string_pretty(&analysis)
             .map_err(|e| CliError::Spec(format!("serializing analysis: {e}")))?;

@@ -14,6 +14,7 @@
 
 pub mod commands;
 pub mod parse;
+pub mod serve;
 
 use std::fmt;
 
@@ -33,6 +34,9 @@ pub enum CliError {
     /// A `--resume` checkpoint could not be used (corrupt, another
     /// schema version, or taken under a different configuration).
     Checkpoint(ruby_core::prelude::CheckpointError),
+    /// The mapper service could not answer (store refused, cold search
+    /// failed, or the service is draining).
+    Serve(ruby_server::ServeError),
 }
 
 impl fmt::Display for CliError {
@@ -43,6 +47,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Empty(msg) => write!(f, "{msg}"),
             CliError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            CliError::Serve(e) => write!(f, "serve error: {e}"),
         }
     }
 }
@@ -58,6 +63,12 @@ impl From<std::io::Error> for CliError {
 impl From<ruby_core::prelude::CheckpointError> for CliError {
     fn from(e: ruby_core::prelude::CheckpointError) -> Self {
         CliError::Checkpoint(e)
+    }
+}
+
+impl From<ruby_server::ServeError> for CliError {
+    fn from(e: ruby_server::ServeError) -> Self {
+        CliError::Serve(e)
     }
 }
 
@@ -128,6 +139,13 @@ USAGE:
   ruby suite    --name resnet50|deepbench|alexnet|vgg16|mobilenet
   ruby sweep    --suite <name> [--configs 2x7,14x12,16x16] [--budget ...]
   ruby count    --arch <spec> --workload <spec>
+  ruby serve    --store <log> [--socket <path>] [--workers <n>] [--seed <n>] \\
+                [--checkpoint-dir <dir>] [--json] [--out summary.json] \\
+                [--progress] [--metrics-out metrics.jsonl]
+  ruby query    --arch <spec> --workload <spec> [--space <kind>] \\
+                [--objective ...] [--budget quick|medium|full] \\
+                (--store <log> | --socket <path> | --print) \\
+                [--json] [--out response.json] [--progress] [--metrics-out ...]
   ruby help
 
 SPECS:
@@ -142,6 +160,14 @@ LONG RUNS:
   --checkpoint writes a crash-safe resume file every --checkpoint-every
   evaluations (default 10000) and on SIGINT/SIGTERM; add --resume to
   continue a previous run bit-identically. A second signal exits hard.
+
+SERVING:
+  ruby serve answers newline-delimited JSON MapQuery lines (one object
+  or an array per line) over stdin/stdout, or over a Unix socket with
+  --socket. Known configs are answered from the store in microseconds;
+  cold misses run a search and persist the winner. SIGTERM drains,
+  compacts the store, and prints a summary. Build protocol lines with
+  `ruby query ... --print`.
 ";
 
 /// Parses argv (without the program name) and runs the subcommand,
@@ -165,6 +191,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "suite" => commands::suite(rest),
         "sweep" => commands::sweep(rest),
         "count" => commands::count(rest),
+        "serve" => serve::serve(rest),
+        "query" => serve::query(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'; run `ruby help`"

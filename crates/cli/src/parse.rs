@@ -5,27 +5,61 @@ use ruby_core::prelude::*;
 
 use crate::{CliError, Flags};
 
-/// Normalized output options shared by the subcommands that produce
-/// machine-readable results (`ruby search`, `ruby analyze`): `--json`
-/// switches stdout to a JSON document, `--out <path>` writes the
-/// command's artifact (best mapping / analysis report) to a file.
-/// Commands using this type must list `"json"` among their boolean
-/// flags when parsing.
+/// Normalized output options shared by every subcommand that produces
+/// machine-readable results (`ruby search`, `ruby analyze`,
+/// `ruby serve`, `ruby query`), so the four flags mean the same thing
+/// everywhere: `--json` switches stdout to a JSON document, `--out
+/// <path>` writes the command's artifact (best mapping / analysis
+/// report / serve summary / response) to a file, `--progress` streams
+/// live human-readable progress to stderr, and `--metrics-out <path>`
+/// streams schema-versioned JSONL telemetry records. Commands using
+/// this type must splice [`OutputOpts::BOOLS`] into their boolean flag
+/// list when parsing.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OutputOpts {
     /// Print the machine-readable JSON document instead of prose.
     pub json: bool,
     /// Write the command's artifact to this path.
     pub out: Option<String>,
+    /// Stream live progress to stderr while work is running.
+    pub progress: bool,
+    /// Stream JSONL telemetry records (snapshots, summaries, metrics)
+    /// to this path.
+    pub metrics_out: Option<String>,
 }
 
 impl OutputOpts {
-    /// Extracts the normalized `--json` / `--out` pair from `flags`.
+    /// The boolean switches this type consumes; splice into
+    /// [`Flags::parse`]'s boolean list.
+    pub const BOOLS: [&'static str; 2] = ["json", "progress"];
+
+    /// Extracts the normalized output flags.
     pub fn from_flags(flags: &Flags) -> OutputOpts {
         OutputOpts {
             json: flags.has("json"),
             out: flags.get("out").map(str::to_owned),
+            progress: flags.has("progress"),
+            metrics_out: flags.get("metrics-out").map(str::to_owned),
         }
+    }
+
+    /// Builds the progress sink `--progress` / `--metrics-out` ask for:
+    /// human-readable stderr lines, JSONL records, both, or `None` when
+    /// neither flag was given.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Io`] when the `--metrics-out` file cannot be
+    /// created.
+    pub fn sink(&self) -> Result<Option<MultiSink>, CliError> {
+        let mut sinks = MultiSink::new();
+        if self.progress {
+            sinks.push(Box::new(HumanSink::stderr()));
+        }
+        if let Some(path) = &self.metrics_out {
+            sinks.push(Box::new(JsonlSink::create(path)?));
+        }
+        Ok((!sinks.is_empty()).then_some(sinks))
     }
 }
 
@@ -223,10 +257,18 @@ mod tests {
     }
 
     #[test]
-    fn output_opts_normalize_json_and_out() {
+    fn output_opts_normalize_the_shared_flags() {
         let flags = Flags::parse(
-            &["--json", "--out", "result.json"].map(String::from),
-            &["json"],
+            &[
+                "--json",
+                "--out",
+                "result.json",
+                "--progress",
+                "--metrics-out",
+                "m.jsonl",
+            ]
+            .map(String::from),
+            &OutputOpts::BOOLS,
         )
         .unwrap();
         assert_eq!(
@@ -234,10 +276,15 @@ mod tests {
             OutputOpts {
                 json: true,
                 out: Some("result.json".to_owned()),
+                progress: true,
+                metrics_out: Some("m.jsonl".to_owned()),
             }
         );
-        let bare = Flags::parse(&[], &["json"]).unwrap();
-        assert_eq!(OutputOpts::from_flags(&bare), OutputOpts::default());
+        let bare = Flags::parse(&[], &OutputOpts::BOOLS).unwrap();
+        let opts = OutputOpts::from_flags(&bare);
+        assert_eq!(opts, OutputOpts::default());
+        // No output flags → no sink at all.
+        assert!(opts.sink().unwrap().is_none());
     }
 
     #[test]

@@ -1,0 +1,409 @@
+//! `ruby serve` and `ruby query`: the mapper-as-a-service front door.
+//!
+//! `serve` opens a [`MapperService`] over a durable store and answers
+//! newline-delimited JSON [`MapQuery`] lines — from stdin/stdout by
+//! default, or from a Unix socket with `--socket <path>`. `query`
+//! builds one query from the familiar spec flags and either answers it
+//! locally against a store (`--store`) or ships it to a running server
+//! (`--socket`); `--print` just emits the protocol line for scripting.
+//!
+//! Output flags are the shared [`OutputOpts`] set: `--json`, `--out`,
+//! `--progress`, `--metrics-out` mean the same thing here as in
+//! `ruby search` and `ruby analyze`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use ruby_core::prelude::*;
+use ruby_server::{wire, MapQuery, MapResponse, MapperService, ServiceConfig};
+use serde::{Deserialize as _, Serialize as _};
+
+use crate::parse::{parse_arch, parse_kind, parse_workload, OutputOpts};
+use crate::{CliError, Flags};
+
+/// How long blocking loops sleep between [`StopToken`] polls, so one
+/// SIGTERM drains the server promptly even with a connection open.
+const POLL: Duration = Duration::from_millis(50);
+
+/// `ruby serve`: answer mapping queries from a durable store, searching
+/// only on cold misses.
+pub fn serve(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &OutputOpts::BOOLS)?;
+    let output = OutputOpts::from_flags(&flags);
+    let mut service = MapperService::open(service_config(&flags)?)?;
+    if let Some(sinks) = output.sink()? {
+        service = service.with_progress(Box::new(sinks));
+    }
+    let token = service.stop_token();
+    crate::interrupts::register(&token);
+
+    match flags.get("socket") {
+        Some(path) => serve_socket(&service, &token, path)?,
+        None => serve_stdio(&service, &token)?,
+    }
+
+    service.compact()?;
+    let stats = service.stats();
+    let summary = serde::Value::Obj(vec![
+        ("queries".to_owned(), serde::Value::U64(stats.queries)),
+        ("store_hits".to_owned(), serde::Value::U64(stats.store_hits)),
+        (
+            "cold_searches".to_owned(),
+            serde::Value::U64(stats.cold_searches),
+        ),
+        (
+            "store_entries".to_owned(),
+            serde::Value::U64(service.store_len() as u64),
+        ),
+    ]);
+    if let Some(path) = &output.out {
+        let json = serde_json::to_string_pretty(&summary)
+            .map_err(|e| CliError::Spec(format!("serializing summary: {e}")))?;
+        write_atomic(path, json.as_bytes())?;
+    }
+    if output.json {
+        return serde_json::to_string_pretty(&summary)
+            .map_err(|e| CliError::Spec(format!("serializing summary: {e}")));
+    }
+    Ok(format!(
+        "served {} queries ({} warm, {} cold); store holds {} mappings\n",
+        stats.queries,
+        stats.store_hits,
+        stats.cold_searches,
+        service.store_len()
+    ))
+}
+
+/// `ruby query`: one mapping query against a store or a running server.
+pub fn query(args: &[String]) -> Result<String, CliError> {
+    let mut bools = vec!["print"];
+    bools.extend(OutputOpts::BOOLS);
+    let flags = Flags::parse(args, &bools)?;
+    let output = OutputOpts::from_flags(&flags);
+    let query = MapQuery {
+        arch: parse_arch(flags.require("arch")?)?,
+        workload: parse_workload(flags.require("workload")?)?,
+        mapspace: parse_kind(flags.get("space").unwrap_or("ruby-s"))?,
+        objective: flags
+            .get("objective")
+            .unwrap_or("edp")
+            .parse()
+            .map_err(|e: ConfigError| CliError::Usage(e.to_string()))?,
+        budget: flags
+            .get("budget")
+            .unwrap_or("medium")
+            .parse()
+            .map_err(|e: ruby_server::ServeError| CliError::Usage(e.to_string()))?,
+    };
+    let line = serde_json::to_string(&query.to_value())
+        .map_err(|e| CliError::Spec(format!("serializing query: {e}")))?;
+    if flags.has("print") {
+        return Ok(format!("{line}\n"));
+    }
+
+    let response = match (flags.get("socket"), flags.get("store")) {
+        (Some(path), _) => query_socket(path, &line)?,
+        (None, Some(_)) => {
+            let mut service = MapperService::open(service_config(&flags)?)?;
+            if let Some(sinks) = output.sink()? {
+                service = service.with_progress(Box::new(sinks));
+            }
+            crate::interrupts::register(&service.stop_token());
+            service.handle(&query)?
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "query needs --store <log> (local) or --socket <path> (remote)".into(),
+            ));
+        }
+    };
+
+    if let Some(path) = &output.out {
+        let json = serde_json::to_string_pretty(&response.to_value())
+            .map_err(|e| CliError::Spec(format!("serializing response: {e}")))?;
+        write_atomic(path, json.as_bytes())?;
+    }
+    if output.json {
+        return serde_json::to_string_pretty(&response.to_value())
+            .map_err(|e| CliError::Spec(format!("serializing response: {e}")));
+    }
+    Ok(render_response(&response))
+}
+
+/// The service wiring shared by `serve` and local `query`.
+fn service_config(flags: &Flags) -> Result<ServiceConfig, CliError> {
+    let mut config = ServiceConfig::new(flags.require("store")?);
+    if let Some(workers) = flags.get("workers") {
+        config.workers = workers
+            .parse()
+            .ok()
+            .filter(|&w: &usize| w > 0)
+            .ok_or_else(|| CliError::Usage("--workers must be a positive number".into()))?;
+    }
+    if let Some(seed) = flags.get("seed") {
+        config.seed = seed
+            .parse()
+            .map_err(|_| CliError::Usage("--seed must be a number".into()))?;
+    }
+    if let Some(dir) = flags.get("checkpoint-dir") {
+        std::fs::create_dir_all(dir)?;
+        config.checkpoint_dir = Some(dir.into());
+    }
+    Ok(config)
+}
+
+fn render_response(response: &MapResponse) -> String {
+    let source = match response.source {
+        ruby_server::ResponseSource::Store => "warm (store)",
+        ruby_server::ResponseSource::Search => "cold (search)",
+    };
+    let mut out = format!(
+        "{source} answer for key {:016x} in {} µs:\n",
+        response.key, response.micros
+    );
+    out.push_str(&format!(
+        "  objective:   {} = {:.4e}\n  cycles:      {}\n  energy:      {:.4e}\n  evaluations: {}\n",
+        response.objective, response.cost, response.cycles, response.energy, response.evaluations
+    ));
+    out
+}
+
+/// The stdin/stdout protocol loop: a reader thread feeds lines through
+/// a channel so the main loop can keep polling the stop token; EOF or
+/// the first signal ends the session cleanly.
+fn serve_stdio(service: &MapperService, token: &StopToken) -> Result<(), CliError> {
+    let (sender, lines) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        for line in std::io::stdin().lock().lines() {
+            let Ok(line) = line else { break };
+            if sender.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    loop {
+        if token.stop_requested() {
+            return Ok(());
+        }
+        match lines.recv_timeout(POLL) {
+            Ok(line) => {
+                if let Some(response) = wire::handle_line(service, &line) {
+                    let mut out = std::io::stdout().lock();
+                    writeln!(out, "{response}")?;
+                    out.flush()?;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+    }
+}
+
+/// The Unix-socket protocol loop: accept one connection at a time and
+/// speak the same line protocol; the stop token is polled between
+/// accepts and between lines.
+#[cfg(unix)]
+fn serve_socket(service: &MapperService, token: &StopToken, path: &str) -> Result<(), CliError> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    while !token.stop_requested() {
+        match listener.accept() {
+            Ok((stream, _)) => serve_connection(service, token, stream)?,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) => {
+                let _ = std::fs::remove_file(path);
+                return Err(e.into());
+            }
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_service: &MapperService, _token: &StopToken, _path: &str) -> Result<(), CliError> {
+    Err(CliError::Usage(
+        "--socket needs Unix domain sockets; serve over stdin/stdout instead".into(),
+    ))
+}
+
+#[cfg(unix)]
+fn serve_connection(
+    service: &MapperService,
+    token: &StopToken,
+    stream: std::os::unix::net::UnixStream,
+) -> Result<(), CliError> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(POLL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !token.stop_requested() {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if let Some(response) = wire::handle_line(service, &line) {
+                    writeln!(writer, "{response}")?;
+                    writer.flush()?;
+                }
+                line.clear();
+            }
+            // A timeout leaves any partial line in the buffer; keep
+            // accumulating after the next stop-token poll.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
+    Ok(())
+}
+
+/// One round trip to a running `ruby serve --socket` server.
+#[cfg(unix)]
+fn query_socket(path: &str, line: &str) -> Result<MapResponse, CliError> {
+    let stream = std::os::unix::net::UnixStream::connect(path)
+        .map_err(|e| CliError::Spec(format!("connecting to {path}: {e}")))?;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "{line}")?;
+    writer.flush()?;
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response)?;
+    parse_response(&response)
+}
+
+#[cfg(not(unix))]
+fn query_socket(_path: &str, _line: &str) -> Result<MapResponse, CliError> {
+    Err(CliError::Usage(
+        "--socket needs Unix domain sockets; use --store for a local query".into(),
+    ))
+}
+
+/// Parses one server response line, surfacing protocol-level error
+/// objects as [`CliError::Empty`].
+fn parse_response(line: &str) -> Result<MapResponse, CliError> {
+    let value: serde::Value = serde_json::from_str(line.trim())
+        .map_err(|e| CliError::Spec(format!("unparseable server response: {e}")))?;
+    if let Some(serde::Value::Str(message)) = value.get("error") {
+        return Err(CliError::Empty(format!(
+            "server refused the query: {message}"
+        )));
+    }
+    MapResponse::from_value(&value).map_err(|e| CliError::Spec(format!("server response: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn test_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ruby-cli-serve-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn print_emits_a_protocol_line() {
+        let out = query(&argv(
+            "--arch toy:16,1024 --workload rank1:113 --budget quick --print",
+        ))
+        .unwrap();
+        let parsed: MapQuery = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(parsed.budget, ruby_server::QueryBudget::Quick);
+        assert_eq!(parsed.mapspace, MapspaceKind::RubyS);
+    }
+
+    #[test]
+    fn local_queries_warm_hit_on_repeat() {
+        let dir = test_dir("local");
+        let store = dir.join("store.log");
+        let spec = format!(
+            "--arch toy:16,1024 --workload rank1:113 --budget quick --store {}",
+            store.display()
+        );
+        let cold = query(&argv(&spec)).unwrap();
+        assert!(cold.contains("cold (search)"), "{cold}");
+        let warm = query(&argv(&format!("{spec} --json"))).unwrap();
+        assert!(warm.contains("\"source\": \"store\""), "{warm}");
+        // Bit-identical costs: the warm response re-reads the record
+        // the cold search stored.
+        let warm_response: MapResponse = serde_json::from_str(&warm).unwrap();
+        assert!(
+            cold.contains(&format!("{:.4e}", warm_response.cost)),
+            "{cold}"
+        );
+    }
+
+    #[test]
+    fn query_without_a_target_is_a_usage_error() {
+        assert!(matches!(
+            query(&argv("--arch toy:4,1024 --workload rank1:8")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn query_writes_its_response_to_a_file() {
+        let dir = test_dir("out");
+        let store = dir.join("store.log");
+        let out_path = dir.join("response.json");
+        query(&argv(&format!(
+            "--arch toy:16,1024 --workload rank1:113 --budget quick --store {} --out {}",
+            store.display(),
+            out_path.display()
+        )))
+        .unwrap();
+        let written = std::fs::read_to_string(&out_path).unwrap();
+        let response: MapResponse = serde_json::from_str(&written).unwrap();
+        assert_eq!(response.source, ruby_server::ResponseSource::Search);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_round_trip_warm_hits_a_running_server() {
+        let dir = test_dir("socket");
+        let store = dir.join("store.log");
+        let socket = dir.join("mapper.sock");
+        let service = MapperService::open(ServiceConfig::new(&store)).unwrap();
+        let token = service.stop_token();
+        let socket_path = socket.display().to_string();
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_socket(&service, &token, &socket_path));
+            // Wait for the socket to appear.
+            for _ in 0..200 {
+                if socket.exists() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            let spec = format!(
+                "--arch toy:16,1024 --workload rank1:113 --budget quick --socket {socket_path}"
+            );
+            let cold = query(&argv(&spec)).unwrap();
+            assert!(cold.contains("cold (search)"), "{cold}");
+            let warm = query(&argv(&format!("{spec} --json"))).unwrap();
+            assert!(warm.contains("\"source\": \"store\""), "{warm}");
+            token.request_stop();
+            server.join().unwrap().unwrap();
+        });
+        assert!(!socket.exists(), "socket file cleaned up on shutdown");
+    }
+
+    #[test]
+    fn bad_server_lines_surface_as_errors() {
+        assert!(matches!(parse_response("not json"), Err(CliError::Spec(_))));
+        assert!(matches!(
+            parse_response(r#"{"schema":1,"error":"bad query"}"#),
+            Err(CliError::Empty(_))
+        ));
+    }
+}

@@ -53,8 +53,6 @@ pub mod prelude {
         evaluate, evaluate_with, CostReport, EvalContext, InvalidMapping, ModelOptions,
     };
     pub use ruby_search::anneal::{anneal, AnnealConfig};
-    #[allow(deprecated)] // the shim stays exported until downstreams migrate
-    pub use ruby_search::search;
     pub use ruby_search::write_atomic;
     pub use ruby_search::{
         BestMapping, CheckpointError, ConfigError, Engine, HumanSink, JsonlSink, MemorySink,

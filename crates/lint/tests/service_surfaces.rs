@@ -1,0 +1,89 @@
+//! Coverage guard for the mapper-as-a-service layers: the schema-drift
+//! pass must fingerprint the store/server wire types, and the
+//! lock-discipline pass must actually see the server's worker-pool
+//! mutex sites (a pass that silently skips a crate "passes" forever).
+
+use std::path::PathBuf;
+
+use ruby_lint::model::Workspace;
+use ruby_lint::passes::schema_drift::current_surfaces;
+use ruby_lint::passes::{LockDisciplinePass, Pass, SchemaDriftPass};
+use ruby_lint::LintCode;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn store_and_server_wire_types_are_fingerprinted() {
+    let ws = Workspace::load(&workspace_root());
+    let current = current_surfaces(&ws);
+    for (name, via, field) in [
+        ("StoreRecord", "STORE_SCHEMA", "mapping"),
+        ("log::encode", "STORE_SCHEMA", "crc"),
+        ("MapQuery", "API_SCHEMA", "workload"),
+        ("MapResponse", "API_SCHEMA", "source"),
+    ] {
+        let entry = current
+            .get(name)
+            .unwrap_or_else(|| panic!("{name} must be a fingerprinted schema surface"));
+        assert_eq!(entry.via, via, "{name} versions through the wrong const");
+        assert!(
+            entry.fields.iter().any(|f| f == field),
+            "{name} fingerprint lost the `{field}` field: {:?}",
+            entry.fields
+        );
+        assert_eq!(
+            entry.fields.first().map(String::as_str),
+            Some("schema"),
+            "{name} must lead with the schema field"
+        );
+    }
+}
+
+#[test]
+fn server_worker_pool_mutexes_are_visible_to_lock_discipline() {
+    let ws = Workspace::load(&workspace_root());
+    let service = ws
+        .files
+        .iter()
+        .find(|f| f.crate_name == "server" && f.path.ends_with("service.rs"))
+        .expect("crates/server/src/service.rs is part of the workspace");
+    // The pass models `.lock()` call sites; the service has at least the
+    // store mutex, the batch result slots, and the shared progress sink.
+    assert!(
+        service.lock_sites.len() >= 3,
+        "expected the server's mutex sites to be modeled, got {:?}",
+        service.lock_sites
+    );
+    let store_file = ws
+        .files
+        .iter()
+        .find(|f| f.crate_name == "store" && f.path.ends_with("lib.rs"))
+        .expect("crates/store/src/lib.rs is part of the workspace");
+    assert!(!store_file.is_test_file);
+
+    // And the discipline + drift passes must hold over the real tree —
+    // no store/server finding may be outstanding.
+    let mut findings = Vec::new();
+    LockDisciplinePass.run(&ws, &mut findings);
+    SchemaDriftPass.run(&ws, &mut findings);
+    let service_findings: Vec<_> = findings
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.code,
+                LintCode::LockOrderInversion
+                    | LintCode::LockHeldAcrossBlocking
+                    | LintCode::SchemaDrift
+                    | LintCode::SchemaSurfaceUnlocked
+            ) && (f.path.to_string_lossy().contains("crates/server")
+                || f.path.to_string_lossy().contains("crates/store"))
+        })
+        .collect();
+    assert!(service_findings.is_empty(), "{service_findings:#?}");
+}

@@ -251,20 +251,6 @@ impl Mapspace {
         out
     }
 
-    /// Draws one mapping into `out`, reusing its allocations. Equivalent
-    /// to `*out = self.sample(rng)` (same RNG stream, same result).
-    ///
-    /// Rebuilds the sampling scratch on every call; hot loops should
-    /// hold a [`Sampler`] (see [`Self::sampler`]) and duplicate-free
-    /// walks should iterate a `PermutedIterator` instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "hold a Sampler: `space.sampler().sample_into(out, rng)`"
-    )]
-    pub fn sample_into<R: Rng + ?Sized>(&self, out: &mut Mapping, rng: &mut R) {
-        self.sampler().sample_into(out, rng);
-    }
-
     /// Creates a reusable sampling scratch bound to this mapspace. One
     /// [`Sampler`] plus one reused [`Mapping`] makes the sampling half of
     /// a search loop allocation-free apart from per-dimension factor

@@ -835,13 +835,7 @@ fn run_anneal(mapspace: &Mapspace, config: &SearchConfig, ctx: &RunCtx) -> Searc
     anneal::anneal_with(mapspace, &anneal_config, hooks)
 }
 
-/// The un-streamed execution path (also the body of the deprecated
-/// [`crate::search`] shim).
-pub(crate) fn execute(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
-    execute_ctx(mapspace, config, &RunCtx::default())
-}
-
-/// [`execute`] with the resilience wiring attached.
+/// The un-streamed execution path, with the resilience wiring attached.
 pub(crate) fn execute_ctx(
     mapspace: &Mapspace,
     config: &SearchConfig,
@@ -1116,22 +1110,21 @@ mod tests {
     }
 
     #[test]
-    fn engine_matches_the_free_function() {
+    fn engine_runs_are_reproducible_under_a_fixed_seed() {
         let space = toy_space();
         let config = SearchConfig {
             seed: 3,
             threads: 1,
             ..SearchConfig::default()
         };
-        let via_engine = Engine::new(&space).with_config(config.clone()).run();
-        #[allow(deprecated)]
-        let via_function = crate::search(&space, &config);
-        assert_eq!(via_engine.evaluations, via_function.evaluations);
-        assert_eq!(via_engine.valid, via_function.valid);
-        assert_eq!(via_engine.trace, via_function.trace);
+        let first = Engine::new(&space).with_config(config.clone()).run();
+        let second = Engine::new(&space).with_config(config).run();
+        assert_eq!(first.evaluations, second.evaluations);
+        assert_eq!(first.valid, second.valid);
+        assert_eq!(first.trace, second.trace);
         assert_eq!(
-            via_engine.best.expect("valid mappings").cost,
-            via_function.best.expect("valid mappings").cost
+            first.best.expect("valid mappings").cost,
+            second.best.expect("valid mappings").cost
         );
     }
 

@@ -16,7 +16,7 @@
 //! touch no locks and allocate nothing:
 //!
 //! * each worker owns a [`ruby_mapspace::Sampler`] plus one reused
-//!   [`Mapping`] buffer ([`ruby_mapspace::Mapspace::sample_into`]) and an
+//!   [`Mapping`] buffer ([`ruby_mapspace::Sampler::sample_into`]) and an
 //!   [`EvalContext`] built once per search;
 //! * the best cost lives in an atomic `u64` holding `f64` bits; workers
 //!   compare against it locally and only compare-and-swap — then take
@@ -159,15 +159,6 @@ impl Objective {
             Objective::Delay => "delay",
         }
     }
-
-    /// Parses a [`Self::name`] back into an objective.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the FromStr impl: `s.parse::<Objective>()`"
-    )]
-    pub fn parse(s: &str) -> Option<Self> {
-        s.parse().ok()
-    }
 }
 
 impl std::fmt::Display for Objective {
@@ -235,15 +226,6 @@ impl SearchStrategy {
             SearchStrategy::Hybrid => "hybrid",
             SearchStrategy::Anneal => "anneal",
         }
-    }
-
-    /// Parses a [`Self::name`] back into a strategy.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the FromStr impl: `s.parse::<SearchStrategy>()`"
-    )]
-    pub fn parse(s: &str) -> Option<Self> {
-        s.parse().ok()
     }
 }
 
@@ -752,30 +734,6 @@ struct Record {
     best_ordinal: u64,
 }
 
-/// Runs a search over `mapspace` under `config` using the configured
-/// [`SearchStrategy`].
-///
-/// With `strategy: Exhaustive` the candidate sequence is fixed before
-/// any thread starts and pruning decisions use best-cost snapshots taken
-/// at chunk barriers, so the best mapping (ties broken by canonical
-/// key), every counter, and the stopping point are identical across runs
-/// *and thread counts*; only the order of same-cost trace entries can
-/// vary with threads > 1. `Random` and `Hybrid` are deterministic only
-/// single-threaded.
-///
-/// # Panics
-///
-/// Panics if `threads` is zero, or if both `max_evaluations` and
-/// `termination` are `None` for a strategy with a random phase (the
-/// search would never stop; `Exhaustive` terminates on its own).
-#[deprecated(
-    since = "0.1.0",
-    note = "use the Engine facade: `Engine::new(space).with_config(config.clone()).run()`"
-)]
-pub fn search(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
-    engine::execute(mapspace, config)
-}
-
 /// Runs the random-sampling workers until `budget` (or termination).
 ///
 /// `phase` tags which role the sampler is playing (plain / hybrid
@@ -1162,10 +1120,6 @@ fn note_tie_ordinal(shared: &Shared, cost: f64, ordinal: u64) {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated `search()` shim must keep its exact pre-Engine
-    // behavior (panic messages included), so these tests keep calling it.
-    #![allow(deprecated)]
-
     use super::*;
     use ruby_arch::presets;
     use ruby_mapspace::MapspaceKind;
@@ -1178,6 +1132,12 @@ mod tests {
             ProblemShape::rank1("d", d),
             kind,
         )
+    }
+
+    /// One-shot engine run, mirroring the retired free-function entry
+    /// point these tests were originally written against.
+    fn search(mapspace: &Mapspace, config: &SearchConfig) -> SearchOutcome {
+        Engine::new(mapspace).with_config(config.clone()).run()
     }
 
     #[test]
@@ -1541,8 +1501,6 @@ mod tests {
         ] {
             assert_eq!(s.name().parse(), Ok(s));
             assert_eq!(s.to_string(), s.name());
-            // The deprecated entry point must agree with FromStr.
-            assert_eq!(SearchStrategy::parse(s.name()), Some(s));
         }
         assert_eq!(
             "genetic".parse::<SearchStrategy>(),
@@ -1555,7 +1513,6 @@ mod tests {
         for o in [Objective::Edp, Objective::Energy, Objective::Delay] {
             assert_eq!(o.name().parse(), Ok(o));
             assert_eq!(o.to_string(), o.name());
-            assert_eq!(Objective::parse(o.name()), Some(o));
         }
         assert_eq!(
             "speed".parse::<Objective>(),

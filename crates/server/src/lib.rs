@@ -1,0 +1,291 @@
+//! Mapper-as-a-service: the query API over store + engine.
+//!
+//! The workspace splits long-lived mapping service concerns into three
+//! layers:
+//!
+//! - **Storage** (`ruby-store`): the durable best-mapping log, keyed by
+//!   the canonical config fingerprint.
+//! - **Engine** (`ruby-search`): one cold search, supervised and
+//!   stoppable.
+//! - **API** (this crate): schema-versioned [`MapQuery`] /
+//!   [`MapResponse`] wire types, and a [`MapperService`] that answers
+//!   warm queries from the store in microseconds and shards cold ones
+//!   across a worker pool of engines.
+//!
+//! Wire format: every request and response object leads with
+//! `"schema":` [`API_SCHEMA`], so both sides can detect format
+//! generations the way all other Ruby artifacts do. The `ruby serve`
+//! subcommand speaks these types as newline-delimited JSON; see
+//! [`wire::handle_line`].
+
+mod service;
+pub mod wire;
+
+use ruby_arch::Architecture;
+use ruby_mapping::Mapping;
+use ruby_mapspace::MapspaceKind;
+use ruby_search::Objective;
+use ruby_workload::ProblemShape;
+
+pub use service::{MapperService, ServiceConfig, ServiceStats};
+
+/// Wire schema version of [`MapQuery`] and [`MapResponse`].
+pub const API_SCHEMA: u64 = 1;
+
+/// How hard a cold search may look, as a named tier (the CLI's
+/// `--budget` tiers, so `ruby search` and `ruby query` agree on what
+/// "quick" means).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryBudget {
+    /// 3k evaluations, 400-failure termination.
+    Quick,
+    /// 15k evaluations, 1.5k-failure termination.
+    #[default]
+    Medium,
+    /// 60k evaluations, 3k-failure termination.
+    Full,
+}
+
+impl QueryBudget {
+    /// The wire spelling.
+    pub const fn name(self) -> &'static str {
+        match self {
+            QueryBudget::Quick => "quick",
+            QueryBudget::Medium => "medium",
+            QueryBudget::Full => "full",
+        }
+    }
+
+    /// `(max_evaluations, termination)` for the search config.
+    pub const fn params(self) -> (i64, i64) {
+        match self {
+            QueryBudget::Quick => (3_000, 400),
+            QueryBudget::Medium => (15_000, 1_500),
+            QueryBudget::Full => (60_000, 3_000),
+        }
+    }
+}
+
+impl std::str::FromStr for QueryBudget {
+    type Err = ServeError;
+
+    fn from_str(s: &str) -> Result<Self, ServeError> {
+        match s {
+            "quick" => Ok(QueryBudget::Quick),
+            "medium" => Ok(QueryBudget::Medium),
+            "full" => Ok(QueryBudget::Full),
+            other => Err(ServeError::Query(format!(
+                "unknown budget '{other}' (quick|medium|full)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One mapping query: the config to map and how hard to look.
+///
+/// Identity (for the store key) is everything except `budget`: a
+/// deeper search for a config some earlier quick query already solved
+/// still warm-hits, and only replaces the stored record if it finds
+/// something strictly better.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapQuery {
+    /// The accelerator to map onto.
+    pub arch: Architecture,
+    /// The workload to map.
+    pub workload: ProblemShape,
+    /// Which factorization space to search.
+    pub mapspace: MapspaceKind,
+    /// The scalar cost to minimize.
+    pub objective: Objective,
+    /// The search budget tier for a cold query.
+    pub budget: QueryBudget,
+}
+
+impl serde::Serialize for MapQuery {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("schema".to_owned(), serde::Value::U64(API_SCHEMA)),
+            ("arch".to_owned(), self.arch.to_value()),
+            ("workload".to_owned(), self.workload.to_value()),
+            ("mapspace".to_owned(), self.mapspace.to_value()),
+            (
+                "objective".to_owned(),
+                serde::Value::Str(self.objective.name().to_owned()),
+            ),
+            (
+                "budget".to_owned(),
+                serde::Value::Str(self.budget.name().to_owned()),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for MapQuery {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let schema = value.field("schema")?.as_u64()?;
+        if schema != API_SCHEMA {
+            return Err(serde::Error::custom(format!(
+                "query schema {schema} (this server speaks {API_SCHEMA})"
+            )));
+        }
+        let objective: Objective = value
+            .field("objective")?
+            .as_str()?
+            .parse()
+            .map_err(|e| serde::Error::custom(format!("{e}")))?;
+        let budget: QueryBudget = value
+            .field("budget")?
+            .as_str()?
+            .parse()
+            .map_err(|e| serde::Error::custom(format!("{e}")))?;
+        Ok(MapQuery {
+            arch: serde::Deserialize::from_value(value.field("arch")?)?,
+            workload: serde::Deserialize::from_value(value.field("workload")?)?,
+            mapspace: serde::Deserialize::from_value(value.field("mapspace")?)?,
+            objective,
+            budget,
+        })
+    }
+}
+
+/// Where a response came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseSource {
+    /// Warm hit: answered from the durable store.
+    Store,
+    /// Cold miss: a fresh search produced (and stored) the mapping.
+    Search,
+}
+
+impl ResponseSource {
+    /// The wire spelling.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ResponseSource::Store => "store",
+            ResponseSource::Search => "search",
+        }
+    }
+}
+
+/// One answered query: the best known mapping for the config.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapResponse {
+    /// Warm (`store`) or cold (`search`).
+    pub source: ResponseSource,
+    /// The canonical config fingerprint, as 16 hex digits.
+    pub key: u64,
+    /// The objective the cost is scored under.
+    pub objective: String,
+    /// Scalar cost of `mapping` under `objective`.
+    pub cost: f64,
+    /// Modeled cycle count of `mapping`.
+    pub cycles: u64,
+    /// Modeled total energy of `mapping` (pJ).
+    pub energy: f64,
+    /// Evaluations spent by the search that produced the mapping.
+    pub evaluations: u64,
+    /// Wall-clock time this service spent answering, in microseconds.
+    pub micros: u64,
+    /// The best known mapping itself.
+    pub mapping: Mapping,
+}
+
+impl serde::Serialize for MapResponse {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("schema".to_owned(), serde::Value::U64(API_SCHEMA)),
+            (
+                "source".to_owned(),
+                serde::Value::Str(self.source.name().to_owned()),
+            ),
+            (
+                "key".to_owned(),
+                serde::Value::Str(format!("{:016x}", self.key)),
+            ),
+            (
+                "objective".to_owned(),
+                serde::Value::Str(self.objective.clone()),
+            ),
+            ("cost".to_owned(), serde::Value::F64(self.cost)),
+            ("cycles".to_owned(), serde::Value::U64(self.cycles)),
+            ("energy".to_owned(), serde::Value::F64(self.energy)),
+            (
+                "evaluations".to_owned(),
+                serde::Value::U64(self.evaluations),
+            ),
+            ("micros".to_owned(), serde::Value::U64(self.micros)),
+            ("mapping".to_owned(), self.mapping.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for MapResponse {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let schema = value.field("schema")?.as_u64()?;
+        if schema != API_SCHEMA {
+            return Err(serde::Error::custom(format!(
+                "response schema {schema} (this client speaks {API_SCHEMA})"
+            )));
+        }
+        let source = match value.field("source")?.as_str()? {
+            "store" => ResponseSource::Store,
+            "search" => ResponseSource::Search,
+            other => {
+                return Err(serde::Error::custom(format!(
+                    "unknown response source '{other}'"
+                )))
+            }
+        };
+        let key = u64::from_str_radix(value.field("key")?.as_str()?, 16)
+            .map_err(|e| serde::Error::custom(format!("bad response key: {e}")))?;
+        Ok(MapResponse {
+            source,
+            key,
+            objective: value.field("objective")?.as_str()?.to_owned(),
+            cost: value.field("cost")?.as_f64()?,
+            cycles: value.field("cycles")?.as_u64()?,
+            energy: value.field("energy")?.as_f64()?,
+            evaluations: value.field("evaluations")?.as_u64()?,
+            micros: value.field("micros")?.as_u64()?,
+            mapping: serde::Deserialize::from_value(value.field("mapping")?)?,
+        })
+    }
+}
+
+/// Why a query could not be answered.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The query itself is malformed (bad budget, bad objective, …).
+    Query(String),
+    /// The cold search failed or found no valid mapping.
+    Search(String),
+    /// The store refused the lookup or the write-back.
+    Store(ruby_store::StoreError),
+    /// The service is shutting down; the query was not attempted.
+    Stopped,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Query(what) => write!(f, "bad query: {what}"),
+            ServeError::Search(what) => write!(f, "search failed: {what}"),
+            ServeError::Store(err) => write!(f, "store: {err}"),
+            ServeError::Stopped => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ruby_store::StoreError> for ServeError {
+    fn from(err: ruby_store::StoreError) -> Self {
+        ServeError::Store(err)
+    }
+}

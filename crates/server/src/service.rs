@@ -1,0 +1,353 @@
+//! The [`MapperService`]: warm hits from the store, cold queries
+//! through a supervised pool of search engines.
+//!
+//! Warm path: fingerprint the query, look it up in the store under a
+//! short-lived lock, clone the record out — microseconds, no search.
+//!
+//! Cold path: build the mapspace, run one [`Engine`] (single-threaded
+//! per query by default, so repeated cold runs of the same query are
+//! bit-identical; batches get their parallelism *across* queries), then
+//! write the winner back to the store so every later repeat is warm.
+//! The engine inherits the service's [`StopToken`], so one signal
+//! drains every in-flight search, and each cold query can checkpoint
+//! under the service's checkpoint directory and resume after a crash.
+//!
+//! Supervision: a panic anywhere in a cold query (mapspace
+//! construction, enumeration, the model) is caught and returned as a
+//! [`ServeError::Search`] for that query alone; the pool and the other
+//! queries keep going — the same containment contract the engine's own
+//! worker pool gives individual evaluations.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ruby_mapspace::{Constraints, Mapspace};
+use ruby_search::{Engine, SearchConfig, SearchStrategy, StopToken};
+use ruby_store::{MappingStore, StoreRecord};
+use ruby_telemetry::{ProgressSink, SearchSnapshot};
+
+use crate::{MapQuery, MapResponse, ResponseSource, ServeError};
+
+/// How a [`MapperService`] is wired.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The durable store log.
+    pub store_path: PathBuf,
+    /// Worker-pool width for [`MapperService::handle_batch`].
+    pub workers: usize,
+    /// Engine threads per cold query; 1 (the default) keeps every cold
+    /// search bit-deterministic and lets batches parallelize across
+    /// queries instead.
+    pub threads_per_query: usize,
+    /// Seed for cold searches.
+    pub seed: u64,
+    /// When set, every cold query checkpoints into this directory
+    /// (file name = the store key) and resumes from it.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint stride in evaluations.
+    pub checkpoint_every: u64,
+}
+
+impl ServiceConfig {
+    /// Defaults: 2 workers, deterministic single-threaded cold
+    /// searches, no checkpoints.
+    pub fn new(store_path: impl Into<PathBuf>) -> Self {
+        ServiceConfig {
+            store_path: store_path.into(),
+            workers: 2,
+            threads_per_query: 1,
+            seed: 1,
+            checkpoint_dir: None,
+            checkpoint_every: 10_000,
+        }
+    }
+}
+
+/// Service counters, for the shutdown summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Queries answered (errors included).
+    pub queries: u64,
+    /// Answered from the store.
+    pub store_hits: u64,
+    /// Answered by a fresh search.
+    pub cold_searches: u64,
+}
+
+/// The mapper service: a [`MappingStore`] fronted by a pool of engines.
+pub struct MapperService {
+    config: ServiceConfig,
+    store: Mutex<MappingStore>,
+    token: StopToken,
+    progress: Option<Arc<Mutex<Box<dyn ProgressSink>>>>,
+    queries: AtomicU64,
+    store_hits: AtomicU64,
+    cold_searches: AtomicU64,
+}
+
+impl MapperService {
+    /// Opens the service over the store at `config.store_path`,
+    /// recovering the log as [`MappingStore::open`] does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Store`] when the log cannot be opened.
+    pub fn open(config: ServiceConfig) -> Result<Self, ServeError> {
+        let store = MappingStore::open(&config.store_path)?;
+        Ok(MapperService {
+            config,
+            store: Mutex::new(store),
+            token: StopToken::new(),
+            progress: None,
+            queries: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            cold_searches: AtomicU64::new(0),
+        })
+    }
+
+    /// Streams every cold search's progress into `sink` (snapshots,
+    /// summaries and metrics interleave across workers; each record
+    /// carries its own identity).
+    pub fn with_progress(mut self, sink: Box<dyn ProgressSink>) -> Self {
+        self.progress = Some(Arc::new(Mutex::new(sink)));
+        self
+    }
+
+    /// A clone of the service's stop token: trip it (e.g. from a signal
+    /// handler) and in-flight cold searches drain, while queued batch
+    /// entries come back [`ServeError::Stopped`].
+    pub fn stop_token(&self) -> StopToken {
+        self.token.clone()
+    }
+
+    /// Service counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        // ordering: Relaxed — independent monotonic counters, read for reporting only.
+        ServiceStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            cold_searches: self.cold_searches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Live entries in the underlying store.
+    pub fn store_len(&self) -> usize {
+        match self.store.lock() {
+            Ok(store) => store.len(),
+            Err(_) => 0,
+        }
+    }
+
+    /// Compacts the underlying store log (e.g. at shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Store`] when the rewrite fails; the
+    /// previous log generation survives.
+    pub fn compact(&self) -> Result<(), ServeError> {
+        let mut store = self.lock_store()?;
+        store.compact()?;
+        Ok(())
+    }
+
+    /// Answers one query: warm from the store if its fingerprint is
+    /// known, otherwise by a fresh supervised search whose winner is
+    /// persisted before the response is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Search`] when the cold search panics or finds no
+    /// valid mapping; [`ServeError::Store`] when the store refuses the
+    /// lookup or write-back.
+    pub fn handle(&self, query: &MapQuery) -> Result<MapResponse, ServeError> {
+        let start = Instant::now();
+        // ordering: Relaxed — independent monotonic counter.
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let constraints = Constraints::unconstrained(query.arch.num_levels());
+        let key = ruby_store::config_key(
+            &query.arch,
+            &query.workload,
+            &constraints,
+            query.mapspace,
+            query.objective.name(),
+        );
+
+        {
+            let store = self.lock_store()?;
+            if let Some(record) = store.get(key) {
+                // ordering: Relaxed — independent monotonic counter.
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(respond(ResponseSource::Store, key, record.clone(), start));
+            }
+        }
+
+        // ordering: Relaxed — independent monotonic counter.
+        self.cold_searches.fetch_add(1, Ordering::Relaxed);
+        let record = self.cold_search(query, key)?;
+        let record = {
+            let mut store = self.lock_store()?;
+            store.put(record.clone())?;
+            // An improving record may have landed between our lookup
+            // and the write-back; always answer with the store's view
+            // so repeats of this query are bit-identical to it.
+            // justified: the key was either present or just written above
+            store
+                .get(key)
+                .cloned()
+                .expect("record just written vanished")
+        };
+        Ok(respond(ResponseSource::Search, key, record, start))
+    }
+
+    /// Answers a batch, sharding cold queries across the worker pool.
+    /// Results come back in query order; each entry fails or succeeds
+    /// on its own.
+    pub fn handle_batch(&self, queries: &[MapQuery]) -> Vec<Result<MapResponse, ServeError>> {
+        let slots: Vec<Mutex<Option<Result<MapResponse, ServeError>>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.config.workers.max(1).min(queries.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // ordering: Relaxed — the work index carries no other state.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(query) = queries.get(i) else {
+                        break;
+                    };
+                    let result = if self.token.stop_requested() {
+                        Err(ServeError::Stopped)
+                    } else {
+                        self.handle(query)
+                    };
+                    if let Ok(mut slot) = slots[i].lock() {
+                        *slot = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| match slot.into_inner() {
+                Ok(Some(result)) => result,
+                _ => Err(ServeError::Search("worker died mid-query".to_owned())),
+            })
+            .collect()
+    }
+
+    /// One supervised cold search: any panic becomes a per-query error.
+    fn cold_search(&self, query: &MapQuery, key: u64) -> Result<StoreRecord, ServeError> {
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_engine(query, key)))
+                .map_err(|panic| {
+                    ServeError::Search(format!("worker panicked: {}", panic_text(&panic)))
+                })??;
+        Ok(outcome)
+    }
+
+    fn run_engine(&self, query: &MapQuery, key: u64) -> Result<StoreRecord, ServeError> {
+        let space = Mapspace::new(query.arch.clone(), query.workload.clone(), query.mapspace);
+        let (max_evaluations, termination) = query.budget.params();
+        let config = SearchConfig::builder()
+            .seed(self.config.seed)
+            .max_evaluations(max_evaluations)
+            .termination(termination)
+            .threads(self.config.threads_per_query.max(1))
+            .objective(query.objective)
+            .strategy(SearchStrategy::Random)
+            .prune(true)
+            .build()
+            .map_err(|e| ServeError::Query(e.to_string()))?;
+        let mut engine = Engine::new(&space)
+            .with_config(config)
+            .with_stop_token(self.token.clone());
+        if let Some(dir) = &self.config.checkpoint_dir {
+            engine = engine
+                .with_checkpoint(
+                    dir.join(format!("{key:016x}.ckpt")),
+                    self.config.checkpoint_every,
+                )
+                .resume();
+        }
+        if let Some(progress) = &self.progress {
+            engine = engine.with_progress(Box::new(SharedSink {
+                inner: Arc::clone(progress),
+            }));
+        }
+        let outcome = engine
+            .try_run()
+            .map_err(|e| ServeError::Search(e.to_string()))?;
+        let best = outcome.best.ok_or_else(|| {
+            ServeError::Search(format!(
+                "no valid {} mapping in {} evaluations",
+                query.mapspace.name(),
+                outcome.evaluations
+            ))
+        })?;
+        Ok(StoreRecord {
+            key,
+            objective: query.objective.name().to_owned(),
+            cost: best.cost,
+            evaluations: outcome.evaluations,
+            mapping: best.mapping,
+            report: best.report,
+        })
+    }
+
+    fn lock_store(&self) -> Result<std::sync::MutexGuard<'_, MappingStore>, ServeError> {
+        self.store
+            .lock()
+            .map_err(|_| ServeError::Search("store mutex poisoned".to_owned()))
+    }
+}
+
+fn respond(source: ResponseSource, key: u64, record: StoreRecord, start: Instant) -> MapResponse {
+    MapResponse {
+        source,
+        key,
+        objective: record.objective,
+        cost: record.cost,
+        cycles: record.report.cycles(),
+        energy: record.report.energy(),
+        evaluations: record.evaluations,
+        micros: start.elapsed().as_micros() as u64,
+        mapping: record.mapping,
+    }
+}
+
+fn panic_text(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(text) = panic.downcast_ref::<&str>() {
+        (*text).to_owned()
+    } else if let Some(text) = panic.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Forwards one engine's progress into the service-wide shared sink.
+struct SharedSink {
+    inner: Arc<Mutex<Box<dyn ProgressSink>>>,
+}
+
+impl ProgressSink for SharedSink {
+    fn emit(&mut self, snapshot: &SearchSnapshot) {
+        if let Ok(mut sink) = self.inner.lock() {
+            sink.emit(snapshot);
+        }
+    }
+
+    fn finish(&mut self, summary: &serde::Value) {
+        if let Ok(mut sink) = self.inner.lock() {
+            sink.finish(summary);
+        }
+    }
+
+    fn metrics(&mut self, dump: &serde::Value) {
+        if let Ok(mut sink) = self.inner.lock() {
+            sink.metrics(dump);
+        }
+    }
+}

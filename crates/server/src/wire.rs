@@ -1,0 +1,66 @@
+//! Newline-delimited JSON protocol: one request per line, one response
+//! line per query.
+//!
+//! A request line is either a single [`MapQuery`] object or an array of
+//! them (a batch). Every response line is a [`MapResponse`] or an error
+//! object `{"schema":…,"error":"…"}`; batch responses come back in
+//! query order. The transport is whatever carries lines — `ruby serve`
+//! speaks it over stdin/stdout and over a Unix socket.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MapQuery, MapperService, ServeError, API_SCHEMA};
+
+/// Handles one protocol line; `None` for blank lines. The returned
+/// string holds one response line per query (no trailing newline).
+pub fn handle_line(service: &MapperService, line: &str) -> Option<String> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let value: serde::Value = match serde_json::from_str(line) {
+        Ok(value) => value,
+        Err(err) => return Some(error_line(&format!("unparseable request: {err}"))),
+    };
+    match value {
+        serde::Value::Arr(items) => {
+            let mut queries = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                match MapQuery::from_value(item) {
+                    Ok(query) => queries.push(query),
+                    Err(err) => return Some(error_line(&format!("batch entry {i}: {err}"))),
+                }
+            }
+            let lines: Vec<String> = service
+                .handle_batch(&queries)
+                .into_iter()
+                .map(|result| response_line(&result))
+                .collect();
+            Some(lines.join("\n"))
+        }
+        ref single @ serde::Value::Obj(_) => match MapQuery::from_value(single) {
+            Ok(query) => Some(response_line(&service.handle(&query))),
+            Err(err) => Some(error_line(&format!("bad query: {err}"))),
+        },
+        _ => Some(error_line("a request line must be an object or an array")),
+    }
+}
+
+fn response_line(result: &Result<crate::MapResponse, ServeError>) -> String {
+    match result {
+        Ok(response) => match serde_json::to_string(&response.to_value()) {
+            Ok(line) => line,
+            Err(err) => error_line(&format!("unserializable response: {err}")),
+        },
+        Err(err) => error_line(&err.to_string()),
+    }
+}
+
+fn error_line(message: &str) -> String {
+    let value = serde::Value::Obj(vec![
+        ("schema".to_owned(), serde::Value::U64(API_SCHEMA)),
+        ("error".to_owned(), serde::Value::Str(message.to_owned())),
+    ]);
+    // justified: the two-field error object always serializes
+    serde_json::to_string(&value).expect("error line must serialize")
+}

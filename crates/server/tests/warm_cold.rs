@@ -1,0 +1,149 @@
+//! End-to-end service behaviour: a repeated query is answered from the
+//! store, bit-identical to the cold search that first solved it.
+
+use std::path::PathBuf;
+
+use ruby_arch::presets;
+use ruby_mapspace::MapspaceKind;
+use ruby_server::{
+    wire, MapQuery, MapperService, QueryBudget, ResponseSource, ServiceConfig, API_SCHEMA,
+};
+use ruby_workload::ProblemShape;
+use serde::Serialize;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ruby-server-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn query() -> MapQuery {
+    MapQuery {
+        arch: presets::toy_linear(16, 1024),
+        workload: ProblemShape::rank1("d", 113),
+        mapspace: MapspaceKind::RubyS,
+        objective: ruby_search::Objective::Edp,
+        budget: QueryBudget::Quick,
+    }
+}
+
+#[test]
+fn repeat_queries_warm_hit_bit_identically() {
+    let dir = test_dir("warmcold");
+    let service = MapperService::open(ServiceConfig::new(dir.join("store.log"))).unwrap();
+
+    let cold = service.handle(&query()).unwrap();
+    assert_eq!(cold.source, ResponseSource::Search);
+    assert!(cold.cost.is_finite());
+
+    let warm = service.handle(&query()).unwrap();
+    assert_eq!(warm.source, ResponseSource::Store);
+
+    // The acceptance bar: the warm answer is bit-identical to the cold
+    // search's, mapping and cost both.
+    assert_eq!(warm.mapping, cold.mapping);
+    assert_eq!(warm.cost.to_bits(), cold.cost.to_bits());
+    assert_eq!(warm.cycles, cold.cycles);
+    assert_eq!(warm.key, cold.key);
+
+    let stats = service.stats();
+    assert_eq!(stats.queries, 2);
+    assert_eq!(stats.store_hits, 1);
+    assert_eq!(stats.cold_searches, 1);
+}
+
+#[test]
+fn warm_hits_survive_a_service_restart() {
+    let dir = test_dir("restart");
+    let path = dir.join("store.log");
+    let cold = {
+        let service = MapperService::open(ServiceConfig::new(&path)).unwrap();
+        service.handle(&query()).unwrap()
+    };
+
+    let service = MapperService::open(ServiceConfig::new(&path)).unwrap();
+    let warm = service.handle(&query()).unwrap();
+    assert_eq!(warm.source, ResponseSource::Store);
+    assert_eq!(warm.mapping, cold.mapping);
+    assert_eq!(warm.cost.to_bits(), cold.cost.to_bits());
+}
+
+#[test]
+fn batches_shard_across_workers_in_query_order() {
+    let dir = test_dir("batch");
+    let mut config = ServiceConfig::new(dir.join("store.log"));
+    config.workers = 3;
+    let service = MapperService::open(config).unwrap();
+
+    let mut other = query();
+    other.workload = ProblemShape::rank1("d", 97);
+    let batch = vec![query(), other.clone(), query()];
+    let results = service.handle_batch(&batch);
+    assert_eq!(results.len(), 3);
+    let responses: Vec<_> = results.into_iter().map(|r| r.unwrap()).collect();
+
+    // Same config twice in one batch: both must carry the same key and
+    // the same mapping (one of them may race to be the cold one).
+    assert_eq!(responses[0].key, responses[2].key);
+    assert_eq!(responses[0].mapping, responses[2].mapping);
+    assert_ne!(responses[0].key, responses[1].key);
+
+    // After the batch, everything is warm.
+    let warm = service.handle_batch(&batch);
+    for result in warm {
+        assert_eq!(result.unwrap().source, ResponseSource::Store);
+    }
+}
+
+#[test]
+fn query_serde_round_trips() {
+    let q = query();
+    let json = serde_json::to_string(&q.to_value()).unwrap();
+    let back: MapQuery = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, q);
+}
+
+#[test]
+fn wire_lines_answer_queries_and_tag_sources() {
+    let dir = test_dir("wire");
+    let service = MapperService::open(ServiceConfig::new(dir.join("store.log"))).unwrap();
+    let line = serde_json::to_string(&query().to_value()).unwrap();
+
+    let cold = wire::handle_line(&service, &line).unwrap();
+    assert!(cold.contains("\"source\":\"search\""));
+    let warm = wire::handle_line(&service, &line).unwrap();
+    assert!(warm.contains("\"source\":\"store\""));
+
+    // Responses parse back into the typed form, bit-identically.
+    let cold_resp: ruby_server::MapResponse = serde_json::from_str(&cold).unwrap();
+    let warm_resp: ruby_server::MapResponse = serde_json::from_str(&warm).unwrap();
+    assert_eq!(warm_resp.mapping, cold_resp.mapping);
+    assert_eq!(warm_resp.cost.to_bits(), cold_resp.cost.to_bits());
+
+    // A batch line returns one response line per query, in order.
+    let batch = format!("[{line},{line}]");
+    let lines = wire::handle_line(&service, &batch).unwrap();
+    assert_eq!(lines.lines().count(), 2);
+    for response in lines.lines() {
+        assert!(response.contains("\"source\":\"store\""));
+    }
+
+    // Blank lines are ignored; garbage gets a schema-tagged error.
+    assert!(wire::handle_line(&service, "  ").is_none());
+    let error = wire::handle_line(&service, "not json").unwrap();
+    assert!(error.contains(&format!("\"schema\":{API_SCHEMA}")));
+    assert!(error.contains("\"error\""));
+}
+
+#[test]
+fn wrong_schema_queries_are_refused() {
+    let q = query();
+    let mut value = q.to_value();
+    let serde::Value::Obj(ref mut fields) = value else {
+        panic!("query must serialize as an object");
+    };
+    fields[0].1 = serde::Value::U64(API_SCHEMA + 1);
+    let json = serde_json::to_string(&value).unwrap();
+    assert!(serde_json::from_str::<MapQuery>(&json).is_err());
+}

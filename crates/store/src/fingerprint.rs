@@ -1,0 +1,138 @@
+//! Canonical config fingerprint: the store key.
+//!
+//! The checkpoint fingerprint (`ruby-search`) deliberately folds the
+//! *run* identity — seed, thread count, strategy, budgets — because a
+//! checkpoint is only resumable by the exact run that wrote it. A store
+//! key is the opposite: two runs that searched the same *problem* must
+//! collide so the second one becomes a warm hit. The key therefore
+//! folds only the semantic identity of a query:
+//!
+//! - the architecture (every level's capacities, stores flags, access
+//!   and NoC energies, fanout, bandwidth, plus MAC energy and the
+//!   technology model),
+//! - the workload (dimension bounds, stride, dilation),
+//! - the mapspace kind and its constraints,
+//! - the objective.
+//!
+//! Seeds, budgets, thread counts and strategies are excluded: they
+//! change how hard we look, not what we are looking for. Labels are
+//! excluded too — `name` fields anywhere in the config are
+//! documentation, so `gemm:256,256,256` and the same shape loaded from
+//! a differently-named JSON file hash identically.
+//!
+//! Canonicalization comes from folding the *typed* values' serde trees
+//! rather than any JSON text: field order, whitespace and
+//! default-filled options in an input file all normalize when the file
+//! is parsed into `Architecture`/`ProblemShape`, whose `to_value()`
+//! emits fields in a fixed declaration order.
+
+use ruby_arch::Architecture;
+use ruby_mapspace::{Constraints, Mapspace, MapspaceKind};
+use ruby_workload::ProblemShape;
+use serde::{Serialize, Value};
+
+/// The store key for a mapspace/objective pair.
+pub fn store_key(space: &Mapspace, objective: &str) -> u64 {
+    config_key(
+        space.arch(),
+        space.shape(),
+        space.constraints(),
+        space.kind(),
+        objective,
+    )
+}
+
+/// The store key from the individual config parts.
+pub fn config_key(
+    arch: &Architecture,
+    shape: &ProblemShape,
+    constraints: &Constraints,
+    kind: MapspaceKind,
+    objective: &str,
+) -> u64 {
+    let mut fold = Fold::new();
+    fold.push_value(&arch.to_value());
+    fold.push_value(&shape.to_value());
+    fold.push_value(&constraints.to_value());
+    fold.push_str(kind.name());
+    fold.push_str(objective);
+    fold.state
+}
+
+/// Order-sensitive streaming fold (the checkpoint fingerprint idiom):
+/// xor-multiply by the golden-ratio constant, then a full SplitMix64
+/// round so every input bit diffuses before the next value lands.
+struct Fold {
+    state: u64,
+}
+
+impl Fold {
+    fn new() -> Self {
+        // "RubySTOR" — a fixed non-zero starting point, distinct from
+        // the checkpoint fingerprint's so the two keyspaces never
+        // collide by construction.
+        Fold {
+            state: 0x5275_6279_5354_4F52,
+        }
+    }
+
+    fn push(&mut self, v: u64) {
+        self.state ^= v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        rand::splitmix64(&mut self.state);
+    }
+
+    fn push_str(&mut self, s: &str) {
+        self.push(s.len() as u64);
+        for chunk in s.as_bytes().chunks(8) {
+            let mut le = [0u8; 8];
+            le[..chunk.len()].copy_from_slice(chunk);
+            self.push(u64::from_le_bytes(le));
+        }
+    }
+
+    /// Folds a serde value tree. Every variant is tagged before its
+    /// contents and every length is folded, so `[["a"],[]]` and
+    /// `[[],["a"]]` cannot collide. Object entries keyed `name` are
+    /// skipped at every depth: labels are not semantics.
+    fn push_value(&mut self, value: &Value) {
+        match value {
+            Value::Null => self.push(0),
+            Value::Bool(b) => {
+                self.push(1);
+                self.push(u64::from(*b));
+            }
+            Value::U64(x) => {
+                self.push(2);
+                self.push(*x);
+            }
+            Value::I64(x) => {
+                self.push(3);
+                self.push(*x as u64);
+            }
+            Value::F64(x) => {
+                self.push(4);
+                self.push(x.to_bits());
+            }
+            Value::Str(s) => {
+                self.push(5);
+                self.push_str(s);
+            }
+            Value::Arr(items) => {
+                self.push(6);
+                self.push(items.len() as u64);
+                for item in items {
+                    self.push_value(item);
+                }
+            }
+            Value::Obj(fields) => {
+                let live = fields.iter().filter(|(k, _)| k != "name");
+                self.push(7);
+                self.push(live.clone().count() as u64);
+                for (key, field) in live {
+                    self.push_str(key);
+                    self.push_value(field);
+                }
+            }
+        }
+    }
+}

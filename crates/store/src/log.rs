@@ -1,0 +1,152 @@
+//! On-disk record framing: the append-only log's byte format.
+//!
+//! Each record is two newline-terminated lines, mirroring the
+//! checkpoint file format so both share one recovery story:
+//!
+//! ```text
+//! {"schema":1,"crc":3632233996,"bytes":123}
+//! {"schema":1,"key":…,…}
+//! ```
+//!
+//! The header carries the on-disk schema version, the CRC-32 (IEEE) of
+//! the payload bytes, and the payload length; the payload is the
+//! [`StoreRecord`] JSON. A reader walks header/payload pairs from the
+//! start and stops at the first frame that is incomplete or fails its
+//! CRC — everything before that point is intact by construction
+//! (appends never rewrite earlier bytes), everything after is the torn
+//! tail of an interrupted append and is discarded.
+
+use serde::Serialize;
+
+use crate::{StoreError, StoreRecord, STORE_SCHEMA};
+
+/// Encodes one record as its two-line frame.
+pub(crate) fn encode(record: &StoreRecord) -> Result<String, StoreError> {
+    let payload = serde_json::to_string(&record.to_value())
+        .map_err(|err| StoreError::Corrupt(format!("unserializable record: {err}")))?;
+    let header = format!(
+        "{{\"schema\":{},\"crc\":{},\"bytes\":{}}}",
+        STORE_SCHEMA,
+        crc32(payload.as_bytes()),
+        payload.len()
+    );
+    Ok(format!("{header}\n{payload}\n"))
+}
+
+/// The result of scanning a log image.
+pub(crate) struct Scan {
+    /// Every intact record, in append order.
+    pub records: Vec<StoreRecord>,
+    /// Byte length of the intact prefix; anything past it is a torn
+    /// tail to truncate away.
+    pub valid_len: usize,
+}
+
+/// Scans `bytes` (a whole log file) into intact records plus the length
+/// of the intact prefix.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Schema`] when the *first* record announces a
+/// different on-disk schema version — the file belongs to another
+/// format generation and silently dropping it would lose data. Damage
+/// anywhere later is treated as a torn tail, not an error.
+pub(crate) fn scan(bytes: &[u8]) -> Result<Scan, StoreError> {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let Some((frame, end)) = scan_frame(bytes, offset) else {
+            break;
+        };
+        match frame {
+            Frame::Record(record) => records.push(*record),
+            Frame::WrongSchema(found) if offset == 0 => {
+                return Err(StoreError::Schema { found });
+            }
+            Frame::WrongSchema(_) | Frame::Damaged => break,
+        }
+        offset = end;
+    }
+    Ok(Scan {
+        records,
+        valid_len: offset,
+    })
+}
+
+enum Frame {
+    Record(Box<StoreRecord>),
+    WrongSchema(u64),
+    Damaged,
+}
+
+/// Decodes the frame starting at `offset`; `None` when the bytes end
+/// mid-frame (torn tail).
+fn scan_frame(bytes: &[u8], offset: usize) -> Option<(Frame, usize)> {
+    let header_end = find_newline(bytes, offset)?;
+    let header = parse_header(&bytes[offset..header_end])?;
+    if header.schema != STORE_SCHEMA {
+        return Some((Frame::WrongSchema(header.schema), bytes.len()));
+    }
+    let payload_start = header_end + 1;
+    let payload_end = payload_start.checked_add(header.bytes)?;
+    if payload_end >= bytes.len() || bytes[payload_end] != b'\n' {
+        return None;
+    }
+    let payload = &bytes[payload_start..payload_end];
+    if crc32(payload) != header.crc {
+        return Some((Frame::Damaged, payload_end + 1));
+    }
+    let text = std::str::from_utf8(payload).ok()?;
+    match serde_json::from_str::<StoreRecord>(text) {
+        Ok(record) => Some((Frame::Record(Box::new(record)), payload_end + 1)),
+        Err(_) => Some((Frame::Damaged, payload_end + 1)),
+    }
+}
+
+struct Header {
+    schema: u64,
+    crc: u32,
+    bytes: usize,
+}
+
+fn parse_header(line: &[u8]) -> Option<Header> {
+    let text = std::str::from_utf8(line).ok()?;
+    let value: serde::Value = serde_json::from_str(text).ok()?;
+    Some(Header {
+        schema: value.get("schema")?.as_u64().ok()?,
+        crc: u32::try_from(value.get("crc")?.as_u64().ok()?).ok()?,
+        bytes: usize::try_from(value.get("bytes")?.as_u64().ok()?).ok()?,
+    })
+}
+
+fn find_newline(bytes: &[u8], from: usize) -> Option<usize> {
+    bytes[from..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|i| from + i)
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the same
+/// checksum the checkpoint frames use, computed bitwise because the
+/// payloads are small.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_test_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -1,0 +1,103 @@
+//! Canonicalization properties of the store key.
+//!
+//! Two spellings of the same config — JSON field order, pretty-printed
+//! whitespace, different labels — must hash to the same key; any
+//! semantic change (a bound, an arch parameter, the objective, the
+//! mapspace kind) must change it.
+
+use proptest::prelude::*;
+use ruby_arch::{presets, Architecture};
+use ruby_mapspace::{Constraints, MapspaceKind};
+use ruby_store::config_key;
+use ruby_workload::ProblemShape;
+use serde::{Deserialize, Serialize, Value};
+
+/// Recursively reverses every object's field order: a different but
+/// semantically identical spelling of the same JSON document.
+fn reversed(value: &Value) -> Value {
+    match value {
+        Value::Arr(items) => Value::Arr(items.iter().map(reversed).collect()),
+        Value::Obj(fields) => Value::Obj(
+            fields
+                .iter()
+                .rev()
+                .map(|(k, v)| (k.clone(), reversed(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Round-trips `value` through a scrambled spelling: reversed field
+/// order, pretty-printed (whitespace everywhere), reparsed into `T`.
+fn respelled<T: Serialize + Deserialize>(value: &T) -> T {
+    let scrambled = serde_json::to_string_pretty(&reversed(&value.to_value())).unwrap();
+    serde_json::from_str(&scrambled).unwrap()
+}
+
+fn key_of(arch: &Architecture, shape: &ProblemShape, kind: MapspaceKind, objective: &str) -> u64 {
+    let constraints = Constraints::unconstrained(arch.num_levels());
+    config_key(arch, shape, &constraints, kind, objective)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn respelled_configs_hash_identically(
+        m in 1u64..64,
+        n in 1u64..64,
+        k in 1u64..64,
+        pes in 1u64..8,
+        scratch in 1u64..16,
+    ) {
+        let arch = presets::toy_linear(pes, scratch * 256);
+        let shape = ProblemShape::gemm("g", m, n, k);
+        let key = key_of(&arch, &shape, MapspaceKind::RubyS, "edp");
+
+        // Field order, whitespace, and a full serde round trip are all
+        // spelling; the key must not see them.
+        let respelled_arch: Architecture = respelled(&arch);
+        let respelled_shape: ProblemShape = respelled(&shape);
+        prop_assert_eq!(key_of(&respelled_arch, &respelled_shape, MapspaceKind::RubyS, "edp"), key);
+
+        // Labels are spelling too.
+        let renamed = ProblemShape::gemm("an_unrelated_label", m, n, k);
+        prop_assert_eq!(key_of(&arch, &renamed, MapspaceKind::RubyS, "edp"), key);
+    }
+
+    #[test]
+    fn semantic_changes_change_the_key(
+        m in 1u64..64,
+        n in 1u64..64,
+        k in 1u64..64,
+        pes in 2u64..8,
+        scratch in 2u64..16,
+    ) {
+        let arch = presets::toy_linear(pes, scratch * 256);
+        let shape = ProblemShape::gemm("g", m, n, k);
+        let key = key_of(&arch, &shape, MapspaceKind::RubyS, "edp");
+
+        // A workload bound.
+        let wider = ProblemShape::gemm("g", m + 1, n, k);
+        prop_assert_ne!(key_of(&arch, &wider, MapspaceKind::RubyS, "edp"), key);
+
+        // An architecture parameter (fanout via PE count, capacity via
+        // scratchpad size).
+        let more_pes = presets::toy_linear(pes + 1, scratch * 256);
+        prop_assert_ne!(key_of(&more_pes, &shape, MapspaceKind::RubyS, "edp"), key);
+        let bigger_spad = presets::toy_linear(pes, (scratch + 1) * 256);
+        prop_assert_ne!(key_of(&bigger_spad, &shape, MapspaceKind::RubyS, "edp"), key);
+
+        // The objective and the mapspace kind.
+        prop_assert_ne!(key_of(&arch, &shape, MapspaceKind::RubyS, "energy"), key);
+        prop_assert_ne!(key_of(&arch, &shape, MapspaceKind::Pfm, "edp"), key);
+
+        // The constraint set.
+        let constrained = Constraints::unconstrained(arch.num_levels()).with_exclusive_spatial();
+        prop_assert_ne!(
+            config_key(&arch, &shape, &constrained, MapspaceKind::RubyS, "edp"),
+            key
+        );
+    }
+}

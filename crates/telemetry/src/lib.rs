@@ -36,7 +36,7 @@ pub mod snapshot;
 #[cfg(test)]
 mod interleave_tests;
 
-pub use artifact::write_atomic;
+pub use artifact::{tmp_path, write_atomic};
 pub use metrics::{
     registry, Counter, Gauge, Histogram, LazyCounter, LazyGauge, LazyHistogram, MetricsRegistry,
     HISTOGRAM_BUCKETS,

@@ -25,6 +25,32 @@ cargo build --release -p ruby-cli --features telemetry
 echo "==> resilience smoke (kill/resume parity + supervised worker panic)"
 cargo run --release -q -p ruby-bench --bin resilience_smoke --features failpoints
 cargo test -q -p ruby-search --features failpoints
+cargo test -q -p ruby-store --features failpoints
+
+echo "==> serve smoke (warm hit from the store, >100x faster, clean SIGTERM)"
+serve_dir=$(mktemp -d)
+trap 'rm -rf "$serve_dir"' EXIT
+query_line=$(./target/release/ruby query --arch toy:16,1024 --workload rank1:113 \
+    --budget quick --print)
+# exec so SERVE_PID is the server itself, not a wrapping subshell.
+coproc SERVE { exec ./target/release/ruby serve --store "$serve_dir/store.log"; }
+printf '%s\n%s\n' "$query_line" "$query_line" >&"${SERVE[1]}"
+IFS= read -r -t 60 cold_resp <&"${SERVE[0]}"
+IFS= read -r -t 60 warm_resp <&"${SERVE[0]}"
+grep -q '"source":"search"' <<<"$cold_resp"
+grep -q '"source":"store"' <<<"$warm_resp"
+cold_us=$(sed -n 's/.*"micros":\([0-9]*\).*/\1/p' <<<"$cold_resp")
+warm_us=$(sed -n 's/.*"micros":\([0-9]*\).*/\1/p' <<<"$warm_resp")
+if [ "$cold_us" -lt $(( warm_us * 100 )) ]; then
+    echo "warm hit not >100x faster: cold=${cold_us}us warm=${warm_us}us" >&2
+    exit 1
+fi
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+# The store survives the shutdown: a fresh server answers warm.
+reopened=$(printf '%s\n' "$query_line" | ./target/release/ruby serve --store "$serve_dir/store.log")
+grep -q '"source":"store"' <<<"$reopened"
+grep -q 'store holds 1 mappings' <<<"$reopened"
 
 echo "==> ruby-lint (--json, <5s budget, schema.lock committed + current)"
 git ls-files --error-unmatch crates/lint/schema.lock >/dev/null
