@@ -140,10 +140,12 @@ USAGE:
   ruby sweep    --suite <name> [--configs 2x7,14x12,16x16] [--budget ...]
   ruby count    --arch <spec> --workload <spec>
   ruby serve    --store <log> [--socket <path>] [--workers <n>] [--seed <n>] \\
+                [--queue-depth <n>] [--max-inflight <n>] \\
                 [--checkpoint-dir <dir>] [--json] [--out summary.json] \\
                 [--progress] [--metrics-out metrics.jsonl]
   ruby query    --arch <spec> --workload <spec> [--space <kind>] \\
                 [--objective ...] [--budget quick|medium|full] \\
+                [--deadline-ms <n>] [--client <id>] \\
                 (--store <log> | --socket <path> | --print) \\
                 [--json] [--out response.json] [--progress] [--metrics-out ...]
   ruby help
@@ -168,6 +170,15 @@ SERVING:
   cold misses run a search and persist the winner. SIGTERM drains,
   compacts the store, and prints a summary. Build protocol lines with
   `ruby query ... --print`.
+
+  Under overload the service degrades instead of queueing unboundedly:
+  cold work beyond --queue-depth (default 16) is shed with a
+  retry_after_ms, --max-inflight (default 8, 0 = off) caps one client's
+  concurrent cold queries, --deadline-ms turns a slow search into a
+  best-so-far `partial` answer, and repeated cold failures trip a
+  circuit breaker. Warm hits always answer. On open the store log is
+  scrubbed: damaged frames move to a `.quarantine` sidecar and intact
+  records past them are recovered.
 ";
 
 /// Parses argv (without the program name) and runs the subcommand,

@@ -2,21 +2,29 @@
 //!
 //! `serve` opens a [`MapperService`] over a durable store and answers
 //! newline-delimited JSON [`MapQuery`] lines — from stdin/stdout by
-//! default, or from a Unix socket with `--socket <path>`. `query`
-//! builds one query from the familiar spec flags and either answers it
-//! locally against a store (`--store`) or ships it to a running server
-//! (`--socket`); `--print` just emits the protocol line for scripting.
+//! default, or from a Unix socket with `--socket <path>` (multiple
+//! concurrent connections, each with its own per-client admission
+//! identity). `query` builds one query from the familiar spec flags and
+//! either answers it locally against a store (`--store`) or ships it to
+//! a running server (`--socket`); `--print` just emits the protocol
+//! line for scripting.
+//!
+//! Overload behaviour is the service's (see `ruby_server::service`):
+//! warm hits always answer, cold work beyond `--queue-depth` is shed
+//! with a `retry_after_ms`, `--deadline-ms` turns slow searches into
+//! `partial` best-so-far answers, and the shutdown summary reports the
+//! shed/degraded/partial/breaker counters next to the query totals.
 //!
 //! Output flags are the shared [`OutputOpts`] set: `--json`, `--out`,
 //! `--progress`, `--metrics-out` mean the same thing here as in
 //! `ruby search` and `ruby analyze`.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::sync::mpsc;
 use std::time::Duration;
 
 use ruby_core::prelude::*;
-use ruby_server::{wire, MapQuery, MapResponse, MapperService, ServiceConfig};
+use ruby_server::{wire, MapQuery, MapResponse, MapperService, ResponseSource, ServiceConfig};
 use serde::{Deserialize as _, Serialize as _};
 
 use crate::parse::{parse_arch, parse_kind, parse_workload, OutputOpts};
@@ -25,6 +33,9 @@ use crate::{CliError, Flags};
 /// How long blocking loops sleep between [`StopToken`] polls, so one
 /// SIGTERM drains the server promptly even with a connection open.
 const POLL: Duration = Duration::from_millis(50);
+
+/// Transport read-chunk size for the capped line reader.
+const CHUNK: usize = 64 * 1024;
 
 /// `ruby serve`: answer mapping queries from a durable store, searching
 /// only on cold misses.
@@ -45,12 +56,32 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
 
     service.compact()?;
     let stats = service.stats();
+    let scrub = service.scrub_report();
     let summary = serde::Value::Obj(vec![
         ("queries".to_owned(), serde::Value::U64(stats.queries)),
         ("store_hits".to_owned(), serde::Value::U64(stats.store_hits)),
         (
             "cold_searches".to_owned(),
             serde::Value::U64(stats.cold_searches),
+        ),
+        ("shed".to_owned(), serde::Value::U64(stats.shed)),
+        ("degraded".to_owned(), serde::Value::U64(stats.degraded)),
+        ("partial".to_owned(), serde::Value::U64(stats.partial)),
+        (
+            "deadline_expired".to_owned(),
+            serde::Value::U64(stats.deadline_expired),
+        ),
+        (
+            "breaker_trips".to_owned(),
+            serde::Value::U64(stats.breaker_trips),
+        ),
+        (
+            "scrub_quarantined_frames".to_owned(),
+            serde::Value::U64(scrub.frames_quarantined),
+        ),
+        (
+            "scrub_quarantined_bytes".to_owned(),
+            serde::Value::U64(scrub.bytes_quarantined),
         ),
         (
             "store_entries".to_owned(),
@@ -66,13 +97,24 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
         return serde_json::to_string_pretty(&summary)
             .map_err(|e| CliError::Spec(format!("serializing summary: {e}")));
     }
-    Ok(format!(
+    let mut text = format!(
         "served {} queries ({} warm, {} cold); store holds {} mappings\n",
         stats.queries,
         stats.store_hits,
         stats.cold_searches,
         service.store_len()
-    ))
+    );
+    text.push_str(&format!(
+        "resilience: {} shed, {} degraded, {} partial, {} deadline-expired, {} breaker trips\n",
+        stats.shed, stats.degraded, stats.partial, stats.deadline_expired, stats.breaker_trips
+    ));
+    if scrub.frames_quarantined > 0 {
+        text.push_str(&format!(
+            "scrub quarantined {} damaged frames ({} bytes) to the sidecar\n",
+            scrub.frames_quarantined, scrub.bytes_quarantined
+        ));
+    }
+    Ok(text)
 }
 
 /// `ruby query`: one mapping query against a store or a running server.
@@ -81,6 +123,13 @@ pub fn query(args: &[String]) -> Result<String, CliError> {
     bools.extend(OutputOpts::BOOLS);
     let flags = Flags::parse(args, &bools)?;
     let output = OutputOpts::from_flags(&flags);
+    let deadline_ms = flags
+        .get("deadline-ms")
+        .map(|ms| {
+            ms.parse::<u64>()
+                .map_err(|_| CliError::Usage("--deadline-ms must be a number".into()))
+        })
+        .transpose()?;
     let query = MapQuery {
         arch: parse_arch(flags.require("arch")?)?,
         workload: parse_workload(flags.require("workload")?)?,
@@ -95,6 +144,8 @@ pub fn query(args: &[String]) -> Result<String, CliError> {
             .unwrap_or("medium")
             .parse()
             .map_err(|e: ruby_server::ServeError| CliError::Usage(e.to_string()))?,
+        deadline_ms,
+        client: flags.get("client").map(str::to_owned),
     };
     let line = serde_json::to_string(&query.to_value())
         .map_err(|e| CliError::Spec(format!("serializing query: {e}")))?;
@@ -141,6 +192,16 @@ fn service_config(flags: &Flags) -> Result<ServiceConfig, CliError> {
             .filter(|&w: &usize| w > 0)
             .ok_or_else(|| CliError::Usage("--workers must be a positive number".into()))?;
     }
+    if let Some(depth) = flags.get("queue-depth") {
+        config.queue_depth = depth
+            .parse()
+            .map_err(|_| CliError::Usage("--queue-depth must be a number".into()))?;
+    }
+    if let Some(cap) = flags.get("max-inflight") {
+        config.max_inflight_per_client = cap
+            .parse()
+            .map_err(|_| CliError::Usage("--max-inflight must be a number (0 disables)".into()))?;
+    }
     if let Some(seed) = flags.get("seed") {
         config.seed = seed
             .parse()
@@ -154,41 +215,84 @@ fn service_config(flags: &Flags) -> Result<ServiceConfig, CliError> {
 }
 
 fn render_response(response: &MapResponse) -> String {
+    if response.source == ResponseSource::Shed {
+        return format!(
+            "shed: server overloaded; retry in {} ms (key {:016x})\n",
+            response.retry_after_ms.unwrap_or(0),
+            response.key
+        );
+    }
     let source = match response.source {
-        ruby_server::ResponseSource::Store => "warm (store)",
-        ruby_server::ResponseSource::Search => "cold (search)",
+        ResponseSource::Store => "warm (store)",
+        ResponseSource::Search => "cold (search)",
+        ResponseSource::Partial => "partial (truncated search)",
+        // justified: the shed arm returned above
+        ResponseSource::Shed => unreachable!("shed responses render above"),
+    };
+    let degraded = if response.degraded {
+        ", degraded: nearest warm neighbor"
+    } else {
+        ""
     };
     let mut out = format!(
-        "{source} answer for key {:016x} in {} µs:\n",
+        "{source}{degraded} answer for key {:016x} in {} µs:\n",
         response.key, response.micros
     );
     out.push_str(&format!(
         "  objective:   {} = {:.4e}\n  cycles:      {}\n  energy:      {:.4e}\n  evaluations: {}\n",
         response.objective, response.cost, response.cycles, response.energy, response.evaluations
     ));
+    if let Some(reason) = &response.stop_reason {
+        out.push_str(&format!("  stopped:     {reason}\n"));
+    }
     out
 }
 
-/// The stdin/stdout protocol loop: a reader thread feeds lines through
-/// a channel so the main loop can keep polling the stop token; EOF or
-/// the first signal ends the session cleanly.
+/// Renders one reader event into its response line(s), if any.
+fn handle_event(
+    service: &MapperService,
+    event: wire::LineEvent,
+    client: Option<&str>,
+) -> Option<String> {
+    match event {
+        wire::LineEvent::Line(line) => wire::handle_line(service, &line, client),
+        wire::LineEvent::Oversized { bytes } => Some(wire::oversized_error_line(bytes)),
+    }
+}
+
+/// The stdin/stdout protocol loop: a reader thread feeds capped line
+/// events through a channel so the main loop can keep polling the stop
+/// token; EOF or the first signal ends the session cleanly.
 fn serve_stdio(service: &MapperService, token: &StopToken) -> Result<(), CliError> {
-    let (sender, lines) = mpsc::channel::<String>();
+    let (sender, events) = mpsc::channel::<wire::LineEvent>();
     std::thread::spawn(move || {
-        for line in std::io::stdin().lock().lines() {
-            let Ok(line) = line else { break };
-            if sender.send(line).is_err() {
-                break;
+        let mut stdin = std::io::stdin().lock();
+        let mut reader = wire::LineReader::new();
+        let mut chunk = [0u8; CHUNK];
+        loop {
+            match stdin.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    for event in reader.feed(&chunk[..n]) {
+                        if sender.send(event).is_err() {
+                            return;
+                        }
+                    }
+                }
             }
+        }
+        // A final unterminated line (EOF mid-line) still gets answered.
+        if let Some(event) = reader.finish() {
+            let _ = sender.send(event);
         }
     });
     loop {
         if token.stop_requested() {
             return Ok(());
         }
-        match lines.recv_timeout(POLL) {
-            Ok(line) => {
-                if let Some(response) = wire::handle_line(service, &line) {
+        match events.recv_timeout(POLL) {
+            Ok(event) => {
+                if let Some(response) = handle_event(service, event, None) {
                     let mut out = std::io::stdout().lock();
                     writeln!(out, "{response}")?;
                     out.flush()?;
@@ -200,26 +304,51 @@ fn serve_stdio(service: &MapperService, token: &StopToken) -> Result<(), CliErro
     }
 }
 
-/// The Unix-socket protocol loop: accept one connection at a time and
-/// speak the same line protocol; the stop token is polled between
-/// accepts and between lines.
+/// The Unix-socket protocol loop: every accepted connection gets its own
+/// thread (and its own `conn-N` admission identity); the stop token is
+/// polled between accepts and between reads. A panic inside one
+/// connection, or the `serve.accept` failpoint, costs that connection
+/// alone — the listener keeps accepting.
 #[cfg(unix)]
 fn serve_socket(service: &MapperService, token: &StopToken, path: &str) -> Result<(), CliError> {
     let _ = std::fs::remove_file(path);
     let listener = std::os::unix::net::UnixListener::bind(path)?;
     listener.set_nonblocking(true)?;
-    while !token.stop_requested() {
-        match listener.accept() {
-            Ok((stream, _)) => serve_connection(service, token, stream)?,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
-            Err(e) => {
-                let _ = std::fs::remove_file(path);
-                return Err(e.into());
+    let mut result = Ok(());
+    let mut next_conn = 0u64;
+    std::thread::scope(|scope| {
+        while !token.stop_requested() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if matches!(
+                        ruby_failpoints::hit("serve.accept"),
+                        ruby_failpoints::Action::Err
+                    ) {
+                        // Injected accept failure: the peer sees its
+                        // connection drop before any response.
+                        drop(stream);
+                        continue;
+                    }
+                    let client = format!("conn-{next_conn}");
+                    next_conn += 1;
+                    scope.spawn(move || {
+                        // Contain connection-level panics: the listener
+                        // and the other connections keep going.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            serve_connection(service, token, stream, &client);
+                        }));
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) => {
+                    result = Err(e.into());
+                    break;
+                }
             }
         }
-    }
+    });
     let _ = std::fs::remove_file(path);
-    Ok(())
+    result
 }
 
 #[cfg(not(unix))]
@@ -229,52 +358,130 @@ fn serve_socket(_service: &MapperService, _token: &StopToken, _path: &str) -> Re
     ))
 }
 
+/// One socket session: capped line reader in, response lines out. Write
+/// failures (the peer vanished) and the `serve.respond` failpoint end
+/// the session; they never take the server down.
 #[cfg(unix)]
 fn serve_connection(
     service: &MapperService,
     token: &StopToken,
-    stream: std::os::unix::net::UnixStream,
-) -> Result<(), CliError> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(POLL))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    while !token.stop_requested() {
-        match reader.read_line(&mut line) {
+    mut stream: std::os::unix::net::UnixStream,
+    client: &str,
+) {
+    if stream.set_nonblocking(false).is_err() || stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = wire::LineReader::new();
+    let mut chunk = [0u8; CHUNK];
+    'session: while !token.stop_requested() {
+        match stream.read(&mut chunk) {
             Ok(0) => break,
-            Ok(_) => {
-                if let Some(response) = wire::handle_line(service, &line) {
-                    writeln!(writer, "{response}")?;
-                    writer.flush()?;
+            Ok(n) => {
+                for event in reader.feed(&chunk[..n]) {
+                    if !respond(service, &mut writer, event, client) {
+                        return;
+                    }
                 }
-                line.clear();
             }
-            // A timeout leaves any partial line in the buffer; keep
-            // accumulating after the next stop-token poll.
+            // A timeout just means no bytes yet; poll the token again.
             Err(e)
                 if matches!(
                     e.kind(),
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) => {}
-            Err(_) => break,
+            Err(_) => break 'session,
         }
     }
-    Ok(())
+    // A peer that shut down its write side mid-line still gets a
+    // terminal response for what it sent (best-effort: it may be gone).
+    if let Some(event) = reader.finish() {
+        let _ = respond(service, &mut writer, event, client);
+    }
 }
 
-/// One round trip to a running `ruby serve --socket` server.
+/// Answers one reader event on a connection; `false` ends the session
+/// (injected respond fault, or the peer is gone).
+#[cfg(unix)]
+fn respond(
+    service: &MapperService,
+    writer: &mut impl Write,
+    event: wire::LineEvent,
+    client: &str,
+) -> bool {
+    let Some(response) = handle_event(service, event, Some(client)) else {
+        return true;
+    };
+    if matches!(
+        ruby_failpoints::hit("serve.respond"),
+        ruby_failpoints::Action::Err
+    ) {
+        // Injected respond failure: drop the connection instead of
+        // answering — the client must survive a vanished response.
+        return false;
+    }
+    writeln!(writer, "{response}")
+        .and_then(|()| writer.flush())
+        .is_ok()
+}
+
+/// One round trip to a running `ruby serve --socket` server. The
+/// connect retries with bounded jittered backoff so a client racing the
+/// server's bind (or a briefly restarting server) doesn't fail on the
+/// first `ECONNREFUSED`.
 #[cfg(unix)]
 fn query_socket(path: &str, line: &str) -> Result<MapResponse, CliError> {
-    let stream = std::os::unix::net::UnixStream::connect(path)
-        .map_err(|e| CliError::Spec(format!("connecting to {path}: {e}")))?;
+    let stream = connect_with_retry(path)?;
     let mut writer = stream.try_clone()?;
     writeln!(writer, "{line}")?;
     writer.flush()?;
     let mut response = String::new();
-    BufReader::new(stream).read_line(&mut response)?;
+    if std::io::BufReader::new(stream).read_line(&mut response)? == 0 {
+        return Err(CliError::Spec(
+            "server closed the connection before responding; retry the query".into(),
+        ));
+    }
     parse_response(&response)
 }
+
+#[cfg(unix)]
+fn connect_with_retry(path: &str) -> Result<std::os::unix::net::UnixStream, CliError> {
+    const ATTEMPTS: u32 = 3;
+    let mut backoff = Duration::from_millis(75);
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match std::os::unix::net::UnixStream::connect(path) {
+            Ok(stream) => return Ok(stream),
+            Err(e)
+                if attempt < ATTEMPTS
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::NotFound
+                    ) =>
+            {
+                // Jitter from the subsecond clock spreads simultaneous
+                // retriers without a PRNG dependency.
+                let jitter = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| u64::from(d.subsec_millis() % 40))
+                    .unwrap_or(0);
+                std::thread::sleep(backoff + Duration::from_millis(jitter));
+                backoff *= 2;
+            }
+            Err(e) => {
+                return Err(CliError::Spec(format!(
+                    "connecting to {path} (attempt {attempt}): {e}"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+use std::io::BufRead;
 
 #[cfg(not(unix))]
 fn query_socket(_path: &str, _line: &str) -> Result<MapResponse, CliError> {
@@ -320,6 +527,20 @@ mod tests {
         let parsed: MapQuery = serde_json::from_str(out.trim()).unwrap();
         assert_eq!(parsed.budget, ruby_server::QueryBudget::Quick);
         assert_eq!(parsed.mapspace, MapspaceKind::RubyS);
+        assert_eq!(parsed.deadline_ms, None);
+        assert_eq!(parsed.client, None);
+    }
+
+    #[test]
+    fn print_carries_deadline_and_client() {
+        let out = query(&argv(
+            "--arch toy:16,1024 --workload rank1:113 --budget quick \
+             --deadline-ms 250 --client ci-bot --print",
+        ))
+        .unwrap();
+        let parsed: MapQuery = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(parsed.deadline_ms, Some(250));
+        assert_eq!(parsed.client.as_deref(), Some("ci-bot"));
     }
 
     #[test]
@@ -378,13 +599,8 @@ mod tests {
         let socket_path = socket.display().to_string();
         std::thread::scope(|scope| {
             let server = scope.spawn(|| serve_socket(&service, &token, &socket_path));
-            // Wait for the socket to appear.
-            for _ in 0..200 {
-                if socket.exists() {
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(10));
-            }
+            // No bind-wait here: the client's connect retry covers the
+            // race with the server's bind.
             let spec = format!(
                 "--arch toy:16,1024 --workload rank1:113 --budget quick --socket {socket_path}"
             );
@@ -396,6 +612,22 @@ mod tests {
             server.join().unwrap().unwrap();
         });
         assert!(!socket.exists(), "socket file cleaned up on shutdown");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_connect_fails_cleanly_when_no_server_ever_binds() {
+        let dir = test_dir("noserver");
+        let socket = dir.join("absent.sock");
+        let started = std::time::Instant::now();
+        let result = query(&argv(&format!(
+            "--arch toy:16,1024 --workload rank1:113 --budget quick --socket {}",
+            socket.display()
+        )));
+        // Three attempts with backoff, then a clean spec error naming
+        // the last attempt.
+        assert!(matches!(result, Err(CliError::Spec(_))), "{result:?}");
+        assert!(started.elapsed() >= Duration::from_millis(150));
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! The chaos harness: a live `ruby serve --socket` server driven
+//! through injected worker panics, torn store writes, response delays,
+//! and dropped connections (`--features failpoints`), by concurrent
+//! clients mixing cold, warm, and tiny-deadline queries.
+//!
+//! Invariants asserted:
+//!
+//! * every response line any client receives is schema-valid and
+//!   terminal — a `store`/`search`/`partial`/`shed` response or a
+//!   structured error object — and well-behaved connections get exactly
+//!   one line per query;
+//! * the store never corrupts: after shutdown a plain reopen finds
+//!   every key acknowledged by a `search`/`partial` response, with no
+//!   torn tail and no `.tmp` litter;
+//! * the server drains cleanly under fire: the stop request ends the
+//!   session, the socket file is removed, and the summary accounts for
+//!   the queries.
+
+#![cfg(all(unix, feature = "failpoints"))]
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde::Deserialize as _;
+
+const CLIENTS: usize = 4;
+const QUERIES_PER_CLIENT: usize = 10;
+/// Small prime extents: distinct configs with fast cold searches;
+/// repeats across clients turn into warm hits.
+const EXTENTS: [u64; 5] = [97, 113, 131, 151, 173];
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ruby-cli-chaos-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Builds one protocol line via the CLI's own `query --print`.
+fn query_line(extent: u64, deadline_ms: Option<u64>) -> String {
+    let mut args: Vec<String> = [
+        "query",
+        "--arch",
+        "toy:16,1024",
+        "--workload",
+        &format!("rank1:{extent}"),
+        "--budget",
+        "quick",
+        "--print",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    if let Some(ms) = deadline_ms {
+        args.push("--deadline-ms".to_owned());
+        args.push(ms.to_string());
+    }
+    ruby_cli::run(&args).unwrap().trim().to_owned()
+}
+
+/// Sends one query over its own connection; `Some(line)` when a
+/// response arrived, `None` when the (possibly injected) fault dropped
+/// the connection first.
+fn round_trip(socket: &Path, line: &str) -> Option<String> {
+    let stream = connect(socket)?;
+    let mut writer = stream.try_clone().ok()?;
+    writeln!(writer, "{line}").ok()?;
+    writer.flush().ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    let mut response = String::new();
+    match BufReader::new(stream).read_line(&mut response) {
+        Ok(n) if n > 0 => Some(response),
+        _ => None,
+    }
+}
+
+fn connect(socket: &Path) -> Option<UnixStream> {
+    for _ in 0..100 {
+        if let Ok(stream) = UnixStream::connect(socket) {
+            return Some(stream);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    None
+}
+
+/// A terminal response must be a schema-valid error object or a
+/// response whose source is one of the four verdicts; returns the
+/// store key for acknowledged cold results (`search`/`partial`).
+fn check_terminal(line: &str) -> Option<u64> {
+    let value: serde::Value = serde_json::from_str(line.trim())
+        .unwrap_or_else(|e| panic!("unparseable response line: {e}: {line:?}"));
+    let schema = value
+        .get("schema")
+        .and_then(|v| v.as_u64().ok())
+        .unwrap_or_else(|| panic!("response without a schema: {line:?}"));
+    assert_eq!(schema, ruby_server::API_SCHEMA, "wrong schema: {line:?}");
+    if value.get("error").is_some() {
+        return None;
+    }
+    let response = ruby_server::MapResponse::from_value(&value)
+        .unwrap_or_else(|e| panic!("non-terminal response line: {e}: {line:?}"));
+    match response.source {
+        ruby_server::ResponseSource::Search | ruby_server::ResponseSource::Partial => {
+            assert!(response.mapping.is_some(), "cold result without a mapping");
+            Some(response.key)
+        }
+        ruby_server::ResponseSource::Store => {
+            assert!(response.mapping.is_some(), "warm result without a mapping");
+            None
+        }
+        ruby_server::ResponseSource::Shed => {
+            assert!(response.retry_after_ms.is_some(), "shed without retry hint");
+            assert!(response.mapping.is_none(), "shed with a mapping");
+            None
+        }
+    }
+}
+
+#[test]
+fn a_live_server_survives_injected_chaos_with_a_consistent_store() {
+    let dir = test_dir("storm");
+    let store_path = dir.join("store.log");
+    let socket = dir.join("mapper.sock");
+
+    ruby_failpoints::reset();
+    // The storm: occasional evaluation panics inside the engine,
+    // frequent torn store appends, slowed cold searches (saturating the
+    // 2-worker pool), and dropped responses.
+    assert!(ruby_failpoints::arm("search.eval", "p:0.02:panic"));
+    assert!(ruby_failpoints::arm("store.append", "p:0.25:torn:35"));
+    assert!(ruby_failpoints::arm("server.worker", "p:0.3:delay:40"));
+    assert!(ruby_failpoints::arm("serve.respond", "p:0.1:err"));
+
+    let serve_args: Vec<String> = [
+        "serve",
+        "--store",
+        &store_path.display().to_string(),
+        "--socket",
+        &socket.display().to_string(),
+        "--workers",
+        "2",
+        "--queue-depth",
+        "2",
+        "--json",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let server = std::thread::spawn(move || ruby_cli::run(&serve_args));
+
+    let acked = Mutex::new(HashSet::<u64>::new());
+    let mut answered = 0usize;
+    let mut dropped = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let acked = &acked;
+                let socket = socket.as_path();
+                scope.spawn(move || {
+                    let mut answered = 0usize;
+                    let mut dropped = 0usize;
+                    for i in 0..QUERIES_PER_CLIENT {
+                        let extent = EXTENTS[(c + i) % EXTENTS.len()];
+                        // Every fourth query carries a deadline too
+                        // tight for a delayed cold search.
+                        let deadline = (i % 4 == 3).then_some(30);
+                        let line = query_line(extent, deadline);
+                        match round_trip(socket, &line) {
+                            Some(response) => {
+                                answered += 1;
+                                if let Some(key) = check_terminal(&response) {
+                                    acked.lock().unwrap().insert(key);
+                                }
+                            }
+                            None => dropped += 1,
+                        }
+                    }
+                    // A rude disconnect: send a query and vanish without
+                    // reading; the server must shrug the write failure off.
+                    if let Some(stream) = connect(socket) {
+                        let mut stream = stream;
+                        let _ =
+                            writeln!(stream, "{}", query_line(EXTENTS[c % EXTENTS.len()], None));
+                        drop(stream);
+                    }
+                    (answered, dropped)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (a, d) = handle.join().expect("client thread survived");
+            answered += a;
+            dropped += d;
+        }
+    });
+
+    assert_eq!(
+        answered + dropped,
+        CLIENTS * QUERIES_PER_CLIENT,
+        "every query accounted for"
+    );
+    assert!(
+        answered > 0,
+        "the storm must not have severed every connection"
+    );
+
+    // Clean drain under fire: stop, join, summary.
+    ruby_cli::interrupts::request_stop();
+    let summary = server.join().expect("server thread survived").unwrap();
+    let summary: serde::Value = serde_json::from_str(&summary).unwrap();
+    let served = summary.get("queries").unwrap().as_u64().unwrap();
+    assert!(
+        served >= answered as u64,
+        "summary counts at least the answered queries ({served} < {answered})"
+    );
+    assert!(!socket.exists(), "socket file removed on shutdown");
+
+    ruby_failpoints::reset();
+
+    // Store consistency: a plain reopen (no scrub) finds every
+    // acknowledged cold result — torn appends never corrupted later
+    // acked frames — with no torn tail and no litter.
+    let reopened = ruby_store::MappingStore::open(&store_path).unwrap();
+    assert_eq!(reopened.recovered_bytes(), 0, "log reopened torn-free");
+    for key in acked.lock().unwrap().iter() {
+        assert!(
+            reopened.get(*key).is_some(),
+            "acknowledged key {key:016x} missing after reopen"
+        );
+    }
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(!name.ends_with(".tmp"), "tmp litter leaked: {name}");
+        assert!(
+            !name.ends_with(".quarantine"),
+            "self-healing appends must not need quarantine: {name}"
+        );
+    }
+}

@@ -29,9 +29,17 @@
 //! * `torn:N` — the site should truncate its write after `N` bytes and
 //!   then fail (checkpoint/artifact writers use this to simulate a
 //!   crash mid-write).
-//! * Any spec may carry `@K` (e.g. `panic@100`): the action triggers on
-//!   the K-th hit of that site (1-based) and every hit after it, so a
-//!   run can fail mid-stream rather than at the first touch.
+//! * `delay:MS` — [`hit`] itself sleeps `MS` milliseconds (with the
+//!   registry lock released) before returning [`Action::Delay`], so
+//!   *every* site supports injected latency without site-side code.
+//! * `p:PROB:spec` — probabilistic wrapper: once triggered, each hit
+//!   draws from a deterministic seeded generator and applies the inner
+//!   spec with probability `PROB` (e.g. `p:0.2:panic`), otherwise the
+//!   site sees [`Action::Off`].
+//! * Any spec may carry `@K` (e.g. `panic@100`, `p:0.5:err@10`): the
+//!   action triggers on the K-th hit of that site (1-based) and every
+//!   hit after it, so a run can fail mid-stream rather than at the
+//!   first touch.
 //!
 //! The registry counts hits per site whether or not the site is armed;
 //! [`hits`] exposes the count so tests can assert a site was actually
@@ -48,6 +56,9 @@ pub enum Action {
     Err,
     /// Truncate the write after this many bytes, then fail.
     Torn(usize),
+    /// Injected latency: [`hit`] already slept this many milliseconds
+    /// before returning, so sites may treat it like [`Action::Off`].
+    Delay(u64),
 }
 
 #[cfg(feature = "enabled")]
@@ -60,11 +71,21 @@ mod real {
         action: Action,
         /// 1-based hit number at which the action starts triggering.
         after: u64,
+        /// Probability a triggered hit applies the action (1.0 = every
+        /// hit, the non-`p:` default).
+        prob: f64,
         hits: u64,
     }
 
-    fn registry() -> &'static Mutex<Vec<Point>> {
-        static REGISTRY: OnceLock<Mutex<Vec<Point>>> = OnceLock::new();
+    struct Registry {
+        points: Vec<Point>,
+        /// splitmix64 state for the `p:` draws — deterministic per
+        /// process so chaos runs are reproducible.
+        rng: u64,
+    }
+
+    fn registry() -> &'static Mutex<Registry> {
+        static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
         REGISTRY.get_or_init(|| {
             let mut points = Vec::new();
             if let Ok(env) = std::env::var("RUBY_FAILPOINTS") {
@@ -74,11 +95,12 @@ mod real {
                         continue;
                     }
                     if let Some((name, spec)) = entry.split_once('=') {
-                        if let Some((action, after)) = parse_spec(spec) {
+                        if let Some((action, after, prob)) = parse_spec(spec) {
                             points.push(Point {
                                 name: name.trim().to_owned(),
                                 action,
                                 after,
+                                prob,
                                 hits: 0,
                             });
                         } else {
@@ -89,13 +111,27 @@ mod real {
                     }
                 }
             }
-            Mutex::new(points)
+            Mutex::new(Registry {
+                points,
+                rng: 0x9E37_79B9_7F4A_7C15,
+            })
         })
     }
 
-    /// Parses `panic`, `err`, `torn:N`, each optionally suffixed `@K`.
-    fn parse_spec(spec: &str) -> Option<(Action, u64)> {
+    /// Parses `panic`, `err`, `torn:N`, `delay:MS`, optionally wrapped
+    /// `p:PROB:spec`, each optionally suffixed `@K`. Returns
+    /// `(action, after, probability)`.
+    fn parse_spec(spec: &str) -> Option<(Action, u64, f64)> {
         let spec = spec.trim();
+        if let Some(rest) = spec.strip_prefix("p:") {
+            let (prob, inner) = rest.split_once(':')?;
+            let prob = prob.parse::<f64>().ok()?;
+            if !(0.0..=1.0).contains(&prob) {
+                return None;
+            }
+            let (action, after, _) = parse_spec(inner)?;
+            return Some((action, after, prob));
+        }
         let (body, after) = match spec.split_once('@') {
             Some((body, at)) => (body, at.parse::<u64>().ok()?.max(1)),
             None => (spec, 1),
@@ -104,52 +140,80 @@ mod real {
             "panic" => Action::Panic,
             "err" => Action::Err,
             _ => {
-                let n = body.strip_prefix("torn:")?;
-                Action::Torn(n.parse::<usize>().ok()?)
+                if let Some(n) = body.strip_prefix("torn:") {
+                    Action::Torn(n.parse::<usize>().ok()?)
+                } else {
+                    let ms = body.strip_prefix("delay:")?;
+                    Action::Delay(ms.parse::<u64>().ok()?)
+                }
             }
         };
-        Some((action, after))
+        Some((action, after, 1.0))
+    }
+
+    /// One splitmix64 step, mapped to [0, 1).
+    fn draw(state: &mut u64) -> f64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
     }
 
     pub fn hit(name: &str) -> Action {
-        let mut points = registry().lock().unwrap_or_else(PoisonError::into_inner);
-        match points.iter_mut().find(|p| p.name == name) {
-            Some(point) => {
-                point.hits += 1;
-                if point.hits >= point.after {
-                    point.action
-                } else {
+        let action = {
+            let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+            let reg = &mut *reg;
+            match reg.points.iter_mut().find(|p| p.name == name) {
+                Some(point) => {
+                    point.hits += 1;
+                    if point.hits < point.after {
+                        Action::Off
+                    } else if point.prob >= 1.0 || draw(&mut reg.rng) < point.prob {
+                        point.action
+                    } else {
+                        Action::Off
+                    }
+                }
+                None => {
+                    // Count hits on unarmed sites too, so tests can assert a
+                    // site was reached before arming it.
+                    reg.points.push(Point {
+                        name: name.to_owned(),
+                        action: Action::Off,
+                        after: u64::MAX,
+                        prob: 1.0,
+                        hits: 1,
+                    });
                     Action::Off
                 }
             }
-            None => {
-                // Count hits on unarmed sites too, so tests can assert a
-                // site was reached before arming it.
-                points.push(Point {
-                    name: name.to_owned(),
-                    action: Action::Off,
-                    after: u64::MAX,
-                    hits: 1,
-                });
-                Action::Off
-            }
+        };
+        // Sleep with the registry lock released so a delayed site never
+        // stalls hits (or arming) elsewhere in the process.
+        if let Action::Delay(ms) = action {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
         }
+        action
     }
 
     pub fn arm(name: &str, spec: &str) -> bool {
-        let Some((action, after)) = parse_spec(spec) else {
+        let Some((action, after, prob)) = parse_spec(spec) else {
             return false;
         };
-        let mut points = registry().lock().unwrap_or_else(PoisonError::into_inner);
-        match points.iter_mut().find(|p| p.name == name) {
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        match reg.points.iter_mut().find(|p| p.name == name) {
             Some(point) => {
                 point.action = action;
                 point.after = point.hits + after;
+                point.prob = prob;
             }
-            None => points.push(Point {
+            None => reg.points.push(Point {
                 name: name.to_owned(),
                 action,
                 after,
+                prob,
                 hits: 0,
             }),
         }
@@ -157,21 +221,25 @@ mod real {
     }
 
     pub fn disarm(name: &str) {
-        let mut points = registry().lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some(point) = points.iter_mut().find(|p| p.name == name) {
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(point) = reg.points.iter_mut().find(|p| p.name == name) {
             point.action = Action::Off;
             point.after = u64::MAX;
+            point.prob = 1.0;
         }
     }
 
     pub fn reset() {
-        let mut points = registry().lock().unwrap_or_else(PoisonError::into_inner);
-        points.clear();
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        reg.points.clear();
     }
 
     pub fn hits(name: &str) -> u64 {
-        let points = registry().lock().unwrap_or_else(PoisonError::into_inner);
-        points.iter().find(|p| p.name == name).map_or(0, |p| p.hits)
+        let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        reg.points
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0, |p| p.hits)
     }
 }
 
@@ -189,9 +257,10 @@ pub fn hit(_name: &str) -> Action {
     Action::Off
 }
 
-/// Arms failpoint `name` with `spec` (`panic` | `err` | `torn:N`, each
-/// optionally `@K` for the 1-based triggering hit). Returns whether the
-/// spec parsed; always `false` without the `enabled` feature.
+/// Arms failpoint `name` with `spec` (`panic` | `err` | `torn:N` |
+/// `delay:MS`, optionally wrapped `p:PROB:spec`, each optionally `@K`
+/// for the 1-based triggering hit). Returns whether the spec parsed;
+/// always `false` without the `enabled` feature.
 #[cfg(feature = "enabled")]
 pub fn arm(name: &str, spec: &str) -> bool {
     real::arm(name, spec)
@@ -275,7 +344,50 @@ mod tests {
         assert!(!arm("t.bad", "explode"));
         assert!(!arm("t.bad", "torn:xyz"));
         assert!(!arm("t.bad", "panic@"));
+        assert!(!arm("t.bad", "delay:"));
+        assert!(!arm("t.bad", "p:panic"));
+        assert!(!arm("t.bad", "p:1.5:panic"));
+        assert!(!arm("t.bad", "p:0.5:explode"));
         assert_eq!(hit("t.bad"), Action::Off);
+    }
+
+    #[test]
+    fn delay_sleeps_before_returning() {
+        assert!(arm("t.delay", "delay:30"));
+        let start = std::time::Instant::now();
+        assert_eq!(hit("t.delay"), Action::Delay(30));
+        assert!(start.elapsed() >= std::time::Duration::from_millis(30));
+    }
+
+    #[test]
+    fn probability_bounds_are_honored() {
+        // p:0 never applies the inner action, p:1 always does; both
+        // still count hits.
+        assert!(arm("t.p0", "p:0:panic"));
+        for _ in 0..50 {
+            assert_eq!(hit("t.p0"), Action::Off);
+        }
+        assert_eq!(hits("t.p0"), 50);
+        assert!(arm("t.p1", "p:1:err"));
+        for _ in 0..50 {
+            assert_eq!(hit("t.p1"), Action::Err);
+        }
+    }
+
+    #[test]
+    fn probabilistic_specs_apply_sometimes() {
+        assert!(arm("t.phalf", "p:0.5:err"));
+        let fired = (0..200).filter(|_| hit("t.phalf") == Action::Err).count();
+        // Wildly loose bounds: just prove it is neither never nor always.
+        assert!(fired > 20 && fired < 180, "fired {fired}/200");
+    }
+
+    #[test]
+    fn probabilistic_specs_respect_the_trigger_hit() {
+        assert!(arm("t.pafter", "p:1:err@3"));
+        assert_eq!(hit("t.pafter"), Action::Off);
+        assert_eq!(hit("t.pafter"), Action::Off);
+        assert_eq!(hit("t.pafter"), Action::Err);
     }
 
     #[test]

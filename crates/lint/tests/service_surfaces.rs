@@ -45,6 +45,51 @@ fn store_and_server_wire_types_are_fingerprinted() {
     }
 }
 
+/// The resilience fields added for overload handling (shed hints,
+/// degradation flags, deadlines) must be schema-lock-tracked: present in
+/// the live fingerprint at wire version 2 AND recorded in the committed
+/// lock, so any later drift trips the pass instead of slipping out
+/// silently.
+#[test]
+fn resilience_wire_fields_are_schema_lock_tracked() {
+    let ws = Workspace::load(&workspace_root());
+    let current = current_surfaces(&ws);
+    let lock =
+        std::fs::read_to_string(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("schema.lock"))
+            .expect("schema.lock is committed next to the lint crate");
+    for (name, fields) in [
+        ("MapQuery", &["deadline_ms", "client"][..]),
+        (
+            "MapResponse",
+            &["degraded", "retry_after_ms", "stop_reason"][..],
+        ),
+    ] {
+        let entry = current
+            .get(name)
+            .unwrap_or_else(|| panic!("{name} must be a fingerprinted schema surface"));
+        assert_eq!(entry.version, 2, "{name} must be at wire version 2");
+        let locked = lock
+            .lines()
+            .find(|l| l.starts_with(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("{name} missing from the committed schema.lock"));
+        assert!(
+            locked.contains("version=2"),
+            "committed lock is stale for {name}: {locked}"
+        );
+        for field in fields {
+            assert!(
+                entry.fields.iter().any(|f| f == field),
+                "{name} fingerprint lost the `{field}` field: {:?}",
+                entry.fields
+            );
+            assert!(
+                locked.contains(field),
+                "committed lock for {name} lost `{field}`: {locked}"
+            );
+        }
+    }
+}
+
 #[test]
 fn server_worker_pool_mutexes_are_visible_to_lock_discipline() {
     let ws = Workspace::load(&workspace_root());

@@ -30,7 +30,12 @@ use ruby_workload::ProblemShape;
 pub use service::{MapperService, ServiceConfig, ServiceStats};
 
 /// Wire schema version of [`MapQuery`] and [`MapResponse`].
-pub const API_SCHEMA: u64 = 1;
+///
+/// Version 2 added the overload/failure surface: `deadline_ms` and
+/// `client` on queries; `partial`/`shed` sources, `degraded`,
+/// `retry_after_ms`, `stop_reason`, and a nullable `mapping` on
+/// responses.
+pub const API_SCHEMA: u64 = 2;
 
 /// How hard a cold search may look, as a named tier (the CLI's
 /// `--budget` tiers, so `ruby search` and `ruby query` agree on what
@@ -105,6 +110,14 @@ pub struct MapQuery {
     pub objective: Objective,
     /// The search budget tier for a cold query.
     pub budget: QueryBudget,
+    /// Wall-clock deadline for answering, in milliseconds from receipt.
+    /// A cold search that runs out of deadline drains through the
+    /// engine's stop machinery and answers with its best-so-far mapping
+    /// marked `source:"partial"`; `None` means no deadline.
+    pub deadline_ms: Option<u64>,
+    /// Client identity for per-client in-flight caps; `None` falls back
+    /// to the transport's identity (one per connection).
+    pub client: Option<String>,
 }
 
 impl serde::Serialize for MapQuery {
@@ -121,6 +134,20 @@ impl serde::Serialize for MapQuery {
             (
                 "budget".to_owned(),
                 serde::Value::Str(self.budget.name().to_owned()),
+            ),
+            (
+                "deadline_ms".to_owned(),
+                match self.deadline_ms {
+                    Some(ms) => serde::Value::U64(ms),
+                    None => serde::Value::Null,
+                },
+            ),
+            (
+                "client".to_owned(),
+                match &self.client {
+                    Some(client) => serde::Value::Str(client.clone()),
+                    None => serde::Value::Null,
+                },
             ),
         ])
     }
@@ -144,12 +171,22 @@ impl serde::Deserialize for MapQuery {
             .as_str()?
             .parse()
             .map_err(|e| serde::Error::custom(format!("{e}")))?;
+        let deadline_ms = match value.field("deadline_ms")? {
+            serde::Value::Null => None,
+            ms => Some(ms.as_u64()?),
+        };
+        let client = match value.field("client")? {
+            serde::Value::Null => None,
+            name => Some(name.as_str()?.to_owned()),
+        };
         Ok(MapQuery {
             arch: serde::Deserialize::from_value(value.field("arch")?)?,
             workload: serde::Deserialize::from_value(value.field("workload")?)?,
             mapspace: serde::Deserialize::from_value(value.field("mapspace")?)?,
             objective,
             budget,
+            deadline_ms,
+            client,
         })
     }
 }
@@ -161,6 +198,12 @@ pub enum ResponseSource {
     Store,
     /// Cold miss: a fresh search produced (and stored) the mapping.
     Search,
+    /// Cold search cut short (deadline, shutdown, worker failures);
+    /// the answer is the best-so-far mapping, still stored.
+    Partial,
+    /// Load shed: the cold queue was full (or the breaker open) and the
+    /// query was not attempted; retry after `retry_after_ms`.
+    Shed,
 }
 
 impl ResponseSource {
@@ -169,31 +212,46 @@ impl ResponseSource {
         match self {
             ResponseSource::Store => "store",
             ResponseSource::Search => "search",
+            ResponseSource::Partial => "partial",
+            ResponseSource::Shed => "shed",
         }
     }
 }
 
-/// One answered query: the best known mapping for the config.
+/// One answered query: the best known mapping for the config, or a
+/// load-shedding verdict when the service would not attempt it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MapResponse {
-    /// Warm (`store`) or cold (`search`).
+    /// Warm (`store`), cold (`search`), truncated cold (`partial`), or
+    /// load-shed (`shed`).
     pub source: ResponseSource,
     /// The canonical config fingerprint, as 16 hex digits.
     pub key: u64,
-    /// The objective the cost is scored under.
+    /// The objective the cost is scored under. For a `degraded` answer
+    /// this is the *stored* record's objective, not the query's.
     pub objective: String,
-    /// Scalar cost of `mapping` under `objective`.
+    /// Scalar cost of `mapping` under `objective` (0 for `shed`).
     pub cost: f64,
-    /// Modeled cycle count of `mapping`.
+    /// Modeled cycle count of `mapping` (0 for `shed`).
     pub cycles: u64,
-    /// Modeled total energy of `mapping` (pJ).
+    /// Modeled total energy of `mapping` (pJ; 0 for `shed`).
     pub energy: f64,
     /// Evaluations spent by the search that produced the mapping.
     pub evaluations: u64,
     /// Wall-clock time this service spent answering, in microseconds.
     pub micros: u64,
-    /// The best known mapping itself.
-    pub mapping: Mapping,
+    /// True when the answer is a nearest-warm fallback: the fingerprint
+    /// matches the query modulo objective, served because cold work was
+    /// saturated or the breaker was open.
+    pub degraded: bool,
+    /// For `shed` responses: how long the client should wait before
+    /// retrying.
+    pub retry_after_ms: Option<u64>,
+    /// For `partial` responses: why the search stopped early
+    /// (`deadline`, `stop-requested`, `worker-failures`).
+    pub stop_reason: Option<String>,
+    /// The best known mapping itself; `None` only for `shed`.
+    pub mapping: Option<Mapping>,
 }
 
 impl serde::Serialize for MapResponse {
@@ -220,7 +278,28 @@ impl serde::Serialize for MapResponse {
                 serde::Value::U64(self.evaluations),
             ),
             ("micros".to_owned(), serde::Value::U64(self.micros)),
-            ("mapping".to_owned(), self.mapping.to_value()),
+            ("degraded".to_owned(), serde::Value::Bool(self.degraded)),
+            (
+                "retry_after_ms".to_owned(),
+                match self.retry_after_ms {
+                    Some(ms) => serde::Value::U64(ms),
+                    None => serde::Value::Null,
+                },
+            ),
+            (
+                "stop_reason".to_owned(),
+                match &self.stop_reason {
+                    Some(reason) => serde::Value::Str(reason.clone()),
+                    None => serde::Value::Null,
+                },
+            ),
+            (
+                "mapping".to_owned(),
+                match &self.mapping {
+                    Some(mapping) => mapping.to_value(),
+                    None => serde::Value::Null,
+                },
+            ),
         ])
     }
 }
@@ -236,6 +315,8 @@ impl serde::Deserialize for MapResponse {
         let source = match value.field("source")?.as_str()? {
             "store" => ResponseSource::Store,
             "search" => ResponseSource::Search,
+            "partial" => ResponseSource::Partial,
+            "shed" => ResponseSource::Shed,
             other => {
                 return Err(serde::Error::custom(format!(
                     "unknown response source '{other}'"
@@ -244,6 +325,18 @@ impl serde::Deserialize for MapResponse {
         };
         let key = u64::from_str_radix(value.field("key")?.as_str()?, 16)
             .map_err(|e| serde::Error::custom(format!("bad response key: {e}")))?;
+        let retry_after_ms = match value.field("retry_after_ms")? {
+            serde::Value::Null => None,
+            ms => Some(ms.as_u64()?),
+        };
+        let stop_reason = match value.field("stop_reason")? {
+            serde::Value::Null => None,
+            reason => Some(reason.as_str()?.to_owned()),
+        };
+        let mapping = match value.field("mapping")? {
+            serde::Value::Null => None,
+            mapping => Some(serde::Deserialize::from_value(mapping)?),
+        };
         Ok(MapResponse {
             source,
             key,
@@ -253,7 +346,10 @@ impl serde::Deserialize for MapResponse {
             energy: value.field("energy")?.as_f64()?,
             evaluations: value.field("evaluations")?.as_u64()?,
             micros: value.field("micros")?.as_u64()?,
-            mapping: serde::Deserialize::from_value(value.field("mapping")?)?,
+            degraded: value.field("degraded")?.as_bool()?,
+            retry_after_ms,
+            stop_reason,
+            mapping,
         })
     }
 }

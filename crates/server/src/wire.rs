@@ -6,28 +6,53 @@
 //! object `{"schema":…,"error":"…"}`; batch responses come back in
 //! query order. The transport is whatever carries lines — `ruby serve`
 //! speaks it over stdin/stdout and over a Unix socket.
+//!
+//! Lines are bounded: a request longer than [`MAX_LINE_BYTES`] is
+//! answered with a structured error instead of being buffered without
+//! limit, and the rest of the oversized line is discarded as it
+//! streams in. Transports should split their byte stream with
+//! [`LineReader`], which enforces the cap incrementally and flushes an
+//! unterminated final line (a peer that dropped mid-line) as a line of
+//! its own so it still gets a terminal response.
 
 use serde::{Deserialize, Serialize};
 
 use crate::{MapQuery, MapperService, ServeError, API_SCHEMA};
 
+/// The longest accepted request line (1 MiB), newline excluded.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
 /// Handles one protocol line; `None` for blank lines. The returned
 /// string holds one response line per query (no trailing newline).
-pub fn handle_line(service: &MapperService, line: &str) -> Option<String> {
+///
+/// `client` is the transport's identity for the peer (e.g. a
+/// per-connection id); it is stamped into any query that did not name a
+/// `client` itself, so per-client admission caps see socket connections
+/// individually.
+pub fn handle_line(service: &MapperService, line: &str, client: Option<&str>) -> Option<String> {
     let line = line.trim();
     if line.is_empty() {
         return None;
     }
+    if line.len() > MAX_LINE_BYTES {
+        return Some(oversized_error_line(line.len()));
+    }
     let value: serde::Value = match serde_json::from_str(line) {
         Ok(value) => value,
         Err(err) => return Some(error_line(&format!("unparseable request: {err}"))),
+    };
+    let stamp = |mut query: MapQuery| {
+        if query.client.is_none() {
+            query.client = client.map(str::to_owned);
+        }
+        query
     };
     match value {
         serde::Value::Arr(items) => {
             let mut queries = Vec::with_capacity(items.len());
             for (i, item) in items.iter().enumerate() {
                 match MapQuery::from_value(item) {
-                    Ok(query) => queries.push(query),
+                    Ok(query) => queries.push(stamp(query)),
                     Err(err) => return Some(error_line(&format!("batch entry {i}: {err}"))),
                 }
             }
@@ -39,10 +64,120 @@ pub fn handle_line(service: &MapperService, line: &str) -> Option<String> {
             Some(lines.join("\n"))
         }
         ref single @ serde::Value::Obj(_) => match MapQuery::from_value(single) {
-            Ok(query) => Some(response_line(&service.handle(&query))),
+            Ok(query) => Some(response_line(&service.handle(&stamp(query)))),
             Err(err) => Some(error_line(&format!("bad query: {err}"))),
         },
         _ => Some(error_line("a request line must be an object or an array")),
+    }
+}
+
+/// The structured refusal for a line that blew the [`MAX_LINE_BYTES`]
+/// cap. `bytes` is how much of it was seen (the tail may still have
+/// been in flight when the transport started discarding).
+pub fn oversized_error_line(bytes: usize) -> String {
+    error_line(&format!(
+        "request line of {bytes}+ bytes exceeds the {MAX_LINE_BYTES}-byte limit"
+    ))
+}
+
+/// One unit a [`LineReader`] hands the transport.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineEvent {
+    /// A complete request line (newline stripped), within the cap.
+    Line(String),
+    /// A line that exceeded the cap; `bytes` counts what was seen and
+    /// discarded. The transport should answer
+    /// [`oversized_error_line`] and keep reading — the reader has
+    /// already resynchronized on the next newline.
+    Oversized {
+        /// Bytes observed before the line ended (≥ the cap).
+        bytes: usize,
+    },
+}
+
+/// Incremental newline splitter with a hard per-line byte cap.
+///
+/// Feed it raw chunks as they arrive; it buffers at most the cap plus
+/// one chunk, discarding the body of an oversized line instead of
+/// growing without bound. At EOF, [`LineReader::finish`] flushes any
+/// unterminated partial line so a peer that died mid-write still gets a
+/// terminal response for what it sent.
+#[derive(Debug)]
+pub struct LineReader {
+    buf: Vec<u8>,
+    /// Bytes dropped from the current (oversized) line.
+    dropped: usize,
+    discarding: bool,
+    max: usize,
+}
+
+impl LineReader {
+    /// A reader enforcing the protocol cap ([`MAX_LINE_BYTES`]).
+    pub fn new() -> Self {
+        Self::with_max(MAX_LINE_BYTES)
+    }
+
+    /// A reader with a custom cap (tests shrink it).
+    pub fn with_max(max: usize) -> Self {
+        LineReader {
+            buf: Vec::new(),
+            dropped: 0,
+            discarding: false,
+            max,
+        }
+    }
+
+    /// Consumes one chunk, returning every line event it completed.
+    pub fn feed(&mut self, chunk: &[u8]) -> Vec<LineEvent> {
+        let mut events = Vec::new();
+        for &byte in chunk {
+            if byte == b'\n' {
+                if self.discarding {
+                    events.push(LineEvent::Oversized {
+                        bytes: self.dropped,
+                    });
+                    self.discarding = false;
+                    self.dropped = 0;
+                } else {
+                    events.push(LineEvent::Line(
+                        String::from_utf8_lossy(&self.buf).into_owned(),
+                    ));
+                }
+                self.buf.clear();
+            } else if self.discarding {
+                self.dropped += 1;
+            } else {
+                self.buf.push(byte);
+                if self.buf.len() > self.max {
+                    self.discarding = true;
+                    self.dropped = self.buf.len();
+                    self.buf.clear();
+                }
+            }
+        }
+        events
+    }
+
+    /// Flushes the unterminated final line at EOF, if any.
+    pub fn finish(&mut self) -> Option<LineEvent> {
+        if self.discarding {
+            self.discarding = false;
+            let bytes = self.dropped;
+            self.dropped = 0;
+            Some(LineEvent::Oversized { bytes })
+        } else if self.buf.is_empty() {
+            None
+        } else {
+            let line = String::from_utf8_lossy(&self.buf).into_owned();
+            self.buf.clear();
+            Some(LineEvent::Line(line))
+        }
+    }
+}
+
+impl Default for LineReader {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -63,4 +198,58 @@ fn error_line(message: &str) -> String {
     ]);
     // justified: the two-field error object always serializes
     serde_json::to_string(&value).expect("error line must serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_reader_splits_chunks_on_newlines() {
+        let mut reader = LineReader::new();
+        assert_eq!(
+            reader.feed(b"{\"a\":1}\n{\"b\""),
+            vec![LineEvent::Line("{\"a\":1}".to_owned())]
+        );
+        assert_eq!(
+            reader.feed(b":2}\n"),
+            vec![LineEvent::Line("{\"b\":2}".to_owned())]
+        );
+        assert_eq!(reader.finish(), None);
+    }
+
+    #[test]
+    fn line_reader_flushes_a_mid_line_eof_as_a_line() {
+        let mut reader = LineReader::new();
+        assert!(reader.feed(b"{\"truncated\":").is_empty());
+        assert_eq!(
+            reader.finish(),
+            Some(LineEvent::Line("{\"truncated\":".to_owned()))
+        );
+        assert_eq!(reader.finish(), None);
+    }
+
+    #[test]
+    fn line_reader_caps_oversized_lines_and_resynchronizes() {
+        let mut reader = LineReader::with_max(8);
+        let mut events = reader.feed(b"0123456789abcdef\nok\n");
+        assert_eq!(events.remove(0), LineEvent::Oversized { bytes: 16 });
+        assert_eq!(events.remove(0), LineEvent::Line("ok".to_owned()));
+        // An oversized line torn off by EOF still reports itself.
+        assert!(reader.feed(b"0123456789abcdef").is_empty());
+        assert_eq!(reader.finish(), Some(LineEvent::Oversized { bytes: 16 }));
+    }
+
+    #[test]
+    fn oversized_error_lines_are_schema_valid() {
+        let line = oversized_error_line(MAX_LINE_BYTES + 1);
+        let value: serde::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(value.field("schema").unwrap().as_u64().unwrap(), API_SCHEMA);
+        assert!(value
+            .field("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("exceeds"));
+    }
 }

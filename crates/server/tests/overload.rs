@@ -1,0 +1,249 @@
+//! Deterministic overload behaviour, driven by failpoints: saturation
+//! sheds, warm hits keep flowing, degraded neighbors answer, the
+//! breaker trips on repeated panics, and deadlines produce `partial`
+//! responses. (The randomized end-to-end storm lives in the CLI chaos
+//! harness; these pin each mechanism on its own.)
+#![cfg(feature = "failpoints")]
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use ruby_arch::presets;
+use ruby_mapspace::MapspaceKind;
+use ruby_server::{
+    MapQuery, MapperService, QueryBudget, ResponseSource, ServeError, ServiceConfig,
+};
+use ruby_workload::ProblemShape;
+
+/// Failpoints are process-global: these tests take turns.
+static FAILPOINTS: Mutex<()> = Mutex::new(());
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ruby-server-overload-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn query(extent: u64) -> MapQuery {
+    MapQuery {
+        arch: presets::toy_linear(16, 1024),
+        workload: ProblemShape::rank1("d", extent),
+        mapspace: MapspaceKind::RubyS,
+        objective: ruby_search::Objective::Edp,
+        budget: QueryBudget::Quick,
+        deadline_ms: None,
+        client: None,
+    }
+}
+
+#[test]
+fn saturation_sheds_cold_work_while_warm_and_degraded_answers_flow() {
+    let _serial = FAILPOINTS.lock().unwrap_or_else(|e| e.into_inner());
+    ruby_failpoints::reset();
+    let dir = test_dir("saturate");
+    let mut config = ServiceConfig::new(dir.join("store.log"));
+    config.workers = 1;
+    config.queue_depth = 0;
+    config.retry_after_ms = 50;
+    let service = MapperService::open(config).unwrap();
+
+    // Warm the store while the pool is healthy.
+    let seeded = service.handle(&query(113)).unwrap();
+    assert_eq!(seeded.source, ResponseSource::Search);
+
+    // Pin the only worker slot under a slow cold query.
+    assert!(ruby_failpoints::arm("server.worker", "delay:400"));
+    std::thread::scope(|scope| {
+        let slow = scope.spawn(|| service.handle(&query(97)));
+        std::thread::sleep(std::time::Duration::from_millis(80));
+
+        // Warm hits bypass admission entirely.
+        let warm = service.handle(&query(113)).unwrap();
+        assert_eq!(warm.source, ResponseSource::Store);
+        assert!(!warm.degraded);
+
+        // A cold query with no warm neighbor is shed, not queued.
+        let shed = service.handle(&query(131)).unwrap();
+        assert_eq!(shed.source, ResponseSource::Shed);
+        assert_eq!(shed.retry_after_ms, Some(50));
+        assert!(shed.mapping.is_none());
+        assert_eq!(shed.evaluations, 0);
+
+        // The same config under another objective has a warm neighbor:
+        // answered degraded instead of shed.
+        let mut sibling = query(113);
+        sibling.objective = ruby_search::Objective::Energy;
+        let degraded = service.handle(&sibling).unwrap();
+        assert_eq!(degraded.source, ResponseSource::Store);
+        assert!(degraded.degraded);
+        assert_eq!(degraded.objective, "edp");
+        assert_eq!(degraded.mapping, seeded.mapping);
+
+        let slow = slow.join().unwrap().unwrap();
+        assert_eq!(slow.source, ResponseSource::Search);
+    });
+    ruby_failpoints::disarm("server.worker");
+
+    let stats = service.stats();
+    assert!(stats.shed >= 1, "stats: {stats:?}");
+    assert!(stats.degraded >= 1, "stats: {stats:?}");
+    assert_eq!(stats.breaker_trips, 0);
+}
+
+#[test]
+fn queued_cold_queries_run_when_a_slot_frees() {
+    let _serial = FAILPOINTS.lock().unwrap_or_else(|e| e.into_inner());
+    ruby_failpoints::reset();
+    let dir = test_dir("queue");
+    let mut config = ServiceConfig::new(dir.join("store.log"));
+    config.workers = 1;
+    config.queue_depth = 2;
+    let service = MapperService::open(config).unwrap();
+
+    assert!(ruby_failpoints::arm("server.worker", "delay:150@1"));
+    std::thread::scope(|scope| {
+        let slow = scope.spawn(|| service.handle(&query(97)));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // This one waits in the bounded queue, then runs (the delay
+        // trigger only fires for the first cold query).
+        let queued = service.handle(&query(131)).unwrap();
+        assert_eq!(queued.source, ResponseSource::Search);
+        assert_eq!(slow.join().unwrap().unwrap().source, ResponseSource::Search);
+    });
+    ruby_failpoints::disarm("server.worker");
+    assert_eq!(service.stats().shed, 0);
+}
+
+#[test]
+fn repeated_worker_panics_trip_the_breaker_and_cooldown_reopens_it() {
+    let _serial = FAILPOINTS.lock().unwrap_or_else(|e| e.into_inner());
+    ruby_failpoints::reset();
+    let dir = test_dir("breaker");
+    let mut config = ServiceConfig::new(dir.join("store.log"));
+    config.breaker_threshold = 2;
+    config.breaker_cooldown_ms = 300;
+    let service = MapperService::open(config).unwrap();
+
+    assert!(ruby_failpoints::arm("server.worker", "panic"));
+    for extent in [113, 97] {
+        match service.handle(&query(extent)) {
+            Err(ServeError::Search(text)) => assert!(text.contains("panicked"), "{text}"),
+            other => panic!("expected a contained panic, got {other:?}"),
+        }
+    }
+    ruby_failpoints::disarm("server.worker");
+
+    // Two consecutive failures tripped the breaker: cold work is shed
+    // even though the fault is gone.
+    assert!(service.breaker_open());
+    let shed = service.handle(&query(131)).unwrap();
+    assert_eq!(shed.source, ResponseSource::Shed);
+    assert!(shed.retry_after_ms.is_some_and(|ms| ms <= 300));
+    let stats = service.stats();
+    assert_eq!(stats.breaker_trips, 1);
+
+    // After the cooldown the breaker re-admits cold work, and a success
+    // closes it fully.
+    std::thread::sleep(std::time::Duration::from_millis(350));
+    let recovered = service.handle(&query(131)).unwrap();
+    assert_eq!(recovered.source, ResponseSource::Search);
+    assert!(!service.breaker_open());
+}
+
+#[test]
+fn tiny_deadlines_return_partial_best_so_far_and_persist_it() {
+    let _serial = FAILPOINTS.lock().unwrap_or_else(|e| e.into_inner());
+    ruby_failpoints::reset();
+    let dir = test_dir("deadline");
+    let service = MapperService::open(ServiceConfig::new(dir.join("store.log"))).unwrap();
+
+    // Slow every evaluation so a quick-budget search over a space too
+    // large to exhaust cannot finish inside the deadline.
+    assert!(ruby_failpoints::arm("search.eval", "delay:2"));
+    let mut q = query(113);
+    q.workload = ruby_workload::suites::toy_gemm_100();
+    q.deadline_ms = Some(150);
+    let partial = service.handle(&q).unwrap();
+    ruby_failpoints::disarm("search.eval");
+
+    assert_eq!(partial.source, ResponseSource::Partial);
+    assert_eq!(partial.stop_reason.as_deref(), Some("deadline"));
+    assert!(partial.mapping.is_some());
+    assert!(partial.cost.is_finite());
+    let stats = service.stats();
+    assert!(stats.partial >= 1, "stats: {stats:?}");
+    assert!(stats.deadline_expired >= 1, "stats: {stats:?}");
+
+    // The best-so-far was persisted: the repeat is a warm hit.
+    let mut repeat = query(113);
+    repeat.workload = ruby_workload::suites::toy_gemm_100();
+    let warm = service.handle(&repeat).unwrap();
+    assert_eq!(warm.source, ResponseSource::Store);
+    assert_eq!(warm.mapping, partial.mapping);
+}
+
+#[test]
+fn an_already_expired_deadline_degrades_or_fails_without_searching() {
+    let _serial = FAILPOINTS.lock().unwrap_or_else(|e| e.into_inner());
+    ruby_failpoints::reset();
+    let dir = test_dir("expired");
+    let service = MapperService::open(ServiceConfig::new(dir.join("store.log"))).unwrap();
+
+    let mut q = query(113);
+    q.deadline_ms = Some(0);
+    match service.handle(&q) {
+        Err(ServeError::Search(text)) => assert!(text.contains("deadline"), "{text}"),
+        other => panic!("expected a deadline refusal, got {other:?}"),
+    }
+    assert_eq!(service.stats().cold_searches, 0);
+
+    // With a warm neighbor under another objective, the same refusal
+    // degrades instead.
+    let seeded = service.handle(&query(113)).unwrap();
+    assert_eq!(seeded.source, ResponseSource::Search);
+    let mut sibling = query(113);
+    sibling.objective = ruby_search::Objective::Energy;
+    sibling.deadline_ms = Some(0);
+    let degraded = service.handle(&sibling).unwrap();
+    assert!(degraded.degraded);
+    assert_eq!(degraded.objective, "edp");
+}
+
+#[test]
+fn per_client_caps_shed_a_flooding_client_but_not_others() {
+    let _serial = FAILPOINTS.lock().unwrap_or_else(|e| e.into_inner());
+    ruby_failpoints::reset();
+    let dir = test_dir("perclient");
+    let mut config = ServiceConfig::new(dir.join("store.log"));
+    config.workers = 1;
+    config.queue_depth = 8;
+    config.max_inflight_per_client = 1;
+    let service = MapperService::open(config).unwrap();
+
+    assert!(ruby_failpoints::arm("server.worker", "delay:300@1"));
+    std::thread::scope(|scope| {
+        let slow = scope.spawn(|| {
+            let mut q = query(97);
+            q.client = Some("flooder".to_owned());
+            service.handle(&q)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(60));
+
+        // The same client's second in-flight cold query is refused even
+        // though the queue has room…
+        let mut q = query(131);
+        q.client = Some("flooder".to_owned());
+        let shed = service.handle(&q).unwrap();
+        assert_eq!(shed.source, ResponseSource::Shed);
+
+        // …while another client may still queue and run.
+        let mut q = query(151);
+        q.client = Some("patient".to_owned());
+        let queued = service.handle(&q).unwrap();
+        assert_eq!(queued.source, ResponseSource::Search);
+
+        assert_eq!(slow.join().unwrap().unwrap().source, ResponseSource::Search);
+    });
+    ruby_failpoints::disarm("server.worker");
+}

@@ -25,6 +25,8 @@ fn query() -> MapQuery {
         mapspace: MapspaceKind::RubyS,
         objective: ruby_search::Objective::Edp,
         budget: QueryBudget::Quick,
+        deadline_ms: None,
+        client: None,
     }
 }
 
@@ -110,9 +112,9 @@ fn wire_lines_answer_queries_and_tag_sources() {
     let service = MapperService::open(ServiceConfig::new(dir.join("store.log"))).unwrap();
     let line = serde_json::to_string(&query().to_value()).unwrap();
 
-    let cold = wire::handle_line(&service, &line).unwrap();
+    let cold = wire::handle_line(&service, &line, None).unwrap();
     assert!(cold.contains("\"source\":\"search\""));
-    let warm = wire::handle_line(&service, &line).unwrap();
+    let warm = wire::handle_line(&service, &line, None).unwrap();
     assert!(warm.contains("\"source\":\"store\""));
 
     // Responses parse back into the typed form, bit-identically.
@@ -123,15 +125,15 @@ fn wire_lines_answer_queries_and_tag_sources() {
 
     // A batch line returns one response line per query, in order.
     let batch = format!("[{line},{line}]");
-    let lines = wire::handle_line(&service, &batch).unwrap();
+    let lines = wire::handle_line(&service, &batch, None).unwrap();
     assert_eq!(lines.lines().count(), 2);
     for response in lines.lines() {
         assert!(response.contains("\"source\":\"store\""));
     }
 
     // Blank lines are ignored; garbage gets a schema-tagged error.
-    assert!(wire::handle_line(&service, "  ").is_none());
-    let error = wire::handle_line(&service, "not json").unwrap();
+    assert!(wire::handle_line(&service, "  ", None).is_none());
+    let error = wire::handle_line(&service, "not json", None).unwrap();
     assert!(error.contains(&format!("\"schema\":{API_SCHEMA}")));
     assert!(error.contains("\"error\""));
 }

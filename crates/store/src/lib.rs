@@ -32,8 +32,11 @@ use std::path::{Path, PathBuf};
 
 use ruby_mapping::Mapping;
 use ruby_model::CostReport;
+use ruby_telemetry::LazyCounter;
 
 pub use fingerprint::{config_key, store_key};
+
+static SCRUB_QUARANTINED: LazyCounter = LazyCounter::new("store.scrub.quarantined");
 
 /// On-disk schema version: frame headers and record payloads.
 pub const STORE_SCHEMA: u64 = 1;
@@ -134,6 +137,30 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
+/// What a scrubbing open ([`MappingStore::open_scrubbed`]) found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubReport {
+    /// Frames that CRC-verified and decoded.
+    pub frames_ok: u64,
+    /// Damaged stretches moved to the quarantine sidecar (each is one
+    /// resync event: a bad frame, a run of unframed garbage lines, or a
+    /// torn tail).
+    pub frames_quarantined: u64,
+    /// Bytes moved to the quarantine sidecar.
+    pub bytes_quarantined: u64,
+}
+
+/// The quarantine sidecar next to a store log: damaged byte ranges the
+/// scrub carved out, preserved for post-mortem instead of deleted.
+pub fn quarantine_path(log_path: &Path) -> PathBuf {
+    let mut name = log_path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".quarantine");
+    log_path.with_file_name(name)
+}
+
 /// The durable best-mapping store: append-only log + in-memory index.
 #[derive(Debug)]
 pub struct MappingStore {
@@ -144,6 +171,13 @@ pub struct MappingStore {
     log_records: usize,
     /// Torn-tail bytes discarded by the last [`MappingStore::open`].
     recovered_bytes: usize,
+    /// Bytes of intact log on disk; everything past it is a torn tail
+    /// from a failed append.
+    valid_len: u64,
+    /// Whether a failed append left a torn tail that the next append
+    /// must truncate away first (lazy self-heal: a process that dies
+    /// instead leaves the tail for `open` to recover).
+    dirty_tail: bool,
 }
 
 impl MappingStore {
@@ -188,7 +222,88 @@ impl MappingStore {
             index,
             log_records,
             recovered_bytes,
+            valid_len: scan.valid_len as u64,
+            dirty_tail: false,
         })
+    }
+
+    /// Opens the store at `path` with a full-log scrub: every frame is
+    /// CRC-verified, damaged stretches are *quarantined* — appended to
+    /// the `.quarantine` sidecar ([`quarantine_path`]) for post-mortem
+    /// rather than silently discarded — and intact records *past* the
+    /// damage are recovered (a plain [`MappingStore::open`] truncates at
+    /// the first damaged frame instead). When anything was quarantined
+    /// the log is atomically rewritten to just the intact frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failures and
+    /// [`StoreError::Schema`] when the log's *first* frame belongs to a
+    /// different format generation (foreign-schema frames later in the
+    /// log are quarantined, not fatal).
+    pub fn open_scrubbed(path: impl AsRef<Path>) -> Result<(Self, ScrubReport), StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let tmp = ruby_telemetry::tmp_path(&path);
+        if tmp.exists() {
+            std::fs::remove_file(&tmp)?;
+        }
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(err) => return Err(err.into()),
+        };
+        let scrub = log::scrub_scan(&bytes)?;
+        let report = ScrubReport {
+            frames_ok: scrub.records.len() as u64,
+            frames_quarantined: scrub.quarantined.len() as u64,
+            bytes_quarantined: scrub
+                .quarantined
+                .iter()
+                .map(|&(start, end)| (end - start) as u64)
+                .sum(),
+        };
+        let mut valid_len = bytes.len() as u64;
+        if !scrub.quarantined.is_empty() {
+            SCRUB_QUARANTINED.add(report.frames_quarantined);
+            let mut sidecar = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(quarantine_path(&path))?;
+            for &(start, end) in &scrub.quarantined {
+                sidecar.write_all(&bytes[start..end])?;
+                if !bytes[start..end].ends_with(b"\n") {
+                    sidecar.write_all(b"\n")?;
+                }
+            }
+            sidecar.sync_all()?;
+            // Splice the damage out of the image verbatim (intact
+            // frames keep their exact bytes) and swap it in atomically.
+            let mut image = Vec::with_capacity(bytes.len() - report.bytes_quarantined as usize);
+            let mut cursor = 0usize;
+            for &(start, end) in &scrub.quarantined {
+                image.extend_from_slice(&bytes[cursor..start]);
+                cursor = end;
+            }
+            image.extend_from_slice(&bytes[cursor..]);
+            ruby_telemetry::write_atomic(&path, &image)?;
+            valid_len = image.len() as u64;
+        }
+        let log_records = scrub.records.len();
+        let mut index = HashMap::new();
+        for record in scrub.records {
+            insert_if_better(&mut index, record);
+        }
+        Ok((
+            MappingStore {
+                path,
+                index,
+                log_records,
+                recovered_bytes: report.bytes_quarantined as usize,
+                valid_len,
+                dirty_tail: false,
+            },
+            report,
+        ))
     }
 
     /// The best known record for `key`.
@@ -268,6 +383,8 @@ impl MappingStore {
         }
         ruby_telemetry::write_atomic(&self.path, image.as_bytes())?;
         self.log_records = self.index.len();
+        self.valid_len = image.len() as u64;
+        self.dirty_tail = false;
         Ok(())
     }
 
@@ -275,16 +392,29 @@ impl MappingStore {
     /// failpoint (feature `failpoints`) simulates a crash mid-append:
     /// `torn:N` writes only the first `N` bytes of the frame and fails,
     /// leaving exactly the torn tail a power loss would.
-    fn append(&self, record: &StoreRecord) -> Result<(), StoreError> {
+    fn append(&mut self, record: &StoreRecord) -> Result<(), StoreError> {
         let frame = log::encode(record)?;
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&self.path)?;
+        if self.dirty_tail {
+            // Lazy self-heal: a previous failed append left a torn tail
+            // (this process survived what would have been a crash);
+            // truncate it before writing anything after it, or the next
+            // frame's header would merge into the garbage.
+            file.set_len(self.valid_len)?;
+            file.sync_all()?;
+            self.dirty_tail = false;
+        }
         match ruby_failpoints::hit("store.append") {
             ruby_failpoints::Action::Torn(n) => {
                 file.write_all(&frame.as_bytes()[..n.min(frame.len())])?;
                 file.sync_all()?;
+                // The simulated kill leaves the torn tail on disk for
+                // `open` to recover; if this process lives on, the next
+                // append repairs it first.
+                self.dirty_tail = true;
                 return Err(StoreError::Io(std::io::Error::other(
                     "failpoint store.append: torn write",
                 )));
@@ -296,8 +426,24 @@ impl MappingStore {
             }
             _ => {}
         }
-        file.write_all(frame.as_bytes())?;
-        file.sync_all()?;
+        if let Err(err) = file
+            .write_all(frame.as_bytes())
+            .and_then(|()| file.sync_all())
+        {
+            // Best-effort self-heal: roll the half-written frame back so
+            // the live file stays clean without waiting for the next
+            // open's recovery pass; if even the rollback fails, the next
+            // append retries it.
+            if file
+                .set_len(self.valid_len)
+                .and_then(|()| file.sync_all())
+                .is_err()
+            {
+                self.dirty_tail = true;
+            }
+            return Err(err.into());
+        }
+        self.valid_len += frame.len() as u64;
         Ok(())
     }
 }
@@ -442,6 +588,102 @@ mod tests {
         let path = test_dir("schema").join("store.log");
         std::fs::write(&path, "{\"schema\":999,\"crc\":0,\"bytes\":2}\n{}\n").unwrap();
         match MappingStore::open(&path) {
+            Err(StoreError::Schema { found: 999 }) => {}
+            other => panic!("expected a schema refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scrub_of_a_clean_log_reports_zeros() {
+        let path = test_dir("scrubclean").join("store.log");
+        let mut store = MappingStore::open(&path).unwrap();
+        store.put(sample_record(1, 10.0)).unwrap();
+        store.put(sample_record(2, 20.0)).unwrap();
+        drop(store);
+
+        let (scrubbed, report) = MappingStore::open_scrubbed(&path).unwrap();
+        assert_eq!(scrubbed.len(), 2);
+        assert_eq!(report.frames_ok, 2);
+        assert_eq!(report.frames_quarantined, 0);
+        assert_eq!(report.bytes_quarantined, 0);
+        assert!(!quarantine_path(&path).exists());
+    }
+
+    #[test]
+    fn scrub_quarantines_mid_log_damage_and_recovers_records_past_it() {
+        let path = test_dir("scrubmid").join("store.log");
+        let mut store = MappingStore::open(&path).unwrap();
+        store.put(sample_record(1, 10.0)).unwrap();
+        store.put(sample_record(2, 20.0)).unwrap();
+        store.put(sample_record(3, 30.0)).unwrap();
+        drop(store);
+
+        // Flip a payload byte inside the *middle* frame: its CRC fails
+        // while the frames before and after stay intact.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let lines: Vec<usize> = bytes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| (b == b'\n').then_some(i))
+            .collect();
+        let middle_payload = lines[2] + 2;
+        bytes[middle_payload] ^= 0x5A;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // A plain open truncates at the damage and loses record 3…
+        let truncated = MappingStore::open(&path).unwrap();
+        assert_eq!(truncated.len(), 1);
+        std::fs::write(&path, &bytes).unwrap();
+
+        // …a scrub quarantines only the damaged frame.
+        let (scrubbed, report) = MappingStore::open_scrubbed(&path).unwrap();
+        assert_eq!(scrubbed.len(), 2);
+        assert!(scrubbed.get(1).is_some());
+        assert!(scrubbed.get(2).is_none());
+        assert!(scrubbed.get(3).is_some());
+        assert_eq!(report.frames_ok, 2);
+        assert_eq!(report.frames_quarantined, 1);
+        assert!(report.bytes_quarantined > 0);
+        let sidecar = std::fs::read(quarantine_path(&path)).unwrap();
+        assert_eq!(sidecar.len() as u64, report.bytes_quarantined);
+
+        // The rewritten log is clean: reopening finds nothing to fix.
+        let (reopened, clean) = MappingStore::open_scrubbed(&path).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(clean.frames_quarantined, 0);
+    }
+
+    #[test]
+    fn scrub_quarantines_spliced_garbage_and_torn_tails() {
+        let path = test_dir("scrubgarbage").join("store.log");
+        let mut store = MappingStore::open(&path).unwrap();
+        store.put(sample_record(1, 10.0)).unwrap();
+        let frame_len = std::fs::metadata(&path).unwrap().len();
+        drop(store);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let intact = bytes.clone();
+        bytes.extend_from_slice(b"not a frame header at all\n");
+        bytes.extend_from_slice(&intact);
+        bytes.extend_from_slice(b"{\"schema\":1,\"crc\":7,\"bytes\":999}\n{\"torn");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (scrubbed, report) = MappingStore::open_scrubbed(&path).unwrap();
+        assert_eq!(scrubbed.len(), 1);
+        assert_eq!(report.frames_ok, 2);
+        assert_eq!(report.frames_quarantined, 2);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            frame_len * 2,
+            "the rewritten log holds exactly the two intact frames"
+        );
+    }
+
+    #[test]
+    fn scrub_still_refuses_foreign_schema_generations() {
+        let path = test_dir("scrubschema").join("store.log");
+        std::fs::write(&path, "{\"schema\":999,\"crc\":0,\"bytes\":2}\n{}\n").unwrap();
+        match MappingStore::open_scrubbed(&path) {
             Err(StoreError::Schema { found: 999 }) => {}
             other => panic!("expected a schema refusal, got {other:?}"),
         }

@@ -73,6 +73,104 @@ pub(crate) fn scan(bytes: &[u8]) -> Result<Scan, StoreError> {
     })
 }
 
+/// The result of a full-log scrub: intact records plus the byte ranges
+/// that must be quarantined.
+pub(crate) struct Scrub {
+    /// Every intact record, in append order.
+    pub records: Vec<StoreRecord>,
+    /// Damaged byte ranges (`start..end`), in file order,
+    /// non-overlapping. Splicing them out of the image leaves exactly
+    /// the intact frames.
+    pub quarantined: Vec<(usize, usize)>,
+}
+
+/// Scrubs `bytes` (a whole log image): CRC-verifies every frame and,
+/// unlike [`scan`], *resynchronizes past damage* instead of stopping at
+/// it — mid-log corruption costs only the damaged frames, not every
+/// record after them.
+///
+/// Resync is line-based. A damaged frame's declared payload length is
+/// not trusted (the header itself may be the corrupt part): the header
+/// line and the line after it are quarantined up to their actual
+/// newlines, and scanning resumes there. Bytes that do not parse as a
+/// frame header at all are quarantined one line at a time, and an
+/// unterminated tail (a torn append) is quarantined whole.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Schema`] when the first frame announces a
+/// different on-disk schema version, same as [`scan`]: that log belongs
+/// to another format generation and must not be rewritten. A foreign
+/// schema *later* in the log (spliced garbage) is quarantined instead.
+pub(crate) fn scrub_scan(bytes: &[u8]) -> Result<Scrub, StoreError> {
+    let mut records = Vec::new();
+    let mut quarantined: Vec<(usize, usize)> = Vec::new();
+    let quarantine =
+        |ranges: &mut Vec<(usize, usize)>, start: usize, end: usize| match ranges.last_mut() {
+            Some(last) if last.1 == start => last.1 = end,
+            _ => ranges.push((start, end)),
+        };
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let Some(header_end) = find_newline(bytes, offset) else {
+            // Unterminated tail: a torn append (or torn quarantinable
+            // garbage) with no newline to resync on.
+            quarantine(&mut quarantined, offset, bytes.len());
+            break;
+        };
+        let Some(header) = parse_header(&bytes[offset..header_end]) else {
+            quarantine(&mut quarantined, offset, header_end + 1);
+            offset = header_end + 1;
+            continue;
+        };
+        if header.schema != STORE_SCHEMA {
+            if offset == 0 {
+                return Err(StoreError::Schema {
+                    found: header.schema,
+                });
+            }
+            quarantine(&mut quarantined, offset, header_end + 1);
+            offset = header_end + 1;
+            continue;
+        }
+        let payload_start = header_end + 1;
+        let frame_ok = header
+            .bytes
+            .checked_add(payload_start)
+            .filter(|&end| end < bytes.len() && bytes[end] == b'\n')
+            .and_then(|payload_end| {
+                let payload = &bytes[payload_start..payload_end];
+                if crc32(payload) != header.crc {
+                    return None;
+                }
+                let text = std::str::from_utf8(payload).ok()?;
+                serde_json::from_str::<StoreRecord>(text)
+                    .ok()
+                    .map(|record| (record, payload_end + 1))
+            });
+        match frame_ok {
+            Some((record, end)) => {
+                records.push(record);
+                offset = end;
+            }
+            None => {
+                // Damaged frame. The declared length may itself be the
+                // lie, so resync on the payload line's *actual* newline.
+                let end = match find_newline(bytes, payload_start) {
+                    Some(newline) => newline + 1,
+                    None => bytes.len(),
+                };
+                quarantine(&mut quarantined, offset, end);
+                offset = end;
+            }
+        }
+    }
+    Ok(Scrub {
+        records,
+        quarantined,
+    })
+}
+
 enum Frame {
     Record(Box<StoreRecord>),
     WrongSchema(u64),

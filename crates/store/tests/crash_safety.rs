@@ -90,6 +90,29 @@ fn torn_append_loses_only_the_record_in_flight() {
 }
 
 #[test]
+fn a_surviving_store_self_heals_the_torn_tail_before_its_next_append() {
+    let dir = test_dir("selfheal");
+    let path = dir.join("store.log");
+    let mut store = MappingStore::open(&path).unwrap();
+    store.put(record(1, 10.0)).unwrap();
+
+    ruby_failpoints::reset();
+    assert!(ruby_failpoints::arm("store.append", "torn:25"));
+    assert!(store.put(record(2, 20.0)).is_err());
+    ruby_failpoints::disarm("store.append");
+
+    // The process did NOT crash: the same store keeps accepting puts,
+    // truncating the torn tail before the next frame lands so later
+    // acknowledged records are never corrupted by the garbage.
+    assert!(store.put(record(3, 30.0)).unwrap());
+    assert!(store.put(record(2, 20.0)).unwrap());
+
+    let reopened = MappingStore::open(&path).unwrap();
+    assert_eq!(reopened.len(), 3);
+    assert_eq!(reopened.recovered_bytes(), 0, "no torn tail survived");
+}
+
+#[test]
 fn torn_compaction_loses_nothing() {
     let dir = test_dir("compact");
     let path = dir.join("store.log");

@@ -52,6 +52,42 @@ reopened=$(printf '%s\n' "$query_line" | ./target/release/ruby serve --store "$s
 grep -q '"source":"store"' <<<"$reopened"
 grep -q 'store holds 1 mappings' <<<"$reopened"
 
+echo "==> chaos smoke (failpoint storm: overload suite, chaos harness, SIGTERM under faults)"
+cargo test -q -p ruby-server --features failpoints
+cargo test -q -p ruby-cli --features failpoints
+cargo build -q -p ruby-cli --features failpoints
+chaos_dir=$(mktemp -d)
+trap 'rm -rf "$serve_dir" "$chaos_dir"' EXIT
+RUBY_FAILPOINTS="server.worker=p:0.5:delay:30,serve.respond=p:0.2:err" \
+    ./target/debug/ruby serve --store "$chaos_dir/store.log" \
+    --socket "$chaos_dir/mapper.sock" --workers 2 --queue-depth 2 \
+    >"$chaos_dir/summary.txt" &
+CHAOS_PID=$!
+answered=0
+for _ in 1 2 3 4 5 6; do
+    if ./target/debug/ruby query --arch toy:16,1024 --workload rank1:113 \
+        --budget quick --socket "$chaos_dir/mapper.sock" >>"$chaos_dir/answers.txt"; then
+        answered=$(( answered + 1 ))
+    fi
+done
+if [ "$answered" -lt 1 ]; then
+    echo "chaos smoke: every query lost under a p:0.2 drop rate" >&2
+    exit 1
+fi
+kill -TERM "$CHAOS_PID"
+wait "$CHAOS_PID"
+grep -q 'served .* queries' "$chaos_dir/summary.txt"
+grep -q 'resilience:' "$chaos_dir/summary.txt"
+if [ -e "$chaos_dir/mapper.sock" ]; then
+    echo "chaos smoke: socket file leaked past shutdown" >&2
+    exit 1
+fi
+leaks=$(find "$chaos_dir" -name '*.tmp' -o -name '*.quarantine')
+if [ -n "$leaks" ]; then
+    echo "chaos smoke: tmp/quarantine litter leaked: $leaks" >&2
+    exit 1
+fi
+
 echo "==> ruby-lint (--json, <5s budget, schema.lock committed + current)"
 git ls-files --error-unmatch crates/lint/schema.lock >/dev/null
 lint_start=$(date +%s)
